@@ -1,0 +1,38 @@
+// Ablation A4 (paper §V future work): "Samhita on a single node system can
+// avoid contacting the manager for synchronization and reduce the overhead
+// associated with contacting the manager." We run the micro-benchmark with
+// all compute threads on one node and compare manager-mediated vs local
+// synchronization.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sam;
+  const auto opt = bench::BenchOptions::parse(argc, argv);
+  auto csv = bench::make_csv(opt);
+  std::cout << "# ablationA4: manager-mediated vs local single-node synchronization\n";
+  csv->header({"figure", "sync", "cores", "sync_seconds", "compute_seconds"});
+
+  apps::MicrobenchParams p;
+  p.N = 10;
+  p.M = 10;
+  p.S = 2;
+  p.B = 256;
+  p.alloc = apps::MicrobenchAlloc::kLocal;
+
+  for (bool local : {false, true}) {
+    for (std::int64_t cores : {1, 2, 4, 8}) {
+      if (opt.quick && cores > 4) continue;
+      core::SamhitaConfig cfg;
+      cfg.compute_nodes = 1;  // single-node scenario
+      cfg.local_sync = local;
+      p.threads = static_cast<std::uint32_t>(cores);
+      const auto r = bench::run_smh(p, cfg);
+      csv->raw_row({"ablationA4", local ? "local" : "manager", std::to_string(cores),
+                    std::to_string(r.mean_sync_seconds),
+                    std::to_string(r.mean_compute_seconds)});
+    }
+  }
+  return 0;
+}

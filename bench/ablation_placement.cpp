@@ -1,0 +1,39 @@
+// Ablation A7: thread placement over compute nodes. The manager performs
+// thread placement (paper §II); block placement concentrates threads on few
+// nodes (sharing NICs, cheap for low thread counts), scatter spreads them
+// round-robin (one NIC per thread at low counts, but every thread pays
+// cross-node synchronization). The sweet spot depends on how NIC-bound the
+// workload is.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sam;
+  const auto opt = bench::BenchOptions::parse(argc, argv);
+  auto csv = bench::make_csv(opt);
+  std::cout << "# ablationA7: block vs scatter thread placement\n";
+  csv->header({"figure", "placement", "cores", "compute_seconds", "sync_seconds"});
+
+  apps::MicrobenchParams p;
+  p.N = 10;
+  p.M = 10;
+  p.S = 4;
+  p.B = 256;
+  p.alloc = apps::MicrobenchAlloc::kGlobal;  // NIC-heavy: refetch after barriers
+
+  for (auto placement : {core::Placement::kBlock, core::Placement::kScatter}) {
+    for (std::int64_t cores : {2, 4, 8, 16}) {
+      if (opt.quick && cores > 4) continue;
+      core::SamhitaConfig cfg;
+      cfg.placement = placement;
+      p.threads = static_cast<std::uint32_t>(cores);
+      const auto r = bench::run_smh(p, cfg);
+      csv->raw_row({"ablationA7",
+                    placement == core::Placement::kBlock ? "block" : "scatter",
+                    std::to_string(cores), std::to_string(r.mean_compute_seconds),
+                    std::to_string(r.mean_sync_seconds)});
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Ablation A8: reduction strategy on virtual shared memory. The classic
+// barrier-tree reduction false-shares its dense partials array at page
+// granularity, which on a DSM negates the log2(P) advantage; RegC's
+// fine-grain update sets make the naive mutex reduction surprisingly
+// competitive; padding the partials (one line each) is the classic DSM
+// remedy. This bench quantifies all three — algorithmic guidance the
+// paper's Fig. 11 implies but never spells out.
+#include <iostream>
+
+#include "apps/reduction.hpp"
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sam;
+  const auto opt = bench::BenchOptions::parse(argc, argv);
+  auto csv = bench::make_csv(opt);
+  std::cout << "# ablationA8: mutex vs barrier-tree global reduction on the DSM\n";
+  csv->header({"figure", "strategy", "cores", "sync_seconds", "elapsed_seconds"});
+
+  apps::ReductionParams p;
+  p.items_per_thread = 4096;
+  p.rounds = opt.quick ? 4 : 10;
+
+  for (auto strategy : {apps::ReductionStrategy::kMutex, apps::ReductionStrategy::kTree,
+                        apps::ReductionStrategy::kPaddedTree}) {
+    for (std::int64_t cores : {2, 4, 8, 16, 32}) {
+      if (opt.quick && cores > 8) continue;
+      p.strategy = strategy;
+      p.threads = static_cast<std::uint32_t>(cores);
+      core::SamhitaRuntime runtime;
+      const auto r = apps::run_reduction(runtime, p);
+      csv->raw_row({"ablationA8", apps::to_string(strategy), std::to_string(cores),
+                    std::to_string(r.mean_sync_seconds),
+                    std::to_string(r.elapsed_seconds)});
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Ablation A5 (paper §V future work): a SCIF-based communication layer that
+// "abstracts the communication between the host processor and the Intel MIC
+// device over the PCI express bus... will reduce the communication overheads
+// by directly communicating using the PCI express bus as opposed to using a
+// verbs proxy". We model the heterogeneous node (host = memory server +
+// manager, one many-core coprocessor) and compare the three SCL transports.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sam;
+  const auto opt = bench::BenchOptions::parse(argc, argv);
+  auto csv = bench::make_csv(opt);
+  std::cout << "# ablationA5: interconnect layers on a heterogeneous node "
+            << "(verbs-over-IB vs PCIe verbs proxy vs SCIF)\n";
+  csv->header({"figure", "network", "cores", "compute_seconds", "sync_seconds"});
+
+  apps::MicrobenchParams p;
+  p.N = 10;
+  p.M = 10;
+  p.S = 2;
+  p.B = 256;
+  p.alloc = apps::MicrobenchAlloc::kGlobal;
+
+  for (const char* net : {"ib", "pcie", "scif"}) {
+    for (std::int64_t cores : {1, 4, 8, 16}) {
+      if (opt.quick && cores > 4) continue;
+      core::SamhitaConfig cfg;
+      cfg.network = net;
+      cfg.compute_nodes = 1;       // the coprocessor
+      cfg.cores_per_node = 16;     // many-core MIC-style device
+      p.threads = static_cast<std::uint32_t>(cores);
+      const auto r = bench::run_smh(p, cfg);
+      csv->raw_row({"ablationA5", net, std::to_string(cores),
+                    std::to_string(r.mean_compute_seconds),
+                    std::to_string(r.mean_sync_seconds)});
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Regenerates paper Figure 03: normalized compute time vs number of cores
+// with local allocation (see DESIGN.md experiment F03).
+#include "fig_compute_sweeps.hpp"
+
+int main(int argc, char** argv) {
+  const auto opt = sam::bench::BenchOptions::parse(argc, argv);
+  sam::bench::run_compute_vs_cores("fig03", sam::apps::MicrobenchAlloc::kLocal, opt);
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Regenerates paper Figure 04: normalized compute time vs number of cores
+// with global allocation (see DESIGN.md experiment F04).
+#include "fig_compute_sweeps.hpp"
+
+int main(int argc, char** argv) {
+  const auto opt = sam::bench::BenchOptions::parse(argc, argv);
+  sam::bench::run_compute_vs_cores("fig04", sam::apps::MicrobenchAlloc::kGlobal, opt);
+  return 0;
+}

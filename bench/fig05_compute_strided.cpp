@@ -1,0 +1,9 @@
+// Regenerates paper Figure 05: normalized compute time vs number of cores
+// with strided allocation (see DESIGN.md experiment F05).
+#include "fig_compute_sweeps.hpp"
+
+int main(int argc, char** argv) {
+  const auto opt = sam::bench::BenchOptions::parse(argc, argv);
+  sam::bench::run_compute_vs_cores("fig05", sam::apps::MicrobenchAlloc::kGlobalStrided, opt);
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Regenerates paper Figure 06: compute time vs number of cores as the
+// per-thread data size S varies, local allocation (experiment F06).
+#include "fig_compute_sweeps.hpp"
+
+int main(int argc, char** argv) {
+  const auto opt = sam::bench::BenchOptions::parse(argc, argv);
+  sam::bench::run_compute_vs_cores_by_s("fig06", sam::apps::MicrobenchAlloc::kLocal, opt);
+  return 0;
+}

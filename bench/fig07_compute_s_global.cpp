@@ -1,0 +1,9 @@
+// Regenerates paper Figure 07: compute time vs number of cores as the
+// per-thread data size S varies, global allocation (experiment F07).
+#include "fig_compute_sweeps.hpp"
+
+int main(int argc, char** argv) {
+  const auto opt = sam::bench::BenchOptions::parse(argc, argv);
+  sam::bench::run_compute_vs_cores_by_s("fig07", sam::apps::MicrobenchAlloc::kGlobal, opt);
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Regenerates paper Figure 08: compute time vs number of cores as the
+// per-thread data size S varies, strided allocation (experiment F08).
+#include "fig_compute_sweeps.hpp"
+
+int main(int argc, char** argv) {
+  const auto opt = sam::bench::BenchOptions::parse(argc, argv);
+  sam::bench::run_compute_vs_cores_by_s("fig08", sam::apps::MicrobenchAlloc::kGlobalStrided, opt);
+  return 0;
+}

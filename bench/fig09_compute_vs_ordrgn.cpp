@@ -1,0 +1,9 @@
+// Regenerates paper Figure 9: compute time vs ordinary-region size (rows per
+// thread S) at P=16 for all three allocation strategies (experiment F9).
+#include "fig_compute_sweeps.hpp"
+
+int main(int argc, char** argv) {
+  const auto opt = sam::bench::BenchOptions::parse(argc, argv);
+  sam::bench::run_time_vs_ordinary_region("fig09", /*sync_time=*/false, opt);
+  return 0;
+}

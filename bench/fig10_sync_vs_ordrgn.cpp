@@ -1,0 +1,9 @@
+// Regenerates paper Figure 10: synchronization time vs ordinary-region size
+// (rows per thread S) at P=16 for all three strategies (experiment F10).
+#include "fig_compute_sweeps.hpp"
+
+int main(int argc, char** argv) {
+  const auto opt = sam::bench::BenchOptions::parse(argc, argv);
+  sam::bench::run_time_vs_ordinary_region("fig10", /*sync_time=*/true, opt);
+  return 0;
+}

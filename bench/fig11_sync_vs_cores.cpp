@@ -1,0 +1,9 @@
+// Regenerates paper Figure 11: synchronization time (log scale in the paper)
+// vs number of cores, Pthreads vs Samhita, all three strategies (F11).
+#include "fig_compute_sweeps.hpp"
+
+int main(int argc, char** argv) {
+  const auto opt = sam::bench::BenchOptions::parse(argc, argv);
+  sam::bench::run_sync_vs_cores("fig11", opt);
+  return 0;
+}

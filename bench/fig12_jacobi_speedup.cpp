@@ -1,0 +1,43 @@
+// Regenerates paper Figure 12: strong-scaling speed-up of the Jacobi kernel,
+// Pthreads vs Samhita, relative to 1-core Pthreads (experiment F12).
+#include <iostream>
+
+#include "apps/jacobi.hpp"
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sam;
+  const auto opt = bench::BenchOptions::parse(argc, argv);
+  auto csv = bench::make_csv(opt);
+  std::cout << "# fig12: Jacobi strong-scaling speedup vs cores "
+            << "(speedup relative to 1-core pthreads)\n";
+  csv->header({"figure", "runtime", "cores", "speedup", "elapsed_seconds", "residual"});
+
+  apps::JacobiParams p;
+  p.n = opt.quick ? 128 : 1024;
+  p.iterations = opt.quick ? 5 : 10;
+
+  p.threads = 1;
+  smp::SmpRuntime base;
+  const auto ref = apps::run_jacobi(base, p);
+  const double t1 = ref.elapsed_seconds;
+
+  for (std::int64_t cores : bench::kPthreadCores) {
+    p.threads = static_cast<std::uint32_t>(cores);
+    smp::SmpRuntime rt;
+    const auto r = apps::run_jacobi(rt, p);
+    csv->raw_row({"fig12", "pthreads", std::to_string(cores),
+                  std::to_string(t1 / r.elapsed_seconds),
+                  std::to_string(r.elapsed_seconds), std::to_string(r.final_residual)});
+  }
+  for (std::int64_t cores : bench::kSamhitaCores) {
+    if (opt.quick && cores > 8) continue;
+    p.threads = static_cast<std::uint32_t>(cores);
+    core::SamhitaRuntime rt;
+    const auto r = apps::run_jacobi(rt, p);
+    csv->raw_row({"fig12", "samhita", std::to_string(cores),
+                  std::to_string(t1 / r.elapsed_seconds),
+                  std::to_string(r.elapsed_seconds), std::to_string(r.final_residual)});
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Regenerates paper Figure 13: strong-scaling speed-up of the molecular
+// dynamics kernel (velocity Verlet n-body), Pthreads vs Samhita, relative to
+// 1-core Pthreads (experiment F13).
+#include <iostream>
+
+#include "apps/md.hpp"
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sam;
+  const auto opt = bench::BenchOptions::parse(argc, argv);
+  auto csv = bench::make_csv(opt);
+  std::cout << "# fig13: molecular dynamics strong-scaling speedup vs cores "
+            << "(speedup relative to 1-core pthreads)\n";
+  csv->header({"figure", "runtime", "cores", "speedup", "elapsed_seconds", "potential"});
+
+  apps::MdParams p;
+  p.particles = opt.quick ? 256 : 3072;
+  p.steps = opt.quick ? 2 : 3;
+
+  p.threads = 1;
+  smp::SmpRuntime base;
+  const auto ref = apps::run_md(base, p);
+  const double t1 = ref.elapsed_seconds;
+
+  for (std::int64_t cores : bench::kPthreadCores) {
+    p.threads = static_cast<std::uint32_t>(cores);
+    smp::SmpRuntime rt;
+    const auto r = apps::run_md(rt, p);
+    csv->raw_row({"fig13", "pthreads", std::to_string(cores),
+                  std::to_string(t1 / r.elapsed_seconds),
+                  std::to_string(r.elapsed_seconds), std::to_string(r.potential)});
+  }
+  for (std::int64_t cores : bench::kSamhitaCores) {
+    if (opt.quick && cores > 8) continue;
+    p.threads = static_cast<std::uint32_t>(cores);
+    core::SamhitaRuntime rt;
+    const auto r = apps::run_md(rt, p);
+    csv->raw_row({"fig13", "samhita", std::to_string(cores),
+                  std::to_string(t1 / r.elapsed_seconds),
+                  std::to_string(r.elapsed_seconds), std::to_string(r.potential)});
+  }
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Sweep drivers behind Figures 3-11 (micro-benchmark figures).
+#pragma once
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace sam::bench {
+
+/// Figures 3/4/5: normalized compute time vs cores for M in {10,100,1000},
+/// Pthreads vs Samhita, one allocation strategy per figure.
+inline void run_compute_vs_cores(const char* figure, apps::MicrobenchAlloc alloc,
+                                 const BenchOptions& opt) {
+  auto csv = make_csv(opt);
+  std::cout << "# " << figure << ": normalized compute time vs cores ("
+            << apps::to_string(alloc) << " allocation); normalized to 1-thread pthreads\n";
+  csv->header({"figure", "runtime", "M", "cores", "normalized_compute", "compute_seconds",
+               "sync_seconds"});
+  PthreadNormalizer norm;
+  const std::vector<int> Ms = opt.quick ? std::vector<int>{10, 100}
+                                        : std::vector<int>{10, 100, 1000};
+  apps::MicrobenchParams base;
+  base.N = 10;
+  base.S = 2;
+  base.B = 256;
+  base.alloc = alloc;
+  for (int M : Ms) {
+    apps::MicrobenchParams p = base;
+    p.M = M;
+    const double norm1 = norm.one_thread_compute_seconds(p);
+    for (std::int64_t cores : kPthreadCores) {
+      p.threads = static_cast<std::uint32_t>(cores);
+      const auto r = run_pth(p);
+      csv->raw_row({figure, "pthreads", std::to_string(M), std::to_string(cores),
+                    std::to_string(r.mean_compute_seconds / norm1),
+                    std::to_string(r.mean_compute_seconds),
+                    std::to_string(r.mean_sync_seconds)});
+    }
+    for (std::int64_t cores : kSamhitaCores) {
+      if (opt.quick && cores > 8) continue;
+      p.threads = static_cast<std::uint32_t>(cores);
+      const auto r = run_smh(p);
+      csv->raw_row({figure, "samhita", std::to_string(M), std::to_string(cores),
+                    std::to_string(r.mean_compute_seconds / norm1),
+                    std::to_string(r.mean_compute_seconds),
+                    std::to_string(r.mean_sync_seconds)});
+    }
+  }
+}
+
+/// Figures 6/7/8: Samhita compute time (seconds) vs cores for S in {1,2,4,8}
+/// at fixed M=100 (the scan's "fixed M = 1" read as 100 — see DESIGN.md §4),
+/// one allocation strategy per figure.
+inline void run_compute_vs_cores_by_s(const char* figure, apps::MicrobenchAlloc alloc,
+                                      const BenchOptions& opt) {
+  auto csv = make_csv(opt);
+  std::cout << "# " << figure << ": Samhita compute time vs cores, S in {1,2,4,8} ("
+            << apps::to_string(alloc) << " allocation), M=100\n";
+  csv->header({"figure", "S", "cores", "compute_seconds", "sync_seconds"});
+  apps::MicrobenchParams p;
+  p.N = 10;
+  p.M = 100;
+  p.B = 256;
+  p.alloc = alloc;
+  for (int S : {1, 2, 4, 8}) {
+    p.S = S;
+    for (std::int64_t cores : kSamhitaCores) {
+      if (opt.quick && cores > 8) continue;
+      p.threads = static_cast<std::uint32_t>(cores);
+      const auto r = run_smh(p);
+      csv->raw_row({figure, std::to_string(S), std::to_string(cores),
+                    std::to_string(r.mean_compute_seconds),
+                    std::to_string(r.mean_sync_seconds)});
+    }
+  }
+}
+
+/// Figures 9/10: compute (or sync) time vs S for P=16, all three strategies.
+inline void run_time_vs_ordinary_region(const char* figure, bool sync_time,
+                                        const BenchOptions& opt) {
+  auto csv = make_csv(opt);
+  std::cout << "# " << figure << ": Samhita " << (sync_time ? "sync" : "compute")
+            << " time vs rows-per-thread S at P=16, M=100, B=256\n";
+  csv->header({"figure", "alloc", "S", "seconds"});
+  apps::MicrobenchParams p;
+  p.N = 10;
+  p.M = 100;
+  p.B = 256;
+  p.threads = opt.quick ? 8 : 16;
+  for (auto alloc : {apps::MicrobenchAlloc::kLocal, apps::MicrobenchAlloc::kGlobal,
+                     apps::MicrobenchAlloc::kGlobalStrided}) {
+    p.alloc = alloc;
+    for (int S : {1, 2, 4, 8}) {
+      p.S = S;
+      const auto r = run_smh(p);
+      csv->raw_row({figure, apps::to_string(alloc), std::to_string(S),
+                    std::to_string(sync_time ? r.mean_sync_seconds
+                                             : r.mean_compute_seconds)});
+    }
+  }
+}
+
+/// Figure 11: synchronization time vs cores, Pthreads vs Samhita for all
+/// three allocation strategies, S=2, M=10 (log-scale in the paper).
+inline void run_sync_vs_cores(const char* figure, const BenchOptions& opt) {
+  auto csv = make_csv(opt);
+  std::cout << "# " << figure
+            << ": synchronization time vs cores, pthreads vs samhita, 3 strategies\n";
+  csv->header({"figure", "runtime", "alloc", "cores", "sync_seconds"});
+  apps::MicrobenchParams p;
+  p.N = 10;
+  p.M = 10;
+  p.S = 2;
+  p.B = 256;
+  for (auto alloc : {apps::MicrobenchAlloc::kLocal, apps::MicrobenchAlloc::kGlobal,
+                     apps::MicrobenchAlloc::kGlobalStrided}) {
+    p.alloc = alloc;
+    for (std::int64_t cores : kPthreadCores) {
+      p.threads = static_cast<std::uint32_t>(cores);
+      const auto r = run_pth(p);
+      csv->raw_row({figure, "pthreads", apps::to_string(alloc), std::to_string(cores),
+                    std::to_string(r.mean_sync_seconds)});
+    }
+    for (std::int64_t cores : kSamhitaCores) {
+      if (opt.quick && cores > 8) continue;
+      p.threads = static_cast<std::uint32_t>(cores);
+      const auto r = run_smh(p);
+      csv->raw_row({figure, "samhita", apps::to_string(alloc), std::to_string(cores),
+                    std::to_string(r.mean_sync_seconds)});
+    }
+  }
+}
+
+}  // namespace sam::bench

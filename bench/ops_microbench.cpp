@@ -1,0 +1,112 @@
+// Host-level micro-operations benchmark (google-benchmark): the real cost of
+// the library's hot protocol operations — diff construction/application,
+// store-log recording, cache lookup, resource booking, event scheduling.
+// These bound how fast the simulator itself can run big sweeps.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/page_cache.hpp"
+#include "core/sam_allocator.hpp"
+#include "mem/memory_server.hpp"
+#include "regc/diff.hpp"
+#include "regc/store_log.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/resource.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace sam;
+
+void BM_DiffBetween(benchmark::State& state) {
+  const std::size_t dirty_bytes = static_cast<std::size_t>(state.range(0));
+  std::vector<std::byte> twin(mem::kPageSize, std::byte{0});
+  auto cur = twin;
+  util::SplitMix64 rng(7);
+  for (std::size_t i = 0; i < dirty_bytes; ++i) {
+    cur[rng.next_below(cur.size())] = std::byte{1};
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(regc::Diff::between(0, twin, cur));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * mem::kPageSize);
+}
+BENCHMARK(BM_DiffBetween)->Arg(8)->Arg(256)->Arg(2048);
+
+void BM_DiffApplyToServer(benchmark::State& state) {
+  std::vector<std::byte> twin(mem::kPageSize, std::byte{0});
+  auto cur = twin;
+  for (std::size_t i = 0; i < 512; ++i) cur[i * 7 % cur.size()] = std::byte{1};
+  const regc::Diff d = regc::Diff::between(0, twin, cur);
+  mem::MemoryServer server(0, 0);
+  for (auto _ : state) {
+    d.apply_to(server);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(d.payload_bytes()));
+}
+BENCHMARK(BM_DiffApplyToServer);
+
+void BM_StoreLogRecord(benchmark::State& state) {
+  for (auto _ : state) {
+    regc::StoreLog log;
+    for (int i = 0; i < 64; ++i) log.record(static_cast<mem::GAddr>(i) * 8, 8);
+    benchmark::DoNotOptimize(log.covered_bytes());
+  }
+}
+BENCHMARK(BM_StoreLogRecord);
+
+void BM_PageCacheHit(benchmark::State& state) {
+  core::SamhitaConfig cfg;
+  core::PageCache cache(&cfg, 0);
+  for (core::LineId l = 0; l < 64; ++l) {
+    cache.install(l, std::vector<std::byte>(cfg.line_bytes()), 0, false);
+  }
+  core::LineId l = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.find(l));
+    l = (l + 17) % 64;
+  }
+}
+BENCHMARK(BM_PageCacheHit);
+
+void BM_ResourceServe(benchmark::State& state) {
+  sim::Resource r("srv");
+  SimTime t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(r.serve(t, 100));
+    t += 50;
+  }
+}
+BENCHMARK(BM_ResourceServe);
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (int i = 0; i < 128; ++i) {
+      q.schedule(static_cast<SimTime>((i * 37) % 97), [] {});
+    }
+    while (!q.empty()) q.run_next();
+  }
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void BM_AllocatorSmall(benchmark::State& state) {
+  core::SamhitaConfig cfg;
+  for (auto _ : state) {
+    state.PauseTiming();
+    mem::GlobalAddressSpace gas(cfg.address_space_bytes, 2);
+    core::SamAllocator alloc(&cfg, &gas);
+    core::AllocOutcome o;
+    state.ResumeTiming();
+    for (int i = 0; i < 256; ++i) {
+      benchmark::DoNotOptimize(alloc.alloc(0, 64, o));
+    }
+  }
+}
+BENCHMARK(BM_AllocatorSmall);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+// Sensitivity sweep: how fast must the interconnect be for virtual shared
+// memory to keep scaling? Sweeps latency and bandwidth multipliers around
+// the calibrated QDR-IB model and reports Jacobi speedup at 16 cores — the
+// quantitative version of the paper's §I observation that DSM "never made a
+// big impact (primarily due to relatively slow interconnects)" and of its
+// bet that modern fabrics change the calculus.
+#include <iostream>
+
+#include "apps/jacobi.hpp"
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sam;
+  const auto opt = bench::BenchOptions::parse(argc, argv);
+  auto csv = bench::make_csv(opt);
+  std::cout << "# sensitivity: Jacobi speedup at 16 cores vs interconnect "
+            << "latency/bandwidth scale (1.0 = calibrated QDR IB)\n";
+  csv->header({"figure", "dimension", "scale", "speedup", "elapsed_seconds"});
+
+  apps::JacobiParams p;
+  p.n = opt.quick ? 128 : 512;
+  p.iterations = opt.quick ? 4 : 10;
+  p.threads = 1;
+  smp::SmpRuntime base;
+  const double t1 = apps::run_jacobi(base, p).elapsed_seconds;
+  p.threads = opt.quick ? 8 : 16;
+
+  // Latency sweep: 0.25x (futuristic) .. 8x (gigabit-ethernet-era pain).
+  for (double scale : {0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+    core::SamhitaConfig cfg;
+    cfg.net_latency_scale = scale;
+    core::SamhitaRuntime rt(cfg);
+    const auto r = apps::run_jacobi(rt, p);
+    csv->raw_row({"sensitivity", "latency", std::to_string(scale),
+                  std::to_string(t1 / r.elapsed_seconds),
+                  std::to_string(r.elapsed_seconds)});
+  }
+  // Bandwidth sweep.
+  for (double scale : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    core::SamhitaConfig cfg;
+    cfg.net_bandwidth_scale = scale;
+    core::SamhitaRuntime rt(cfg);
+    const auto r = apps::run_jacobi(rt, p);
+    csv->raw_row({"sensitivity", "bandwidth", std::to_string(scale),
+                  std::to_string(t1 / r.elapsed_seconds),
+                  std::to_string(r.elapsed_seconds)});
+  }
+  return 0;
+}

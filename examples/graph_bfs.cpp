@@ -1,0 +1,45 @@
+// Graph BFS example: irregular access over virtual shared memory.
+//
+// Random accesses into the edge and distance arrays are the stress case for
+// page-granular software caching — the protocol statistics below show the
+// cost of irregularity (compare with matrix_multiply's 99%+ hit rate).
+//
+// Usage: ./build/examples/graph_bfs [--vertices=2048] [--degree=8]
+//                                   [--threads=8] [--seed=1]
+#include <cstdio>
+
+#include "apps/bfs.hpp"
+#include "core/report.hpp"
+#include "core/samhita_runtime.hpp"
+#include "util/arg_parser.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sam;
+  util::ArgParser args(argc, argv);
+  apps::BfsParams p;
+  p.vertices = static_cast<std::uint32_t>(args.get_int("vertices", 2048));
+  p.avg_degree = static_cast<std::uint32_t>(args.get_int("degree", 8));
+  p.threads = static_cast<std::uint32_t>(args.get_int("threads", 8));
+  p.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  std::printf("BFS: %u vertices, avg degree %u, %u threads\n\n", p.vertices,
+              p.avg_degree, p.threads);
+
+  core::SamhitaRuntime runtime;
+  const auto r = apps::run_bfs(runtime, p);
+  const auto ref = apps::bfs_reference(p);
+
+  std::printf("reached %llu/%u vertices in %u levels (distance sum %llu)\n",
+              static_cast<unsigned long long>(r.reached), p.vertices, r.levels,
+              static_cast<unsigned long long>(r.distance_sum));
+  std::printf("reference: reached %llu, levels %u, distance sum %llu\n\n",
+              static_cast<unsigned long long>(ref.reached), ref.levels,
+              static_cast<unsigned long long>(ref.distance_sum));
+
+  std::printf("%s\n", core::format_report(runtime).c_str());
+
+  const bool ok = r.reached == ref.reached && r.distance_sum == ref.distance_sum &&
+                  r.levels == ref.levels;
+  std::printf("verification: %s\n", ok ? "OK" : "MISMATCH");
+  return ok ? 0 : 1;
+}

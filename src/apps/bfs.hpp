@@ -1,0 +1,55 @@
+// Level-synchronous breadth-first search: the irregular-access workload.
+//
+// A CSR graph lives in the shared global address space; threads partition
+// the vertex set and expand the frontier level by level with a barrier per
+// level (classic Bellman-Ford-flavoured BFS without queues). Neighbor reads
+// scatter across the whole edge array, so the software caches see an
+// irregular, read-heavy access pattern — the stress case for page-granular
+// DSM caching and the counterpoint to the dense kernels.
+//
+// Concurrent distance updates are benign races: two threads discovering the
+// same vertex in the same level write the same value, so the
+// multiple-writer diff merge is value-identical regardless of order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rt/runtime.hpp"
+
+namespace sam::apps {
+
+/// Deterministic sparse random graph in CSR form.
+struct CsrGraph {
+  std::uint32_t vertices = 0;
+  std::vector<std::uint32_t> offsets;  ///< size vertices + 1
+  std::vector<std::uint32_t> edges;    ///< adjacency targets
+};
+
+/// Generates a connected-ish random graph (ring + random chords).
+CsrGraph make_random_graph(std::uint32_t vertices, std::uint32_t avg_degree,
+                           std::uint64_t seed);
+
+struct BfsParams {
+  std::uint32_t threads = 1;
+  std::uint32_t vertices = 1024;
+  std::uint32_t avg_degree = 8;
+  std::uint32_t source = 0;
+  std::uint64_t seed = 1;
+};
+
+struct BfsResult {
+  double elapsed_seconds = 0;
+  double mean_compute_seconds = 0;
+  double mean_sync_seconds = 0;
+  std::uint64_t reached = 0;        ///< vertices with finite distance
+  std::uint64_t distance_sum = 0;   ///< checksum over all finite distances
+  std::uint32_t levels = 0;         ///< BFS depth
+};
+
+BfsResult run_bfs(rt::Runtime& runtime, const BfsParams& params);
+
+/// Sequential reference (reached count, distance sum, depth).
+BfsResult bfs_reference(const BfsParams& params);
+
+}  // namespace sam::apps

@@ -1,0 +1,186 @@
+#include "apps/jacobi.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "rt/span_util.hpp"
+#include "util/expect.hpp"
+
+namespace sam::apps {
+
+namespace {
+
+/// Boundary condition: u = x * y on the unit square edges; interior starts 0.
+double boundary_value(std::uint32_t i, std::uint32_t j, std::uint32_t n) {
+  const double x = static_cast<double>(j) / (n - 1);
+  const double y = static_cast<double>(i) / (n - 1);
+  return x * y;
+}
+
+struct Shared {
+  rt::Addr u = 0;
+  rt::Addr unew = 0;
+  rt::Addr residual = 0;
+};
+
+/// Reads row `i` of grid `g` into host scratch (chunked views).
+void load_row(rt::ThreadCtx& ctx, rt::Addr g, std::uint32_t n, std::uint32_t i,
+              std::vector<double>& out) {
+  out.resize(n);
+  const rt::Addr row = g + static_cast<rt::Addr>(i) * n * sizeof(double);
+  rt::for_each_read_span<double>(ctx, row, n,
+                                 [&](std::span<const double> chunk, std::size_t at) {
+                                   std::copy(chunk.begin(), chunk.end(), out.begin() + at);
+                                 });
+  ctx.charge_mem_ops(n, 0);
+}
+
+void thread_body(rt::ThreadCtx& ctx, const JacobiParams& p, Shared& sh, rt::MutexId mtx,
+                 rt::BarrierId bar) {
+  const std::uint32_t t = ctx.index();
+  const std::uint32_t n = p.n;
+  const std::size_t grid_bytes = static_cast<std::size_t>(n) * n * sizeof(double);
+
+  // Block row partition of interior rows [1, n-1).
+  const std::uint32_t interior = n - 2;
+  const std::uint32_t chunk = (interior + p.threads - 1) / p.threads;
+  const std::uint32_t row_lo = 1 + t * chunk;
+  const std::uint32_t row_hi = std::min(n - 1, row_lo + chunk);
+
+  if (t == 0) {
+    sh.u = ctx.alloc_shared(grid_bytes);
+    sh.unew = ctx.alloc_shared(grid_bytes);
+    sh.residual = ctx.alloc_shared(sizeof(double));
+    ctx.write<double>(sh.residual, 0.0);
+  }
+  ctx.barrier(bar);
+
+  // Initialize this thread's rows (plus thread 0 does boundary rows).
+  auto init_row = [&](rt::Addr grid, std::uint32_t i) {
+    const rt::Addr row = grid + static_cast<rt::Addr>(i) * n * sizeof(double);
+    rt::for_each_write_span<double>(ctx, row, n,
+                                    [&](std::span<double> out, std::size_t at) {
+                                      for (std::size_t j = 0; j < out.size(); ++j) {
+                                        const std::uint32_t col =
+                                            static_cast<std::uint32_t>(at + j);
+                                        const bool edge = i == 0 || i == n - 1 ||
+                                                          col == 0 || col == n - 1;
+                                        out[j] = edge ? boundary_value(i, col, n) : 0.0;
+                                      }
+                                    });
+    ctx.charge_mem_ops(0, n);
+  };
+  for (std::uint32_t i = row_lo; i < row_hi; ++i) {
+    init_row(sh.u, i);
+    init_row(sh.unew, i);
+  }
+  if (t == 0) {
+    init_row(sh.u, 0);
+    init_row(sh.u, n - 1);
+    init_row(sh.unew, 0);
+    init_row(sh.unew, n - 1);
+  }
+  ctx.barrier(bar);
+
+  ctx.begin_measurement();
+  std::vector<double> up, mid, down;
+  for (std::uint32_t it = 0; it < p.iterations; ++it) {
+    // Sweep: unew = average of u's four neighbours; accumulate residual.
+    double local_res = 0.0;
+    for (std::uint32_t i = row_lo; i < row_hi; ++i) {
+      load_row(ctx, sh.u, n, i - 1, up);
+      load_row(ctx, sh.u, n, i, mid);
+      load_row(ctx, sh.u, n, i + 1, down);
+      const rt::Addr out_row = sh.unew + static_cast<rt::Addr>(i) * n * sizeof(double);
+      rt::for_each_write_span<double>(
+          ctx, out_row, n, [&](std::span<double> out, std::size_t at) {
+            for (std::size_t j = 0; j < out.size(); ++j) {
+              const std::size_t col = at + j;
+              if (col == 0 || col == n - 1) continue;  // boundary fixed
+              const double v =
+                  0.25 * (up[col] + down[col] + mid[col - 1] + mid[col + 1]);
+              const double d = v - mid[col];
+              local_res += d * d;
+              out[j] = v;
+            }
+          });
+      // 4 adds + 1 mul for the stencil, 2 for the residual per point.
+      ctx.charge_flops(7.0 * (n - 2));
+      ctx.charge_mem_ops(2 * n, n);
+    }
+    ctx.barrier(bar);
+
+    // Copy back: u = unew on this thread's rows.
+    for (std::uint32_t i = row_lo; i < row_hi; ++i) {
+      load_row(ctx, sh.unew, n, i, mid);
+      const rt::Addr out_row = sh.u + static_cast<rt::Addr>(i) * n * sizeof(double);
+      rt::for_each_write_span<double>(ctx, out_row, n,
+                                      [&](std::span<double> out, std::size_t at) {
+                                        for (std::size_t j = 0; j < out.size(); ++j) {
+                                          out[j] = mid[at + j];
+                                        }
+                                      });
+      ctx.charge_mem_ops(n, n);
+    }
+
+    // Mutex-protected global residual (reset by thread 0 each iteration).
+    ctx.lock(mtx);
+    const double g = ctx.read<double>(sh.residual);
+    ctx.write<double>(sh.residual, (it + 1 == p.iterations) ? g + local_res : 0.0);
+    ctx.charge_flops(1.0);
+    ctx.charge_mem_ops(1, 1);
+    ctx.unlock(mtx);
+    ctx.barrier(bar);
+  }
+  ctx.end_measurement();
+}
+
+}  // namespace
+
+JacobiResult run_jacobi(rt::Runtime& runtime, const JacobiParams& p) {
+  SAM_EXPECT(p.n >= 4, "grid too small");
+  SAM_EXPECT(p.threads >= 1 && p.threads <= p.n - 2, "bad thread count for grid");
+  Shared sh;
+  const rt::MutexId mtx = runtime.create_mutex();
+  const rt::BarrierId bar = runtime.create_barrier(p.threads);
+  runtime.parallel_run(p.threads,
+                       [&](rt::ThreadCtx& ctx) { thread_body(ctx, p, sh, mtx, bar); });
+
+  JacobiResult result;
+  result.elapsed_seconds = runtime.elapsed_seconds();
+  result.mean_compute_seconds = runtime.mean_compute_seconds();
+  result.mean_sync_seconds = runtime.mean_sync_seconds();
+  result.final_residual = runtime.read_global_array<double>(sh.residual, 1)[0];
+  return result;
+}
+
+double jacobi_reference_residual(const JacobiParams& p) {
+  const std::uint32_t n = p.n;
+  std::vector<double> u(static_cast<std::size_t>(n) * n, 0.0);
+  std::vector<double> unew(u);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      if (i == 0 || i == n - 1 || j == 0 || j == n - 1) {
+        u[i * n + j] = unew[i * n + j] = boundary_value(i, j, n);
+      }
+    }
+  }
+  double res = 0.0;
+  for (std::uint32_t it = 0; it < p.iterations; ++it) {
+    res = 0.0;
+    for (std::uint32_t i = 1; i + 1 < n; ++i) {
+      for (std::uint32_t j = 1; j + 1 < n; ++j) {
+        const double v = 0.25 * (u[(i - 1) * n + j] + u[(i + 1) * n + j] +
+                                 u[i * n + j - 1] + u[i * n + j + 1]);
+        const double d = v - u[i * n + j];
+        res += d * d;
+        unew[i * n + j] = v;
+      }
+    }
+    std::swap(u, unew);
+  }
+  return res;
+}
+
+}  // namespace sam::apps

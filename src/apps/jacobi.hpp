@@ -1,0 +1,35 @@
+// Jacobi application kernel (paper §III, Figure 12).
+//
+// Jacobi iteration for the linear system of a discrete Laplacian on an
+// n x n grid: the update at each interior point averages its four nearest
+// neighbours — "representative of many computations with a nearest neighbor
+// communication pattern". Rows are block-partitioned across threads; each
+// outer iteration uses a mutex-protected global residual and three barrier
+// synchronizations, exactly as the paper describes.
+#pragma once
+
+#include <cstdint>
+
+#include "rt/runtime.hpp"
+
+namespace sam::apps {
+
+struct JacobiParams {
+  std::uint32_t threads = 1;
+  std::uint32_t n = 256;       ///< grid dimension (n x n doubles)
+  std::uint32_t iterations = 10;
+};
+
+struct JacobiResult {
+  double elapsed_seconds = 0;
+  double mean_compute_seconds = 0;
+  double mean_sync_seconds = 0;
+  double final_residual = 0;   ///< correctness checksum
+};
+
+JacobiResult run_jacobi(rt::Runtime& runtime, const JacobiParams& params);
+
+/// Sequential reference residual after `iterations` sweeps.
+double jacobi_reference_residual(const JacobiParams& params);
+
+}  // namespace sam::apps

@@ -1,0 +1,128 @@
+#include "apps/matmul.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "rt/span_util.hpp"
+#include "util/expect.hpp"
+
+namespace sam::apps {
+
+namespace {
+
+/// Deterministic matrix entries (cheap, well-conditioned for checksums).
+double a_entry(std::uint32_t i, std::uint32_t j) {
+  return 1.0 + 0.001 * static_cast<double>((i * 31 + j * 17) % 64);
+}
+double b_entry(std::uint32_t i, std::uint32_t j) {
+  return 0.5 + 0.002 * static_cast<double>((i * 13 + j * 7) % 32);
+}
+
+struct Shared {
+  rt::Addr a = 0;
+  rt::Addr b = 0;
+  rt::Addr c = 0;
+};
+
+void thread_body(rt::ThreadCtx& ctx, const MatmulParams& p, Shared& sh,
+                 rt::BarrierId bar) {
+  const std::uint32_t t = ctx.index();
+  const std::uint32_t n = p.n;
+  const std::size_t row_bytes = static_cast<std::size_t>(n) * sizeof(double);
+  const std::uint32_t chunk = (n + p.threads - 1) / p.threads;
+  const std::uint32_t lo = std::min(n, t * chunk);
+  const std::uint32_t hi = std::min(n, lo + chunk);
+
+  if (t == 0) {
+    sh.a = ctx.alloc_shared(static_cast<std::size_t>(n) * row_bytes);
+    sh.b = ctx.alloc_shared(static_cast<std::size_t>(n) * row_bytes);
+    sh.c = ctx.alloc_shared(static_cast<std::size_t>(n) * row_bytes);
+  }
+  ctx.barrier(bar);
+
+  // Initialize own row blocks of A and B (partitioned init, like real codes).
+  auto init_rows = [&](rt::Addr m, double (*f)(std::uint32_t, std::uint32_t)) {
+    for (std::uint32_t i = lo; i < hi; ++i) {
+      rt::for_each_write_span<double>(
+          ctx, m + static_cast<rt::Addr>(i) * row_bytes, n,
+          [&](std::span<double> out, std::size_t at) {
+            for (std::size_t j = 0; j < out.size(); ++j) {
+              out[j] = f(i, static_cast<std::uint32_t>(at + j));
+            }
+          });
+      ctx.charge_mem_ops(0, n);
+    }
+  };
+  init_rows(sh.a, a_entry);
+  init_rows(sh.b, b_entry);
+  ctx.barrier(bar);
+
+  ctx.begin_measurement();
+  std::vector<double> a_row, b_row, c_row;
+  for (std::uint32_t i = lo; i < hi; ++i) {
+    a_row.resize(n);
+    rt::for_each_read_span<double>(ctx, sh.a + static_cast<rt::Addr>(i) * row_bytes, n,
+                                   [&](std::span<const double> v, std::size_t at) {
+                                     std::copy(v.begin(), v.end(), a_row.begin() + at);
+                                   });
+    ctx.charge_mem_ops(n, 0);
+    c_row.assign(n, 0.0);
+    for (std::uint32_t k = 0; k < n; ++k) {
+      const double aik = a_row[k];
+      b_row.resize(n);
+      rt::for_each_read_span<double>(ctx, sh.b + static_cast<rt::Addr>(k) * row_bytes, n,
+                                     [&](std::span<const double> v, std::size_t at) {
+                                       std::copy(v.begin(), v.end(), b_row.begin() + at);
+                                     });
+      for (std::uint32_t j = 0; j < n; ++j) c_row[j] += aik * b_row[j];
+      ctx.charge_flops(2.0 * n);     // fused multiply-add per element
+      ctx.charge_mem_ops(n, 0);      // streaming B row (C row stays hot)
+    }
+    rt::for_each_write_span<double>(ctx, sh.c + static_cast<rt::Addr>(i) * row_bytes, n,
+                                    [&](std::span<double> out, std::size_t at) {
+                                      std::copy(c_row.begin() + at,
+                                                c_row.begin() + at + out.size(),
+                                                out.begin());
+                                    });
+    ctx.charge_mem_ops(0, n);
+  }
+  ctx.barrier(bar);
+  ctx.end_measurement();
+}
+
+}  // namespace
+
+MatmulResult run_matmul(rt::Runtime& runtime, const MatmulParams& p) {
+  SAM_EXPECT(p.n >= 1 && p.threads >= 1, "bad matmul parameters");
+  SAM_EXPECT(p.threads <= p.n, "more threads than rows");
+  Shared sh;
+  const rt::BarrierId bar = runtime.create_barrier(p.threads);
+  runtime.parallel_run(p.threads,
+                       [&](rt::ThreadCtx& ctx) { thread_body(ctx, p, sh, bar); });
+
+  MatmulResult result;
+  result.elapsed_seconds = runtime.elapsed_seconds();
+  result.mean_compute_seconds = runtime.mean_compute_seconds();
+  result.mean_sync_seconds = runtime.mean_sync_seconds();
+  const auto c = runtime.read_global_array<double>(
+      sh.c, static_cast<std::size_t>(p.n) * p.n);
+  for (double v : c) result.checksum += v;
+  return result;
+}
+
+double matmul_reference_checksum(const MatmulParams& p) {
+  const std::uint32_t n = p.n;
+  double checksum = 0;
+  std::vector<double> b_col_sums(n, 0.0);
+  // checksum = sum_{i,j} C[i][j] = sum_{i,k} A[i][k] * (sum_j B[k][j])
+  std::vector<double> b_row_sums(n, 0.0);
+  for (std::uint32_t k = 0; k < n; ++k) {
+    for (std::uint32_t j = 0; j < n; ++j) b_row_sums[k] += b_entry(k, j);
+  }
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t k = 0; k < n; ++k) checksum += a_entry(i, k) * b_row_sums[k];
+  }
+  return checksum;
+}
+
+}  // namespace sam::apps

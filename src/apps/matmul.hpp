@@ -1,0 +1,35 @@
+// Dense matrix multiply kernel: the read-mostly sharing workload.
+//
+// C = A * B with C's rows block-partitioned across threads. Every thread
+// streams all of B, so B gets replicated read-only in every software cache —
+// the access pattern where a DSM is at its best (fetch once, hit forever;
+// no invalidations). Included as the counterpoint to the false-sharing
+// micro-benchmark: it demonstrates the other end of the sharing spectrum the
+// paper's introduction motivates (large shared data consumed by many
+// coprocessor cores).
+#pragma once
+
+#include <cstdint>
+
+#include "rt/runtime.hpp"
+
+namespace sam::apps {
+
+struct MatmulParams {
+  std::uint32_t threads = 1;
+  std::uint32_t n = 64;  ///< square matrix dimension
+};
+
+struct MatmulResult {
+  double elapsed_seconds = 0;
+  double mean_compute_seconds = 0;
+  double mean_sync_seconds = 0;
+  double checksum = 0;  ///< sum of all elements of C
+};
+
+MatmulResult run_matmul(rt::Runtime& runtime, const MatmulParams& params);
+
+/// Sequential reference checksum of C.
+double matmul_reference_checksum(const MatmulParams& params);
+
+}  // namespace sam::apps

@@ -1,0 +1,236 @@
+#include "apps/md.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "rt/span_util.hpp"
+#include "util/expect.hpp"
+#include "util/rng.hpp"
+
+namespace sam::apps {
+
+namespace {
+
+constexpr double kHalfPi = std::numbers::pi / 2.0;
+
+/// OmpSCR-style bounded pair potential: v(d) = sin^2(min(d, pi/2)).
+double pair_potential(double d) {
+  const double x = std::min(d, kHalfPi);
+  const double s = std::sin(x);
+  return s * s;
+}
+
+/// dv/dd of the pair potential.
+double pair_dpotential(double d) {
+  const double x = std::min(d, kHalfPi);
+  return 2.0 * std::sin(x) * std::cos(x);
+}
+
+struct Shared {
+  rt::Addr pos = 0;   // n*3 doubles
+  rt::Addr vel = 0;   // n*3 doubles
+  rt::Addr acc = 0;   // n*3 doubles
+  rt::Addr energy = 0;  // [potential, kinetic]
+};
+
+/// Loads `count` doubles at `addr` into host scratch.
+void load_doubles(rt::ThreadCtx& ctx, rt::Addr addr, std::size_t count,
+                  std::vector<double>& out) {
+  out.resize(count);
+  rt::for_each_read_span<double>(ctx, addr, count,
+                                 [&](std::span<const double> chunk, std::size_t at) {
+                                   std::copy(chunk.begin(), chunk.end(), out.begin() + at);
+                                 });
+  ctx.charge_mem_ops(count, 0);
+}
+
+/// Stores `vals` at `addr`.
+void store_doubles(rt::ThreadCtx& ctx, rt::Addr addr, const std::vector<double>& vals) {
+  rt::for_each_write_span<double>(ctx, addr, vals.size(),
+                                  [&](std::span<double> chunk, std::size_t at) {
+                                    std::copy(vals.begin() + at,
+                                              vals.begin() + at + chunk.size(),
+                                              chunk.begin());
+                                  });
+  ctx.charge_mem_ops(0, vals.size());
+}
+
+/// Deterministic initial positions shared by the parallel and reference runs.
+std::vector<double> initial_positions(const MdParams& p) {
+  util::SplitMix64 rng(p.seed);
+  std::vector<double> pos(static_cast<std::size_t>(p.particles) * 3);
+  for (double& v : pos) v = rng.next_double(0.0, p.box);
+  return pos;
+}
+
+void thread_body(rt::ThreadCtx& ctx, const MdParams& p, Shared& sh, rt::MutexId mtx,
+                 rt::BarrierId bar) {
+  const std::uint32_t t = ctx.index();
+  const std::uint32_t n = p.particles;
+  const std::size_t vec_bytes = static_cast<std::size_t>(n) * 3 * sizeof(double);
+
+  const std::uint32_t chunk = (n + p.threads - 1) / p.threads;
+  const std::uint32_t lo = t * chunk;
+  const std::uint32_t hi = std::min(n, lo + chunk);
+
+  if (t == 0) {
+    sh.pos = ctx.alloc_shared(vec_bytes);
+    sh.vel = ctx.alloc_shared(vec_bytes);
+    sh.acc = ctx.alloc_shared(vec_bytes);
+    sh.energy = ctx.alloc_shared(2 * sizeof(double));
+    const std::vector<double> pos0 = initial_positions(p);
+    store_doubles(ctx, sh.pos, pos0);
+    store_doubles(ctx, sh.vel, std::vector<double>(n * 3, 0.0));
+    store_doubles(ctx, sh.acc, std::vector<double>(n * 3, 0.0));
+    ctx.write<double>(sh.energy, 0.0);
+    ctx.write<double>(sh.energy + sizeof(double), 0.0);
+  }
+  ctx.barrier(bar);
+
+  ctx.begin_measurement();
+  std::vector<double> pos, my_vel, my_acc;
+  const rt::Addr my_off = static_cast<rt::Addr>(lo) * 3 * sizeof(double);
+  const std::size_t my_count = static_cast<std::size_t>(hi - lo) * 3;
+
+  for (std::uint32_t step = 0; step < p.steps; ++step) {
+    // Phase 0: reset the energy accumulators (thread 0, ordinary region —
+    // published by the barrier below).
+    if (t == 0) {
+      ctx.write<double>(sh.energy, 0.0);
+      ctx.write<double>(sh.energy + sizeof(double), 0.0);
+    }
+    ctx.barrier(bar);
+
+    // Phase 1: drift — update own positions from current vel and acc.
+    if (my_count > 0) {
+      load_doubles(ctx, sh.vel + my_off, my_count, my_vel);
+      load_doubles(ctx, sh.acc + my_off, my_count, my_acc);
+      std::vector<double> my_pos;
+      load_doubles(ctx, sh.pos + my_off, my_count, my_pos);
+      for (std::size_t k = 0; k < my_count; ++k) {
+        my_pos[k] += p.dt * my_vel[k] + 0.5 * p.dt * p.dt * my_acc[k];
+      }
+      ctx.charge_flops(5.0 * my_count);
+      store_doubles(ctx, sh.pos + my_off, my_pos);
+    }
+    ctx.barrier(bar);
+
+    // Phase 2: forces from all positions; kick own velocities; energies.
+    load_doubles(ctx, sh.pos, static_cast<std::size_t>(n) * 3, pos);
+    double local_pot = 0.0;
+    double local_kin = 0.0;
+    std::vector<double> new_acc(my_count, 0.0);
+    for (std::uint32_t i = lo; i < hi; ++i) {
+      const double xi = pos[3 * i], yi = pos[3 * i + 1], zi = pos[3 * i + 2];
+      double fx = 0, fy = 0, fz = 0;
+      for (std::uint32_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const double dx = xi - pos[3 * j];
+        const double dy = yi - pos[3 * j + 1];
+        const double dz = zi - pos[3 * j + 2];
+        const double d2 = dx * dx + dy * dy + dz * dz;
+        const double d = std::sqrt(std::max(d2, 1e-12));
+        local_pot += 0.5 * pair_potential(d);
+        const double f = -pair_dpotential(d) / d;
+        fx += f * dx;
+        fy += f * dy;
+        fz += f * dz;
+      }
+      // Per-pair cost on the modeled 2.8 GHz Xeon: 8 flops for the distance,
+      // ~20 cycles for sqrt, ~80 for sin+cos, ~20 for the divide, 6 for the
+      // force update — ~130 cycles ≈ 260 flop-equivalents at 2 flops/cycle.
+      // The paper's point is that per-particle work is O(n).
+      ctx.charge_flops(260.0 * n);
+      ctx.charge_mem_ops(3ull * n, 3);
+      new_acc[3 * (i - lo)] = fx;       // unit mass: a = f
+      new_acc[3 * (i - lo) + 1] = fy;
+      new_acc[3 * (i - lo) + 2] = fz;
+    }
+    // Kick: v += dt/2 (a_old + a_new); kinetic = 1/2 |v|^2 (unit mass).
+    for (std::size_t k = 0; k < my_count; ++k) {
+      my_vel[k] += 0.5 * p.dt * (my_acc[k] + new_acc[k]);
+      local_kin += 0.5 * my_vel[k] * my_vel[k];
+    }
+    ctx.charge_flops(7.0 * my_count);
+    if (my_count > 0) {
+      store_doubles(ctx, sh.vel + my_off, my_vel);
+      store_doubles(ctx, sh.acc + my_off, new_acc);
+    }
+
+    ctx.lock(mtx);
+    const double pot = ctx.read<double>(sh.energy);
+    const double kin = ctx.read<double>(sh.energy + sizeof(double));
+    ctx.write<double>(sh.energy, pot + local_pot);
+    ctx.write<double>(sh.energy + sizeof(double), kin + local_kin);
+    ctx.charge_flops(2.0);
+    ctx.charge_mem_ops(2, 2);
+    ctx.unlock(mtx);
+    ctx.barrier(bar);
+  }
+  ctx.end_measurement();
+}
+
+}  // namespace
+
+MdResult run_md(rt::Runtime& runtime, const MdParams& p) {
+  SAM_EXPECT(p.particles >= 2, "need at least two particles");
+  SAM_EXPECT(p.threads >= 1, "need at least one thread");
+  Shared sh;
+  const rt::MutexId mtx = runtime.create_mutex();
+  const rt::BarrierId bar = runtime.create_barrier(p.threads);
+  runtime.parallel_run(p.threads,
+                       [&](rt::ThreadCtx& ctx) { thread_body(ctx, p, sh, mtx, bar); });
+
+  MdResult result;
+  result.elapsed_seconds = runtime.elapsed_seconds();
+  result.mean_compute_seconds = runtime.mean_compute_seconds();
+  result.mean_sync_seconds = runtime.mean_sync_seconds();
+  result.potential = runtime.read_global_array<double>(sh.energy, 1)[0];
+  result.kinetic = runtime.read_global_array<double>(sh.energy + sizeof(double), 1)[0];
+  return result;
+}
+
+MdReference md_reference(const MdParams& p) {
+  const std::uint32_t n = p.particles;
+  std::vector<double> pos = initial_positions(p);
+  std::vector<double> vel(static_cast<std::size_t>(n) * 3, 0.0);
+  std::vector<double> acc(vel);
+  MdReference out;
+  for (std::uint32_t step = 0; step < p.steps; ++step) {
+    for (std::size_t k = 0; k < pos.size(); ++k) {
+      pos[k] += p.dt * vel[k] + 0.5 * p.dt * p.dt * acc[k];
+    }
+    double pot = 0.0, kin = 0.0;
+    std::vector<double> new_acc(pos.size(), 0.0);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      double fx = 0, fy = 0, fz = 0;
+      for (std::uint32_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const double dx = pos[3 * i] - pos[3 * j];
+        const double dy = pos[3 * i + 1] - pos[3 * j + 1];
+        const double dz = pos[3 * i + 2] - pos[3 * j + 2];
+        const double d = std::sqrt(std::max(dx * dx + dy * dy + dz * dz, 1e-12));
+        pot += 0.5 * pair_potential(d);
+        const double f = -pair_dpotential(d) / d;
+        fx += f * dx;
+        fy += f * dy;
+        fz += f * dz;
+      }
+      new_acc[3 * i] = fx;
+      new_acc[3 * i + 1] = fy;
+      new_acc[3 * i + 2] = fz;
+    }
+    for (std::size_t k = 0; k < vel.size(); ++k) {
+      vel[k] += 0.5 * p.dt * (acc[k] + new_acc[k]);
+      kin += 0.5 * vel[k] * vel[k];
+    }
+    acc = new_acc;
+    out.potential = pot;
+    out.kinetic = kin;
+  }
+  return out;
+}
+
+}  // namespace sam::apps

@@ -1,0 +1,42 @@
+// Molecular dynamics kernel (paper §III, Figure 13).
+//
+// Simple n-body simulation with velocity-Verlet time integration, modelled
+// on the OmpSCR "md" code the paper uses: every particle interacts with
+// every other (computation per particle is O(n)), kinetic and potential
+// energies are accumulated under a mutex, and each step performs three
+// barrier synchronizations.
+#pragma once
+
+#include <cstdint>
+
+#include "rt/runtime.hpp"
+
+namespace sam::apps {
+
+struct MdParams {
+  std::uint32_t threads = 1;
+  std::uint32_t particles = 256;
+  std::uint32_t steps = 5;
+  double dt = 1e-4;
+  double box = 10.0;     ///< initial positions sampled in [0, box)^3
+  std::uint64_t seed = 42;
+};
+
+struct MdResult {
+  double elapsed_seconds = 0;
+  double mean_compute_seconds = 0;
+  double mean_sync_seconds = 0;
+  double potential = 0;  ///< final-step potential energy (checksum)
+  double kinetic = 0;    ///< final-step kinetic energy (checksum)
+};
+
+MdResult run_md(rt::Runtime& runtime, const MdParams& params);
+
+/// Sequential reference energies after `steps` steps.
+struct MdReference {
+  double potential = 0;
+  double kinetic = 0;
+};
+MdReference md_reference(const MdParams& params);
+
+}  // namespace sam::apps

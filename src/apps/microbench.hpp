@@ -1,0 +1,51 @@
+// The paper's micro-benchmark (Figure 2), runtime-portable.
+//
+// Each compute thread owns S rows of B doubles. An inner loop of M
+// iterations performs two floating-point operations per element; after the
+// inner loop each thread adds its partial sum to a mutex-protected global
+// sum and waits at a barrier. The outer loop repeats N times. Memory layout
+// follows one of three strategies (§III):
+//   kLocal        — each thread allocates its own rows (no false sharing)
+//   kGlobal       — one shared allocation; thread i gets rows [i*S, i*S+S)
+//   kGlobalStrided— one shared allocation; thread i gets rows i, i+P, ...
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "rt/runtime.hpp"
+
+namespace sam::apps {
+
+enum class MicrobenchAlloc { kLocal, kGlobal, kGlobalStrided };
+
+const char* to_string(MicrobenchAlloc a);
+MicrobenchAlloc microbench_alloc_from_string(const std::string& s);
+
+struct MicrobenchParams {
+  std::uint32_t threads = 1;
+  int N = 10;    ///< outer iterations
+  int M = 10;    ///< inner compute iterations
+  int S = 2;     ///< rows per thread
+  int B = 256;   ///< doubles per row
+  double r = 0.9999995;  ///< per-element multiplier (keeps values sane)
+  MicrobenchAlloc alloc = MicrobenchAlloc::kLocal;
+};
+
+struct MicrobenchResult {
+  double mean_compute_seconds = 0;
+  double mean_sync_seconds = 0;
+  double elapsed_seconds = 0;
+  double gsum = 0;  ///< final global sum (correctness checksum)
+  std::uint64_t cache_misses = 0;
+  std::uint64_t bytes_flushed = 0;
+};
+
+/// Runs the micro-benchmark on any runtime. The runtime must be fresh
+/// (parallel_run not yet called).
+MicrobenchResult run_microbench(rt::Runtime& runtime, const MicrobenchParams& params);
+
+/// Sequential reference value of gsum for correctness checks.
+double microbench_reference_gsum(const MicrobenchParams& params);
+
+}  // namespace sam::apps

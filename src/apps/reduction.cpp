@@ -1,0 +1,137 @@
+#include "apps/reduction.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "rt/span_util.hpp"
+#include "util/expect.hpp"
+
+namespace sam::apps {
+
+const char* to_string(ReductionStrategy s) {
+  switch (s) {
+    case ReductionStrategy::kMutex: return "mutex";
+    case ReductionStrategy::kTree: return "tree";
+    case ReductionStrategy::kPaddedTree: return "padded-tree";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Value of item i of thread t (deterministic, order-independent sum).
+double item_value(std::uint32_t t, std::uint32_t i) {
+  return 1.0 + static_cast<double>((t * 131 + i * 17) % 97) / 97.0;
+}
+
+struct Shared {
+  rt::Addr data = 0;      // threads * items doubles
+  rt::Addr partials = 0;  // threads doubles (tree strategy)
+  rt::Addr result = 0;    // 1 double
+};
+
+void thread_body(rt::ThreadCtx& ctx, const ReductionParams& p, Shared& sh,
+                 rt::MutexId mtx, rt::BarrierId bar) {
+  const std::uint32_t t = ctx.index();
+  const std::size_t items = p.items_per_thread;
+  const std::size_t slice_bytes = items * sizeof(double);
+
+  // Padded layout gives every partial its own coherence unit. On Samhita
+  // the view granularity IS the software cache line; the SMP baseline
+  // reports an effectively unbounded granularity, so cap the padding at the
+  // largest DSM line size we model (16 KiB).
+  const std::size_t partial_stride =
+      p.strategy == ReductionStrategy::kPaddedTree
+          ? std::min<std::size_t>(ctx.view_granularity(), 16384)
+          : sizeof(double);
+  if (t == 0) {
+    sh.data = ctx.alloc_shared(p.threads * slice_bytes);
+    sh.partials = ctx.alloc_shared(p.threads * partial_stride);
+    sh.result = ctx.alloc_shared(sizeof(double));
+    ctx.write<double>(sh.result, 0.0);
+  }
+  ctx.barrier(bar);
+
+  const rt::Addr mine = sh.data + t * slice_bytes;
+  rt::for_each_write_span<double>(ctx, mine, items,
+                                  [&](std::span<double> out, std::size_t at) {
+                                    for (std::size_t k = 0; k < out.size(); ++k) {
+                                      out[k] = item_value(t, static_cast<std::uint32_t>(at + k));
+                                    }
+                                  });
+  ctx.charge_mem_ops(0, items);
+  ctx.barrier(bar);
+
+  ctx.begin_measurement();
+  for (std::uint32_t round = 0; round < p.rounds; ++round) {
+    if (t == 0) ctx.write<double>(sh.result, 0.0);
+    ctx.barrier(bar);
+
+    // Local phase: sum own slice (identical in both strategies).
+    double local = 0;
+    rt::for_each_read_span<double>(ctx, mine, items,
+                                   [&](std::span<const double> in, std::size_t) {
+                                     for (double v : in) local += v;
+                                   });
+    ctx.charge_flops(static_cast<double>(items));
+    ctx.charge_mem_ops(items, 0);
+
+    if (p.strategy == ReductionStrategy::kMutex) {
+      ctx.lock(mtx);
+      ctx.write<double>(sh.result, ctx.read<double>(sh.result) + local);
+      ctx.charge_flops(1);
+      ctx.unlock(mtx);
+      ctx.barrier(bar);
+    } else {
+      // Tree phase: publish the partial, then pairwise-combine over
+      // log2(P) barrier-separated rounds; thread 0 owns the final value.
+      const auto slot = [&](std::uint32_t who) {
+        return sh.partials + who * partial_stride;
+      };
+      ctx.write<double>(slot(t), local);
+      ctx.barrier(bar);
+      for (std::uint32_t stride = 1; stride < p.threads; stride *= 2) {
+        if (t % (2 * stride) == 0 && t + stride < p.threads) {
+          const double mine_v = ctx.read<double>(slot(t));
+          const double theirs = ctx.read<double>(slot(t + stride));
+          ctx.write<double>(slot(t), mine_v + theirs);
+          ctx.charge_flops(1);
+        }
+        ctx.barrier(bar);
+      }
+      if (t == 0) ctx.write<double>(sh.result, ctx.read<double>(slot(0)));
+      ctx.barrier(bar);
+    }
+  }
+  ctx.end_measurement();
+}
+
+}  // namespace
+
+ReductionResult run_reduction(rt::Runtime& runtime, const ReductionParams& p) {
+  SAM_EXPECT(p.threads >= 1 && p.items_per_thread >= 1 && p.rounds >= 1,
+             "bad reduction parameters");
+  Shared sh;
+  const auto mtx = runtime.create_mutex();
+  const auto bar = runtime.create_barrier(p.threads);
+  runtime.parallel_run(p.threads,
+                       [&](rt::ThreadCtx& ctx) { thread_body(ctx, p, sh, mtx, bar); });
+  ReductionResult r;
+  r.elapsed_seconds = runtime.elapsed_seconds();
+  r.mean_sync_seconds = runtime.mean_sync_seconds();
+  r.mean_compute_seconds = runtime.mean_compute_seconds();
+  r.value = runtime.read_global_array<double>(sh.result, 1)[0];
+  return r;
+}
+
+double reduction_reference(const ReductionParams& p) {
+  double total = 0;
+  for (std::uint32_t t = 0; t < p.threads; ++t) {
+    double local = 0;
+    for (std::uint32_t i = 0; i < p.items_per_thread; ++i) local += item_value(t, i);
+    total += local;
+  }
+  return total;
+}
+
+}  // namespace sam::apps

@@ -1,0 +1,51 @@
+// Global reduction strategies on virtual shared memory.
+//
+// Figure 11 shows Samhita synchronization is orders of magnitude more
+// expensive than Pthreads because it embeds consistency operations — which
+// means *how* an application reduces matters much more on a DSM than on a
+// coherent node. This kernel computes one global sum two ways:
+//
+//   kMutex      — every thread accumulates into one lock-protected scalar:
+//                 P serialized sync-service round trips per reduction, but
+//                 the stores travel as RegC fine-grain update sets (no page
+//                 thrash);
+//   kTree       — partials in a dense shared array combined pairwise over
+//                 log2(P) barrier rounds. Classic on coherent machines —
+//                 but the dense partials array false-shares at page
+//                 granularity, so every round invalidates and refetches;
+//   kPaddedTree — the classic DSM remedy: one cache line per partial.
+//
+// The ablation bench quantifies all three; each verifies against a
+// sequential reference.
+#pragma once
+
+#include <cstdint>
+
+#include "rt/runtime.hpp"
+
+namespace sam::apps {
+
+enum class ReductionStrategy { kMutex, kTree, kPaddedTree };
+
+const char* to_string(ReductionStrategy s);
+
+struct ReductionParams {
+  std::uint32_t threads = 1;
+  std::uint32_t items_per_thread = 4096;  ///< doubles summed locally first
+  std::uint32_t rounds = 10;              ///< repeated reductions
+  ReductionStrategy strategy = ReductionStrategy::kMutex;
+};
+
+struct ReductionResult {
+  double elapsed_seconds = 0;
+  double mean_sync_seconds = 0;
+  double mean_compute_seconds = 0;
+  double value = 0;  ///< final reduced value (checksum)
+};
+
+ReductionResult run_reduction(rt::Runtime& runtime, const ReductionParams& params);
+
+/// Sequential reference of the final reduced value.
+double reduction_reference(const ReductionParams& params);
+
+}  // namespace sam::apps

@@ -1,0 +1,3 @@
+#include "core/config.hpp"
+
+// Configuration is aggregate-initialized; this TU anchors the module.

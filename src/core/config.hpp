@@ -1,0 +1,132 @@
+// Configuration of a Samhita instance: topology, protocol knobs, cost model.
+//
+// Defaults model the paper's testbed (§III): six nodes of dual quad-core
+// 2.8 GHz Xeons on QDR InfiniBand; one node serving memory, one running the
+// manager, four providing up to 32 compute threads.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "mem/types.hpp"
+#include "util/time_types.hpp"
+
+namespace sam::core {
+
+/// Page-cache eviction policies (paper §II: "biased towards pages that have
+/// been written to"; LRU kept for the A2 ablation).
+enum class EvictionPolicy { kDirtyFirst, kLru };
+
+/// Thread placement over compute nodes (the manager's responsibility, §II).
+/// kBlock fills a node's cores before using the next node (fewer nodes in
+/// play at low thread counts); kScatter deals threads round-robin across
+/// nodes (more NICs available, more cross-node barrier traffic).
+enum class Placement { kBlock, kScatter };
+
+/// CPU cost model shared by both runtimes so compute time is comparable.
+struct ComputeCost {
+  double clock_ghz = 2.8;         ///< paper's Penryn/Harpertown Xeons
+  double flops_per_cycle = 2.0;   ///< scalar FP add+mul pipelines
+  double load_ns = 0.8;           ///< amortized streaming load
+  double store_ns = 0.8;          ///< amortized streaming store
+
+  SimDuration flops_time(double flops) const {
+    return from_seconds(flops / (clock_ghz * 1e9 * flops_per_cycle));
+  }
+  SimDuration mem_ops_time(std::uint64_t loads, std::uint64_t stores) const {
+    return from_seconds((static_cast<double>(loads) * load_ns +
+                         static_cast<double>(stores) * store_ns) *
+                        1e-9);
+  }
+};
+
+struct SamhitaConfig {
+  // --- topology -----------------------------------------------------------
+  unsigned memory_servers = 1;
+  unsigned compute_nodes = 4;
+  unsigned cores_per_node = 8;
+  /// "ib" (paper testbed), "pcie" (verbs proxy over PCIe), "scif" (§V).
+  std::string network = "ib";
+  /// Interconnect sensitivity multipliers: scale every latency component
+  /// and/or the payload bandwidth of the chosen network model. 1.0 = the
+  /// calibrated defaults. Used by the sensitivity benches to ask "how fast
+  /// must the fabric be for the DSM to keep scaling?".
+  double net_latency_scale = 1.0;
+  double net_bandwidth_scale = 1.0;
+
+  // --- address space / cache ----------------------------------------------
+  std::uint64_t address_space_bytes = 1ull << 32;  // 4 GiB virtual space
+  unsigned pages_per_line = 4;       ///< multi-page cache lines (§II)
+  std::uint64_t cache_capacity_bytes = 64ull << 20;  ///< per-thread software cache
+  bool prefetch_enabled = true;      ///< anticipatory paging of adjacent line
+  EvictionPolicy eviction = EvictionPolicy::kDirtyFirst;
+  Placement placement = Placement::kBlock;
+  bool trace_enabled = false;        ///< record protocol events (sim::TraceBuffer)
+  /// Debug validation: after every barrier's invalidation phase, verify
+  /// that each of the thread's resident *clean* lines is byte-identical to
+  /// the authoritative server state combined with outstanding dirty-holder
+  /// diffs. O(resident bytes) per barrier — test builds only.
+  bool paranoid_checks = false;
+  /// Collect per-demand-miss latency samples (ns) into Metrics.miss_latency.
+  bool collect_latency_histograms = false;
+
+  // --- fault injection (testing) -------------------------------------------
+  /// Adds uniform random delay in [0, network_jitter] ns to every message
+  /// delivery (seeded; see net::PerturbingNetwork). Functional results must
+  /// be invariant under any jitter — the protocol-robustness property.
+  SimDuration network_jitter = 0;
+  std::uint64_t jitter_seed = 1;
+
+  // --- allocator strategy thresholds (§II: three strategies) --------------
+  std::size_t arena_threshold = 32768;       ///< < this: per-thread arena
+  std::size_t stripe_threshold = 1 << 20;    ///< >= this: striped across servers
+  std::size_t arena_chunk_bytes = 1 << 20;   ///< arena refill granularity
+  std::size_t stripe_bytes = 1 << 16;        ///< stripe unit for large allocs
+
+  // --- protocol local costs -----------------------------------------------
+  SimDuration cache_lookup = 25;     ///< software-cache hit check per view
+  SimDuration manager_service = 400; ///< manager request handling
+  SimDuration invalidate_per_line = 150;
+  double local_copy_bw = 8.0e9;      ///< twin/diff memcpy bandwidth (B/s)
+
+  // --- §V future-work switches ---------------------------------------------
+  /// Service synchronization locally instead of via the manager node
+  /// (valid when all compute threads share one node; A4 ablation).
+  bool local_sync = false;
+
+  /// RegC fine-grain consistency-region updates (store log + update sets).
+  /// When disabled, critical-section stores fall back to page-granularity
+  /// eager-release consistency: flush dirty pages at release, invalidate
+  /// the lock's release set at acquire (Munin-style). A6 ablation — this is
+  /// the design choice RegC §II motivates.
+  bool finegrain_updates = true;
+
+  ComputeCost cost;
+
+  // Derived quantities -------------------------------------------------------
+  std::size_t line_bytes() const { return pages_per_line * mem::kPageSize; }
+  unsigned max_threads() const { return compute_nodes * cores_per_node; }
+  unsigned total_nodes() const { return memory_servers + 1 + compute_nodes; }
+  /// Node layout: [0, memory_servers) servers, then manager, then compute.
+  unsigned manager_node() const { return memory_servers; }
+  unsigned compute_node(unsigned thread) const {
+    const unsigned base = memory_servers + 1;
+    if (placement == Placement::kScatter) {
+      return base + (thread % compute_nodes);
+    }
+    // Block placement: fill one node's cores, then the next — matches how
+    // the paper schedules up to 8 threads per node.
+    return base + (thread / cores_per_node);
+  }
+
+  SimDuration twin_time() const {
+    return from_seconds(static_cast<double>(line_bytes()) / local_copy_bw);
+  }
+  SimDuration diff_scan_time() const {
+    // Compare twin and working copy: two streams read.
+    return from_seconds(2.0 * static_cast<double>(line_bytes()) / local_copy_bw);
+  }
+};
+
+}  // namespace sam::core

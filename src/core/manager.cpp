@@ -1,0 +1,44 @@
+#include "core/manager.hpp"
+
+#include "util/expect.hpp"
+
+namespace sam::core {
+
+Manager::Manager(net::NodeId node, SimDuration service_time)
+    : node_(node), service_time_(service_time) {}
+
+rt::MutexId Manager::create_mutex() {
+  mutexes_.emplace_back();
+  mutexes_.back().seen.assign(mem::kMaxThreads, 0);
+  mutexes_.back().seen_page_seq.assign(mem::kMaxThreads, 0);
+  return static_cast<rt::MutexId>(mutexes_.size() - 1);
+}
+
+rt::CondId Manager::create_cond() {
+  conds_.emplace_back();
+  return static_cast<rt::CondId>(conds_.size() - 1);
+}
+
+rt::BarrierId Manager::create_barrier(std::uint32_t parties) {
+  SAM_EXPECT(parties >= 1, "barrier needs at least one party");
+  barriers_.emplace_back();
+  barriers_.back().parties = parties;
+  return static_cast<rt::BarrierId>(barriers_.size() - 1);
+}
+
+Manager::Mutex& Manager::mutex(rt::MutexId id) {
+  SAM_EXPECT(id < mutexes_.size(), "unknown mutex id");
+  return mutexes_[id];
+}
+
+Manager::Cond& Manager::cond(rt::CondId id) {
+  SAM_EXPECT(id < conds_.size(), "unknown condition variable id");
+  return conds_[id];
+}
+
+Manager::Barrier& Manager::barrier(rt::BarrierId id) {
+  SAM_EXPECT(id < barriers_.size(), "unknown barrier id");
+  return barriers_[id];
+}
+
+}  // namespace sam::core

@@ -1,0 +1,92 @@
+// The Samhita manager: allocation, synchronization, thread placement (§II).
+//
+// The manager is a service running on its own node. Compute threads reach it
+// via SCL RPCs; its CPU is a sim::Resource so concurrent synchronization
+// traffic queues (the §V observation that "Samhita performs all
+// synchronization operations using a manager [which] adds additional
+// overhead" falls out of this structure, and the local_sync config switch
+// removes it for the A4 ablation).
+//
+// Manager holds the *functional* state of every mutex, condition variable
+// and barrier, including the RegC update windows attached to locks. The
+// timed choreography (who waits until when) lives in SamThreadCtx.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/types.hpp"
+#include "net/network_model.hpp"
+#include "regc/update_set.hpp"
+#include "rt/runtime.hpp"
+#include "sim/coop_scheduler.hpp"
+#include "sim/resource.hpp"
+
+namespace sam::core {
+
+class Manager {
+ public:
+  struct Waiter {
+    mem::ThreadIdx thread;
+    sim::SimThread* sim_thread;
+  };
+
+  struct Mutex {
+    std::optional<mem::ThreadIdx> holder;
+    std::deque<Waiter> waiters;
+    regc::UpdateWindow window;                       ///< RegC update sets
+    std::vector<std::uint64_t> seen;                 ///< per-thread high-water seq
+    std::uint64_t acquisitions = 0;
+    std::uint64_t contended_acquisitions = 0;
+
+    // Page-grain fallback state (config.finegrain_updates == false):
+    // pages flushed by releases of this lock, stamped with a release
+    // sequence so each acquirer invalidates exactly the pages released
+    // since it last held the lock.
+    std::uint64_t release_counter = 0;
+    std::unordered_map<mem::PageId, std::uint64_t> page_release_seq;
+    std::vector<std::uint64_t> seen_page_seq;        ///< per-thread high-water
+  };
+
+  struct Cond {
+    std::deque<Waiter> waiters;
+    std::vector<rt::MutexId> waiter_mutex;  ///< parallel to waiters
+  };
+
+  struct Barrier {
+    std::uint32_t parties = 0;
+    std::vector<Waiter> arrived;
+    SimTime last_arrival_service_done = 0;
+    std::uint64_t generation = 0;
+  };
+
+  Manager(net::NodeId node, SimDuration service_time);
+
+  net::NodeId node() const { return node_; }
+  sim::Resource& service() { return service_; }
+  SimDuration service_time() const { return service_time_; }
+
+  rt::MutexId create_mutex();
+  rt::CondId create_cond();
+  rt::BarrierId create_barrier(std::uint32_t parties);
+
+  Mutex& mutex(rt::MutexId id);
+  Cond& cond(rt::CondId id);
+  Barrier& barrier(rt::BarrierId id);
+
+  std::size_t mutex_count() const { return mutexes_.size(); }
+  std::size_t barrier_count() const { return barriers_.size(); }
+
+ private:
+  net::NodeId node_;
+  SimDuration service_time_;
+  sim::Resource service_{"manager"};
+  std::vector<Mutex> mutexes_;
+  std::vector<Cond> conds_;
+  std::vector<Barrier> barriers_;
+};
+
+}  // namespace sam::core

@@ -1,0 +1,3 @@
+#include "core/metrics.hpp"
+
+// Plain data; this TU anchors the module in the library archive.

@@ -1,0 +1,54 @@
+// Per-thread accounting of where virtual time goes.
+//
+// The paper's evaluation (§III) splits application runtime into *compute
+// time* and *synchronization time*; demand-paging stalls during computation
+// count as compute (that is how false sharing inflates the compute curves in
+// Figs 4/5/7/8), while consistency operations performed inside lock/unlock/
+// barrier count as synchronization (Figs 10/11).
+#pragma once
+
+#include <cstdint>
+
+#include "util/stats.hpp"
+#include "util/time_types.hpp"
+
+namespace sam::core {
+
+struct Metrics {
+  // Time buckets (ns of virtual time inside the measured phase).
+  SimDuration compute_ns = 0;
+  SimDuration sync_lock_ns = 0;
+  SimDuration sync_barrier_ns = 0;
+  SimDuration alloc_ns = 0;
+
+  // Protocol event counters.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t prefetch_issued = 0;
+  std::uint64_t prefetch_hits = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t invalidations = 0;
+  std::uint64_t twins_created = 0;
+  std::uint64_t diffs_flushed = 0;
+  std::uint64_t bytes_fetched = 0;
+  std::uint64_t bytes_flushed = 0;
+  std::uint64_t update_set_bytes = 0;
+
+  /// Per-demand-miss stall latencies in ns (only populated when
+  /// config.collect_latency_histograms is set).
+  util::SampleSet miss_latency;
+
+  // Measured phase boundaries (virtual time).
+  SimTime measure_begin = 0;
+  SimTime measure_end = 0;
+  bool measuring = false;
+
+  SimDuration sync_ns() const { return sync_lock_ns + sync_barrier_ns; }
+  SimDuration measured_ns() const {
+    return measure_end > measure_begin ? measure_end - measure_begin : 0;
+  }
+
+  void reset_counters() { *this = Metrics{}; }
+};
+
+}  // namespace sam::core

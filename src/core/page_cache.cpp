@@ -1,0 +1,129 @@
+#include "core/page_cache.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace sam::core {
+
+PageCache::PageCache(const SamhitaConfig* config, mem::ThreadIdx owner)
+    : config_(config), owner_(owner) {
+  SAM_EXPECT(config != nullptr, "null config");
+  SAM_EXPECT(config->pages_per_line >= 1 && config->pages_per_line <= 64,
+             "pages_per_line must be in [1, 64] (dirty mask width)");
+}
+
+PageCache::Line* PageCache::find(LineId line) {
+  auto it = lines_.find(line);
+  return it == lines_.end() ? nullptr : it->second.get();
+}
+
+const PageCache::Line* PageCache::find(LineId line) const {
+  auto it = lines_.find(line);
+  return it == lines_.end() ? nullptr : it->second.get();
+}
+
+PageCache::Line& PageCache::install(LineId line, std::vector<std::byte> data,
+                                    SimTime ready_time, bool prefetched) {
+  SAM_EXPECT(!contains(line), "line already resident");
+  SAM_EXPECT(data.size() == config_->line_bytes(), "line data size mismatch");
+  auto l = std::make_unique<Line>();
+  l->id = line;
+  l->data = std::move(data);
+  l->ready_time = ready_time;
+  l->prefetched = prefetched;
+  l->last_use = ++use_counter_;
+  Line& ref = *l;
+  lines_.emplace(line, std::move(l));
+  return ref;
+}
+
+void PageCache::erase(LineId line) {
+  const auto n = lines_.erase(line);
+  SAM_EXPECT(n == 1, "erase of non-resident line");
+}
+
+void PageCache::make_twin(Line& line) {
+  SAM_EXPECT(line.twin.empty(), "twin already exists");
+  line.twin = line.data;
+}
+
+void PageCache::mark_written(Line& line, mem::GAddr addr, std::size_t n) {
+  SAM_EXPECT(n > 0, "empty write range");
+  SAM_EXPECT(!line.twin.empty(), "mark_written before make_twin");
+  const mem::GAddr base = line_base(line.id);
+  SAM_EXPECT(addr >= base && addr + n <= base + config_->line_bytes(),
+             "write range outside line");
+  line.dirty = true;
+  const std::size_t first = (addr - base) / mem::kPageSize;
+  const std::size_t last = (addr + n - 1 - base) / mem::kPageSize;
+  for (std::size_t p = first; p <= last; ++p) {
+    line.dirty_page_mask |= (std::uint64_t{1} << p);
+  }
+}
+
+std::vector<mem::PageId> PageCache::dirty_pages(const Line& line) const {
+  std::vector<mem::PageId> out;
+  for (unsigned p = 0; p < config_->pages_per_line; ++p) {
+    if (line.dirty_page_mask & (std::uint64_t{1} << p)) {
+      out.push_back(first_page(line.id) + p);
+    }
+  }
+  return out;
+}
+
+void PageCache::clean(Line& line) {
+  line.dirty = false;
+  line.dirty_page_mask = 0;
+  line.twin.clear();
+  line.twin.shrink_to_fit();
+}
+
+std::vector<PageCache::Line*> PageCache::dirty_lines() {
+  std::vector<Line*> out;
+  for (auto& [id, l] : lines_) {
+    if (l->dirty) out.push_back(l.get());
+  }
+  // Deterministic order regardless of hash iteration.
+  std::sort(out.begin(), out.end(), [](const Line* a, const Line* b) { return a->id < b->id; });
+  return out;
+}
+
+std::size_t PageCache::capacity_lines() const {
+  const std::size_t lines = config_->cache_capacity_bytes / config_->line_bytes();
+  return std::max<std::size_t>(lines, 1);
+}
+
+PageCache::Line* PageCache::pick_victim(const std::function<bool(const Line&)>& pinned) {
+  Line* best = nullptr;
+  // Dirty-first policy: prefer the least-recently-used *dirty* line; fall
+  // back to plain LRU when nothing dirty is evictable. Plain LRU ignores
+  // dirtiness entirely.
+  auto better = [&](const Line* cand, const Line* cur) {
+    if (config_->eviction == EvictionPolicy::kDirtyFirst) {
+      if (cand->dirty != cur->dirty) return cand->dirty;
+    }
+    return cand->last_use < cur->last_use;
+  };
+  for (auto& [id, l] : lines_) {
+    if (pinned && pinned(*l)) continue;
+    if (!best) {
+      best = l.get();
+    } else if (better(l.get(), best)) {
+      best = l.get();
+    } else if (!better(best, l.get()) && l->id < best->id) {
+      best = l.get();  // deterministic tie-break on line id
+    }
+  }
+  return best;
+}
+
+std::vector<LineId> PageCache::resident_line_ids() const {
+  std::vector<LineId> out;
+  out.reserve(lines_.size());
+  for (const auto& [id, l] : lines_) out.push_back(id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace sam::core

@@ -1,0 +1,111 @@
+// Per-thread software cache of the shared global address space (paper §II).
+//
+// Samhita "views the problem of providing a shared global address space as a
+// cache management problem": each compute thread accesses the space through
+// a local software cache filled by demand paging. To exploit spatial
+// locality the cache operates on *lines of multiple pages* and prefetches
+// the adjacent line on a miss; when full, eviction is biased towards pages
+// that have been written (they can be reclaimed by flushing, keeping hot
+// read-only data resident).
+//
+// PageCache holds functional state only (real bytes, twins, dirty masks);
+// the timed protocol (fetch RPCs, diff flushes) is orchestrated by
+// SamThreadCtx, which owns the virtual clock.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.hpp"
+#include "mem/types.hpp"
+#include "util/time_types.hpp"
+
+namespace sam::core {
+
+/// Cache-line index: PageId / pages_per_line.
+using LineId = std::uint64_t;
+
+class PageCache {
+ public:
+  struct Line {
+    LineId id = 0;
+    std::vector<std::byte> data;          ///< line_bytes of cached content
+    std::vector<std::byte> twin;          ///< pristine copy; empty until first write
+    bool dirty = false;                   ///< has unflushed ordinary-region writes
+    std::uint64_t dirty_page_mask = 0;    ///< bit per page within the line
+    SimTime ready_time = 0;               ///< when an async fetch completes
+    bool prefetched = false;              ///< fetched by prefetch, not yet demanded
+    std::uint64_t last_use = 0;           ///< LRU stamp
+  };
+
+  PageCache(const SamhitaConfig* config, mem::ThreadIdx owner);
+
+  // --- geometry -------------------------------------------------------------
+  LineId line_of_page(mem::PageId p) const { return p / config_->pages_per_line; }
+  LineId line_of_addr(mem::GAddr a) const { return line_of_page(mem::page_of(a)); }
+  mem::GAddr line_base(LineId l) const {
+    return static_cast<mem::GAddr>(l) * config_->line_bytes();
+  }
+  mem::PageId first_page(LineId l) const { return l * config_->pages_per_line; }
+
+  // --- lookup / residency -----------------------------------------------------
+  Line* find(LineId line);
+  const Line* find(LineId line) const;
+  bool contains(LineId line) const { return lines_.count(line) != 0; }
+
+  /// Installs a line with the given content. The line must not be resident.
+  Line& install(LineId line, std::vector<std::byte> data, SimTime ready_time,
+                bool prefetched);
+
+  /// Removes a line (invalidation or post-flush eviction).
+  void erase(LineId line);
+
+  /// Marks a line most-recently-used.
+  void touch(Line& line) { line.last_use = ++use_counter_; }
+
+  // --- write tracking ----------------------------------------------------------
+  /// True if the line needs a twin before accepting an ordinary-region write.
+  bool needs_twin(const Line& line) const { return line.twin.empty(); }
+
+  /// Creates the twin (pristine snapshot) of the line.
+  void make_twin(Line& line);
+
+  /// Marks [addr, addr+n) written in the ordinary region; twin must exist.
+  void mark_written(Line& line, mem::GAddr addr, std::size_t n);
+
+  /// Pages (global ids) covered by a line's dirty mask.
+  std::vector<mem::PageId> dirty_pages(const Line& line) const;
+
+  /// Clears dirty state after a flush (drops the twin).
+  void clean(Line& line);
+
+  std::vector<Line*> dirty_lines();
+
+  // --- capacity / eviction --------------------------------------------------
+  std::size_t resident_lines() const { return lines_.size(); }
+  std::size_t resident_bytes() const { return lines_.size() * config_->line_bytes(); }
+  std::size_t capacity_lines() const;
+  bool over_capacity() const { return resident_lines() > capacity_lines(); }
+
+  /// Chooses an eviction victim per the configured policy, skipping lines
+  /// for which `pinned` returns true. Returns nullptr if nothing evictable.
+  Line* pick_victim(const std::function<bool(const Line&)>& pinned);
+
+  /// Enumerates resident line ids (stable order for deterministic walks).
+  std::vector<LineId> resident_line_ids() const;
+
+  mem::ThreadIdx owner() const { return owner_; }
+  const SamhitaConfig& config() const { return *config_; }
+
+ private:
+  const SamhitaConfig* config_;
+  mem::ThreadIdx owner_;
+  std::unordered_map<LineId, std::unique_ptr<Line>> lines_;
+  std::uint64_t use_counter_ = 0;
+};
+
+}  // namespace sam::core

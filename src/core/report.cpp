@@ -1,0 +1,71 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace sam::core {
+
+RunSummary summarize(const SamhitaRuntime& runtime) {
+  RunSummary s;
+  s.threads = runtime.ran_threads();
+  s.elapsed_seconds = runtime.elapsed_seconds();
+  s.mean_compute_seconds = runtime.mean_compute_seconds();
+  s.mean_sync_seconds = runtime.mean_sync_seconds();
+  for (std::uint32_t t = 0; t < s.threads; ++t) {
+    const Metrics& m = runtime.metrics(t);
+    s.max_compute_seconds = std::max(s.max_compute_seconds, to_seconds(m.compute_ns));
+    s.max_sync_seconds = std::max(s.max_sync_seconds, to_seconds(m.sync_ns()));
+    s.cache_hits += m.cache_hits;
+    s.cache_misses += m.cache_misses;
+    s.prefetch_issued += m.prefetch_issued;
+    s.prefetch_hits += m.prefetch_hits;
+    s.invalidations += m.invalidations;
+    s.evictions += m.evictions;
+    s.twins += m.twins_created;
+    s.diffs_flushed += m.diffs_flushed;
+    s.bytes_fetched += m.bytes_fetched;
+    s.bytes_flushed += m.bytes_flushed;
+    s.update_set_bytes += m.update_set_bytes;
+  }
+  s.network_messages = runtime.network_messages();
+  s.network_bytes = runtime.network_bytes();
+  return s;
+}
+
+std::string format_report(const RunSummary& s) {
+  char buf[256];
+  std::string out;
+  auto line = [&](const char* fmt, auto... args) {
+    std::snprintf(buf, sizeof buf, fmt, args...);
+    out += buf;
+    out += '\n';
+  };
+  line("samhita run report (%u threads)", s.threads);
+  line("  time    elapsed %.3f ms | compute mean %.3f / max %.3f ms | sync mean %.3f / max %.3f ms",
+       s.elapsed_seconds * 1e3, s.mean_compute_seconds * 1e3, s.max_compute_seconds * 1e3,
+       s.mean_sync_seconds * 1e3, s.max_sync_seconds * 1e3);
+  line("  cache   %llu hits / %llu misses (%.2f%% hit rate), %llu evictions",
+       static_cast<unsigned long long>(s.cache_hits),
+       static_cast<unsigned long long>(s.cache_misses), s.hit_rate() * 100.0,
+       static_cast<unsigned long long>(s.evictions));
+  line("  paging  %llu prefetches issued, %llu hit before demand",
+       static_cast<unsigned long long>(s.prefetch_issued),
+       static_cast<unsigned long long>(s.prefetch_hits));
+  line("  regc    %llu twins, %llu diffs flushed, %llu invalidations, %.1f KiB update sets",
+       static_cast<unsigned long long>(s.twins),
+       static_cast<unsigned long long>(s.diffs_flushed),
+       static_cast<unsigned long long>(s.invalidations),
+       static_cast<double>(s.update_set_bytes) / 1024.0);
+  line("  traffic %.2f MiB fetched, %.2f MiB flushed, %llu messages (%.2f MiB on the wire)",
+       static_cast<double>(s.bytes_fetched) / (1 << 20),
+       static_cast<double>(s.bytes_flushed) / (1 << 20),
+       static_cast<unsigned long long>(s.network_messages),
+       static_cast<double>(s.network_bytes) / (1 << 20));
+  return out;
+}
+
+std::string format_report(const SamhitaRuntime& runtime) {
+  return format_report(summarize(runtime));
+}
+
+}  // namespace sam::core

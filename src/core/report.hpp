@@ -1,0 +1,51 @@
+// Human-readable run reports: where did the virtual time and bytes go?
+//
+// Aggregates per-thread Metrics plus platform counters (network, memory
+// servers, manager) into a summary structure and a formatted table, used by
+// the examples and handy in any downstream application.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/samhita_runtime.hpp"
+
+namespace sam::core {
+
+struct RunSummary {
+  std::uint32_t threads = 0;
+  double elapsed_seconds = 0;
+  double mean_compute_seconds = 0;
+  double mean_sync_seconds = 0;
+  double max_compute_seconds = 0;
+  double max_sync_seconds = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t prefetch_issued = 0;
+  std::uint64_t prefetch_hits = 0;
+  std::uint64_t invalidations = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t twins = 0;
+  std::uint64_t diffs_flushed = 0;
+  std::uint64_t bytes_fetched = 0;
+  std::uint64_t bytes_flushed = 0;
+  std::uint64_t update_set_bytes = 0;
+  std::uint64_t network_messages = 0;
+  std::uint64_t network_bytes = 0;
+
+  double hit_rate() const {
+    const auto total = cache_hits + cache_misses;
+    return total == 0 ? 0.0 : static_cast<double>(cache_hits) / static_cast<double>(total);
+  }
+};
+
+/// Collects the summary from a finished SamhitaRuntime.
+RunSummary summarize(const SamhitaRuntime& runtime);
+
+/// Renders a multi-line human-readable report.
+std::string format_report(const RunSummary& summary);
+
+/// Convenience: summarize + format.
+std::string format_report(const SamhitaRuntime& runtime);
+
+}  // namespace sam::core

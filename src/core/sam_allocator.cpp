@@ -1,0 +1,143 @@
+#include "core/sam_allocator.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace sam::core {
+
+namespace {
+/// All strategies hand out 64-byte-aligned blocks (matches typical malloc
+/// alignment and keeps doubles/vectors naturally aligned).
+constexpr std::size_t kAllocAlign = 64;
+
+std::size_t round_up(std::size_t v, std::size_t align) {
+  return (v + align - 1) / align * align;
+}
+}  // namespace
+
+SamAllocator::SamAllocator(const SamhitaConfig* config, mem::GlobalAddressSpace* gas)
+    : config_(config), gas_(gas), arenas_(mem::kMaxThreads) {
+  SAM_EXPECT(config != nullptr && gas != nullptr, "null config/gas");
+  SAM_EXPECT(config->arena_chunk_bytes % config->line_bytes() == 0,
+             "arena chunks must be whole cache lines");
+  SAM_EXPECT(config->stripe_bytes % config->line_bytes() == 0,
+             "stripe unit must be whole cache lines");
+}
+
+mem::PageId SamAllocator::reserve_pages(std::uint64_t pages) {
+  const mem::PageId first = next_page_;
+  SAM_EXPECT((first + pages) * mem::kPageSize <= gas_->size_bytes(),
+             "global address space exhausted");
+  next_page_ += pages;
+  return first;
+}
+
+mem::GAddr SamAllocator::alloc(mem::ThreadIdx t, std::size_t bytes, AllocOutcome& outcome) {
+  SAM_EXPECT(bytes > 0, "zero-byte allocation");
+  SAM_EXPECT(t < arenas_.size(), "thread index out of range");
+  outcome = AllocOutcome{};
+  mem::GAddr addr;
+  if (bytes < config_->arena_threshold) {
+    addr = alloc_arena(t, bytes, outcome);
+  } else if (bytes < config_->stripe_threshold) {
+    addr = alloc_zone(bytes, outcome);
+  } else {
+    addr = alloc_striped(bytes, outcome);
+  }
+  live_.emplace(addr, bytes);
+  return addr;
+}
+
+mem::GAddr SamAllocator::alloc_shared(std::size_t bytes, AllocOutcome& outcome) {
+  SAM_EXPECT(bytes > 0, "zero-byte allocation");
+  outcome = AllocOutcome{};
+  const mem::GAddr addr = bytes >= config_->stripe_threshold
+                              ? alloc_striped(bytes, outcome)
+                              : alloc_zone(bytes, outcome);
+  live_.emplace(addr, bytes);
+  return addr;
+}
+
+mem::GAddr SamAllocator::alloc_arena(mem::ThreadIdx t, std::size_t bytes,
+                                     AllocOutcome& outcome) {
+  outcome.strategy = AllocOutcome::Strategy::kArena;
+  const std::size_t need = round_up(bytes, kAllocAlign);
+  Arena& arena = arenas_[t];
+  if (arena.remaining < need) {
+    // Refill: one manager round trip reserves a fresh private chunk whose
+    // pages are homed on one server (rotating across servers per refill).
+    const std::uint64_t pages = config_->arena_chunk_bytes / mem::kPageSize;
+    const mem::PageId first = reserve_pages(pages);
+    gas_->assign_home(first, pages, next_home_);
+    next_home_ = (next_home_ + 1) % gas_->server_count();
+    arena.cursor = mem::page_base(first);
+    arena.remaining = config_->arena_chunk_bytes;
+    outcome.manager_rpcs += 1;
+    outcome.arena_refilled = true;
+    SAM_EXPECT(arena.remaining >= need, "allocation larger than arena chunk");
+  }
+  const mem::GAddr addr = arena.cursor;
+  arena.cursor += need;
+  arena.remaining -= need;
+  return addr;
+}
+
+mem::GAddr SamAllocator::alloc_zone(std::size_t bytes, AllocOutcome& outcome) {
+  outcome.strategy = AllocOutcome::Strategy::kZone;
+  outcome.manager_rpcs += 1;  // zone allocations always contact the manager
+  // Zone allocations are rounded to whole cache lines so that two different
+  // threads' separate allocations never share a line — the Samhita
+  // allocator's "no false sharing between independent allocations"
+  // guarantee (§II). False sharing can still arise *within* one allocation
+  // partitioned across threads, which is what the global micro-benchmark
+  // variants exercise.
+  const std::size_t need = round_up(bytes, config_->line_bytes());
+  if (zone_.remaining < need) {
+    const std::size_t chunk_bytes =
+        std::max<std::size_t>(round_up(need, mem::kPageSize), config_->arena_chunk_bytes);
+    const std::uint64_t pages = chunk_bytes / mem::kPageSize;
+    const mem::PageId first = reserve_pages(pages);
+    gas_->assign_home(first, pages, next_home_);
+    next_home_ = (next_home_ + 1) % gas_->server_count();
+    zone_.cursor = mem::page_base(first);
+    zone_.remaining = chunk_bytes;
+  }
+  const mem::GAddr addr = zone_.cursor;
+  zone_.cursor += need;
+  zone_.remaining -= need;
+  return addr;
+}
+
+mem::GAddr SamAllocator::alloc_striped(std::size_t bytes, AllocOutcome& outcome) {
+  outcome.strategy = AllocOutcome::Strategy::kStriped;
+  outcome.manager_rpcs += 1;
+  // Round the whole region up to a multiple of the stripe unit and deal
+  // stripes to the servers round-robin, so sequential pages spread load.
+  const std::size_t region = round_up(bytes, config_->stripe_bytes);
+  const std::uint64_t pages = region / mem::kPageSize;
+  const mem::PageId first = reserve_pages(pages);
+  const std::uint64_t stripe_pages = config_->stripe_bytes / mem::kPageSize;
+  unsigned server = next_home_;
+  for (std::uint64_t p = 0; p < pages; p += stripe_pages) {
+    const std::uint64_t count = std::min<std::uint64_t>(stripe_pages, pages - p);
+    gas_->assign_home(first + p, count, server);
+    server = (server + 1) % gas_->server_count();
+  }
+  next_home_ = server;
+  return mem::page_base(first);
+}
+
+void SamAllocator::free(mem::ThreadIdx t, mem::GAddr addr) {
+  (void)t;
+  const auto n = live_.erase(addr);
+  SAM_EXPECT(n == 1, "free of address that is not a live allocation");
+}
+
+std::size_t SamAllocator::allocation_size(mem::GAddr addr) const {
+  auto it = live_.find(addr);
+  SAM_EXPECT(it != live_.end(), "allocation_size of unknown address");
+  return it->second;
+}
+
+}  // namespace sam::core

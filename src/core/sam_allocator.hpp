@@ -1,0 +1,79 @@
+// The Samhita memory allocator: three size-based strategies (paper §II).
+//
+//   1. Small requests come from per-thread *arenas* handled locally — no
+//      manager round trip, and no false sharing between threads because
+//      arenas are cache-line-aligned chunks private to one thread.
+//   2. Medium requests go to the manager, which carves them from a shared
+//      *zone* (zone chunks rotate across memory servers).
+//   3. Large requests are *striped* across all memory servers to avoid
+//      hot-spotting a single server.
+//
+// The allocator manages virtual-address-space layout and home assignment;
+// the calling ThreadCtx charges the simulated cost using the returned
+// outcome (how many manager RPCs the strategy needed).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.hpp"
+#include "mem/global_address_space.hpp"
+#include "mem/types.hpp"
+
+namespace sam::core {
+
+/// Which strategy served an allocation and what it cost in protocol terms.
+struct AllocOutcome {
+  enum class Strategy { kArena, kZone, kStriped } strategy = Strategy::kArena;
+  unsigned manager_rpcs = 0;   ///< round trips to the manager
+  bool arena_refilled = false; ///< small path had to grab a new arena chunk
+};
+
+class SamAllocator {
+ public:
+  SamAllocator(const SamhitaConfig* config, mem::GlobalAddressSpace* gas);
+
+  /// Allocates `bytes` on behalf of thread `t`. Never returns kNullGAddr.
+  mem::GAddr alloc(mem::ThreadIdx t, std::size_t bytes, AllocOutcome& outcome);
+
+  /// Allocates shared data: always via the manager (zone, or striped when
+  /// large), never from a private arena, regardless of size.
+  mem::GAddr alloc_shared(std::size_t bytes, AllocOutcome& outcome);
+
+  /// Releases an allocation (metadata only; address space is not recycled,
+  /// which matches the prototype's bump-style arenas).
+  void free(mem::ThreadIdx t, mem::GAddr addr);
+
+  /// Size of a live allocation.
+  std::size_t allocation_size(mem::GAddr addr) const;
+  bool is_live(mem::GAddr addr) const { return live_.count(addr) != 0; }
+  std::size_t live_count() const { return live_.size(); }
+
+  /// Bytes of address space consumed so far (diagnostics / tests).
+  std::uint64_t reserved_bytes() const { return next_page_ * mem::kPageSize; }
+
+ private:
+  struct Arena {
+    mem::GAddr cursor = mem::kNullGAddr;
+    std::size_t remaining = 0;
+  };
+
+  /// Reserves `pages` fresh pages of virtual address space.
+  mem::PageId reserve_pages(std::uint64_t pages);
+
+  mem::GAddr alloc_arena(mem::ThreadIdx t, std::size_t bytes, AllocOutcome& outcome);
+  mem::GAddr alloc_zone(std::size_t bytes, AllocOutcome& outcome);
+  mem::GAddr alloc_striped(std::size_t bytes, AllocOutcome& outcome);
+
+  const SamhitaConfig* config_;
+  mem::GlobalAddressSpace* gas_;
+  mem::PageId next_page_ = 0;
+  std::vector<Arena> arenas_;          // indexed by thread
+  Arena zone_;                         // shared zone bump state
+  unsigned next_home_ = 0;             // round-robin server assignment
+  std::unordered_map<mem::GAddr, std::size_t> live_;
+};
+
+}  // namespace sam::core

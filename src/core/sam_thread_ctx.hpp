@@ -1,0 +1,157 @@
+// SamThreadCtx: one Samhita compute thread's runtime context.
+//
+// Implements rt::ThreadCtx on top of the simulated platform: every memory
+// view goes through the thread's software PageCache (demand paging,
+// prefetch, twins, store logs), and every synchronization call performs the
+// RegC consistency choreography (flush diffs / ship update sets / invalidate
+// falsely-shared lines) with fully timed transport and service booking.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/page_cache.hpp"
+#include "net/network_model.hpp"
+#include "regc/diff.hpp"
+#include "regc/region_tracker.hpp"
+#include "regc/store_log.hpp"
+#include "rt/runtime.hpp"
+#include "sim/coop_scheduler.hpp"
+#include "sim/resource.hpp"
+#include "sim/trace.hpp"
+
+namespace sam::core {
+
+class SamhitaRuntime;
+
+class SamThreadCtx final : public rt::ThreadCtx {
+ public:
+  SamThreadCtx(SamhitaRuntime* rt, mem::ThreadIdx idx, std::uint32_t nthreads);
+
+  // --- rt::ThreadCtx -----------------------------------------------------
+  std::uint32_t index() const override { return idx_; }
+  std::uint32_t nthreads() const override { return nthreads_; }
+  SimTime now() const override;
+
+  rt::Addr alloc(std::size_t bytes) override;
+  rt::Addr alloc_shared(std::size_t bytes) override;
+  void free(rt::Addr addr) override;
+
+  std::span<const std::byte> read_view(rt::Addr addr, std::size_t bytes) override;
+  std::span<std::byte> write_view(rt::Addr addr, std::size_t bytes) override;
+  std::size_t view_granularity() const override;
+
+  void charge_flops(double flops) override;
+  void charge_mem_ops(std::uint64_t loads, std::uint64_t stores) override;
+
+  void lock(rt::MutexId m) override;
+  void unlock(rt::MutexId m) override;
+  void cond_wait(rt::CondId c, rt::MutexId m) override;
+  void cond_signal(rt::CondId c) override;
+  void cond_broadcast(rt::CondId c) override;
+  void barrier(rt::BarrierId b) override;
+
+  void begin_measurement() override;
+  void end_measurement() override;
+
+  // --- internal wiring (used by SamhitaRuntime) -----------------------------
+  /// Binds the context to the SimThread that runs it (call first in body).
+  void on_thread_start();
+  /// Finalizes measurement if the kernel did not call end_measurement().
+  void on_thread_end();
+
+  /// Functionally applies every remaining dirty line to the servers (no
+  /// timing) — end-of-run publication for verification.
+  void flush_remaining_functional();
+
+  Metrics& metrics() { return metrics_; }
+  const Metrics& metrics() const { return metrics_; }
+  PageCache& cache() { return cache_; }
+  net::NodeId node() const { return node_; }
+
+ private:
+  enum class Bucket { kCompute, kLock, kBarrier, kAlloc };
+
+  /// Advances the thread clock by `d` and accounts it to `bucket`.
+  void charge(SimDuration d, Bucket bucket);
+  /// Records a protocol trace event (no-op unless tracing is enabled).
+  void trace(sim::TraceKind kind, std::uint64_t object, std::uint64_t detail);
+  /// Charges allocator bookkeeping plus any manager round trips it needed.
+  void charge_alloc_outcome(const struct AllocOutcome& outcome);
+  /// Accounts already-elapsed time [t0, clock) to `bucket`.
+  void account_since(SimTime t0, Bucket bucket);
+
+  SimTime clock() const;
+
+  /// Node + service resource pair for synchronization traffic (manager, or
+  /// the local node's sync service under config.local_sync).
+  net::NodeId sync_node() const;
+  sim::Resource& sync_service();
+  SimDuration sync_service_time() const;
+
+  /// Makes [line] resident (demand fetch + adjacent-line prefetch) and
+  /// charges the stall to `bucket`. Returns the resident line.
+  PageCache::Line& ensure_line(LineId line, Bucket bucket);
+  void issue_prefetch(LineId line);
+  void evict_for_space(Bucket bucket);
+
+  /// Diffs a dirty line against its twin, ships it home, cleans the line.
+  void flush_line(PageCache::Line& line, Bucket bucket);
+  void flush_all_dirty(Bucket bucket);
+  /// Barrier flush policy: flush only dirty lines some other thread
+  /// currently caches ("move only the minimum amount of data required",
+  /// paper §III). Unshared dirty lines stay local and are pulled lazily.
+  void flush_shared_dirty(Bucket bucket);
+  /// Pulls other threads' unflushed diffs for `line` into the home server.
+  /// Models the server requesting diffs from dirty holders before serving
+  /// the fetch; returns when the server copy is current.
+  SimTime lazy_pull(LineId line, SimTime at_server);
+  /// True if another thread holds unflushed modifications to `line`.
+  bool has_remote_dirty_holder(LineId line) const;
+
+  /// Drops resident lines written by other threads in the closed epoch.
+  void invalidate_stale(Bucket bucket);
+
+  /// Debug validation (config.paranoid_checks): resident clean lines with no
+  /// outstanding dirty holders must match the authoritative server bytes.
+  void validate_clean_lines();
+
+  /// Applies pending update sets of mutex `m` to this thread's cache.
+  void apply_update_sets(rt::MutexId m, Bucket bucket);
+
+  /// Page-grain fallback (A6 ablation): at acquire, drop cached lines whose
+  /// pages were released under `m` since this thread last saw it.
+  void invalidate_lock_pages(rt::MutexId m, Bucket bucket);
+  /// Page-grain fallback: at release, flush all dirty lines and stamp their
+  /// pages into the lock's release set.
+  void publish_pages_on_release(rt::MutexId m, Bucket bucket);
+
+  /// Acquire-side consistency actions (fine-grain or page-grain).
+  void acquire_consistency(rt::MutexId m, Bucket bucket);
+
+  /// Materializes the store log into a fine-grain diff (reads the values
+  /// out of the cache) and clears the log.
+  regc::Diff materialize_store_log();
+
+  std::span<std::byte> view_common(rt::Addr addr, std::size_t bytes, bool for_write);
+
+  /// Releases mutex `m` at manager-service time `t_served`, granting it to
+  /// the next waiter (if any). Shared by unlock() and cond_wait().
+  void release_mutex_at(rt::MutexId m, SimTime t_served);
+
+  SamhitaRuntime* rt_;
+  mem::ThreadIdx idx_;
+  std::uint32_t nthreads_;
+  net::NodeId node_;
+  sim::SimThread* sim_thread_ = nullptr;
+  PageCache cache_;
+  Metrics metrics_;
+  regc::RegionTracker regions_;
+  regc::StoreLog store_log_;
+  std::set<LineId> pinned_lines_;  ///< lines with unmaterialized store-log data
+};
+
+}  // namespace sam::core

@@ -1,0 +1,140 @@
+#include "core/samhita_runtime.hpp"
+
+#include <algorithm>
+
+#include "core/sam_thread_ctx.hpp"
+#include "net/perturbing_network.hpp"
+#include "util/expect.hpp"
+#include "util/logger.hpp"
+
+namespace sam::core {
+
+namespace {
+/// Stagger between consecutive thread spawns: the manager performs thread
+/// placement (paper §II), which costs a round trip per thread.
+constexpr SimDuration kSpawnStagger = 5 * timeunits::kMicrosecond;
+}  // namespace
+
+namespace {
+std::unique_ptr<net::NetworkModel> build_network(const SamhitaConfig& config) {
+  auto base = net::make_network_scaled(config.network, config.total_nodes(),
+                                       config.net_latency_scale,
+                                       config.net_bandwidth_scale);
+  if (config.network_jitter == 0) return base;
+  return std::make_unique<net::PerturbingNetwork>(std::move(base), config.network_jitter,
+                                                  config.jitter_seed);
+}
+}  // namespace
+
+SamhitaRuntime::SamhitaRuntime(SamhitaConfig config)
+    : config_(config),
+      net_(build_network(config)),
+      scl_(net_.get()),
+      gas_(config.address_space_bytes, config.memory_servers),
+      manager_(config.manager_node(), config.manager_service),
+      allocator_(&config_, &gas_) {
+  SAM_EXPECT(config_.memory_servers >= 1, "need at least one memory server");
+  servers_.reserve(config_.memory_servers);
+  for (unsigned i = 0; i < config_.memory_servers; ++i) {
+    // Memory servers occupy nodes [0, memory_servers).
+    servers_.emplace_back(static_cast<mem::ServerIdx>(i), static_cast<net::NodeId>(i));
+  }
+  trace_.set_enabled(config_.trace_enabled);
+  node_sync_.reserve(config_.total_nodes());
+  for (unsigned n = 0; n < config_.total_nodes(); ++n) {
+    node_sync_.emplace_back("node-sync-" + std::to_string(n));
+  }
+}
+
+SamhitaRuntime::~SamhitaRuntime() = default;
+
+mem::MemoryServer& SamhitaRuntime::home_server(mem::PageId page) {
+  return servers_.at(gas_.home(page));
+}
+
+const mem::MemoryServer& SamhitaRuntime::home_server(mem::PageId page) const {
+  return servers_.at(gas_.home(page));
+}
+
+void SamhitaRuntime::write_global_bytes(mem::GAddr addr, const std::byte* in, std::size_t n) {
+  while (n > 0) {
+    const mem::PageId p = mem::page_of(addr);
+    const std::size_t off = mem::page_offset(addr);
+    const std::size_t chunk = std::min(n, mem::kPageSize - off);
+    home_server(p).write_bytes(addr, in, chunk);
+    addr += chunk;
+    in += chunk;
+    n -= chunk;
+  }
+}
+
+void SamhitaRuntime::apply_diff_global(const regc::Diff& diff) {
+  for (const auto& r : diff.ranges()) {
+    write_global_bytes(r.addr, r.data.data(), r.data.size());
+  }
+}
+
+void SamhitaRuntime::read_global(rt::Addr addr, std::byte* out, std::size_t bytes) const {
+  while (bytes > 0) {
+    const mem::PageId p = mem::page_of(addr);
+    const std::size_t off = mem::page_offset(addr);
+    const std::size_t chunk = std::min(bytes, mem::kPageSize - off);
+    home_server(p).read_bytes(addr, out, chunk);
+    addr += chunk;
+    out += chunk;
+    bytes -= chunk;
+  }
+}
+
+void SamhitaRuntime::parallel_run(std::uint32_t nthreads,
+                                  const std::function<void(rt::ThreadCtx&)>& body) {
+  SAM_EXPECT(!ran_, "parallel_run may be called once per runtime instance");
+  SAM_EXPECT(nthreads >= 1, "need at least one compute thread");
+  SAM_EXPECT(nthreads <= config_.max_threads(),
+             "more threads than the configured platform provides");
+  SAM_EXPECT(nthreads <= mem::kMaxThreads, "thread count exceeds directory mask width");
+  ran_ = true;
+
+  ctxs_.reserve(nthreads);
+  for (std::uint32_t i = 0; i < nthreads; ++i) {
+    ctxs_.push_back(std::make_unique<SamThreadCtx>(this, static_cast<mem::ThreadIdx>(i),
+                                                   nthreads));
+  }
+  for (std::uint32_t i = 0; i < nthreads; ++i) {
+    SamThreadCtx* ctx = ctxs_[i].get();
+    sched_.spawn("compute-" + std::to_string(i), static_cast<SimTime>(i) * kSpawnStagger,
+                 [ctx, &body] {
+                   ctx->on_thread_start();
+                   body(*ctx);
+                   ctx->on_thread_end();
+                 });
+  }
+  sched_.run();
+
+  // Publish any remaining unshared dirty lines so the memory servers hold
+  // the authoritative final state (read_global / verification).
+  for (auto& ctx : ctxs_) ctx->flush_remaining_functional();
+}
+
+rt::ThreadReport SamhitaRuntime::report(std::uint32_t thread) const {
+  const Metrics& m = metrics(thread);
+  rt::ThreadReport r;
+  r.compute_seconds = to_seconds(m.compute_ns);
+  r.sync_seconds = to_seconds(m.sync_ns());
+  r.measured_seconds = to_seconds(m.measured_ns());
+  r.cache_misses = m.cache_misses;
+  r.bytes_fetched = m.bytes_fetched;
+  r.bytes_flushed = m.bytes_flushed;
+  return r;
+}
+
+std::uint32_t SamhitaRuntime::ran_threads() const {
+  return static_cast<std::uint32_t>(ctxs_.size());
+}
+
+const Metrics& SamhitaRuntime::metrics(std::uint32_t thread) const {
+  SAM_EXPECT(thread < ctxs_.size(), "thread index out of range");
+  return ctxs_[thread]->metrics();
+}
+
+}  // namespace sam::core

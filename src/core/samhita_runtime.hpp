@@ -1,0 +1,96 @@
+// SamhitaRuntime: the complete simulated Samhita instance.
+//
+// Owns the platform (network model, memory servers, manager node), the
+// shared global address space, the allocator, the page directory, and the
+// cooperative scheduler that executes compute threads. Implements
+// rt::Runtime so application kernels run on it unchanged.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/manager.hpp"
+#include "core/metrics.hpp"
+#include "core/sam_allocator.hpp"
+#include "mem/directory.hpp"
+#include "mem/global_address_space.hpp"
+#include "mem/memory_server.hpp"
+#include "net/network_model.hpp"
+#include "regc/diff.hpp"
+#include "rt/runtime.hpp"
+#include "scl/scl.hpp"
+#include "sim/coop_scheduler.hpp"
+#include "sim/trace.hpp"
+
+namespace sam::core {
+
+class SamThreadCtx;
+
+class SamhitaRuntime final : public rt::Runtime {
+ public:
+  explicit SamhitaRuntime(SamhitaConfig config = {});
+  ~SamhitaRuntime() override;
+
+  // --- rt::Runtime ----------------------------------------------------------
+  const std::string& name() const override { return name_; }
+  rt::MutexId create_mutex() override { return manager_.create_mutex(); }
+  rt::CondId create_cond() override { return manager_.create_cond(); }
+  rt::BarrierId create_barrier(std::uint32_t parties) override {
+    return manager_.create_barrier(parties);
+  }
+  void parallel_run(std::uint32_t nthreads,
+                    const std::function<void(rt::ThreadCtx&)>& body) override;
+  rt::ThreadReport report(std::uint32_t thread) const override;
+  std::uint32_t ran_threads() const override;
+  void read_global(rt::Addr addr, std::byte* out, std::size_t bytes) const override;
+
+  // --- inspection -------------------------------------------------------------
+  const SamhitaConfig& config() const { return config_; }
+  const Metrics& metrics(std::uint32_t thread) const;
+  std::uint64_t network_messages() const { return net_->message_count(); }
+  std::uint64_t network_bytes() const { return net_->bytes_sent(); }
+  const mem::Directory& directory() const { return directory_; }
+  const SamAllocator& allocator() const { return allocator_; }
+  const std::vector<mem::MemoryServer>& servers() const { return servers_; }
+  /// Protocol event trace (populated when config.trace_enabled).
+  const sim::TraceBuffer& trace() const { return trace_; }
+  sim::TraceBuffer& trace() { return trace_; }
+
+  /// Writes bytes into the authoritative space, routing by page home.
+  void write_global_bytes(mem::GAddr addr, const std::byte* in, std::size_t n);
+  /// Applies every range of a diff to the home memory servers.
+  void apply_diff_global(const regc::Diff& diff);
+
+ private:
+  friend class SamThreadCtx;
+
+  mem::MemoryServer& home_server(mem::PageId page);
+  const mem::MemoryServer& home_server(mem::PageId page) const;
+
+  std::string name_ = "samhita";
+  SamhitaConfig config_;
+  std::unique_ptr<net::NetworkModel> net_;
+  scl::Scl scl_;
+  mem::GlobalAddressSpace gas_;
+  std::vector<mem::MemoryServer> servers_;
+  Manager manager_;
+  mem::Directory directory_;
+  SamAllocator allocator_;
+  /// Per-compute-node sync service used when config.local_sync is enabled
+  /// (§V: avoid contacting the manager on a single-node system).
+  std::vector<sim::Resource> node_sync_;
+  sim::CoopScheduler sched_;
+  sim::TraceBuffer trace_;
+  std::vector<std::unique_ptr<SamThreadCtx>> ctxs_;
+  /// Write map snapshot of the epoch closed by the most recent barrier
+  /// release; consumed by waking threads for invalidation.
+  std::unordered_map<mem::PageId, mem::ThreadMask> epoch_snapshot_;
+  bool ran_ = false;
+};
+
+}  // namespace sam::core

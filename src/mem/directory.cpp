@@ -1,0 +1,56 @@
+#include "mem/directory.hpp"
+
+#include "util/expect.hpp"
+
+namespace sam::mem {
+
+void Directory::note_cached(PageId page, ThreadIdx t) {
+  SAM_EXPECT(t < kMaxThreads, "thread index exceeds directory mask width");
+  copysets_[page] |= thread_bit(t);
+}
+
+void Directory::note_evicted(PageId page, ThreadIdx t) {
+  auto it = copysets_.find(page);
+  if (it == copysets_.end()) return;
+  it->second &= ~thread_bit(t);
+  if (it->second == 0) copysets_.erase(it);
+}
+
+ThreadMask Directory::copyset(PageId page) const {
+  auto it = copysets_.find(page);
+  return it == copysets_.end() ? 0 : it->second;
+}
+
+void Directory::note_write(PageId page, ThreadIdx t) {
+  SAM_EXPECT(t < kMaxThreads, "thread index exceeds directory mask width");
+  epoch_writers_[page] |= thread_bit(t);
+}
+
+ThreadMask Directory::epoch_writers(PageId page) const {
+  auto it = epoch_writers_.find(page);
+  return it == epoch_writers_.end() ? 0 : it->second;
+}
+
+void Directory::note_dirty(PageId page, ThreadIdx t) {
+  SAM_EXPECT(t < kMaxThreads, "thread index exceeds directory mask width");
+  dirty_holders_[page] |= thread_bit(t);
+}
+
+void Directory::clear_dirty(PageId page, ThreadIdx t) {
+  auto it = dirty_holders_.find(page);
+  if (it == dirty_holders_.end()) return;
+  it->second &= ~thread_bit(t);
+  if (it->second == 0) dirty_holders_.erase(it);
+}
+
+ThreadMask Directory::dirty_holders(PageId page) const {
+  auto it = dirty_holders_.find(page);
+  return it == dirty_holders_.end() ? 0 : it->second;
+}
+
+void Directory::end_epoch() {
+  epoch_writers_.clear();
+  ++epoch_;
+}
+
+}  // namespace sam::mem

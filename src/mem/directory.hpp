@@ -1,0 +1,57 @@
+// Page directory: copysets and per-epoch writer sets.
+//
+// The directory lets the runtime answer two questions at each consistency
+// point (RegC barrier epochs):
+//   - which threads hold a cached copy of page p (copyset), and
+//   - which threads wrote p during the current epoch (writer set).
+// A thread must invalidate its copy of p at a barrier iff some *other*
+// thread wrote p this epoch — that re-fetch is the false-sharing compute
+// penalty the paper's figures 4/5/7/8 measure.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "mem/types.hpp"
+
+namespace sam::mem {
+
+class Directory {
+ public:
+  // --- copyset maintenance (driven by cache fill / eviction) ---
+  void note_cached(PageId page, ThreadIdx t);
+  void note_evicted(PageId page, ThreadIdx t);
+  ThreadMask copyset(PageId page) const;
+
+  // --- epoch writer tracking (driven by stores in ordinary regions) ---
+  void note_write(PageId page, ThreadIdx t);
+  ThreadMask epoch_writers(PageId page) const;
+
+  // --- dirty-holder tracking (drives lazy diff pulls) ---
+  // A thread holding unflushed ordinary-region modifications to a page is a
+  // *dirty holder*. Synchronization moves "only the minimum amount of data
+  // required" (paper §III): at a barrier a thread flushes only lines someone
+  // else currently caches; anyone who later fetches a page with dirty
+  // holders pulls their diffs on demand.
+  void note_dirty(PageId page, ThreadIdx t);
+  void clear_dirty(PageId page, ThreadIdx t);
+  ThreadMask dirty_holders(PageId page) const;
+
+  /// Pages written during the current epoch, with their writer masks.
+  const std::unordered_map<PageId, ThreadMask>& epoch_write_map() const {
+    return epoch_writers_;
+  }
+
+  /// Closes the epoch: clears writer sets and bumps the epoch counter.
+  void end_epoch();
+
+  std::uint64_t epoch() const { return epoch_; }
+
+ private:
+  std::unordered_map<PageId, ThreadMask> copysets_;
+  std::unordered_map<PageId, ThreadMask> epoch_writers_;
+  std::unordered_map<PageId, ThreadMask> dirty_holders_;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace sam::mem

@@ -1,0 +1,33 @@
+#include "mem/global_address_space.hpp"
+
+#include "util/expect.hpp"
+
+namespace sam::mem {
+
+GlobalAddressSpace::GlobalAddressSpace(std::uint64_t size_bytes, unsigned servers)
+    : size_(size_bytes), servers_(servers) {
+  SAM_EXPECT(servers >= 1, "need at least one memory server");
+  SAM_EXPECT(size_bytes % kPageSize == 0, "address space size must be page aligned");
+}
+
+void GlobalAddressSpace::assign_home(PageId first, std::uint64_t count, ServerIdx home) {
+  SAM_EXPECT(home < servers_, "server index out of range");
+  SAM_EXPECT((first + count) * kPageSize <= size_, "page range beyond address space");
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const PageId p = first + i;
+    SAM_EXPECT(assignments_.find(p) == assignments_.end(), "page already assigned a home");
+    assignments_.emplace(p, home);
+  }
+}
+
+ServerIdx GlobalAddressSpace::home(PageId page) const {
+  auto it = assignments_.find(page);
+  SAM_EXPECT(it != assignments_.end(), "page has no home (not allocated)");
+  return it->second;
+}
+
+bool GlobalAddressSpace::is_assigned(PageId page) const {
+  return assignments_.find(page) != assignments_.end();
+}
+
+}  // namespace sam::mem

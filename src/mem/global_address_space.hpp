@@ -1,0 +1,43 @@
+// The shared global address space: page-granular home assignment.
+//
+// Samhita separates *serving* memory from *consuming* it (paper §II). The
+// GlobalAddressSpace tracks, for every page, which memory server is its
+// home. Homes are assigned by the allocator (arena pages, shared-zone pages,
+// or striped pages for large allocations) and never move.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/types.hpp"
+
+namespace sam::mem {
+
+class GlobalAddressSpace {
+ public:
+  /// `size_bytes` is the capacity of the virtual shared address space;
+  /// `servers` is the number of memory servers backing it.
+  GlobalAddressSpace(std::uint64_t size_bytes, unsigned servers);
+
+  std::uint64_t size_bytes() const { return size_; }
+  unsigned server_count() const { return servers_; }
+
+  /// Assigns the home server of a page range. Pages must be unassigned.
+  void assign_home(PageId first, std::uint64_t count, ServerIdx home);
+
+  /// Home server of a page. The page must have been assigned.
+  ServerIdx home(PageId page) const;
+
+  bool is_assigned(PageId page) const;
+
+  /// Number of pages currently assigned (diagnostics).
+  std::uint64_t assigned_pages() const { return assignments_.size(); }
+
+ private:
+  std::uint64_t size_;
+  unsigned servers_;
+  std::unordered_map<PageId, ServerIdx> assignments_;
+};
+
+}  // namespace sam::mem

@@ -1,0 +1,70 @@
+#include "mem/memory_server.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+
+#include "util/expect.hpp"
+
+namespace sam::mem {
+
+MemoryServer::MemoryServer(ServerIdx idx, net::NodeId node, Params params)
+    : idx_(idx), node_(node), params_(params), service_("memserver-" + std::to_string(idx)) {}
+
+std::byte* MemoryServer::frame(PageId page) {
+  auto it = frames_.find(page);
+  if (it == frames_.end()) {
+    auto f = std::make_unique<Frame>();
+    f->fill(std::byte{0});
+    it = frames_.emplace(page, std::move(f)).first;
+  }
+  return it->second->data();
+}
+
+const std::byte* MemoryServer::frame_if_exists(PageId page) const {
+  auto it = frames_.find(page);
+  return it == frames_.end() ? nullptr : it->second->data();
+}
+
+void MemoryServer::read_page(PageId page, std::byte* out) const {
+  if (const std::byte* f = frame_if_exists(page)) {
+    std::memcpy(out, f, kPageSize);
+  } else {
+    std::memset(out, 0, kPageSize);
+  }
+}
+
+void MemoryServer::read_bytes(GAddr addr, std::byte* out, std::size_t n) const {
+  while (n > 0) {
+    const PageId p = page_of(addr);
+    const std::size_t off = page_offset(addr);
+    const std::size_t chunk = std::min(n, kPageSize - off);
+    if (const std::byte* f = frame_if_exists(p)) {
+      std::memcpy(out, f + off, chunk);
+    } else {
+      std::memset(out, 0, chunk);
+    }
+    out += chunk;
+    addr += chunk;
+    n -= chunk;
+  }
+}
+
+void MemoryServer::write_bytes(GAddr addr, const std::byte* in, std::size_t n) {
+  while (n > 0) {
+    const PageId p = page_of(addr);
+    const std::size_t off = page_offset(addr);
+    const std::size_t chunk = std::min(n, kPageSize - off);
+    std::memcpy(frame(p) + off, in, chunk);
+    in += chunk;
+    addr += chunk;
+    n -= chunk;
+  }
+}
+
+SimDuration MemoryServer::service_time(std::size_t bytes) const {
+  return params_.request_overhead +
+         from_seconds(static_cast<double>(bytes) / params_.copy_bandwidth_bytes_per_sec);
+}
+
+}  // namespace sam::mem

@@ -1,0 +1,66 @@
+// A Samhita memory server: real backing frames + a timed service loop.
+//
+// Memory servers are "responsible for serving the memory required for the
+// shared global address space" (paper §II). Ours are functional — they hold
+// the actual bytes — and timed: every request books time on the server's
+// service Resource so that hot-spotting on one server shows up as queueing
+// delay (which is exactly why the paper stripes large allocations).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <unordered_map>
+
+#include "mem/types.hpp"
+#include "net/network_model.hpp"
+#include "sim/resource.hpp"
+#include "util/time_types.hpp"
+
+namespace sam::mem {
+
+class MemoryServer {
+ public:
+  struct Params {
+    SimDuration request_overhead = 300;      ///< request decode + page lookup
+    double copy_bandwidth_bytes_per_sec = 8.0e9;  ///< host memcpy bandwidth
+  };
+
+  MemoryServer(ServerIdx idx, net::NodeId node) : MemoryServer(idx, node, Params{}) {}
+  MemoryServer(ServerIdx idx, net::NodeId node, Params params);
+
+  ServerIdx index() const { return idx_; }
+  net::NodeId node() const { return node_; }
+  sim::Resource& service() { return service_; }
+
+  /// Backing frame for `page`, created zero-filled on first touch.
+  std::byte* frame(PageId page);
+
+  /// Frame pointer or nullptr if the page was never touched.
+  const std::byte* frame_if_exists(PageId page) const;
+
+  /// Copies the page into `out` (kPageSize bytes). Zero-filled if untouched.
+  void read_page(PageId page, std::byte* out) const;
+
+  /// Reads `n` bytes at global address `addr` into `out`.
+  void read_bytes(GAddr addr, std::byte* out, std::size_t n) const;
+
+  /// Writes `n` bytes at global address `addr`.
+  void write_bytes(GAddr addr, const std::byte* in, std::size_t n);
+
+  /// Service time to handle a request moving `bytes` of payload.
+  SimDuration service_time(std::size_t bytes) const;
+
+  std::size_t resident_pages() const { return frames_.size(); }
+
+ private:
+  using Frame = std::array<std::byte, kPageSize>;
+
+  ServerIdx idx_;
+  net::NodeId node_;
+  Params params_;
+  sim::Resource service_;
+  std::unordered_map<PageId, std::unique_ptr<Frame>> frames_;
+};
+
+}  // namespace sam::mem

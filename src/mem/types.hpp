@@ -1,0 +1,40 @@
+// Core address-space types shared by the memory subsystem and the runtime.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sam::mem {
+
+/// Byte offset into the shared global address space.
+using GAddr = std::uint64_t;
+
+/// Page index (GAddr / kPageSize).
+using PageId = std::uint64_t;
+
+/// Index of a memory server within the Samhita instance.
+using ServerIdx = std::uint32_t;
+
+/// Global compute-thread index (dense, 0..P-1).
+using ThreadIdx = std::uint32_t;
+
+/// Page size of the shared global address space (paper §II: the space is
+/// divided into pages; all coherence actions happen at page granularity).
+constexpr std::size_t kPageSize = 4096;
+
+constexpr PageId page_of(GAddr a) { return a / kPageSize; }
+constexpr std::size_t page_offset(GAddr a) { return a % kPageSize; }
+constexpr GAddr page_base(PageId p) { return p * kPageSize; }
+
+/// Null/global-invalid address sentinel.
+constexpr GAddr kNullGAddr = ~0ull;
+
+/// Set of threads represented as a bitmask (supports up to 64 threads,
+/// which covers the paper's 32-thread maximum with headroom).
+using ThreadMask = std::uint64_t;
+
+constexpr ThreadMask thread_bit(ThreadIdx t) { return ThreadMask{1} << t; }
+
+constexpr unsigned kMaxThreads = 64;
+
+}  // namespace sam::mem

@@ -1,0 +1,19 @@
+#include "net/link_model.hpp"
+
+#include "util/expect.hpp"
+
+namespace sam::net {
+
+LinkModel::LinkModel(LinkParams params) : params_(params) {
+  SAM_EXPECT(params_.bandwidth_bytes_per_sec > 0, "bandwidth must be positive");
+}
+
+SimDuration LinkModel::serialization(std::size_t bytes) const {
+  return from_seconds(static_cast<double>(bytes) / params_.bandwidth_bytes_per_sec);
+}
+
+SimDuration LinkModel::one_way(std::size_t bytes) const {
+  return params_.latency + params_.per_message + serialization(bytes);
+}
+
+}  // namespace sam::net

@@ -1,0 +1,34 @@
+// Point-to-point link timing: latency + per-message overhead + bandwidth.
+#pragma once
+
+#include <cstddef>
+
+#include "util/time_types.hpp"
+
+namespace sam::net {
+
+/// Timing parameters of a single link (or link class).
+struct LinkParams {
+  SimDuration latency = 0;          ///< propagation + stack one-way latency
+  SimDuration per_message = 0;      ///< fixed per-message CPU/NIC overhead
+  double bandwidth_bytes_per_sec = 1e9;  ///< sustained payload bandwidth
+};
+
+/// Computes message timing from LinkParams.
+class LinkModel {
+ public:
+  explicit LinkModel(LinkParams params);
+
+  /// Time on the wire + overheads to move `bytes` one way.
+  SimDuration one_way(std::size_t bytes) const;
+
+  /// Serialization-only component (time the sending port is busy).
+  SimDuration serialization(std::size_t bytes) const;
+
+  const LinkParams& params() const { return params_; }
+
+ private:
+  LinkParams params_;
+};
+
+}  // namespace sam::net

@@ -1,0 +1,149 @@
+// Interconnect models for the simulated platform.
+//
+// The paper's testbed is a QDR InfiniBand cluster; its target platform is a
+// heterogeneous node where host and coprocessor talk over PCI Express
+// (optionally via Intel's SCIF instead of a verbs proxy — the paper's §V
+// future work). We model all three:
+//
+//   IBFabricModel — per-node NIC ports (tx/rx serialization) + switch hop.
+//                   Every message also crosses a PCIe hop on each side,
+//                   which is folded into the per-side overhead.
+//   PCIeModel     — a single shared bus between host and coprocessor with a
+//                   verbs-proxy software overhead per message.
+//   SCIFModel     — the same bus driven directly (doorbell + DMA), i.e. the
+//                   §V "SCIF communication layer" future-work feature.
+//
+// deliver() books serialization on the contended ports/bus so that
+// many-thread traffic exhibits queuing, and returns the arrival time.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/link_model.hpp"
+#include "sim/resource.hpp"
+#include "util/time_types.hpp"
+
+namespace sam::net {
+
+/// Identifies a node (host, memory server, coprocessor, ...) in the system.
+using NodeId = std::uint32_t;
+
+/// Abstract interconnect: timed, contended message delivery.
+class NetworkModel {
+ public:
+  virtual ~NetworkModel() = default;
+
+  /// Sends `bytes` from `src` to `dst` at time `t`; returns arrival time.
+  /// Same-node messages use the intra-node memory path.
+  virtual SimTime deliver(SimTime t, NodeId src, NodeId dst, std::size_t bytes) = 0;
+
+  /// Human-readable model name (for bench output).
+  virtual const std::string& name() const = 0;
+
+  virtual unsigned node_count() const = 0;
+
+  /// Total messages delivered (diagnostics).
+  std::uint64_t message_count() const { return messages_; }
+  std::uint64_t bytes_sent() const { return bytes_; }
+
+ protected:
+  void account(std::size_t bytes) {
+    ++messages_;
+    bytes_ += bytes;
+  }
+
+  /// Cost of a same-node "message" (shared-memory handoff).
+  static SimDuration intra_node_cost(std::size_t bytes);
+
+ private:
+  std::uint64_t messages_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+/// Switched fabric: per-node tx/rx ports plus a switch crossing.
+class IBFabricModel final : public NetworkModel {
+ public:
+  struct Params {
+    SimDuration per_side_overhead = 600;   ///< verbs post + PCIe hop, each side
+    SimDuration switch_latency = 100;      ///< switch crossing
+    SimDuration wire_latency = 600;        ///< cables + serdes
+    double bandwidth_bytes_per_sec = 3.2e9;  ///< QDR effective payload rate
+  };
+
+  IBFabricModel(unsigned nodes, Params params);
+
+  SimTime deliver(SimTime t, NodeId src, NodeId dst, std::size_t bytes) override;
+  const std::string& name() const override { return name_; }
+  unsigned node_count() const override { return static_cast<unsigned>(tx_.size()); }
+
+  /// Default parameters calibrated to QDR IB as used in the paper (§III).
+  static Params qdr_defaults() { return Params{}; }
+
+ private:
+  std::string name_ = "ib-qdr";
+  Params params_;
+  std::vector<sim::Resource> tx_;
+  std::vector<sim::Resource> rx_;
+};
+
+/// Host <-> coprocessor PCIe bus with a verbs-proxy software layer.
+class PCIeModel final : public NetworkModel {
+ public:
+  struct Params {
+    SimDuration software_overhead = 1500;  ///< verbs proxy user/kernel crossing
+    SimDuration bus_latency = 900;         ///< PCIe round structures
+    double bandwidth_bytes_per_sec = 6.0e9;  ///< gen2 x16 effective
+  };
+
+  PCIeModel(unsigned nodes, Params params);
+
+  SimTime deliver(SimTime t, NodeId src, NodeId dst, std::size_t bytes) override;
+  const std::string& name() const override { return name_; }
+  unsigned node_count() const override { return nodes_; }
+
+  static Params gen2_x16_defaults() { return Params{}; }
+
+ private:
+  std::string name_ = "pcie-proxy";
+  Params params_;
+  unsigned nodes_;
+  sim::Resource bus_{"pcie-bus"};
+};
+
+/// PCIe driven via SCIF (doorbell + DMA): the §V future-work layer.
+class SCIFModel final : public NetworkModel {
+ public:
+  struct Params {
+    SimDuration doorbell = 250;   ///< register write + interrupt moderation
+    SimDuration bus_latency = 900;
+    double bandwidth_bytes_per_sec = 6.0e9;
+  };
+
+  SCIFModel(unsigned nodes, Params params);
+
+  SimTime deliver(SimTime t, NodeId src, NodeId dst, std::size_t bytes) override;
+  const std::string& name() const override { return name_; }
+  unsigned node_count() const override { return nodes_; }
+
+  static Params defaults() { return Params{}; }
+
+ private:
+  std::string name_ = "pcie-scif";
+  Params params_;
+  unsigned nodes_;
+  sim::Resource bus_{"scif-bus"};
+};
+
+/// Factory by name: "ib" | "pcie" | "scif".
+std::unique_ptr<NetworkModel> make_network(const std::string& kind, unsigned nodes);
+
+/// Factory with sensitivity scaling: every latency component multiplied by
+/// `latency_scale`, bandwidth by `bandwidth_scale`.
+std::unique_ptr<NetworkModel> make_network_scaled(const std::string& kind, unsigned nodes,
+                                                  double latency_scale,
+                                                  double bandwidth_scale);
+
+}  // namespace sam::net

@@ -1,0 +1,21 @@
+#include "net/perturbing_network.hpp"
+
+#include "util/expect.hpp"
+
+namespace sam::net {
+
+PerturbingNetwork::PerturbingNetwork(std::unique_ptr<NetworkModel> inner,
+                                     SimDuration max_jitter, std::uint64_t seed)
+    : inner_(std::move(inner)), max_jitter_(max_jitter), rng_(seed) {
+  SAM_EXPECT(inner_ != nullptr, "null inner network");
+  name_ = inner_->name() + "+jitter";
+}
+
+SimTime PerturbingNetwork::deliver(SimTime t, NodeId src, NodeId dst, std::size_t bytes) {
+  account(bytes);
+  const SimTime base = inner_->deliver(t, src, dst, bytes);
+  if (max_jitter_ == 0) return base;
+  return base + rng_.next_below(max_jitter_ + 1);
+}
+
+}  // namespace sam::net

@@ -1,0 +1,39 @@
+// Timing-fault injection: a decorator that adds seeded random delay to every
+// message delivery.
+//
+// The RegC protocol's *functional* results must not depend on message
+// timing — only on the synchronization order the program itself enforces.
+// Wrapping the interconnect in a PerturbingNetwork lets tests sweep timing
+// perturbations (slow links, jittery switches, congested buses) and assert
+// that memory contents come out bit-identical, while virtual times shift.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "net/network_model.hpp"
+#include "util/rng.hpp"
+
+namespace sam::net {
+
+class PerturbingNetwork final : public NetworkModel {
+ public:
+  /// Wraps `inner`, adding a uniform random delay in [0, max_jitter] ns to
+  /// every delivery, drawn from a SplitMix64 stream seeded with `seed`.
+  PerturbingNetwork(std::unique_ptr<NetworkModel> inner, SimDuration max_jitter,
+                    std::uint64_t seed);
+
+  SimTime deliver(SimTime t, NodeId src, NodeId dst, std::size_t bytes) override;
+  const std::string& name() const override { return name_; }
+  unsigned node_count() const override { return inner_->node_count(); }
+
+  NetworkModel& inner() { return *inner_; }
+
+ private:
+  std::unique_ptr<NetworkModel> inner_;
+  SimDuration max_jitter_;
+  util::SplitMix64 rng_;
+  std::string name_;
+};
+
+}  // namespace sam::net

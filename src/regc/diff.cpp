@@ -1,0 +1,95 @@
+#include "regc/diff.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/expect.hpp"
+
+namespace sam::regc {
+
+Diff Diff::between(mem::GAddr base, std::span<const std::byte> twin,
+                   std::span<const std::byte> current, std::size_t gap_coalesce) {
+  SAM_EXPECT(twin.size() == current.size(), "twin/current size mismatch");
+  Diff d;
+  const std::size_t n = twin.size();
+  std::size_t i = 0;
+  while (i < n) {
+    if (twin[i] == current[i]) {
+      ++i;
+      continue;
+    }
+    // Start of a changed run; extend while changed, jumping small clean gaps.
+    std::size_t end = i + 1;
+    std::size_t last_changed = i;
+    while (end < n) {
+      if (twin[end] != current[end]) {
+        last_changed = end;
+        ++end;
+      } else if (end - last_changed <= gap_coalesce) {
+        ++end;  // tolerate a short clean gap inside one range
+      } else {
+        break;
+      }
+    }
+    const std::size_t len = last_changed - i + 1;
+    DiffRange r;
+    r.addr = base + i;
+    r.data.assign(current.begin() + static_cast<std::ptrdiff_t>(i),
+                  current.begin() + static_cast<std::ptrdiff_t>(i + len));
+    d.ranges_.push_back(std::move(r));
+    i = last_changed + 1;
+  }
+  return d;
+}
+
+void Diff::add_range(mem::GAddr addr, std::span<const std::byte> data) {
+  SAM_EXPECT(!data.empty(), "empty diff range");
+  DiffRange r;
+  r.addr = addr;
+  r.data.assign(data.begin(), data.end());
+  ranges_.push_back(std::move(r));
+}
+
+void Diff::append(const Diff& other) {
+  ranges_.insert(ranges_.end(), other.ranges_.begin(), other.ranges_.end());
+}
+
+std::size_t Diff::payload_bytes() const {
+  std::size_t total = 0;
+  for (const auto& r : ranges_) total += r.data.size();
+  return total;
+}
+
+std::size_t Diff::wire_bytes() const {
+  return payload_bytes() + ranges_.size() * kDiffRangeHeaderBytes;
+}
+
+void Diff::apply_to(mem::MemoryServer& server) const {
+  for (const auto& r : ranges_) {
+    server.write_bytes(r.addr, r.data.data(), r.data.size());
+  }
+}
+
+void Diff::apply_to_buffer(mem::GAddr buf_base, std::span<std::byte> buf) const {
+  const mem::GAddr buf_end = buf_base + buf.size();
+  for (const auto& r : ranges_) {
+    const mem::GAddr r_end = r.addr + r.data.size();
+    if (r_end <= buf_base || r.addr >= buf_end) continue;
+    const mem::GAddr lo = std::max(r.addr, buf_base);
+    const mem::GAddr hi = std::min(r_end, buf_end);
+    std::memcpy(buf.data() + (lo - buf_base), r.data.data() + (lo - r.addr), hi - lo);
+  }
+}
+
+bool Diff::disjoint(const Diff& a, const Diff& b) {
+  for (const auto& ra : a.ranges_) {
+    const mem::GAddr ra_end = ra.addr + ra.data.size();
+    for (const auto& rb : b.ranges_) {
+      const mem::GAddr rb_end = rb.addr + rb.data.size();
+      if (ra.addr < rb_end && rb.addr < ra_end) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace sam::regc

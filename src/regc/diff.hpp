@@ -1,0 +1,79 @@
+// Byte-granular diffs for the multiple-writer protocol.
+//
+// When a thread first writes a clean cached page in an ordinary region, the
+// cache makes a *twin* (pristine copy). At the next consistency point the
+// runtime diffs the working copy against the twin and ships only the changed
+// byte runs to the page's home memory server. Two threads that wrote
+// *different* bytes of the same page (false sharing) produce disjoint diffs
+// whose application commutes — that is the multiple-writer protocol from
+// paper §II, in the TreadMarks tradition.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mem/memory_server.hpp"
+#include "mem/types.hpp"
+
+namespace sam::regc {
+
+/// One contiguous run of changed bytes at a global address.
+struct DiffRange {
+  mem::GAddr addr = 0;
+  std::vector<std::byte> data;
+};
+
+/// An ordered set of disjoint changed-byte runs.
+class Diff {
+ public:
+  Diff() = default;
+
+  /// Computes the diff of `current` against `twin` for the page whose global
+  /// base address is `base`.
+  ///
+  /// `gap_coalesce` > 0 merges runs separated by that many unchanged bytes
+  /// to save per-range headers — but the merged range then carries *twin*
+  /// bytes, which breaks the multiple-writer merge (another thread's
+  /// concurrent write to the gap would be overwritten with stale data). The
+  /// default is therefore 0: exact changed bytes only, which keeps diffs of
+  /// disjoint writers disjoint. Non-zero values are safe only for data that
+  /// has a single writer per consistency interval.
+  static Diff between(mem::GAddr base, std::span<const std::byte> twin,
+                      std::span<const std::byte> current, std::size_t gap_coalesce = 0);
+
+  /// Appends a range directly (used by StoreLog materialization).
+  void add_range(mem::GAddr addr, std::span<const std::byte> data);
+
+  /// Merges another diff into this one (ranges kept as-is; order preserved).
+  void append(const Diff& other);
+
+  bool empty() const { return ranges_.empty(); }
+  std::size_t range_count() const { return ranges_.size(); }
+  const std::vector<DiffRange>& ranges() const { return ranges_; }
+
+  /// Changed payload bytes.
+  std::size_t payload_bytes() const;
+
+  /// Bytes this diff occupies on the wire (payload + per-range headers).
+  std::size_t wire_bytes() const;
+
+  /// Applies every range to its home frame on `server`.
+  void apply_to(mem::MemoryServer& server) const;
+
+  /// Applies the ranges that overlap the buffer covering global addresses
+  /// [buf_base, buf_base + buf.size()). Used to patch cached copies.
+  void apply_to_buffer(mem::GAddr buf_base, std::span<std::byte> buf) const;
+
+  /// True if no byte is covered by both diffs (multiple-writer soundness).
+  static bool disjoint(const Diff& a, const Diff& b);
+
+ private:
+  std::vector<DiffRange> ranges_;
+};
+
+/// Per-range wire header: address (8) + length (4) + flags (4).
+constexpr std::size_t kDiffRangeHeaderBytes = 16;
+
+}  // namespace sam::regc

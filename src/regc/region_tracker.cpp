@@ -1,0 +1,4 @@
+#include "regc/region_tracker.hpp"
+
+// Header-only logic; this translation unit exists so the module has a home
+// for future out-of-line additions and appears in the library archive.

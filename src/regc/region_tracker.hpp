@@ -1,0 +1,46 @@
+// Regional consistency region tracking (paper §II).
+//
+// RegC divides an application's memory accesses into *consistency regions*
+// (accesses made while holding a mutual-exclusion variable) and *ordinary
+// regions* (everything else). The tracker maintains, per thread, the stack
+// of locks currently held; a thread is in a consistency region iff that
+// stack is non-empty. The static analysis the paper performs with LLVM to
+// decide "is this store inside a critical section" becomes a dynamic check
+// here, with identical classification for well-structured lock usage.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/expect.hpp"
+
+namespace sam::regc {
+
+/// Identifier of a Samhita mutex (allocated by the manager).
+using LockId = std::uint32_t;
+
+class RegionTracker {
+ public:
+  void enter_region(LockId lock) { held_.push_back(lock); }
+
+  void exit_region(LockId lock) {
+    SAM_EXPECT(!held_.empty(), "exit_region with no region active");
+    SAM_EXPECT(held_.back() == lock, "locks must be released in LIFO order");
+    held_.pop_back();
+  }
+
+  bool in_consistency_region() const { return !held_.empty(); }
+
+  /// Innermost lock (the one an update set will be attached to).
+  LockId innermost() const {
+    SAM_EXPECT(!held_.empty(), "no consistency region active");
+    return held_.back();
+  }
+
+  std::size_t depth() const { return held_.size(); }
+
+ private:
+  std::vector<LockId> held_;
+};
+
+}  // namespace sam::regc

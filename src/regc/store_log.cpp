@@ -1,0 +1,48 @@
+#include "regc/store_log.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace sam::regc {
+
+void StoreLog::record(mem::GAddr addr, std::size_t size) {
+  SAM_EXPECT(size > 0, "zero-size store");
+  // Fast path: extend the previous record if contiguous (typical for the
+  // sequential stores a critical section performs).
+  if (!entries_.empty()) {
+    Range& last = entries_.back();
+    if (addr == last.addr + last.size) {
+      last.size += size;
+      return;
+    }
+    if (addr >= last.addr && addr + size <= last.addr + last.size) {
+      return;  // rewrite of already-logged bytes
+    }
+  }
+  entries_.push_back(Range{addr, size});
+}
+
+std::vector<StoreLog::Range> StoreLog::coalesced() const {
+  std::vector<Range> sorted = entries_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Range& a, const Range& b) { return a.addr < b.addr; });
+  std::vector<Range> out;
+  for (const Range& r : sorted) {
+    if (!out.empty() && r.addr <= out.back().addr + out.back().size) {
+      const mem::GAddr end = std::max(out.back().addr + out.back().size, r.addr + r.size);
+      out.back().size = end - out.back().addr;
+    } else {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+std::size_t StoreLog::covered_bytes() const {
+  std::size_t total = 0;
+  for (const Range& r : coalesced()) total += r.size;
+  return total;
+}
+
+}  // namespace sam::regc

@@ -1,0 +1,46 @@
+// Fine-grain store tracking inside consistency regions.
+//
+// The paper instruments the application with an LLVM pass that "insert[s] a
+// function call before any store performed in a consistency region" (§II).
+// Our runtime's write accessors play the role of that inserted call: when
+// the owning thread is inside a consistency region, every store's (address,
+// size) is recorded here. At release (unlock) the log is materialized into
+// a fine-grain update set by reading the just-written values out of the
+// thread's cache — giving data-object-granularity updates instead of page
+// invalidations.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "mem/types.hpp"
+
+namespace sam::regc {
+
+class StoreLog {
+ public:
+  /// Records one store. Adjacent/overlapping records are coalesced lazily.
+  void record(mem::GAddr addr, std::size_t size);
+
+  bool empty() const { return entries_.empty(); }
+  std::size_t entry_count() const { return entries_.size(); }
+
+  struct Range {
+    mem::GAddr addr;
+    std::size_t size;
+  };
+
+  /// Coalesced, sorted, disjoint ranges covering all recorded stores.
+  std::vector<Range> coalesced() const;
+
+  /// Total bytes covered by the coalesced ranges.
+  std::size_t covered_bytes() const;
+
+  void clear() { entries_.clear(); }
+
+ private:
+  std::vector<Range> entries_;
+};
+
+}  // namespace sam::regc

@@ -1,0 +1,35 @@
+#include "regc/update_set.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace sam::regc {
+
+std::uint64_t UpdateWindow::push(UpdateSet set) {
+  set.release_seq = next_seq_++;
+  sets_.push_back(std::move(set));
+  return sets_.back().release_seq;
+}
+
+std::uint64_t UpdateWindow::collect_since(std::uint64_t after_seq,
+                                          std::vector<const UpdateSet*>& out,
+                                          std::size_t& bytes) const {
+  std::uint64_t high = after_seq;
+  for (const UpdateSet& s : sets_) {
+    if (s.release_seq > after_seq) {
+      out.push_back(&s);
+      bytes += s.diff.wire_bytes();
+      high = std::max(high, s.release_seq);
+    }
+  }
+  return high;
+}
+
+void UpdateWindow::trim(std::uint64_t min_seq_seen_by_all) {
+  while (!sets_.empty() && sets_.front().release_seq <= min_seq_seen_by_all) {
+    sets_.pop_front();
+  }
+}
+
+}  // namespace sam::regc

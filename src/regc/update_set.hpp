@@ -1,0 +1,56 @@
+// Lock-carried fine-grain update sets.
+//
+// At unlock, the releasing thread materializes its StoreLog into a Diff and
+// attaches it to the lock as an UpdateSet. The next acquirer of the lock
+// applies the update set directly to its cached pages — a fine-grain
+// *update* (no page invalidation, no page refetch), which is the RegC
+// mechanism that makes critical-section data cheap to keep consistent.
+// Update sets are also applied to the home memory servers at release so the
+// global address space stays authoritative.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "regc/diff.hpp"
+#include "regc/region_tracker.hpp"
+
+namespace sam::regc {
+
+struct UpdateSet {
+  LockId lock = 0;
+  std::uint64_t release_seq = 0;  ///< global order of releases of this lock
+  mem::ThreadIdx releaser = 0;
+  Diff diff;
+};
+
+/// Per-lock history of update sets, consumed by subsequent acquirers.
+///
+/// An acquirer needs every update set released after the last one it saw;
+/// the window keeps them ordered by release_seq and lets each thread track
+/// its own high-water mark.
+class UpdateWindow {
+ public:
+  /// Appends a release's update set; returns its sequence number.
+  std::uint64_t push(UpdateSet set);
+
+  /// Collects all update sets with release_seq > `after_seq` into `out`,
+  /// returning the new high-water mark. Payload bytes of the collected sets
+  /// are accumulated into `bytes` for timing.
+  std::uint64_t collect_since(std::uint64_t after_seq, std::vector<const UpdateSet*>& out,
+                              std::size_t& bytes) const;
+
+  /// Drops sets already seen by every registered consumer high-water mark.
+  /// (Garbage collection; correctness does not depend on calling it.)
+  void trim(std::uint64_t min_seq_seen_by_all);
+
+  std::uint64_t latest_seq() const { return next_seq_ - 1; }
+  std::size_t size() const { return sets_.size(); }
+
+ private:
+  std::deque<UpdateSet> sets_;
+  std::uint64_t next_seq_ = 1;  // 0 means "has seen nothing"
+};
+
+}  // namespace sam::regc

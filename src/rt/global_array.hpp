@@ -1,0 +1,90 @@
+// Typed sugar over the shared global address space.
+//
+// GlobalArray<T> wraps an allocation with element-indexed access helpers so
+// application code reads naturally while every access still flows through
+// the runtime's views (and therefore through the DSM protocol). For bulk
+// work, prefer the chunked span helpers in rt/span_util.hpp — per-element
+// get/set pays one view acquisition per call, exactly like a pointer deref
+// through a software-cached page.
+#pragma once
+
+#include <cstddef>
+
+#include "rt/runtime.hpp"
+#include "rt/span_util.hpp"
+#include "util/expect.hpp"
+
+namespace sam::rt {
+
+template <typename T>
+class GlobalArray {
+ public:
+  GlobalArray() = default;
+
+  /// Adopts an existing allocation of `count` elements at `addr`.
+  GlobalArray(Addr addr, std::size_t count) : addr_(addr), count_(count) {}
+
+  /// Allocates a shared array of `count` elements via `ctx`.
+  static GlobalArray allocate_shared(ThreadCtx& ctx, std::size_t count) {
+    return GlobalArray(ctx.alloc_shared(count * sizeof(T)), count);
+  }
+
+  /// Allocates a thread-local-strategy array of `count` elements.
+  static GlobalArray allocate(ThreadCtx& ctx, std::size_t count) {
+    return GlobalArray(ctx.alloc(count * sizeof(T)), count);
+  }
+
+  Addr addr() const { return addr_; }
+  std::size_t size() const { return count_; }
+  bool valid() const { return count_ != 0; }
+
+  Addr element_addr(std::size_t i) const {
+    SAM_EXPECT(i < count_, "GlobalArray index out of range");
+    return addr_ + i * sizeof(T);
+  }
+
+  /// Single-element read (one view acquisition).
+  T get(ThreadCtx& ctx, std::size_t i) const { return ctx.read<T>(element_addr(i)); }
+
+  /// Single-element write (one view acquisition).
+  void set(ThreadCtx& ctx, std::size_t i, const T& value) const {
+    ctx.write<T>(element_addr(i), value);
+  }
+
+  /// Bulk read of [first, first+n) into `out` (chunked views).
+  void load(ThreadCtx& ctx, std::size_t first, std::size_t n, T* out) const {
+    SAM_EXPECT(first + n <= count_, "GlobalArray load out of range");
+    for_each_read_span<T>(ctx, addr_ + first * sizeof(T), n,
+                          [&](std::span<const T> chunk, std::size_t at) {
+                            for (std::size_t k = 0; k < chunk.size(); ++k) {
+                              out[at + k] = chunk[k];
+                            }
+                          });
+  }
+
+  /// Bulk write of [first, first+n) from `in` (chunked views).
+  void store(ThreadCtx& ctx, std::size_t first, std::size_t n, const T* in) const {
+    SAM_EXPECT(first + n <= count_, "GlobalArray store out of range");
+    for_each_write_span<T>(ctx, addr_ + first * sizeof(T), n,
+                           [&](std::span<T> chunk, std::size_t at) {
+                             for (std::size_t k = 0; k < chunk.size(); ++k) {
+                               chunk[k] = in[at + k];
+                             }
+                           });
+  }
+
+  /// Fills [first, first+n) with `value`.
+  void fill(ThreadCtx& ctx, std::size_t first, std::size_t n, const T& value) const {
+    SAM_EXPECT(first + n <= count_, "GlobalArray fill out of range");
+    for_each_write_span<T>(ctx, addr_ + first * sizeof(T), n,
+                           [&](std::span<T> chunk, std::size_t) {
+                             for (T& v : chunk) v = value;
+                           });
+  }
+
+ private:
+  Addr addr_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace sam::rt

@@ -1,0 +1,29 @@
+#include "rt/runtime.hpp"
+
+#include <algorithm>
+
+namespace sam::rt {
+
+double Runtime::elapsed_seconds() const {
+  double worst = 0;
+  for (std::uint32_t i = 0; i < ran_threads(); ++i) {
+    worst = std::max(worst, report(i).measured_seconds);
+  }
+  return worst;
+}
+
+double Runtime::mean_compute_seconds() const {
+  if (ran_threads() == 0) return 0;
+  double total = 0;
+  for (std::uint32_t i = 0; i < ran_threads(); ++i) total += report(i).compute_seconds;
+  return total / ran_threads();
+}
+
+double Runtime::mean_sync_seconds() const {
+  if (ran_threads() == 0) return 0;
+  double total = 0;
+  for (std::uint32_t i = 0; i < ran_threads(); ++i) total += report(i).sync_seconds;
+  return total / ran_threads();
+}
+
+}  // namespace sam::rt

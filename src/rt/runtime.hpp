@@ -1,0 +1,163 @@
+// The runtime-neutral programming interface.
+//
+// The paper's benchmarks "share the same code base, with memory allocation,
+// synchronization and thread creation expressed as macros" processed by m4,
+// so the identical kernel runs on Pthreads and on Samhita. We realize the
+// same idea with an abstract interface: every application kernel in
+// src/apps/ is written once against rt::Runtime / rt::ThreadCtx and executes
+// unchanged on SamhitaRuntime (the DSM) and SmpRuntime (the cache-coherent
+// Pthreads baseline).
+//
+// Memory is accessed through *views*: a view pins a contiguous element range
+// and returns a raw span the kernel reads/writes directly. On Samhita a view
+// goes through the software page cache (misses, twins, store logs); on SMP
+// it goes through the coherence cost model. A view is valid only until the
+// next runtime call on the same ThreadCtx.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/time_types.hpp"
+
+namespace sam::rt {
+
+/// Global address within a runtime's shared address space.
+using Addr = std::uint64_t;
+
+/// Handle types for synchronization objects (created via the Runtime).
+using MutexId = std::uint32_t;
+using CondId = std::uint32_t;
+using BarrierId = std::uint32_t;
+
+/// Per-thread accounting mirroring the paper's two measured components.
+struct ThreadReport {
+  double compute_seconds = 0;  ///< compute incl. demand-paging stalls
+  double sync_seconds = 0;     ///< lock/unlock/barrier incl. consistency ops
+  double measured_seconds = 0; ///< wall (virtual) time of the measured phase
+  std::uint64_t cache_misses = 0;
+  std::uint64_t bytes_fetched = 0;
+  std::uint64_t bytes_flushed = 0;
+};
+
+/// Execution context handed to each simulated compute thread.
+class ThreadCtx {
+ public:
+  virtual ~ThreadCtx() = default;
+
+  virtual std::uint32_t index() const = 0;
+  virtual std::uint32_t nthreads() const = 0;
+  virtual SimTime now() const = 0;
+
+  // --- memory management -------------------------------------------------
+  /// Allocates from this thread's context (Samhita: arena / zone / striped
+  /// strategy chosen by size — the paper's three allocation strategies).
+  virtual Addr alloc(std::size_t bytes) = 0;
+  /// Allocates data that other threads will access. On Samhita this always
+  /// goes through the manager (zone or striped strategy), so shared data
+  /// never lands in a private arena — which would false-share a cache line
+  /// between one thread's private data and everyone's shared data.
+  virtual Addr alloc_shared(std::size_t bytes) = 0;
+  virtual void free(Addr addr) = 0;
+
+  // --- memory access -----------------------------------------------------
+  /// Read-only view of `bytes` at `addr`.
+  virtual std::span<const std::byte> read_view(Addr addr, std::size_t bytes) = 0;
+  /// Read-write view of `bytes` at `addr` (marks the range written).
+  virtual std::span<std::byte> write_view(Addr addr, std::size_t bytes) = 0;
+  /// A single view must not cross a multiple of this granularity (the
+  /// software cache-line size on Samhita). Use rt::for_each_span to chunk.
+  virtual std::size_t view_granularity() const = 0;
+
+  // --- cost charging (arithmetic between memory ops) ----------------------
+  /// Charges time for `flops` floating-point operations.
+  virtual void charge_flops(double flops) = 0;
+  /// Charges per-element load/store streaming costs.
+  virtual void charge_mem_ops(std::uint64_t loads, std::uint64_t stores) = 0;
+
+  // --- synchronization -----------------------------------------------------
+  virtual void lock(MutexId m) = 0;
+  virtual void unlock(MutexId m) = 0;
+  virtual void cond_wait(CondId c, MutexId m) = 0;
+  virtual void cond_signal(CondId c) = 0;
+  virtual void cond_broadcast(CondId c) = 0;
+  virtual void barrier(BarrierId b) = 0;
+
+  // --- measurement --------------------------------------------------------
+  /// Resets the compute/sync accounting and marks the measured-phase start.
+  virtual void begin_measurement() = 0;
+  /// Marks the measured-phase end (typically right after the last barrier).
+  virtual void end_measurement() = 0;
+
+  // --- typed helpers -------------------------------------------------------
+  template <typename T>
+  std::span<const T> read_array(Addr addr, std::size_t count) {
+    auto raw = read_view(addr, count * sizeof(T));
+    return {reinterpret_cast<const T*>(raw.data()), count};
+  }
+
+  template <typename T>
+  std::span<T> write_array(Addr addr, std::size_t count) {
+    auto raw = write_view(addr, count * sizeof(T));
+    return {reinterpret_cast<T*>(raw.data()), count};
+  }
+
+  /// Single-element typed read (convenience; one full view acquisition).
+  template <typename T>
+  T read(Addr addr) {
+    return read_array<T>(addr, 1)[0];
+  }
+
+  /// Single-element typed write.
+  template <typename T>
+  void write(Addr addr, const T& value) {
+    write_array<T>(addr, 1)[0] = value;
+  }
+};
+
+/// A runtime instance: owns the simulated platform and runs parallel regions.
+class Runtime {
+ public:
+  virtual ~Runtime() = default;
+
+  virtual const std::string& name() const = 0;
+
+  // --- synchronization object creation (before the parallel region) -------
+  virtual MutexId create_mutex() = 0;
+  virtual CondId create_cond() = 0;
+  virtual BarrierId create_barrier(std::uint32_t parties) = 0;
+
+  /// Spawns `nthreads` compute threads running `body` and simulates to
+  /// completion. May be called once per Runtime instance.
+  virtual void parallel_run(std::uint32_t nthreads,
+                            const std::function<void(ThreadCtx&)>& body) = 0;
+
+  // --- post-run inspection -------------------------------------------------
+  virtual ThreadReport report(std::uint32_t thread) const = 0;
+
+  /// Max measured-phase duration across threads (strong-scaling elapsed).
+  double elapsed_seconds() const;
+
+  /// Mean per-thread compute / sync seconds (what Figs 3-11 plot).
+  double mean_compute_seconds() const;
+  double mean_sync_seconds() const;
+
+  virtual std::uint32_t ran_threads() const = 0;
+
+  /// Reads bytes from the authoritative shared space after the run
+  /// (verification: memory servers for Samhita, the flat buffer for SMP).
+  virtual void read_global(Addr addr, std::byte* out, std::size_t bytes) const = 0;
+
+  template <typename T>
+  std::vector<T> read_global_array(Addr addr, std::size_t count) const {
+    std::vector<T> out(count);
+    read_global(addr, reinterpret_cast<std::byte*>(out.data()), count * sizeof(T));
+    return out;
+  }
+};
+
+}  // namespace sam::rt

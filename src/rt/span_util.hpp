@@ -1,0 +1,50 @@
+// Helpers for accessing element ranges that may cross view-granularity
+// boundaries (Samhita cache lines). Kernels iterate in granularity-safe
+// chunks; on the SMP baseline the granularity is effectively unbounded and
+// the visitor runs once.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "rt/runtime.hpp"
+#include "util/expect.hpp"
+
+namespace sam::rt {
+
+/// Invokes `fn(std::span<T> chunk, std::size_t first_index)` over the
+/// element range [0, count) at `addr`, splitting so no chunk crosses a
+/// view-granularity boundary. `Write` selects write_view vs read_view.
+template <typename T, bool Write, typename Fn>
+void for_each_span_impl(ThreadCtx& ctx, Addr addr, std::size_t count, Fn&& fn) {
+  SAM_EXPECT(addr % alignof(T) == 0, "misaligned element address");
+  const std::size_t gran = ctx.view_granularity();
+  std::size_t done = 0;
+  while (done < count) {
+    const Addr a = addr + done * sizeof(T);
+    const std::size_t room_bytes = gran - (a % gran);
+    const std::size_t room_elems = room_bytes / sizeof(T);
+    SAM_EXPECT(room_elems > 0, "element larger than view granularity");
+    const std::size_t n = std::min(count - done, room_elems);
+    if constexpr (Write) {
+      fn(ctx.template write_array<T>(a, n), done);
+    } else {
+      fn(ctx.template read_array<T>(a, n), done);
+    }
+    done += n;
+  }
+}
+
+/// Read chunks: fn(std::span<const T>, first_index).
+template <typename T, typename Fn>
+void for_each_read_span(ThreadCtx& ctx, Addr addr, std::size_t count, Fn&& fn) {
+  for_each_span_impl<T, false>(ctx, addr, count, std::forward<Fn>(fn));
+}
+
+/// Write chunks: fn(std::span<T>, first_index).
+template <typename T, typename Fn>
+void for_each_write_span(ThreadCtx& ctx, Addr addr, std::size_t count, Fn&& fn) {
+  for_each_span_impl<T, true>(ctx, addr, count, std::forward<Fn>(fn));
+}
+
+}  // namespace sam::rt

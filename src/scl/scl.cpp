@@ -1,0 +1,38 @@
+#include "scl/scl.hpp"
+
+#include "util/expect.hpp"
+
+namespace sam::scl {
+
+Scl::Scl(net::NetworkModel* net) : net_(net) { SAM_EXPECT(net != nullptr, "null network"); }
+
+SimTime Scl::send(SimTime t, net::NodeId src, net::NodeId dst, std::size_t bytes) {
+  return net_->deliver(t, src, dst, bytes);
+}
+
+SimTime Scl::rdma_read(SimTime t, net::NodeId src, net::NodeId peer, std::size_t bytes) {
+  // Work request travels to the peer HCA, which streams the data back
+  // without involving the peer CPU (one-sided semantics).
+  const SimTime request_at_peer = net_->deliver(t, src, peer, kCtrlBytes);
+  return net_->deliver(request_at_peer, peer, src, bytes);
+}
+
+Scl::WriteResult Scl::rdma_write(SimTime t, net::NodeId src, net::NodeId peer,
+                                 std::size_t bytes) {
+  const SimTime visible = net_->deliver(t, src, peer, bytes);
+  // Local completion: the send queue drains once the payload is handed to
+  // the NIC; we approximate with the serialization component by charging a
+  // zero-byte self-delivery plus the payload time embedded in `visible`.
+  // A reliable-connection write is locally complete when the ack returns.
+  const SimTime acked = net_->deliver(visible, peer, src, kCtrlBytes);
+  return WriteResult{acked, visible};
+}
+
+SimTime Scl::rpc(SimTime t, net::NodeId src, net::NodeId dst, std::size_t request_bytes,
+                 std::size_t response_bytes, sim::Resource& server, SimDuration service) {
+  const SimTime request_arrival = net_->deliver(t, src, dst, request_bytes);
+  const SimTime served = server.serve(request_arrival, service);
+  return net_->deliver(served, dst, src, response_bytes);
+}
+
+}  // namespace sam::scl

@@ -1,0 +1,55 @@
+// SCL — the Samhita Communication Layer (paper §II).
+//
+// The paper abstracts the interconnect behind SCL, which "presents Samhita
+// with a direct memory access communication model instead of a serial
+// protocol" so it maps directly onto InfiniBand RDMA verbs. We reproduce the
+// same abstraction: RDMA-style one-sided read/write plus a two-sided RPC
+// used for manager/memory-server requests. All operations are *timed*: they
+// take the caller's current virtual time and return completion times,
+// booking contended resources (NIC ports, bus, server service loops) along
+// the way.
+#pragma once
+
+#include <cstddef>
+
+#include "net/network_model.hpp"
+#include "sim/resource.hpp"
+#include "util/time_types.hpp"
+
+namespace sam::scl {
+
+/// Size of a control/ack message (header-only verbs work request).
+constexpr std::size_t kCtrlBytes = 64;
+
+class Scl {
+ public:
+  explicit Scl(net::NetworkModel* net);
+
+  /// One-way message: returns arrival time at `dst`.
+  SimTime send(SimTime t, net::NodeId src, net::NodeId dst, std::size_t bytes);
+
+  /// One-sided read of `bytes` from `peer` into `src`'s memory.
+  /// Returns completion time at `src` (request out, data back).
+  SimTime rdma_read(SimTime t, net::NodeId src, net::NodeId peer, std::size_t bytes);
+
+  struct WriteResult {
+    SimTime local_complete;  ///< source may reuse its buffer
+    SimTime remote_visible;  ///< bytes are in the peer's memory
+  };
+
+  /// One-sided write of `bytes` from `src` into `peer`'s memory.
+  WriteResult rdma_write(SimTime t, net::NodeId src, net::NodeId peer, std::size_t bytes);
+
+  /// Two-sided request/response: the request queues at `server` (the remote
+  /// service loop) for `service` time before the response is sent.
+  /// Returns the response arrival time at `src`.
+  SimTime rpc(SimTime t, net::NodeId src, net::NodeId dst, std::size_t request_bytes,
+              std::size_t response_bytes, sim::Resource& server, SimDuration service);
+
+  net::NetworkModel& network() { return *net_; }
+
+ private:
+  net::NetworkModel* net_;
+};
+
+}  // namespace sam::scl

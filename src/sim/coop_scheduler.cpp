@@ -1,0 +1,217 @@
+#include "sim/coop_scheduler.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+#include "util/logger.hpp"
+
+namespace sam::sim {
+
+namespace {
+
+/// Thrown inside a simulated thread to unwind its stack during shutdown.
+/// Never escapes thread_main; never reported as a user error.
+struct AbortSignal {};
+
+thread_local SimThread* g_current = nullptr;
+
+}  // namespace
+
+SimThread::SimThread(CoopScheduler* sched, SimThreadId id, std::string name, SimTime start_clock,
+                     std::function<void()> body)
+    : sched_(sched), id_(id), name_(std::move(name)), clock_(start_clock), body_(std::move(body)) {}
+
+SimThread::~SimThread() = default;
+
+CoopScheduler::CoopScheduler() = default;
+
+SimThread* CoopScheduler::current() { return g_current; }
+
+SimThread* CoopScheduler::spawn(std::string name, SimTime start_clock,
+                                std::function<void()> body) {
+  SAM_EXPECT(static_cast<bool>(body), "null thread body");
+  std::unique_lock lock(mu_);
+  const auto id = static_cast<SimThreadId>(threads_.size());
+  threads_.push_back(std::make_unique<SimThread>(this, id, std::move(name), start_clock,
+                                                 std::move(body)));
+  SimThread* t = threads_.back().get();
+  t->os_thread_ = std::thread([this, t] { thread_main(t); });
+  return t;
+}
+
+void CoopScheduler::thread_main(SimThread* t) {
+  std::unique_lock lock(mu_);
+  t->cv_.wait(lock, [&] { return t->status_ == SimThread::Status::kRunning || aborting_; });
+  if (t->status_ == SimThread::Status::kRunning && !aborting_) {
+    g_current = t;
+    lock.unlock();
+    try {
+      t->body_();
+    } catch (const AbortSignal&) {
+      // clean shutdown unwind
+    } catch (...) {
+      t->error_ = std::current_exception();
+    }
+    lock.lock();
+    g_current = nullptr;
+  }
+  t->status_ = SimThread::Status::kFinished;
+  if (running_ == t) running_ = nullptr;
+  sched_cv_.notify_one();
+}
+
+SimThread* CoopScheduler::pick_min_ready_locked() {
+  SimThread* best = nullptr;
+  for (auto& up : threads_) {
+    SimThread* t = up.get();
+    if (t->status_ != SimThread::Status::kReady) continue;
+    if (!best || t->clock_ < best->clock_ ||
+        (t->clock_ == best->clock_ && t->id_ < best->id_)) {
+      best = t;
+    }
+  }
+  return best;
+}
+
+void CoopScheduler::run() {
+  std::unique_lock lock(mu_);
+  SAM_EXPECT(!in_run_, "CoopScheduler::run is not reentrant");
+  in_run_ = true;
+
+  std::exception_ptr first_error;
+  bool deadlocked = false;
+  std::string deadlock_detail;
+
+  for (;;) {
+    // Surface the first user error as soon as the failing thread stops.
+    for (auto& up : threads_) {
+      if (up->error_) {
+        first_error = up->error_;
+        break;
+      }
+    }
+    if (first_error) break;
+
+    SimThread* t = pick_min_ready_locked();
+    const bool have_event = !events_.empty();
+    const SimTime ev_time = have_event ? events_.next_time() : 0;
+
+    if (!t && !have_event) {
+      bool any_blocked = false;
+      for (auto& up : threads_) {
+        if (up->status_ == SimThread::Status::kBlocked) {
+          any_blocked = true;
+          deadlock_detail += up->name_ + " ";
+        }
+      }
+      if (any_blocked) {
+        deadlocked = true;
+      }
+      break;  // finished (or deadlocked)
+    }
+
+    if (have_event && (!t || ev_time <= t->clock_)) {
+      // Event callbacks run without the lock so they may call unblock().
+      lock.unlock();
+      const SimTime et = events_.run_next();
+      lock.lock();
+      horizon_ = std::max(horizon_, et);
+      continue;
+    }
+
+    horizon_ = std::max(horizon_, t->clock_);
+    t->status_ = SimThread::Status::kRunning;
+    running_ = t;
+    t->cv_.notify_one();
+    sched_cv_.wait(lock, [&] { return running_ == nullptr; });
+  }
+
+  // Shutdown: unwind every thread that has not finished.
+  aborting_ = true;
+  for (;;) {
+    bool all_done = true;
+    for (auto& up : threads_) {
+      if (up->status_ != SimThread::Status::kFinished) {
+        all_done = false;
+        up->cv_.notify_one();
+      }
+    }
+    if (all_done) break;
+    sched_cv_.wait_for(lock, std::chrono::milliseconds(1));
+  }
+  lock.unlock();
+  for (auto& up : threads_) {
+    if (up->os_thread_.joinable()) up->os_thread_.join();
+  }
+  lock.lock();
+  aborting_ = false;
+
+  if (first_error) std::rethrow_exception(first_error);
+  if (deadlocked) {
+    throw DeadlockError("simulation deadlock: blocked threads with no pending events: " +
+                        deadlock_detail);
+  }
+}
+
+CoopScheduler::~CoopScheduler() {
+  {
+    std::unique_lock lock(mu_);
+    aborting_ = true;
+    for (auto& up : threads_) up->cv_.notify_one();
+  }
+  for (auto& up : threads_) {
+    if (up->os_thread_.joinable()) up->os_thread_.join();
+  }
+}
+
+void CoopScheduler::hand_back_to_scheduler_locked(std::unique_lock<std::mutex>& lock,
+                                                  SimThread* t) {
+  running_ = nullptr;
+  sched_cv_.notify_one();
+  t->cv_.wait(lock, [&] { return t->status_ == SimThread::Status::kRunning || aborting_; });
+  if (t->status_ != SimThread::Status::kRunning) throw AbortSignal{};
+}
+
+void CoopScheduler::yield_current() {
+  SimThread* t = current();
+  SAM_EXPECT(t != nullptr, "yield_current outside a simulated thread");
+  std::unique_lock lock(mu_);
+  t->status_ = SimThread::Status::kReady;
+  hand_back_to_scheduler_locked(lock, t);
+}
+
+void CoopScheduler::wait_until(SimTime when) {
+  SimThread* t = current();
+  SAM_EXPECT(t != nullptr, "wait_until outside a simulated thread");
+  t->advance_to(when);
+  yield_current();
+}
+
+void CoopScheduler::block_current() {
+  SimThread* t = current();
+  SAM_EXPECT(t != nullptr, "block_current outside a simulated thread");
+  std::unique_lock lock(mu_);
+  t->status_ = SimThread::Status::kBlocked;
+  hand_back_to_scheduler_locked(lock, t);
+}
+
+void CoopScheduler::unblock(SimThread* t, SimTime at) {
+  SAM_EXPECT(t != nullptr, "unblock(nullptr)");
+  std::unique_lock lock(mu_);
+  SAM_EXPECT(t->status_ == SimThread::Status::kBlocked,
+             "unblock of thread '" + t->name_ + "' that is not blocked");
+  t->advance_to(at);
+  t->status_ = SimThread::Status::kReady;
+}
+
+EventId CoopScheduler::schedule_event(SimTime when, std::function<void()> fn) {
+  std::unique_lock lock(mu_);
+  return events_.schedule(when, std::move(fn));
+}
+
+bool CoopScheduler::cancel_event(EventId id) {
+  std::unique_lock lock(mu_);
+  return events_.cancel(id);
+}
+
+}  // namespace sam::sim

@@ -1,0 +1,154 @@
+// Cooperative min-clock scheduler: deterministic simulated multithreading.
+//
+// Each simulated thread (SimThread) is backed by an OS thread, but at most
+// one participant — the scheduler loop or exactly one SimThread — executes
+// at any instant. Every SimThread carries a virtual clock. The scheduler
+// always resumes the *ready thread with the smallest clock* (ties broken by
+// thread id), interleaved with event-queue callbacks in timestamp order.
+//
+// Threads advance their own clocks freely while computing (no interaction),
+// and must pass through a scheduler call (yield / block / wait_until) before
+// any timestamped interaction with shared simulation state. Under that
+// protocol, all interactions are presented to shared resources in
+// nondecreasing time order, making queue models exact and runs
+// bit-reproducible regardless of host scheduling.
+//
+// Memory visibility: shared simulation state is only touched by the single
+// running participant; every handoff goes through the scheduler mutex,
+// which establishes happens-before between consecutive participants.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <stdexcept>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "util/time_types.hpp"
+
+namespace sam::sim {
+
+class CoopScheduler;
+
+/// Thrown by CoopScheduler::run() when every remaining thread is blocked and
+/// no events are pending — the simulated system can make no progress.
+class DeadlockError : public std::runtime_error {
+ public:
+  explicit DeadlockError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Identifier of a simulated thread within its scheduler.
+using SimThreadId = std::uint32_t;
+
+/// Per-simulated-thread state. Owned by the scheduler.
+class SimThread {
+ public:
+  SimThread(CoopScheduler* sched, SimThreadId id, std::string name, SimTime start_clock,
+            std::function<void()> body);
+  ~SimThread();
+
+  SimThread(const SimThread&) = delete;
+  SimThread& operator=(const SimThread&) = delete;
+
+  SimThreadId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  SimTime clock() const { return clock_; }
+
+  /// Adds virtual time to this thread's clock (compute, cache hits, ...).
+  /// Callable only from the thread itself while running.
+  void advance(SimDuration d) { clock_ += d; }
+
+  /// Sets the clock forward to `t` (no-op if already past it).
+  void advance_to(SimTime t) {
+    if (t > clock_) clock_ = t;
+  }
+
+ private:
+  friend class CoopScheduler;
+
+  enum class Status { kReady, kRunning, kBlocked, kFinished };
+
+  CoopScheduler* sched_;
+  SimThreadId id_;
+  std::string name_;
+  SimTime clock_;
+  Status status_ = Status::kReady;
+  std::function<void()> body_;
+  std::exception_ptr error_;
+  std::condition_variable cv_;
+  std::thread os_thread_;
+  bool started_ = false;
+};
+
+/// Drives a set of SimThreads plus an EventQueue to completion.
+class CoopScheduler {
+ public:
+  CoopScheduler();
+  ~CoopScheduler();
+
+  CoopScheduler(const CoopScheduler&) = delete;
+  CoopScheduler& operator=(const CoopScheduler&) = delete;
+
+  /// Creates a simulated thread starting at virtual time `start_clock`.
+  /// May be called before run() or from a running SimThread.
+  SimThread* spawn(std::string name, SimTime start_clock, std::function<void()> body);
+
+  /// Runs the simulation until all threads finish and no events remain.
+  /// Rethrows the first exception raised inside any simulated thread.
+  /// Throws if the system deadlocks (blocked threads, no events).
+  void run();
+
+  /// The SimThread currently executing, or nullptr in scheduler context.
+  static SimThread* current();
+
+  /// --- calls below are made from within a running SimThread ---
+
+  /// Yields to the scheduler; resumes when this thread is min-clock again.
+  void yield_current();
+
+  /// Advances the current thread's clock to at least `t`, then yields.
+  void wait_until(SimTime t);
+
+  /// Blocks the current thread until some other participant unblocks it.
+  void block_current();
+
+  /// Makes `t` ready again with clock >= `at`. Callable from a running
+  /// thread or an event callback.
+  void unblock(SimThread* t, SimTime at);
+
+  /// Schedules an event callback at virtual time `when`. Callbacks execute
+  /// in scheduler context (no current thread) and may call unblock().
+  EventId schedule_event(SimTime when, std::function<void()> fn);
+  bool cancel_event(EventId id);
+
+  /// Largest virtual timestamp handed to any participant so far.
+  SimTime horizon() const { return horizon_; }
+
+  std::size_t thread_count() const { return threads_.size(); }
+  SimThread* thread(SimThreadId id) { return threads_.at(id).get(); }
+
+ private:
+  friend class SimThread;
+
+  void thread_main(SimThread* t);
+  void hand_back_to_scheduler_locked(std::unique_lock<std::mutex>& lock, SimThread* t);
+  SimThread* pick_min_ready_locked();
+
+  std::mutex mu_;
+  std::condition_variable sched_cv_;
+  std::vector<std::unique_ptr<SimThread>> threads_;
+  EventQueue events_;
+  SimThread* running_ = nullptr;
+  bool in_run_ = false;
+  bool aborting_ = false;
+  SimTime horizon_ = 0;
+};
+
+}  // namespace sam::sim

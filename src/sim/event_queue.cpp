@@ -1,0 +1,58 @@
+#include "sim/event_queue.hpp"
+
+#include "util/expect.hpp"
+
+namespace sam::sim {
+
+EventId EventQueue::schedule(SimTime when, std::function<void()> fn) {
+  SAM_EXPECT(static_cast<bool>(fn), "null event callback");
+  const EventId id = cancelled_.size();
+  cancelled_.push_back(false);
+  heap_.push(Entry{when, next_seq_++, id, std::move(fn)});
+  ++live_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  SAM_EXPECT(id < cancelled_.size(), "unknown event id");
+  if (cancelled_[id]) return false;
+  cancelled_[id] = true;
+  if (live_ > 0) --live_;
+  return true;
+}
+
+void EventQueue::drop_cancelled() const {
+  while (!heap_.empty() && cancelled_[heap_.top().id]) {
+    // const_cast is confined here: popping cancelled entries does not change
+    // the queue's observable (live) contents.
+    const_cast<EventQueue*>(this)->heap_.pop();
+  }
+}
+
+SimTime EventQueue::next_time() const {
+  drop_cancelled();
+  SAM_EXPECT(!heap_.empty(), "next_time on empty EventQueue");
+  return heap_.top().when;
+}
+
+SimTime EventQueue::run_next() {
+  drop_cancelled();
+  SAM_EXPECT(!heap_.empty(), "run_next on empty EventQueue");
+  Entry e = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  cancelled_[e.id] = true;  // mark consumed
+  --live_;
+  e.fn();
+  return e.when;
+}
+
+std::size_t EventQueue::run_until(SimTime until) {
+  std::size_t n = 0;
+  while (!empty() && next_time() <= until) {
+    run_next();
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace sam::sim

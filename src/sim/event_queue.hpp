@@ -1,0 +1,66 @@
+// Discrete-event queue: timestamped callbacks executed in time order.
+//
+// Used for asynchronous completions (e.g. Samhita's anticipatory paging:
+// a prefetch issued at time t completes at t + transfer_time, regardless of
+// what the issuing thread does in between) and for simulation timers.
+//
+// Determinism: ties on time are broken by insertion sequence number, so two
+// events at the same instant always fire in the order they were scheduled.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/time_types.hpp"
+
+namespace sam::sim {
+
+/// Opaque handle identifying a scheduled event (for cancellation).
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  /// Schedules `fn` to run at simulated time `when`. Returns a cancel handle.
+  EventId schedule(SimTime when, std::function<void()> fn);
+
+  /// Cancels a pending event; returns false if it already fired/was cancelled.
+  bool cancel(EventId id);
+
+  /// True if no live events remain.
+  bool empty() const { return live_ == 0; }
+
+  std::size_t size() const { return live_; }
+
+  /// Time of the earliest pending event. Requires !empty().
+  SimTime next_time() const;
+
+  /// Pops and runs the earliest event; returns its timestamp.
+  /// Requires !empty().
+  SimTime run_next();
+
+  /// Runs all events with time <= `until`; returns number executed.
+  std::size_t run_until(SimTime until);
+
+ private:
+  struct Entry {
+    SimTime when;
+    std::uint64_t seq;
+    EventId id;
+    std::function<void()> fn;
+    bool operator>(const Entry& o) const {
+      if (when != o.when) return when > o.when;
+      return seq > o.seq;
+    }
+  };
+
+  void drop_cancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+  mutable std::vector<bool> cancelled_;  // indexed by EventId
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace sam::sim

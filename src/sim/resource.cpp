@@ -1,0 +1,41 @@
+#include "sim/resource.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace sam::sim {
+
+SimTime Resource::serve(SimTime arrival, SimDuration service) {
+  const SimTime start = std::max(arrival, next_free_);
+  waits_.add(to_seconds(start - arrival));
+  next_free_ = start + service;
+  busy_ += service;
+  ++requests_;
+  return next_free_;
+}
+
+void Resource::reset() {
+  next_free_ = 0;
+  busy_ = 0;
+  requests_ = 0;
+  waits_ = util::StreamingStats{};
+}
+
+MultiResource::MultiResource(std::string name, unsigned servers) : name_(std::move(name)) {
+  SAM_EXPECT(servers >= 1, "MultiResource needs at least one server");
+  free_at_.assign(servers, 0);
+}
+
+SimTime MultiResource::serve(SimTime arrival, SimDuration service) {
+  // Pick the server that frees up first (ties: lowest index, deterministic).
+  auto it = std::min_element(free_at_.begin(), free_at_.end());
+  const SimTime start = std::max(arrival, *it);
+  *it = start + service;
+  ++requests_;
+  return *it;
+}
+
+void MultiResource::reset() { std::fill(free_at_.begin(), free_at_.end(), 0); }
+
+}  // namespace sam::sim

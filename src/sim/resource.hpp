@@ -1,0 +1,68 @@
+// FIFO service stations for contention modelling.
+//
+// A Resource models a serially-serviced component — a memory server's
+// request pipeline, a NIC, the manager's service loop. A request arriving
+// at time `a` needing service `s` completes at
+//     max(a, next_free) + s
+// and pushes next_free to that completion time. Because the CoopScheduler
+// always runs the minimum-clock thread, arrivals are presented in
+// nondecreasing time order, which makes this closed-form queue exact.
+//
+// A MultiResource models k identical servers (e.g. a multi-threaded memory
+// server) with the same discipline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+#include "util/time_types.hpp"
+
+namespace sam::sim {
+
+class Resource {
+ public:
+  explicit Resource(std::string name) : name_(std::move(name)) {}
+
+  /// Books a request; returns its completion time.
+  SimTime serve(SimTime arrival, SimDuration service);
+
+  /// Earliest time a new arrival could start service.
+  SimTime next_free() const { return next_free_; }
+
+  const std::string& name() const { return name_; }
+
+  /// Total booked busy time (for utilization reporting).
+  SimDuration busy_time() const { return busy_; }
+  std::uint64_t request_count() const { return requests_; }
+  /// Mean queueing delay (waiting before service) over all requests, seconds.
+  double mean_wait_seconds() const { return waits_.mean(); }
+
+  void reset();
+
+ private:
+  std::string name_;
+  SimTime next_free_ = 0;
+  SimDuration busy_ = 0;
+  std::uint64_t requests_ = 0;
+  util::StreamingStats waits_;
+};
+
+class MultiResource {
+ public:
+  MultiResource(std::string name, unsigned servers);
+
+  SimTime serve(SimTime arrival, SimDuration service);
+
+  unsigned servers() const { return static_cast<unsigned>(free_at_.size()); }
+  std::uint64_t request_count() const { return requests_; }
+  void reset();
+
+ private:
+  std::string name_;
+  std::vector<SimTime> free_at_;
+  std::uint64_t requests_ = 0;
+};
+
+}  // namespace sam::sim

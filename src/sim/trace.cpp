@@ -1,0 +1,77 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/expect.hpp"
+
+namespace sam::sim {
+
+const char* to_string(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kCacheMiss: return "cache_miss";
+    case TraceKind::kCacheHit: return "cache_hit";
+    case TraceKind::kPrefetchIssue: return "prefetch_issue";
+    case TraceKind::kPrefetchHit: return "prefetch_hit";
+    case TraceKind::kFlush: return "flush";
+    case TraceKind::kLazyPull: return "lazy_pull";
+    case TraceKind::kInvalidate: return "invalidate";
+    case TraceKind::kEvict: return "evict";
+    case TraceKind::kLockAcquire: return "lock_acquire";
+    case TraceKind::kLockRelease: return "lock_release";
+    case TraceKind::kBarrierArrive: return "barrier_arrive";
+    case TraceKind::kBarrierRelease: return "barrier_release";
+    case TraceKind::kUpdateApply: return "update_apply";
+    case TraceKind::kAlloc: return "alloc";
+  }
+  return "?";
+}
+
+TraceBuffer::TraceBuffer(std::size_t capacity) {
+  SAM_EXPECT(capacity > 0, "trace buffer capacity must be positive");
+  ring_.resize(capacity);
+}
+
+void TraceBuffer::record(SimTime time, std::uint32_t thread, TraceKind kind,
+                         std::uint64_t object, std::uint64_t detail) {
+  if (!enabled_) return;
+  ring_[next_] = TraceEvent{time, thread, kind, object, detail};
+  next_ = (next_ + 1) % ring_.size();
+  ++total_;
+}
+
+std::vector<TraceEvent> TraceBuffer::snapshot() const {
+  std::vector<TraceEvent> out;
+  const std::size_t kept = static_cast<std::size_t>(
+      std::min<std::uint64_t>(total_, ring_.size()));
+  out.reserve(kept);
+  // Oldest event position when the ring has wrapped.
+  const std::size_t start = total_ > ring_.size() ? next_ : 0;
+  for (std::size_t i = 0; i < kept; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void TraceBuffer::clear() {
+  next_ = 0;
+  total_ = 0;
+}
+
+void TraceBuffer::dump_csv(std::ostream& out) const {
+  out << "time_ns,thread,kind,object,detail\n";
+  for (const TraceEvent& e : snapshot()) {
+    out << e.time << ',' << e.thread << ',' << to_string(e.kind) << ',' << e.object << ','
+        << e.detail << '\n';
+  }
+}
+
+std::uint64_t TraceBuffer::count(TraceKind kind) const {
+  std::uint64_t n = 0;
+  for (const TraceEvent& e : snapshot()) {
+    if (e.kind == kind) ++n;
+  }
+  return n;
+}
+
+}  // namespace sam::sim

@@ -1,0 +1,77 @@
+// Protocol event tracing.
+//
+// The simulator is deterministic, so a trace of protocol events is an exact,
+// replayable record of a run — invaluable for debugging consistency issues
+// and for understanding where a workload's time goes. Tracing is off by
+// default (zero overhead beyond a branch); when enabled the runtime records
+// one TraceEvent per protocol action into a bounded ring.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/time_types.hpp"
+
+namespace sam::sim {
+
+enum class TraceKind : std::uint8_t {
+  kCacheMiss,
+  kCacheHit,
+  kPrefetchIssue,
+  kPrefetchHit,
+  kFlush,
+  kLazyPull,
+  kInvalidate,
+  kEvict,
+  kLockAcquire,
+  kLockRelease,
+  kBarrierArrive,
+  kBarrierRelease,
+  kUpdateApply,
+  kAlloc,
+};
+
+const char* to_string(TraceKind kind);
+
+struct TraceEvent {
+  SimTime time = 0;
+  std::uint32_t thread = 0;
+  TraceKind kind = TraceKind::kCacheMiss;
+  std::uint64_t object = 0;  ///< line id, lock id, barrier id, address...
+  std::uint64_t detail = 0;  ///< bytes moved, waiters, ...
+};
+
+/// Bounded event ring. When full, the oldest events are overwritten.
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(std::size_t capacity = 1 << 16);
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  void record(SimTime time, std::uint32_t thread, TraceKind kind, std::uint64_t object,
+              std::uint64_t detail);
+
+  /// Events in record order (oldest first), honoring ring wraparound.
+  std::vector<TraceEvent> snapshot() const;
+
+  std::uint64_t total_recorded() const { return total_; }
+  std::size_t capacity() const { return ring_.size(); }
+  void clear();
+
+  /// Writes the snapshot as CSV (time_ns,thread,kind,object,detail).
+  void dump_csv(std::ostream& out) const;
+
+  /// Number of recorded events of one kind (within the retained window).
+  std::uint64_t count(TraceKind kind) const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<TraceEvent> ring_;
+  std::size_t next_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace sam::sim

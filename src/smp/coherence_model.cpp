@@ -1,0 +1,49 @@
+#include "smp/coherence_model.hpp"
+
+#include "util/expect.hpp"
+
+namespace sam::smp {
+
+CoherenceModel::CoherenceModel(Params params) : params_(params) {
+  SAM_EXPECT(params_.line_bytes > 0 && (params_.line_bytes & (params_.line_bytes - 1)) == 0,
+             "coherence line size must be a power of two");
+}
+
+SimDuration CoherenceModel::on_write(std::uint32_t t, std::uint64_t addr, std::size_t n) {
+  SAM_EXPECT(n > 0, "empty write");
+  const std::uint64_t first = addr / params_.line_bytes;
+  const std::uint64_t last = (addr + n - 1) / params_.line_bytes;
+  const std::uint64_t me = std::uint64_t{1} << (t % 64);
+  SimDuration penalty = 0;
+  for (std::uint64_t l = first; l <= last; ++l) {
+    LineState& s = lines_[l];
+    const bool exclusive_mine = (s.owner == t) && ((s.sharers & ~me) == 0);
+    if (!exclusive_mine && (s.owner != kNoOwner || (s.sharers & ~me) != 0)) {
+      penalty += params_.ownership_transfer;
+      ++transfers_;
+    }
+    s.owner = t;
+    s.sharers = me;
+  }
+  return penalty;
+}
+
+SimDuration CoherenceModel::on_read(std::uint32_t t, std::uint64_t addr, std::size_t n) {
+  SAM_EXPECT(n > 0, "empty read");
+  const std::uint64_t first = addr / params_.line_bytes;
+  const std::uint64_t last = (addr + n - 1) / params_.line_bytes;
+  const std::uint64_t me = std::uint64_t{1} << (t % 64);
+  SimDuration penalty = 0;
+  for (std::uint64_t l = first; l <= last; ++l) {
+    LineState& s = lines_[l];
+    if (s.owner != kNoOwner && s.owner != t) {
+      penalty += params_.share_transfer;
+      ++transfers_;
+      s.owner = kNoOwner;  // downgraded to shared
+    }
+    s.sharers |= me;
+  }
+  return penalty;
+}
+
+}  // namespace sam::smp

@@ -1,0 +1,262 @@
+#include "smp/smp_runtime.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "core/metrics.hpp"
+#include "util/expect.hpp"
+
+namespace sam::smp {
+
+SmpRuntime::SmpRuntime(SmpConfig config) : config_(config), coherence_(config.coherence) {
+  // Reserve (don't touch) the whole heap up front: views hand out raw spans
+  // into this buffer, so the backing storage must never relocate. Actual
+  // pages are committed lazily as the bump pointer grows.
+  heap_.reserve(config_.heap_bytes);
+}
+
+SmpRuntime::~SmpRuntime() = default;
+
+rt::MutexId SmpRuntime::create_mutex() {
+  mutexes_.emplace_back();
+  return static_cast<rt::MutexId>(mutexes_.size() - 1);
+}
+
+rt::CondId SmpRuntime::create_cond() {
+  conds_.emplace_back();
+  return static_cast<rt::CondId>(conds_.size() - 1);
+}
+
+rt::BarrierId SmpRuntime::create_barrier(std::uint32_t parties) {
+  SAM_EXPECT(parties >= 1, "barrier needs at least one party");
+  barriers_.emplace_back();
+  barriers_.back().parties = parties;
+  return static_cast<rt::BarrierId>(barriers_.size() - 1);
+}
+
+void SmpRuntime::parallel_run(std::uint32_t nthreads,
+                              const std::function<void(rt::ThreadCtx&)>& body) {
+  SAM_EXPECT(!ran_, "parallel_run may be called once per runtime instance");
+  SAM_EXPECT(nthreads >= 1, "need at least one thread");
+  SAM_EXPECT(nthreads <= config_.max_cores,
+             "thread count exceeds the node's cores (pthreads baseline)");
+  ran_ = true;
+  ctxs_.reserve(nthreads);
+  for (std::uint32_t i = 0; i < nthreads; ++i) {
+    ctxs_.push_back(std::make_unique<SmpThreadCtx>(this, i, nthreads));
+  }
+  for (std::uint32_t i = 0; i < nthreads; ++i) {
+    SmpThreadCtx* ctx = ctxs_[i].get();
+    // pthread_create costs a few microseconds per thread.
+    sched_.spawn("pthread-" + std::to_string(i),
+                 static_cast<SimTime>(i) * 3 * timeunits::kMicrosecond, [ctx, &body] {
+                   ctx->on_thread_start();
+                   body(*ctx);
+                   ctx->on_thread_end();
+                 });
+  }
+  sched_.run();
+}
+
+rt::ThreadReport SmpRuntime::report(std::uint32_t thread) const {
+  SAM_EXPECT(thread < ctxs_.size(), "thread index out of range");
+  const core::Metrics& m = ctxs_[thread]->metrics();
+  rt::ThreadReport r;
+  r.compute_seconds = to_seconds(m.compute_ns);
+  r.sync_seconds = to_seconds(m.sync_ns());
+  r.measured_seconds = to_seconds(m.measured_ns());
+  return r;
+}
+
+std::uint32_t SmpRuntime::ran_threads() const {
+  return static_cast<std::uint32_t>(ctxs_.size());
+}
+
+void SmpRuntime::read_global(rt::Addr addr, std::byte* out, std::size_t bytes) const {
+  SAM_EXPECT(addr + bytes <= heap_.size(), "read beyond heap");
+  std::memcpy(out, heap_.data() + addr, bytes);
+}
+
+// ---------------------------------------------------------------------------
+// SmpThreadCtx
+// ---------------------------------------------------------------------------
+
+SmpThreadCtx::SmpThreadCtx(SmpRuntime* rt, std::uint32_t idx, std::uint32_t nthreads)
+    : rt_(rt), idx_(idx), nthreads_(nthreads) {}
+
+void SmpThreadCtx::on_thread_start() {
+  sim_thread_ = sim::CoopScheduler::current();
+  SAM_EXPECT(sim_thread_ != nullptr, "ctx must start inside a simulated thread");
+}
+
+void SmpThreadCtx::on_thread_end() {
+  if (metrics_.measuring && metrics_.measure_end == 0) {
+    metrics_.measure_end = clock();
+  }
+}
+
+SimTime SmpThreadCtx::clock() const {
+  SAM_EXPECT(sim_thread_ != nullptr, "context not bound to a simulated thread");
+  return sim_thread_->clock();
+}
+
+SimTime SmpThreadCtx::now() const { return clock(); }
+
+void SmpThreadCtx::charge(SimDuration d, Bucket bucket) {
+  sim_thread_->advance(d);
+  switch (bucket) {
+    case Bucket::kCompute: metrics_.compute_ns += d; break;
+    case Bucket::kLock: metrics_.sync_lock_ns += d; break;
+    case Bucket::kBarrier: metrics_.sync_barrier_ns += d; break;
+    case Bucket::kAlloc: metrics_.alloc_ns += d; break;
+  }
+}
+
+rt::Addr SmpThreadCtx::alloc(std::size_t bytes) {
+  SAM_EXPECT(bytes > 0, "zero-byte allocation");
+  // 64-byte aligned bump allocation: like glibc malloc for these sizes, and
+  // guarantees that separate allocations never share a coherence line.
+  const std::uint64_t aligned = (rt_->brk_ + 63) / 64 * 64;
+  SAM_EXPECT(aligned + bytes <= rt_->heap_.capacity(), "heap exhausted");
+  rt_->brk_ = aligned + bytes;
+  if (rt_->brk_ > rt_->heap_.size()) rt_->heap_.resize(rt_->brk_);
+  charge(rt_->config().alloc_cost, Bucket::kAlloc);
+  return aligned;
+}
+
+void SmpThreadCtx::free(rt::Addr addr) {
+  (void)addr;
+  charge(60, Bucket::kAlloc);
+}
+
+std::span<const std::byte> SmpThreadCtx::read_view(rt::Addr addr, std::size_t bytes) {
+  SAM_EXPECT(bytes > 0 && addr + bytes <= rt_->heap_.size(), "view out of range");
+  charge(rt_->config().view_overhead, Bucket::kCompute);
+  charge(rt_->coherence_.on_read(idx_, addr, bytes), Bucket::kCompute);
+  return {rt_->heap_.data() + addr, bytes};
+}
+
+std::span<std::byte> SmpThreadCtx::write_view(rt::Addr addr, std::size_t bytes) {
+  SAM_EXPECT(bytes > 0 && addr + bytes <= rt_->heap_.size(), "view out of range");
+  charge(rt_->config().view_overhead, Bucket::kCompute);
+  charge(rt_->coherence_.on_write(idx_, addr, bytes), Bucket::kCompute);
+  return {rt_->heap_.data() + addr, bytes};
+}
+
+void SmpThreadCtx::charge_flops(double flops) {
+  charge(rt_->config().cost.flops_time(flops), Bucket::kCompute);
+}
+
+void SmpThreadCtx::charge_mem_ops(std::uint64_t loads, std::uint64_t stores) {
+  charge(rt_->config().cost.mem_ops_time(loads, stores), Bucket::kCompute);
+}
+
+void SmpThreadCtx::lock(rt::MutexId m) {
+  SAM_EXPECT(m < rt_->mutexes_.size(), "unknown mutex");
+  const SimTime t_start = clock();
+  rt_->sched_.yield_current();
+  SmpRuntime::Mutex& mx = rt_->mutexes_[m];
+  if (!mx.holder.has_value()) {
+    mx.holder = idx_;
+    charge(rt_->config().mutex_uncontended, Bucket::kLock);
+  } else {
+    mx.waiters.push_back(SmpRuntime::Waiter{idx_, sim_thread_});
+    rt_->sched_.block_current();
+    SAM_EXPECT(mx.holder.has_value() && *mx.holder == idx_, "woken without lock");
+    metrics_.sync_lock_ns += clock() - t_start;
+  }
+}
+
+void SmpThreadCtx::unlock(rt::MutexId m) {
+  SAM_EXPECT(m < rt_->mutexes_.size(), "unknown mutex");
+  SmpRuntime::Mutex& mx = rt_->mutexes_[m];
+  SAM_EXPECT(mx.holder.has_value() && *mx.holder == idx_, "unlock of non-held mutex");
+  charge(rt_->config().mutex_uncontended / 2, Bucket::kLock);
+  if (!mx.waiters.empty()) {
+    SmpRuntime::Waiter w = mx.waiters.front();
+    mx.waiters.pop_front();
+    mx.holder = w.thread;
+    rt_->sched_.unblock(w.sim_thread, clock() + rt_->config().mutex_handoff);
+  } else {
+    mx.holder.reset();
+  }
+}
+
+void SmpThreadCtx::cond_wait(rt::CondId c, rt::MutexId m) {
+  SAM_EXPECT(c < rt_->conds_.size(), "unknown condition variable");
+  const SimTime t_start = clock();
+  SmpRuntime::Cond& cv = rt_->conds_[c];
+  cv.waiters.push_back(SmpRuntime::Waiter{idx_, sim_thread_});
+  cv.waiter_mutex.push_back(m);
+  unlock(m);
+  rt_->sched_.block_current();
+  SmpRuntime::Mutex& mx = rt_->mutexes_[m];
+  SAM_EXPECT(mx.holder.has_value() && *mx.holder == idx_,
+             "cond_wait woke without holding the mutex");
+  metrics_.sync_lock_ns += clock() - t_start;
+}
+
+void SmpThreadCtx::cond_signal(rt::CondId c) {
+  SAM_EXPECT(c < rt_->conds_.size(), "unknown condition variable");
+  charge(80, Bucket::kLock);
+  SmpRuntime::Cond& cv = rt_->conds_[c];
+  if (cv.waiters.empty()) return;
+  SmpRuntime::Waiter w = cv.waiters.front();
+  cv.waiters.pop_front();
+  const rt::MutexId m = cv.waiter_mutex.front();
+  cv.waiter_mutex.erase(cv.waiter_mutex.begin());
+  SmpRuntime::Mutex& mx = rt_->mutexes_[m];
+  if (!mx.holder.has_value()) {
+    mx.holder = w.thread;
+    rt_->sched_.unblock(w.sim_thread, clock() + rt_->config().mutex_handoff);
+  } else {
+    mx.waiters.push_back(w);
+  }
+}
+
+void SmpThreadCtx::cond_broadcast(rt::CondId c) {
+  SAM_EXPECT(c < rt_->conds_.size(), "unknown condition variable");
+  const std::size_t n = rt_->conds_[c].waiters.size();
+  for (std::size_t i = 0; i < n; ++i) cond_signal(c);
+  if (n == 0) charge(80, Bucket::kLock);
+}
+
+void SmpThreadCtx::barrier(rt::BarrierId b) {
+  SAM_EXPECT(b < rt_->barriers_.size(), "unknown barrier");
+  const SimTime t_start = clock();
+  rt_->sched_.yield_current();
+  charge(rt_->config().barrier_arrival, Bucket::kBarrier);
+  SmpRuntime::Barrier& bar = rt_->barriers_[b];
+  bar.arrived.push_back(SmpRuntime::Waiter{idx_, sim_thread_});
+  bar.last_arrival = std::max(bar.last_arrival, clock());
+  if (bar.arrived.size() < bar.parties) {
+    rt_->sched_.block_current();
+    metrics_.sync_barrier_ns += clock() - t_start - rt_->config().barrier_arrival;
+  } else {
+    const SimTime release = bar.last_arrival + rt_->config().barrier_release_base +
+                            static_cast<SimDuration>(bar.parties) *
+                                rt_->config().barrier_release_per_thread;
+    for (const SmpRuntime::Waiter& w : bar.arrived) {
+      if (w.thread == idx_) continue;
+      rt_->sched_.unblock(w.sim_thread, release);
+    }
+    bar.arrived.clear();
+    bar.last_arrival = 0;
+    const SimTime t0 = clock();
+    sim_thread_->advance_to(release);
+    metrics_.sync_barrier_ns += clock() - t0;
+  }
+}
+
+void SmpThreadCtx::begin_measurement() {
+  metrics_.reset_counters();
+  metrics_.measuring = true;
+  metrics_.measure_begin = clock();
+}
+
+void SmpThreadCtx::end_measurement() {
+  SAM_EXPECT(metrics_.measuring, "end_measurement without begin_measurement");
+  metrics_.measure_end = clock();
+}
+
+}  // namespace sam::smp

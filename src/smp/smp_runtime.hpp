@@ -1,0 +1,138 @@
+// SmpRuntime: the paper's Pthreads baseline as a simulated coherent node.
+//
+// One cache-coherent node (the paper's dual quad-core Xeon), with cheap
+// futex-style synchronization and a 64-byte coherence cost model. Implements
+// rt::Runtime so the identical kernels from src/apps/ run on it — this is
+// the "pth" series in Figures 3-13.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/metrics.hpp"
+#include "rt/runtime.hpp"
+#include "sim/coop_scheduler.hpp"
+#include "smp/coherence_model.hpp"
+
+namespace sam::smp {
+
+struct SmpConfig {
+  unsigned max_cores = 8;  ///< paper node: dual quad-core
+  core::ComputeCost cost;  ///< same CPU model as the Samhita compute nodes
+  CoherenceModel::Params coherence;
+  SimDuration view_overhead = 2;          ///< address arithmetic per view
+  SimDuration mutex_uncontended = 60;     ///< atomic CAS acquire + release
+  SimDuration mutex_handoff = 250;        ///< futex wake + migration
+  SimDuration barrier_arrival = 40;       ///< atomic decrement
+  SimDuration barrier_release_base = 300; ///< futex broadcast
+  SimDuration barrier_release_per_thread = 40;
+  SimDuration alloc_cost = 120;
+  std::uint64_t heap_bytes = 1ull << 30;
+};
+
+class SmpThreadCtx;
+
+class SmpRuntime final : public rt::Runtime {
+ public:
+  explicit SmpRuntime(SmpConfig config = {});
+  ~SmpRuntime() override;
+
+  const std::string& name() const override { return name_; }
+  rt::MutexId create_mutex() override;
+  rt::CondId create_cond() override;
+  rt::BarrierId create_barrier(std::uint32_t parties) override;
+  void parallel_run(std::uint32_t nthreads,
+                    const std::function<void(rt::ThreadCtx&)>& body) override;
+  rt::ThreadReport report(std::uint32_t thread) const override;
+  std::uint32_t ran_threads() const override;
+  void read_global(rt::Addr addr, std::byte* out, std::size_t bytes) const override;
+
+  const SmpConfig& config() const { return config_; }
+  CoherenceModel& coherence() { return coherence_; }
+
+ private:
+  friend class SmpThreadCtx;
+
+  struct Waiter {
+    std::uint32_t thread;
+    sim::SimThread* sim_thread;
+  };
+  struct Mutex {
+    std::optional<std::uint32_t> holder;
+    std::deque<Waiter> waiters;
+  };
+  struct Cond {
+    std::deque<Waiter> waiters;
+    std::vector<rt::MutexId> waiter_mutex;
+  };
+  struct Barrier {
+    std::uint32_t parties = 0;
+    std::vector<Waiter> arrived;
+    SimTime last_arrival = 0;
+  };
+
+  std::string name_ = "pthreads";
+  SmpConfig config_;
+  std::vector<std::byte> heap_;
+  std::uint64_t brk_ = 64;  // keep 0 as a null-ish address
+  CoherenceModel coherence_;
+  std::vector<Mutex> mutexes_;
+  std::vector<Cond> conds_;
+  std::vector<Barrier> barriers_;
+  sim::CoopScheduler sched_;
+  std::vector<std::unique_ptr<SmpThreadCtx>> ctxs_;
+  bool ran_ = false;
+};
+
+/// Per-thread context of the SMP baseline.
+class SmpThreadCtx final : public rt::ThreadCtx {
+ public:
+  SmpThreadCtx(SmpRuntime* rt, std::uint32_t idx, std::uint32_t nthreads);
+
+  std::uint32_t index() const override { return idx_; }
+  std::uint32_t nthreads() const override { return nthreads_; }
+  SimTime now() const override;
+
+  rt::Addr alloc(std::size_t bytes) override;
+  // On a coherent node malloc'd blocks are already line-separated, so
+  // shared allocation is the same as private allocation.
+  rt::Addr alloc_shared(std::size_t bytes) override { return alloc(bytes); }
+  void free(rt::Addr addr) override;
+  std::span<const std::byte> read_view(rt::Addr addr, std::size_t bytes) override;
+  std::span<std::byte> write_view(rt::Addr addr, std::size_t bytes) override;
+  std::size_t view_granularity() const override { return std::size_t{1} << 30; }
+  void charge_flops(double flops) override;
+  void charge_mem_ops(std::uint64_t loads, std::uint64_t stores) override;
+  void lock(rt::MutexId m) override;
+  void unlock(rt::MutexId m) override;
+  void cond_wait(rt::CondId c, rt::MutexId m) override;
+  void cond_signal(rt::CondId c) override;
+  void cond_broadcast(rt::CondId c) override;
+  void barrier(rt::BarrierId b) override;
+  void begin_measurement() override;
+  void end_measurement() override;
+
+  void on_thread_start();
+  void on_thread_end();
+
+  const core::Metrics& metrics() const { return metrics_; }
+
+ private:
+  enum class Bucket { kCompute, kLock, kBarrier, kAlloc };
+  void charge(SimDuration d, Bucket bucket);
+  SimTime clock() const;
+
+  SmpRuntime* rt_;
+  std::uint32_t idx_;
+  std::uint32_t nthreads_;
+  sim::SimThread* sim_thread_ = nullptr;
+  core::Metrics metrics_;
+};
+
+}  // namespace sam::smp

@@ -1,0 +1,83 @@
+#include "util/arg_parser.hpp"
+
+#include <cstdlib>
+
+#include "util/expect.hpp"
+
+namespace sam::util {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  SAM_EXPECT(argc >= 1, "argc must include program name");
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const std::size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        kv_[arg.substr(2)] = "true";  // bare flag
+      } else {
+        kv_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    } else {
+      positional_.push_back(arg);
+    }
+  }
+}
+
+bool ArgParser::has(const std::string& key) const { return kv_.count(key) != 0; }
+
+std::string ArgParser::get_string(const std::string& key, const std::string& fallback) const {
+  auto it = kv_.find(key);
+  return it == kv_.end() ? fallback : it->second;
+}
+
+std::int64_t ArgParser::get_int(const std::string& key, std::int64_t fallback) const {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  char* end = nullptr;
+  const std::int64_t v = std::strtoll(it->second.c_str(), &end, 10);
+  SAM_EXPECT(end && *end == '\0', "not an integer: --" + key + "=" + it->second);
+  return v;
+}
+
+double ArgParser::get_double(const std::string& key, double fallback) const {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  SAM_EXPECT(end && *end == '\0', "not a number: --" + key + "=" + it->second);
+  return v;
+}
+
+bool ArgParser::get_bool(const std::string& key, bool fallback) const {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  SAM_EXPECT(false, "not a boolean: --" + key + "=" + v);
+  return fallback;
+}
+
+std::vector<std::int64_t> ArgParser::get_int_list(
+    const std::string& key, const std::vector<std::int64_t>& fallback) const {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  std::vector<std::int64_t> out;
+  std::string cur;
+  for (char c : it->second + ",") {
+    if (c == ',') {
+      if (!cur.empty()) {
+        char* end = nullptr;
+        out.push_back(std::strtoll(cur.c_str(), &end, 10));
+        SAM_EXPECT(end && *end == '\0', "bad integer list: --" + key);
+        cur.clear();
+      }
+    } else {
+      cur += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace sam::util

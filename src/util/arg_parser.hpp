@@ -1,0 +1,38 @@
+// Tiny --key=value command-line parser for benches and examples.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sam::util {
+
+/// Parses argv of the form: prog --alpha=3 --name=foo --flag positional...
+///
+/// Unknown keys are kept (benches share sweep drivers); `has`/getters pull
+/// typed values with defaults. Throws ContractViolation on malformed input.
+class ArgParser {
+ public:
+  ArgParser(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+  std::string get_string(const std::string& key, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Comma-separated integer list, e.g. --cores=1,2,4,8.
+  std::vector<std::int64_t> get_int_list(const std::string& key,
+                                         const std::vector<std::int64_t>& fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> kv_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace sam::util

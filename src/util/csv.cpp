@@ -1,0 +1,66 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+
+#include "util/expect.hpp"
+
+namespace sam::util {
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(std::ostream& out) : out_(out) {}
+
+CsvWriter::CsvWriter(std::ostream& out, const std::string& path) : out_(out) {
+  file_.open(path, std::ios::trunc);
+  SAM_EXPECT(file_.is_open(), "cannot open CSV output file: " + path);
+  has_file_ = true;
+}
+
+void CsvWriter::emit(const std::string& line) {
+  out_ << line << '\n';
+  if (has_file_) file_ << line << '\n';
+}
+
+void CsvWriter::header(const std::vector<std::string>& columns) {
+  SAM_EXPECT(!header_written_, "CSV header written twice");
+  std::string line;
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i) line += ',';
+    line += csv_escape(columns[i]);
+  }
+  emit(line);
+  header_written_ = true;
+}
+
+void CsvWriter::row(const std::vector<double>& cells) {
+  std::string line;
+  char buf[64];
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) line += ',';
+    std::snprintf(buf, sizeof buf, "%.6g", cells[i]);
+    line += buf;
+  }
+  emit(line);
+  ++rows_;
+}
+
+void CsvWriter::raw_row(const std::vector<std::string>& cells) {
+  std::string line;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) line += ',';
+    line += csv_escape(cells[i]);
+  }
+  emit(line);
+  ++rows_;
+}
+
+}  // namespace sam::util

@@ -1,0 +1,47 @@
+// Minimal CSV emitter for benchmark harness output.
+//
+// Every figure-reproduction bench prints a CSV series to stdout (and
+// optionally a file) so results can be plotted or diffed between runs.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sam::util {
+
+/// Writes rows of a CSV table to one or two sinks (stdout and/or a file).
+class CsvWriter {
+ public:
+  /// Writes to `out` only.
+  explicit CsvWriter(std::ostream& out);
+  /// Writes to `out` and to the file at `path` (truncating it).
+  CsvWriter(std::ostream& out, const std::string& path);
+
+  /// Emits the header row. Must be called at most once, before any row.
+  void header(const std::vector<std::string>& columns);
+
+  /// Emits one data row; cells are formatted with %.6g for doubles.
+  void row(const std::vector<double>& cells);
+
+  /// Emits one row of preformatted cells.
+  void raw_row(const std::vector<std::string>& cells);
+
+  std::size_t rows_written() const { return rows_; }
+
+ private:
+  void emit(const std::string& line);
+
+  std::ostream& out_;
+  std::ofstream file_;
+  bool has_file_ = false;
+  bool header_written_ = false;
+  std::size_t rows_ = 0;
+};
+
+/// Escapes a CSV cell (quotes cells containing separators).
+std::string csv_escape(const std::string& cell);
+
+}  // namespace sam::util

@@ -1,0 +1,33 @@
+// Lightweight contract checking used across the library.
+//
+// SAM_EXPECT is for preconditions/invariants that indicate a programming
+// error if violated. It throws (rather than aborting) so that tests can
+// assert on misuse, and so a simulation driver can report a clean error.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace sam::util {
+
+/// Error thrown when a SAM_EXPECT contract is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void contract_fail(const char* expr, const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << "contract violated: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+
+}  // namespace sam::util
+
+#define SAM_EXPECT(expr, msg)                                            \
+  do {                                                                   \
+    if (!(expr)) ::sam::util::contract_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)

@@ -1,0 +1,44 @@
+#include "util/logger.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace sam::util {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel Logger::level() { return g_level; }
+
+void Logger::set_level(LogLevel level) { g_level = level; }
+
+void Logger::init_from_env() {
+  const char* env = std::getenv("SAMHITA_LOG");
+  if (!env) return;
+  if (!std::strcmp(env, "trace")) g_level = LogLevel::kTrace;
+  else if (!std::strcmp(env, "debug")) g_level = LogLevel::kDebug;
+  else if (!std::strcmp(env, "info")) g_level = LogLevel::kInfo;
+  else if (!std::strcmp(env, "warn")) g_level = LogLevel::kWarn;
+  else if (!std::strcmp(env, "error")) g_level = LogLevel::kError;
+  else if (!std::strcmp(env, "off")) g_level = LogLevel::kOff;
+}
+
+void Logger::write(LogLevel level, const std::string& component, const std::string& message) {
+  std::fprintf(stderr, "[%s] %s: %s\n", level_name(level), component.c_str(), message.c_str());
+}
+
+}  // namespace sam::util

@@ -1,0 +1,41 @@
+// Leveled logger with zero overhead when disabled.
+//
+// The simulator is deterministic, so logs line up perfectly between runs;
+// a trace-level dump of protocol events is a first-class debugging tool.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace sam::util {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Process-wide log configuration (simulation is single-OS-thread-at-a-time,
+/// so plain statics are safe here by construction of the CoopScheduler).
+class Logger {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel level);
+  /// Reads SAMHITA_LOG env var (trace/debug/info/warn/error/off) once.
+  static void init_from_env();
+  static void write(LogLevel level, const std::string& component, const std::string& message);
+  static bool enabled(LogLevel l) { return l >= level(); }
+};
+
+}  // namespace sam::util
+
+#define SAM_LOG(lvl, component, expr)                                     \
+  do {                                                                    \
+    if (::sam::util::Logger::enabled(lvl)) {                              \
+      std::ostringstream sam_log_os_;                                     \
+      sam_log_os_ << expr;                                                \
+      ::sam::util::Logger::write(lvl, component, sam_log_os_.str());      \
+    }                                                                     \
+  } while (0)
+
+#define SAM_TRACE(component, expr) SAM_LOG(::sam::util::LogLevel::kTrace, component, expr)
+#define SAM_DEBUG(component, expr) SAM_LOG(::sam::util::LogLevel::kDebug, component, expr)
+#define SAM_INFO(component, expr) SAM_LOG(::sam::util::LogLevel::kInfo, component, expr)
+#define SAM_WARN(component, expr) SAM_LOG(::sam::util::LogLevel::kWarn, component, expr)
+#define SAM_ERROR(component, expr) SAM_LOG(::sam::util::LogLevel::kError, component, expr)

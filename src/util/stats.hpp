@@ -1,0 +1,53 @@
+// Streaming and batch statistics used by metrics collection and benches.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sam::util {
+
+/// Welford-style streaming accumulator: mean/variance without storing samples.
+class StreamingStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one (parallel-combine identity).
+  void merge(const StreamingStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch statistics over a stored sample vector; supports percentiles.
+class SampleSet {
+ public:
+  void add(double x) { samples_.push_back(x); }
+  std::size_t count() const { return samples_.size(); }
+  double mean() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  /// Percentile in [0,100] by linear interpolation; requires >=1 sample.
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace sam::util

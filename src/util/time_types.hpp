@@ -1,0 +1,51 @@
+// Virtual-time representation shared by the whole simulator.
+//
+// Simulated time is an unsigned count of nanoseconds. Helpers convert to and
+// from seconds for cost models (which are naturally expressed in seconds or
+// bytes/second) without sprinkling 1e9 constants around.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace sam {
+
+/// Simulated time in nanoseconds.
+using SimTime = std::uint64_t;
+
+/// Simulated duration in nanoseconds.
+using SimDuration = std::uint64_t;
+
+namespace timeunits {
+constexpr SimDuration kNanosecond = 1;
+constexpr SimDuration kMicrosecond = 1000;
+constexpr SimDuration kMillisecond = 1000 * 1000;
+constexpr SimDuration kSecond = 1000ull * 1000 * 1000;
+}  // namespace timeunits
+
+/// Converts a duration in seconds to SimDuration, rounding to nearest ns.
+inline SimDuration from_seconds(double s) {
+  if (s <= 0) return 0;
+  return static_cast<SimDuration>(s * 1e9 + 0.5);
+}
+
+/// Converts SimTime/SimDuration to (floating) seconds.
+inline double to_seconds(SimTime t) { return static_cast<double>(t) * 1e-9; }
+
+/// Human-readable rendering, e.g. "1.234ms".
+inline std::string format_duration(SimDuration d) {
+  char buf[64];
+  if (d < timeunits::kMicrosecond) {
+    std::snprintf(buf, sizeof buf, "%lluns", static_cast<unsigned long long>(d));
+  } else if (d < timeunits::kMillisecond) {
+    std::snprintf(buf, sizeof buf, "%.3fus", static_cast<double>(d) / 1e3);
+  } else if (d < timeunits::kSecond) {
+    std::snprintf(buf, sizeof buf, "%.3fms", static_cast<double>(d) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.6fs", static_cast<double>(d) / 1e9);
+  }
+  return std::string(buf);
+}
+
+}  // namespace sam

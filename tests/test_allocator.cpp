@@ -1,0 +1,130 @@
+// Unit tests for the three-strategy Samhita allocator.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/sam_allocator.hpp"
+#include "util/expect.hpp"
+
+namespace sam::core {
+namespace {
+
+struct AllocFixture {
+  SamhitaConfig cfg;
+  mem::GlobalAddressSpace gas;
+  SamAllocator alloc;
+
+  AllocFixture() : gas(cfg.address_space_bytes, 2), alloc(&cfg, &gas) {}
+};
+
+TEST(SamAllocator, SmallGoesToArenaWithoutManager) {
+  AllocFixture f;
+  AllocOutcome o1, o2;
+  const auto a = f.alloc.alloc(0, 64, o1);
+  const auto b = f.alloc.alloc(0, 64, o2);
+  EXPECT_EQ(o1.strategy, AllocOutcome::Strategy::kArena);
+  EXPECT_EQ(o1.manager_rpcs, 1u);  // first allocation refills the arena
+  EXPECT_TRUE(o1.arena_refilled);
+  EXPECT_EQ(o2.manager_rpcs, 0u);  // subsequent ones are purely local
+  EXPECT_NE(a, b);
+}
+
+TEST(SamAllocator, ArenaAllocationsOfDifferentThreadsNeverShareALine) {
+  AllocFixture f;
+  AllocOutcome o;
+  const auto a = f.alloc.alloc(0, 256, o);
+  const auto b = f.alloc.alloc(1, 256, o);
+  const auto line = [&](mem::GAddr x) { return x / f.cfg.line_bytes(); };
+  EXPECT_NE(line(a), line(b));
+  EXPECT_NE(line(a + 255), line(b));
+}
+
+TEST(SamAllocator, MediumGoesToZoneLineAligned) {
+  AllocFixture f;
+  AllocOutcome o;
+  const auto a = f.alloc.alloc(0, f.cfg.arena_threshold, o);
+  EXPECT_EQ(o.strategy, AllocOutcome::Strategy::kZone);
+  EXPECT_EQ(o.manager_rpcs, 1u);
+  EXPECT_EQ(a % f.cfg.line_bytes(), 0u);
+  const auto b = f.alloc.alloc(1, f.cfg.arena_threshold, o);
+  EXPECT_EQ(b % f.cfg.line_bytes(), 0u);
+  EXPECT_NE(a / f.cfg.line_bytes(), b / f.cfg.line_bytes());
+}
+
+TEST(SamAllocator, LargeStripesAcrossServers) {
+  AllocFixture f;
+  AllocOutcome o;
+  const auto a = f.alloc.alloc(0, f.cfg.stripe_threshold * 2, o);
+  EXPECT_EQ(o.strategy, AllocOutcome::Strategy::kStriped);
+  // Stripe units alternate between the two servers.
+  const mem::PageId first = mem::page_of(a);
+  const std::uint64_t stripe_pages = f.cfg.stripe_bytes / mem::kPageSize;
+  const auto s0 = f.gas.home(first);
+  const auto s1 = f.gas.home(first + stripe_pages);
+  const auto s2 = f.gas.home(first + 2 * stripe_pages);
+  EXPECT_NE(s0, s1);
+  EXPECT_EQ(s0, s2);
+}
+
+TEST(SamAllocator, AllocationsNeverOverlap) {
+  AllocFixture f;
+  AllocOutcome o;
+  std::vector<std::pair<mem::GAddr, std::size_t>> allocs;
+  const std::size_t sizes[] = {8, 100, 4096, 40000, 1 << 20, 64, (1 << 21) + 13};
+  for (unsigned t = 0; t < 4; ++t) {
+    for (std::size_t s : sizes) {
+      allocs.emplace_back(f.alloc.alloc(t, s, o), s);
+    }
+  }
+  for (std::size_t i = 0; i < allocs.size(); ++i) {
+    for (std::size_t j = i + 1; j < allocs.size(); ++j) {
+      const auto [ai, si] = allocs[i];
+      const auto [aj, sj] = allocs[j];
+      EXPECT_TRUE(ai + si <= aj || aj + sj <= ai)
+          << "overlap between allocation " << i << " and " << j;
+    }
+  }
+}
+
+TEST(SamAllocator, EveryAllocatedPageHasAHome) {
+  AllocFixture f;
+  AllocOutcome o;
+  const std::size_t sizes[] = {8, 5000, 1 << 20, 3 << 20};
+  for (std::size_t s : sizes) {
+    const auto a = f.alloc.alloc(0, s, o);
+    for (mem::PageId p = mem::page_of(a); p <= mem::page_of(a + s - 1); ++p) {
+      EXPECT_TRUE(f.gas.is_assigned(p)) << "page " << p << " of size " << s;
+    }
+  }
+}
+
+TEST(SamAllocator, FreeAndLiveness) {
+  AllocFixture f;
+  AllocOutcome o;
+  const auto a = f.alloc.alloc(0, 128, o);
+  EXPECT_TRUE(f.alloc.is_live(a));
+  EXPECT_EQ(f.alloc.allocation_size(a), 128u);
+  f.alloc.free(0, a);
+  EXPECT_FALSE(f.alloc.is_live(a));
+  EXPECT_THROW(f.alloc.free(0, a), util::ContractViolation);
+  EXPECT_THROW(f.alloc.allocation_size(a), util::ContractViolation);
+}
+
+TEST(SamAllocator, ZeroBytesRejected) {
+  AllocFixture f;
+  AllocOutcome o;
+  EXPECT_THROW(f.alloc.alloc(0, 0, o), util::ContractViolation);
+}
+
+TEST(SamAllocator, AddressSpaceExhaustionDetected) {
+  SamhitaConfig cfg;
+  cfg.address_space_bytes = 1 << 20;  // 1 MiB: one arena chunk fits exactly
+  mem::GlobalAddressSpace gas(cfg.address_space_bytes, 1);
+  SamAllocator alloc(&cfg, &gas);
+  AllocOutcome o;
+  alloc.alloc(0, 64, o);  // consumes the single 1 MiB arena chunk
+  EXPECT_THROW(alloc.alloc(1, 64, o), util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace sam::core

@@ -1,0 +1,221 @@
+// Protocol-correctness sweep across the configuration matrix: every
+// consistency/transport/cache variant must produce bit-identical functional
+// results on a mixed workload (disjoint false-sharing writes + lock-protected
+// read-modify-writes + barrier-published reads).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/samhita_runtime.hpp"
+#include "util/rng.hpp"
+
+namespace sam::core {
+namespace {
+
+struct NamedConfig {
+  std::string name;
+  SamhitaConfig cfg;
+};
+
+std::vector<NamedConfig> config_matrix() {
+  std::vector<NamedConfig> out;
+  {
+    NamedConfig c{"default", {}};
+    out.push_back(c);
+  }
+  {
+    NamedConfig c{"page_grain", {}};
+    c.cfg.finegrain_updates = false;
+    out.push_back(c);
+  }
+  {
+    NamedConfig c{"local_sync_single_node", {}};
+    c.cfg.compute_nodes = 1;
+    c.cfg.local_sync = true;
+    out.push_back(c);
+  }
+  {
+    NamedConfig c{"pcie_proxy", {}};
+    c.cfg.network = "pcie";
+    out.push_back(c);
+  }
+  {
+    NamedConfig c{"scif", {}};
+    c.cfg.network = "scif";
+    out.push_back(c);
+  }
+  {
+    NamedConfig c{"tiny_cache", {}};
+    c.cfg.cache_capacity_bytes = 3 * c.cfg.line_bytes();
+    out.push_back(c);
+  }
+  {
+    NamedConfig c{"no_prefetch", {}};
+    c.cfg.prefetch_enabled = false;
+    out.push_back(c);
+  }
+  {
+    NamedConfig c{"single_page_lines", {}};
+    c.cfg.pages_per_line = 1;
+    out.push_back(c);
+  }
+  {
+    NamedConfig c{"wide_lines", {}};
+    c.cfg.pages_per_line = 8;
+    out.push_back(c);
+  }
+  {
+    NamedConfig c{"two_servers", {}};
+    c.cfg.memory_servers = 2;
+    out.push_back(c);
+  }
+  {
+    NamedConfig c{"lru_eviction_small", {}};
+    c.cfg.eviction = EvictionPolicy::kLru;
+    c.cfg.cache_capacity_bytes = 3 * c.cfg.line_bytes();
+    out.push_back(c);
+  }
+  {
+    NamedConfig c{"page_grain_tiny_cache", {}};
+    c.cfg.finegrain_updates = false;
+    c.cfg.cache_capacity_bytes = 3 * c.cfg.line_bytes();
+    out.push_back(c);
+  }
+  {
+    // Debug validation mode: every barrier cross-checks clean cached lines
+    // against authoritative memory — the strongest protocol check we have.
+    NamedConfig c{"paranoid", {}};
+    c.cfg.paranoid_checks = true;
+    out.push_back(c);
+  }
+  {
+    NamedConfig c{"paranoid_jitter", {}};
+    c.cfg.paranoid_checks = true;
+    c.cfg.network_jitter = 15'000;
+    c.cfg.jitter_seed = 17;
+    out.push_back(c);
+  }
+  return out;
+}
+
+class ConfigMatrix : public ::testing::TestWithParam<NamedConfig> {};
+
+INSTANTIATE_TEST_SUITE_P(AllConfigs, ConfigMatrix, ::testing::ValuesIn(config_matrix()),
+                         [](const auto& info) { return info.param.name; });
+
+TEST_P(ConfigMatrix, MixedWorkloadIsFunctionallyCorrect) {
+  SamhitaRuntime runtime(GetParam().cfg);
+  constexpr std::uint32_t kThreads = 4;
+  constexpr std::size_t kSlots = 512;  // one page of doubles
+  constexpr int kEpochs = 4;
+  constexpr int kLockedIncrements = 12;
+
+  const auto mtx = runtime.create_mutex();
+  const auto bar = runtime.create_barrier(kThreads);
+  rt::Addr slots = 0;
+  rt::Addr counter = 0;
+  bool reads_ok = true;
+
+  runtime.parallel_run(kThreads, [&](rt::ThreadCtx& ctx) {
+    const std::uint32_t me = ctx.index();
+    if (me == 0) {
+      slots = ctx.alloc_shared(kSlots * sizeof(double));
+      counter = ctx.alloc_shared(sizeof(double));
+      ctx.write<double>(counter, 0.0);
+    }
+    ctx.barrier(bar);
+    for (int epoch = 1; epoch <= kEpochs; ++epoch) {
+      // Disjoint strided writes: heavy false sharing within the page.
+      for (std::size_t s = me; s < kSlots; s += kThreads) {
+        ctx.write<double>(slots + s * sizeof(double), epoch * 1000.0 + s);
+      }
+      // Lock-protected increments interleaved with the ordinary writes.
+      for (int i = 0; i < kLockedIncrements; ++i) {
+        ctx.lock(mtx);
+        ctx.write<double>(counter, ctx.read<double>(counter) + 1.0);
+        ctx.unlock(mtx);
+      }
+      ctx.barrier(bar);
+      // Everyone verifies everyone's writes after the barrier.
+      for (std::size_t s = 0; s < kSlots; s += 13) {
+        if (ctx.read<double>(slots + s * sizeof(double)) != epoch * 1000.0 + s) {
+          reads_ok = false;
+        }
+      }
+      ctx.barrier(bar);
+    }
+  });
+
+  EXPECT_TRUE(reads_ok) << GetParam().name;
+  const double total =
+      runtime.read_global_array<double>(counter, 1)[0];
+  EXPECT_DOUBLE_EQ(total, 1.0 * kThreads * kEpochs * kLockedIncrements)
+      << GetParam().name;
+  const auto final_slots = runtime.read_global_array<double>(slots, kSlots);
+  for (std::size_t s = 0; s < kSlots; ++s) {
+    ASSERT_DOUBLE_EQ(final_slots[s], kEpochs * 1000.0 + s)
+        << GetParam().name << " slot " << s;
+  }
+}
+
+TEST_P(ConfigMatrix, CondVarPipelineIsCorrect) {
+  // One-slot mailbox: producer -> consumer through cond vars, every config.
+  SamhitaRuntime runtime(GetParam().cfg);
+  const auto mtx = runtime.create_mutex();
+  const auto cv = runtime.create_cond();
+  rt::Addr mailbox = 0;  // [value, full]
+  double received_sum = 0;
+  constexpr int kMessages = 20;
+
+  runtime.parallel_run(2, [&](rt::ThreadCtx& ctx) {
+    if (ctx.index() == 0) {
+      mailbox = ctx.alloc_shared(2 * sizeof(double));
+      ctx.write<double>(mailbox, 0.0);
+      ctx.write<double>(mailbox + 8, 0.0);
+      for (int i = 1; i <= kMessages; ++i) {
+        ctx.lock(mtx);
+        while (ctx.read<double>(mailbox + 8) != 0.0) ctx.cond_wait(cv, mtx);
+        ctx.write<double>(mailbox, static_cast<double>(i));
+        ctx.write<double>(mailbox + 8, 1.0);
+        ctx.cond_broadcast(cv);
+        ctx.unlock(mtx);
+      }
+    } else {
+      ctx.charge_flops(1e6);  // let the producer set up the mailbox
+      for (int i = 1; i <= kMessages; ++i) {
+        ctx.lock(mtx);
+        while (ctx.read<double>(mailbox + 8) != 1.0) ctx.cond_wait(cv, mtx);
+        received_sum += ctx.read<double>(mailbox);
+        ctx.write<double>(mailbox + 8, 0.0);
+        ctx.cond_broadcast(cv);
+        ctx.unlock(mtx);
+      }
+    }
+  });
+  EXPECT_DOUBLE_EQ(received_sum, kMessages * (kMessages + 1) / 2.0) << GetParam().name;
+}
+
+TEST_P(ConfigMatrix, DeterministicElapsedTime) {
+  auto run = [&] {
+    SamhitaRuntime runtime(GetParam().cfg);
+    const auto bar = runtime.create_barrier(3);
+    rt::Addr a = 0;
+    runtime.parallel_run(3, [&](rt::ThreadCtx& ctx) {
+      if (ctx.index() == 0) a = ctx.alloc_shared(4096);
+      ctx.barrier(bar);
+      ctx.begin_measurement();
+      for (int i = 0; i < 3; ++i) {
+        ctx.write<double>(a + ctx.index() * 8, i);
+        ctx.charge_flops(100.0 * (ctx.index() + 1));
+        ctx.barrier(bar);
+      }
+      ctx.end_measurement();
+    });
+    return runtime.elapsed_seconds();
+  };
+  EXPECT_EQ(run(), run()) << GetParam().name;
+}
+
+}  // namespace
+}  // namespace sam::core

@@ -1,0 +1,199 @@
+// Unit tests for the cooperative min-clock scheduler.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/coop_scheduler.hpp"
+#include "util/time_types.hpp"
+
+namespace sam::sim {
+namespace {
+
+TEST(CoopScheduler, RunsSingleThreadToCompletion) {
+  CoopScheduler sched;
+  bool ran = false;
+  sched.spawn("t0", 0, [&] {
+    CoopScheduler::current()->advance(100);
+    ran = true;
+  });
+  sched.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(sched.thread(0)->clock(), 100u);
+}
+
+TEST(CoopScheduler, MinClockOrderAcrossYields) {
+  CoopScheduler sched;
+  std::vector<std::pair<char, SimTime>> trace;
+  auto body = [&](char name, std::vector<SimDuration> steps) {
+    return [&trace, name, steps, &sched] {
+      auto* me = CoopScheduler::current();
+      for (SimDuration d : steps) {
+        me->advance(d);
+        sched.yield_current();
+        trace.emplace_back(name, me->clock());
+      }
+    };
+  };
+  sched.spawn("A", 0, body('A', {10, 20}));  // resumes at 10, 30
+  sched.spawn("B", 0, body('B', {20, 20}));  // resumes at 20, 40
+  sched.run();
+  ASSERT_EQ(trace.size(), 4u);
+  // Events recorded after each resume, in global time order.
+  EXPECT_EQ(trace[0], std::make_pair('A', SimTime{10}));
+  EXPECT_EQ(trace[1], std::make_pair('B', SimTime{20}));
+  EXPECT_EQ(trace[2], std::make_pair('A', SimTime{30}));
+  EXPECT_EQ(trace[3], std::make_pair('B', SimTime{40}));
+}
+
+TEST(CoopScheduler, BlockAndUnblockTransfersTime) {
+  CoopScheduler sched;
+  SimThread* blocked = nullptr;
+  SimTime woke_at = 0;
+  sched.spawn("waiter", 0, [&] {
+    blocked = CoopScheduler::current();
+    sched.block_current();
+    woke_at = CoopScheduler::current()->clock();
+  });
+  sched.spawn("waker", 0, [&] {
+    auto* me = CoopScheduler::current();
+    me->advance(500);
+    sched.yield_current();
+    sched.unblock(blocked, me->clock() + 100);
+  });
+  sched.run();
+  EXPECT_EQ(woke_at, 600u);
+}
+
+TEST(CoopScheduler, EventsInterleaveWithThreads) {
+  CoopScheduler sched;
+  std::vector<std::string> order;
+  sched.spawn("t", 0, [&] {
+    auto* me = CoopScheduler::current();
+    me->advance(50);
+    sched.yield_current();
+    order.push_back("thread@" + std::to_string(me->clock()));
+  });
+  sched.schedule_event(10, [&] { order.push_back("event@10"); });
+  sched.schedule_event(60, [&] { order.push_back("event@60"); });
+  sched.run();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], "event@10");
+  EXPECT_EQ(order[1], "thread@50");
+  EXPECT_EQ(order[2], "event@60");
+}
+
+TEST(CoopScheduler, EventCanUnblockThread) {
+  CoopScheduler sched;
+  SimThread* t = nullptr;
+  SimTime woke = 0;
+  t = sched.spawn("sleeper", 0, [&] {
+    sched.block_current();
+    woke = CoopScheduler::current()->clock();
+  });
+  sched.schedule_event(777, [&] { sched.unblock(t, 777); });
+  sched.run();
+  EXPECT_EQ(woke, 777u);
+}
+
+TEST(CoopScheduler, DeadlockDetected) {
+  CoopScheduler sched;
+  sched.spawn("stuck", 0, [&] { sched.block_current(); });
+  EXPECT_THROW(sched.run(), DeadlockError);
+}
+
+TEST(CoopScheduler, ThreadExceptionPropagates) {
+  CoopScheduler sched;
+  sched.spawn("boom", 0, [] { throw std::runtime_error("kernel panic"); });
+  try {
+    sched.run();
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "kernel panic");
+  }
+}
+
+TEST(CoopScheduler, ExceptionUnwindsOtherThreadsCleanly) {
+  CoopScheduler sched;
+  bool other_finished_normally = false;
+  sched.spawn("victim", 0, [&] {
+    sched.block_current();  // never woken; must unwind on abort
+    other_finished_normally = true;
+  });
+  sched.spawn("boom", 1, [] { throw std::runtime_error("die"); });
+  EXPECT_THROW(sched.run(), std::runtime_error);
+  EXPECT_FALSE(other_finished_normally);
+}
+
+TEST(CoopScheduler, SpawnFromRunningThread) {
+  CoopScheduler sched;
+  std::vector<int> seen;
+  sched.spawn("parent", 0, [&] {
+    auto* me = CoopScheduler::current();
+    me->advance(10);
+    sched.spawn("child", me->clock(), [&] {
+      seen.push_back(2);
+    });
+    sched.yield_current();
+    seen.push_back(1);
+  });
+  sched.run();
+  ASSERT_EQ(seen.size(), 2u);
+}
+
+TEST(CoopScheduler, WaitUntilAdvancesClock) {
+  CoopScheduler sched;
+  sched.spawn("t", 0, [&] {
+    sched.wait_until(12345);
+    EXPECT_EQ(CoopScheduler::current()->clock(), 12345u);
+    sched.wait_until(100);  // no-op backwards
+    EXPECT_EQ(CoopScheduler::current()->clock(), 12345u);
+  });
+  sched.run();
+}
+
+TEST(CoopScheduler, TieBreaksByThreadId) {
+  CoopScheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    sched.spawn("t" + std::to_string(i), 100, [&order, i, &sched] {
+      sched.yield_current();
+      order.push_back(i);
+    });
+  }
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(CoopScheduler, HorizonTracksProgress) {
+  CoopScheduler sched;
+  sched.spawn("t", 0, [&] {
+    CoopScheduler::current()->advance(42);
+    sched.yield_current();
+  });
+  sched.run();
+  EXPECT_GE(sched.horizon(), 42u);
+}
+
+TEST(CoopScheduler, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    CoopScheduler sched;
+    std::vector<std::pair<int, SimTime>> trace;
+    for (int i = 0; i < 8; ++i) {
+      sched.spawn("t", i * 3, [&trace, i, &sched] {
+        auto* me = CoopScheduler::current();
+        for (int k = 0; k < 5; ++k) {
+          me->advance(static_cast<SimDuration>((i * 7 + k * 13) % 29 + 1));
+          sched.yield_current();
+          trace.emplace_back(i, me->clock());
+        }
+      });
+    }
+    sched.run();
+    return trace;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace sam::sim

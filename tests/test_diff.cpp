@@ -1,0 +1,130 @@
+// Unit tests for byte-granular diffs (multiple-writer protocol core).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/memory_server.hpp"
+#include "regc/diff.hpp"
+
+namespace sam::regc {
+namespace {
+
+std::vector<std::byte> bytes(std::initializer_list<int> vals) {
+  std::vector<std::byte> out;
+  for (int v : vals) out.push_back(static_cast<std::byte>(v));
+  return out;
+}
+
+TEST(Diff, IdenticalBuffersProduceEmptyDiff) {
+  const auto a = bytes({1, 2, 3, 4});
+  const Diff d = Diff::between(0, a, a);
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.payload_bytes(), 0u);
+  EXPECT_EQ(d.wire_bytes(), 0u);
+}
+
+TEST(Diff, FindsSingleChangedRun) {
+  auto twin = bytes({0, 0, 0, 0, 0, 0, 0, 0});
+  auto cur = twin;
+  cur[2] = std::byte{7};
+  cur[3] = std::byte{8};
+  const Diff d = Diff::between(100, twin, cur);
+  ASSERT_EQ(d.range_count(), 1u);
+  EXPECT_EQ(d.ranges()[0].addr, 102u);
+  EXPECT_EQ(d.ranges()[0].data, bytes({7, 8}));
+  EXPECT_EQ(d.payload_bytes(), 2u);
+  EXPECT_EQ(d.wire_bytes(), 2u + kDiffRangeHeaderBytes);
+}
+
+TEST(Diff, CoalescesRunsSeparatedBySmallGaps) {
+  std::vector<std::byte> twin(64, std::byte{0});
+  auto cur = twin;
+  cur[10] = std::byte{1};
+  cur[14] = std::byte{2};  // 3-byte clean gap, coalesced with gap=16
+  const Diff d = Diff::between(0, twin, cur, 16);
+  ASSERT_EQ(d.range_count(), 1u);
+  EXPECT_EQ(d.ranges()[0].addr, 10u);
+  EXPECT_EQ(d.ranges()[0].data.size(), 5u);
+}
+
+TEST(Diff, SplitsRunsSeparatedByLargeGaps) {
+  std::vector<std::byte> twin(128, std::byte{0});
+  auto cur = twin;
+  cur[0] = std::byte{1};
+  cur[100] = std::byte{2};
+  const Diff d = Diff::between(0, twin, cur, 16);
+  ASSERT_EQ(d.range_count(), 2u);
+  EXPECT_EQ(d.ranges()[0].addr, 0u);
+  EXPECT_EQ(d.ranges()[1].addr, 100u);
+}
+
+TEST(Diff, ApplyToServerRoundTrips) {
+  std::vector<std::byte> twin(mem::kPageSize, std::byte{0});
+  auto cur = twin;
+  for (int i = 100; i < 200; ++i) cur[i] = static_cast<std::byte>(i);
+  const Diff d = Diff::between(0, twin, cur);
+  mem::MemoryServer server(0, 0);
+  d.apply_to(server);
+  std::vector<std::byte> out(mem::kPageSize);
+  server.read_page(0, out.data());
+  EXPECT_EQ(out, cur);
+}
+
+TEST(Diff, ApplyToBufferPatchesOverlapOnly) {
+  Diff d;
+  d.add_range(10, bytes({1, 2, 3, 4}));
+  // Buffer covering [12, 20): only bytes 12 and 13 overlap.
+  std::vector<std::byte> buf(8, std::byte{0});
+  d.apply_to_buffer(12, buf);
+  EXPECT_EQ(buf[0], std::byte{3});
+  EXPECT_EQ(buf[1], std::byte{4});
+  EXPECT_EQ(buf[2], std::byte{0});
+}
+
+TEST(Diff, DisjointWritersMergeCommutatively) {
+  // Two threads write different halves of one page: classic false sharing.
+  std::vector<std::byte> base(mem::kPageSize, std::byte{0});
+  auto a = base, b = base;
+  for (int i = 0; i < 100; ++i) a[i] = std::byte{1};
+  for (int i = 2000; i < 2100; ++i) b[i] = std::byte{2};
+  const Diff da = Diff::between(0, base, a);
+  const Diff db = Diff::between(0, base, b);
+  EXPECT_TRUE(Diff::disjoint(da, db));
+
+  mem::MemoryServer s1(0, 0), s2(0, 0);
+  da.apply_to(s1);
+  db.apply_to(s1);
+  db.apply_to(s2);
+  da.apply_to(s2);
+  std::vector<std::byte> p1(mem::kPageSize), p2(mem::kPageSize);
+  s1.read_page(0, p1.data());
+  s2.read_page(0, p2.data());
+  EXPECT_EQ(p1, p2);
+  EXPECT_EQ(p1[0], std::byte{1});
+  EXPECT_EQ(p1[2000], std::byte{2});
+}
+
+TEST(Diff, OverlapDetected) {
+  Diff a, b;
+  a.add_range(10, bytes({1, 2, 3}));
+  b.add_range(12, bytes({9}));
+  EXPECT_FALSE(Diff::disjoint(a, b));
+}
+
+TEST(Diff, AppendConcatenates) {
+  Diff a, b;
+  a.add_range(0, bytes({1}));
+  b.add_range(10, bytes({2, 3}));
+  a.append(b);
+  EXPECT_EQ(a.range_count(), 2u);
+  EXPECT_EQ(a.payload_bytes(), 3u);
+}
+
+TEST(Diff, SizeMismatchThrows) {
+  const auto a = bytes({1, 2});
+  const auto b = bytes({1, 2, 3});
+  EXPECT_ANY_THROW(Diff::between(0, a, b));
+}
+
+}  // namespace
+}  // namespace sam::regc

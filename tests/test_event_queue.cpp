@@ -1,0 +1,85 @@
+// Unit tests for the discrete-event queue.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "util/expect.hpp"
+
+namespace sam::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(30, [&] { order.push_back(3); });
+  q.schedule(10, [&] { order.push_back(1); });
+  q.schedule(20, [&] { order.push_back(2); });
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.next_time(), 10u);
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule(100, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  int fired = 0;
+  const EventId a = q.schedule(5, [&] { ++fired; });
+  q.schedule(6, [&] { ++fired; });
+  EXPECT_TRUE(q.cancel(a));
+  EXPECT_FALSE(q.cancel(a));  // already cancelled
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.next_time(), 6u);
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelAfterRunReturnsFalse) {
+  EventQueue q;
+  const EventId a = q.schedule(1, [] {});
+  q.run_next();
+  EXPECT_FALSE(q.cancel(a));
+}
+
+TEST(EventQueue, RunUntilExecutesInclusiveBound) {
+  EventQueue q;
+  int count = 0;
+  q.schedule(10, [&] { ++count; });
+  q.schedule(20, [&] { ++count; });
+  q.schedule(21, [&] { ++count; });
+  EXPECT_EQ(q.run_until(20), 2u);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, EventsMayScheduleEvents) {
+  EventQueue q;
+  std::vector<SimTime> times;
+  q.schedule(1, [&] {
+    times.push_back(1);
+    q.schedule(2, [&] { times.push_back(2); });
+  });
+  while (!q.empty()) times.push_back(q.run_next() * 100);
+  // run_next returns the timestamp; callbacks also record.
+  EXPECT_EQ(times, (std::vector<SimTime>{1, 100, 2, 200}));
+}
+
+TEST(EventQueue, EmptyAccessThrows) {
+  EventQueue q;
+  EXPECT_THROW(q.next_time(), util::ContractViolation);
+  EXPECT_THROW(q.run_next(), util::ContractViolation);
+  EXPECT_THROW(q.schedule(1, nullptr), util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace sam::sim

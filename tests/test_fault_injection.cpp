@@ -1,0 +1,123 @@
+// Timing-fault injection tests: the protocol's functional results must be
+// invariant under arbitrary message-delivery jitter, because a DSM that
+// gives different answers on a slow switch is not a DSM.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "apps/jacobi.hpp"
+#include "apps/microbench.hpp"
+#include "core/samhita_runtime.hpp"
+#include "net/perturbing_network.hpp"
+#include "util/rng.hpp"
+
+namespace sam {
+namespace {
+
+TEST(PerturbingNetwork, AddsBoundedDelay) {
+  auto inner = net::make_network("ib", 3);
+  net::IBFabricModel reference(3, net::IBFabricModel::qdr_defaults());
+  net::PerturbingNetwork jittery(std::move(inner), 5000, 42);
+  for (int i = 0; i < 200; ++i) {
+    const SimTime base = reference.deliver(i * 100, 0, 1, 256);
+    const SimTime perturbed = jittery.deliver(i * 100, 0, 1, 256);
+    EXPECT_GE(perturbed, base);
+    EXPECT_LE(perturbed, base + 5000);
+  }
+  EXPECT_EQ(jittery.name(), "ib-qdr+jitter");
+  EXPECT_EQ(jittery.message_count(), 200u);
+}
+
+TEST(PerturbingNetwork, ZeroJitterIsTransparent) {
+  auto inner = net::make_network("ib", 2);
+  net::IBFabricModel reference(2, net::IBFabricModel::qdr_defaults());
+  net::PerturbingNetwork wrapped(std::move(inner), 0, 1);
+  EXPECT_EQ(wrapped.deliver(0, 0, 1, 64), reference.deliver(0, 0, 1, 64));
+}
+
+class JitterSweep : public ::testing::TestWithParam<std::uint64_t> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, JitterSweep, ::testing::Range<std::uint64_t>(1, 6));
+
+TEST_P(JitterSweep, MicrobenchResultInvariantUnderJitter) {
+  apps::MicrobenchParams p;
+  p.threads = 4;
+  p.N = 4;
+  p.M = 2;
+  p.S = 2;
+  p.B = 128;
+  p.alloc = apps::MicrobenchAlloc::kGlobalStrided;  // heaviest protocol path
+
+  core::SamhitaConfig clean_cfg;
+  core::SamhitaRuntime clean_rt(clean_cfg);
+  const auto clean = apps::run_microbench(clean_rt, p);
+
+  core::SamhitaConfig cfg;
+  cfg.network_jitter = 20'000;  // up to 20 us of extra delay per message
+  cfg.jitter_seed = GetParam();
+  core::SamhitaRuntime jittery_rt(cfg);
+  const auto jittery = apps::run_microbench(jittery_rt, p);
+
+  // Bit-identical functional result, different timing.
+  EXPECT_EQ(clean.gsum, jittery.gsum);
+  EXPECT_GT(jittery.elapsed_seconds, clean.elapsed_seconds);
+}
+
+TEST_P(JitterSweep, LockedCountersSerializeUnderJitter) {
+  // Jitter perturbs lock grant order between threads; the total must hold.
+  core::SamhitaConfig cfg;
+  cfg.network_jitter = 50'000;
+  cfg.jitter_seed = GetParam();
+  core::SamhitaRuntime runtime(cfg);
+  const auto m = runtime.create_mutex();
+  const auto b = runtime.create_barrier(6);
+  rt::Addr a = 0;
+  runtime.parallel_run(6, [&](rt::ThreadCtx& ctx) {
+    if (ctx.index() == 0) {
+      a = ctx.alloc_shared(sizeof(double));
+      ctx.write<double>(a, 0.0);
+    }
+    ctx.barrier(b);
+    for (int i = 0; i < 20; ++i) {
+      ctx.lock(m);
+      ctx.write<double>(a, ctx.read<double>(a) + 1.0);
+      ctx.unlock(m);
+    }
+    ctx.barrier(b);
+  });
+  EXPECT_DOUBLE_EQ(runtime.read_global_array<double>(a, 1)[0], 120.0);
+}
+
+TEST_P(JitterSweep, JacobiResidualInvariantUnderJitter) {
+  apps::JacobiParams p;
+  p.threads = 4;
+  p.n = 24;
+  p.iterations = 3;
+
+  core::SamhitaConfig cfg;
+  cfg.network_jitter = 10'000;
+  cfg.jitter_seed = GetParam() * 7;
+  core::SamhitaRuntime runtime(cfg);
+  const auto r = apps::run_jacobi(runtime, p);
+  EXPECT_DOUBLE_EQ(r.final_residual, apps::jacobi_reference_residual(p));
+}
+
+TEST(JitterSweep, SameSeedIsDeterministic) {
+  auto run = [] {
+    core::SamhitaConfig cfg;
+    cfg.network_jitter = 10'000;
+    cfg.jitter_seed = 99;
+    core::SamhitaRuntime runtime(cfg);
+    apps::MicrobenchParams p;
+    p.threads = 3;
+    p.N = 3;
+    p.M = 2;
+    p.S = 1;
+    p.B = 64;
+    const auto r = apps::run_microbench(runtime, p);
+    return r.elapsed_seconds;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace sam

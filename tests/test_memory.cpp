@@ -1,0 +1,110 @@
+// Unit tests for the memory substrate: address space, servers, directory.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "mem/directory.hpp"
+#include "mem/global_address_space.hpp"
+#include "mem/memory_server.hpp"
+#include "util/expect.hpp"
+
+namespace sam::mem {
+namespace {
+
+TEST(GlobalAddressSpace, AssignAndQueryHomes) {
+  GlobalAddressSpace gas(1 << 20, 3);
+  gas.assign_home(0, 4, 1);
+  gas.assign_home(4, 4, 2);
+  EXPECT_EQ(gas.home(0), 1u);
+  EXPECT_EQ(gas.home(3), 1u);
+  EXPECT_EQ(gas.home(4), 2u);
+  EXPECT_TRUE(gas.is_assigned(7));
+  EXPECT_FALSE(gas.is_assigned(8));
+  EXPECT_EQ(gas.assigned_pages(), 8u);
+}
+
+TEST(GlobalAddressSpace, RejectsDoubleAssignment) {
+  GlobalAddressSpace gas(1 << 20, 1);
+  gas.assign_home(0, 2, 0);
+  EXPECT_THROW(gas.assign_home(1, 1, 0), util::ContractViolation);
+}
+
+TEST(GlobalAddressSpace, RejectsOutOfRange) {
+  GlobalAddressSpace gas(8 * kPageSize, 2);
+  EXPECT_THROW(gas.assign_home(7, 2, 0), util::ContractViolation);
+  EXPECT_THROW(gas.assign_home(0, 1, 5), util::ContractViolation);
+  EXPECT_THROW(gas.home(3), util::ContractViolation);
+}
+
+TEST(MemoryServer, ZeroFilledOnFirstTouch) {
+  MemoryServer s(0, 0);
+  std::byte buf[16];
+  std::memset(buf, 0xff, sizeof buf);
+  s.read_bytes(1000, buf, sizeof buf);
+  for (std::byte b : buf) EXPECT_EQ(b, std::byte{0});
+  EXPECT_EQ(s.resident_pages(), 0u);  // reads do not materialize frames
+}
+
+TEST(MemoryServer, WriteReadRoundTripAcrossPages) {
+  MemoryServer s(0, 0);
+  std::vector<std::byte> data(kPageSize + 100);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<std::byte>(i % 251);
+  const GAddr addr = kPageSize - 50;  // straddles a page boundary
+  s.write_bytes(addr, data.data(), data.size());
+  std::vector<std::byte> out(data.size());
+  s.read_bytes(addr, out.data(), out.size());
+  EXPECT_EQ(data, out);
+  EXPECT_EQ(s.resident_pages(), 3u);
+}
+
+TEST(MemoryServer, ReadPageCopiesWholeFrame) {
+  MemoryServer s(0, 0);
+  const std::byte v{42};
+  s.write_bytes(kPageSize * 5 + 17, &v, 1);
+  std::vector<std::byte> page(kPageSize);
+  s.read_page(5, page.data());
+  EXPECT_EQ(page[17], std::byte{42});
+  EXPECT_EQ(page[16], std::byte{0});
+}
+
+TEST(MemoryServer, ServiceTimeScalesWithBytes) {
+  MemoryServer s(0, 0);
+  EXPECT_GT(s.service_time(1 << 20), s.service_time(64));
+  EXPECT_GE(s.service_time(0), 1u);  // fixed overhead
+}
+
+TEST(Directory, CopysetTracksCachingThreads) {
+  Directory d;
+  d.note_cached(7, 1);
+  d.note_cached(7, 3);
+  EXPECT_EQ(d.copyset(7), thread_bit(1) | thread_bit(3));
+  d.note_evicted(7, 1);
+  EXPECT_EQ(d.copyset(7), thread_bit(3));
+  d.note_evicted(7, 3);
+  EXPECT_EQ(d.copyset(7), 0u);
+  d.note_evicted(7, 3);  // idempotent
+  EXPECT_EQ(d.copyset(9), 0u);
+}
+
+TEST(Directory, EpochWritersClearAtEpochEnd) {
+  Directory d;
+  d.note_write(4, 0);
+  d.note_write(4, 2);
+  d.note_write(5, 1);
+  EXPECT_EQ(d.epoch_writers(4), thread_bit(0) | thread_bit(2));
+  EXPECT_EQ(d.epoch_write_map().size(), 2u);
+  const auto e = d.epoch();
+  d.end_epoch();
+  EXPECT_EQ(d.epoch(), e + 1);
+  EXPECT_EQ(d.epoch_writers(4), 0u);
+  EXPECT_TRUE(d.epoch_write_map().empty());
+}
+
+TEST(Directory, RejectsThreadBeyondMaskWidth) {
+  Directory d;
+  EXPECT_THROW(d.note_cached(0, 64), util::ContractViolation);
+  EXPECT_THROW(d.note_write(0, 99), util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace sam::mem

@@ -1,0 +1,108 @@
+// Unit tests for network models and the SCL messaging layer.
+#include <gtest/gtest.h>
+
+#include "net/link_model.hpp"
+#include "net/network_model.hpp"
+#include "scl/scl.hpp"
+#include "util/expect.hpp"
+
+namespace sam {
+namespace {
+
+TEST(LinkModel, TimingAlgebra) {
+  net::LinkModel link({.latency = 1000, .per_message = 100, .bandwidth_bytes_per_sec = 1e9});
+  // 1000 bytes at 1 GB/s = 1 us serialization.
+  EXPECT_EQ(link.serialization(1000), 1000u);
+  EXPECT_EQ(link.one_way(1000), 1000u + 100u + 1000u);
+  EXPECT_EQ(link.one_way(0), 1100u);
+}
+
+TEST(LinkModel, RejectsNonPositiveBandwidth) {
+  EXPECT_ANY_THROW(net::LinkModel({.bandwidth_bytes_per_sec = 0}));
+}
+
+TEST(IBFabric, LatencyComponentsAddUp) {
+  net::IBFabricModel ib(4, net::IBFabricModel::Params{.per_side_overhead = 600,
+                                                      .switch_latency = 100,
+                                                      .wire_latency = 600,
+                                                      .bandwidth_bytes_per_sec = 3.2e9});
+  // Zero-ish payload: 2*600 + 600 + 100 = 1900 plus tiny serialization.
+  const SimTime arrival = ib.deliver(0, 0, 1, 64);
+  EXPECT_GE(arrival, 1900u);
+  EXPECT_LE(arrival, 1950u);
+  EXPECT_EQ(ib.message_count(), 1u);
+  EXPECT_EQ(ib.bytes_sent(), 64u);
+}
+
+TEST(IBFabric, NicSerializationCausesQueueing) {
+  net::IBFabricModel ib(2, net::IBFabricModel::qdr_defaults());
+  const std::size_t big = 1 << 20;  // ~327 us of serialization at 3.2 GB/s
+  const SimTime first = ib.deliver(0, 0, 1, big);
+  const SimTime second = ib.deliver(0, 0, 1, big);
+  // The second message queues behind the first on the sender NIC.
+  EXPECT_GT(second, first + 200'000u);
+}
+
+TEST(IBFabric, IntraNodeIsCheap) {
+  net::IBFabricModel ib(2, net::IBFabricModel::qdr_defaults());
+  const SimTime local = ib.deliver(0, 1, 1, 4096);
+  const SimTime remote = ib.deliver(0, 0, 1, 4096);
+  EXPECT_LT(local, remote / 2);
+}
+
+TEST(PCIe, SharedBusSerializes) {
+  net::PCIeModel bus(3, net::PCIeModel::gen2_x16_defaults());
+  const std::size_t mb = 1 << 20;
+  const SimTime a = bus.deliver(0, 0, 1, mb);
+  const SimTime b = bus.deliver(0, 2, 1, mb);  // different src, same bus
+  EXPECT_GT(b, a);
+}
+
+TEST(Scif, CheaperThanVerbsProxy) {
+  net::PCIeModel proxy(2, net::PCIeModel::gen2_x16_defaults());
+  net::SCIFModel scif(2, net::SCIFModel::defaults());
+  const SimTime via_proxy = proxy.deliver(0, 0, 1, 64);
+  const SimTime via_scif = scif.deliver(0, 0, 1, 64);
+  EXPECT_LT(via_scif, via_proxy);
+}
+
+TEST(NetworkFactory, MakesAllKinds) {
+  EXPECT_EQ(net::make_network("ib", 3)->name(), "ib-qdr");
+  EXPECT_EQ(net::make_network("pcie", 3)->name(), "pcie-proxy");
+  EXPECT_EQ(net::make_network("scif", 3)->name(), "pcie-scif");
+  EXPECT_THROW(net::make_network("token-ring", 3), util::ContractViolation);
+}
+
+TEST(NetworkModel, NodeRangeChecked) {
+  auto ib = net::make_network("ib", 2);
+  EXPECT_THROW(ib->deliver(0, 0, 5, 64), util::ContractViolation);
+}
+
+TEST(Scl, RdmaReadIsRoundTrip) {
+  net::IBFabricModel ib(2, net::IBFabricModel::qdr_defaults());
+  scl::Scl s(&ib);
+  const SimTime done = s.rdma_read(0, 0, 1, 16384);
+  // Must cost at least two one-way latencies plus data serialization.
+  EXPECT_GT(done, 2 * 1900u);
+}
+
+TEST(Scl, RdmaWriteRemoteVisibleBeforeLocalAck) {
+  net::IBFabricModel ib(2, net::IBFabricModel::qdr_defaults());
+  scl::Scl s(&ib);
+  const auto w = s.rdma_write(0, 0, 1, 4096);
+  EXPECT_LT(w.remote_visible, w.local_complete);
+}
+
+TEST(Scl, RpcIncludesServiceAndQueueing) {
+  net::IBFabricModel ib(2, net::IBFabricModel::qdr_defaults());
+  scl::Scl s(&ib);
+  sim::Resource server("srv");
+  const SimTime r1 = s.rpc(0, 0, 1, 64, 64, server, 10'000);
+  const SimTime r2 = s.rpc(0, 0, 1, 64, 64, server, 10'000);
+  EXPECT_GT(r1, 10'000u + 2 * 1900u);
+  EXPECT_GT(r2, r1);  // queued behind the first at the server
+  EXPECT_EQ(server.request_count(), 2u);
+}
+
+}  // namespace
+}  // namespace sam

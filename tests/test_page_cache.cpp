@@ -1,0 +1,168 @@
+// Unit tests for the per-thread software page cache.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/page_cache.hpp"
+#include "util/expect.hpp"
+
+namespace sam::core {
+namespace {
+
+SamhitaConfig small_config() {
+  SamhitaConfig cfg;
+  cfg.pages_per_line = 4;
+  cfg.cache_capacity_bytes = 4 * cfg.line_bytes();  // 4 lines
+  return cfg;
+}
+
+std::vector<std::byte> line_data(const SamhitaConfig& cfg, std::byte fill = std::byte{0}) {
+  return std::vector<std::byte>(cfg.line_bytes(), fill);
+}
+
+TEST(PageCache, Geometry) {
+  SamhitaConfig cfg = small_config();
+  PageCache c(&cfg, 0);
+  EXPECT_EQ(c.line_of_page(0), 0u);
+  EXPECT_EQ(c.line_of_page(3), 0u);
+  EXPECT_EQ(c.line_of_page(4), 1u);
+  EXPECT_EQ(c.line_of_addr(cfg.line_bytes()), 1u);
+  EXPECT_EQ(c.line_base(2), 2 * cfg.line_bytes());
+  EXPECT_EQ(c.first_page(2), 8u);
+}
+
+TEST(PageCache, InstallFindErase) {
+  SamhitaConfig cfg = small_config();
+  PageCache c(&cfg, 0);
+  EXPECT_EQ(c.find(5), nullptr);
+  auto& l = c.install(5, line_data(cfg), 0, false);
+  EXPECT_EQ(&l, c.find(5));
+  EXPECT_TRUE(c.contains(5));
+  EXPECT_EQ(c.resident_lines(), 1u);
+  c.erase(5);
+  EXPECT_FALSE(c.contains(5));
+  EXPECT_THROW(c.erase(5), util::ContractViolation);
+}
+
+TEST(PageCache, DoubleInstallThrows) {
+  SamhitaConfig cfg = small_config();
+  PageCache c(&cfg, 0);
+  c.install(1, line_data(cfg), 0, false);
+  EXPECT_THROW(c.install(1, line_data(cfg), 0, false), util::ContractViolation);
+}
+
+TEST(PageCache, TwinAndDirtyTracking) {
+  SamhitaConfig cfg = small_config();
+  PageCache c(&cfg, 0);
+  auto& l = c.install(0, line_data(cfg), 0, false);
+  EXPECT_TRUE(c.needs_twin(l));
+  EXPECT_THROW(c.mark_written(l, 0, 8), util::ContractViolation);  // twin first
+  c.make_twin(l);
+  EXPECT_FALSE(c.needs_twin(l));
+  // Write spanning pages 1 and 2 of the line.
+  c.mark_written(l, mem::kPageSize + 100, mem::kPageSize);
+  EXPECT_TRUE(l.dirty);
+  const auto dirty = c.dirty_pages(l);
+  ASSERT_EQ(dirty.size(), 2u);
+  EXPECT_EQ(dirty[0], 1u);
+  EXPECT_EQ(dirty[1], 2u);
+  c.clean(l);
+  EXPECT_FALSE(l.dirty);
+  EXPECT_TRUE(c.needs_twin(l));
+  EXPECT_TRUE(c.dirty_pages(l).empty());
+}
+
+TEST(PageCache, MarkWrittenOutsideLineThrows) {
+  SamhitaConfig cfg = small_config();
+  PageCache c(&cfg, 0);
+  auto& l = c.install(1, line_data(cfg), 0, false);
+  c.make_twin(l);
+  EXPECT_THROW(c.mark_written(l, 0, 8), util::ContractViolation);
+}
+
+TEST(PageCache, DirtyLinesSortedById) {
+  SamhitaConfig cfg = small_config();
+  PageCache c(&cfg, 0);
+  for (LineId id : {7u, 2u, 9u}) {
+    auto& l = c.install(id, line_data(cfg), 0, false);
+    c.make_twin(l);
+    c.mark_written(l, c.line_base(id), 8);
+  }
+  c.install(1, line_data(cfg), 0, false);  // clean
+  const auto dirty = c.dirty_lines();
+  ASSERT_EQ(dirty.size(), 3u);
+  EXPECT_EQ(dirty[0]->id, 2u);
+  EXPECT_EQ(dirty[1]->id, 7u);
+  EXPECT_EQ(dirty[2]->id, 9u);
+}
+
+TEST(PageCache, CapacityInLines) {
+  SamhitaConfig cfg = small_config();
+  PageCache c(&cfg, 0);
+  EXPECT_EQ(c.capacity_lines(), 4u);
+  for (LineId id = 0; id < 4; ++id) c.install(id, line_data(cfg), 0, false);
+  EXPECT_FALSE(c.over_capacity());
+  c.install(4, line_data(cfg), 0, false);
+  EXPECT_TRUE(c.over_capacity());
+}
+
+TEST(PageCache, DirtyFirstEvictionPrefersDirtyLru) {
+  SamhitaConfig cfg = small_config();
+  cfg.eviction = EvictionPolicy::kDirtyFirst;
+  PageCache c(&cfg, 0);
+  auto& a = c.install(0, line_data(cfg), 0, false);  // clean, oldest
+  auto& b = c.install(1, line_data(cfg), 0, false);
+  auto& d = c.install(2, line_data(cfg), 0, false);
+  c.make_twin(b);
+  c.mark_written(b, c.line_base(1), 8);
+  c.make_twin(d);
+  c.mark_written(d, c.line_base(2), 8);
+  c.touch(b);  // b is now more recently used than d
+  PageCache::Line* victim = c.pick_victim(nullptr);
+  ASSERT_NE(victim, nullptr);
+  EXPECT_EQ(victim->id, d.id);  // least-recently-used dirty line
+  (void)a;
+}
+
+TEST(PageCache, LruEvictionIgnoresDirtiness) {
+  SamhitaConfig cfg = small_config();
+  cfg.eviction = EvictionPolicy::kLru;
+  PageCache c(&cfg, 0);
+  auto& a = c.install(0, line_data(cfg), 0, false);
+  auto& b = c.install(1, line_data(cfg), 0, false);
+  c.make_twin(b);
+  c.mark_written(b, c.line_base(1), 8);
+  PageCache::Line* victim = c.pick_victim(nullptr);
+  ASSERT_NE(victim, nullptr);
+  EXPECT_EQ(victim->id, a.id);  // oldest regardless of dirty state
+  (void)b;
+}
+
+TEST(PageCache, PinnedLinesSkipped) {
+  SamhitaConfig cfg = small_config();
+  PageCache c(&cfg, 0);
+  c.install(0, line_data(cfg), 0, false);
+  c.install(1, line_data(cfg), 0, false);
+  auto* victim =
+      c.pick_victim([](const PageCache::Line& l) { return l.id == 0; });
+  ASSERT_NE(victim, nullptr);
+  EXPECT_EQ(victim->id, 1u);
+  auto* none = c.pick_victim([](const PageCache::Line&) { return true; });
+  EXPECT_EQ(none, nullptr);
+}
+
+TEST(PageCache, ResidentIdsSorted) {
+  SamhitaConfig cfg = small_config();
+  PageCache c(&cfg, 0);
+  for (LineId id : {9u, 3u, 6u}) c.install(id, line_data(cfg), 0, false);
+  EXPECT_EQ(c.resident_line_ids(), (std::vector<LineId>{3, 6, 9}));
+}
+
+TEST(PageCache, RejectsBadLineWidth) {
+  SamhitaConfig cfg;
+  cfg.pages_per_line = 65;
+  EXPECT_THROW(PageCache(&cfg, 0), util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace sam::core

@@ -1,0 +1,273 @@
+// Property-based tests: randomized sweeps over protocol invariants using
+// parameterized gtest with seeded, reproducible RNG.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "core/samhita_runtime.hpp"
+#include "regc/diff.hpp"
+#include "regc/store_log.hpp"
+#include "sim/coop_scheduler.hpp"
+#include "sim/resource.hpp"
+#include "util/rng.hpp"
+
+namespace sam {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Diff properties
+// ---------------------------------------------------------------------------
+
+class DiffProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DiffProperty, ::testing::Range<std::uint64_t>(1, 9));
+
+TEST_P(DiffProperty, ApplyToTwinReproducesCurrent) {
+  // forall buffers: apply(diff(twin, cur)) onto twin == cur.
+  util::SplitMix64 rng(GetParam());
+  std::vector<std::byte> twin(mem::kPageSize);
+  for (auto& b : twin) b = static_cast<std::byte>(rng.next_below(256));
+  auto cur = twin;
+  const std::size_t mutations = 1 + rng.next_below(200);
+  for (std::size_t i = 0; i < mutations; ++i) {
+    cur[rng.next_below(cur.size())] = static_cast<std::byte>(rng.next_below(256));
+  }
+  const regc::Diff d = regc::Diff::between(0, twin, cur);
+  std::vector<std::byte> patched = twin;
+  d.apply_to_buffer(0, patched);
+  EXPECT_EQ(patched, cur);
+}
+
+TEST_P(DiffProperty, WireBytesBoundedByPageCost) {
+  util::SplitMix64 rng(GetParam() * 77);
+  std::vector<std::byte> twin(mem::kPageSize, std::byte{0});
+  auto cur = twin;
+  for (std::size_t i = 0; i < 50; ++i) {
+    cur[rng.next_below(cur.size())] = std::byte{1};
+  }
+  const regc::Diff d = regc::Diff::between(0, twin, cur);
+  // A diff of k scattered bytes must beat shipping the whole page once the
+  // page is mostly clean (that is the point of diffing).
+  EXPECT_LT(d.wire_bytes(), mem::kPageSize);
+  EXPECT_GE(d.payload_bytes(), 1u);
+}
+
+TEST_P(DiffProperty, DisjointRandomWritersCommute) {
+  util::SplitMix64 rng(GetParam() * 131);
+  std::vector<std::byte> base(mem::kPageSize, std::byte{0});
+  // Writer A mutates even 64-byte blocks, writer B odd blocks: disjoint.
+  auto a = base, b = base;
+  for (std::size_t blk = 0; blk < mem::kPageSize / 64; ++blk) {
+    auto& dst = (blk % 2 == 0) ? a : b;
+    if (rng.next_below(2)) {
+      for (std::size_t i = 0; i < 64; ++i) {
+        dst[blk * 64 + i] = static_cast<std::byte>(rng.next_below(256));
+      }
+    }
+  }
+  const regc::Diff da = regc::Diff::between(0, base, a);
+  const regc::Diff db = regc::Diff::between(0, base, b);
+  ASSERT_TRUE(regc::Diff::disjoint(da, db));
+  auto ab = base, ba = base;
+  da.apply_to_buffer(0, ab);
+  db.apply_to_buffer(0, ab);
+  db.apply_to_buffer(0, ba);
+  da.apply_to_buffer(0, ba);
+  EXPECT_EQ(ab, ba);
+}
+
+// ---------------------------------------------------------------------------
+// StoreLog properties
+// ---------------------------------------------------------------------------
+
+class StoreLogProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StoreLogProperty, ::testing::Range<std::uint64_t>(1, 7));
+
+TEST_P(StoreLogProperty, CoalescedCoversExactlyTheRecordedBytes) {
+  util::SplitMix64 rng(GetParam());
+  regc::StoreLog log;
+  std::vector<bool> expected(4096, false);
+  const std::size_t n = 1 + rng.next_below(300);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t addr = rng.next_below(4000);
+    const std::size_t size = 1 + rng.next_below(64);
+    log.record(addr, std::min(size, expected.size() - addr));
+    for (std::size_t k = addr; k < std::min(addr + size, expected.size()); ++k) {
+      expected[k] = true;
+    }
+  }
+  std::vector<bool> covered(4096, false);
+  for (const auto& r : log.coalesced()) {
+    for (std::size_t k = r.addr; k < r.addr + r.size; ++k) covered[k] = true;
+  }
+  EXPECT_EQ(covered, expected);
+  // Ranges are sorted and disjoint.
+  const auto ranges = log.coalesced();
+  for (std::size_t i = 1; i < ranges.size(); ++i) {
+    EXPECT_GT(ranges[i].addr, ranges[i - 1].addr + ranges[i - 1].size);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Resource properties
+// ---------------------------------------------------------------------------
+
+class ResourceProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ResourceProperty, ::testing::Range<std::uint64_t>(1, 6));
+
+TEST_P(ResourceProperty, CompletionsMonotoneForOrderedArrivals) {
+  util::SplitMix64 rng(GetParam());
+  sim::Resource r("srv");
+  SimTime arrival = 0;
+  SimTime prev_done = 0;
+  SimDuration total_service = 0;
+  for (int i = 0; i < 500; ++i) {
+    arrival += rng.next_below(100);
+    const SimDuration service = 1 + rng.next_below(50);
+    total_service += service;
+    const SimTime done = r.serve(arrival, service);
+    EXPECT_GE(done, arrival + service);
+    EXPECT_GE(done, prev_done);  // FIFO: completions are ordered
+    prev_done = done;
+  }
+  EXPECT_EQ(r.busy_time(), total_service);
+  EXPECT_GE(prev_done, total_service);  // can't finish before the work exists
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler properties
+// ---------------------------------------------------------------------------
+
+class SchedulerProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerProperty, ::testing::Range<std::uint64_t>(1, 6));
+
+TEST_P(SchedulerProperty, ResumesAlwaysInGlobalTimeOrder) {
+  // Record the clock at every resume of every thread: the sequence observed
+  // by the scheduler must be globally nondecreasing.
+  sim::CoopScheduler sched;
+  std::vector<SimTime> resume_times;
+  const std::uint64_t seed = GetParam();
+  for (int t = 0; t < 6; ++t) {
+    sched.spawn("t" + std::to_string(t), 0, [&sched, &resume_times, seed, t] {
+      util::SplitMix64 rng(seed * 1000 + t);
+      auto* me = sim::CoopScheduler::current();
+      for (int k = 0; k < 50; ++k) {
+        me->advance(1 + rng.next_below(1000));
+        sched.yield_current();
+        resume_times.push_back(me->clock());
+      }
+    });
+  }
+  sched.run();
+  ASSERT_EQ(resume_times.size(), 300u);
+  for (std::size_t i = 1; i < resume_times.size(); ++i) {
+    EXPECT_GE(resume_times[i], resume_times[i - 1]) << "at resume " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Full-runtime randomized consistency check
+// ---------------------------------------------------------------------------
+
+class RandomSharingProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSharingProperty, ::testing::Range<std::uint64_t>(1, 5));
+
+TEST_P(RandomSharingProperty, RandomDisjointWritesAllSurviveBarriers) {
+  // Threads write random disjoint slots of one shared array between
+  // barriers; every write must be visible to every thread afterwards.
+  const std::uint64_t seed = GetParam();
+  core::SamhitaRuntime runtime;
+  const auto b = runtime.create_barrier(4);
+  constexpr std::size_t kSlots = 1024;  // 8 KiB: two pages, heavy sharing
+  rt::Addr base = 0;
+  bool all_ok = true;
+  runtime.parallel_run(4, [&](rt::ThreadCtx& ctx) {
+    const std::uint32_t me = ctx.index();
+    if (me == 0) base = ctx.alloc(kSlots * sizeof(double));
+    ctx.barrier(b);
+    std::vector<double> expected(kSlots, 0.0);
+    util::SplitMix64 common(seed);  // same stream in every thread
+    for (int epoch = 1; epoch <= 6; ++epoch) {
+      // Deterministic random permutation assigns slots to threads.
+      for (std::size_t s = 0; s < kSlots; ++s) {
+        const std::uint32_t owner = static_cast<std::uint32_t>(common.next_below(4));
+        const double value = epoch * 10000.0 + s;
+        if (owner == me) {
+          ctx.write<double>(base + s * sizeof(double), value);
+        }
+        expected[s] = value;
+      }
+      ctx.barrier(b);
+      for (std::size_t s = 0; s < kSlots; s += 17) {
+        if (ctx.read<double>(base + s * sizeof(double)) != expected[s]) {
+          all_ok = false;
+        }
+      }
+      ctx.barrier(b);
+    }
+  });
+  EXPECT_TRUE(all_ok);
+  // Authoritative memory agrees too.
+  const auto final = runtime.read_global_array<double>(base, kSlots);
+  util::SplitMix64 common(seed);
+  std::vector<double> expected(kSlots);
+  for (int epoch = 1; epoch <= 6; ++epoch) {
+    for (std::size_t s = 0; s < kSlots; ++s) {
+      common.next_below(4);
+      expected[s] = epoch * 10000.0 + s;
+    }
+  }
+  for (std::size_t s = 0; s < kSlots; ++s) {
+    EXPECT_DOUBLE_EQ(final[s], expected[s]) << "slot " << s;
+  }
+}
+
+TEST_P(RandomSharingProperty, LockedRandomIncrementsSerialize) {
+  const std::uint64_t seed = GetParam();
+  core::SamhitaRuntime runtime;
+  const auto m = runtime.create_mutex();
+  const auto b = runtime.create_barrier(6);
+  rt::Addr cells = 0;
+  constexpr std::size_t kCells = 16;
+  std::map<std::size_t, double> expected_total;
+  runtime.parallel_run(6, [&](rt::ThreadCtx& ctx) {
+    if (ctx.index() == 0) {
+      cells = ctx.alloc(kCells * sizeof(double));
+      for (std::size_t c = 0; c < kCells; ++c) {
+        ctx.write<double>(cells + c * sizeof(double), 0.0);
+      }
+    }
+    ctx.barrier(b);
+    util::SplitMix64 rng(seed * 100 + ctx.index());
+    for (int i = 0; i < 40; ++i) {
+      const std::size_t c = rng.next_below(kCells);
+      const double inc = 1.0 + static_cast<double>(rng.next_below(5));
+      ctx.lock(m);
+      const double v = ctx.read<double>(cells + c * sizeof(double));
+      ctx.write<double>(cells + c * sizeof(double), v + inc);
+      ctx.unlock(m);
+    }
+    ctx.barrier(b);
+  });
+  // Reference: replay each thread's stream sequentially.
+  std::vector<double> expect(kCells, 0.0);
+  for (unsigned t = 0; t < 6; ++t) {
+    util::SplitMix64 rng(seed * 100 + t);
+    for (int i = 0; i < 40; ++i) {
+      const std::size_t c = rng.next_below(kCells);
+      expect[c] += 1.0 + static_cast<double>(rng.next_below(5));
+    }
+  }
+  const auto final = runtime.read_global_array<double>(cells, kCells);
+  for (std::size_t c = 0; c < kCells; ++c) {
+    EXPECT_DOUBLE_EQ(final[c], expect[c]) << "cell " << c;
+  }
+}
+
+}  // namespace
+}  // namespace sam

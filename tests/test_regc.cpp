@@ -1,0 +1,134 @@
+// Unit tests for RegC machinery: store logs, region tracking, update windows.
+#include <gtest/gtest.h>
+
+#include "regc/region_tracker.hpp"
+#include "regc/store_log.hpp"
+#include "regc/update_set.hpp"
+#include "util/expect.hpp"
+
+namespace sam::regc {
+namespace {
+
+TEST(StoreLog, RecordsAndCoalescesAdjacent) {
+  StoreLog log;
+  log.record(100, 8);
+  log.record(108, 8);  // contiguous: extends in place
+  EXPECT_EQ(log.entry_count(), 1u);
+  const auto ranges = log.coalesced();
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0].addr, 100u);
+  EXPECT_EQ(ranges[0].size, 16u);
+}
+
+TEST(StoreLog, RewriteOfLoggedBytesIsAbsorbed) {
+  StoreLog log;
+  log.record(100, 16);
+  log.record(104, 4);  // inside the previous record
+  EXPECT_EQ(log.entry_count(), 1u);
+  EXPECT_EQ(log.covered_bytes(), 16u);
+}
+
+TEST(StoreLog, CoalescedSortsAndMergesOverlaps) {
+  StoreLog log;
+  log.record(200, 8);
+  log.record(100, 8);
+  log.record(104, 8);  // overlaps the second record
+  const auto ranges = log.coalesced();
+  ASSERT_EQ(ranges.size(), 2u);
+  EXPECT_EQ(ranges[0].addr, 100u);
+  EXPECT_EQ(ranges[0].size, 12u);
+  EXPECT_EQ(ranges[1].addr, 200u);
+  EXPECT_EQ(log.covered_bytes(), 20u);
+}
+
+TEST(StoreLog, ClearEmpties) {
+  StoreLog log;
+  log.record(0, 4);
+  log.clear();
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(log.covered_bytes(), 0u);
+}
+
+TEST(StoreLog, ZeroSizeRejected) {
+  StoreLog log;
+  EXPECT_THROW(log.record(0, 0), util::ContractViolation);
+}
+
+TEST(RegionTracker, NestedRegions) {
+  RegionTracker t;
+  EXPECT_FALSE(t.in_consistency_region());
+  t.enter_region(3);
+  t.enter_region(5);
+  EXPECT_TRUE(t.in_consistency_region());
+  EXPECT_EQ(t.innermost(), 5u);
+  EXPECT_EQ(t.depth(), 2u);
+  t.exit_region(5);
+  EXPECT_EQ(t.innermost(), 3u);
+  t.exit_region(3);
+  EXPECT_FALSE(t.in_consistency_region());
+}
+
+TEST(RegionTracker, EnforcesLifoRelease) {
+  RegionTracker t;
+  t.enter_region(1);
+  t.enter_region(2);
+  EXPECT_THROW(t.exit_region(1), util::ContractViolation);
+}
+
+TEST(RegionTracker, ExitWithoutEnterThrows) {
+  RegionTracker t;
+  EXPECT_THROW(t.exit_region(0), util::ContractViolation);
+  EXPECT_THROW(t.innermost(), util::ContractViolation);
+}
+
+UpdateSet make_set(mem::ThreadIdx who, mem::GAddr addr, int len) {
+  UpdateSet s;
+  s.releaser = who;
+  std::vector<std::byte> data(static_cast<std::size_t>(len), std::byte{0xab});
+  s.diff.add_range(addr, data);
+  return s;
+}
+
+TEST(UpdateWindow, SequencesAndCollects) {
+  UpdateWindow w;
+  EXPECT_EQ(w.push(make_set(0, 0, 8)), 1u);
+  EXPECT_EQ(w.push(make_set(1, 8, 8)), 2u);
+  EXPECT_EQ(w.latest_seq(), 2u);
+
+  std::vector<const UpdateSet*> out;
+  std::size_t bytes = 0;
+  const auto high = w.collect_since(0, out, bytes);
+  EXPECT_EQ(high, 2u);
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_EQ(bytes, 2 * (8 + kDiffRangeHeaderBytes));
+
+  out.clear();
+  bytes = 0;
+  EXPECT_EQ(w.collect_since(1, out, bytes), 2u);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0]->releaser, 1u);
+}
+
+TEST(UpdateWindow, CollectSinceLatestIsEmpty) {
+  UpdateWindow w;
+  w.push(make_set(0, 0, 4));
+  std::vector<const UpdateSet*> out;
+  std::size_t bytes = 0;
+  EXPECT_EQ(w.collect_since(w.latest_seq(), out, bytes), w.latest_seq());
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(bytes, 0u);
+}
+
+TEST(UpdateWindow, TrimDropsConsumedSets) {
+  UpdateWindow w;
+  for (int i = 0; i < 5; ++i) w.push(make_set(0, i * 8, 8));
+  w.trim(3);
+  EXPECT_EQ(w.size(), 2u);
+  std::vector<const UpdateSet*> out;
+  std::size_t bytes = 0;
+  w.collect_since(3, out, bytes);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+}  // namespace
+}  // namespace sam::regc

@@ -1,0 +1,112 @@
+// Tests for the run-report aggregation and the GlobalArray typed sugar.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/report.hpp"
+#include "core/samhita_runtime.hpp"
+#include "rt/global_array.hpp"
+#include "smp/smp_runtime.hpp"
+#include "util/expect.hpp"
+
+namespace sam {
+namespace {
+
+TEST(RunReport, AggregatesAcrossThreads) {
+  core::SamhitaRuntime runtime;
+  const auto b = runtime.create_barrier(3);
+  runtime.parallel_run(3, [&](rt::ThreadCtx& ctx) {
+    const rt::Addr a = ctx.alloc(4 * ctx.view_granularity());
+    for (std::size_t off = 0; off < 4 * ctx.view_granularity(); off += 4096) {
+      ctx.write<double>(a + off, 1.0);
+    }
+    ctx.barrier(b);
+  });
+  const auto s = core::summarize(runtime);
+  EXPECT_EQ(s.threads, 3u);
+  EXPECT_GT(s.cache_misses, 0u);
+  EXPECT_GT(s.bytes_fetched, 0u);
+  EXPECT_GT(s.network_messages, 0u);
+  EXPECT_GT(s.hit_rate(), 0.0);
+  EXPECT_LT(s.hit_rate(), 1.0);
+
+  const std::string text = core::format_report(runtime);
+  EXPECT_NE(text.find("samhita run report (3 threads)"), std::string::npos);
+  EXPECT_NE(text.find("cache"), std::string::npos);
+  EXPECT_NE(text.find("traffic"), std::string::npos);
+}
+
+TEST(RunReport, EmptyHitRateIsZero) {
+  core::RunSummary s;
+  EXPECT_EQ(s.hit_rate(), 0.0);
+}
+
+class GlobalArrayOnRuntime : public ::testing::TestWithParam<std::string> {};
+INSTANTIATE_TEST_SUITE_P(BothRuntimes, GlobalArrayOnRuntime,
+                         ::testing::Values("pthreads", "samhita"),
+                         [](const auto& info) { return info.param; });
+
+std::unique_ptr<rt::Runtime> make_runtime(const std::string& kind) {
+  if (kind == "samhita") return std::make_unique<core::SamhitaRuntime>();
+  return std::make_unique<smp::SmpRuntime>();
+}
+
+TEST_P(GlobalArrayOnRuntime, ElementAndBulkAccess) {
+  auto runtime = make_runtime(GetParam());
+  const auto b = runtime->create_barrier(2);
+  rt::GlobalArray<double> arr;
+  std::vector<double> observed;
+  runtime->parallel_run(2, [&](rt::ThreadCtx& ctx) {
+    if (ctx.index() == 0) {
+      arr = rt::GlobalArray<double>::allocate_shared(ctx, 1000);
+      arr.fill(ctx, 0, 1000, -1.0);
+      for (std::size_t i = 0; i < 1000; i += 100) arr.set(ctx, i, static_cast<double>(i));
+    }
+    ctx.barrier(b);
+    if (ctx.index() == 1) {
+      EXPECT_DOUBLE_EQ(arr.get(ctx, 500), 500.0);
+      EXPECT_DOUBLE_EQ(arr.get(ctx, 501), -1.0);
+      observed.resize(1000);
+      arr.load(ctx, 0, 1000, observed.data());
+    }
+    ctx.barrier(b);
+  });
+  ASSERT_EQ(observed.size(), 1000u);
+  EXPECT_DOUBLE_EQ(observed[900], 900.0);
+  EXPECT_DOUBLE_EQ(observed[899], -1.0);
+}
+
+TEST_P(GlobalArrayOnRuntime, StoreRoundTrip) {
+  auto runtime = make_runtime(GetParam());
+  rt::GlobalArray<std::int64_t> arr;
+  runtime->parallel_run(1, [&](rt::ThreadCtx& ctx) {
+    arr = rt::GlobalArray<std::int64_t>::allocate(ctx, 257);  // crosses pages
+    std::vector<std::int64_t> vals(257);
+    for (std::size_t i = 0; i < vals.size(); ++i) vals[i] = static_cast<std::int64_t>(i * i);
+    arr.store(ctx, 0, vals.size(), vals.data());
+  });
+  const auto final_vals =
+      runtime->read_global_array<std::int64_t>(arr.addr(), arr.size());
+  EXPECT_EQ(final_vals[256], 256 * 256);
+  EXPECT_EQ(final_vals[100], 100 * 100);
+}
+
+TEST(GlobalArray, BoundsChecked) {
+  core::SamhitaRuntime runtime;
+  EXPECT_THROW(
+      runtime.parallel_run(1,
+                           [&](rt::ThreadCtx& ctx) {
+                             auto arr = rt::GlobalArray<double>::allocate(ctx, 4);
+                             arr.get(ctx, 4);
+                           }),
+      util::ContractViolation);
+}
+
+TEST(GlobalArray, DefaultIsInvalid) {
+  rt::GlobalArray<double> arr;
+  EXPECT_FALSE(arr.valid());
+  EXPECT_EQ(arr.size(), 0u);
+}
+
+}  // namespace
+}  // namespace sam

@@ -1,0 +1,49 @@
+// Unit tests for FIFO service resources.
+#include <gtest/gtest.h>
+
+#include "sim/resource.hpp"
+
+namespace sam::sim {
+namespace {
+
+TEST(Resource, IdleServerServesImmediately) {
+  Resource r("srv");
+  EXPECT_EQ(r.serve(100, 50), 150u);
+  EXPECT_EQ(r.next_free(), 150u);
+  EXPECT_EQ(r.busy_time(), 50u);
+  EXPECT_EQ(r.request_count(), 1u);
+}
+
+TEST(Resource, BackToBackRequestsQueue) {
+  Resource r("srv");
+  EXPECT_EQ(r.serve(0, 10), 10u);
+  EXPECT_EQ(r.serve(0, 10), 20u);   // waits for first
+  EXPECT_EQ(r.serve(5, 10), 30u);   // still queued
+  EXPECT_EQ(r.serve(100, 10), 110u);  // idle gap
+  EXPECT_EQ(r.busy_time(), 40u);
+  EXPECT_GT(r.mean_wait_seconds(), 0.0);
+}
+
+TEST(Resource, ResetClearsState) {
+  Resource r("srv");
+  r.serve(0, 100);
+  r.reset();
+  EXPECT_EQ(r.next_free(), 0u);
+  EXPECT_EQ(r.request_count(), 0u);
+  EXPECT_EQ(r.serve(0, 5), 5u);
+}
+
+TEST(MultiResource, ParallelServers) {
+  MultiResource r("multi", 2);
+  EXPECT_EQ(r.serve(0, 10), 10u);  // server 0
+  EXPECT_EQ(r.serve(0, 10), 10u);  // server 1
+  EXPECT_EQ(r.serve(0, 10), 20u);  // queues behind earliest-free
+  EXPECT_EQ(r.request_count(), 3u);
+}
+
+TEST(MultiResource, RejectsZeroServers) {
+  EXPECT_ANY_THROW(MultiResource("bad", 0));
+}
+
+}  // namespace
+}  // namespace sam::sim

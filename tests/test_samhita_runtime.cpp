@@ -1,0 +1,316 @@
+// Integration tests for the Samhita DSM runtime: functional correctness of
+// the full RegC protocol (demand paging, twins/diffs, update sets, barrier
+// invalidation) plus timing sanity.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/samhita_runtime.hpp"
+#include "sim/coop_scheduler.hpp"
+#include "util/expect.hpp"
+
+namespace sam::core {
+namespace {
+
+SamhitaConfig test_config() {
+  SamhitaConfig cfg;
+  cfg.memory_servers = 2;
+  return cfg;
+}
+
+TEST(SamhitaRuntime, SingleThreadWriteReadRoundTrip) {
+  SamhitaRuntime rt(test_config());
+  std::vector<double> seen;
+  rt.parallel_run(1, [&](rt::ThreadCtx& ctx) {
+    const rt::Addr a = ctx.alloc(64 * sizeof(double));
+    auto w = ctx.write_array<double>(a, 64);
+    for (int i = 0; i < 64; ++i) w[i] = i * 0.5;
+    auto r = ctx.read_array<double>(a, 64);
+    seen.assign(r.begin(), r.end());
+  });
+  ASSERT_EQ(seen.size(), 64u);
+  EXPECT_DOUBLE_EQ(seen[63], 31.5);
+}
+
+TEST(SamhitaRuntime, DirtyDataReachesServersAtBarrier) {
+  SamhitaRuntime rt(test_config());
+  const auto b = rt.create_barrier(1);
+  rt::Addr addr = 0;
+  rt.parallel_run(1, [&](rt::ThreadCtx& ctx) {
+    addr = ctx.alloc(sizeof(double));
+    ctx.write<double>(addr, 42.5);
+    // Before the barrier the write lives only in the local cache...
+    ctx.barrier(b);
+    // ...after it, the diff has been applied to the home server.
+  });
+  EXPECT_DOUBLE_EQ(rt.read_global_array<double>(addr, 1)[0], 42.5);
+}
+
+TEST(SamhitaRuntime, BarrierPublishesWritesAcrossThreads) {
+  SamhitaRuntime rt(test_config());
+  const auto b = rt.create_barrier(2);
+  rt::Addr addr = 0;
+  double observed = -1;
+  rt.parallel_run(2, [&](rt::ThreadCtx& ctx) {
+    if (ctx.index() == 0) {
+      addr = ctx.alloc(sizeof(double));
+      ctx.write<double>(addr, 1.0);
+    }
+    ctx.barrier(b);
+    if (ctx.index() == 1) {
+      // Cache and then observe a remote update after the next barrier.
+      EXPECT_DOUBLE_EQ(ctx.read<double>(addr), 1.0);
+    }
+    ctx.barrier(b);
+    if (ctx.index() == 0) ctx.write<double>(addr, 2.0);
+    ctx.barrier(b);
+    if (ctx.index() == 1) observed = ctx.read<double>(addr);
+  });
+  EXPECT_DOUBLE_EQ(observed, 2.0);
+}
+
+TEST(SamhitaRuntime, FalseSharingMergesDisjointWrites) {
+  // Two threads write disjoint halves of the same page; both writes must
+  // survive the multiple-writer merge.
+  SamhitaRuntime rt(test_config());
+  const auto b = rt.create_barrier(2);
+  rt::Addr addr = 0;
+  rt.parallel_run(2, [&](rt::ThreadCtx& ctx) {
+    if (ctx.index() == 0) addr = ctx.alloc(512 * sizeof(double));
+    ctx.barrier(b);
+    const std::size_t half = 256;
+    const rt::Addr mine = addr + ctx.index() * half * sizeof(double);
+    auto w = ctx.write_array<double>(mine, half);
+    for (std::size_t i = 0; i < half; ++i) w[i] = ctx.index() + 1.0;
+    ctx.barrier(b);
+    // After the merge, both halves are visible to both threads.
+    EXPECT_DOUBLE_EQ(ctx.read<double>(addr), 1.0);
+    EXPECT_DOUBLE_EQ(ctx.read<double>(addr + half * sizeof(double)), 2.0);
+  });
+  const auto final0 = rt.read_global_array<double>(addr, 1)[0];
+  const auto final1 = rt.read_global_array<double>(addr + 256 * sizeof(double), 1)[0];
+  EXPECT_DOUBLE_EQ(final0, 1.0);
+  EXPECT_DOUBLE_EQ(final1, 2.0);
+}
+
+TEST(SamhitaRuntime, LockProtectedCounterIsSerializable) {
+  SamhitaRuntime rt(test_config());
+  const auto m = rt.create_mutex();
+  const auto b = rt.create_barrier(8);
+  rt::Addr counter = 0;
+  constexpr int kIters = 25;
+  rt.parallel_run(8, [&](rt::ThreadCtx& ctx) {
+    if (ctx.index() == 0) {
+      counter = ctx.alloc(sizeof(double));
+      ctx.write<double>(counter, 0.0);
+    }
+    ctx.barrier(b);
+    for (int i = 0; i < kIters; ++i) {
+      ctx.lock(m);
+      const double v = ctx.read<double>(counter);
+      ctx.write<double>(counter, v + 1.0);
+      ctx.unlock(m);
+    }
+    ctx.barrier(b);
+  });
+  EXPECT_DOUBLE_EQ(rt.read_global_array<double>(counter, 1)[0], 8.0 * kIters);
+}
+
+TEST(SamhitaRuntime, UpdateSetsPropagateWithoutBarrier) {
+  // Fine-grain RegC updates: a value written in a critical section must be
+  // visible to the next acquirer even with no intervening barrier.
+  SamhitaRuntime rt(test_config());
+  const auto m = rt.create_mutex();
+  const auto b = rt.create_barrier(2);
+  rt::Addr addr = 0;
+  double seen_by_second = -1;
+  rt.parallel_run(2, [&](rt::ThreadCtx& ctx) {
+    if (ctx.index() == 0) {
+      addr = ctx.alloc(sizeof(double));
+      ctx.write<double>(addr, 0.0);
+    }
+    ctx.barrier(b);
+    if (ctx.index() == 0) {
+      ctx.lock(m);
+      ctx.write<double>(addr, 7.25);
+      ctx.unlock(m);
+      ctx.barrier(b);
+    } else {
+      // Ensure thread 0 acquires first: wait for it to finish its region.
+      ctx.barrier(b);
+      ctx.lock(m);
+      seen_by_second = ctx.read<double>(addr);
+      ctx.unlock(m);
+    }
+  });
+  EXPECT_DOUBLE_EQ(seen_by_second, 7.25);
+}
+
+TEST(SamhitaRuntime, CondVarHandoff) {
+  SamhitaRuntime rt(test_config());
+  const auto m = rt.create_mutex();
+  const auto c = rt.create_cond();
+  rt::Addr flag = 0;
+  double consumed = -1;
+  rt.parallel_run(2, [&](rt::ThreadCtx& ctx) {
+    if (ctx.index() == 0) {
+      flag = ctx.alloc(sizeof(double));
+      ctx.write<double>(flag, 0.0);
+      ctx.lock(m);
+      while (ctx.read<double>(flag) == 0.0) ctx.cond_wait(c, m);
+      consumed = ctx.read<double>(flag);
+      ctx.unlock(m);
+    } else {
+      ctx.charge_flops(1e7);  // arrive after the consumer parks
+      ctx.lock(m);
+      ctx.write<double>(flag, 9.0);
+      ctx.cond_signal(c);
+      ctx.unlock(m);
+    }
+  });
+  EXPECT_DOUBLE_EQ(consumed, 9.0);
+}
+
+TEST(SamhitaRuntime, DemandMissesAndPrefetchCounted) {
+  SamhitaConfig cfg = test_config();
+  cfg.prefetch_enabled = true;
+  SamhitaRuntime rt(cfg);
+  rt.parallel_run(1, [&](rt::ThreadCtx& ctx) {
+    // Stream through 8 lines: first touch misses, prefetch covers alternates.
+    const std::size_t bytes = 8 * cfg.line_bytes();
+    const rt::Addr a = ctx.alloc(bytes);
+    for (std::size_t off = 0; off < bytes; off += sizeof(double)) {
+      ctx.write<double>(a + off, 1.0);
+    }
+  });
+  const Metrics& m = rt.metrics(0);
+  EXPECT_GT(m.cache_misses, 0u);
+  EXPECT_GT(m.prefetch_issued, 0u);
+  EXPECT_GT(m.prefetch_hits, 0u);
+  // Prefetching halves demand misses on a pure stream.
+  EXPECT_LT(m.cache_misses, 6u);
+}
+
+TEST(SamhitaRuntime, PrefetchOffMissesEveryLine) {
+  SamhitaConfig cfg = test_config();
+  cfg.prefetch_enabled = false;
+  SamhitaRuntime rt(cfg);
+  rt.parallel_run(1, [&](rt::ThreadCtx& ctx) {
+    const std::size_t bytes = 8 * cfg.line_bytes();
+    const rt::Addr a = ctx.alloc(bytes);
+    for (std::size_t off = 0; off < bytes; off += sizeof(double)) {
+      ctx.write<double>(a + off, 1.0);
+    }
+  });
+  EXPECT_EQ(rt.metrics(0).cache_misses, 8u);
+  EXPECT_EQ(rt.metrics(0).prefetch_issued, 0u);
+}
+
+TEST(SamhitaRuntime, TinyCacheEvictsAndStaysCorrect) {
+  SamhitaConfig cfg = test_config();
+  cfg.cache_capacity_bytes = 2 * cfg.line_bytes();  // two lines only
+  SamhitaRuntime rt(cfg);
+  std::vector<double> readback;
+  rt.parallel_run(1, [&](rt::ThreadCtx& ctx) {
+    const std::size_t count = 8 * cfg.line_bytes() / sizeof(double);
+    const rt::Addr a = ctx.alloc(count * sizeof(double));
+    for (std::size_t i = 0; i < count; ++i) {
+      ctx.write<double>(a + i * sizeof(double), static_cast<double>(i));
+    }
+    // Re-read everything: evicted dirty lines must have been flushed.
+    for (std::size_t i = 0; i < count; i += 997) {
+      readback.push_back(ctx.read<double>(a + i * sizeof(double)));
+    }
+  });
+  EXPECT_GT(rt.metrics(0).evictions, 0u);
+  for (std::size_t k = 0; k < readback.size(); ++k) {
+    EXPECT_DOUBLE_EQ(readback[k], static_cast<double>(k * 997));
+  }
+}
+
+TEST(SamhitaRuntime, SyncCostsMoreThanSmp) {
+  // The paper's Fig. 11 headline: Samhita synchronization is far more
+  // expensive than Pthreads because it embeds consistency operations.
+  SamhitaRuntime rt(test_config());
+  const auto b = rt.create_barrier(2);
+  rt.parallel_run(2, [&](rt::ThreadCtx& ctx) {
+    ctx.begin_measurement();
+    for (int i = 0; i < 10; ++i) ctx.barrier(b);
+    ctx.end_measurement();
+  });
+  // 10 remote barriers cost at least tens of microseconds.
+  EXPECT_GT(rt.mean_sync_seconds(), 10e-6);
+}
+
+TEST(SamhitaRuntime, LocalSyncAblationIsCheaper) {
+  auto sync_cost = [](bool local) {
+    SamhitaConfig cfg;
+    cfg.local_sync = local;
+    cfg.compute_nodes = 1;  // all threads on one node (the §V scenario)
+    SamhitaRuntime rt(cfg);
+    const auto b = rt.create_barrier(4);
+    rt.parallel_run(4, [&](rt::ThreadCtx& ctx) {
+      ctx.begin_measurement();
+      for (int i = 0; i < 20; ++i) ctx.barrier(b);
+      ctx.end_measurement();
+    });
+    return rt.mean_sync_seconds();
+  };
+  EXPECT_LT(sync_cost(true), sync_cost(false));
+}
+
+TEST(SamhitaRuntime, HoldingLockAtExitFails) {
+  SamhitaRuntime rt(test_config());
+  const auto m = rt.create_mutex();
+  EXPECT_THROW(rt.parallel_run(1, [&](rt::ThreadCtx& ctx) { ctx.lock(m); }),
+               util::ContractViolation);
+}
+
+TEST(SamhitaRuntime, ViewAcrossLineBoundaryRejected) {
+  SamhitaConfig cfg = test_config();
+  SamhitaRuntime rt(cfg);
+  EXPECT_THROW(rt.parallel_run(1,
+                               [&](rt::ThreadCtx& ctx) {
+                                 const rt::Addr a = ctx.alloc(2 * cfg.line_bytes());
+                                 ctx.read_view(a + cfg.line_bytes() - 8, 16);
+                               }),
+               util::ContractViolation);
+}
+
+TEST(SamhitaRuntime, DeterministicTimingAcrossRuns) {
+  auto run = [] {
+    SamhitaRuntime rt(test_config());
+    const auto m = rt.create_mutex();
+    const auto b = rt.create_barrier(4);
+    rt::Addr acc = 0;
+    rt.parallel_run(4, [&](rt::ThreadCtx& ctx) {
+      if (ctx.index() == 0) {
+        acc = ctx.alloc(sizeof(double));
+        ctx.write<double>(acc, 0.0);
+      }
+      ctx.barrier(b);
+      ctx.begin_measurement();
+      for (int i = 0; i < 5; ++i) {
+        ctx.charge_flops(1000 * (ctx.index() + 1));
+        ctx.lock(m);
+        ctx.write<double>(acc, ctx.read<double>(acc) + 1);
+        ctx.unlock(m);
+        ctx.barrier(b);
+      }
+      ctx.end_measurement();
+    });
+    return std::make_pair(rt.elapsed_seconds(), rt.network_messages());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(SamhitaRuntime, PlacementSpreadsThreadsAcrossNodes) {
+  SamhitaConfig cfg;
+  EXPECT_EQ(cfg.compute_node(0), cfg.memory_servers + 1);
+  EXPECT_EQ(cfg.compute_node(7), cfg.memory_servers + 1);
+  EXPECT_EQ(cfg.compute_node(8), cfg.memory_servers + 2);
+  EXPECT_EQ(cfg.compute_node(31), cfg.memory_servers + 4);
+}
+
+}  // namespace
+}  // namespace sam::core

@@ -1,0 +1,118 @@
+// Unit + integration tests for the protocol trace buffer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/samhita_runtime.hpp"
+#include "sim/trace.hpp"
+#include "util/expect.hpp"
+
+namespace sam {
+namespace {
+
+TEST(TraceBuffer, DisabledRecordsNothing) {
+  sim::TraceBuffer t(8);
+  t.record(1, 0, sim::TraceKind::kCacheMiss, 0, 0);
+  EXPECT_EQ(t.total_recorded(), 0u);
+  EXPECT_TRUE(t.snapshot().empty());
+}
+
+TEST(TraceBuffer, RecordsInOrder) {
+  sim::TraceBuffer t(8);
+  t.set_enabled(true);
+  for (int i = 0; i < 5; ++i) {
+    t.record(static_cast<SimTime>(i * 10), 1, sim::TraceKind::kFlush, i, i * 100);
+  }
+  const auto events = t.snapshot();
+  ASSERT_EQ(events.size(), 5u);
+  EXPECT_EQ(events[0].time, 0u);
+  EXPECT_EQ(events[4].object, 4u);
+  EXPECT_EQ(events[4].detail, 400u);
+  EXPECT_EQ(t.count(sim::TraceKind::kFlush), 5u);
+  EXPECT_EQ(t.count(sim::TraceKind::kEvict), 0u);
+}
+
+TEST(TraceBuffer, RingOverwritesOldest) {
+  sim::TraceBuffer t(4);
+  t.set_enabled(true);
+  for (int i = 0; i < 10; ++i) {
+    t.record(static_cast<SimTime>(i), 0, sim::TraceKind::kCacheHit, i, 0);
+  }
+  EXPECT_EQ(t.total_recorded(), 10u);
+  const auto events = t.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().object, 6u);  // oldest retained
+  EXPECT_EQ(events.back().object, 9u);
+}
+
+TEST(TraceBuffer, ClearResets) {
+  sim::TraceBuffer t(4);
+  t.set_enabled(true);
+  t.record(1, 0, sim::TraceKind::kEvict, 0, 0);
+  t.clear();
+  EXPECT_EQ(t.total_recorded(), 0u);
+  EXPECT_TRUE(t.snapshot().empty());
+}
+
+TEST(TraceBuffer, CsvDump) {
+  sim::TraceBuffer t(4);
+  t.set_enabled(true);
+  t.record(123, 2, sim::TraceKind::kLockAcquire, 7, 9);
+  std::ostringstream os;
+  t.dump_csv(os);
+  EXPECT_EQ(os.str(), "time_ns,thread,kind,object,detail\n123,2,lock_acquire,7,9\n");
+}
+
+TEST(TraceBuffer, KindNamesComplete) {
+  EXPECT_STREQ(sim::to_string(sim::TraceKind::kLazyPull), "lazy_pull");
+  EXPECT_STREQ(sim::to_string(sim::TraceKind::kBarrierRelease), "barrier_release");
+  EXPECT_STREQ(sim::to_string(sim::TraceKind::kUpdateApply), "update_apply");
+}
+
+TEST(TraceBuffer, RejectsZeroCapacity) {
+  EXPECT_THROW(sim::TraceBuffer(0), util::ContractViolation);
+}
+
+TEST(TraceIntegration, RuntimeRecordsProtocolEvents) {
+  core::SamhitaConfig cfg;
+  cfg.trace_enabled = true;
+  core::SamhitaRuntime runtime(cfg);
+  const auto m = runtime.create_mutex();
+  const auto b = runtime.create_barrier(2);
+  rt::Addr a = 0;
+  runtime.parallel_run(2, [&](rt::ThreadCtx& ctx) {
+    if (ctx.index() == 0) {
+      a = ctx.alloc_shared(8192);
+      ctx.write<double>(a, 1.0);
+    }
+    ctx.barrier(b);
+    ctx.lock(m);
+    ctx.write<double>(a + 8, ctx.read<double>(a));
+    ctx.unlock(m);
+    ctx.barrier(b);
+  });
+  const auto& trace = runtime.trace();
+  EXPECT_GT(trace.total_recorded(), 0u);
+  EXPECT_GT(trace.count(sim::TraceKind::kCacheMiss), 0u);
+  EXPECT_GT(trace.count(sim::TraceKind::kLockAcquire), 0u);
+  EXPECT_GT(trace.count(sim::TraceKind::kLockRelease), 0u);
+  EXPECT_EQ(trace.count(sim::TraceKind::kBarrierArrive), 4u);  // 2 threads x 2 barriers
+  EXPECT_EQ(trace.count(sim::TraceKind::kBarrierRelease), 2u);
+  EXPECT_GT(trace.count(sim::TraceKind::kAlloc), 0u);
+  // Trace timestamps are nondecreasing per thread.
+  SimTime last[2] = {0, 0};
+  for (const auto& e : trace.snapshot()) {
+    ASSERT_LT(e.thread, 2u);
+    EXPECT_GE(e.time, last[e.thread]);
+    last[e.thread] = e.time;
+  }
+}
+
+TEST(TraceIntegration, DisabledByDefault) {
+  core::SamhitaRuntime runtime;
+  runtime.parallel_run(1, [&](rt::ThreadCtx& ctx) { ctx.alloc(64); });
+  EXPECT_EQ(runtime.trace().total_recorded(), 0u);
+}
+
+}  // namespace
+}  // namespace sam

@@ -1,0 +1,149 @@
+// Unit tests for util: stats, csv, arg parsing, rng, time formatting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/arg_parser.hpp"
+#include "util/csv.hpp"
+#include "util/expect.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/time_types.hpp"
+
+namespace sam {
+namespace {
+
+TEST(Expect, ThrowsWithMessage) {
+  try {
+    SAM_EXPECT(1 == 2, "impossible");
+    FAIL() << "should have thrown";
+  } catch (const util::ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("impossible"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(StreamingStats, BasicMoments) {
+  util::StreamingStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(StreamingStats, MergeMatchesCombinedStream) {
+  util::SplitMix64 rng(7);
+  util::StreamingStats a, b, all;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double(-5, 5);
+    ((i % 3 == 0) ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(StreamingStats, MergeWithEmpty) {
+  util::StreamingStats a, b;
+  a.add(3.0);
+  a.merge(b);  // no-op
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);  // copies
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 3.0);
+}
+
+TEST(SampleSet, Percentiles) {
+  util::SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_NEAR(s.median(), 50.5, 1e-12);
+  EXPECT_NEAR(s.percentile(90), 90.1, 1e-9);
+}
+
+TEST(SampleSet, EmptyThrows) {
+  util::SampleSet s;
+  EXPECT_THROW(s.percentile(50), util::ContractViolation);
+  EXPECT_THROW(s.min(), util::ContractViolation);
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  std::ostringstream os;
+  util::CsvWriter w(os);
+  w.header({"a", "b,c", "d\"e"});
+  w.row({1.5, 2.0, 3.25});
+  w.raw_row({"x", "y", "z"});
+  EXPECT_EQ(os.str(), "a,\"b,c\",\"d\"\"e\"\n1.5,2,3.25\nx,y,z\n");
+  EXPECT_EQ(w.rows_written(), 2u);
+}
+
+TEST(Csv, DoubleHeaderThrows) {
+  std::ostringstream os;
+  util::CsvWriter w(os);
+  w.header({"a"});
+  EXPECT_THROW(w.header({"b"}), util::ContractViolation);
+}
+
+TEST(ArgParser, ParsesTypedValues) {
+  const char* argv[] = {"prog", "--n=42",    "--x=2.5", "--name=foo",
+                        "--on", "--off=false", "pos1"};
+  util::ArgParser args(7, argv);
+  EXPECT_EQ(args.get_int("n", 0), 42);
+  EXPECT_DOUBLE_EQ(args.get_double("x", 0), 2.5);
+  EXPECT_EQ(args.get_string("name", ""), "foo");
+  EXPECT_TRUE(args.get_bool("on", false));
+  EXPECT_FALSE(args.get_bool("off", true));
+  EXPECT_EQ(args.get_int("missing", -7), -7);
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "pos1");
+}
+
+TEST(ArgParser, IntList) {
+  const char* argv[] = {"prog", "--cores=1,2,4,8"};
+  util::ArgParser args(2, argv);
+  const auto v = args.get_int_list("cores", {});
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[3], 8);
+  const auto fallback = args.get_int_list("other", {5});
+  ASSERT_EQ(fallback.size(), 1u);
+}
+
+TEST(ArgParser, MalformedNumberThrows) {
+  const char* argv[] = {"prog", "--n=12x"};
+  util::ArgParser args(2, argv);
+  EXPECT_THROW(args.get_int("n", 0), util::ContractViolation);
+}
+
+TEST(Rng, DeterministicAndBounded) {
+  util::SplitMix64 a(123), b(123), c(124);
+  EXPECT_EQ(a.next(), b.next());
+  EXPECT_NE(a.next(), c.next());
+  for (int i = 0; i < 1000; ++i) {
+    const double d = a.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    EXPECT_LT(a.next_below(17), 17u);
+  }
+}
+
+TEST(TimeTypes, Conversions) {
+  EXPECT_EQ(from_seconds(1.5e-6), 1500u);
+  EXPECT_EQ(from_seconds(0.0), 0u);
+  EXPECT_DOUBLE_EQ(to_seconds(2'000'000'000ull), 2.0);
+  EXPECT_EQ(format_duration(500), "500ns");
+  EXPECT_EQ(format_duration(1500), "1.500us");
+  EXPECT_EQ(format_duration(2'500'000), "2.500ms");
+  EXPECT_EQ(format_duration(3'000'000'000ull), "3.000000s");
+}
+
+}  // namespace
+}  // namespace sam

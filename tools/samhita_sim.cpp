@@ -1,0 +1,159 @@
+// samhita_sim: command-line driver for the simulated Samhita platform.
+//
+// Runs any built-in workload on a fully configurable platform and prints a
+// run report (optionally a protocol trace). This is the "poke at the
+// system" entry point for downstream users:
+//
+//   samhita_sim --workload=micro --threads=16 --alloc=strided --M=100
+//   samhita_sim --workload=jacobi --n=256 --network=scif --trace=trace.csv
+//   samhita_sim --workload=md --particles=512 --local-sync=true
+//   samhita_sim --workload=matmul --n=128 --servers=2
+//   samhita_sim --workload=bfs --vertices=4096 --placement=scatter
+//
+// Platform flags: --network=ib|pcie|scif --servers=N --nodes=N
+//   --cores-per-node=N --pages-per-line=N --cache-mb=N --prefetch=bool
+//   --eviction=dirty|lru --placement=block|scatter --local-sync=bool
+//   --finegrain=bool --trace=<csv path>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "apps/bfs.hpp"
+#include "apps/jacobi.hpp"
+#include "apps/matmul.hpp"
+#include "apps/md.hpp"
+#include "apps/microbench.hpp"
+#include "core/report.hpp"
+#include "core/samhita_runtime.hpp"
+#include "util/arg_parser.hpp"
+#include "util/expect.hpp"
+
+namespace {
+
+using namespace sam;
+
+core::SamhitaConfig config_from_args(const util::ArgParser& args) {
+  core::SamhitaConfig cfg;
+  cfg.network = args.get_string("network", cfg.network);
+  cfg.memory_servers = static_cast<unsigned>(args.get_int("servers", cfg.memory_servers));
+  cfg.compute_nodes = static_cast<unsigned>(args.get_int("nodes", cfg.compute_nodes));
+  cfg.cores_per_node =
+      static_cast<unsigned>(args.get_int("cores-per-node", cfg.cores_per_node));
+  cfg.pages_per_line =
+      static_cast<unsigned>(args.get_int("pages-per-line", cfg.pages_per_line));
+  cfg.cache_capacity_bytes = static_cast<std::uint64_t>(
+      args.get_int("cache-mb", static_cast<std::int64_t>(cfg.cache_capacity_bytes >> 20)))
+      << 20;
+  cfg.prefetch_enabled = args.get_bool("prefetch", cfg.prefetch_enabled);
+  cfg.local_sync = args.get_bool("local-sync", cfg.local_sync);
+  cfg.finegrain_updates = args.get_bool("finegrain", cfg.finegrain_updates);
+  const std::string eviction = args.get_string("eviction", "dirty");
+  SAM_EXPECT(eviction == "dirty" || eviction == "lru", "--eviction wants dirty|lru");
+  cfg.eviction =
+      eviction == "dirty" ? core::EvictionPolicy::kDirtyFirst : core::EvictionPolicy::kLru;
+  const std::string placement = args.get_string("placement", "block");
+  SAM_EXPECT(placement == "block" || placement == "scatter",
+             "--placement wants block|scatter");
+  cfg.placement =
+      placement == "block" ? core::Placement::kBlock : core::Placement::kScatter;
+  cfg.trace_enabled = args.has("trace");
+  return cfg;
+}
+
+int run_workload(const util::ArgParser& args, core::SamhitaRuntime& runtime) {
+  const std::string workload = args.get_string("workload", "micro");
+  const auto threads = static_cast<std::uint32_t>(args.get_int("threads", 8));
+
+  if (workload == "micro") {
+    apps::MicrobenchParams p;
+    p.threads = threads;
+    p.N = static_cast<int>(args.get_int("N", 10));
+    p.M = static_cast<int>(args.get_int("M", 100));
+    p.S = static_cast<int>(args.get_int("S", 2));
+    p.B = static_cast<int>(args.get_int("B", 256));
+    p.alloc = apps::microbench_alloc_from_string(args.get_string("alloc", "local"));
+    const auto r = apps::run_microbench(runtime, p);
+    std::printf("micro(%s): gsum=%.6g compute=%.3fms sync=%.3fms elapsed=%.3fms\n",
+                apps::to_string(p.alloc), r.gsum, r.mean_compute_seconds * 1e3,
+                r.mean_sync_seconds * 1e3, r.elapsed_seconds * 1e3);
+    return 0;
+  }
+  if (workload == "jacobi") {
+    apps::JacobiParams p;
+    p.threads = threads;
+    p.n = static_cast<std::uint32_t>(args.get_int("n", 256));
+    p.iterations = static_cast<std::uint32_t>(args.get_int("iters", 20));
+    const auto r = apps::run_jacobi(runtime, p);
+    std::printf("jacobi(%ux%u): residual=%.9g elapsed=%.3fms\n", p.n, p.n,
+                r.final_residual, r.elapsed_seconds * 1e3);
+    return 0;
+  }
+  if (workload == "md") {
+    apps::MdParams p;
+    p.threads = threads;
+    p.particles = static_cast<std::uint32_t>(args.get_int("particles", 512));
+    p.steps = static_cast<std::uint32_t>(args.get_int("steps", 4));
+    const auto r = apps::run_md(runtime, p);
+    std::printf("md(%u particles): potential=%.6g kinetic=%.6g elapsed=%.3fms\n",
+                p.particles, r.potential, r.kinetic, r.elapsed_seconds * 1e3);
+    return 0;
+  }
+  if (workload == "matmul") {
+    apps::MatmulParams p;
+    p.threads = threads;
+    p.n = static_cast<std::uint32_t>(args.get_int("n", 128));
+    const auto r = apps::run_matmul(runtime, p);
+    std::printf("matmul(%ux%u): checksum=%.6f elapsed=%.3fms\n", p.n, p.n, r.checksum,
+                r.elapsed_seconds * 1e3);
+    return 0;
+  }
+  if (workload == "bfs") {
+    apps::BfsParams p;
+    p.threads = threads;
+    p.vertices = static_cast<std::uint32_t>(args.get_int("vertices", 2048));
+    p.avg_degree = static_cast<std::uint32_t>(args.get_int("degree", 8));
+    p.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    const auto r = apps::run_bfs(runtime, p);
+    std::printf("bfs(%u vertices): reached=%llu levels=%u elapsed=%.3fms\n", p.vertices,
+                static_cast<unsigned long long>(r.reached), r.levels,
+                r.elapsed_seconds * 1e3);
+    return 0;
+  }
+  std::fprintf(stderr, "unknown --workload=%s (want micro|jacobi|md|matmul|bfs)\n",
+               workload.c_str());
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sam;
+  try {
+    util::ArgParser args(argc, argv);
+    if (args.has("help")) {
+      std::printf("usage: %s --workload=micro|jacobi|md|matmul|bfs [options]\n"
+                  "see the header of tools/samhita_sim.cpp for the full flag list\n",
+                  argv[0]);
+      return 0;
+    }
+    core::SamhitaRuntime runtime(config_from_args(args));
+    const int rc = run_workload(args, runtime);
+    if (rc != 0) return rc;
+
+    std::printf("\n%s", core::format_report(runtime).c_str());
+
+    if (args.has("trace")) {
+      const std::string path = args.get_string("trace", "trace.csv");
+      std::ofstream out(path);
+      SAM_EXPECT(out.is_open(), "cannot open trace output: " + path);
+      runtime.trace().dump_csv(out);
+      std::printf("\ntrace: %llu events -> %s\n",
+                  static_cast<unsigned long long>(runtime.trace().total_recorded()),
+                  path.c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
