@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_allocator"
+  "../bench/ablation_allocator.pdb"
+  "CMakeFiles/ablation_allocator.dir/ablation_allocator.cpp.o"
+  "CMakeFiles/ablation_allocator.dir/ablation_allocator.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_allocator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_eviction"
+  "../bench/ablation_eviction.pdb"
+  "CMakeFiles/ablation_eviction.dir/ablation_eviction.cpp.o"
+  "CMakeFiles/ablation_eviction.dir/ablation_eviction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_eviction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_local_sync"
+  "../bench/ablation_local_sync.pdb"
+  "CMakeFiles/ablation_local_sync.dir/ablation_local_sync.cpp.o"
+  "CMakeFiles/ablation_local_sync.dir/ablation_local_sync.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_local_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_regc_finegrain"
+  "../bench/ablation_regc_finegrain.pdb"
+  "CMakeFiles/ablation_regc_finegrain.dir/ablation_regc_finegrain.cpp.o"
+  "CMakeFiles/ablation_regc_finegrain.dir/ablation_regc_finegrain.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_regc_finegrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

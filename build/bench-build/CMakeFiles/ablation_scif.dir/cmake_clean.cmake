@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_scif"
+  "../bench/ablation_scif.pdb"
+  "CMakeFiles/ablation_scif.dir/ablation_scif.cpp.o"
+  "CMakeFiles/ablation_scif.dir/ablation_scif.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_scif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_compute_local"
+  "../bench/fig03_compute_local.pdb"
+  "CMakeFiles/fig03_compute_local.dir/fig03_compute_local.cpp.o"
+  "CMakeFiles/fig03_compute_local.dir/fig03_compute_local.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_compute_local.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_compute_global"
+  "../bench/fig04_compute_global.pdb"
+  "CMakeFiles/fig04_compute_global.dir/fig04_compute_global.cpp.o"
+  "CMakeFiles/fig04_compute_global.dir/fig04_compute_global.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_compute_global.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_compute_strided"
+  "../bench/fig05_compute_strided.pdb"
+  "CMakeFiles/fig05_compute_strided.dir/fig05_compute_strided.cpp.o"
+  "CMakeFiles/fig05_compute_strided.dir/fig05_compute_strided.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_compute_strided.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

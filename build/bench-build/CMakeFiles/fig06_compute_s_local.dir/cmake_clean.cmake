@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_compute_s_local"
+  "../bench/fig06_compute_s_local.pdb"
+  "CMakeFiles/fig06_compute_s_local.dir/fig06_compute_s_local.cpp.o"
+  "CMakeFiles/fig06_compute_s_local.dir/fig06_compute_s_local.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_compute_s_local.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

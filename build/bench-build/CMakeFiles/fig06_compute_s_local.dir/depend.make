@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06_compute_s_local.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_compute_s_global"
+  "../bench/fig07_compute_s_global.pdb"
+  "CMakeFiles/fig07_compute_s_global.dir/fig07_compute_s_global.cpp.o"
+  "CMakeFiles/fig07_compute_s_global.dir/fig07_compute_s_global.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_compute_s_global.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

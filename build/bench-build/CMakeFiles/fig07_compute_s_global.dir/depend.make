@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07_compute_s_global.
+# This may be replaced when dependencies are built.

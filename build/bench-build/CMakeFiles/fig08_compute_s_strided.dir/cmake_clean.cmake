@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_compute_s_strided"
+  "../bench/fig08_compute_s_strided.pdb"
+  "CMakeFiles/fig08_compute_s_strided.dir/fig08_compute_s_strided.cpp.o"
+  "CMakeFiles/fig08_compute_s_strided.dir/fig08_compute_s_strided.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_compute_s_strided.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

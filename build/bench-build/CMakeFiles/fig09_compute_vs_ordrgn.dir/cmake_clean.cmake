@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_compute_vs_ordrgn"
+  "../bench/fig09_compute_vs_ordrgn.pdb"
+  "CMakeFiles/fig09_compute_vs_ordrgn.dir/fig09_compute_vs_ordrgn.cpp.o"
+  "CMakeFiles/fig09_compute_vs_ordrgn.dir/fig09_compute_vs_ordrgn.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_compute_vs_ordrgn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_compute_vs_ordrgn.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_sync_vs_ordrgn"
+  "../bench/fig10_sync_vs_ordrgn.pdb"
+  "CMakeFiles/fig10_sync_vs_ordrgn.dir/fig10_sync_vs_ordrgn.cpp.o"
+  "CMakeFiles/fig10_sync_vs_ordrgn.dir/fig10_sync_vs_ordrgn.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_sync_vs_ordrgn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_sync_vs_cores"
+  "../bench/fig11_sync_vs_cores.pdb"
+  "CMakeFiles/fig11_sync_vs_cores.dir/fig11_sync_vs_cores.cpp.o"
+  "CMakeFiles/fig11_sync_vs_cores.dir/fig11_sync_vs_cores.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_sync_vs_cores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

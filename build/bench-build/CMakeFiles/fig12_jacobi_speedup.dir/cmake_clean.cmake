@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_jacobi_speedup"
+  "../bench/fig12_jacobi_speedup.pdb"
+  "CMakeFiles/fig12_jacobi_speedup.dir/fig12_jacobi_speedup.cpp.o"
+  "CMakeFiles/fig12_jacobi_speedup.dir/fig12_jacobi_speedup.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_jacobi_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

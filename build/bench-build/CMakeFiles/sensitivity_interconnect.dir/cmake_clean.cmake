@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sensitivity_interconnect"
+  "../bench/sensitivity_interconnect.pdb"
+  "CMakeFiles/sensitivity_interconnect.dir/sensitivity_interconnect.cpp.o"
+  "CMakeFiles/sensitivity_interconnect.dir/sensitivity_interconnect.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensitivity_interconnect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matrix_multiply.dir/matrix_multiply.cpp.o"
+  "CMakeFiles/matrix_multiply.dir/matrix_multiply.cpp.o.d"
+  "matrix_multiply"
+  "matrix_multiply.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matrix_multiply.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for matrix_multiply.
+# This may be replaced when dependencies are built.

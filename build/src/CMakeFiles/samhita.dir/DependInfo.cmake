@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/bfs.cpp" "src/CMakeFiles/samhita.dir/apps/bfs.cpp.o" "gcc" "src/CMakeFiles/samhita.dir/apps/bfs.cpp.o.d"
+  "/root/repo/src/apps/jacobi.cpp" "src/CMakeFiles/samhita.dir/apps/jacobi.cpp.o" "gcc" "src/CMakeFiles/samhita.dir/apps/jacobi.cpp.o.d"
+  "/root/repo/src/apps/matmul.cpp" "src/CMakeFiles/samhita.dir/apps/matmul.cpp.o" "gcc" "src/CMakeFiles/samhita.dir/apps/matmul.cpp.o.d"
+  "/root/repo/src/apps/md.cpp" "src/CMakeFiles/samhita.dir/apps/md.cpp.o" "gcc" "src/CMakeFiles/samhita.dir/apps/md.cpp.o.d"
+  "/root/repo/src/apps/microbench.cpp" "src/CMakeFiles/samhita.dir/apps/microbench.cpp.o" "gcc" "src/CMakeFiles/samhita.dir/apps/microbench.cpp.o.d"
+  "/root/repo/src/apps/reduction.cpp" "src/CMakeFiles/samhita.dir/apps/reduction.cpp.o" "gcc" "src/CMakeFiles/samhita.dir/apps/reduction.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/CMakeFiles/samhita.dir/core/config.cpp.o" "gcc" "src/CMakeFiles/samhita.dir/core/config.cpp.o.d"
+  "/root/repo/src/core/manager.cpp" "src/CMakeFiles/samhita.dir/core/manager.cpp.o" "gcc" "src/CMakeFiles/samhita.dir/core/manager.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/CMakeFiles/samhita.dir/core/metrics.cpp.o" "gcc" "src/CMakeFiles/samhita.dir/core/metrics.cpp.o.d"
+  "/root/repo/src/core/page_cache.cpp" "src/CMakeFiles/samhita.dir/core/page_cache.cpp.o" "gcc" "src/CMakeFiles/samhita.dir/core/page_cache.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/samhita.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/samhita.dir/core/report.cpp.o.d"
+  "/root/repo/src/core/sam_allocator.cpp" "src/CMakeFiles/samhita.dir/core/sam_allocator.cpp.o" "gcc" "src/CMakeFiles/samhita.dir/core/sam_allocator.cpp.o.d"
+  "/root/repo/src/core/sam_thread_ctx.cpp" "src/CMakeFiles/samhita.dir/core/sam_thread_ctx.cpp.o" "gcc" "src/CMakeFiles/samhita.dir/core/sam_thread_ctx.cpp.o.d"
+  "/root/repo/src/core/samhita_runtime.cpp" "src/CMakeFiles/samhita.dir/core/samhita_runtime.cpp.o" "gcc" "src/CMakeFiles/samhita.dir/core/samhita_runtime.cpp.o.d"
+  "/root/repo/src/mem/directory.cpp" "src/CMakeFiles/samhita.dir/mem/directory.cpp.o" "gcc" "src/CMakeFiles/samhita.dir/mem/directory.cpp.o.d"
+  "/root/repo/src/mem/global_address_space.cpp" "src/CMakeFiles/samhita.dir/mem/global_address_space.cpp.o" "gcc" "src/CMakeFiles/samhita.dir/mem/global_address_space.cpp.o.d"
+  "/root/repo/src/mem/memory_server.cpp" "src/CMakeFiles/samhita.dir/mem/memory_server.cpp.o" "gcc" "src/CMakeFiles/samhita.dir/mem/memory_server.cpp.o.d"
+  "/root/repo/src/net/link_model.cpp" "src/CMakeFiles/samhita.dir/net/link_model.cpp.o" "gcc" "src/CMakeFiles/samhita.dir/net/link_model.cpp.o.d"
+  "/root/repo/src/net/network_model.cpp" "src/CMakeFiles/samhita.dir/net/network_model.cpp.o" "gcc" "src/CMakeFiles/samhita.dir/net/network_model.cpp.o.d"
+  "/root/repo/src/net/perturbing_network.cpp" "src/CMakeFiles/samhita.dir/net/perturbing_network.cpp.o" "gcc" "src/CMakeFiles/samhita.dir/net/perturbing_network.cpp.o.d"
+  "/root/repo/src/regc/diff.cpp" "src/CMakeFiles/samhita.dir/regc/diff.cpp.o" "gcc" "src/CMakeFiles/samhita.dir/regc/diff.cpp.o.d"
+  "/root/repo/src/regc/region_tracker.cpp" "src/CMakeFiles/samhita.dir/regc/region_tracker.cpp.o" "gcc" "src/CMakeFiles/samhita.dir/regc/region_tracker.cpp.o.d"
+  "/root/repo/src/regc/store_log.cpp" "src/CMakeFiles/samhita.dir/regc/store_log.cpp.o" "gcc" "src/CMakeFiles/samhita.dir/regc/store_log.cpp.o.d"
+  "/root/repo/src/regc/update_set.cpp" "src/CMakeFiles/samhita.dir/regc/update_set.cpp.o" "gcc" "src/CMakeFiles/samhita.dir/regc/update_set.cpp.o.d"
+  "/root/repo/src/rt/runtime.cpp" "src/CMakeFiles/samhita.dir/rt/runtime.cpp.o" "gcc" "src/CMakeFiles/samhita.dir/rt/runtime.cpp.o.d"
+  "/root/repo/src/scl/scl.cpp" "src/CMakeFiles/samhita.dir/scl/scl.cpp.o" "gcc" "src/CMakeFiles/samhita.dir/scl/scl.cpp.o.d"
+  "/root/repo/src/sim/coop_scheduler.cpp" "src/CMakeFiles/samhita.dir/sim/coop_scheduler.cpp.o" "gcc" "src/CMakeFiles/samhita.dir/sim/coop_scheduler.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/samhita.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/samhita.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/resource.cpp" "src/CMakeFiles/samhita.dir/sim/resource.cpp.o" "gcc" "src/CMakeFiles/samhita.dir/sim/resource.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/samhita.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/samhita.dir/sim/trace.cpp.o.d"
+  "/root/repo/src/smp/coherence_model.cpp" "src/CMakeFiles/samhita.dir/smp/coherence_model.cpp.o" "gcc" "src/CMakeFiles/samhita.dir/smp/coherence_model.cpp.o.d"
+  "/root/repo/src/smp/smp_runtime.cpp" "src/CMakeFiles/samhita.dir/smp/smp_runtime.cpp.o" "gcc" "src/CMakeFiles/samhita.dir/smp/smp_runtime.cpp.o.d"
+  "/root/repo/src/util/arg_parser.cpp" "src/CMakeFiles/samhita.dir/util/arg_parser.cpp.o" "gcc" "src/CMakeFiles/samhita.dir/util/arg_parser.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "src/CMakeFiles/samhita.dir/util/csv.cpp.o" "gcc" "src/CMakeFiles/samhita.dir/util/csv.cpp.o.d"
+  "/root/repo/src/util/logger.cpp" "src/CMakeFiles/samhita.dir/util/logger.cpp.o" "gcc" "src/CMakeFiles/samhita.dir/util/logger.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/samhita.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/samhita.dir/util/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

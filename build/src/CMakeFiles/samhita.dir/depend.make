@@ -1,0 +1,2 @@
+# Empty dependencies file for samhita.
+# This may be replaced when dependencies are built.

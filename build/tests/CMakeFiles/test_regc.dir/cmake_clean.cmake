@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_regc.dir/test_regc.cpp.o"
+  "CMakeFiles/test_regc.dir/test_regc.cpp.o.d"
+  "test_regc"
+  "test_regc.pdb"
+  "test_regc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_regc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_report_and_sugar.dir/test_report_and_sugar.cpp.o"
+  "CMakeFiles/test_report_and_sugar.dir/test_report_and_sugar.cpp.o.d"
+  "test_report_and_sugar"
+  "test_report_and_sugar.pdb"
+  "test_report_and_sugar[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_report_and_sugar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

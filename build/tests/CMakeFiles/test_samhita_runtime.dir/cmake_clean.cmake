@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_samhita_runtime.dir/test_samhita_runtime.cpp.o"
+  "CMakeFiles/test_samhita_runtime.dir/test_samhita_runtime.cpp.o.d"
+  "test_samhita_runtime"
+  "test_samhita_runtime.pdb"
+  "test_samhita_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_samhita_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

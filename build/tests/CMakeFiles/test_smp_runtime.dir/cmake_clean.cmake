@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smp_runtime.dir/test_smp_runtime.cpp.o"
+  "CMakeFiles/test_smp_runtime.dir/test_smp_runtime.cpp.o.d"
+  "test_smp_runtime"
+  "test_smp_runtime.pdb"
+  "test_smp_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smp_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_event_queue[1]_include.cmake")
+include("/root/repo/build/tests/test_resource[1]_include.cmake")
+include("/root/repo/build/tests/test_coop_scheduler[1]_include.cmake")
+include("/root/repo/build/tests/test_network[1]_include.cmake")
+include("/root/repo/build/tests/test_memory[1]_include.cmake")
+include("/root/repo/build/tests/test_diff[1]_include.cmake")
+include("/root/repo/build/tests/test_regc[1]_include.cmake")
+include("/root/repo/build/tests/test_page_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_allocator[1]_include.cmake")
+include("/root/repo/build/tests/test_smp_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_samhita_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_config_matrix[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_report_and_sugar[1]_include.cmake")
+include("/root/repo/build/tests/test_protocol_edge[1]_include.cmake")
+include("/root/repo/build/tests/test_fault_injection[1]_include.cmake")
+include("/root/repo/build/tests/test_misc_units[1]_include.cmake")

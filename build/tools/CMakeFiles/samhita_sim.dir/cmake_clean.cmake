@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/samhita_sim.dir/samhita_sim.cpp.o"
+  "CMakeFiles/samhita_sim.dir/samhita_sim.cpp.o.d"
+  "samhita_sim"
+  "samhita_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/samhita_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
