@@ -63,6 +63,10 @@ struct SamhitaConfig {
   EvictionPolicy eviction = EvictionPolicy::kDirtyFirst;
   Placement placement = Placement::kBlock;
   bool trace_enabled = false;        ///< record protocol events (sim::TraceBuffer)
+  /// Capacity of the protocol-event ring and the span-event store. Instant
+  /// events beyond capacity overwrite the oldest; spans beyond it are
+  /// dropped and counted (sim::TraceBuffer::spans_dropped).
+  std::size_t trace_capacity = 1 << 16;
   /// Debug validation: after every barrier's invalidation phase, verify
   /// that each of the thread's resident *clean* lines is byte-identical to
   /// the authoritative server state combined with outstanding dirty-holder

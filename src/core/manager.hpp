@@ -67,6 +67,7 @@ class Manager {
 
   net::NodeId node() const { return node_; }
   sim::Resource& service() { return service_; }
+  const sim::Resource& service() const { return service_; }
   SimDuration service_time() const { return service_time_; }
 
   rt::MutexId create_mutex();
@@ -76,6 +77,8 @@ class Manager {
   Mutex& mutex(rt::MutexId id);
   Cond& cond(rt::CondId id);
   Barrier& barrier(rt::BarrierId id);
+  const Mutex& mutex(rt::MutexId id) const { return mutexes_.at(id); }
+  const Barrier& barrier(rt::BarrierId id) const { return barriers_.at(id); }
 
   std::size_t mutex_count() const { return mutexes_.size(); }
   std::size_t barrier_count() const { return barriers_.size(); }

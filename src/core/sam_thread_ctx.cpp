@@ -17,6 +17,11 @@ void SamThreadCtx::trace(sim::TraceKind kind, std::uint64_t object, std::uint64_
   rt_->trace_.record(sim_thread_ ? sim_thread_->clock() : 0, idx_, kind, object, detail);
 }
 
+void SamThreadCtx::trace_span(SimTime begin, SimTime end, sim::SpanCat cat,
+                              std::uint64_t object) {
+  rt_->trace_.record_span(begin, end, idx_, cat, object);
+}
+
 SamThreadCtx::SamThreadCtx(SamhitaRuntime* rt, mem::ThreadIdx idx, std::uint32_t nthreads)
     : rt_(rt),
       idx_(idx),
@@ -556,7 +561,9 @@ void SamThreadCtx::lock(rt::MutexId m) {
                "woken lock waiter does not hold the lock");
   }
   account_since(t0, Bucket::kLock);       // transport + service + queueing
+  trace_span(t0, clock(), sim::SpanCat::kLockWait, m);
   acquire_consistency(m, Bucket::kLock);  // self-charges the local work
+  lock_acquired_at_[m] = clock();
   regions_.enter_region(m);
   trace(sim::TraceKind::kLockAcquire, m, mx.contended_acquisitions);
 }
@@ -621,11 +628,19 @@ void SamThreadCtx::unlock(rt::MutexId m) {
   const SimTime t_ack = rt_->scl_.send(t_served, sync_node(), node_, kCtrl);
   sim_thread_->advance_to(t_ack);
   account_since(t0, Bucket::kLock);
+  if (auto it = lock_acquired_at_.find(m); it != lock_acquired_at_.end()) {
+    trace_span(it->second, clock(), sim::SpanCat::kLockHeld, m);
+    lock_acquired_at_.erase(it);
+  }
   trace(sim::TraceKind::kLockRelease, m, wire);
 }
 
 void SamThreadCtx::cond_wait(rt::CondId c, rt::MutexId m) {
   regions_.exit_region(m);
+  if (auto it = lock_acquired_at_.find(m); it != lock_acquired_at_.end()) {
+    trace_span(it->second, clock(), sim::SpanCat::kLockHeld, m);
+    lock_acquired_at_.erase(it);
+  }
 
   if (!rt_->config().finegrain_updates) {
     publish_pages_on_release(m, Bucket::kLock);
@@ -667,7 +682,9 @@ void SamThreadCtx::cond_wait(rt::CondId c, rt::MutexId m) {
   SAM_EXPECT(mx.holder.has_value() && *mx.holder == idx_,
              "cond_wait woke without holding the mutex");
   account_since(t0, Bucket::kLock);
+  trace_span(t0, clock(), sim::SpanCat::kLockWait, m);
   acquire_consistency(m, Bucket::kLock);
+  lock_acquired_at_[m] = clock();
   regions_.enter_region(m);
 }
 
@@ -751,6 +768,7 @@ void SamThreadCtx::barrier(rt::BarrierId b) {
     sim_thread_->advance_to(t_go);
   }
   account_since(t0, Bucket::kBarrier);  // arrival transport + wait + release
+  trace_span(t0, clock(), sim::SpanCat::kBarrierWait, b);
 
   // Phase 3: drop falsely-shared lines written by others this epoch.
   invalidate_stale(Bucket::kBarrier);

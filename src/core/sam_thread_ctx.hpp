@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <set>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "core/metrics.hpp"
@@ -79,6 +80,8 @@ class SamThreadCtx final : public rt::ThreadCtx {
   void charge(SimDuration d, Bucket bucket);
   /// Records a protocol trace event (no-op unless tracing is enabled).
   void trace(sim::TraceKind kind, std::uint64_t object, std::uint64_t detail);
+  /// Records a span event on this thread's track (no-op unless tracing).
+  void trace_span(SimTime begin, SimTime end, sim::SpanCat cat, std::uint64_t object);
   /// Charges allocator bookkeeping plus any manager round trips it needed.
   void charge_alloc_outcome(const struct AllocOutcome& outcome);
   /// Accounts already-elapsed time [t0, clock) to `bucket`.
@@ -152,6 +155,8 @@ class SamThreadCtx final : public rt::ThreadCtx {
   regc::RegionTracker regions_;
   regc::StoreLog store_log_;
   std::set<LineId> pinned_lines_;  ///< lines with unmaterialized store-log data
+  /// Acquire completion time per held mutex (lock-held span bookkeeping).
+  std::unordered_map<rt::MutexId, SimTime> lock_acquired_at_;
 };
 
 }  // namespace sam::core

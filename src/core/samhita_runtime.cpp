@@ -32,7 +32,8 @@ SamhitaRuntime::SamhitaRuntime(SamhitaConfig config)
       scl_(net_.get()),
       gas_(config.address_space_bytes, config.memory_servers),
       manager_(config.manager_node(), config.manager_service),
-      allocator_(&config_, &gas_) {
+      allocator_(&config_, &gas_),
+      trace_(config.trace_capacity) {
   SAM_EXPECT(config_.memory_servers >= 1, "need at least one memory server");
   servers_.reserve(config_.memory_servers);
   for (unsigned i = 0; i < config_.memory_servers; ++i) {
@@ -43,6 +44,16 @@ SamhitaRuntime::SamhitaRuntime(SamhitaConfig config)
   node_sync_.reserve(config_.total_nodes());
   for (unsigned n = 0; n < config_.total_nodes(); ++n) {
     node_sync_.emplace_back("node-sync-" + std::to_string(n));
+  }
+  if (config_.trace_enabled) {
+    // Mirror every contended component's service windows into the trace as
+    // span events: one track per memory server, the manager, each NIC/bus
+    // link (obs::write_chrome_trace turns these into timeline tracks).
+    for (unsigned i = 0; i < config_.memory_servers; ++i) {
+      servers_[i].service().attach_trace(&trace_, sim::SpanCat::kServer, i);
+    }
+    manager_.service().attach_trace(&trace_, sim::SpanCat::kManager, 0);
+    net_->attach_trace(&trace_);
   }
 }
 

@@ -54,9 +54,13 @@ class SamhitaRuntime final : public rt::Runtime {
   const Metrics& metrics(std::uint32_t thread) const;
   std::uint64_t network_messages() const { return net_->message_count(); }
   std::uint64_t network_bytes() const { return net_->bytes_sent(); }
+  const net::NetworkModel& network() const { return *net_; }
   const mem::Directory& directory() const { return directory_; }
   const SamAllocator& allocator() const { return allocator_; }
   const std::vector<mem::MemoryServer>& servers() const { return servers_; }
+  const Manager& manager() const { return manager_; }
+  /// Largest virtual timestamp the scheduler handed out (run duration).
+  SimTime sim_horizon() const { return sched_.horizon(); }
   /// Protocol event trace (populated when config.trace_enabled).
   const sim::TraceBuffer& trace() const { return trace_; }
   sim::TraceBuffer& trace() { return trace_; }

@@ -35,6 +35,8 @@ void MemoryServer::read_page(PageId page, std::byte* out) const {
 }
 
 void MemoryServer::read_bytes(GAddr addr, std::byte* out, std::size_t n) const {
+  ++counters_.read_requests;
+  counters_.bytes_read += n;
   while (n > 0) {
     const PageId p = page_of(addr);
     const std::size_t off = page_offset(addr);
@@ -51,6 +53,8 @@ void MemoryServer::read_bytes(GAddr addr, std::byte* out, std::size_t n) const {
 }
 
 void MemoryServer::write_bytes(GAddr addr, const std::byte* in, std::size_t n) {
+  ++counters_.write_requests;
+  counters_.bytes_written += n;
   while (n > 0) {
     const PageId p = page_of(addr);
     const std::size_t off = page_offset(addr);

@@ -26,12 +26,22 @@ class MemoryServer {
     double copy_bandwidth_bytes_per_sec = 8.0e9;  ///< host memcpy bandwidth
   };
 
+  /// Per-server request/byte counters (obs gauges: who is hot-spotting?).
+  struct Counters {
+    std::uint64_t read_requests = 0;
+    std::uint64_t write_requests = 0;
+    std::uint64_t bytes_read = 0;
+    std::uint64_t bytes_written = 0;
+  };
+
   MemoryServer(ServerIdx idx, net::NodeId node) : MemoryServer(idx, node, Params{}) {}
   MemoryServer(ServerIdx idx, net::NodeId node, Params params);
 
   ServerIdx index() const { return idx_; }
   net::NodeId node() const { return node_; }
   sim::Resource& service() { return service_; }
+  const sim::Resource& service() const { return service_; }
+  const Counters& counters() const { return counters_; }
 
   /// Backing frame for `page`, created zero-filled on first touch.
   std::byte* frame(PageId page);
@@ -61,6 +71,8 @@ class MemoryServer {
   Params params_;
   sim::Resource service_;
   std::unordered_map<PageId, std::unique_ptr<Frame>> frames_;
+  /// Mutable: read accounting happens on const (functional) read paths.
+  mutable Counters counters_;
 };
 
 }  // namespace sam::mem

@@ -19,6 +19,36 @@ IBFabricModel::IBFabricModel(unsigned nodes, Params params) : params_(params) {
   }
 }
 
+namespace {
+LinkStat stat_of(const sim::Resource& r) {
+  LinkStat s;
+  s.name = r.name();
+  s.requests = r.request_count();
+  s.busy_seconds = to_seconds(r.busy_time());
+  s.mean_wait_seconds = r.mean_wait_seconds();
+  s.max_wait_seconds = r.max_wait_seconds();
+  return s;
+}
+}  // namespace
+
+std::vector<LinkStat> IBFabricModel::link_stats() const {
+  std::vector<LinkStat> out;
+  out.reserve(tx_.size() * 2);
+  // Track order: tx0, rx0, tx1, rx1, ... (attach_trace mirrors this).
+  for (std::size_t i = 0; i < tx_.size(); ++i) {
+    out.push_back(stat_of(tx_[i]));
+    out.push_back(stat_of(rx_[i]));
+  }
+  return out;
+}
+
+void IBFabricModel::attach_trace(sim::TraceBuffer* sink) {
+  for (std::size_t i = 0; i < tx_.size(); ++i) {
+    tx_[i].attach_trace(sink, sim::SpanCat::kLink, static_cast<std::uint32_t>(2 * i));
+    rx_[i].attach_trace(sink, sim::SpanCat::kLink, static_cast<std::uint32_t>(2 * i + 1));
+  }
+}
+
 SimTime IBFabricModel::deliver(SimTime t, NodeId src, NodeId dst, std::size_t bytes) {
   SAM_EXPECT(src < tx_.size() && dst < rx_.size(), "node id out of range");
   account(bytes);
@@ -37,6 +67,12 @@ PCIeModel::PCIeModel(unsigned nodes, Params params) : params_(params), nodes_(no
   SAM_EXPECT(nodes >= 1, "need at least one node");
 }
 
+std::vector<LinkStat> PCIeModel::link_stats() const { return {stat_of(bus_)}; }
+
+void PCIeModel::attach_trace(sim::TraceBuffer* sink) {
+  bus_.attach_trace(sink, sim::SpanCat::kLink, 0);
+}
+
 SimTime PCIeModel::deliver(SimTime t, NodeId src, NodeId dst, std::size_t bytes) {
   SAM_EXPECT(src < nodes_ && dst < nodes_, "node id out of range");
   account(bytes);
@@ -51,6 +87,12 @@ SimTime PCIeModel::deliver(SimTime t, NodeId src, NodeId dst, std::size_t bytes)
 
 SCIFModel::SCIFModel(unsigned nodes, Params params) : params_(params), nodes_(nodes) {
   SAM_EXPECT(nodes >= 1, "need at least one node");
+}
+
+std::vector<LinkStat> SCIFModel::link_stats() const { return {stat_of(bus_)}; }
+
+void SCIFModel::attach_trace(sim::TraceBuffer* sink) {
+  bus_.attach_trace(sink, sim::SpanCat::kLink, 0);
 }
 
 SimTime SCIFModel::deliver(SimTime t, NodeId src, NodeId dst, std::size_t bytes) {

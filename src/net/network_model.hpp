@@ -24,12 +24,24 @@
 
 #include "net/link_model.hpp"
 #include "sim/resource.hpp"
+#include "sim/trace.hpp"
 #include "util/time_types.hpp"
 
 namespace sam::net {
 
 /// Identifies a node (host, memory server, coprocessor, ...) in the system.
 using NodeId = std::uint32_t;
+
+/// Observability snapshot of one contended link resource (a NIC port or a
+/// shared bus). Queue depth is reported as time a message waits before its
+/// serialization starts — the natural unit under the closed-form FIFO model.
+struct LinkStat {
+  std::string name;
+  std::uint64_t requests = 0;
+  double busy_seconds = 0;       ///< total serialization time booked
+  double mean_wait_seconds = 0;  ///< mean pre-serialization queueing delay
+  double max_wait_seconds = 0;   ///< worst queueing delay (peak backlog)
+};
 
 /// Abstract interconnect: timed, contended message delivery.
 class NetworkModel {
@@ -44,6 +56,14 @@ class NetworkModel {
   virtual const std::string& name() const = 0;
 
   virtual unsigned node_count() const = 0;
+
+  /// Per-link utilization/queueing gauges. The k-th entry corresponds to
+  /// span-event track k after attach_trace() (obs relies on this ordering).
+  virtual std::vector<LinkStat> link_stats() const { return {}; }
+
+  /// Mirrors every link's serialization windows into `sink` as SpanCat::kLink
+  /// spans, track = index into link_stats(). Default: no link resources.
+  virtual void attach_trace(sim::TraceBuffer* sink) { (void)sink; }
 
   /// Total messages delivered (diagnostics).
   std::uint64_t message_count() const { return messages_; }
@@ -78,6 +98,8 @@ class IBFabricModel final : public NetworkModel {
   SimTime deliver(SimTime t, NodeId src, NodeId dst, std::size_t bytes) override;
   const std::string& name() const override { return name_; }
   unsigned node_count() const override { return static_cast<unsigned>(tx_.size()); }
+  std::vector<LinkStat> link_stats() const override;
+  void attach_trace(sim::TraceBuffer* sink) override;
 
   /// Default parameters calibrated to QDR IB as used in the paper (§III).
   static Params qdr_defaults() { return Params{}; }
@@ -103,6 +125,8 @@ class PCIeModel final : public NetworkModel {
   SimTime deliver(SimTime t, NodeId src, NodeId dst, std::size_t bytes) override;
   const std::string& name() const override { return name_; }
   unsigned node_count() const override { return nodes_; }
+  std::vector<LinkStat> link_stats() const override;
+  void attach_trace(sim::TraceBuffer* sink) override;
 
   static Params gen2_x16_defaults() { return Params{}; }
 
@@ -127,6 +151,8 @@ class SCIFModel final : public NetworkModel {
   SimTime deliver(SimTime t, NodeId src, NodeId dst, std::size_t bytes) override;
   const std::string& name() const override { return name_; }
   unsigned node_count() const override { return nodes_; }
+  std::vector<LinkStat> link_stats() const override;
+  void attach_trace(sim::TraceBuffer* sink) override;
 
   static Params defaults() { return Params{}; }
 

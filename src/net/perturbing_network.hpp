@@ -26,6 +26,8 @@ class PerturbingNetwork final : public NetworkModel {
   SimTime deliver(SimTime t, NodeId src, NodeId dst, std::size_t bytes) override;
   const std::string& name() const override { return name_; }
   unsigned node_count() const override { return inner_->node_count(); }
+  std::vector<LinkStat> link_stats() const override { return inner_->link_stats(); }
+  void attach_trace(sim::TraceBuffer* sink) override { inner_->attach_trace(sink); }
 
   NetworkModel& inner() { return *inner_; }
 

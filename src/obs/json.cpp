@@ -1,0 +1,365 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/expect.hpp"
+
+namespace sam::obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// JsonWriter
+// ---------------------------------------------------------------------------
+
+void JsonWriter::before_value(bool is_key) {
+  if (expect_value_) {
+    SAM_EXPECT(!is_key, "JSON key where a value was expected");
+    expect_value_ = false;
+    return;
+  }
+  if (stack_.empty()) {
+    SAM_EXPECT(!wrote_top_, "JSON document already complete");
+    SAM_EXPECT(!is_key, "JSON key outside an object");
+    wrote_top_ = true;
+    return;
+  }
+  if (stack_.back() == Frame::kObject) {
+    SAM_EXPECT(is_key, "JSON object members need a key first");
+  } else {
+    SAM_EXPECT(!is_key, "JSON key inside an array");
+  }
+  if (!first_.back()) out_ << ',';
+  first_.back() = false;
+}
+
+void JsonWriter::begin_object() {
+  before_value(false);
+  out_ << '{';
+  stack_.push_back(Frame::kObject);
+  first_.push_back(true);
+  ++depth_;
+}
+
+void JsonWriter::end_object() {
+  SAM_EXPECT(!stack_.empty() && stack_.back() == Frame::kObject && !expect_value_,
+             "unbalanced JSON end_object");
+  out_ << '}';
+  stack_.pop_back();
+  first_.pop_back();
+  --depth_;
+}
+
+void JsonWriter::begin_array() {
+  before_value(false);
+  out_ << '[';
+  stack_.push_back(Frame::kArray);
+  first_.push_back(true);
+  ++depth_;
+}
+
+void JsonWriter::end_array() {
+  SAM_EXPECT(!stack_.empty() && stack_.back() == Frame::kArray && !expect_value_,
+             "unbalanced JSON end_array");
+  out_ << ']';
+  stack_.pop_back();
+  first_.pop_back();
+  --depth_;
+}
+
+void JsonWriter::key(std::string_view name) {
+  before_value(true);
+  out_ << '"' << json_escape(name) << "\":";
+  expect_value_ = true;
+}
+
+void JsonWriter::value(std::string_view s) {
+  before_value(false);
+  out_ << '"' << json_escape(s) << '"';
+}
+
+void JsonWriter::value(double d) {
+  before_value(false);
+  if (!std::isfinite(d)) {
+    // JSON has no Infinity/NaN; null is the conventional stand-in.
+    out_ << "null";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  out_ << buf;
+}
+
+void JsonWriter::value(std::int64_t i) {
+  before_value(false);
+  out_ << i;
+}
+
+void JsonWriter::value(std::uint64_t u) {
+  before_value(false);
+  out_ << u;
+}
+
+void JsonWriter::value(bool b) {
+  before_value(false);
+  out_ << (b ? "true" : "false");
+}
+
+void JsonWriter::null() {
+  before_value(false);
+  out_ << "null";
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+const JsonValue* JsonValue::find(std::string_view name) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [k, v] : obj) {
+    if (k == name) return &v;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(std::string_view name) const {
+  const JsonValue* v = find(name);
+  SAM_EXPECT(v != nullptr, "JSON object missing member: " + std::string(name));
+  return *v;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    SAM_EXPECT(pos_ == text_.size(), err("trailing characters after JSON value"));
+    return v;
+  }
+
+ private:
+  std::string err(const std::string& what) const {
+    return "JSON parse error at byte " + std::to_string(pos_) + ": " + what;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                                   text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    SAM_EXPECT(pos_ < text_.size(), err("unexpected end of input"));
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    SAM_EXPECT(peek() == c, err(std::string("expected '") + c + "'"));
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        JsonValue v;
+        v.type = JsonValue::Type::kString;
+        v.str = parse_string();
+        return v;
+      }
+      case 't': {
+        SAM_EXPECT(consume_literal("true"), err("bad literal"));
+        JsonValue v;
+        v.type = JsonValue::Type::kBool;
+        v.boolean = true;
+        return v;
+      }
+      case 'f': {
+        SAM_EXPECT(consume_literal("false"), err("bad literal"));
+        JsonValue v;
+        v.type = JsonValue::Type::kBool;
+        v.boolean = false;
+        return v;
+      }
+      case 'n': {
+        SAM_EXPECT(consume_literal("null"), err("bad literal"));
+        return JsonValue{};
+      }
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.obj.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.arr.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      SAM_EXPECT(pos_ < text_.size(), err("unterminated string"));
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        SAM_EXPECT(static_cast<unsigned char>(c) >= 0x20, err("raw control character"));
+        out += c;
+        continue;
+      }
+      SAM_EXPECT(pos_ < text_.size(), err("unterminated escape"));
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          SAM_EXPECT(pos_ + 4 <= text_.size(), err("truncated \\u escape"));
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else SAM_EXPECT(false, err("bad \\u escape digit"));
+          }
+          // Encode as UTF-8 (surrogate pairs are passed through unpaired —
+          // good enough for the ASCII-only documents this layer emits).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: SAM_EXPECT(false, err("unknown escape"));
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    auto digits = [&] {
+      const std::size_t d0 = pos_;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      SAM_EXPECT(pos_ > d0, err("expected digits"));
+    };
+    digits();
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      digits();
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      digits();
+    }
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    v.number = std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(), nullptr);
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue json_parse(std::string_view text) { return Parser(text).parse_document(); }
+
+}  // namespace sam::obs

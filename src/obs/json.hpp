@@ -1,0 +1,102 @@
+// Minimal JSON emitter + parser for the observability layer.
+//
+// The exporters (Chrome traces, run reports, bench artifacts) need a
+// streaming writer with correct escaping and comma management; the tests
+// and the CI smoke check need to parse those files back to prove they are
+// well-formed. Both live here so the repo stays dependency-free. This is a
+// strict subset of JSON: UTF-8 pass-through, no comments, numbers as double.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sam::obs {
+
+/// Escapes a string for embedding in a JSON document (adds no quotes).
+std::string json_escape(std::string_view s);
+
+/// Streaming JSON writer with automatic comma insertion. Usage:
+///
+///   JsonWriter w(out);
+///   w.begin_object();
+///   w.key("answer"); w.value(42);
+///   w.key("list");  w.begin_array(); w.value("a"); w.end_array();
+///   w.end_object();
+///
+/// Misuse (value without key inside an object, unbalanced end) throws
+/// util::ContractViolation.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Emits the member name; must be directly inside an object.
+  void key(std::string_view name);
+
+  void value(std::string_view s);
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(double d);
+  void value(std::int64_t i);
+  void value(std::uint64_t u);
+  void value(int i) { value(static_cast<std::int64_t>(i)); }
+  void value(unsigned u) { value(static_cast<std::uint64_t>(u)); }
+  void value(bool b);
+  void null();
+
+  /// Convenience: key + scalar value in one call.
+  template <typename T>
+  void kv(std::string_view name, T&& v) {
+    key(name);
+    value(std::forward<T>(v));
+  }
+
+  /// True once the single top-level value is complete.
+  bool done() const { return depth_ == 0 && wrote_top_; }
+
+ private:
+  enum class Frame : std::uint8_t { kObject, kArray };
+
+  void before_value(bool is_key);
+
+  std::ostream& out_;
+  std::vector<Frame> stack_;
+  std::vector<bool> first_;     ///< parallel to stack_: no comma needed yet
+  bool expect_value_ = false;   ///< a key was just written
+  bool wrote_top_ = false;
+  int depth_ = 0;
+};
+
+/// Parsed JSON value (small DOM). Object member order is preserved.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::vector<std::pair<std::string, JsonValue>> obj;
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+
+  /// Member lookup (objects only); nullptr when absent.
+  const JsonValue* find(std::string_view name) const;
+
+  /// Member lookup that throws util::ContractViolation when absent.
+  const JsonValue& at(std::string_view name) const;
+};
+
+/// Parses a complete JSON document; throws util::ContractViolation on any
+/// syntax error (with byte offset) or trailing garbage.
+JsonValue json_parse(std::string_view text);
+
+}  // namespace sam::obs

@@ -1,0 +1,285 @@
+#include "obs/profiler.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "core/samhita_runtime.hpp"
+#include "obs/json.hpp"
+#include "sim/trace.hpp"
+#include "util/time_types.hpp"
+
+namespace sam::obs {
+
+namespace {
+
+struct LineAccum {
+  std::uint64_t misses = 0;
+  std::uint64_t invalidations = 0;
+  std::uint64_t diffs = 0;
+  std::uint64_t bytes_moved = 0;
+  std::set<std::uint32_t> threads;
+};
+
+void profile_locks(const core::SamhitaRuntime& runtime, Profile& out) {
+  const core::Manager& mgr = runtime.manager();
+  std::map<std::uint64_t, LockProfile> locks;
+  for (std::size_t i = 0; i < mgr.mutex_count(); ++i) {
+    const auto& mx = mgr.mutex(static_cast<rt::MutexId>(i));
+    LockProfile& lp = locks[i];
+    lp.id = i;
+    lp.acquisitions = mx.acquisitions;
+    lp.contended_acquisitions = mx.contended_acquisitions;
+  }
+  for (const sim::SpanEvent& s : runtime.trace().spans()) {
+    if (s.cat != sim::SpanCat::kLockWait && s.cat != sim::SpanCat::kLockHeld) continue;
+    LockProfile& lp = locks[s.object];
+    lp.id = s.object;
+    const double secs = to_seconds(s.end - s.begin);
+    if (s.cat == sim::SpanCat::kLockWait) {
+      lp.wait_seconds += secs;
+      lp.max_wait_seconds = std::max(lp.max_wait_seconds, secs);
+    } else {
+      lp.held_seconds += secs;
+    }
+  }
+  out.locks.reserve(locks.size());
+  for (auto& [id, lp] : locks) {
+    out.total_lock_wait_seconds += lp.wait_seconds;
+    out.locks.push_back(lp);
+  }
+  std::stable_sort(out.locks.begin(), out.locks.end(),
+                   [](const LockProfile& a, const LockProfile& b) {
+                     return a.wait_seconds > b.wait_seconds;
+                   });
+}
+
+void profile_barriers(const core::SamhitaRuntime& runtime, Profile& out) {
+  const core::Manager& mgr = runtime.manager();
+
+  // Gather every barrier-wait span per barrier id.
+  std::map<std::uint64_t, std::vector<const sim::SpanEvent*>> waits;
+  for (const sim::SpanEvent& s : runtime.trace().spans()) {
+    if (s.cat == sim::SpanCat::kBarrierWait) waits[s.object].push_back(&s);
+  }
+
+  for (std::size_t i = 0; i < mgr.barrier_count(); ++i) {
+    BarrierProfile bp;
+    bp.id = i;
+    bp.parties = mgr.barrier(static_cast<rt::BarrierId>(i)).parties;
+    auto it = waits.find(i);
+    if (it != waits.end()) {
+      std::vector<const sim::SpanEvent*>& spans = it->second;
+      for (const sim::SpanEvent* s : spans) {
+        const double secs = to_seconds(s->end - s->begin);
+        bp.wait_seconds += secs;
+        bp.max_wait_seconds = std::max(bp.max_wait_seconds, secs);
+      }
+      // Episode reconstruction: all waiters of one generation are released
+      // together, so sorting by release time and chunking into groups of
+      // `parties` recovers the generations. The arrival spread within one
+      // generation (last begin - first begin) is the work imbalance that
+      // barrier charged the fast threads for.
+      std::stable_sort(spans.begin(), spans.end(),
+                       [](const sim::SpanEvent* a, const sim::SpanEvent* b) {
+                         return a->end < b->end;
+                       });
+      if (bp.parties > 0) {
+        for (std::size_t base = 0; base + bp.parties <= spans.size();
+             base += bp.parties) {
+          SimTime first = spans[base]->begin;
+          SimTime last = spans[base]->begin;
+          for (std::size_t k = 1; k < bp.parties; ++k) {
+            first = std::min(first, spans[base + k]->begin);
+            last = std::max(last, spans[base + k]->begin);
+          }
+          bp.imbalance_seconds += to_seconds(last - first);
+          ++bp.episodes;
+        }
+      }
+    }
+    out.total_barrier_wait_seconds += bp.wait_seconds;
+    out.barriers.push_back(bp);
+  }
+  std::stable_sort(out.barriers.begin(), out.barriers.end(),
+                   [](const BarrierProfile& a, const BarrierProfile& b) {
+                     return a.wait_seconds > b.wait_seconds;
+                   });
+}
+
+void profile_lines(const core::SamhitaRuntime& runtime, std::size_t top_n, Profile& out) {
+  std::map<std::uint64_t, LineAccum> lines;
+  for (const sim::TraceEvent& e : runtime.trace().snapshot()) {
+    switch (e.kind) {
+      case sim::TraceKind::kCacheMiss: {
+        LineAccum& a = lines[e.object];
+        ++a.misses;
+        a.bytes_moved += e.detail;
+        a.threads.insert(e.thread);
+        break;
+      }
+      case sim::TraceKind::kInvalidate: {
+        LineAccum& a = lines[e.object];
+        ++a.invalidations;
+        a.threads.insert(e.thread);
+        break;
+      }
+      case sim::TraceKind::kFlush:
+      case sim::TraceKind::kLazyPull: {
+        LineAccum& a = lines[e.object];
+        ++a.diffs;
+        a.bytes_moved += e.detail;
+        a.threads.insert(e.thread);
+        break;
+      }
+      default:
+        break;  // hits/prefetch/lock/barrier/alloc events are not line heat
+    }
+  }
+
+  out.distinct_lines = lines.size();
+  std::vector<LineProfile> all;
+  all.reserve(lines.size());
+  for (const auto& [id, a] : lines) {
+    out.total_line_misses += a.misses;
+    out.total_line_invalidations += a.invalidations;
+    out.total_line_diffs += a.diffs;
+    LineProfile lp;
+    lp.line = id;
+    lp.misses = a.misses;
+    lp.invalidations = a.invalidations;
+    lp.diffs = a.diffs;
+    lp.bytes_moved = a.bytes_moved;
+    lp.sharers = static_cast<std::uint32_t>(a.threads.size());
+    all.push_back(lp);
+  }
+  std::stable_sort(all.begin(), all.end(), [](const LineProfile& a, const LineProfile& b) {
+    if (a.invalidations != b.invalidations) return a.invalidations > b.invalidations;
+    return a.misses > b.misses;
+  });
+  if (all.size() > top_n) all.resize(top_n);
+  out.lines = std::move(all);
+}
+
+}  // namespace
+
+Profile build_profile(const core::SamhitaRuntime& runtime, std::size_t top_n) {
+  Profile out;
+  const sim::TraceBuffer& trace = runtime.trace();
+  out.truncated = trace.spans_dropped() > 0 || trace.total_recorded() > trace.capacity();
+  profile_locks(runtime, out);
+  profile_barriers(runtime, out);
+  profile_lines(runtime, top_n, out);
+  return out;
+}
+
+std::string format_profile(const Profile& p) {
+  std::ostringstream os;
+  char buf[192];
+
+  os << "=== contention profile ===\n";
+  if (p.truncated) {
+    os << "(trace window truncated: attributions cover the retained events only)\n";
+  }
+
+  os << "locks (total wait " << p.total_lock_wait_seconds << " s):\n";
+  std::snprintf(buf, sizeof buf, "  %6s %12s %12s %14s %14s %14s\n", "id", "acquires",
+                "contended", "wait_s", "max_wait_s", "held_s");
+  os << buf;
+  for (const LockProfile& l : p.locks) {
+    std::snprintf(buf, sizeof buf, "  %6llu %12llu %12llu %14.6f %14.6f %14.6f\n",
+                  static_cast<unsigned long long>(l.id),
+                  static_cast<unsigned long long>(l.acquisitions),
+                  static_cast<unsigned long long>(l.contended_acquisitions), l.wait_seconds,
+                  l.max_wait_seconds, l.held_seconds);
+    os << buf;
+  }
+
+  os << "barriers (total wait " << p.total_barrier_wait_seconds << " s):\n";
+  std::snprintf(buf, sizeof buf, "  %6s %8s %9s %14s %14s %14s\n", "id", "parties",
+                "episodes", "wait_s", "max_wait_s", "imbalance_s");
+  os << buf;
+  for (const BarrierProfile& b : p.barriers) {
+    std::snprintf(buf, sizeof buf, "  %6llu %8u %9llu %14.6f %14.6f %14.6f\n",
+                  static_cast<unsigned long long>(b.id), b.parties,
+                  static_cast<unsigned long long>(b.episodes), b.wait_seconds,
+                  b.max_wait_seconds, b.imbalance_seconds);
+    os << buf;
+  }
+
+  os << "hottest cache lines (" << p.lines.size() << " of " << p.distinct_lines
+     << " touched; totals: " << p.total_line_misses << " misses, "
+     << p.total_line_invalidations << " invalidations, " << p.total_line_diffs
+     << " diffs):\n";
+  std::snprintf(buf, sizeof buf, "  %10s %10s %13s %8s %12s %8s\n", "line", "misses",
+                "invalidations", "diffs", "bytes", "sharers");
+  os << buf;
+  for (const LineProfile& l : p.lines) {
+    std::snprintf(buf, sizeof buf, "  %10llu %10llu %13llu %8llu %12llu %8u\n",
+                  static_cast<unsigned long long>(l.line),
+                  static_cast<unsigned long long>(l.misses),
+                  static_cast<unsigned long long>(l.invalidations),
+                  static_cast<unsigned long long>(l.diffs),
+                  static_cast<unsigned long long>(l.bytes_moved), l.sharers);
+    os << buf;
+  }
+  return os.str();
+}
+
+void write_profile_json(JsonWriter& w, const Profile& p) {
+  w.begin_object();
+  w.kv("truncated", p.truncated);
+  w.kv("total_lock_wait_seconds", p.total_lock_wait_seconds);
+  w.kv("total_barrier_wait_seconds", p.total_barrier_wait_seconds);
+  w.kv("total_line_misses", p.total_line_misses);
+  w.kv("total_line_invalidations", p.total_line_invalidations);
+  w.kv("total_line_diffs", p.total_line_diffs);
+  w.kv("distinct_lines", p.distinct_lines);
+
+  w.key("locks");
+  w.begin_array();
+  for (const LockProfile& l : p.locks) {
+    w.begin_object();
+    w.kv("id", l.id);
+    w.kv("acquisitions", l.acquisitions);
+    w.kv("contended_acquisitions", l.contended_acquisitions);
+    w.kv("wait_seconds", l.wait_seconds);
+    w.kv("max_wait_seconds", l.max_wait_seconds);
+    w.kv("held_seconds", l.held_seconds);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("barriers");
+  w.begin_array();
+  for (const BarrierProfile& b : p.barriers) {
+    w.begin_object();
+    w.kv("id", b.id);
+    w.kv("parties", b.parties);
+    w.kv("episodes", b.episodes);
+    w.kv("wait_seconds", b.wait_seconds);
+    w.kv("max_wait_seconds", b.max_wait_seconds);
+    w.kv("imbalance_seconds", b.imbalance_seconds);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("hot_lines");
+  w.begin_array();
+  for (const LineProfile& l : p.lines) {
+    w.begin_object();
+    w.kv("line", l.line);
+    w.kv("misses", l.misses);
+    w.kv("invalidations", l.invalidations);
+    w.kv("diffs", l.diffs);
+    w.kv("bytes_moved", l.bytes_moved);
+    w.kv("sharers", l.sharers);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+}  // namespace sam::obs

@@ -1,0 +1,88 @@
+// Contention & false-sharing profiler.
+//
+// Digests a finished run's span events and protocol trace into per-object
+// attributions a person can act on:
+//   - per-lock: total/max wait, held time, acquisition and contention counts
+//     ("which lock serializes the app?")
+//   - per-barrier: episodes, total wait, arrival imbalance ("how skewed is
+//     the work between barriers?")
+//   - per-cache-line: misses, invalidations, flushed diffs, bytes moved and
+//     the set of touching threads — lines with many sharers and heavy
+//     invalidation/diff traffic are the false-sharing signature (paper §III:
+//     strided layouts inflate exactly these counters).
+//
+// Requires config.trace_enabled; with tracing off everything is empty.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sam::core {
+class SamhitaRuntime;
+}
+
+namespace sam::obs {
+
+class JsonWriter;
+
+struct LockProfile {
+  std::uint64_t id = 0;
+  std::uint64_t acquisitions = 0;
+  std::uint64_t contended_acquisitions = 0;
+  double wait_seconds = 0;      ///< summed acquire->grant latency, all threads
+  double max_wait_seconds = 0;  ///< worst single acquire latency
+  double held_seconds = 0;      ///< summed grant->release time
+};
+
+struct BarrierProfile {
+  std::uint64_t id = 0;
+  std::uint32_t parties = 0;
+  std::uint64_t episodes = 0;       ///< completed barrier generations seen
+  double wait_seconds = 0;          ///< summed arrive->release latency
+  double max_wait_seconds = 0;      ///< worst single wait
+  double imbalance_seconds = 0;     ///< summed per-episode arrival spread
+                                    ///< (last arrival - first arrival)
+};
+
+struct LineProfile {
+  std::uint64_t line = 0;           ///< cache line id
+  std::uint64_t misses = 0;         ///< demand misses on this line
+  std::uint64_t invalidations = 0;  ///< times a cached copy was discarded
+  std::uint64_t diffs = 0;          ///< diff flushes homed at this line
+  std::uint64_t bytes_moved = 0;    ///< fetch + diff payload bytes
+  std::uint32_t sharers = 0;        ///< distinct threads with events on it
+};
+
+struct Profile {
+  std::vector<LockProfile> locks;       ///< sorted by wait_seconds, descending
+  std::vector<BarrierProfile> barriers; ///< sorted by wait_seconds, descending
+  std::vector<LineProfile> lines;       ///< top-N hottest, by invalidations
+                                        ///< then misses, descending
+
+  // Denominators for concentration judgements (over ALL lines, not just the
+  // retained top-N).
+  std::uint64_t total_line_misses = 0;
+  std::uint64_t total_line_invalidations = 0;
+  std::uint64_t total_line_diffs = 0;
+  std::uint64_t distinct_lines = 0;
+
+  double total_lock_wait_seconds = 0;
+  double total_barrier_wait_seconds = 0;
+
+  /// True when the trace ring wrapped or spans were dropped: attributions
+  /// then cover only the retained window.
+  bool truncated = false;
+};
+
+/// Builds the profile from a finished runtime, keeping the `top_n` hottest
+/// cache lines (all locks and barriers are always retained).
+Profile build_profile(const core::SamhitaRuntime& runtime, std::size_t top_n = 10);
+
+/// Renders a human-readable multi-section table.
+std::string format_profile(const Profile& profile);
+
+/// Emits the profile as one JSON object value (caller supplies the key).
+void write_profile_json(JsonWriter& w, const Profile& profile);
+
+}  // namespace sam::obs

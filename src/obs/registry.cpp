@@ -1,0 +1,93 @@
+#include "obs/registry.hpp"
+
+namespace sam::obs {
+
+void Registry::add_counter(std::string_view name, std::uint64_t delta) {
+  counters_[std::string(name)] += delta;
+}
+
+void Registry::set_counter(std::string_view name, std::uint64_t value) {
+  counters_[std::string(name)] = value;
+}
+
+std::uint64_t Registry::counter(std::string_view name) const {
+  const auto it = counters_.find(std::string(name));
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void Registry::set_gauge(std::string_view name, double value) {
+  gauges_[std::string(name)] = value;
+}
+
+double Registry::gauge(std::string_view name) const {
+  const auto it = gauges_.find(std::string(name));
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+bool Registry::has_gauge(std::string_view name) const {
+  return gauges_.count(std::string(name)) != 0;
+}
+
+util::Histogram& Registry::histogram(std::string_view name, unsigned buckets) {
+  const auto it = histograms_.find(std::string(name));
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(std::string(name), util::Histogram(buckets)).first->second;
+}
+
+const util::Histogram* Registry::find_histogram(std::string_view name) const {
+  const auto it = histograms_.find(std::string(name));
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void Registry::clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+void write_histogram_json(JsonWriter& w, const util::Histogram& h) {
+  w.begin_object();
+  w.kv("count", static_cast<std::uint64_t>(h.count()));
+  w.kv("sum", h.sum());
+  w.kv("mean", h.mean());
+  w.kv("min", h.min());
+  w.kv("max", h.max());
+  if (h.count() > 0) {
+    w.kv("p50", h.percentile(50.0));
+    w.kv("p95", h.percentile(95.0));
+    w.kv("p99", h.percentile(99.0));
+  }
+  w.key("buckets");
+  w.begin_array();
+  for (unsigned i = 0; i < h.buckets(); ++i) {
+    if (h.bucket(i) == 0) continue;
+    w.begin_array();
+    w.value(h.bucket_lower(i));
+    w.value(h.bucket(i));
+    w.end_array();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+void Registry::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, v] : counters_) w.kv(name, v);
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, v] : gauges_) w.kv(name, v);
+  w.end_object();
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& [name, h] : histograms_) {
+    w.key(name);
+    write_histogram_json(w, h);
+  }
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace sam::obs

@@ -1,0 +1,64 @@
+// obs::Registry: a named-metric sink for counters, gauges and histograms.
+//
+// The simulator's components each keep their own counters (Metrics,
+// MemoryServer::Counters, LinkStat, Resource wait stats). The registry is
+// the flat, uniformly-named view the exporters consume: run reports and
+// bench artifacts emit it wholesale, and tests assert against individual
+// entries by name. Names are dotted paths ("server.0.read_requests",
+// "net.bytes"); std::map keeps emission order deterministic.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "obs/json.hpp"
+#include "util/stats.hpp"
+
+namespace sam::obs {
+
+class Registry {
+ public:
+  /// Adds `delta` to a (created-on-first-use) monotonic counter.
+  void add_counter(std::string_view name, std::uint64_t delta = 1);
+  /// Sets a counter to an absolute value (for mirroring external counters).
+  void set_counter(std::string_view name, std::uint64_t value);
+  /// Current counter value; 0 when the counter was never touched.
+  std::uint64_t counter(std::string_view name) const;
+
+  /// Sets a point-in-time gauge (utilization, seconds, ratios).
+  void set_gauge(std::string_view name, double value);
+  /// Current gauge value; 0.0 when never set.
+  double gauge(std::string_view name) const;
+  bool has_gauge(std::string_view name) const;
+
+  /// Histogram by name, created on first use with `buckets` buckets.
+  /// Subsequent lookups ignore `buckets`.
+  util::Histogram& histogram(std::string_view name,
+                             unsigned buckets = util::Histogram::kDefaultBuckets);
+  /// Read-only histogram lookup; nullptr when absent.
+  const util::Histogram* find_histogram(std::string_view name) const;
+
+  const std::map<std::string, std::uint64_t>& counters() const { return counters_; }
+  const std::map<std::string, double>& gauges() const { return gauges_; }
+  const std::map<std::string, util::Histogram>& histograms() const { return histograms_; }
+
+  bool empty() const { return counters_.empty() && gauges_.empty() && histograms_.empty(); }
+  void clear();
+
+  /// Emits {"counters": {...}, "gauges": {...}, "histograms": {...}} as one
+  /// JSON object value (the caller supplies the surrounding key).
+  void write_json(JsonWriter& w) const;
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, util::Histogram> histograms_;
+};
+
+/// Emits one histogram as a JSON object value: count/sum/mean/min/max,
+/// selected percentiles, and the non-empty buckets as [lower, count] pairs.
+void write_histogram_json(JsonWriter& w, const util::Histogram& h);
+
+}  // namespace sam::obs

@@ -1,0 +1,251 @@
+#include "obs/run_report.hpp"
+
+#include <ostream>
+#include <string>
+
+#include "core/report.hpp"
+#include "core/samhita_runtime.hpp"
+#include "obs/json.hpp"
+#include "obs/profiler.hpp"
+#include "util/time_types.hpp"
+
+namespace sam::obs {
+
+namespace {
+
+void collect_metrics_totals(const core::SamhitaRuntime& rt, Registry& reg) {
+  for (std::uint32_t t = 0; t < rt.ran_threads(); ++t) {
+    const core::Metrics& m = rt.metrics(t);
+    reg.add_counter("cache.hits", m.cache_hits);
+    reg.add_counter("cache.misses", m.cache_misses);
+    reg.add_counter("cache.evictions", m.evictions);
+    reg.add_counter("cache.invalidations", m.invalidations);
+    reg.add_counter("prefetch.issued", m.prefetch_issued);
+    reg.add_counter("prefetch.hits", m.prefetch_hits);
+    reg.add_counter("regc.twins_created", m.twins_created);
+    reg.add_counter("regc.diffs_flushed", m.diffs_flushed);
+    reg.add_counter("regc.update_set_bytes", m.update_set_bytes);
+    reg.add_counter("bytes.fetched", m.bytes_fetched);
+    reg.add_counter("bytes.flushed", m.bytes_flushed);
+    for (const double ns : m.miss_latency.samples()) {
+      reg.histogram("miss_latency_ns").add(ns);
+    }
+  }
+}
+
+void collect_platform(const core::SamhitaRuntime& rt, Registry& reg) {
+  reg.set_counter("net.messages", rt.network_messages());
+  reg.set_counter("net.bytes", rt.network_bytes());
+
+  const auto& servers = rt.servers();
+  for (std::size_t i = 0; i < servers.size(); ++i) {
+    const std::string prefix = "server." + std::to_string(i) + ".";
+    const mem::MemoryServer::Counters& c = servers[i].counters();
+    reg.set_counter(prefix + "read_requests", c.read_requests);
+    reg.set_counter(prefix + "write_requests", c.write_requests);
+    reg.set_counter(prefix + "bytes_read", c.bytes_read);
+    reg.set_counter(prefix + "bytes_written", c.bytes_written);
+    const sim::Resource& svc = servers[i].service();
+    reg.set_counter(prefix + "service_requests", svc.request_count());
+    reg.set_gauge(prefix + "busy_seconds", to_seconds(svc.busy_time()));
+    reg.set_gauge(prefix + "mean_wait_seconds", svc.mean_wait_seconds());
+    reg.set_gauge(prefix + "max_wait_seconds", svc.max_wait_seconds());
+  }
+
+  const sim::Resource& mgr = rt.manager().service();
+  reg.set_counter("manager.requests", mgr.request_count());
+  reg.set_gauge("manager.busy_seconds", to_seconds(mgr.busy_time()));
+  reg.set_gauge("manager.mean_wait_seconds", mgr.mean_wait_seconds());
+  reg.set_gauge("manager.max_wait_seconds", mgr.max_wait_seconds());
+
+  const auto links = rt.network().link_stats();
+  for (std::size_t k = 0; k < links.size(); ++k) {
+    const std::string prefix = "link." + links[k].name + ".";
+    reg.set_counter(prefix + "requests", links[k].requests);
+    reg.set_gauge(prefix + "busy_seconds", links[k].busy_seconds);
+    reg.set_gauge(prefix + "mean_wait_seconds", links[k].mean_wait_seconds);
+    reg.set_gauge(prefix + "max_wait_seconds", links[k].max_wait_seconds);
+  }
+}
+
+void collect_trace(const core::SamhitaRuntime& rt, Registry& reg) {
+  const sim::TraceBuffer& trace = rt.trace();
+  reg.set_counter("trace.events_recorded", trace.total_recorded());
+  reg.set_counter("trace.spans_retained", trace.spans().size());
+  reg.set_counter("trace.spans_dropped", trace.spans_dropped());
+  for (const sim::SpanEvent& s : trace.spans()) {
+    const double ns = static_cast<double>(s.end - s.begin);
+    switch (s.cat) {
+      case sim::SpanCat::kLockWait: reg.histogram("lock_wait_ns").add(ns); break;
+      case sim::SpanCat::kBarrierWait: reg.histogram("barrier_wait_ns").add(ns); break;
+      default: break;
+    }
+  }
+}
+
+void write_config(JsonWriter& w, const core::SamhitaConfig& cfg) {
+  w.begin_object();
+  w.kv("network", cfg.network);
+  w.kv("memory_servers", cfg.memory_servers);
+  w.kv("compute_nodes", cfg.compute_nodes);
+  w.kv("cores_per_node", cfg.cores_per_node);
+  w.kv("pages_per_line", cfg.pages_per_line);
+  w.kv("line_bytes", static_cast<std::uint64_t>(cfg.line_bytes()));
+  w.kv("cache_capacity_bytes", cfg.cache_capacity_bytes);
+  w.kv("prefetch_enabled", cfg.prefetch_enabled);
+  w.kv("placement", cfg.placement == core::Placement::kBlock ? "block" : "scatter");
+  w.kv("finegrain_updates", cfg.finegrain_updates);
+  w.kv("local_sync", cfg.local_sync);
+  w.kv("trace_enabled", cfg.trace_enabled);
+  w.kv("net_latency_scale", cfg.net_latency_scale);
+  w.kv("net_bandwidth_scale", cfg.net_bandwidth_scale);
+  w.end_object();
+}
+
+void write_summary(JsonWriter& w, const core::RunSummary& s) {
+  w.begin_object();
+  w.kv("threads", s.threads);
+  w.kv("elapsed_seconds", s.elapsed_seconds);
+  w.kv("mean_compute_seconds", s.mean_compute_seconds);
+  w.kv("mean_sync_seconds", s.mean_sync_seconds);
+  w.kv("max_compute_seconds", s.max_compute_seconds);
+  w.kv("max_sync_seconds", s.max_sync_seconds);
+  w.kv("cache_hits", s.cache_hits);
+  w.kv("cache_misses", s.cache_misses);
+  w.kv("hit_rate", s.hit_rate());
+  w.kv("prefetch_issued", s.prefetch_issued);
+  w.kv("prefetch_hits", s.prefetch_hits);
+  w.kv("invalidations", s.invalidations);
+  w.kv("evictions", s.evictions);
+  w.kv("twins", s.twins);
+  w.kv("diffs_flushed", s.diffs_flushed);
+  w.kv("bytes_fetched", s.bytes_fetched);
+  w.kv("bytes_flushed", s.bytes_flushed);
+  w.kv("update_set_bytes", s.update_set_bytes);
+  w.kv("network_messages", s.network_messages);
+  w.kv("network_bytes", s.network_bytes);
+  w.end_object();
+}
+
+void write_threads(JsonWriter& w, const core::SamhitaRuntime& rt) {
+  w.begin_array();
+  for (std::uint32_t t = 0; t < rt.ran_threads(); ++t) {
+    const core::Metrics& m = rt.metrics(t);
+    w.begin_object();
+    w.kv("thread", t);
+    w.kv("compute_seconds", to_seconds(m.compute_ns));
+    w.kv("lock_seconds", to_seconds(m.sync_lock_ns));
+    w.kv("barrier_seconds", to_seconds(m.sync_barrier_ns));
+    w.kv("alloc_seconds", to_seconds(m.alloc_ns));
+    w.kv("measured_seconds", to_seconds(m.measured_ns()));
+    w.kv("cache_hits", m.cache_hits);
+    w.kv("cache_misses", m.cache_misses);
+    w.kv("invalidations", m.invalidations);
+    w.kv("diffs_flushed", m.diffs_flushed);
+    w.kv("bytes_fetched", m.bytes_fetched);
+    w.kv("bytes_flushed", m.bytes_flushed);
+    w.end_object();
+  }
+  w.end_array();
+}
+
+void write_servers(JsonWriter& w, const core::SamhitaRuntime& rt) {
+  w.begin_array();
+  const auto& servers = rt.servers();
+  for (std::size_t i = 0; i < servers.size(); ++i) {
+    const mem::MemoryServer::Counters& c = servers[i].counters();
+    const sim::Resource& svc = servers[i].service();
+    w.begin_object();
+    w.kv("server", static_cast<std::uint64_t>(i));
+    w.kv("read_requests", c.read_requests);
+    w.kv("write_requests", c.write_requests);
+    w.kv("bytes_read", c.bytes_read);
+    w.kv("bytes_written", c.bytes_written);
+    w.kv("service_requests", svc.request_count());
+    w.kv("busy_seconds", to_seconds(svc.busy_time()));
+    w.kv("mean_wait_seconds", svc.mean_wait_seconds());
+    w.kv("max_wait_seconds", svc.max_wait_seconds());
+    w.end_object();
+  }
+  w.end_array();
+}
+
+void write_links(JsonWriter& w, const core::SamhitaRuntime& rt) {
+  w.begin_array();
+  for (const net::LinkStat& l : rt.network().link_stats()) {
+    w.begin_object();
+    w.kv("name", l.name);
+    w.kv("requests", l.requests);
+    w.kv("busy_seconds", l.busy_seconds);
+    w.kv("mean_wait_seconds", l.mean_wait_seconds);
+    w.kv("max_wait_seconds", l.max_wait_seconds);
+    w.end_object();
+  }
+  w.end_array();
+}
+
+}  // namespace
+
+Registry collect_registry(const core::SamhitaRuntime& runtime) {
+  Registry reg;
+  collect_metrics_totals(runtime, reg);
+  collect_platform(runtime, reg);
+  if (runtime.trace().enabled()) collect_trace(runtime, reg);
+  return reg;
+}
+
+void write_run_report(const core::SamhitaRuntime& runtime, std::ostream& out,
+                      std::string_view workload, std::size_t profile_top_n) {
+  const core::RunSummary summary = core::summarize(runtime);
+  const Registry reg = collect_registry(runtime);
+
+  JsonWriter w(out);
+  w.begin_object();
+  w.kv("schema_version", kRunReportSchemaVersion);
+  w.kv("tool", "samhita_sim");
+  w.kv("workload", workload);
+  w.kv("runtime", runtime.name());
+  w.kv("sim_horizon_seconds", to_seconds(runtime.sim_horizon()));
+
+  w.key("config");
+  write_config(w, runtime.config());
+
+  w.key("summary");
+  write_summary(w, summary);
+
+  w.key("threads");
+  write_threads(w, runtime);
+
+  w.key("servers");
+  write_servers(w, runtime);
+
+  w.key("manager");
+  {
+    const sim::Resource& mgr = runtime.manager().service();
+    w.begin_object();
+    w.kv("requests", mgr.request_count());
+    w.kv("busy_seconds", to_seconds(mgr.busy_time()));
+    w.kv("mean_wait_seconds", mgr.mean_wait_seconds());
+    w.kv("max_wait_seconds", mgr.max_wait_seconds());
+    w.kv("mutexes", static_cast<std::uint64_t>(runtime.manager().mutex_count()));
+    w.kv("barriers", static_cast<std::uint64_t>(runtime.manager().barrier_count()));
+    w.end_object();
+  }
+
+  w.key("links");
+  write_links(w, runtime);
+
+  w.key("registry");
+  reg.write_json(w);
+
+  if (runtime.trace().enabled()) {
+    const Profile profile = build_profile(runtime, profile_top_n);
+    w.key("profile");
+    write_profile_json(w, profile);
+  }
+
+  w.end_object();
+  out << '\n';
+}
+
+}  // namespace sam::obs

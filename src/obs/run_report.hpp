@@ -1,0 +1,38 @@
+// Machine-readable JSON run reports.
+//
+// One schema-versioned document per run, with everything a downstream tool
+// (plotting scripts, CI regression gates, the bench harness) needs: the
+// configuration that produced the run, the same summary numbers
+// core::format_report prints for humans, per-thread / per-server / per-link
+// breakdowns, a flat obs::Registry of named metrics, and — when tracing was
+// on — the contention profile. Consumers should check "schema_version" and
+// reject documents newer than they understand.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string_view>
+
+#include "obs/registry.hpp"
+
+namespace sam::core {
+class SamhitaRuntime;
+}
+
+namespace sam::obs {
+
+/// Bump on any backwards-incompatible change to the report layout.
+inline constexpr int kRunReportSchemaVersion = 1;
+
+/// Flattens the runtime's component counters into one named-metric registry:
+/// protocol totals as counters, utilization/wait figures as gauges, and
+/// latency/wait distributions as log2 histograms.
+Registry collect_registry(const core::SamhitaRuntime& runtime);
+
+/// Writes the complete run report JSON document to `out`.
+/// `workload` labels the run (empty is fine); `profile_top_n` bounds the
+/// hottest-cache-line list when tracing was enabled.
+void write_run_report(const core::SamhitaRuntime& runtime, std::ostream& out,
+                      std::string_view workload = "", std::size_t profile_top_n = 10);
+
+}  // namespace sam::obs

@@ -1,0 +1,148 @@
+#include "obs/trace_json.hpp"
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/samhita_runtime.hpp"
+#include "obs/json.hpp"
+#include "sim/trace.hpp"
+
+namespace sam::obs {
+
+namespace {
+
+constexpr std::uint32_t kPidCompute = 1;
+constexpr std::uint32_t kPidServices = 2;
+constexpr std::uint32_t kPidInterconnect = 3;
+
+double to_us(SimTime t) { return static_cast<double>(t) / 1000.0; }
+
+struct TrackRef {
+  std::uint32_t pid;
+  std::uint32_t tid;
+};
+
+TrackRef track_of(const sim::SpanEvent& s) {
+  switch (s.cat) {
+    case sim::SpanCat::kLockWait:
+    case sim::SpanCat::kLockHeld:
+    case sim::SpanCat::kBarrierWait:
+      return {kPidCompute, s.track};
+    case sim::SpanCat::kManager:
+      return {kPidServices, 0};
+    case sim::SpanCat::kServer:
+      return {kPidServices, 1 + s.track};
+    case sim::SpanCat::kLink:
+      return {kPidInterconnect, s.track};
+  }
+  return {kPidCompute, s.track};
+}
+
+void write_meta(JsonWriter& w, const char* which, std::uint32_t pid, std::uint32_t tid,
+                std::string_view name, bool thread_level) {
+  w.begin_object();
+  w.kv("name", which);
+  w.kv("ph", "M");
+  w.kv("pid", pid);
+  if (thread_level) w.kv("tid", tid);
+  w.key("args");
+  w.begin_object();
+  w.kv("name", name);
+  w.end_object();
+  w.end_object();
+}
+
+void write_process_name(JsonWriter& w, std::uint32_t pid, std::string_view name) {
+  write_meta(w, "process_name", pid, 0, name, false);
+}
+
+void write_thread_name(JsonWriter& w, std::uint32_t pid, std::uint32_t tid,
+                       std::string_view name) {
+  write_meta(w, "thread_name", pid, tid, name, true);
+}
+
+}  // namespace
+
+void write_chrome_trace(const core::SamhitaRuntime& runtime, std::ostream& out) {
+  const sim::TraceBuffer& trace = runtime.trace();
+  JsonWriter w(out);
+
+  w.begin_object();
+  w.key("traceEvents");
+  w.begin_array();
+
+  // --- metadata: name every process and thread track -----------------------
+  write_process_name(w, kPidCompute, "samhita compute");
+  write_process_name(w, kPidServices, "samhita services");
+  write_process_name(w, kPidInterconnect, "samhita interconnect");
+
+  for (std::uint32_t t = 0; t < runtime.ran_threads(); ++t) {
+    write_thread_name(w, kPidCompute, t, "compute-" + std::to_string(t));
+  }
+  write_thread_name(w, kPidServices, 0, "manager");
+  const auto& servers = runtime.servers();
+  for (std::size_t i = 0; i < servers.size(); ++i) {
+    write_thread_name(w, kPidServices, static_cast<std::uint32_t>(1 + i),
+                      "memory-server-" + std::to_string(i));
+  }
+  const std::vector<net::LinkStat> links = runtime.network().link_stats();
+  for (std::size_t k = 0; k < links.size(); ++k) {
+    write_thread_name(w, kPidInterconnect, static_cast<std::uint32_t>(k), links[k].name);
+  }
+
+  // --- span events: complete ("X") events with ts + dur --------------------
+  for (const sim::SpanEvent& s : trace.spans()) {
+    const TrackRef tr = track_of(s);
+    w.begin_object();
+    w.kv("name", sim::to_string(s.cat));
+    w.kv("cat", "span");
+    w.kv("ph", "X");
+    w.kv("ts", to_us(s.begin));
+    w.kv("dur", to_us(s.end - s.begin));
+    w.kv("pid", tr.pid);
+    w.kv("tid", tr.tid);
+    w.key("args");
+    w.begin_object();
+    w.kv("object", s.object);
+    w.end_object();
+    w.end_object();
+  }
+
+  // --- instant events: protocol actions on compute-thread tracks -----------
+  const std::vector<sim::TraceEvent> events = trace.snapshot();
+  for (const sim::TraceEvent& e : events) {
+    w.begin_object();
+    w.kv("name", sim::to_string(e.kind));
+    w.kv("cat", "protocol");
+    w.kv("ph", "i");
+    w.kv("ts", to_us(e.time));
+    w.kv("pid", kPidCompute);
+    w.kv("tid", e.thread);
+    w.kv("s", "t");
+    w.key("args");
+    w.begin_object();
+    w.kv("object", e.object);
+    w.kv("detail", e.detail);
+    w.end_object();
+    w.end_object();
+  }
+
+  w.end_array();
+
+  w.kv("displayTimeUnit", "ns");
+  w.key("otherData");
+  w.begin_object();
+  w.kv("runtime", runtime.name());
+  w.kv("network", runtime.network().name());
+  w.kv("sim_horizon_ns", static_cast<std::uint64_t>(runtime.sim_horizon()));
+  w.kv("events_recorded", trace.total_recorded());
+  w.kv("events_retained", static_cast<std::uint64_t>(events.size()));
+  w.kv("spans_dropped", trace.spans_dropped());
+  w.end_object();
+  w.end_object();
+  out << '\n';
+}
+
+}  // namespace sam::obs

@@ -1,0 +1,31 @@
+// Chrome/Perfetto trace_event export.
+//
+// Converts a finished SamhitaRuntime's TraceBuffer — instant protocol events
+// plus span events from compute threads, memory servers, the manager and the
+// interconnect links — into the Trace Event JSON format that chrome://tracing
+// and ui.perfetto.dev load directly. Timestamps are virtual nanoseconds
+// rendered as fractional microseconds (the format's native unit).
+//
+// Track layout:
+//   pid 1 "compute"      — tid = compute thread index (lock/barrier spans and
+//                          all instant protocol events live here)
+//   pid 2 "services"     — tid 0 = manager, tid 1+k = memory server k
+//   pid 3 "interconnect" — tid = link index, named from
+//                          NetworkModel::link_stats() (same ordering)
+#pragma once
+
+#include <iosfwd>
+
+namespace sam::core {
+class SamhitaRuntime;
+}
+
+namespace sam::obs {
+
+/// Writes the full trace as one JSON object {"traceEvents": [...], ...}.
+/// The runtime must have been run with config.trace_enabled (or any of the
+/// CLI switches that imply it); an empty trace still produces a valid file
+/// containing only the metadata events.
+void write_chrome_trace(const core::SamhitaRuntime& runtime, std::ostream& out);
+
+}  // namespace sam::obs

@@ -12,7 +12,16 @@ SimTime Resource::serve(SimTime arrival, SimDuration service) {
   next_free_ = start + service;
   busy_ += service;
   ++requests_;
+  if (trace_ != nullptr && trace_->enabled() && service > 0) {
+    trace_->record_span(start, next_free_, trace_track_, trace_cat_, requests_);
+  }
   return next_free_;
+}
+
+void Resource::attach_trace(TraceBuffer* sink, SpanCat cat, std::uint32_t track) {
+  trace_ = sink;
+  trace_cat_ = cat;
+  trace_track_ = track;
 }
 
 void Resource::reset() {

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/trace.hpp"
 #include "util/stats.hpp"
 #include "util/time_types.hpp"
 
@@ -38,6 +39,15 @@ class Resource {
   std::uint64_t request_count() const { return requests_; }
   /// Mean queueing delay (waiting before service) over all requests, seconds.
   double mean_wait_seconds() const { return waits_.mean(); }
+  /// Worst queueing delay seen by any request, seconds.
+  double max_wait_seconds() const { return waits_.max(); }
+  /// Total queueing delay across all requests, seconds.
+  double total_wait_seconds() const { return waits_.sum(); }
+
+  /// Mirrors every service window into `sink` as a span event (category
+  /// `cat`, the given track index, object = request sequence number).
+  /// Pass nullptr to detach. The sink must outlive the resource's use.
+  void attach_trace(TraceBuffer* sink, SpanCat cat, std::uint32_t track);
 
   void reset();
 
@@ -47,6 +57,9 @@ class Resource {
   SimDuration busy_ = 0;
   std::uint64_t requests_ = 0;
   util::StreamingStats waits_;
+  TraceBuffer* trace_ = nullptr;
+  SpanCat trace_cat_ = SpanCat::kServer;
+  std::uint32_t trace_track_ = 0;
 };
 
 class MultiResource {

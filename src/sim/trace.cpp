@@ -27,9 +27,22 @@ const char* to_string(TraceKind kind) {
   return "?";
 }
 
+const char* to_string(SpanCat cat) {
+  switch (cat) {
+    case SpanCat::kLockWait: return "lock_wait";
+    case SpanCat::kLockHeld: return "lock_held";
+    case SpanCat::kBarrierWait: return "barrier_wait";
+    case SpanCat::kServer: return "server_service";
+    case SpanCat::kManager: return "manager_service";
+    case SpanCat::kLink: return "link_busy";
+  }
+  return "?";
+}
+
 TraceBuffer::TraceBuffer(std::size_t capacity) {
   SAM_EXPECT(capacity > 0, "trace buffer capacity must be positive");
   ring_.resize(capacity);
+  span_capacity_ = capacity;
 }
 
 void TraceBuffer::record(SimTime time, std::uint32_t thread, TraceKind kind,
@@ -38,6 +51,17 @@ void TraceBuffer::record(SimTime time, std::uint32_t thread, TraceKind kind,
   ring_[next_] = TraceEvent{time, thread, kind, object, detail};
   next_ = (next_ + 1) % ring_.size();
   ++total_;
+}
+
+void TraceBuffer::record_span(SimTime begin, SimTime end, std::uint32_t track,
+                              SpanCat cat, std::uint64_t object) {
+  if (!enabled_) return;
+  SAM_EXPECT(end >= begin, "span ends before it begins");
+  if (spans_.size() >= span_capacity_) {
+    ++spans_dropped_;
+    return;
+  }
+  spans_.push_back(SpanEvent{begin, end, track, cat, object});
 }
 
 std::vector<TraceEvent> TraceBuffer::snapshot() const {
@@ -56,6 +80,8 @@ std::vector<TraceEvent> TraceBuffer::snapshot() const {
 void TraceBuffer::clear() {
   next_ = 0;
   total_ = 0;
+  spans_.clear();
+  spans_dropped_ = 0;
 }
 
 void TraceBuffer::dump_csv(std::ostream& out) const {

@@ -43,7 +43,33 @@ struct TraceEvent {
   std::uint64_t detail = 0;  ///< bytes moved, waiters, ...
 };
 
+/// Categories of *span* (interval) events. Instant TraceEvents capture what
+/// happened; spans capture how long a participant spent in a state — the
+/// raw material for timeline rendering (obs::write_chrome_trace) and for
+/// contention attribution (obs::build_profile).
+enum class SpanCat : std::uint8_t {
+  kLockWait,     ///< track = thread, object = mutex id: acquire request -> granted
+  kLockHeld,     ///< track = thread, object = mutex id: granted -> release done
+  kBarrierWait,  ///< track = thread, object = barrier id: arrival -> released
+  kServer,       ///< track = memory-server index: one request's service window
+  kManager,      ///< track = 0: one manager/sync-service request window
+  kLink,         ///< track = link index (NetworkModel::link_stats order)
+};
+
+const char* to_string(SpanCat cat);
+
+struct SpanEvent {
+  SimTime begin = 0;
+  SimTime end = 0;
+  std::uint32_t track = 0;  ///< thread / server / link index, per category
+  SpanCat cat = SpanCat::kLockWait;
+  std::uint64_t object = 0;  ///< mutex/barrier id, request sequence number...
+};
+
 /// Bounded event ring. When full, the oldest events are overwritten.
+/// Span events live in a separate bounded store: when it fills, further
+/// spans are dropped (and counted) rather than overwriting — profilers need
+/// the beginning of the run more than its tail.
 class TraceBuffer {
  public:
   explicit TraceBuffer(std::size_t capacity = 1 << 16);
@@ -54,14 +80,22 @@ class TraceBuffer {
   void record(SimTime time, std::uint32_t thread, TraceKind kind, std::uint64_t object,
               std::uint64_t detail);
 
+  void record_span(SimTime begin, SimTime end, std::uint32_t track, SpanCat cat,
+                   std::uint64_t object);
+
   /// Events in record order (oldest first), honoring ring wraparound.
   std::vector<TraceEvent> snapshot() const;
+
+  /// Span events in record order (not a ring: oldest kept, newest dropped).
+  const std::vector<SpanEvent>& spans() const { return spans_; }
+  std::uint64_t spans_dropped() const { return spans_dropped_; }
 
   std::uint64_t total_recorded() const { return total_; }
   std::size_t capacity() const { return ring_.size(); }
   void clear();
 
   /// Writes the snapshot as CSV (time_ns,thread,kind,object,detail).
+  /// Column meaning per kind is documented in docs/protocol.md §9.
   void dump_csv(std::ostream& out) const;
 
   /// Number of recorded events of one kind (within the retained window).
@@ -72,6 +106,9 @@ class TraceBuffer {
   std::vector<TraceEvent> ring_;
   std::size_t next_ = 0;
   std::uint64_t total_ = 0;
+  std::vector<SpanEvent> spans_;
+  std::size_t span_capacity_ = 0;
+  std::uint64_t spans_dropped_ = 0;
 };
 
 }  // namespace sam::sim

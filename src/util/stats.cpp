@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/expect.hpp"
 
@@ -68,6 +69,12 @@ double SampleSet::max() const {
   return *std::max_element(samples_.begin(), samples_.end());
 }
 
+double SampleSet::sum() const {
+  double s = 0.0;
+  for (double x : samples_) s += x;
+  return s;
+}
+
 double SampleSet::percentile(double p) const {
   SAM_EXPECT(!samples_.empty(), "percentile of empty SampleSet");
   SAM_EXPECT(p >= 0.0 && p <= 100.0, "percentile out of range");
@@ -79,6 +86,82 @@ double SampleSet::percentile(double p) const {
   const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
   const double frac = rank - static_cast<double>(lo);
   return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Histogram::Histogram(unsigned buckets) {
+  SAM_EXPECT(buckets >= 2, "histogram needs at least two buckets");
+  counts_.assign(buckets, 0);
+}
+
+void Histogram::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  unsigned b = 0;
+  if (x >= 1.0) {
+    // Bucket i >= 1 covers [2^(i-1), 2^i).
+    b = 1;
+    double upper = 2.0;
+    while (x >= upper && b + 1 < counts_.size()) {
+      upper *= 2.0;
+      ++b;
+    }
+  }
+  ++counts_[b];
+}
+
+double Histogram::bucket_lower(unsigned i) const {
+  SAM_EXPECT(i < counts_.size(), "histogram bucket out of range");
+  if (i == 0) return 0.0;
+  return std::ldexp(1.0, static_cast<int>(i) - 1);
+}
+
+double Histogram::bucket_upper(unsigned i) const {
+  SAM_EXPECT(i < counts_.size(), "histogram bucket out of range");
+  if (i + 1 == counts_.size()) return std::numeric_limits<double>::infinity();
+  return std::ldexp(1.0, static_cast<int>(i));
+}
+
+double Histogram::percentile(double p) const {
+  SAM_EXPECT(count_ > 0, "percentile of empty Histogram");
+  SAM_EXPECT(p >= 0.0 && p <= 100.0, "percentile out of range");
+  const double rank = p / 100.0 * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (unsigned i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const double before = static_cast<double>(seen);
+    seen += counts_[i];
+    if (static_cast<double>(seen) < rank) continue;
+    // Interpolate within the bucket, clamped to the observed min/max so
+    // estimates never leave the sampled range.
+    const double lo = std::max(bucket_lower(i), min_);
+    const double hi = std::min(i + 1 == counts_.size() ? max_ : bucket_upper(i), max_);
+    const double frac =
+        counts_[i] == 0 ? 0.0 : (rank - before) / static_cast<double>(counts_[i]);
+    return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+  }
+  return max_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  SAM_EXPECT(counts_.size() == other.counts_.size(),
+             "histogram merge requires identical bucket counts");
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
 }
 
 }  // namespace sam::util

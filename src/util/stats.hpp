@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace sam::util {
@@ -41,6 +42,7 @@ class SampleSet {
   double stddev() const;
   double min() const;
   double max() const;
+  double sum() const;
   /// Percentile in [0,100] by linear interpolation; requires >=1 sample.
   double percentile(double p) const;
   double median() const { return percentile(50.0); }
@@ -48,6 +50,49 @@ class SampleSet {
 
  private:
   std::vector<double> samples_;
+};
+
+/// Fixed-bucket log2 histogram: O(buckets) memory regardless of sample count,
+/// so obs::Registry can track per-event distributions (latencies, bytes)
+/// without the storage cost of a SampleSet.
+///
+/// Bucket 0 holds x < 1; bucket i (i >= 1) holds x in [2^(i-1), 2^i); the
+/// last bucket additionally absorbs everything above its lower bound.
+/// Designed for nonnegative quantities; negative samples clamp to bucket 0.
+class Histogram {
+ public:
+  explicit Histogram(unsigned buckets = kDefaultBuckets);
+
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+
+  unsigned buckets() const { return static_cast<unsigned>(counts_.size()); }
+  std::uint64_t bucket(unsigned i) const { return counts_.at(i); }
+  /// Inclusive lower bound of bucket i (0 for bucket 0, else 2^(i-1)).
+  double bucket_lower(unsigned i) const;
+  /// Exclusive upper bound of bucket i (unbounded for the last bucket).
+  double bucket_upper(unsigned i) const;
+
+  /// Percentile in [0,100], estimated by linear interpolation within the
+  /// containing bucket; requires >= 1 sample. Exact to within one bucket.
+  double percentile(double p) const;
+
+  /// Merges another histogram (must have the same bucket count).
+  void merge(const Histogram& other);
+
+  static constexpr unsigned kDefaultBuckets = 48;
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
 };
 
 }  // namespace sam::util

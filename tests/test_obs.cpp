@@ -1,0 +1,588 @@
+// Tests for the sam::obs telemetry layer: histogram + registry semantics,
+// JSON round-tripping, Chrome trace export, contention / false-sharing
+// profiling, and the schema-versioned run report.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "apps/microbench.hpp"
+#include "core/report.hpp"
+#include "core/samhita_runtime.hpp"
+#include "obs/json.hpp"
+#include "obs/profiler.hpp"
+#include "obs/registry.hpp"
+#include "obs/run_report.hpp"
+#include "obs/trace_json.hpp"
+#include "sim/resource.hpp"
+#include "sim/trace.hpp"
+#include "util/expect.hpp"
+#include "util/stats.hpp"
+
+namespace sam {
+namespace {
+
+// --- util::Histogram ---------------------------------------------------------
+
+TEST(Histogram, BucketBoundaries) {
+  util::Histogram h(8);
+  EXPECT_EQ(h.buckets(), 8u);
+  EXPECT_DOUBLE_EQ(h.bucket_lower(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bucket_upper(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bucket_lower(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.bucket_upper(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bucket_lower(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bucket_upper(4), 16.0);
+  EXPECT_TRUE(std::isinf(h.bucket_upper(7)));
+}
+
+TEST(Histogram, AddPlacesSamplesInLog2Buckets) {
+  util::Histogram h(6);
+  h.add(0.5);   // bucket 0
+  h.add(1.0);   // bucket 1: [1, 2)
+  h.add(3.0);   // bucket 2: [2, 4)
+  h.add(3.9);   // bucket 2
+  h.add(100.0); // beyond 2^5=32: clamps into the last bucket
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 2u);
+  EXPECT_EQ(h.bucket(5), 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 108.4);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_NEAR(h.mean(), 108.4 / 5.0, 1e-12);
+}
+
+TEST(Histogram, NegativeClampsToBucketZero) {
+  util::Histogram h(4);
+  h.add(-5.0);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_DOUBLE_EQ(h.min(), -5.0);
+}
+
+TEST(Histogram, PercentileWithinObservedRange) {
+  util::Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.add(static_cast<double>(i));
+  const double p50 = h.percentile(50.0);
+  // Log2 buckets: exact to within the containing bucket [256, 512).
+  EXPECT_GE(p50, 256.0);
+  EXPECT_LE(p50, 512.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 1000.0);
+}
+
+TEST(Histogram, MergeAddsCounts) {
+  util::Histogram a(8);
+  util::Histogram b(8);
+  a.add(2.0);
+  b.add(3.0);
+  b.add(0.25);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.sum(), 5.25);
+  EXPECT_DOUBLE_EQ(a.min(), 0.25);
+  EXPECT_DOUBLE_EQ(a.max(), 3.0);
+  EXPECT_EQ(a.bucket(2), 2u);  // 2.0 and 3.0 both in [2, 4)
+}
+
+TEST(Histogram, MergeRejectsMismatchedBuckets) {
+  util::Histogram a(8);
+  util::Histogram b(16);
+  EXPECT_THROW(a.merge(b), util::ContractViolation);
+}
+
+TEST(SampleSet, SumMatchesSamples) {
+  util::SampleSet s;
+  EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+  s.add(1.5);
+  s.add(2.5);
+  s.add(-1.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 3.0);
+}
+
+// --- obs JSON writer / parser ------------------------------------------------
+
+TEST(Json, WriterEmitsParseableDocument) {
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  w.begin_object();
+  w.kv("name", "sam\"hita\n");
+  w.kv("count", 42);
+  w.kv("ratio", 0.5);
+  w.kv("ok", true);
+  w.key("empty");
+  w.null();
+  w.key("list");
+  w.begin_array();
+  w.value(1);
+  w.value("two");
+  w.begin_object();
+  w.kv("nested", 3);
+  w.end_object();
+  w.end_array();
+  w.end_object();
+  EXPECT_TRUE(w.done());
+
+  const obs::JsonValue v = obs::json_parse(os.str());
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.at("name").str, "sam\"hita\n");
+  EXPECT_DOUBLE_EQ(v.at("count").number, 42.0);
+  EXPECT_DOUBLE_EQ(v.at("ratio").number, 0.5);
+  EXPECT_TRUE(v.at("ok").boolean);
+  EXPECT_EQ(v.at("empty").type, obs::JsonValue::Type::kNull);
+  ASSERT_TRUE(v.at("list").is_array());
+  ASSERT_EQ(v.at("list").arr.size(), 3u);
+  EXPECT_DOUBLE_EQ(v.at("list").arr[2].at("nested").number, 3.0);
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(Json, WriterNonFiniteBecomesNull) {
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  w.begin_array();
+  w.value(std::nan(""));
+  w.end_array();
+  EXPECT_EQ(os.str(), "[null]");
+}
+
+TEST(Json, WriterMisuseThrows) {
+  {
+    std::ostringstream os;
+    obs::JsonWriter w(os);
+    w.begin_object();
+    EXPECT_THROW(w.value(1), util::ContractViolation);  // member needs a key
+  }
+  {
+    std::ostringstream os;
+    obs::JsonWriter w(os);
+    w.begin_array();
+    EXPECT_THROW(w.key("k"), util::ContractViolation);  // keys only in objects
+  }
+  {
+    std::ostringstream os;
+    obs::JsonWriter w(os);
+    w.value(1);
+    EXPECT_THROW(w.value(2), util::ContractViolation);  // one top-level value
+  }
+}
+
+TEST(Json, ParserRejectsGarbage) {
+  EXPECT_THROW(obs::json_parse(""), util::ContractViolation);
+  EXPECT_THROW(obs::json_parse("{"), util::ContractViolation);
+  EXPECT_THROW(obs::json_parse("[1,]"), util::ContractViolation);
+  EXPECT_THROW(obs::json_parse("{\"a\":1} x"), util::ContractViolation);
+  EXPECT_THROW(obs::json_parse("nul"), util::ContractViolation);
+}
+
+TEST(Json, ParserHandlesEscapes) {
+  const obs::JsonValue v = obs::json_parse(R"({"s": "a\tA\\"})");
+  EXPECT_EQ(v.at("s").str, "a\tA\\");
+}
+
+// --- obs::Registry -----------------------------------------------------------
+
+TEST(Registry, CounterGaugeHistogramSemantics) {
+  obs::Registry reg;
+  EXPECT_TRUE(reg.empty());
+  EXPECT_EQ(reg.counter("never"), 0u);
+
+  reg.add_counter("hits");
+  reg.add_counter("hits", 4);
+  reg.set_counter("abs", 17);
+  EXPECT_EQ(reg.counter("hits"), 5u);
+  EXPECT_EQ(reg.counter("abs"), 17u);
+
+  reg.set_gauge("util", 0.75);
+  EXPECT_DOUBLE_EQ(reg.gauge("util"), 0.75);
+  EXPECT_TRUE(reg.has_gauge("util"));
+  EXPECT_FALSE(reg.has_gauge("nope"));
+  EXPECT_DOUBLE_EQ(reg.gauge("nope"), 0.0);
+
+  reg.histogram("lat", 8).add(3.0);
+  reg.histogram("lat").add(5.0);  // second lookup reuses the histogram
+  ASSERT_NE(reg.find_histogram("lat"), nullptr);
+  EXPECT_EQ(reg.find_histogram("lat")->count(), 2u);
+  EXPECT_EQ(reg.find_histogram("lat")->buckets(), 8u);
+  EXPECT_EQ(reg.find_histogram("absent"), nullptr);
+
+  EXPECT_FALSE(reg.empty());
+  reg.clear();
+  EXPECT_TRUE(reg.empty());
+}
+
+TEST(Registry, JsonRoundTrip) {
+  obs::Registry reg;
+  reg.add_counter("b.count", 2);
+  reg.add_counter("a.count", 1);
+  reg.set_gauge("g", 1.5);
+  reg.histogram("h", 8).add(2.0);
+
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  reg.write_json(w);
+  const obs::JsonValue v = obs::json_parse(os.str());
+
+  EXPECT_DOUBLE_EQ(v.at("counters").at("a.count").number, 1.0);
+  EXPECT_DOUBLE_EQ(v.at("counters").at("b.count").number, 2.0);
+  // std::map ordering makes the emission deterministic: a.count first.
+  EXPECT_EQ(v.at("counters").obj.front().first, "a.count");
+  EXPECT_DOUBLE_EQ(v.at("gauges").at("g").number, 1.5);
+  const obs::JsonValue& h = v.at("histograms").at("h");
+  EXPECT_DOUBLE_EQ(h.at("count").number, 1.0);
+  EXPECT_DOUBLE_EQ(h.at("sum").number, 2.0);
+  ASSERT_EQ(h.at("buckets").arr.size(), 1u);  // only non-empty buckets emitted
+  EXPECT_DOUBLE_EQ(h.at("buckets").arr[0].arr[0].number, 2.0);  // lower bound
+  EXPECT_DOUBLE_EQ(h.at("buckets").arr[0].arr[1].number, 1.0);  // count
+}
+
+// --- span events -------------------------------------------------------------
+
+TEST(SpanEvents, RecordAndDropWhenFull) {
+  sim::TraceBuffer t(2);
+  t.set_enabled(true);
+  t.record_span(0, 10, 1, sim::SpanCat::kLockWait, 7);
+  t.record_span(10, 20, 1, sim::SpanCat::kLockHeld, 7);
+  t.record_span(20, 30, 1, sim::SpanCat::kBarrierWait, 0);  // over capacity
+  ASSERT_EQ(t.spans().size(), 2u);
+  EXPECT_EQ(t.spans_dropped(), 1u);
+  EXPECT_EQ(t.spans()[0].cat, sim::SpanCat::kLockWait);
+  EXPECT_EQ(t.spans()[0].object, 7u);
+  t.clear();
+  EXPECT_TRUE(t.spans().empty());
+  EXPECT_EQ(t.spans_dropped(), 0u);
+}
+
+TEST(SpanEvents, DisabledRecordsNothing) {
+  sim::TraceBuffer t(4);
+  t.record_span(0, 1, 0, sim::SpanCat::kServer, 0);
+  EXPECT_TRUE(t.spans().empty());
+}
+
+TEST(SpanEvents, ResourceMirrorsServiceWindows) {
+  sim::TraceBuffer t(16);
+  t.set_enabled(true);
+  sim::Resource r("svc");
+  r.attach_trace(&t, sim::SpanCat::kServer, 3);
+  EXPECT_EQ(r.serve(100, 50), 150u);
+  EXPECT_EQ(r.serve(100, 10), 160u);  // queued behind the first request
+  r.serve(200, 0);                    // zero service: no span
+  ASSERT_EQ(t.spans().size(), 2u);
+  EXPECT_EQ(t.spans()[0].begin, 100u);
+  EXPECT_EQ(t.spans()[0].end, 150u);
+  EXPECT_EQ(t.spans()[0].track, 3u);
+  EXPECT_EQ(t.spans()[0].cat, sim::SpanCat::kServer);
+  // The second request queues until 150; its span is the service window
+  // only, so server tracks show true busy time, not caller wait.
+  EXPECT_EQ(t.spans()[1].begin, 150u);
+  EXPECT_EQ(t.spans()[1].end, 160u);
+}
+
+TEST(SpanEvents, RuntimeRecordsSyncAndServiceSpans) {
+  core::SamhitaConfig cfg;
+  cfg.trace_enabled = true;
+  core::SamhitaRuntime runtime(cfg);
+  const auto m = runtime.create_mutex();
+  const auto b = runtime.create_barrier(2);
+  rt::Addr a = 0;
+  runtime.parallel_run(2, [&](rt::ThreadCtx& ctx) {
+    if (ctx.index() == 0) a = ctx.alloc_shared(8192);
+    ctx.barrier(b);
+    for (int i = 0; i < 3; ++i) {
+      ctx.lock(m);
+      ctx.write<double>(a, ctx.read<double>(a) + 1.0);
+      ctx.unlock(m);
+    }
+    ctx.barrier(b);
+  });
+  const auto& spans = runtime.trace().spans();
+  ASSERT_FALSE(spans.empty());
+  auto count_cat = [&](sim::SpanCat cat) {
+    return std::count_if(spans.begin(), spans.end(),
+                         [cat](const sim::SpanEvent& s) { return s.cat == cat; });
+  };
+  EXPECT_EQ(count_cat(sim::SpanCat::kLockHeld), 6);     // 2 threads x 3 locks
+  EXPECT_EQ(count_cat(sim::SpanCat::kBarrierWait), 4);  // 2 threads x 2 barriers
+  EXPECT_GT(count_cat(sim::SpanCat::kLockWait), 0);
+  EXPECT_GT(count_cat(sim::SpanCat::kManager), 0);
+  EXPECT_GT(count_cat(sim::SpanCat::kServer), 0);
+  EXPECT_GT(count_cat(sim::SpanCat::kLink), 0);
+  for (const auto& s : spans) {
+    EXPECT_GE(s.end, s.begin);
+    if (s.cat == sim::SpanCat::kLockWait || s.cat == sim::SpanCat::kLockHeld ||
+        s.cat == sim::SpanCat::kBarrierWait) {
+      EXPECT_LT(s.track, 2u);
+    }
+  }
+}
+
+// --- Chrome trace export -----------------------------------------------------
+
+TEST(ChromeTrace, ExportParsesBackWithRequiredFields) {
+  core::SamhitaConfig cfg;
+  cfg.trace_enabled = true;
+  core::SamhitaRuntime runtime(cfg);
+  apps::MicrobenchParams p;
+  p.threads = 2;
+  p.N = 2;
+  p.M = 4;
+  p.alloc = apps::MicrobenchAlloc::kGlobal;
+  apps::run_microbench(runtime, p);
+
+  std::ostringstream os;
+  obs::write_chrome_trace(runtime, os);
+  const obs::JsonValue root = obs::json_parse(os.str());
+
+  ASSERT_TRUE(root.is_object());
+  const obs::JsonValue& events = root.at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+  ASSERT_FALSE(events.arr.empty());
+
+  std::size_t metadata = 0, complete = 0, instant = 0;
+  for (const obs::JsonValue& e : events.arr) {
+    ASSERT_TRUE(e.is_object());
+    const std::string& ph = e.at("ph").str;
+    ASSERT_NE(e.find("pid"), nullptr);
+    if (ph == "M") {
+      ++metadata;
+      EXPECT_TRUE(e.at("name").str == "process_name" || e.at("name").str == "thread_name");
+      continue;
+    }
+    ASSERT_NE(e.find("tid"), nullptr);
+    ASSERT_NE(e.find("ts"), nullptr);
+    EXPECT_GE(e.at("ts").number, 0.0);
+    if (ph == "X") {
+      ++complete;
+      EXPECT_GE(e.at("dur").number, 0.0);
+    } else if (ph == "i") {
+      ++instant;
+      EXPECT_EQ(e.at("s").str, "t");
+      EXPECT_DOUBLE_EQ(e.at("pid").number, 1.0);  // protocol events: compute pid
+      EXPECT_LT(e.at("tid").number, 2.0);
+    } else {
+      FAIL() << "unexpected phase: " << ph;
+    }
+  }
+  EXPECT_GT(metadata, 0u);
+  EXPECT_GT(complete, 0u);
+  EXPECT_GT(instant, 0u);
+  EXPECT_DOUBLE_EQ(root.at("otherData").at("events_recorded").number,
+                   static_cast<double>(runtime.trace().total_recorded()));
+}
+
+// --- profiler ----------------------------------------------------------------
+
+TEST(Profiler, AttributesWaitToTheContendedLock) {
+  core::SamhitaConfig cfg;
+  cfg.trace_enabled = true;
+  core::SamhitaRuntime runtime(cfg);
+  const auto hot = runtime.create_mutex();   // id 0: all threads, many times
+  const auto cold = runtime.create_mutex();  // id 1: one thread, once
+  const auto bar = runtime.create_barrier(4);
+  rt::Addr a = 0;
+  rt::Addr b = 0;
+  runtime.parallel_run(4, [&](rt::ThreadCtx& ctx) {
+    if (ctx.index() == 0) {
+      a = ctx.alloc_shared(64);
+      b = ctx.alloc_shared(64);
+    }
+    ctx.barrier(bar);
+    for (int i = 0; i < 5; ++i) {
+      ctx.lock(hot);
+      ctx.write<double>(a, ctx.read<double>(a) + 1.0);
+      ctx.unlock(hot);
+    }
+    if (ctx.index() == 0) {
+      ctx.lock(cold);
+      ctx.write<double>(b, 1.0);
+      ctx.unlock(cold);
+    }
+  });
+
+  const obs::Profile prof = obs::build_profile(runtime);
+  ASSERT_EQ(prof.locks.size(), 2u);
+  // Sorted by wait: the hot lock must lead and dominate.
+  EXPECT_EQ(prof.locks[0].id, 0u);
+  EXPECT_EQ(prof.locks[0].acquisitions, 20u);
+  EXPECT_GT(prof.locks[0].contended_acquisitions, 0u);
+  EXPECT_GT(prof.locks[0].wait_seconds, prof.locks[1].wait_seconds);
+  EXPECT_GT(prof.locks[0].held_seconds, 0.0);
+  EXPECT_EQ(prof.locks[1].id, 1u);
+  EXPECT_EQ(prof.locks[1].acquisitions, 1u);
+  EXPECT_EQ(prof.locks[1].contended_acquisitions, 0u);
+  EXPECT_NEAR(prof.total_lock_wait_seconds,
+              prof.locks[0].wait_seconds + prof.locks[1].wait_seconds, 1e-12);
+
+  const std::string text = obs::format_profile(prof);
+  EXPECT_NE(text.find("locks"), std::string::npos);
+  EXPECT_NE(text.find("hottest cache lines"), std::string::npos);
+}
+
+TEST(Profiler, BarrierEpisodesAndImbalance) {
+  core::SamhitaConfig cfg;
+  cfg.trace_enabled = true;
+  core::SamhitaRuntime runtime(cfg);
+  const auto b = runtime.create_barrier(2);
+  runtime.parallel_run(2, [&](rt::ThreadCtx& ctx) {
+    for (int i = 0; i < 3; ++i) {
+      // Thread 1 computes longer: thread 0 waits at the barrier.
+      ctx.charge_flops(ctx.index() == 1 ? 4.0e6 : 1.0e3);
+      ctx.barrier(b);
+    }
+  });
+  const obs::Profile prof = obs::build_profile(runtime);
+  ASSERT_EQ(prof.barriers.size(), 1u);
+  EXPECT_EQ(prof.barriers[0].parties, 2u);
+  EXPECT_EQ(prof.barriers[0].episodes, 3u);
+  EXPECT_GT(prof.barriers[0].wait_seconds, 0.0);
+  EXPECT_GT(prof.barriers[0].imbalance_seconds, 0.0);
+  EXPECT_GT(prof.barriers[0].max_wait_seconds, 0.0);
+}
+
+TEST(Profiler, FalseSharingConcentratesOnStridedLayout) {
+  // Fig 3 vs Fig 5: block layout keeps each thread's rows on its own cache
+  // lines; the strided layout interleaves rows of different threads within
+  // a line, so every outer iteration invalidates and re-fetches shared
+  // lines. The profiler must show that concentration.
+  auto run_profile = [](apps::MicrobenchAlloc alloc) {
+    core::SamhitaConfig cfg;
+    cfg.trace_enabled = true;
+    cfg.pages_per_line = 1;  // line = one page: a thread's S*B block fills lines
+    core::SamhitaRuntime runtime(cfg);
+    apps::MicrobenchParams p;
+    p.threads = 4;
+    p.N = 4;
+    p.M = 2;
+    p.S = 2;
+    p.B = 256;  // row = 2 KiB, block = 4 KiB = exactly one line
+    p.alloc = alloc;
+    apps::run_microbench(runtime, p);
+    return obs::build_profile(runtime, 5);
+  };
+
+  const obs::Profile strided = run_profile(apps::MicrobenchAlloc::kGlobalStrided);
+  const obs::Profile blocked = run_profile(apps::MicrobenchAlloc::kGlobal);
+
+  // The strided layout must produce clearly more invalidation traffic. (Both
+  // layouts share the lock-protected gsum line; only the strided one also
+  // false-shares the data lines.)
+  EXPECT_GT(strided.total_line_invalidations, blocked.total_line_invalidations);
+  EXPECT_GT(strided.total_line_invalidations, 0u);
+  ASSERT_FALSE(strided.lines.empty());
+  // ...concentrated on lines multiple threads touch.
+  EXPECT_GE(strided.lines[0].sharers, 2u);
+  EXPECT_GT(strided.lines[0].invalidations, 0u);
+  // Strided spreads heavy invalidation traffic over the falsely-shared data
+  // lines; blocked confines it to the gsum line.
+  auto hot_shared_lines = [](const obs::Profile& prof) {
+    std::size_t n = 0;
+    for (const obs::LineProfile& l : prof.lines) {
+      if (l.invalidations > 0 && l.sharers >= 2) ++n;
+    }
+    return n;
+  };
+  EXPECT_GE(hot_shared_lines(strided), 3u);
+  EXPECT_GT(hot_shared_lines(strided), hot_shared_lines(blocked));
+}
+
+// --- run report --------------------------------------------------------------
+
+TEST(RunReport, SchemaAndTotalsMatchSummary) {
+  core::SamhitaConfig cfg;
+  cfg.trace_enabled = true;
+  core::SamhitaRuntime runtime(cfg);
+  apps::MicrobenchParams p;
+  p.threads = 2;
+  p.N = 2;
+  p.M = 4;
+  p.alloc = apps::MicrobenchAlloc::kGlobal;
+  apps::run_microbench(runtime, p);
+
+  std::ostringstream os;
+  obs::write_run_report(runtime, os, "micro", 5);
+  const obs::JsonValue root = obs::json_parse(os.str());
+
+  EXPECT_DOUBLE_EQ(root.at("schema_version").number,
+                   static_cast<double>(obs::kRunReportSchemaVersion));
+  EXPECT_EQ(root.at("tool").str, "samhita_sim");
+  EXPECT_EQ(root.at("workload").str, "micro");
+
+  // The report's summary must agree with core::summarize / format_report.
+  const core::RunSummary s = core::summarize(runtime);
+  const obs::JsonValue& js = root.at("summary");
+  EXPECT_DOUBLE_EQ(js.at("threads").number, static_cast<double>(s.threads));
+  EXPECT_DOUBLE_EQ(js.at("elapsed_seconds").number, s.elapsed_seconds);
+  EXPECT_DOUBLE_EQ(js.at("mean_compute_seconds").number, s.mean_compute_seconds);
+  EXPECT_DOUBLE_EQ(js.at("mean_sync_seconds").number, s.mean_sync_seconds);
+  EXPECT_DOUBLE_EQ(js.at("max_compute_seconds").number, s.max_compute_seconds);
+  EXPECT_DOUBLE_EQ(js.at("max_sync_seconds").number, s.max_sync_seconds);
+  EXPECT_DOUBLE_EQ(js.at("cache_misses").number, static_cast<double>(s.cache_misses));
+  EXPECT_DOUBLE_EQ(js.at("network_messages").number,
+                   static_cast<double>(s.network_messages));
+
+  ASSERT_TRUE(root.at("threads").is_array());
+  EXPECT_EQ(root.at("threads").arr.size(), 2u);
+  ASSERT_TRUE(root.at("servers").is_array());
+  EXPECT_EQ(root.at("servers").arr.size(), 1u);
+  ASSERT_TRUE(root.at("links").is_array());
+  EXPECT_FALSE(root.at("links").arr.empty());
+  ASSERT_NE(root.find("manager"), nullptr);
+  EXPECT_GT(root.at("manager").at("requests").number, 0.0);
+
+  // Registry totals mirror the summary counters.
+  const obs::JsonValue& counters = root.at("registry").at("counters");
+  EXPECT_DOUBLE_EQ(counters.at("cache.misses").number,
+                   static_cast<double>(s.cache_misses));
+  EXPECT_DOUBLE_EQ(counters.at("net.messages").number,
+                   static_cast<double>(s.network_messages));
+
+  // Tracing was on, so the contention profile is embedded.
+  ASSERT_NE(root.find("profile"), nullptr);
+  ASSERT_TRUE(root.at("profile").at("locks").is_array());
+  EXPECT_FALSE(root.at("profile").at("locks").arr.empty());
+}
+
+TEST(RunReport, WithoutTracingOmitsProfile) {
+  core::SamhitaRuntime runtime;
+  apps::MicrobenchParams p;
+  p.threads = 1;
+  p.N = 1;
+  p.M = 2;
+  apps::run_microbench(runtime, p);
+  std::ostringstream os;
+  obs::write_run_report(runtime, os, "micro");
+  const obs::JsonValue root = obs::json_parse(os.str());
+  EXPECT_EQ(root.find("profile"), nullptr);
+  EXPECT_FALSE(root.at("config").at("trace_enabled").boolean);
+}
+
+TEST(CollectRegistry, MirrorsComponentCounters) {
+  core::SamhitaConfig cfg;
+  cfg.trace_enabled = true;
+  core::SamhitaRuntime runtime(cfg);
+  apps::MicrobenchParams p;
+  p.threads = 2;
+  p.N = 1;
+  p.M = 2;
+  p.alloc = apps::MicrobenchAlloc::kGlobal;
+  apps::run_microbench(runtime, p);
+
+  const obs::Registry reg = obs::collect_registry(runtime);
+  EXPECT_EQ(reg.counter("net.messages"), runtime.network_messages());
+  EXPECT_EQ(reg.counter("net.bytes"), runtime.network_bytes());
+  EXPECT_EQ(reg.counter("manager.requests"),
+            runtime.manager().service().request_count());
+  const auto& srv = runtime.servers()[0];
+  EXPECT_EQ(reg.counter("server.0.read_requests"), srv.counters().read_requests);
+  EXPECT_EQ(reg.counter("server.0.write_requests"), srv.counters().write_requests);
+  EXPECT_GT(reg.counter("server.0.bytes_read") + reg.counter("server.0.bytes_written"),
+            0u);
+  // Lock/barrier wait distributions come from the span stream.
+  ASSERT_NE(reg.find_histogram("lock_wait_ns"), nullptr);
+  ASSERT_NE(reg.find_histogram("barrier_wait_ns"), nullptr);
+  EXPECT_GT(reg.find_histogram("barrier_wait_ns")->count(), 0u);
+}
+
+}  // namespace
+}  // namespace sam

@@ -6,14 +6,24 @@
 //
 //   samhita_sim --workload=micro --threads=16 --alloc=strided --M=100
 //   samhita_sim --workload=jacobi --n=256 --network=scif --trace=trace.csv
+//   samhita_sim --workload=jacobi --trace-json=trace.json --json-report=run.json
 //   samhita_sim --workload=md --particles=512 --local-sync=true
-//   samhita_sim --workload=matmul --n=128 --servers=2
+//   samhita_sim --workload=matmul --n=128 --servers=2 --profile=10
 //   samhita_sim --workload=bfs --vertices=4096 --placement=scatter
 //
 // Platform flags: --network=ib|pcie|scif --servers=N --nodes=N
 //   --cores-per-node=N --pages-per-line=N --cache-mb=N --prefetch=bool
 //   --eviction=dirty|lru --placement=block|scatter --local-sync=bool
-//   --finegrain=bool --trace=<csv path>
+//   --finegrain=bool
+//
+// Observability flags (any of them implicitly enables protocol tracing):
+//   --trace=<path>        protocol event CSV (columns: docs/protocol.md §9)
+//   --trace-json=<path>   Chrome/Perfetto trace_event JSON; load the file in
+//                         chrome://tracing or ui.perfetto.dev
+//   --profile=<n>         print the contention & false-sharing profile
+//                         (top-n hottest cache lines) after the run report
+//   --json-report=<path>  schema-versioned machine-readable run report
+//                         (obs::write_run_report; see docs/observability.md)
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -25,6 +35,9 @@
 #include "apps/microbench.hpp"
 #include "core/report.hpp"
 #include "core/samhita_runtime.hpp"
+#include "obs/profiler.hpp"
+#include "obs/run_report.hpp"
+#include "obs/trace_json.hpp"
 #include "util/arg_parser.hpp"
 #include "util/expect.hpp"
 
@@ -56,8 +69,18 @@ core::SamhitaConfig config_from_args(const util::ArgParser& args) {
              "--placement wants block|scatter");
   cfg.placement =
       placement == "block" ? core::Placement::kBlock : core::Placement::kScatter;
-  cfg.trace_enabled = args.has("trace");
+  // Every observability consumer feeds on the protocol trace, so any of the
+  // switches that need one turns tracing on.
+  cfg.trace_enabled = args.has("trace") || args.has("trace-json") ||
+                      args.has("profile") || args.has("json-report");
   return cfg;
+}
+
+/// --profile=<n> with a bare --profile meaning the default top-10.
+std::size_t profile_top_n(const util::ArgParser& args) {
+  const std::string v = args.get_string("profile", "");
+  if (v.empty() || v == "true") return 10;
+  return static_cast<std::size_t>(args.get_int("profile", 10));
 }
 
 int run_workload(const util::ArgParser& args, core::SamhitaRuntime& runtime) {
@@ -149,6 +172,30 @@ int main(int argc, char** argv) {
       runtime.trace().dump_csv(out);
       std::printf("\ntrace: %llu events -> %s\n",
                   static_cast<unsigned long long>(runtime.trace().total_recorded()),
+                  path.c_str());
+    }
+    if (args.has("trace-json")) {
+      const std::string path = args.get_string("trace-json", "trace.json");
+      std::ofstream out(path);
+      SAM_EXPECT(out.is_open(), "cannot open trace output: " + path);
+      obs::write_chrome_trace(runtime, out);
+      std::printf("\ntrace-json: %llu events, %llu spans -> %s\n",
+                  static_cast<unsigned long long>(runtime.trace().total_recorded()),
+                  static_cast<unsigned long long>(runtime.trace().spans().size()),
+                  path.c_str());
+    }
+    if (args.has("profile")) {
+      std::printf("\n%s",
+                  obs::format_profile(obs::build_profile(runtime, profile_top_n(args)))
+                      .c_str());
+    }
+    if (args.has("json-report")) {
+      const std::string path = args.get_string("json-report", "run.json");
+      std::ofstream out(path);
+      SAM_EXPECT(out.is_open(), "cannot open report output: " + path);
+      obs::write_run_report(runtime, out, args.get_string("workload", "micro"),
+                            profile_top_n(args));
+      std::printf("\njson-report: schema v%d -> %s\n", obs::kRunReportSchemaVersion,
                   path.c_str());
     }
     return 0;
