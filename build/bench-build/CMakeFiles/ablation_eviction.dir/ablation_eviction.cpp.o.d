@@ -216,9 +216,10 @@ bench-build/CMakeFiles/ablation_eviction.dir/ablation_eviction.cpp.o: \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/optional \
  /root/repo/src/net/network_model.hpp /root/repo/src/net/link_model.hpp \
- /root/repo/src/sim/resource.hpp /root/repo/src/util/stats.hpp \
- /root/repo/src/regc/update_set.hpp /root/repo/src/regc/diff.hpp \
- /usr/include/c++/12/span /root/repo/src/mem/memory_server.hpp \
+ /root/repo/src/sim/resource.hpp /root/repo/src/sim/trace.hpp \
+ /root/repo/src/util/stats.hpp /root/repo/src/regc/update_set.hpp \
+ /root/repo/src/regc/diff.hpp /usr/include/c++/12/span \
+ /root/repo/src/mem/memory_server.hpp \
  /root/repo/src/regc/region_tracker.hpp /root/repo/src/util/expect.hpp \
  /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/rt/runtime.hpp /root/repo/src/sim/coop_scheduler.hpp \
@@ -238,14 +239,17 @@ bench-build/CMakeFiles/ablation_eviction.dir/ablation_eviction.cpp.o: \
  /root/repo/src/core/metrics.hpp /root/repo/src/core/sam_allocator.hpp \
  /root/repo/src/mem/global_address_space.hpp \
  /root/repo/src/mem/directory.hpp /root/repo/src/scl/scl.hpp \
- /root/repo/src/sim/trace.hpp /root/repo/bench/bench_common.hpp \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h \
- /root/repo/src/apps/microbench.hpp /root/repo/src/smp/smp_runtime.hpp \
- /root/repo/src/smp/coherence_model.hpp \
- /root/repo/src/util/arg_parser.hpp /root/repo/src/util/csv.hpp \
- /usr/include/c++/12/fstream /usr/include/c++/12/bits/codecvt.h \
+ /root/repo/bench/bench_common.hpp /usr/include/c++/12/fstream \
+ /usr/include/c++/12/bits/codecvt.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
- /usr/include/c++/12/bits/fstream.tcc /root/repo/src/rt/span_util.hpp
+ /usr/include/c++/12/bits/fstream.tcc /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /root/repo/src/apps/microbench.hpp /root/repo/src/obs/run_report.hpp \
+ /root/repo/src/obs/registry.hpp /root/repo/src/obs/json.hpp \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/smp/smp_runtime.hpp \
+ /root/repo/src/smp/coherence_model.hpp \
+ /root/repo/src/util/arg_parser.hpp /root/repo/src/util/csv.hpp \
+ /root/repo/src/rt/span_util.hpp

@@ -154,7 +154,11 @@ bench-build/CMakeFiles/ablation_placement.dir/ablation_placement.cpp.o: \
  /usr/include/c++/12/bits/basic_ios.tcc \
  /usr/include/c++/12/bits/ostream.tcc /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc /root/repo/bench/bench_common.hpp \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/fstream /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/ext/aligned_buffer.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/stl_map.h /usr/include/c++/12/tuple \
@@ -199,10 +203,10 @@ bench-build/CMakeFiles/ablation_placement.dir/ablation_placement.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/apps/microbench.hpp /root/repo/src/rt/runtime.hpp \
- /usr/include/c++/12/cstddef /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/apps/microbench.hpp \
+ /root/repo/src/rt/runtime.hpp /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
@@ -220,10 +224,10 @@ bench-build/CMakeFiles/ablation_placement.dir/ablation_placement.cpp.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/optional /root/repo/src/net/network_model.hpp \
  /root/repo/src/net/link_model.hpp /root/repo/src/sim/resource.hpp \
- /root/repo/src/util/stats.hpp /root/repo/src/regc/update_set.hpp \
- /root/repo/src/regc/diff.hpp /root/repo/src/mem/memory_server.hpp \
+ /root/repo/src/sim/trace.hpp /root/repo/src/util/stats.hpp \
+ /root/repo/src/regc/update_set.hpp /root/repo/src/regc/diff.hpp \
+ /root/repo/src/mem/memory_server.hpp \
  /root/repo/src/regc/region_tracker.hpp /root/repo/src/util/expect.hpp \
- /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/sim/coop_scheduler.hpp /usr/include/c++/12/chrono \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/limits /usr/include/c++/12/ctime \
@@ -241,10 +245,8 @@ bench-build/CMakeFiles/ablation_placement.dir/ablation_placement.cpp.o: \
  /root/repo/src/core/metrics.hpp /root/repo/src/core/sam_allocator.hpp \
  /root/repo/src/mem/global_address_space.hpp \
  /root/repo/src/mem/directory.hpp /root/repo/src/scl/scl.hpp \
- /root/repo/src/sim/trace.hpp /root/repo/src/smp/smp_runtime.hpp \
+ /root/repo/src/obs/run_report.hpp /root/repo/src/obs/registry.hpp \
+ /root/repo/src/obs/json.hpp /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/smp/smp_runtime.hpp \
  /root/repo/src/smp/coherence_model.hpp \
- /root/repo/src/util/arg_parser.hpp /root/repo/src/util/csv.hpp \
- /usr/include/c++/12/fstream /usr/include/c++/12/bits/codecvt.h \
- /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
- /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
- /usr/include/c++/12/bits/fstream.tcc
+ /root/repo/src/util/arg_parser.hpp /root/repo/src/util/csv.hpp

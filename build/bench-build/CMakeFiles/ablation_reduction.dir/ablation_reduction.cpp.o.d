@@ -176,8 +176,11 @@ bench-build/CMakeFiles/ablation_reduction.dir/ablation_reduction.cpp.o: \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/span \
  /root/repo/src/util/time_types.hpp /root/repo/bench/bench_common.hpp \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/fstream /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
@@ -215,17 +218,17 @@ bench-build/CMakeFiles/ablation_reduction.dir/ablation_reduction.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/apps/microbench.hpp /root/repo/src/core/config.hpp \
- /root/repo/src/mem/types.hpp /root/repo/src/core/samhita_runtime.hpp \
- /root/repo/src/core/manager.hpp /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/optional /root/repo/src/net/network_model.hpp \
- /root/repo/src/net/link_model.hpp /root/repo/src/sim/resource.hpp \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/apps/microbench.hpp \
+ /root/repo/src/core/config.hpp /root/repo/src/mem/types.hpp \
+ /root/repo/src/core/samhita_runtime.hpp /root/repo/src/core/manager.hpp \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/optional \
+ /root/repo/src/net/network_model.hpp /root/repo/src/net/link_model.hpp \
+ /root/repo/src/sim/resource.hpp /root/repo/src/sim/trace.hpp \
  /root/repo/src/util/stats.hpp /root/repo/src/regc/update_set.hpp \
  /root/repo/src/regc/diff.hpp /root/repo/src/mem/memory_server.hpp \
  /root/repo/src/regc/region_tracker.hpp /root/repo/src/util/expect.hpp \
- /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/sim/coop_scheduler.hpp /usr/include/c++/12/chrono \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/limits /usr/include/c++/12/ctime \
@@ -243,10 +246,8 @@ bench-build/CMakeFiles/ablation_reduction.dir/ablation_reduction.cpp.o: \
  /root/repo/src/core/metrics.hpp /root/repo/src/core/sam_allocator.hpp \
  /root/repo/src/mem/global_address_space.hpp \
  /root/repo/src/mem/directory.hpp /root/repo/src/scl/scl.hpp \
- /root/repo/src/sim/trace.hpp /root/repo/src/smp/smp_runtime.hpp \
+ /root/repo/src/obs/run_report.hpp /root/repo/src/obs/registry.hpp \
+ /root/repo/src/obs/json.hpp /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/smp/smp_runtime.hpp \
  /root/repo/src/smp/coherence_model.hpp \
- /root/repo/src/util/arg_parser.hpp /root/repo/src/util/csv.hpp \
- /usr/include/c++/12/fstream /usr/include/c++/12/bits/codecvt.h \
- /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
- /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
- /usr/include/c++/12/bits/fstream.tcc
+ /root/repo/src/util/arg_parser.hpp /root/repo/src/util/csv.hpp

@@ -223,9 +223,10 @@ bench-build/CMakeFiles/ops_microbench.dir/ops_microbench.cpp.o: \
  /root/repo/src/mem/global_address_space.hpp \
  /root/repo/src/mem/memory_server.hpp \
  /root/repo/src/net/network_model.hpp /root/repo/src/net/link_model.hpp \
- /root/repo/src/sim/resource.hpp /root/repo/src/util/stats.hpp \
- /root/repo/src/regc/diff.hpp /usr/include/c++/12/span \
- /root/repo/src/regc/store_log.hpp /root/repo/src/sim/event_queue.hpp \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/util/rng.hpp
+ /root/repo/src/sim/resource.hpp /root/repo/src/sim/trace.hpp \
+ /root/repo/src/util/stats.hpp /root/repo/src/regc/diff.hpp \
+ /usr/include/c++/12/span /root/repo/src/regc/store_log.hpp \
+ /root/repo/src/sim/event_queue.hpp /usr/include/c++/12/queue \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/util/rng.hpp

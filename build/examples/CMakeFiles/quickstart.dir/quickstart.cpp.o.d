@@ -216,9 +216,9 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/optional /root/repo/src/net/network_model.hpp \
  /root/repo/src/net/link_model.hpp /root/repo/src/sim/resource.hpp \
- /root/repo/src/util/stats.hpp /root/repo/src/regc/update_set.hpp \
- /root/repo/src/regc/diff.hpp /usr/include/c++/12/span \
- /root/repo/src/mem/memory_server.hpp \
+ /root/repo/src/sim/trace.hpp /root/repo/src/util/stats.hpp \
+ /root/repo/src/regc/update_set.hpp /root/repo/src/regc/diff.hpp \
+ /usr/include/c++/12/span /root/repo/src/mem/memory_server.hpp \
  /root/repo/src/regc/region_tracker.hpp /root/repo/src/util/expect.hpp \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
@@ -240,6 +240,5 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /root/repo/src/core/metrics.hpp /root/repo/src/core/sam_allocator.hpp \
  /root/repo/src/mem/global_address_space.hpp \
  /root/repo/src/mem/directory.hpp /root/repo/src/scl/scl.hpp \
- /root/repo/src/sim/trace.hpp /root/repo/src/rt/span_util.hpp \
- /root/repo/src/smp/smp_runtime.hpp \
+ /root/repo/src/rt/span_util.hpp /root/repo/src/smp/smp_runtime.hpp \
  /root/repo/src/smp/coherence_model.hpp

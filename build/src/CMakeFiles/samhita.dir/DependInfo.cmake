@@ -28,6 +28,11 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/net/link_model.cpp" "src/CMakeFiles/samhita.dir/net/link_model.cpp.o" "gcc" "src/CMakeFiles/samhita.dir/net/link_model.cpp.o.d"
   "/root/repo/src/net/network_model.cpp" "src/CMakeFiles/samhita.dir/net/network_model.cpp.o" "gcc" "src/CMakeFiles/samhita.dir/net/network_model.cpp.o.d"
   "/root/repo/src/net/perturbing_network.cpp" "src/CMakeFiles/samhita.dir/net/perturbing_network.cpp.o" "gcc" "src/CMakeFiles/samhita.dir/net/perturbing_network.cpp.o.d"
+  "/root/repo/src/obs/json.cpp" "src/CMakeFiles/samhita.dir/obs/json.cpp.o" "gcc" "src/CMakeFiles/samhita.dir/obs/json.cpp.o.d"
+  "/root/repo/src/obs/profiler.cpp" "src/CMakeFiles/samhita.dir/obs/profiler.cpp.o" "gcc" "src/CMakeFiles/samhita.dir/obs/profiler.cpp.o.d"
+  "/root/repo/src/obs/registry.cpp" "src/CMakeFiles/samhita.dir/obs/registry.cpp.o" "gcc" "src/CMakeFiles/samhita.dir/obs/registry.cpp.o.d"
+  "/root/repo/src/obs/run_report.cpp" "src/CMakeFiles/samhita.dir/obs/run_report.cpp.o" "gcc" "src/CMakeFiles/samhita.dir/obs/run_report.cpp.o.d"
+  "/root/repo/src/obs/trace_json.cpp" "src/CMakeFiles/samhita.dir/obs/trace_json.cpp.o" "gcc" "src/CMakeFiles/samhita.dir/obs/trace_json.cpp.o.d"
   "/root/repo/src/regc/diff.cpp" "src/CMakeFiles/samhita.dir/regc/diff.cpp.o" "gcc" "src/CMakeFiles/samhita.dir/regc/diff.cpp.o.d"
   "/root/repo/src/regc/region_tracker.cpp" "src/CMakeFiles/samhita.dir/regc/region_tracker.cpp.o" "gcc" "src/CMakeFiles/samhita.dir/regc/region_tracker.cpp.o.d"
   "/root/repo/src/regc/store_log.cpp" "src/CMakeFiles/samhita.dir/regc/store_log.cpp.o" "gcc" "src/CMakeFiles/samhita.dir/regc/store_log.cpp.o.d"

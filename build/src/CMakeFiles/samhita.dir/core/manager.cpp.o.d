@@ -208,10 +208,10 @@ src/CMakeFiles/samhita.dir/core/manager.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/net/link_model.hpp /root/repo/src/util/time_types.hpp \
- /root/repo/src/sim/resource.hpp /root/repo/src/util/stats.hpp \
- /root/repo/src/regc/update_set.hpp /root/repo/src/regc/diff.hpp \
- /usr/include/c++/12/span /usr/include/c++/12/array \
- /root/repo/src/mem/memory_server.hpp \
+ /root/repo/src/sim/resource.hpp /root/repo/src/sim/trace.hpp \
+ /root/repo/src/util/stats.hpp /root/repo/src/regc/update_set.hpp \
+ /root/repo/src/regc/diff.hpp /usr/include/c++/12/span \
+ /usr/include/c++/12/array /root/repo/src/mem/memory_server.hpp \
  /root/repo/src/regc/region_tracker.hpp /root/repo/src/util/expect.hpp \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \

@@ -215,9 +215,10 @@ src/CMakeFiles/samhita.dir/core/report.cpp.o: \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/optional \
  /root/repo/src/net/network_model.hpp /root/repo/src/net/link_model.hpp \
- /root/repo/src/sim/resource.hpp /root/repo/src/util/stats.hpp \
- /root/repo/src/regc/update_set.hpp /root/repo/src/regc/diff.hpp \
- /usr/include/c++/12/span /root/repo/src/mem/memory_server.hpp \
+ /root/repo/src/sim/resource.hpp /root/repo/src/sim/trace.hpp \
+ /root/repo/src/util/stats.hpp /root/repo/src/regc/update_set.hpp \
+ /root/repo/src/regc/diff.hpp /usr/include/c++/12/span \
+ /root/repo/src/mem/memory_server.hpp \
  /root/repo/src/regc/region_tracker.hpp /root/repo/src/util/expect.hpp \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
@@ -239,7 +240,6 @@ src/CMakeFiles/samhita.dir/core/report.cpp.o: \
  /root/repo/src/core/metrics.hpp /root/repo/src/core/sam_allocator.hpp \
  /root/repo/src/mem/global_address_space.hpp \
  /root/repo/src/mem/directory.hpp /root/repo/src/scl/scl.hpp \
- /root/repo/src/sim/trace.hpp /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h

@@ -60,12 +60,19 @@ src/CMakeFiles/samhita.dir/core/sam_thread_ctx.cpp.o: \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/stddef.h \
  /usr/include/c++/12/bits/ranges_base.h \
  /usr/include/c++/12/bits/max_size_type.h /usr/include/c++/12/numbers \
- /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_uninitialized.h \
+ /usr/include/c++/12/unordered_map \
+ /usr/include/c++/12/bits/functional_hash.h \
+ /usr/include/c++/12/bits/hash_bytes.h \
+ /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h /usr/include/c++/12/tuple \
+ /usr/include/c++/12/bits/uses_allocator.h \
+ /usr/include/c++/12/bits/invoke.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/functional_hash.h \
- /usr/include/c++/12/bits/hash_bytes.h /usr/include/c++/12/bits/refwrap.h \
- /usr/include/c++/12/bits/invoke.h /usr/include/c++/12/bits/vector.tcc \
+ /usr/include/c++/12/bits/refwrap.h /usr/include/c++/12/bits/vector.tcc \
  /root/repo/src/core/metrics.hpp /root/repo/src/util/stats.hpp \
  /root/repo/src/util/time_types.hpp /usr/include/c++/12/cstdio \
  /usr/include/stdio.h /usr/lib/gcc/x86_64-linux-gnu/12/include/stdarg.h \
@@ -130,12 +137,7 @@ src/CMakeFiles/samhita.dir/core/sam_thread_ctx.cpp.o: \
  /usr/include/c++/12/bits/charconv.h \
  /usr/include/c++/12/bits/basic_string.tcc \
  /root/repo/src/core/page_cache.hpp /usr/include/c++/12/functional \
- /usr/include/c++/12/tuple /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/typeinfo \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
@@ -215,7 +217,8 @@ src/CMakeFiles/samhita.dir/core/sam_thread_ctx.cpp.o: \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/core/config.hpp \
  /root/repo/src/mem/types.hpp /root/repo/src/net/network_model.hpp \
  /root/repo/src/net/link_model.hpp /root/repo/src/sim/resource.hpp \
- /root/repo/src/regc/diff.hpp /root/repo/src/mem/memory_server.hpp \
+ /root/repo/src/sim/trace.hpp /root/repo/src/regc/diff.hpp \
+ /root/repo/src/mem/memory_server.hpp \
  /root/repo/src/regc/region_tracker.hpp /root/repo/src/util/expect.hpp \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
@@ -235,8 +238,8 @@ src/CMakeFiles/samhita.dir/core/sam_thread_ctx.cpp.o: \
  /usr/include/c++/12/thread /root/repo/src/sim/event_queue.hpp \
  /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/trace.hpp \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \

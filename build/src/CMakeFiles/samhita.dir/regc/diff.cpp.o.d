@@ -207,8 +207,8 @@ src/CMakeFiles/samhita.dir/regc/diff.cpp.o: /root/repo/src/regc/diff.cpp \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/mem/types.hpp \
  /root/repo/src/net/network_model.hpp /root/repo/src/net/link_model.hpp \
  /root/repo/src/util/time_types.hpp /root/repo/src/sim/resource.hpp \
- /root/repo/src/util/stats.hpp /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/stl_algo.h \
+ /root/repo/src/sim/trace.hpp /root/repo/src/util/stats.hpp \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \

@@ -210,9 +210,10 @@ src/CMakeFiles/samhita.dir/regc/update_set.cpp.o: \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/mem/types.hpp \
  /root/repo/src/net/network_model.hpp /root/repo/src/net/link_model.hpp \
  /root/repo/src/util/time_types.hpp /root/repo/src/sim/resource.hpp \
- /root/repo/src/util/stats.hpp /root/repo/src/regc/region_tracker.hpp \
- /root/repo/src/util/expect.hpp /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /root/repo/src/sim/trace.hpp /root/repo/src/util/stats.hpp \
+ /root/repo/src/regc/region_tracker.hpp /root/repo/src/util/expect.hpp \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \

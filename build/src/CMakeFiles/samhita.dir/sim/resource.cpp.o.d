@@ -121,9 +121,10 @@ src/CMakeFiles/samhita.dir/sim/resource.cpp.o: \
  /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/util/stats.hpp \
- /usr/include/c++/12/cstddef /root/repo/src/util/time_types.hpp \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/sim/trace.hpp \
+ /root/repo/src/util/time_types.hpp /root/repo/src/util/stats.hpp \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \

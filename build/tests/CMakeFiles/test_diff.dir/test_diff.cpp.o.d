@@ -296,5 +296,5 @@ tests/CMakeFiles/test_diff.dir/test_diff.cpp.o: \
  /root/repo/src/mem/memory_server.hpp /root/repo/src/mem/types.hpp \
  /root/repo/src/net/network_model.hpp /root/repo/src/net/link_model.hpp \
  /root/repo/src/util/time_types.hpp /root/repo/src/sim/resource.hpp \
- /root/repo/src/util/stats.hpp /root/repo/src/regc/diff.hpp \
- /usr/include/c++/12/span
+ /root/repo/src/sim/trace.hpp /root/repo/src/util/stats.hpp \
+ /root/repo/src/regc/diff.hpp /usr/include/c++/12/span

@@ -297,9 +297,10 @@ tests/CMakeFiles/test_misc_units.dir/test_misc_units.cpp.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/mem/types.hpp /root/repo/src/net/network_model.hpp \
  /root/repo/src/net/link_model.hpp /root/repo/src/util/time_types.hpp \
- /root/repo/src/sim/resource.hpp /root/repo/src/util/stats.hpp \
- /root/repo/src/regc/update_set.hpp /root/repo/src/regc/diff.hpp \
- /usr/include/c++/12/span /root/repo/src/mem/memory_server.hpp \
+ /root/repo/src/sim/resource.hpp /root/repo/src/sim/trace.hpp \
+ /root/repo/src/util/stats.hpp /root/repo/src/regc/update_set.hpp \
+ /root/repo/src/regc/diff.hpp /usr/include/c++/12/span \
+ /root/repo/src/mem/memory_server.hpp \
  /root/repo/src/regc/region_tracker.hpp /root/repo/src/util/expect.hpp \
  /root/repo/src/rt/runtime.hpp /root/repo/src/sim/coop_scheduler.hpp \
  /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
@@ -317,6 +318,5 @@ tests/CMakeFiles/test_misc_units.dir/test_misc_units.cpp.o: \
  /root/repo/src/core/metrics.hpp /root/repo/src/core/sam_allocator.hpp \
  /root/repo/src/mem/global_address_space.hpp \
  /root/repo/src/mem/directory.hpp /root/repo/src/scl/scl.hpp \
- /root/repo/src/sim/trace.hpp /root/repo/src/rt/span_util.hpp \
- /root/repo/src/smp/smp_runtime.hpp \
+ /root/repo/src/rt/span_util.hpp /root/repo/src/smp/smp_runtime.hpp \
  /root/repo/src/smp/coherence_model.hpp /root/repo/src/util/logger.hpp

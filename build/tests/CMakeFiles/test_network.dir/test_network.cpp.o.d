@@ -295,5 +295,5 @@ tests/CMakeFiles/test_network.dir/test_network.cpp.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/net/link_model.hpp /root/repo/src/util/time_types.hpp \
  /root/repo/src/net/network_model.hpp /root/repo/src/sim/resource.hpp \
- /root/repo/src/util/stats.hpp /root/repo/src/scl/scl.hpp \
- /root/repo/src/util/expect.hpp
+ /root/repo/src/sim/trace.hpp /root/repo/src/util/stats.hpp \
+ /root/repo/src/scl/scl.hpp /root/repo/src/util/expect.hpp

@@ -301,4 +301,4 @@ tests/CMakeFiles/test_regc.dir/test_regc.cpp.o: \
  /root/repo/src/mem/memory_server.hpp \
  /root/repo/src/net/network_model.hpp /root/repo/src/net/link_model.hpp \
  /root/repo/src/util/time_types.hpp /root/repo/src/sim/resource.hpp \
- /root/repo/src/util/stats.hpp
+ /root/repo/src/sim/trace.hpp /root/repo/src/util/stats.hpp

@@ -298,9 +298,10 @@ tests/CMakeFiles/test_samhita_runtime.dir/test_samhita_runtime.cpp.o: \
  /root/repo/src/core/manager.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/net/network_model.hpp /root/repo/src/net/link_model.hpp \
- /root/repo/src/sim/resource.hpp /root/repo/src/util/stats.hpp \
- /root/repo/src/regc/update_set.hpp /root/repo/src/regc/diff.hpp \
- /usr/include/c++/12/span /root/repo/src/mem/memory_server.hpp \
+ /root/repo/src/sim/resource.hpp /root/repo/src/sim/trace.hpp \
+ /root/repo/src/util/stats.hpp /root/repo/src/regc/update_set.hpp \
+ /root/repo/src/regc/diff.hpp /usr/include/c++/12/span \
+ /root/repo/src/mem/memory_server.hpp \
  /root/repo/src/regc/region_tracker.hpp /root/repo/src/util/expect.hpp \
  /root/repo/src/rt/runtime.hpp /root/repo/src/sim/coop_scheduler.hpp \
  /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
@@ -316,5 +317,4 @@ tests/CMakeFiles/test_samhita_runtime.dir/test_samhita_runtime.cpp.o: \
  /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/core/metrics.hpp /root/repo/src/core/sam_allocator.hpp \
  /root/repo/src/mem/global_address_space.hpp \
- /root/repo/src/mem/directory.hpp /root/repo/src/scl/scl.hpp \
- /root/repo/src/sim/trace.hpp
+ /root/repo/src/mem/directory.hpp /root/repo/src/scl/scl.hpp

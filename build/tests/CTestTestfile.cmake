@@ -24,3 +24,4 @@ include("/root/repo/build/tests/test_report_and_sugar[1]_include.cmake")
 include("/root/repo/build/tests/test_protocol_edge[1]_include.cmake")
 include("/root/repo/build/tests/test_fault_injection[1]_include.cmake")
 include("/root/repo/build/tests/test_misc_units[1]_include.cmake")
+include("/root/repo/build/tests/test_obs[1]_include.cmake")

@@ -223,9 +223,9 @@ tools/CMakeFiles/samhita_sim.dir/samhita_sim.cpp.o: \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/optional \
  /root/repo/src/net/network_model.hpp /root/repo/src/net/link_model.hpp \
- /root/repo/src/sim/resource.hpp /root/repo/src/util/stats.hpp \
- /root/repo/src/regc/update_set.hpp /root/repo/src/regc/diff.hpp \
- /root/repo/src/mem/memory_server.hpp \
+ /root/repo/src/sim/resource.hpp /root/repo/src/sim/trace.hpp \
+ /root/repo/src/util/stats.hpp /root/repo/src/regc/update_set.hpp \
+ /root/repo/src/regc/diff.hpp /root/repo/src/mem/memory_server.hpp \
  /root/repo/src/regc/region_tracker.hpp /root/repo/src/util/expect.hpp \
  /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/sim/coop_scheduler.hpp /usr/include/c++/12/chrono \
@@ -245,7 +245,9 @@ tools/CMakeFiles/samhita_sim.dir/samhita_sim.cpp.o: \
  /root/repo/src/core/metrics.hpp /root/repo/src/core/sam_allocator.hpp \
  /root/repo/src/mem/global_address_space.hpp \
  /root/repo/src/mem/directory.hpp /root/repo/src/scl/scl.hpp \
- /root/repo/src/sim/trace.hpp /root/repo/src/util/arg_parser.hpp \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h
+ /root/repo/src/obs/profiler.hpp /root/repo/src/obs/run_report.hpp \
+ /root/repo/src/obs/registry.hpp /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/obs/json.hpp \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/obs/trace_json.hpp /root/repo/src/util/arg_parser.hpp
