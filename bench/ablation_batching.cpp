@@ -1,0 +1,86 @@
+// Ablation: batched, pipelined paging. Sweeps the three knobs this
+// optimization adds — prefetch policy (nextline vs stride), scatter-gather
+// batch size (max_batch_lines), and pipelined flushing — on the strided
+// micro-benchmark (the paper's worst case for adjacent-line prefetch,
+// Figs 5/8) with multiple memory servers so flush pipelining has distinct
+// destinations to overlap.
+//
+// --write-baseline=<path> additionally writes a flat JSON map of
+// {series key -> seconds} consumed by the CI regression gate: a code change
+// that slows the strided sweep by more than 5% vs the checked-in
+// BENCH_baseline.json fails the build. Regenerate the baseline with
+//   ./build/bench/ablation_batching --quick --write-baseline=BENCH_baseline.json
+// when a change is *supposed* to shift the numbers.
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "bench_common.hpp"
+#include "core/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sam;
+  const auto opt = bench::BenchOptions::parse(argc, argv);
+  util::ArgParser args(argc, argv);
+  const std::string baseline_path = args.get_string("write-baseline", "");
+  auto csv = bench::make_csv(opt);
+
+  std::cout << "# ablation_batching: prefetch policy x max_batch_lines x flush_pipeline,"
+               " strided micro-benchmark, 4 memory servers\n";
+  csv->header({"figure", "policy", "max_batch_lines", "flush_pipeline", "compute_seconds",
+               "sync_seconds", "misses", "prefetch_hits", "prefetch_unused",
+               "batched_fetches", "batched_flushes", "overlap_saved_seconds"});
+
+  apps::MicrobenchParams p;
+  p.threads = opt.quick ? 8 : 16;
+  p.N = 5;
+  p.M = opt.quick ? 40 : 100;
+  p.S = 4;
+  p.B = 256;
+  p.alloc = apps::MicrobenchAlloc::kGlobalStrided;
+
+  std::map<std::string, double> baseline;
+
+  for (const core::PrefetchPolicy policy :
+       {core::PrefetchPolicy::kNextLine, core::PrefetchPolicy::kStride}) {
+    for (const unsigned batch : {1u, 2u, 4u, 8u}) {
+      for (const bool pipeline : {false, true}) {
+        core::SamhitaConfig cfg;
+        cfg.memory_servers = 4;
+        cfg.prefetch_policy = policy;
+        cfg.max_batch_lines = batch;
+        cfg.flush_pipeline = pipeline;
+        core::SamhitaRuntime runtime(cfg);
+        const auto r = apps::run_microbench(runtime, p);
+        const core::RunSummary s = core::summarize(runtime);
+        csv->raw_row({"ablation_batching", core::to_string(policy), std::to_string(batch),
+                      pipeline ? "on" : "off", std::to_string(r.mean_compute_seconds),
+                      std::to_string(r.mean_sync_seconds), std::to_string(s.cache_misses),
+                      std::to_string(s.prefetch_hits), std::to_string(s.prefetch_unused),
+                      std::to_string(s.batched_fetches), std::to_string(s.batched_flushes),
+                      std::to_string(s.flush_overlap_saved_seconds)});
+        const std::string key = std::string("strided_") + core::to_string(policy) + "_b" +
+                                std::to_string(batch) + (pipeline ? "_pipe" : "_seq");
+        baseline[key + "_compute_seconds"] = r.mean_compute_seconds;
+        baseline[key + "_sync_seconds"] = r.mean_sync_seconds;
+      }
+    }
+  }
+
+  if (!baseline_path.empty()) {
+    std::ofstream out(baseline_path);
+    SAM_EXPECT(out.is_open(), "cannot open baseline output: " + baseline_path);
+    out << "{\n";
+    bool first = true;
+    for (const auto& [key, value] : baseline) {
+      if (!first) out << ",\n";
+      first = false;
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.9g", value);
+      out << "  \"" << key << "\": " << buf;
+    }
+    out << "\n}\n";
+  }
+  return 0;
+}

@@ -1,3 +1,24 @@
 #include "core/config.hpp"
 
-// Configuration is aggregate-initialized; this TU anchors the module.
+#include "util/expect.hpp"
+
+namespace sam::core {
+
+const char* to_string(PrefetchPolicy p) {
+  switch (p) {
+    case PrefetchPolicy::kNone: return "none";
+    case PrefetchPolicy::kNextLine: return "nextline";
+    case PrefetchPolicy::kStride: return "stride";
+  }
+  return "?";
+}
+
+PrefetchPolicy prefetch_policy_from_string(const std::string& s) {
+  if (s == "none") return PrefetchPolicy::kNone;
+  if (s == "nextline") return PrefetchPolicy::kNextLine;
+  if (s == "stride") return PrefetchPolicy::kStride;
+  SAM_EXPECT(false, "unknown prefetch policy '" + s + "' (want none|nextline|stride)");
+  return PrefetchPolicy::kNextLine;
+}
+
+}  // namespace sam::core

@@ -24,6 +24,16 @@ enum class EvictionPolicy { kDirtyFirst, kLru };
 /// nodes (more NICs available, more cross-node barrier traffic).
 enum class Placement { kBlock, kScatter };
 
+/// Miss-stream prediction driving anticipatory paging.
+/// kNextLine is the paper's policy (request the adjacent line on every
+/// demand miss); kStride detects constant-stride miss streams and issues
+/// multi-line batched prefetches along the stride (depth-throttled by
+/// prefetch accuracy); kNone disables anticipatory paging entirely.
+enum class PrefetchPolicy { kNone, kNextLine, kStride };
+
+const char* to_string(PrefetchPolicy p);
+PrefetchPolicy prefetch_policy_from_string(const std::string& s);
+
 /// CPU cost model shared by both runtimes so compute time is comparable.
 struct ComputeCost {
   double clock_ghz = 2.8;         ///< paper's Penryn/Harpertown Xeons
@@ -60,6 +70,18 @@ struct SamhitaConfig {
   unsigned pages_per_line = 4;       ///< multi-page cache lines (§II)
   std::uint64_t cache_capacity_bytes = 64ull << 20;  ///< per-thread software cache
   bool prefetch_enabled = true;      ///< anticipatory paging of adjacent line
+  /// Prediction policy for anticipatory paging (ignored when
+  /// prefetch_enabled is false). kNextLine reproduces the paper exactly.
+  PrefetchPolicy prefetch_policy = PrefetchPolicy::kNextLine;
+  /// Maximum lines a confirmed-stride prefetch may run ahead of the miss
+  /// stream (kStride only; the accuracy throttle adapts below this cap).
+  unsigned prefetch_depth = 4;
+  /// Maximum lines carried by one scatter-gather fetch/flush RPC. 1 keeps
+  /// the paper's one-RPC-per-line protocol (batching off).
+  unsigned max_batch_lines = 1;
+  /// Overlap release/barrier flushes that target distinct memory servers
+  /// (charge the max of the per-server completion times, not the sum).
+  bool flush_pipeline = false;
   EvictionPolicy eviction = EvictionPolicy::kDirtyFirst;
   Placement placement = Placement::kBlock;
   bool trace_enabled = false;        ///< record protocol events (sim::TraceBuffer)

@@ -26,6 +26,13 @@ struct Metrics {
   std::uint64_t cache_misses = 0;
   std::uint64_t prefetch_issued = 0;
   std::uint64_t prefetch_hits = 0;
+  std::uint64_t prefetch_unused = 0;  ///< prefetched lines evicted before use
+  std::uint64_t batched_fetches = 0;  ///< multi-line scatter-gather fetch RPCs
+  std::uint64_t batched_flushes = 0;  ///< multi-line gathered flush RPCs
+  std::uint64_t batch_segments = 0;   ///< lines carried by those batched RPCs
+  /// Virtual time saved by overlapping flushes to distinct servers
+  /// (sum of per-server RPC durations minus the pipelined critical path).
+  SimDuration flush_overlap_saved_ns = 0;
   std::uint64_t evictions = 0;
   std::uint64_t invalidations = 0;
   std::uint64_t twins_created = 0;

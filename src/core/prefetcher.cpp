@@ -1,0 +1,59 @@
+#include "core/prefetcher.hpp"
+
+#include <algorithm>
+
+#include "util/expect.hpp"
+
+namespace sam::core {
+
+StridePrefetcher::StridePrefetcher(PrefetchPolicy policy, unsigned max_depth)
+    : policy_(policy), max_depth_(std::max(1u, max_depth)), depth_(max_depth_) {}
+
+std::vector<LineId> StridePrefetcher::on_miss(LineId line) {
+  if (policy_ == PrefetchPolicy::kNone) return {};
+  if (policy_ == PrefetchPolicy::kNextLine) return {line + 1};
+
+  // kStride: classic reference-prediction-table entry for one miss stream.
+  if (has_last_) {
+    const std::int64_t delta =
+        static_cast<std::int64_t>(line) - static_cast<std::int64_t>(last_miss_);
+    if (delta != 0 && delta == stride_) {
+      confirmations_ = std::min(confirmations_ + 1, kConfirmations + 1);
+    } else {
+      stride_ = delta;
+      confirmations_ = delta != 0 ? 1 : 0;
+    }
+  }
+  has_last_ = true;
+  last_miss_ = line;
+
+  if (!stride_confirmed()) return {line + 1};  // adjacent-line fallback
+
+  std::vector<LineId> out;
+  out.reserve(depth_);
+  std::int64_t next = static_cast<std::int64_t>(line);
+  for (unsigned d = 0; d < depth_; ++d) {
+    next += stride_;
+    if (next < 0) break;  // backward stream ran off the address space
+    out.push_back(static_cast<LineId>(next));
+  }
+  return out;
+}
+
+void StridePrefetcher::on_prefetch_hit() {
+  ++useful_;
+  if (useful_ % kGrowEvery == 0) depth_ = std::min(max_depth_, depth_ + 1);
+}
+
+void StridePrefetcher::on_unused_evict() {
+  ++unused_;
+  if (unused_ % kDecayEvery == 0) depth_ = std::max(1u, depth_ / 2);
+}
+
+double StridePrefetcher::accuracy() const {
+  const std::uint64_t resolved = useful_ + unused_;
+  return resolved == 0 ? 1.0
+                       : static_cast<double>(useful_) / static_cast<double>(resolved);
+}
+
+}  // namespace sam::core

@@ -19,6 +19,11 @@ RunSummary summarize(const SamhitaRuntime& runtime) {
     s.cache_misses += m.cache_misses;
     s.prefetch_issued += m.prefetch_issued;
     s.prefetch_hits += m.prefetch_hits;
+    s.prefetch_unused += m.prefetch_unused;
+    s.batched_fetches += m.batched_fetches;
+    s.batched_flushes += m.batched_flushes;
+    s.batch_segments += m.batch_segments;
+    s.flush_overlap_saved_seconds += to_seconds(m.flush_overlap_saved_ns);
     s.invalidations += m.invalidations;
     s.evictions += m.evictions;
     s.twins += m.twins_created;
@@ -51,6 +56,15 @@ std::string format_report(const RunSummary& s) {
   line("  paging  %llu prefetches issued, %llu hit before demand",
        static_cast<unsigned long long>(s.prefetch_issued),
        static_cast<unsigned long long>(s.prefetch_hits));
+  // Only emitted when batching/pipelining actually happened, so reports from
+  // the default (per-line protocol) configuration are unchanged.
+  if (s.batched_fetches + s.batched_flushes > 0 || s.flush_overlap_saved_seconds > 0) {
+    line("  batch   %llu batched fetches, %llu batched flushes (%.1f lines/RPC), "
+         "%.1f%% prefetch accuracy, %.3f ms saved by flush overlap",
+         static_cast<unsigned long long>(s.batched_fetches),
+         static_cast<unsigned long long>(s.batched_flushes), s.mean_batch_segments(),
+         s.prefetch_accuracy() * 100.0, s.flush_overlap_saved_seconds * 1e3);
+  }
   line("  regc    %llu twins, %llu diffs flushed, %llu invalidations, %.1f KiB update sets",
        static_cast<unsigned long long>(s.twins),
        static_cast<unsigned long long>(s.diffs_flushed),

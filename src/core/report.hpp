@@ -23,6 +23,11 @@ struct RunSummary {
   std::uint64_t cache_misses = 0;
   std::uint64_t prefetch_issued = 0;
   std::uint64_t prefetch_hits = 0;
+  std::uint64_t prefetch_unused = 0;
+  std::uint64_t batched_fetches = 0;
+  std::uint64_t batched_flushes = 0;
+  std::uint64_t batch_segments = 0;
+  double flush_overlap_saved_seconds = 0;
   std::uint64_t invalidations = 0;
   std::uint64_t evictions = 0;
   std::uint64_t twins = 0;
@@ -36,6 +41,20 @@ struct RunSummary {
   double hit_rate() const {
     const auto total = cache_hits + cache_misses;
     return total == 0 ? 0.0 : static_cast<double>(cache_hits) / static_cast<double>(total);
+  }
+
+  /// Fraction of resolved prefetches (demanded or evicted) that were useful.
+  double prefetch_accuracy() const {
+    const auto resolved = prefetch_hits + prefetch_unused;
+    return resolved == 0 ? 1.0
+                         : static_cast<double>(prefetch_hits) / static_cast<double>(resolved);
+  }
+
+  /// Mean lines per batched RPC (0 when no batched RPCs were issued).
+  double mean_batch_segments() const {
+    const auto batches = batched_fetches + batched_flushes;
+    return batches == 0 ? 0.0
+                        : static_cast<double>(batch_segments) / static_cast<double>(batches);
   }
 };
 

@@ -27,7 +27,10 @@ SamThreadCtx::SamThreadCtx(SamhitaRuntime* rt, mem::ThreadIdx idx, std::uint32_t
       idx_(idx),
       nthreads_(nthreads),
       node_(rt->config().compute_node(idx)),
-      cache_(&rt->config(), idx) {}
+      cache_(&rt->config(), idx),
+      prefetcher_(rt->config().prefetch_enabled ? rt->config().prefetch_policy
+                                                : PrefetchPolicy::kNone,
+                  rt->config().prefetch_depth) {}
 
 void SamThreadCtx::on_thread_start() {
   sim_thread_ = sim::CoopScheduler::current();
@@ -156,17 +159,30 @@ void SamThreadCtx::issue_prefetch(LineId line) {
 
 void SamThreadCtx::evict_for_space(Bucket bucket) {
   while (cache_.resident_lines() + 1 > cache_.capacity_lines()) {
-    PageCache::Line* victim = cache_.pick_victim(
-        [this](const PageCache::Line& l) { return pinned_lines_.count(l.id) != 0; });
-    if (victim == nullptr) return;  // everything pinned; tolerate overflow
+    const SimTime now = clock();
+    PageCache::Line* victim = cache_.pick_victim([this, now](const PageCache::Line& l) {
+      // In-flight prefetches (ready_time in the future) are not evictable:
+      // the fetch is already booked, and evicting the placeholder would
+      // deliver its bytes to nobody.
+      return pinned_lines_.count(l.id) != 0 || l.ready_time > now;
+    });
+    if (victim == nullptr) return;  // everything pinned or in flight; tolerate overflow
+    const LineId vid = victim->id;
+    const bool unused_prefetch = victim->prefetched;
     if (victim->dirty) flush_line(*victim, bucket);
-    const mem::PageId first = cache_.first_page(victim->id);
+    const mem::PageId first = cache_.first_page(vid);
     for (unsigned p = 0; p < rt_->config().pages_per_line; ++p) {
       rt_->directory_.note_evicted(first + p, idx_);
     }
-    cache_.erase(victim->id);
+    cache_.erase(vid);
     ++metrics_.evictions;
-    trace(sim::TraceKind::kEvict, victim->id, 0);
+    if (unused_prefetch) {
+      // Evicted without ever being demanded: the fetch was wasted. Feed the
+      // prefetcher's accuracy throttle so the lookahead backs off.
+      ++metrics_.prefetch_unused;
+      prefetcher_.on_unused_evict();
+    }
+    trace(sim::TraceKind::kEvict, vid, unused_prefetch ? 1 : 0);
     charge(rt_->config().invalidate_per_line, bucket);
   }
 }
@@ -184,6 +200,7 @@ PageCache::Line& SamThreadCtx::ensure_line(LineId line, Bucket bucket) {
     if (hit->prefetched) {
       hit->prefetched = false;
       ++metrics_.prefetch_hits;
+      prefetcher_.on_prefetch_hit();
       trace(sim::TraceKind::kPrefetchHit, line, 0);
     }
     ++metrics_.cache_hits;
@@ -201,14 +218,40 @@ PageCache::Line& SamThreadCtx::ensure_line(LineId line, Bucket bucket) {
   mem::MemoryServer& server = rt_->home_server(first);
   const std::size_t bytes = cfg.line_bytes();
 
+  // Anticipatory paging (paper §II): feed the miss-stream predictor. When
+  // scatter-gather batching is on, candidates homed on the demand line's
+  // server ride the demand RPC as extra segments; the rest go out as
+  // asynchronous batches after the stall.
+  std::vector<LineId> candidates;
+  if (cfg.prefetch_enabled) candidates = prefetcher_.on_miss(line);
+  std::vector<LineId> folded;
+  std::vector<LineId> deferred;
+  if (cfg.max_batch_lines > 1) {
+    split_prefetch_candidates(line, server, candidates, folded, deferred);
+  } else {
+    deferred = std::move(candidates);
+  }
+
   rt_->sched_.yield_current();  // min-clock discipline before booking
   const SimTime t0 = clock();
-  const SimTime at_server = rt_->scl_.send(t0, node_, server.node(), kCtrl);
+  const std::size_t nseg = 1 + folded.size();
+  const std::size_t request_bytes =
+      nseg == 1 ? kCtrl : kCtrl + nseg * scl::kSegmentDescBytes;
+  const SimTime at_server = rt_->scl_.send(t0, node_, server.node(), request_bytes);
   // If other threads hold unflushed diffs for this line, the server pulls
   // them first (lazy diff collection, TreadMarks-style).
   const SimTime current = lazy_pull(line, at_server);
-  const SimTime served = server.service().serve(current, server.service_time(bytes));
-  const SimTime resp = rt_->scl_.send(served, server.node(), node_, bytes + kCtrl);
+  const std::size_t total = bytes * nseg;
+  const SimTime served =
+      nseg == 1 ? server.service().serve(current, server.service_time(bytes))
+                : server.serve_batch(current, nseg, total);
+  const SimTime resp = rt_->scl_.send(served, server.node(), node_, total + kCtrl);
+  if (nseg > 1) {
+    ++metrics_.batched_fetches;
+    metrics_.batch_segments += nseg;
+    trace(sim::TraceKind::kBatchFetch, line, nseg);
+    trace_span(t0, resp, sim::SpanCat::kBatchRpc, line);
+  }
   std::vector<std::byte> data(bytes);
   server.read_bytes(cache_.line_base(line), data.data(), bytes);
   PageCache::Line& installed = cache_.install(line, std::move(data), resp, /*prefetched=*/false);
@@ -216,17 +259,143 @@ PageCache::Line& SamThreadCtx::ensure_line(LineId line, Bucket bucket) {
     rt_->directory_.note_cached(first + p, idx_);
   }
   metrics_.bytes_fetched += bytes;
+  install_prefetched(server, folded, resp);
   sim_thread_->advance_to(resp);
   if (cfg.collect_latency_histograms) {
     metrics_.miss_latency.add(static_cast<double>(clock() - t0));
   }
   account_since(t0, bucket);
 
-  // Anticipatory paging: also request the adjacent line (paper §II).
-  issue_prefetch(line + 1);
+  issue_prefetch_batches(deferred);
 
   cache_.touch(installed);
   return installed;
+}
+
+void SamThreadCtx::split_prefetch_candidates(LineId demand, const mem::MemoryServer& server,
+                                             const std::vector<LineId>& candidates,
+                                             std::vector<LineId>& folded,
+                                             std::vector<LineId>& deferred) {
+  const auto& cfg = rt_->config();
+  // Slots left once the demand line itself is installed; folded lines are
+  // never worth an eviction (they are still just guesses).
+  std::size_t slots = cache_.capacity_lines() > cache_.resident_lines() + 1
+                          ? cache_.capacity_lines() - cache_.resident_lines() - 1
+                          : 0;
+  auto chosen = [&](LineId l) {
+    return std::find(folded.begin(), folded.end(), l) != folded.end() ||
+           std::find(deferred.begin(), deferred.end(), l) != deferred.end();
+  };
+  for (LineId l : candidates) {
+    if (l == demand || chosen(l)) continue;
+    if (cache_.contains(l)) continue;
+    const mem::PageId first = cache_.first_page(l);
+    if (!rt_->gas_.is_assigned(first)) continue;
+    if (has_remote_dirty_holder(l)) continue;  // demand path must pull diffs
+    const bool same_server = &rt_->home_server(first) == &server;
+    if (same_server && folded.size() + 1 < cfg.max_batch_lines && slots > 0) {
+      folded.push_back(l);
+      --slots;
+    } else {
+      deferred.push_back(l);
+    }
+  }
+}
+
+void SamThreadCtx::install_prefetched(mem::MemoryServer& server,
+                                      const std::vector<LineId>& lines, SimTime ready) {
+  const auto& cfg = rt_->config();
+  const std::size_t bytes = cfg.line_bytes();
+  for (LineId l : lines) {
+    std::vector<std::byte> data(bytes);
+    server.read_bytes(cache_.line_base(l), data.data(), bytes);
+    cache_.install(l, std::move(data), ready, /*prefetched=*/true);
+    const mem::PageId first = cache_.first_page(l);
+    for (unsigned p = 0; p < cfg.pages_per_line; ++p) {
+      rt_->directory_.note_cached(first + p, idx_);
+    }
+    ++metrics_.prefetch_issued;
+    metrics_.bytes_fetched += bytes;
+    trace(sim::TraceKind::kPrefetchIssue, l, bytes);
+  }
+}
+
+void SamThreadCtx::issue_prefetch_batches(const std::vector<LineId>& candidates) {
+  if (candidates.empty()) return;
+  const auto& cfg = rt_->config();
+  if (cfg.max_batch_lines <= 1) {
+    // Paper protocol: one asynchronous RPC per predicted line.
+    for (LineId l : candidates) issue_prefetch(l);
+    return;
+  }
+  if (!cfg.prefetch_enabled) return;
+  // Filter (same guards as issue_prefetch), then group per home server in
+  // first-appearance order and chunk each group at max_batch_lines.
+  std::size_t slots = cache_.capacity_lines() > cache_.resident_lines()
+                          ? cache_.capacity_lines() - cache_.resident_lines()
+                          : 0;
+  std::vector<std::pair<mem::MemoryServer*, std::vector<LineId>>> groups;
+  std::size_t accepted = 0;
+  for (LineId l : candidates) {
+    if (accepted >= slots) break;  // don't evict for a guess
+    if (cache_.contains(l)) continue;
+    const mem::PageId first = cache_.first_page(l);
+    if (!rt_->gas_.is_assigned(first)) continue;
+    if (has_remote_dirty_holder(l)) continue;
+    mem::MemoryServer* server = &rt_->home_server(first);
+    auto it = std::find_if(groups.begin(), groups.end(),
+                           [&](const auto& g) { return g.first == server; });
+    if (it == groups.end()) {
+      groups.push_back({server, {l}});
+    } else {
+      if (std::find(it->second.begin(), it->second.end(), l) != it->second.end()) continue;
+      it->second.push_back(l);
+    }
+    ++accepted;
+  }
+  for (auto& [server, lines] : groups) {
+    for (std::size_t i = 0; i < lines.size(); i += cfg.max_batch_lines) {
+      const std::size_t n = std::min<std::size_t>(cfg.max_batch_lines, lines.size() - i);
+      issue_prefetch_rpc(*server, std::span<const LineId>(lines.data() + i, n));
+    }
+  }
+}
+
+void SamThreadCtx::issue_prefetch_rpc(mem::MemoryServer& server,
+                                      std::span<const LineId> lines) {
+  const auto& cfg = rt_->config();
+  const std::size_t bytes = cfg.line_bytes();
+  const std::size_t total = bytes * lines.size();
+  // Asynchronous request: transport + service booked now, the thread does
+  // not wait. Content is materialized at issue time (see DESIGN.md §8).
+  SimTime resp;
+  if (lines.size() == 1) {
+    resp = rt_->scl_.rpc(clock(), node_, server.node(), kCtrl, bytes + kCtrl,
+                         server.service(), server.service_time(bytes));
+  } else {
+    const SimTime t0 = clock();
+    const SimTime at_server =
+        rt_->scl_.send(t0, node_, server.node(),
+                       kCtrl + lines.size() * scl::kSegmentDescBytes);
+    const SimTime served = server.serve_batch(at_server, lines.size(), total);
+    resp = rt_->scl_.send(served, server.node(), node_, total + kCtrl);
+    ++metrics_.batched_fetches;
+    metrics_.batch_segments += lines.size();
+    trace(sim::TraceKind::kBatchFetch, lines.front(), lines.size());
+    trace_span(t0, resp, sim::SpanCat::kBatchRpc, lines.front());
+  }
+  for (LineId l : lines) {
+    std::vector<std::byte> data(bytes);
+    server.read_bytes(cache_.line_base(l), data.data(), bytes);
+    cache_.install(l, std::move(data), resp, /*prefetched=*/true);
+    const mem::PageId first = cache_.first_page(l);
+    for (unsigned p = 0; p < cfg.pages_per_line; ++p) {
+      rt_->directory_.note_cached(first + p, idx_);
+    }
+    ++metrics_.prefetch_issued;
+    metrics_.bytes_fetched += bytes;
+    trace(sim::TraceKind::kPrefetchIssue, l, bytes);
+  }
 }
 
 std::span<std::byte> SamThreadCtx::view_common(rt::Addr addr, std::size_t bytes,
@@ -320,21 +489,144 @@ void SamThreadCtx::flush_line(PageCache::Line& line, Bucket bucket) {
   cache_.clean(line);
 }
 
+void SamThreadCtx::flush_batched(const std::vector<PageCache::Line*>& lines, Bucket bucket) {
+  const auto& cfg = rt_->config();
+  struct Pending {
+    PageCache::Line* line;
+    regc::Diff diff;
+    std::size_t wire;
+    mem::MemoryServer* server;
+  };
+  std::vector<Pending> pend;
+  pend.reserve(lines.size());
+  for (PageCache::Line* line : lines) {
+    if (!line->dirty) continue;
+    charge(cfg.diff_scan_time(), bucket);
+    regc::Diff diff = regc::Diff::between(cache_.line_base(line->id), line->twin, line->data);
+    if (diff.empty()) {
+      for (mem::PageId page : cache_.dirty_pages(*line)) {
+        rt_->directory_.clear_dirty(page, idx_);
+      }
+      cache_.clean(*line);
+      continue;
+    }
+    const std::size_t wire = diff.wire_bytes();
+    pend.push_back(Pending{line, std::move(diff), wire,
+                           &rt_->home_server(cache_.first_page(line->id))});
+  }
+  if (pend.empty()) return;
+
+  rt_->sched_.yield_current();
+  // During the yield another thread's demand fetch can lazily pull — and
+  // thereby clean — any of these lines; those diffs already reached the
+  // servers, so shipping them again would double-publish.
+  std::erase_if(pend, [](const Pending& p) { return !p.line->dirty; });
+  if (pend.empty()) return;
+
+  const SimTime t0 = clock();
+  // Group per home server (dirty-walk order, deterministic), chunked at
+  // max_batch_lines diffs per gathered RPC.
+  std::vector<std::vector<Pending*>> chunks;
+  {
+    std::vector<std::pair<mem::MemoryServer*, std::vector<Pending*>>> by_server;
+    for (Pending& p : pend) {
+      auto it = std::find_if(by_server.begin(), by_server.end(),
+                             [&](const auto& g) { return g.first == p.server; });
+      if (it == by_server.end()) {
+        by_server.push_back({p.server, {&p}});
+      } else {
+        it->second.push_back(&p);
+      }
+    }
+    const std::size_t chunk_max = std::max<std::size_t>(1, cfg.max_batch_lines);
+    for (auto& [server, list] : by_server) {
+      for (std::size_t i = 0; i < list.size(); i += chunk_max) {
+        const std::size_t n = std::min(chunk_max, list.size() - i);
+        chunks.emplace_back(list.begin() + static_cast<std::ptrdiff_t>(i),
+                            list.begin() + static_cast<std::ptrdiff_t>(i + n));
+      }
+    }
+  }
+
+  // Pipelined: every chunk posts at t0 (the sender's tx port serializes the
+  // wire; service + acks overlap across servers) and the thread stalls for
+  // the slowest response only. Sequential: each chunk posts when the
+  // previous response lands, as the per-line protocol would.
+  SimTime cursor = t0;
+  SimTime last = t0;
+  SimDuration durations_sum = 0;
+  for (const std::vector<Pending*>& chunk : chunks) {
+    mem::MemoryServer& server = *chunk.front()->server;
+    std::size_t wire = 0;
+    for (const Pending* p : chunk) wire += p->wire;
+    const std::size_t nseg = chunk.size();
+    const std::size_t request_bytes =
+        nseg == 1 ? wire + kCtrl : wire + kCtrl + nseg * scl::kSegmentDescBytes;
+    const SimTime start = cfg.flush_pipeline ? t0 : cursor;
+    const SimTime at_server = rt_->scl_.send(start, node_, server.node(), request_bytes);
+    const SimTime served = nseg == 1
+                               ? server.service().serve(at_server, server.service_time(wire))
+                               : server.serve_batch(at_server, nseg, wire);
+    const SimTime done = rt_->scl_.send(served, server.node(), node_, kCtrl);
+    cursor = done;
+    last = std::max(last, done);
+    durations_sum += done - start;
+    if (nseg > 1) {
+      ++metrics_.batched_flushes;
+      metrics_.batch_segments += nseg;
+      trace(sim::TraceKind::kBatchFlush, chunk.front()->line->id, nseg);
+    }
+    trace_span(start, done, sim::SpanCat::kBatchRpc, chunk.front()->line->id);
+    for (const Pending* p : chunk) {
+      rt_->apply_diff_global(p->diff);
+      for (mem::PageId page : cache_.dirty_pages(*p->line)) {
+        rt_->directory_.clear_dirty(page, idx_);
+      }
+      cache_.clean(*p->line);
+      metrics_.bytes_flushed += p->wire;
+      ++metrics_.diffs_flushed;
+      trace(sim::TraceKind::kFlush, p->line->id, p->wire);
+    }
+  }
+  if (cfg.flush_pipeline && chunks.size() > 1) {
+    metrics_.flush_overlap_saved_ns += durations_sum - (last - t0);
+  }
+  sim_thread_->advance_to(last);
+  account_since(t0, bucket);
+}
+
 void SamThreadCtx::flush_all_dirty(Bucket bucket) {
+  const auto& cfg = rt_->config();
+  if (cfg.max_batch_lines > 1 || cfg.flush_pipeline) {
+    flush_batched(cache_.dirty_lines(), bucket);
+    return;
+  }
   for (PageCache::Line* line : cache_.dirty_lines()) {
     flush_line(*line, bucket);
   }
 }
 
 void SamThreadCtx::flush_shared_dirty(Bucket bucket) {
+  const auto& cfg = rt_->config();
   const mem::ThreadMask me = mem::thread_bit(idx_);
-  for (PageCache::Line* line : cache_.dirty_lines()) {
+  auto shared_with_others = [&](const PageCache::Line& line) {
     mem::ThreadMask others = 0;
-    const mem::PageId first = cache_.first_page(line->id);
-    for (unsigned p = 0; p < rt_->config().pages_per_line; ++p) {
+    const mem::PageId first = cache_.first_page(line.id);
+    for (unsigned p = 0; p < cfg.pages_per_line; ++p) {
       others |= rt_->directory_.copyset(first + p);
     }
-    if ((others & ~me) != 0) flush_line(*line, bucket);
+    return (others & ~me) != 0;
+  };
+  if (cfg.max_batch_lines > 1 || cfg.flush_pipeline) {
+    std::vector<PageCache::Line*> shared;
+    for (PageCache::Line* line : cache_.dirty_lines()) {
+      if (shared_with_others(*line)) shared.push_back(line);
+    }
+    flush_batched(shared, bucket);
+    return;
+  }
+  for (PageCache::Line* line : cache_.dirty_lines()) {
+    if (shared_with_others(*line)) flush_line(*line, bucket);
   }
 }
 

@@ -15,6 +15,7 @@
 
 #include "core/metrics.hpp"
 #include "core/page_cache.hpp"
+#include "core/prefetcher.hpp"
 #include "net/network_model.hpp"
 #include "regc/diff.hpp"
 #include "regc/region_tracker.hpp"
@@ -23,6 +24,10 @@
 #include "sim/coop_scheduler.hpp"
 #include "sim/resource.hpp"
 #include "sim/trace.hpp"
+
+namespace sam::mem {
+class MemoryServer;
+}
 
 namespace sam::core {
 
@@ -95,14 +100,35 @@ class SamThreadCtx final : public rt::ThreadCtx {
   sim::Resource& sync_service();
   SimDuration sync_service_time() const;
 
-  /// Makes [line] resident (demand fetch + adjacent-line prefetch) and
+  /// Makes [line] resident (demand fetch + anticipatory paging) and
   /// charges the stall to `bucket`. Returns the resident line.
   PageCache::Line& ensure_line(LineId line, Bucket bucket);
+  /// Single-line asynchronous prefetch RPC (the paper's per-line protocol).
   void issue_prefetch(LineId line);
+  /// Partitions the prefetcher's candidates for a demand miss homed on
+  /// `server`: lines on the same server that fit the batch ride the demand
+  /// RPC (`folded`); everything else is issued asynchronously afterwards
+  /// (`deferred`). Only called when config.max_batch_lines > 1.
+  void split_prefetch_candidates(LineId demand, const mem::MemoryServer& server,
+                                 const std::vector<LineId>& candidates,
+                                 std::vector<LineId>& folded,
+                                 std::vector<LineId>& deferred);
+  /// Installs lines that rode a demand fetch as extra gathered segments.
+  void install_prefetched(mem::MemoryServer& server, const std::vector<LineId>& lines,
+                          SimTime ready);
+  /// Issues asynchronous prefetches for `candidates`: per-line RPCs when
+  /// batching is off, per-server scatter-gather batches otherwise.
+  void issue_prefetch_batches(const std::vector<LineId>& candidates);
+  /// One asynchronous fetch RPC for `lines`, all homed on `server`.
+  void issue_prefetch_rpc(mem::MemoryServer& server, std::span<const LineId> lines);
   void evict_for_space(Bucket bucket);
 
   /// Diffs a dirty line against its twin, ships it home, cleans the line.
   void flush_line(PageCache::Line& line, Bucket bucket);
+  /// Ships `lines` home with per-server gathered diff RPCs (chunked at
+  /// config.max_batch_lines); under config.flush_pipeline, RPCs to distinct
+  /// servers overlap and the thread stalls for the slowest one only.
+  void flush_batched(const std::vector<PageCache::Line*>& lines, Bucket bucket);
   void flush_all_dirty(Bucket bucket);
   /// Barrier flush policy: flush only dirty lines some other thread
   /// currently caches ("move only the minimum amount of data required",
@@ -151,6 +177,7 @@ class SamThreadCtx final : public rt::ThreadCtx {
   net::NodeId node_;
   sim::SimThread* sim_thread_ = nullptr;
   PageCache cache_;
+  StridePrefetcher prefetcher_;
   Metrics metrics_;
   regc::RegionTracker regions_;
   regc::StoreLog store_log_;

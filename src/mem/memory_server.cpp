@@ -71,4 +71,19 @@ SimDuration MemoryServer::service_time(std::size_t bytes) const {
          from_seconds(static_cast<double>(bytes) / params_.copy_bandwidth_bytes_per_sec);
 }
 
+SimDuration MemoryServer::batch_service_time(std::size_t segments,
+                                             std::size_t bytes) const {
+  SAM_EXPECT(segments >= 1, "batch must carry at least one segment");
+  return params_.request_overhead +
+         static_cast<SimDuration>(segments - 1) * params_.segment_overhead +
+         from_seconds(static_cast<double>(bytes) / params_.copy_bandwidth_bytes_per_sec);
+}
+
+SimTime MemoryServer::serve_batch(SimTime arrival, std::size_t segments,
+                                  std::size_t bytes) {
+  ++counters_.batch_requests;
+  counters_.batch_segments += segments;
+  return service_.serve(arrival, batch_service_time(segments, bytes));
+}
+
 }  // namespace sam::mem

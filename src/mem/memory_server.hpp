@@ -23,6 +23,9 @@ class MemoryServer {
  public:
   struct Params {
     SimDuration request_overhead = 300;      ///< request decode + page lookup
+    /// Per-extra-segment cost inside one scatter-gather request (page table
+    /// lookup + SGE walk); the first segment is covered by request_overhead.
+    SimDuration segment_overhead = 120;
     double copy_bandwidth_bytes_per_sec = 8.0e9;  ///< host memcpy bandwidth
   };
 
@@ -32,6 +35,8 @@ class MemoryServer {
     std::uint64_t write_requests = 0;
     std::uint64_t bytes_read = 0;
     std::uint64_t bytes_written = 0;
+    std::uint64_t batch_requests = 0;   ///< multi-segment fetch/flush requests
+    std::uint64_t batch_segments = 0;   ///< segments carried by those requests
   };
 
   MemoryServer(ServerIdx idx, net::NodeId node) : MemoryServer(idx, node, Params{}) {}
@@ -60,6 +65,16 @@ class MemoryServer {
 
   /// Service time to handle a request moving `bytes` of payload.
   SimDuration service_time(std::size_t bytes) const;
+
+  /// Service time for one scatter-gather request of `segments` payload
+  /// segments totalling `bytes`: one request decode plus a per-extra-segment
+  /// lookup, against N decodes for N single-segment requests.
+  SimDuration batch_service_time(std::size_t segments, std::size_t bytes) const;
+
+  /// Books one multi-segment fetch/flush request on the service loop and
+  /// accounts it; returns the service completion time. The caller moves the
+  /// actual bytes through read_bytes/write_bytes (functional side).
+  SimTime serve_batch(SimTime arrival, std::size_t segments, std::size_t bytes);
 
   std::size_t resident_pages() const { return frames_.size(); }
 

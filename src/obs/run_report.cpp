@@ -22,6 +22,12 @@ void collect_metrics_totals(const core::SamhitaRuntime& rt, Registry& reg) {
     reg.add_counter("cache.invalidations", m.invalidations);
     reg.add_counter("prefetch.issued", m.prefetch_issued);
     reg.add_counter("prefetch.hits", m.prefetch_hits);
+    reg.add_counter("prefetch.unused", m.prefetch_unused);
+    reg.add_counter("batch.fetches", m.batched_fetches);
+    reg.add_counter("batch.flushes", m.batched_flushes);
+    reg.add_counter("batch.segments", m.batch_segments);
+    reg.add_counter("flush.overlap_saved_ns",
+                    static_cast<std::uint64_t>(m.flush_overlap_saved_ns));
     reg.add_counter("regc.twins_created", m.twins_created);
     reg.add_counter("regc.diffs_flushed", m.diffs_flushed);
     reg.add_counter("regc.update_set_bytes", m.update_set_bytes);
@@ -45,6 +51,8 @@ void collect_platform(const core::SamhitaRuntime& rt, Registry& reg) {
     reg.set_counter(prefix + "write_requests", c.write_requests);
     reg.set_counter(prefix + "bytes_read", c.bytes_read);
     reg.set_counter(prefix + "bytes_written", c.bytes_written);
+    reg.set_counter(prefix + "batch_requests", c.batch_requests);
+    reg.set_counter(prefix + "batch_segments", c.batch_segments);
     const sim::Resource& svc = servers[i].service();
     reg.set_counter(prefix + "service_requests", svc.request_count());
     reg.set_gauge(prefix + "busy_seconds", to_seconds(svc.busy_time()));
@@ -93,6 +101,10 @@ void write_config(JsonWriter& w, const core::SamhitaConfig& cfg) {
   w.kv("line_bytes", static_cast<std::uint64_t>(cfg.line_bytes()));
   w.kv("cache_capacity_bytes", cfg.cache_capacity_bytes);
   w.kv("prefetch_enabled", cfg.prefetch_enabled);
+  w.kv("prefetch_policy", core::to_string(cfg.prefetch_policy));
+  w.kv("prefetch_depth", cfg.prefetch_depth);
+  w.kv("max_batch_lines", cfg.max_batch_lines);
+  w.kv("flush_pipeline", cfg.flush_pipeline);
   w.kv("placement", cfg.placement == core::Placement::kBlock ? "block" : "scatter");
   w.kv("finegrain_updates", cfg.finegrain_updates);
   w.kv("local_sync", cfg.local_sync);
@@ -115,6 +127,12 @@ void write_summary(JsonWriter& w, const core::RunSummary& s) {
   w.kv("hit_rate", s.hit_rate());
   w.kv("prefetch_issued", s.prefetch_issued);
   w.kv("prefetch_hits", s.prefetch_hits);
+  w.kv("prefetch_unused", s.prefetch_unused);
+  w.kv("prefetch_accuracy", s.prefetch_accuracy());
+  w.kv("batched_fetches", s.batched_fetches);
+  w.kv("batched_flushes", s.batched_flushes);
+  w.kv("batch_segments", s.batch_segments);
+  w.kv("flush_overlap_saved_seconds", s.flush_overlap_saved_seconds);
   w.kv("invalidations", s.invalidations);
   w.kv("evictions", s.evictions);
   w.kv("twins", s.twins);
@@ -161,6 +179,8 @@ void write_servers(JsonWriter& w, const core::SamhitaRuntime& rt) {
     w.kv("write_requests", c.write_requests);
     w.kv("bytes_read", c.bytes_read);
     w.kv("bytes_written", c.bytes_written);
+    w.kv("batch_requests", c.batch_requests);
+    w.kv("batch_segments", c.batch_segments);
     w.kv("service_requests", svc.request_count());
     w.kv("busy_seconds", to_seconds(svc.busy_time()));
     w.kv("mean_wait_seconds", svc.mean_wait_seconds());

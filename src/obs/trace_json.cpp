@@ -29,6 +29,7 @@ TrackRef track_of(const sim::SpanEvent& s) {
     case sim::SpanCat::kLockWait:
     case sim::SpanCat::kLockHeld:
     case sim::SpanCat::kBarrierWait:
+    case sim::SpanCat::kBatchRpc:
       return {kPidCompute, s.track};
     case sim::SpanCat::kManager:
       return {kPidServices, 0};

@@ -1,5 +1,7 @@
 #include "scl/scl.hpp"
 
+#include <algorithm>
+
 #include "util/expect.hpp"
 
 namespace sam::scl {
@@ -33,6 +35,83 @@ SimTime Scl::rpc(SimTime t, net::NodeId src, net::NodeId dst, std::size_t reques
   const SimTime request_arrival = net_->deliver(t, src, dst, request_bytes);
   const SimTime served = server.serve(request_arrival, service);
   return net_->deliver(served, dst, src, response_bytes);
+}
+
+namespace {
+
+/// Coalesces a scatter-gather list into one (node, total payload, segment
+/// count) entry per distinct peer, preserving first-appearance order so the
+/// resulting message sequence is deterministic.
+struct PeerBatch {
+  net::NodeId node;
+  std::size_t bytes;
+  std::size_t segments;
+};
+
+std::vector<PeerBatch> coalesce_by_peer(std::span<const Segment> segs) {
+  std::vector<PeerBatch> out;
+  for (const Segment& s : segs) {
+    PeerBatch* found = nullptr;
+    for (PeerBatch& b : out) {
+      if (b.node == s.node) {
+        found = &b;
+        break;
+      }
+    }
+    if (found == nullptr) {
+      out.push_back(PeerBatch{s.node, s.bytes, 1});
+    } else {
+      found->bytes += s.bytes;
+      ++found->segments;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+SimTime Scl::rdma_read_v(SimTime t, net::NodeId src, std::span<const Segment> segs) {
+  SAM_EXPECT(!segs.empty(), "empty scatter-gather list");
+  // One work request per peer: a single control message carries every
+  // segment descriptor for that peer, then the peer HCA gathers the
+  // payloads into one response stream. Work requests to distinct peers are
+  // posted back-to-back and overlap on the wire.
+  SimTime done = t;
+  for (const PeerBatch& b : coalesce_by_peer(segs)) {
+    const SimTime request_at_peer =
+        net_->deliver(t, src, b.node, kCtrlBytes + b.segments * kSegmentDescBytes);
+    done = std::max(done, net_->deliver(request_at_peer, b.node, src, b.bytes));
+  }
+  return done;
+}
+
+Scl::WriteResult Scl::rdma_write_v(SimTime t, net::NodeId src,
+                                   std::span<const Segment> segs) {
+  SAM_EXPECT(!segs.empty(), "empty scatter-gather list");
+  WriteResult r{t, t};
+  for (const PeerBatch& b : coalesce_by_peer(segs)) {
+    const SimTime visible =
+        net_->deliver(t, src, b.node, b.bytes + b.segments * kSegmentDescBytes);
+    const SimTime acked = net_->deliver(visible, b.node, src, kCtrlBytes);
+    r.remote_visible = std::max(r.remote_visible, visible);
+    r.local_complete = std::max(r.local_complete, acked);
+  }
+  return r;
+}
+
+std::vector<SimTime> Scl::rpc_v(SimTime t, net::NodeId src,
+                                std::span<const RpcRequest> reqs) {
+  std::vector<SimTime> done;
+  done.reserve(reqs.size());
+  for (const RpcRequest& r : reqs) {
+    SAM_EXPECT(r.server != nullptr, "rpc_v request without a server resource");
+    // All requests are posted at `t`: they queue on src's send port inside
+    // deliver(), but the remote service windows and responses overlap —
+    // that is the pipelining win over sequential rpc() calls.
+    done.push_back(rpc(t, src, r.dst, r.request_bytes, r.response_bytes, *r.server,
+                       r.service));
+  }
+  return done;
 }
 
 }  // namespace sam::scl

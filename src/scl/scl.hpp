@@ -11,6 +11,8 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
+#include <vector>
 
 #include "net/network_model.hpp"
 #include "sim/resource.hpp"
@@ -20,6 +22,26 @@ namespace sam::scl {
 
 /// Size of a control/ack message (header-only verbs work request).
 constexpr std::size_t kCtrlBytes = 64;
+
+/// Wire size of one segment descriptor inside a scatter-gather work request
+/// (remote address + length + rkey, as in an IB SGE).
+constexpr std::size_t kSegmentDescBytes = 16;
+
+/// One element of a scatter-gather list: `bytes` of payload residing on
+/// (or destined for) `node`.
+struct Segment {
+  net::NodeId node = 0;
+  std::size_t bytes = 0;
+};
+
+/// One two-sided request of a batched RPC fan-out (see Scl::rpc_v).
+struct RpcRequest {
+  net::NodeId dst = 0;
+  std::size_t request_bytes = 0;
+  std::size_t response_bytes = 0;
+  sim::Resource* server = nullptr;
+  SimDuration service = 0;
+};
 
 class Scl {
  public:
@@ -45,6 +67,21 @@ class Scl {
   /// Returns the response arrival time at `src`.
   SimTime rpc(SimTime t, net::NodeId src, net::NodeId dst, std::size_t request_bytes,
               std::size_t response_bytes, sim::Resource& server, SimDuration service);
+
+  /// Scatter-gather read: one work request per distinct peer in `segs`
+  /// carrying all of that peer's segment descriptors; the peer HCA streams
+  /// one gathered payload back. Segments to distinct peers overlap (they
+  /// contend only on src's ports); returns the time the last payload lands.
+  SimTime rdma_read_v(SimTime t, net::NodeId src, std::span<const Segment> segs);
+
+  /// Scatter-gather write: one gathered message per distinct peer.
+  /// local_complete / remote_visible are the max over all peers.
+  WriteResult rdma_write_v(SimTime t, net::NodeId src, std::span<const Segment> segs);
+
+  /// Pipelined RPC fan-out: every request is posted at time `t` (they
+  /// serialize on src's send port but their service windows and responses
+  /// overlap). Returns the per-request response arrival times, same order.
+  std::vector<SimTime> rpc_v(SimTime t, net::NodeId src, std::span<const RpcRequest> reqs);
 
   net::NetworkModel& network() { return *net_; }
 

@@ -23,6 +23,8 @@ const char* to_string(TraceKind kind) {
     case TraceKind::kBarrierRelease: return "barrier_release";
     case TraceKind::kUpdateApply: return "update_apply";
     case TraceKind::kAlloc: return "alloc";
+    case TraceKind::kBatchFetch: return "batch_fetch";
+    case TraceKind::kBatchFlush: return "batch_flush";
   }
   return "?";
 }
@@ -35,6 +37,7 @@ const char* to_string(SpanCat cat) {
     case SpanCat::kServer: return "server_service";
     case SpanCat::kManager: return "manager_service";
     case SpanCat::kLink: return "link_busy";
+    case SpanCat::kBatchRpc: return "batch_rpc";
   }
   return "?";
 }

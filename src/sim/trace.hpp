@@ -31,6 +31,8 @@ enum class TraceKind : std::uint8_t {
   kBarrierRelease,
   kUpdateApply,
   kAlloc,
+  kBatchFetch,  ///< object = first line id, detail = segments in the batch
+  kBatchFlush,  ///< object = first line id, detail = segments in the batch
 };
 
 const char* to_string(TraceKind kind);
@@ -54,6 +56,8 @@ enum class SpanCat : std::uint8_t {
   kServer,       ///< track = memory-server index: one request's service window
   kManager,      ///< track = 0: one manager/sync-service request window
   kLink,         ///< track = link index (NetworkModel::link_stats order)
+  kBatchRpc,     ///< track = thread, object = first line id: one batched
+                 ///< fetch/flush RPC from post to response arrival
 };
 
 const char* to_string(SpanCat cat);

@@ -151,6 +151,35 @@ TEST(PageCache, PinnedLinesSkipped) {
   EXPECT_EQ(none, nullptr);
 }
 
+TEST(PageCache, PrefetchedFlagAndReadyTimeStored) {
+  SamhitaConfig cfg = small_config();
+  PageCache c(&cfg, 0);
+  auto& demand = c.install(0, line_data(cfg), 100, false);
+  auto& ahead = c.install(1, line_data(cfg), 900, true);
+  EXPECT_FALSE(demand.prefetched);
+  EXPECT_TRUE(ahead.prefetched);
+  EXPECT_EQ(ahead.ready_time, 900);
+}
+
+TEST(PageCache, VictimPredicateCanSkipInFlightLines) {
+  // evict_for_space must never evict a line whose batched fetch is still in
+  // flight (ready_time in the future); model that with the predicate hook.
+  SamhitaConfig cfg = small_config();
+  PageCache c(&cfg, 0);
+  c.install(0, line_data(cfg), 500, true);  // in flight until t=500
+  c.install(1, line_data(cfg), 0, false);
+  const SimTime now = 100;
+  auto* victim = c.pick_victim(
+      [now](const PageCache::Line& l) { return l.ready_time > now; });
+  ASSERT_NE(victim, nullptr);
+  EXPECT_EQ(victim->id, 1u);
+  const SimTime later = 1000;
+  auto* oldest = c.pick_victim(
+      [later](const PageCache::Line& l) { return l.ready_time > later; });
+  ASSERT_NE(oldest, nullptr);
+  EXPECT_EQ(oldest->id, 0u);  // arrived: eligible again, and LRU-oldest
+}
+
 TEST(PageCache, ResidentIdsSorted) {
   SamhitaConfig cfg = small_config();
   PageCache c(&cfg, 0);

@@ -1,0 +1,201 @@
+// Unit tests for the stride prefetcher plus integration tests for batched
+// fetches, pipelined flushes, and the eviction accuracy feedback.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "apps/microbench.hpp"
+#include "core/prefetcher.hpp"
+#include "core/report.hpp"
+#include "core/samhita_runtime.hpp"
+
+namespace sam::core {
+namespace {
+
+TEST(StridePrefetcher, NonePolicyPredictsNothing) {
+  StridePrefetcher p(PrefetchPolicy::kNone, 4);
+  EXPECT_TRUE(p.on_miss(10).empty());
+  EXPECT_TRUE(p.on_miss(11).empty());
+}
+
+TEST(StridePrefetcher, NextLinePolicyAlwaysAdjacent) {
+  StridePrefetcher p(PrefetchPolicy::kNextLine, 4);
+  EXPECT_EQ(p.on_miss(10), (std::vector<LineId>{11}));
+  EXPECT_EQ(p.on_miss(42), (std::vector<LineId>{43}));
+  EXPECT_FALSE(p.stride_confirmed());
+}
+
+TEST(StridePrefetcher, ForwardStrideConfirmedAfterTwoDeltas) {
+  StridePrefetcher p(PrefetchPolicy::kStride, 4);
+  EXPECT_EQ(p.on_miss(0), (std::vector<LineId>{1}));   // no history: fallback
+  EXPECT_EQ(p.on_miss(8), (std::vector<LineId>{9}));   // one delta: fallback
+  EXPECT_FALSE(p.stride_confirmed());
+  EXPECT_EQ(p.on_miss(16), (std::vector<LineId>{24, 32, 40, 48}));
+  EXPECT_TRUE(p.stride_confirmed());
+  EXPECT_EQ(p.stride(), 8);
+}
+
+TEST(StridePrefetcher, BackwardStrideRunsAheadDownward) {
+  StridePrefetcher p(PrefetchPolicy::kStride, 4);
+  p.on_miss(100);
+  p.on_miss(90);
+  EXPECT_EQ(p.on_miss(80), (std::vector<LineId>{70, 60, 50, 40}));
+  EXPECT_EQ(p.stride(), -10);
+}
+
+TEST(StridePrefetcher, BackwardStrideStopsAtAddressSpaceEdge) {
+  StridePrefetcher p(PrefetchPolicy::kStride, 4);
+  p.on_miss(20);
+  p.on_miss(10);
+  EXPECT_TRUE(p.on_miss(0).empty());  // next would be line -10
+}
+
+TEST(StridePrefetcher, UnitStrideDetected) {
+  StridePrefetcher p(PrefetchPolicy::kStride, 4);
+  p.on_miss(5);
+  p.on_miss(6);
+  EXPECT_EQ(p.on_miss(7), (std::vector<LineId>{8, 9, 10, 11}));
+}
+
+TEST(StridePrefetcher, IrregularStreamFallsBackToAdjacent) {
+  StridePrefetcher p(PrefetchPolicy::kStride, 4);
+  for (const LineId miss : {3u, 17u, 4u, 90u, 12u}) {
+    EXPECT_EQ(p.on_miss(miss), (std::vector<LineId>{miss + 1}));
+  }
+  EXPECT_FALSE(p.stride_confirmed());
+}
+
+TEST(StridePrefetcher, StrideChangeResetsConfirmation) {
+  StridePrefetcher p(PrefetchPolicy::kStride, 4);
+  p.on_miss(0);
+  p.on_miss(8);
+  ASSERT_FALSE(p.on_miss(16).empty());  // stride 8 confirmed
+  EXPECT_EQ(p.on_miss(17), (std::vector<LineId>{18}));  // new delta: fallback
+  EXPECT_FALSE(p.stride_confirmed());
+  EXPECT_EQ(p.on_miss(18), (std::vector<LineId>{19, 20, 21, 22}));
+}
+
+TEST(StridePrefetcher, UnusedEvictionsHalveDepthHitsGrowItBack) {
+  StridePrefetcher p(PrefetchPolicy::kStride, 8);
+  EXPECT_EQ(p.depth(), 8u);
+  p.on_unused_evict();
+  EXPECT_EQ(p.depth(), 8u);  // decays every second unused eviction
+  p.on_unused_evict();
+  EXPECT_EQ(p.depth(), 4u);
+  p.on_unused_evict();
+  p.on_unused_evict();
+  EXPECT_EQ(p.depth(), 2u);
+  for (int i = 0; i < 4; ++i) p.on_unused_evict();
+  EXPECT_EQ(p.depth(), 1u);  // floor
+  for (int i = 0; i < 8; ++i) p.on_prefetch_hit();
+  EXPECT_EQ(p.depth(), 2u);  // grows one line per kGrowEvery hits
+  for (int i = 0; i < 8 * 10; ++i) p.on_prefetch_hit();
+  EXPECT_EQ(p.depth(), 8u);  // capped at max_depth
+}
+
+TEST(StridePrefetcher, AccuracyTracksResolvedPrefetches) {
+  StridePrefetcher p(PrefetchPolicy::kStride, 4);
+  EXPECT_DOUBLE_EQ(p.accuracy(), 1.0);  // nothing resolved yet
+  p.on_prefetch_hit();
+  EXPECT_DOUBLE_EQ(p.accuracy(), 1.0);
+  p.on_unused_evict();
+  EXPECT_DOUBLE_EQ(p.accuracy(), 0.5);
+}
+
+// --- integration: batched fetch / pipelined flush on the real runtime ------
+
+apps::MicrobenchParams strided_params() {
+  apps::MicrobenchParams p;
+  p.threads = 4;
+  p.N = 3;
+  p.M = 20;
+  p.S = 4;
+  p.B = 256;
+  p.alloc = apps::MicrobenchAlloc::kGlobalStrided;
+  return p;
+}
+
+TEST(BatchedPaging, BatchedFetchMatchesPerLineResultsAndIsFaster) {
+  const apps::MicrobenchParams p = strided_params();
+
+  SamhitaConfig base;  // paper protocol: nextline, one line per RPC
+  base.paranoid_checks = true;
+  SamhitaRuntime baseline(base);
+  const auto r0 = apps::run_microbench(baseline, p);
+
+  SamhitaConfig cfg;
+  cfg.paranoid_checks = true;  // validates every clean line against servers
+  cfg.prefetch_policy = PrefetchPolicy::kStride;
+  cfg.max_batch_lines = 4;
+  SamhitaRuntime runtime(cfg);
+  const auto r1 = apps::run_microbench(runtime, p);
+
+  // Functional results are identical; the batched protocol only changes time.
+  EXPECT_DOUBLE_EQ(r1.gsum, r0.gsum);
+  EXPECT_LT(r1.mean_compute_seconds, r0.mean_compute_seconds);
+
+  const RunSummary s = summarize(runtime);
+  EXPECT_GT(s.batched_fetches, 0u);
+  // Every batched RPC carries at least two line segments.
+  EXPECT_GE(s.batch_segments, 2 * s.batched_fetches);
+  EXPECT_GT(s.prefetch_hits, 0u);
+  EXPECT_EQ(summarize(baseline).batched_fetches, 0u);
+}
+
+TEST(BatchedPaging, PipelinedFlushMatchesResultsAndOverlapsRpcs) {
+  const apps::MicrobenchParams p = strided_params();
+
+  SamhitaConfig base;
+  base.memory_servers = 4;
+  base.paranoid_checks = true;
+  SamhitaRuntime baseline(base);
+  const auto r0 = apps::run_microbench(baseline, p);
+
+  SamhitaConfig cfg = base;
+  cfg.flush_pipeline = true;
+  SamhitaRuntime runtime(cfg);
+  const auto r1 = apps::run_microbench(runtime, p);
+
+  EXPECT_DOUBLE_EQ(r1.gsum, r0.gsum);
+  const RunSummary s = summarize(runtime);
+  EXPECT_GT(s.flush_overlap_saved_seconds, 0.0);
+  EXPECT_LE(r1.mean_sync_seconds, r0.mean_sync_seconds);
+}
+
+TEST(BatchedPaging, DeterministicUnderBatchingAndPipelining) {
+  const apps::MicrobenchParams p = strided_params();
+  SamhitaConfig cfg;
+  cfg.memory_servers = 2;
+  cfg.prefetch_policy = PrefetchPolicy::kStride;
+  cfg.max_batch_lines = 8;
+  cfg.flush_pipeline = true;
+
+  SamhitaRuntime a(cfg);
+  const auto ra = apps::run_microbench(a, p);
+  SamhitaRuntime b(cfg);
+  const auto rb = apps::run_microbench(b, p);
+
+  EXPECT_DOUBLE_EQ(ra.gsum, rb.gsum);
+  EXPECT_DOUBLE_EQ(ra.elapsed_seconds, rb.elapsed_seconds);
+  EXPECT_DOUBLE_EQ(ra.mean_compute_seconds, rb.mean_compute_seconds);
+  EXPECT_DOUBLE_EQ(ra.mean_sync_seconds, rb.mean_sync_seconds);
+}
+
+TEST(BatchedPaging, UnusedPrefetchEvictionsFeedAccuracyCounters) {
+  // A tiny cache walking widely-spaced lines: adjacent-line prefetches are
+  // never demanded and must be evicted as "unused", feeding the throttle.
+  SamhitaConfig cfg;
+  cfg.cache_capacity_bytes = 4 * cfg.line_bytes();
+  SamhitaRuntime runtime(cfg);
+  const std::size_t lines = 24;
+  runtime.parallel_run(1, [&](rt::ThreadCtx& ctx) {
+    const rt::Addr a = ctx.alloc_shared(lines * cfg.line_bytes());
+    for (std::size_t l = 0; l < lines; l += 2) {
+      (void)ctx.read<double>(a + l * cfg.line_bytes());
+    }
+  });
+  EXPECT_GT(summarize(runtime).prefetch_unused, 0u);
+}
+
+}  // namespace
+}  // namespace sam::core

@@ -13,6 +13,8 @@
 //
 // Platform flags: --network=ib|pcie|scif --servers=N --nodes=N
 //   --cores-per-node=N --pages-per-line=N --cache-mb=N --prefetch=bool
+//   --prefetch-policy=none|nextline|stride --prefetch-depth=N
+//   --max-batch-lines=N --flush-pipeline=bool
 //   --eviction=dirty|lru --placement=block|scatter --local-sync=bool
 //   --finegrain=bool
 //
@@ -58,6 +60,13 @@ core::SamhitaConfig config_from_args(const util::ArgParser& args) {
       args.get_int("cache-mb", static_cast<std::int64_t>(cfg.cache_capacity_bytes >> 20)))
       << 20;
   cfg.prefetch_enabled = args.get_bool("prefetch", cfg.prefetch_enabled);
+  cfg.prefetch_policy = core::prefetch_policy_from_string(
+      args.get_string("prefetch-policy", core::to_string(cfg.prefetch_policy)));
+  cfg.prefetch_depth =
+      static_cast<unsigned>(args.get_int("prefetch-depth", cfg.prefetch_depth));
+  cfg.max_batch_lines =
+      static_cast<unsigned>(args.get_int("max-batch-lines", cfg.max_batch_lines));
+  cfg.flush_pipeline = args.get_bool("flush-pipeline", cfg.flush_pipeline);
   cfg.local_sync = args.get_bool("local-sync", cfg.local_sync);
   cfg.finegrain_updates = args.get_bool("finegrain", cfg.finegrain_updates);
   const std::string eviction = args.get_string("eviction", "dirty");
