@@ -21,4 +21,19 @@ PrefetchPolicy prefetch_policy_from_string(const std::string& s) {
   return PrefetchPolicy::kNextLine;
 }
 
+const char* to_string(ConsistencyPolicyKind k) {
+  switch (k) {
+    case ConsistencyPolicyKind::kRegC: return "regc";
+    case ConsistencyPolicyKind::kEagerRC: return "eager_rc";
+  }
+  return "?";
+}
+
+ConsistencyPolicyKind consistency_policy_from_string(const std::string& s) {
+  if (s == "regc") return ConsistencyPolicyKind::kRegC;
+  if (s == "eager_rc" || s == "eager") return ConsistencyPolicyKind::kEagerRC;
+  SAM_EXPECT(false, "unknown consistency policy '" + s + "' (want regc|eager_rc)");
+  return ConsistencyPolicyKind::kRegC;
+}
+
 }  // namespace sam::core

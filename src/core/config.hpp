@@ -34,6 +34,17 @@ enum class PrefetchPolicy { kNone, kNextLine, kStride };
 const char* to_string(PrefetchPolicy p);
 PrefetchPolicy prefetch_policy_from_string(const std::string& s);
 
+/// Consistency model run by the per-thread consistency engine.
+/// kRegC is the paper's regional consistency (multiple-writer diffs in
+/// ordinary regions, lock-carried fine-grain update sets in consistency
+/// regions). kEagerRC is the pessimistic eager-release-consistency baseline
+/// the paper contrasts RegC against: every release pushes all dirty diffs
+/// home and acquirers invalidate the released pages wholesale.
+enum class ConsistencyPolicyKind { kRegC, kEagerRC };
+
+const char* to_string(ConsistencyPolicyKind k);
+ConsistencyPolicyKind consistency_policy_from_string(const std::string& s);
+
 /// CPU cost model shared by both runtimes so compute time is comparable.
 struct ComputeCost {
   double clock_ghz = 2.8;         ///< paper's Penryn/Harpertown Xeons
@@ -125,8 +136,14 @@ struct SamhitaConfig {
   /// When disabled, critical-section stores fall back to page-granularity
   /// eager-release consistency: flush dirty pages at release, invalidate
   /// the lock's release set at acquire (Munin-style). A6 ablation — this is
-  /// the design choice RegC §II motivates.
+  /// the design choice RegC §II motivates. Only meaningful under kRegC;
+  /// kEagerRC never logs stores.
   bool finegrain_updates = true;
+
+  /// Which consistency engine each compute thread runs (see
+  /// core::ConsistencyPolicy). kRegC reproduces the paper bit-identically;
+  /// kEagerRC is the eager-release baseline for cross-protocol sweeps.
+  ConsistencyPolicyKind consistency_policy = ConsistencyPolicyKind::kRegC;
 
   ComputeCost cost;
 

@@ -1,0 +1,111 @@
+// The pluggable consistency surface of a runtime.
+//
+// The interesting experiments around a software DSM are cross-protocol
+// (RegC vs. eager release consistency vs. a hardware-coherent baseline), so
+// the consistency model is a policy object rather than code woven through
+// the thread context:
+//
+//   ViewConsistencyPolicy — the narrow per-view hook surface every runtime
+//       shares. The SMP baseline routes its CoherenceModel through it
+//       (smp::CoherencePolicy); the DSM engines extend it below.
+//   ConsistencyPolicy — the full DSM protocol surface: write tracking,
+//       paging-side diff collection, acquire/release hooks for the sync
+//       choreography, and barrier-epoch hooks. Implemented by
+//       regc::ConsistencyEngine (the paper's protocol, the default) and
+//       regc::EagerRCPolicy (the pessimistic eager-release baseline),
+//       selected via SamhitaConfig::consistency_policy.
+//
+// Timing discipline: hooks that take a Bucket perform *timed* local work
+// (they charge the thread clock); the transport choreography around them
+// (who sends what when) belongs to core::SyncClient / core::PagingEngine.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/engine_ctx.hpp"
+#include "core/page_cache.hpp"
+#include "mem/types.hpp"
+#include "rt/runtime.hpp"
+#include "util/time_types.hpp"
+
+namespace sam::core {
+
+/// Per-view coherence hooks — the surface shared by every runtime.
+class ViewConsistencyPolicy {
+ public:
+  virtual ~ViewConsistencyPolicy() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Coherence penalty for thread `t` reading [addr, addr+bytes). The DSM
+  /// engines charge their costs through the paging path instead and keep
+  /// the default no-op; the SMP baseline's MSI model lives here.
+  virtual SimDuration on_read_view(std::uint32_t t, std::uint64_t addr, std::size_t bytes) {
+    (void)t;
+    (void)addr;
+    (void)bytes;
+    return 0;
+  }
+  /// Coherence penalty for thread `t` writing [addr, addr+bytes).
+  virtual SimDuration on_write_view(std::uint32_t t, std::uint64_t addr, std::size_t bytes) {
+    (void)t;
+    (void)addr;
+    (void)bytes;
+    return 0;
+  }
+};
+
+/// Full DSM consistency surface, plugged into PagingEngine and SyncClient.
+class ConsistencyPolicy : public ViewConsistencyPolicy {
+ public:
+  // --- write tracking (called by PagingEngine on each write view) ----------
+  /// Records a write of [addr, addr+bytes) landing in resident `line`:
+  /// store-logged (consistency region, fine-grain) or twinned + dirty-marked
+  /// (ordinary multiple-writer protocol), per the policy.
+  virtual void on_tracked_write(PageCache::Line& line, mem::GAddr addr,
+                                std::size_t bytes) = 0;
+
+  // --- paging-side hooks ---------------------------------------------------
+  /// True if `line` must stay resident (unmaterialized store-log data).
+  virtual bool is_pinned(LineId line) const = 0;
+  /// True if another thread holds unflushed modifications to `line`.
+  virtual bool has_remote_dirty_holder(LineId line) const = 0;
+  /// Pulls other threads' unflushed diffs for `line` into the home server
+  /// before it serves a fetch; returns when the server copy is current.
+  virtual SimTime lazy_pull(LineId line, SimTime at_server) = 0;
+  /// Diffs a dirty line against its twin, ships it home, cleans the line
+  /// (eviction and invalidation call this before dropping a dirty line).
+  virtual void flush_line(PageCache::Line& line, Bucket bucket) = 0;
+
+  // --- acquire/release hooks (called by SyncClient) ------------------------
+  /// Payload bytes a grant of mutex `m` to thread `to` carries (pending
+  /// update sets under RegC; nothing under eager release consistency).
+  virtual std::size_t grant_bytes(rt::MutexId m, mem::ThreadIdx to) const = 0;
+  /// Acquire-side consistency actions once `m` is held: apply update sets /
+  /// invalidate released pages, then enter the consistency region.
+  virtual void on_acquired(rt::MutexId m, Bucket bucket) = 0;
+  /// Release-side local work before the release message goes out: exit the
+  /// region, perform eager publication if the policy wants it, and stage the
+  /// release payload. Returns the payload's wire bytes.
+  virtual std::size_t prepare_release(rt::MutexId m, Bucket bucket) = 0;
+  /// Functional publication of the staged release payload — called after
+  /// the release transport yield, so no earlier-clock thread can observe a
+  /// value the release has not yet semantically published.
+  virtual void commit_release(rt::MutexId m) = 0;
+
+  // --- barrier hooks -------------------------------------------------------
+  /// Publication phase before the barrier arrival message.
+  virtual void pre_barrier(Bucket bucket) = 0;
+  /// Invalidation/update phase after the barrier releases this thread.
+  virtual void post_barrier(Bucket bucket) = 0;
+
+  // --- lifecycle -----------------------------------------------------------
+  /// Consistency-region nesting depth (0 = no lock held).
+  virtual std::size_t region_depth() const = 0;
+  /// Functionally applies every remaining dirty line to the servers (no
+  /// timing) — end-of-run publication for verification.
+  virtual void flush_remaining_functional() = 0;
+};
+
+}  // namespace sam::core

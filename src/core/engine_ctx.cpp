@@ -1,0 +1,46 @@
+#include "core/engine_ctx.hpp"
+
+#include "core/metrics.hpp"
+#include "core/samhita_runtime.hpp"
+#include "sim/coop_scheduler.hpp"
+#include "util/expect.hpp"
+
+namespace sam::core {
+
+SimTime EngineCtx::clock() const {
+  SAM_EXPECT(sim_thread != nullptr, "context not bound to a simulated thread");
+  return sim_thread->clock();
+}
+
+void EngineCtx::charge(SimDuration d, Bucket bucket) {
+  sim_thread->advance(d);
+  switch (bucket) {
+    case Bucket::kCompute: metrics->compute_ns += d; break;
+    case Bucket::kLock: metrics->sync_lock_ns += d; break;
+    case Bucket::kBarrier: metrics->sync_barrier_ns += d; break;
+    case Bucket::kAlloc: metrics->alloc_ns += d; break;
+  }
+}
+
+void EngineCtx::account_since(SimTime t0, Bucket bucket) {
+  const SimTime t1 = clock();
+  SAM_EXPECT(t1 >= t0, "clock went backwards");
+  const SimDuration d = t1 - t0;
+  switch (bucket) {
+    case Bucket::kCompute: metrics->compute_ns += d; break;
+    case Bucket::kLock: metrics->sync_lock_ns += d; break;
+    case Bucket::kBarrier: metrics->sync_barrier_ns += d; break;
+    case Bucket::kAlloc: metrics->alloc_ns += d; break;
+  }
+}
+
+void EngineCtx::trace(sim::TraceKind kind, std::uint64_t object, std::uint64_t detail) const {
+  rt->trace_.record(sim_thread ? sim_thread->clock() : 0, idx, kind, object, detail);
+}
+
+void EngineCtx::trace_span(SimTime begin, SimTime end, sim::SpanCat cat,
+                           std::uint64_t object) const {
+  rt->trace_.record_span(begin, end, idx, cat, object);
+}
+
+}  // namespace sam::core

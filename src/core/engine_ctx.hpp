@@ -1,0 +1,57 @@
+// Shared per-thread wiring handed to every engine of a Samhita compute
+// thread.
+//
+// The thread's runtime context is decomposed into three engines — paging
+// (core::PagingEngine), consistency (a core::ConsistencyPolicy
+// implementation) and synchronization (core::SyncClient) — that all operate
+// on the same thread-local state: its page cache, metrics, prefetcher and
+// virtual clock. EngineCtx carries non-owning pointers to that state plus
+// the time-accounting and tracing helpers, so each engine stays free of the
+// others' headers.
+#pragma once
+
+#include <cstdint>
+
+#include "mem/types.hpp"
+#include "net/types.hpp"
+#include "sim/trace.hpp"
+#include "util/time_types.hpp"
+
+namespace sam::sim {
+class SimThread;
+}
+
+namespace sam::core {
+
+class SamhitaRuntime;
+class PageCache;
+class StridePrefetcher;
+struct Metrics;
+
+/// Accounting bucket a charge lands in (paper §III's compute/sync split).
+enum class Bucket { kCompute, kLock, kBarrier, kAlloc };
+
+struct EngineCtx {
+  SamhitaRuntime* rt = nullptr;
+  mem::ThreadIdx idx = 0;
+  std::uint32_t nthreads = 0;
+  net::NodeId node = 0;
+  sim::SimThread* sim_thread = nullptr;  ///< bound at thread start
+  PageCache* cache = nullptr;
+  StridePrefetcher* prefetcher = nullptr;
+  Metrics* metrics = nullptr;
+
+  SimTime clock() const;
+
+  /// Advances the thread clock by `d` and accounts it to `bucket`.
+  void charge(SimDuration d, Bucket bucket);
+  /// Accounts already-elapsed time [t0, clock) to `bucket`.
+  void account_since(SimTime t0, Bucket bucket);
+
+  /// Records a protocol trace event (no-op unless tracing is enabled).
+  void trace(sim::TraceKind kind, std::uint64_t object, std::uint64_t detail) const;
+  /// Records a span event on this thread's track (no-op unless tracing).
+  void trace_span(SimTime begin, SimTime end, sim::SpanCat cat, std::uint64_t object) const;
+};
+
+}  // namespace sam::core

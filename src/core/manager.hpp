@@ -19,11 +19,14 @@
 #include <vector>
 
 #include "mem/types.hpp"
-#include "net/network_model.hpp"
+#include "net/types.hpp"
 #include "regc/update_set.hpp"
 #include "rt/runtime.hpp"
-#include "sim/coop_scheduler.hpp"
 #include "sim/resource.hpp"
+
+namespace sam::sim {
+class SimThread;
+}
 
 namespace sam::core {
 

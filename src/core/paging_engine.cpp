@@ -1,0 +1,307 @@
+#include "core/paging_engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/consistency_policy.hpp"
+#include "core/metrics.hpp"
+#include "core/prefetcher.hpp"
+#include "core/samhita_runtime.hpp"
+#include "mem/memory_server.hpp"
+#include "scl/scl.hpp"
+#include "sim/coop_scheduler.hpp"
+#include "util/expect.hpp"
+
+namespace sam::core {
+
+namespace {
+constexpr std::size_t kCtrl = scl::kCtrlBytes;
+}
+
+PagingEngine::PagingEngine(EngineCtx* ec, ConsistencyPolicy* policy)
+    : ec_(ec), policy_(policy), rt_(ec->rt) {}
+
+void PagingEngine::issue_prefetch(LineId line) {
+  const auto& cfg = rt_->config();
+  if (!cfg.prefetch_enabled) return;
+  if (cache().contains(line)) return;
+  const mem::PageId first = cache().first_page(line);
+  if (!rt_->gas_.is_assigned(first)) return;
+  if (cache().resident_lines() + 1 > cache().capacity_lines()) return;  // don't evict for a guess
+  if (policy_->has_remote_dirty_holder(line)) return;  // demand path will pull diffs
+
+  mem::MemoryServer& server = rt_->home_server(first);
+  const std::size_t bytes = cfg.line_bytes();
+  // Asynchronous request: transport + service booked now, the thread does
+  // not wait. Content is materialized at issue time (see DESIGN.md §8).
+  const SimTime resp = rt_->scl_.rpc(clock(), ec_->node, server.node(), kCtrl, bytes + kCtrl,
+                                     server.service(), server.service_time(bytes));
+  std::vector<std::byte> data(bytes);
+  server.read_bytes(cache().line_base(line), data.data(), bytes);
+  cache().install(line, std::move(data), resp, /*prefetched=*/true);
+  for (unsigned p = 0; p < cfg.pages_per_line; ++p) {
+    rt_->directory_.note_cached(first + p, ec_->idx);
+  }
+  ++metrics().prefetch_issued;
+  metrics().bytes_fetched += bytes;
+  trace(sim::TraceKind::kPrefetchIssue, line, bytes);
+}
+
+void PagingEngine::evict_for_space(Bucket bucket) {
+  while (cache().resident_lines() + 1 > cache().capacity_lines()) {
+    const SimTime now = clock();
+    PageCache::Line* victim = cache().pick_victim([this, now](const PageCache::Line& l) {
+      // In-flight prefetches (ready_time in the future) are not evictable:
+      // the fetch is already booked, and evicting the placeholder would
+      // deliver its bytes to nobody.
+      return policy_->is_pinned(l.id) || l.ready_time > now;
+    });
+    if (victim == nullptr) return;  // everything pinned or in flight; tolerate overflow
+    const LineId vid = victim->id;
+    const bool unused_prefetch = victim->prefetched;
+    if (victim->dirty) policy_->flush_line(*victim, bucket);
+    const mem::PageId first = cache().first_page(vid);
+    for (unsigned p = 0; p < rt_->config().pages_per_line; ++p) {
+      rt_->directory_.note_evicted(first + p, ec_->idx);
+    }
+    cache().erase(vid);
+    ++metrics().evictions;
+    if (unused_prefetch) {
+      // Evicted without ever being demanded: the fetch was wasted. Feed the
+      // prefetcher's accuracy throttle so the lookahead backs off.
+      ++metrics().prefetch_unused;
+      prefetcher().on_unused_evict();
+    }
+    trace(sim::TraceKind::kEvict, vid, unused_prefetch ? 1 : 0);
+    charge(rt_->config().invalidate_per_line, bucket);
+  }
+}
+
+PageCache::Line& PagingEngine::ensure_line(LineId line, Bucket bucket) {
+  const auto& cfg = rt_->config();
+  charge(cfg.cache_lookup, bucket);
+  if (PageCache::Line* hit = cache().find(line)) {
+    if (hit->ready_time > clock()) {
+      // Prefetch still in flight: stall until the data lands.
+      const SimTime t0 = clock();
+      ec_->sim_thread->advance_to(hit->ready_time);
+      account_since(t0, bucket);
+    }
+    if (hit->prefetched) {
+      hit->prefetched = false;
+      ++metrics().prefetch_hits;
+      prefetcher().on_prefetch_hit();
+      trace(sim::TraceKind::kPrefetchHit, line, 0);
+    }
+    ++metrics().cache_hits;
+    cache().touch(*hit);
+    trace(sim::TraceKind::kCacheHit, line, 0);
+    return *hit;
+  }
+
+  // Demand miss.
+  ++metrics().cache_misses;
+  trace(sim::TraceKind::kCacheMiss, line, cfg.line_bytes());
+  evict_for_space(bucket);
+
+  const mem::PageId first = cache().first_page(line);
+  mem::MemoryServer& server = rt_->home_server(first);
+  const std::size_t bytes = cfg.line_bytes();
+
+  // Anticipatory paging (paper §II): feed the miss-stream predictor. When
+  // scatter-gather batching is on, candidates homed on the demand line's
+  // server ride the demand RPC as extra segments; the rest go out as
+  // asynchronous batches after the stall.
+  std::vector<LineId> candidates;
+  if (cfg.prefetch_enabled) candidates = prefetcher().on_miss(line);
+  std::vector<LineId> folded;
+  std::vector<LineId> deferred;
+  if (cfg.max_batch_lines > 1) {
+    split_prefetch_candidates(line, server, candidates, folded, deferred);
+  } else {
+    deferred = std::move(candidates);
+  }
+
+  rt_->sched_.yield_current();  // min-clock discipline before booking
+  const SimTime t0 = clock();
+  const std::size_t nseg = 1 + folded.size();
+  const std::size_t request_bytes =
+      nseg == 1 ? kCtrl : kCtrl + nseg * scl::kSegmentDescBytes;
+  const SimTime at_server = rt_->scl_.send(t0, ec_->node, server.node(), request_bytes);
+  // If other threads hold unflushed diffs for this line, the server pulls
+  // them first (lazy diff collection, TreadMarks-style).
+  const SimTime current = policy_->lazy_pull(line, at_server);
+  const std::size_t total = bytes * nseg;
+  const SimTime served =
+      nseg == 1 ? server.service().serve(current, server.service_time(bytes))
+                : server.serve_batch(current, nseg, total);
+  const SimTime resp = rt_->scl_.send(served, server.node(), ec_->node, total + kCtrl);
+  if (nseg > 1) {
+    ++metrics().batched_fetches;
+    metrics().batch_segments += nseg;
+    trace(sim::TraceKind::kBatchFetch, line, nseg);
+    trace_span(t0, resp, sim::SpanCat::kBatchRpc, line);
+  }
+  trace_span(t0, resp, sim::SpanCat::kDemandMiss, line);
+  std::vector<std::byte> data(bytes);
+  server.read_bytes(cache().line_base(line), data.data(), bytes);
+  PageCache::Line& installed = cache().install(line, std::move(data), resp, /*prefetched=*/false);
+  for (unsigned p = 0; p < cfg.pages_per_line; ++p) {
+    rt_->directory_.note_cached(first + p, ec_->idx);
+  }
+  metrics().bytes_fetched += bytes;
+  install_prefetched(server, folded, resp);
+  ec_->sim_thread->advance_to(resp);
+  if (cfg.collect_latency_histograms) {
+    metrics().miss_latency.add(static_cast<double>(clock() - t0));
+  }
+  account_since(t0, bucket);
+
+  issue_prefetch_batches(deferred);
+
+  cache().touch(installed);
+  return installed;
+}
+
+void PagingEngine::split_prefetch_candidates(LineId demand, const mem::MemoryServer& server,
+                                             const std::vector<LineId>& candidates,
+                                             std::vector<LineId>& folded,
+                                             std::vector<LineId>& deferred) {
+  const auto& cfg = rt_->config();
+  // Slots left once the demand line itself is installed; folded lines are
+  // never worth an eviction (they are still just guesses).
+  std::size_t slots = cache().capacity_lines() > cache().resident_lines() + 1
+                          ? cache().capacity_lines() - cache().resident_lines() - 1
+                          : 0;
+  auto chosen = [&](LineId l) {
+    return std::find(folded.begin(), folded.end(), l) != folded.end() ||
+           std::find(deferred.begin(), deferred.end(), l) != deferred.end();
+  };
+  for (LineId l : candidates) {
+    if (l == demand || chosen(l)) continue;
+    if (cache().contains(l)) continue;
+    const mem::PageId first = cache().first_page(l);
+    if (!rt_->gas_.is_assigned(first)) continue;
+    if (policy_->has_remote_dirty_holder(l)) continue;  // demand path must pull diffs
+    const bool same_server = &rt_->home_server(first) == &server;
+    if (same_server && folded.size() + 1 < cfg.max_batch_lines && slots > 0) {
+      folded.push_back(l);
+      --slots;
+    } else {
+      deferred.push_back(l);
+    }
+  }
+}
+
+void PagingEngine::install_prefetched(mem::MemoryServer& server,
+                                      const std::vector<LineId>& lines, SimTime ready) {
+  const auto& cfg = rt_->config();
+  const std::size_t bytes = cfg.line_bytes();
+  for (LineId l : lines) {
+    std::vector<std::byte> data(bytes);
+    server.read_bytes(cache().line_base(l), data.data(), bytes);
+    cache().install(l, std::move(data), ready, /*prefetched=*/true);
+    const mem::PageId first = cache().first_page(l);
+    for (unsigned p = 0; p < cfg.pages_per_line; ++p) {
+      rt_->directory_.note_cached(first + p, ec_->idx);
+    }
+    ++metrics().prefetch_issued;
+    metrics().bytes_fetched += bytes;
+    trace(sim::TraceKind::kPrefetchIssue, l, bytes);
+  }
+}
+
+void PagingEngine::issue_prefetch_batches(const std::vector<LineId>& candidates) {
+  if (candidates.empty()) return;
+  const auto& cfg = rt_->config();
+  if (cfg.max_batch_lines <= 1) {
+    // Paper protocol: one asynchronous RPC per predicted line.
+    for (LineId l : candidates) issue_prefetch(l);
+    return;
+  }
+  if (!cfg.prefetch_enabled) return;
+  // Filter (same guards as issue_prefetch), then group per home server in
+  // first-appearance order and chunk each group at max_batch_lines.
+  std::size_t slots = cache().capacity_lines() > cache().resident_lines()
+                          ? cache().capacity_lines() - cache().resident_lines()
+                          : 0;
+  std::vector<std::pair<mem::MemoryServer*, std::vector<LineId>>> groups;
+  std::size_t accepted = 0;
+  for (LineId l : candidates) {
+    if (accepted >= slots) break;  // don't evict for a guess
+    if (cache().contains(l)) continue;
+    const mem::PageId first = cache().first_page(l);
+    if (!rt_->gas_.is_assigned(first)) continue;
+    if (policy_->has_remote_dirty_holder(l)) continue;
+    mem::MemoryServer* server = &rt_->home_server(first);
+    auto it = std::find_if(groups.begin(), groups.end(),
+                           [&](const auto& g) { return g.first == server; });
+    if (it == groups.end()) {
+      groups.push_back({server, {l}});
+    } else {
+      if (std::find(it->second.begin(), it->second.end(), l) != it->second.end()) continue;
+      it->second.push_back(l);
+    }
+    ++accepted;
+  }
+  for (auto& [server, lines] : groups) {
+    for (std::size_t i = 0; i < lines.size(); i += cfg.max_batch_lines) {
+      const std::size_t n = std::min<std::size_t>(cfg.max_batch_lines, lines.size() - i);
+      issue_prefetch_rpc(*server, std::span<const LineId>(lines.data() + i, n));
+    }
+  }
+}
+
+void PagingEngine::issue_prefetch_rpc(mem::MemoryServer& server,
+                                      std::span<const LineId> lines) {
+  const auto& cfg = rt_->config();
+  const std::size_t bytes = cfg.line_bytes();
+  const std::size_t total = bytes * lines.size();
+  // Asynchronous request: transport + service booked now, the thread does
+  // not wait. Content is materialized at issue time (see DESIGN.md §8).
+  SimTime resp;
+  if (lines.size() == 1) {
+    resp = rt_->scl_.rpc(clock(), ec_->node, server.node(), kCtrl, bytes + kCtrl,
+                         server.service(), server.service_time(bytes));
+  } else {
+    const SimTime t0 = clock();
+    const SimTime at_server =
+        rt_->scl_.send(t0, ec_->node, server.node(),
+                       kCtrl + lines.size() * scl::kSegmentDescBytes);
+    const SimTime served = server.serve_batch(at_server, lines.size(), total);
+    resp = rt_->scl_.send(served, server.node(), ec_->node, total + kCtrl);
+    ++metrics().batched_fetches;
+    metrics().batch_segments += lines.size();
+    trace(sim::TraceKind::kBatchFetch, lines.front(), lines.size());
+    trace_span(t0, resp, sim::SpanCat::kBatchRpc, lines.front());
+  }
+  for (LineId l : lines) {
+    std::vector<std::byte> data(bytes);
+    server.read_bytes(cache().line_base(l), data.data(), bytes);
+    cache().install(l, std::move(data), resp, /*prefetched=*/true);
+    const mem::PageId first = cache().first_page(l);
+    for (unsigned p = 0; p < cfg.pages_per_line; ++p) {
+      rt_->directory_.note_cached(first + p, ec_->idx);
+    }
+    ++metrics().prefetch_issued;
+    metrics().bytes_fetched += bytes;
+    trace(sim::TraceKind::kPrefetchIssue, l, bytes);
+  }
+}
+
+std::span<std::byte> PagingEngine::view(rt::Addr addr, std::size_t bytes, bool for_write) {
+  SAM_EXPECT(bytes > 0, "empty view");
+  const LineId first_line = cache().line_of_addr(addr);
+  const LineId last_line = cache().line_of_addr(addr + bytes - 1);
+  SAM_EXPECT(first_line == last_line,
+             "view crosses a cache-line boundary; split it (see rt::for_each_chunk)");
+
+  PageCache::Line& line = ensure_line(first_line, Bucket::kCompute);
+
+  if (for_write) policy_->on_tracked_write(line, addr, bytes);
+
+  const std::size_t offset = addr - cache().line_base(first_line);
+  return {line.data.data() + offset, bytes};
+}
+
+}  // namespace sam::core

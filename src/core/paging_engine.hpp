@@ -1,0 +1,82 @@
+// core::PagingEngine: demand paging, anticipatory prefetch and eviction for
+// one compute thread's software page cache.
+//
+// Owns no protocol state — it moves lines between the memory servers and the
+// thread's PageCache with fully timed transport (SCL) and service booking,
+// and defers every consistency question (is this line pinned? does someone
+// hold unflushed diffs? how does a dirty victim get published?) to the
+// thread's core::ConsistencyPolicy.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/engine_ctx.hpp"
+#include "core/page_cache.hpp"
+#include "rt/runtime.hpp"
+
+namespace sam::mem {
+class MemoryServer;
+}
+
+namespace sam::core {
+
+class ConsistencyPolicy;
+class SamhitaRuntime;
+class StridePrefetcher;
+struct Metrics;
+
+class PagingEngine {
+ public:
+  PagingEngine(EngineCtx* ec, ConsistencyPolicy* policy);
+
+  /// Makes [line] resident (demand fetch + anticipatory paging) and
+  /// charges the stall to `bucket`. Returns the resident line.
+  PageCache::Line& ensure_line(LineId line, Bucket bucket);
+
+  /// One memory view: residency + write tracking via the policy.
+  std::span<std::byte> view(rt::Addr addr, std::size_t bytes, bool for_write);
+
+  /// Evicts (flushing dirty victims through the policy) until one line fits.
+  void evict_for_space(Bucket bucket);
+
+ private:
+  /// Single-line asynchronous prefetch RPC (the paper's per-line protocol).
+  void issue_prefetch(LineId line);
+  /// Partitions the prefetcher's candidates for a demand miss homed on
+  /// `server`: lines on the same server that fit the batch ride the demand
+  /// RPC (`folded`); everything else is issued asynchronously afterwards
+  /// (`deferred`). Only called when config.max_batch_lines > 1.
+  void split_prefetch_candidates(LineId demand, const mem::MemoryServer& server,
+                                 const std::vector<LineId>& candidates,
+                                 std::vector<LineId>& folded,
+                                 std::vector<LineId>& deferred);
+  /// Installs lines that rode a demand fetch as extra gathered segments.
+  void install_prefetched(mem::MemoryServer& server, const std::vector<LineId>& lines,
+                          SimTime ready);
+  /// Issues asynchronous prefetches for `candidates`: per-line RPCs when
+  /// batching is off, per-server scatter-gather batches otherwise.
+  void issue_prefetch_batches(const std::vector<LineId>& candidates);
+  /// One asynchronous fetch RPC for `lines`, all homed on `server`.
+  void issue_prefetch_rpc(mem::MemoryServer& server, std::span<const LineId> lines);
+
+  PageCache& cache() const { return *ec_->cache; }
+  StridePrefetcher& prefetcher() const { return *ec_->prefetcher; }
+  Metrics& metrics() const { return *ec_->metrics; }
+  SimTime clock() const { return ec_->clock(); }
+  void charge(SimDuration d, Bucket bucket) { ec_->charge(d, bucket); }
+  void account_since(SimTime t0, Bucket bucket) { ec_->account_since(t0, bucket); }
+  void trace(sim::TraceKind kind, std::uint64_t object, std::uint64_t detail) const {
+    ec_->trace(kind, object, detail);
+  }
+  void trace_span(SimTime begin, SimTime end, sim::SpanCat cat, std::uint64_t object) const {
+    ec_->trace_span(begin, end, cat, object);
+  }
+
+  EngineCtx* ec_;
+  ConsistencyPolicy* policy_;
+  SamhitaRuntime* rt_;
+};
+
+}  // namespace sam::core

@@ -1,93 +1,53 @@
 #include "core/sam_thread_ctx.hpp"
 
-#include <algorithm>
-#include <cstring>
-
 #include "core/samhita_runtime.hpp"
+#include "regc/consistency_engine.hpp"
+#include "regc/eager_rc_policy.hpp"
+#include "scl/scl.hpp"
+#include "sim/coop_scheduler.hpp"
 #include "util/expect.hpp"
-#include "util/logger.hpp"
 
 namespace sam::core {
 
 namespace {
 constexpr std::size_t kCtrl = scl::kCtrlBytes;
-}
 
-void SamThreadCtx::trace(sim::TraceKind kind, std::uint64_t object, std::uint64_t detail) {
-  rt_->trace_.record(sim_thread_ ? sim_thread_->clock() : 0, idx_, kind, object, detail);
+std::unique_ptr<ConsistencyPolicy> make_policy(ConsistencyPolicyKind kind, EngineCtx* ec) {
+  switch (kind) {
+    case ConsistencyPolicyKind::kRegC:
+      return std::make_unique<regc::ConsistencyEngine>(ec);
+    case ConsistencyPolicyKind::kEagerRC:
+      return std::make_unique<regc::EagerRCPolicy>(ec);
+  }
+  SAM_EXPECT(false, "unknown consistency policy kind");
+  return nullptr;
 }
-
-void SamThreadCtx::trace_span(SimTime begin, SimTime end, sim::SpanCat cat,
-                              std::uint64_t object) {
-  rt_->trace_.record_span(begin, end, idx_, cat, object);
-}
+}  // namespace
 
 SamThreadCtx::SamThreadCtx(SamhitaRuntime* rt, mem::ThreadIdx idx, std::uint32_t nthreads)
     : rt_(rt),
-      idx_(idx),
-      nthreads_(nthreads),
-      node_(rt->config().compute_node(idx)),
       cache_(&rt->config(), idx),
       prefetcher_(rt->config().prefetch_enabled ? rt->config().prefetch_policy
                                                 : PrefetchPolicy::kNone,
-                  rt->config().prefetch_depth) {}
+                  rt->config().prefetch_depth),
+      ec_{rt, idx, nthreads, rt->config().compute_node(idx),
+          /*sim_thread=*/nullptr, &cache_, &prefetcher_, &metrics_},
+      policy_(make_policy(rt->config().consistency_policy, &ec_)),
+      paging_(&ec_, policy_.get()),
+      sync_(&ec_, policy_.get()) {}
+
+SamThreadCtx::~SamThreadCtx() = default;
 
 void SamThreadCtx::on_thread_start() {
-  sim_thread_ = sim::CoopScheduler::current();
-  SAM_EXPECT(sim_thread_ != nullptr, "ctx must start inside a simulated thread");
+  ec_.sim_thread = sim::CoopScheduler::current();
+  SAM_EXPECT(ec_.sim_thread != nullptr, "ctx must start inside a simulated thread");
 }
 
 void SamThreadCtx::on_thread_end() {
-  SAM_EXPECT(regions_.depth() == 0, "thread exited while holding a lock");
+  SAM_EXPECT(policy_->region_depth() == 0, "thread exited while holding a lock");
   if (metrics_.measuring && metrics_.measure_end == 0) {
-    metrics_.measure_end = clock();
+    metrics_.measure_end = ec_.clock();
   }
-}
-
-SimTime SamThreadCtx::clock() const {
-  SAM_EXPECT(sim_thread_ != nullptr, "context not bound to a simulated thread");
-  return sim_thread_->clock();
-}
-
-SimTime SamThreadCtx::now() const { return clock(); }
-
-void SamThreadCtx::charge(SimDuration d, Bucket bucket) {
-  sim_thread_->advance(d);
-  switch (bucket) {
-    case Bucket::kCompute: metrics_.compute_ns += d; break;
-    case Bucket::kLock: metrics_.sync_lock_ns += d; break;
-    case Bucket::kBarrier: metrics_.sync_barrier_ns += d; break;
-    case Bucket::kAlloc: metrics_.alloc_ns += d; break;
-  }
-}
-
-void SamThreadCtx::account_since(SimTime t0, Bucket bucket) {
-  const SimTime t1 = clock();
-  SAM_EXPECT(t1 >= t0, "clock went backwards");
-  const SimDuration d = t1 - t0;
-  switch (bucket) {
-    case Bucket::kCompute: metrics_.compute_ns += d; break;
-    case Bucket::kLock: metrics_.sync_lock_ns += d; break;
-    case Bucket::kBarrier: metrics_.sync_barrier_ns += d; break;
-    case Bucket::kAlloc: metrics_.alloc_ns += d; break;
-  }
-}
-
-net::NodeId SamThreadCtx::sync_node() const {
-  return rt_->config().local_sync ? node_ : rt_->manager_.node();
-}
-
-sim::Resource& SamThreadCtx::sync_service() {
-  if (rt_->config().local_sync) {
-    return rt_->node_sync_.at(node_);
-  }
-  return rt_->manager_.service();
-}
-
-SimDuration SamThreadCtx::sync_service_time() const {
-  // A local (same-node) sync service skips the manager's heavier request
-  // handling; it is essentially an atomic update on shared node memory.
-  return rt_->config().local_sync ? SimDuration{100} : rt_->manager_.service_time();
 }
 
 // ---------------------------------------------------------------------------
@@ -96,7 +56,7 @@ SimDuration SamThreadCtx::sync_service_time() const {
 
 rt::Addr SamThreadCtx::alloc(std::size_t bytes) {
   AllocOutcome outcome;
-  const mem::GAddr addr = rt_->allocator_.alloc(idx_, bytes, outcome);
+  const mem::GAddr addr = rt_->allocator_.alloc(ec_.idx, bytes, outcome);
   charge_alloc_outcome(outcome);
   return addr;
 }
@@ -109,1030 +69,44 @@ rt::Addr SamThreadCtx::alloc_shared(std::size_t bytes) {
 }
 
 void SamThreadCtx::charge_alloc_outcome(const AllocOutcome& outcome) {
-  trace(sim::TraceKind::kAlloc, 0, outcome.manager_rpcs);
-  charge(120, Bucket::kAlloc);  // local allocator bookkeeping
+  ec_.trace(sim::TraceKind::kAlloc, 0, outcome.manager_rpcs);
+  ec_.charge(120, Bucket::kAlloc);  // local allocator bookkeeping
   for (unsigned i = 0; i < outcome.manager_rpcs; ++i) {
     rt_->sched_.yield_current();
-    const SimTime t0 = clock();
+    const SimTime t0 = ec_.clock();
     const SimTime resp =
-        rt_->scl_.rpc(t0, node_, rt_->manager_.node(), kCtrl, kCtrl, rt_->manager_.service(),
-                      rt_->manager_.service_time());
-    sim_thread_->advance_to(resp);
-    account_since(t0, Bucket::kAlloc);
+        rt_->scl_.rpc(t0, ec_.node, rt_->manager_.node(), kCtrl, kCtrl,
+                      rt_->manager_.service(), rt_->manager_.service_time());
+    ec_.sim_thread->advance_to(resp);
+    ec_.account_since(t0, Bucket::kAlloc);
   }
 }
 
 void SamThreadCtx::free(rt::Addr addr) {
-  rt_->allocator_.free(idx_, addr);
-  charge(80, Bucket::kAlloc);
+  rt_->allocator_.free(ec_.idx, addr);
+  ec_.charge(80, Bucket::kAlloc);
 }
 
 // ---------------------------------------------------------------------------
 // Memory access
 // ---------------------------------------------------------------------------
 
-void SamThreadCtx::issue_prefetch(LineId line) {
-  const auto& cfg = rt_->config();
-  if (!cfg.prefetch_enabled) return;
-  if (cache_.contains(line)) return;
-  const mem::PageId first = cache_.first_page(line);
-  if (!rt_->gas_.is_assigned(first)) return;
-  if (cache_.resident_lines() + 1 > cache_.capacity_lines()) return;  // don't evict for a guess
-  if (has_remote_dirty_holder(line)) return;  // demand path will pull diffs
-
-  mem::MemoryServer& server = rt_->home_server(first);
-  const std::size_t bytes = cfg.line_bytes();
-  // Asynchronous request: transport + service booked now, the thread does
-  // not wait. Content is materialized at issue time (see DESIGN.md §8).
-  const SimTime resp = rt_->scl_.rpc(clock(), node_, server.node(), kCtrl, bytes + kCtrl,
-                                     server.service(), server.service_time(bytes));
-  std::vector<std::byte> data(bytes);
-  server.read_bytes(cache_.line_base(line), data.data(), bytes);
-  cache_.install(line, std::move(data), resp, /*prefetched=*/true);
-  for (unsigned p = 0; p < cfg.pages_per_line; ++p) {
-    rt_->directory_.note_cached(first + p, idx_);
-  }
-  ++metrics_.prefetch_issued;
-  metrics_.bytes_fetched += bytes;
-  trace(sim::TraceKind::kPrefetchIssue, line, bytes);
-}
-
-void SamThreadCtx::evict_for_space(Bucket bucket) {
-  while (cache_.resident_lines() + 1 > cache_.capacity_lines()) {
-    const SimTime now = clock();
-    PageCache::Line* victim = cache_.pick_victim([this, now](const PageCache::Line& l) {
-      // In-flight prefetches (ready_time in the future) are not evictable:
-      // the fetch is already booked, and evicting the placeholder would
-      // deliver its bytes to nobody.
-      return pinned_lines_.count(l.id) != 0 || l.ready_time > now;
-    });
-    if (victim == nullptr) return;  // everything pinned or in flight; tolerate overflow
-    const LineId vid = victim->id;
-    const bool unused_prefetch = victim->prefetched;
-    if (victim->dirty) flush_line(*victim, bucket);
-    const mem::PageId first = cache_.first_page(vid);
-    for (unsigned p = 0; p < rt_->config().pages_per_line; ++p) {
-      rt_->directory_.note_evicted(first + p, idx_);
-    }
-    cache_.erase(vid);
-    ++metrics_.evictions;
-    if (unused_prefetch) {
-      // Evicted without ever being demanded: the fetch was wasted. Feed the
-      // prefetcher's accuracy throttle so the lookahead backs off.
-      ++metrics_.prefetch_unused;
-      prefetcher_.on_unused_evict();
-    }
-    trace(sim::TraceKind::kEvict, vid, unused_prefetch ? 1 : 0);
-    charge(rt_->config().invalidate_per_line, bucket);
-  }
-}
-
-PageCache::Line& SamThreadCtx::ensure_line(LineId line, Bucket bucket) {
-  const auto& cfg = rt_->config();
-  charge(cfg.cache_lookup, bucket);
-  if (PageCache::Line* hit = cache_.find(line)) {
-    if (hit->ready_time > clock()) {
-      // Prefetch still in flight: stall until the data lands.
-      const SimTime t0 = clock();
-      sim_thread_->advance_to(hit->ready_time);
-      account_since(t0, bucket);
-    }
-    if (hit->prefetched) {
-      hit->prefetched = false;
-      ++metrics_.prefetch_hits;
-      prefetcher_.on_prefetch_hit();
-      trace(sim::TraceKind::kPrefetchHit, line, 0);
-    }
-    ++metrics_.cache_hits;
-    cache_.touch(*hit);
-    trace(sim::TraceKind::kCacheHit, line, 0);
-    return *hit;
-  }
-
-  // Demand miss.
-  ++metrics_.cache_misses;
-  trace(sim::TraceKind::kCacheMiss, line, cfg.line_bytes());
-  evict_for_space(bucket);
-
-  const mem::PageId first = cache_.first_page(line);
-  mem::MemoryServer& server = rt_->home_server(first);
-  const std::size_t bytes = cfg.line_bytes();
-
-  // Anticipatory paging (paper §II): feed the miss-stream predictor. When
-  // scatter-gather batching is on, candidates homed on the demand line's
-  // server ride the demand RPC as extra segments; the rest go out as
-  // asynchronous batches after the stall.
-  std::vector<LineId> candidates;
-  if (cfg.prefetch_enabled) candidates = prefetcher_.on_miss(line);
-  std::vector<LineId> folded;
-  std::vector<LineId> deferred;
-  if (cfg.max_batch_lines > 1) {
-    split_prefetch_candidates(line, server, candidates, folded, deferred);
-  } else {
-    deferred = std::move(candidates);
-  }
-
-  rt_->sched_.yield_current();  // min-clock discipline before booking
-  const SimTime t0 = clock();
-  const std::size_t nseg = 1 + folded.size();
-  const std::size_t request_bytes =
-      nseg == 1 ? kCtrl : kCtrl + nseg * scl::kSegmentDescBytes;
-  const SimTime at_server = rt_->scl_.send(t0, node_, server.node(), request_bytes);
-  // If other threads hold unflushed diffs for this line, the server pulls
-  // them first (lazy diff collection, TreadMarks-style).
-  const SimTime current = lazy_pull(line, at_server);
-  const std::size_t total = bytes * nseg;
-  const SimTime served =
-      nseg == 1 ? server.service().serve(current, server.service_time(bytes))
-                : server.serve_batch(current, nseg, total);
-  const SimTime resp = rt_->scl_.send(served, server.node(), node_, total + kCtrl);
-  if (nseg > 1) {
-    ++metrics_.batched_fetches;
-    metrics_.batch_segments += nseg;
-    trace(sim::TraceKind::kBatchFetch, line, nseg);
-    trace_span(t0, resp, sim::SpanCat::kBatchRpc, line);
-  }
-  std::vector<std::byte> data(bytes);
-  server.read_bytes(cache_.line_base(line), data.data(), bytes);
-  PageCache::Line& installed = cache_.install(line, std::move(data), resp, /*prefetched=*/false);
-  for (unsigned p = 0; p < cfg.pages_per_line; ++p) {
-    rt_->directory_.note_cached(first + p, idx_);
-  }
-  metrics_.bytes_fetched += bytes;
-  install_prefetched(server, folded, resp);
-  sim_thread_->advance_to(resp);
-  if (cfg.collect_latency_histograms) {
-    metrics_.miss_latency.add(static_cast<double>(clock() - t0));
-  }
-  account_since(t0, bucket);
-
-  issue_prefetch_batches(deferred);
-
-  cache_.touch(installed);
-  return installed;
-}
-
-void SamThreadCtx::split_prefetch_candidates(LineId demand, const mem::MemoryServer& server,
-                                             const std::vector<LineId>& candidates,
-                                             std::vector<LineId>& folded,
-                                             std::vector<LineId>& deferred) {
-  const auto& cfg = rt_->config();
-  // Slots left once the demand line itself is installed; folded lines are
-  // never worth an eviction (they are still just guesses).
-  std::size_t slots = cache_.capacity_lines() > cache_.resident_lines() + 1
-                          ? cache_.capacity_lines() - cache_.resident_lines() - 1
-                          : 0;
-  auto chosen = [&](LineId l) {
-    return std::find(folded.begin(), folded.end(), l) != folded.end() ||
-           std::find(deferred.begin(), deferred.end(), l) != deferred.end();
-  };
-  for (LineId l : candidates) {
-    if (l == demand || chosen(l)) continue;
-    if (cache_.contains(l)) continue;
-    const mem::PageId first = cache_.first_page(l);
-    if (!rt_->gas_.is_assigned(first)) continue;
-    if (has_remote_dirty_holder(l)) continue;  // demand path must pull diffs
-    const bool same_server = &rt_->home_server(first) == &server;
-    if (same_server && folded.size() + 1 < cfg.max_batch_lines && slots > 0) {
-      folded.push_back(l);
-      --slots;
-    } else {
-      deferred.push_back(l);
-    }
-  }
-}
-
-void SamThreadCtx::install_prefetched(mem::MemoryServer& server,
-                                      const std::vector<LineId>& lines, SimTime ready) {
-  const auto& cfg = rt_->config();
-  const std::size_t bytes = cfg.line_bytes();
-  for (LineId l : lines) {
-    std::vector<std::byte> data(bytes);
-    server.read_bytes(cache_.line_base(l), data.data(), bytes);
-    cache_.install(l, std::move(data), ready, /*prefetched=*/true);
-    const mem::PageId first = cache_.first_page(l);
-    for (unsigned p = 0; p < cfg.pages_per_line; ++p) {
-      rt_->directory_.note_cached(first + p, idx_);
-    }
-    ++metrics_.prefetch_issued;
-    metrics_.bytes_fetched += bytes;
-    trace(sim::TraceKind::kPrefetchIssue, l, bytes);
-  }
-}
-
-void SamThreadCtx::issue_prefetch_batches(const std::vector<LineId>& candidates) {
-  if (candidates.empty()) return;
-  const auto& cfg = rt_->config();
-  if (cfg.max_batch_lines <= 1) {
-    // Paper protocol: one asynchronous RPC per predicted line.
-    for (LineId l : candidates) issue_prefetch(l);
-    return;
-  }
-  if (!cfg.prefetch_enabled) return;
-  // Filter (same guards as issue_prefetch), then group per home server in
-  // first-appearance order and chunk each group at max_batch_lines.
-  std::size_t slots = cache_.capacity_lines() > cache_.resident_lines()
-                          ? cache_.capacity_lines() - cache_.resident_lines()
-                          : 0;
-  std::vector<std::pair<mem::MemoryServer*, std::vector<LineId>>> groups;
-  std::size_t accepted = 0;
-  for (LineId l : candidates) {
-    if (accepted >= slots) break;  // don't evict for a guess
-    if (cache_.contains(l)) continue;
-    const mem::PageId first = cache_.first_page(l);
-    if (!rt_->gas_.is_assigned(first)) continue;
-    if (has_remote_dirty_holder(l)) continue;
-    mem::MemoryServer* server = &rt_->home_server(first);
-    auto it = std::find_if(groups.begin(), groups.end(),
-                           [&](const auto& g) { return g.first == server; });
-    if (it == groups.end()) {
-      groups.push_back({server, {l}});
-    } else {
-      if (std::find(it->second.begin(), it->second.end(), l) != it->second.end()) continue;
-      it->second.push_back(l);
-    }
-    ++accepted;
-  }
-  for (auto& [server, lines] : groups) {
-    for (std::size_t i = 0; i < lines.size(); i += cfg.max_batch_lines) {
-      const std::size_t n = std::min<std::size_t>(cfg.max_batch_lines, lines.size() - i);
-      issue_prefetch_rpc(*server, std::span<const LineId>(lines.data() + i, n));
-    }
-  }
-}
-
-void SamThreadCtx::issue_prefetch_rpc(mem::MemoryServer& server,
-                                      std::span<const LineId> lines) {
-  const auto& cfg = rt_->config();
-  const std::size_t bytes = cfg.line_bytes();
-  const std::size_t total = bytes * lines.size();
-  // Asynchronous request: transport + service booked now, the thread does
-  // not wait. Content is materialized at issue time (see DESIGN.md §8).
-  SimTime resp;
-  if (lines.size() == 1) {
-    resp = rt_->scl_.rpc(clock(), node_, server.node(), kCtrl, bytes + kCtrl,
-                         server.service(), server.service_time(bytes));
-  } else {
-    const SimTime t0 = clock();
-    const SimTime at_server =
-        rt_->scl_.send(t0, node_, server.node(),
-                       kCtrl + lines.size() * scl::kSegmentDescBytes);
-    const SimTime served = server.serve_batch(at_server, lines.size(), total);
-    resp = rt_->scl_.send(served, server.node(), node_, total + kCtrl);
-    ++metrics_.batched_fetches;
-    metrics_.batch_segments += lines.size();
-    trace(sim::TraceKind::kBatchFetch, lines.front(), lines.size());
-    trace_span(t0, resp, sim::SpanCat::kBatchRpc, lines.front());
-  }
-  for (LineId l : lines) {
-    std::vector<std::byte> data(bytes);
-    server.read_bytes(cache_.line_base(l), data.data(), bytes);
-    cache_.install(l, std::move(data), resp, /*prefetched=*/true);
-    const mem::PageId first = cache_.first_page(l);
-    for (unsigned p = 0; p < cfg.pages_per_line; ++p) {
-      rt_->directory_.note_cached(first + p, idx_);
-    }
-    ++metrics_.prefetch_issued;
-    metrics_.bytes_fetched += bytes;
-    trace(sim::TraceKind::kPrefetchIssue, l, bytes);
-  }
-}
-
-std::span<std::byte> SamThreadCtx::view_common(rt::Addr addr, std::size_t bytes,
-                                               bool for_write) {
-  SAM_EXPECT(bytes > 0, "empty view");
-  const LineId first_line = cache_.line_of_addr(addr);
-  const LineId last_line = cache_.line_of_addr(addr + bytes - 1);
-  SAM_EXPECT(first_line == last_line,
-             "view crosses a cache-line boundary; split it (see rt::for_each_chunk)");
-
-  PageCache::Line& line = ensure_line(first_line, Bucket::kCompute);
-
-  if (for_write) {
-    if (regions_.in_consistency_region() && rt_->config().finegrain_updates) {
-      // The store-instrumentation path: record fine-grain ranges; values are
-      // materialized at release. Pin the line so the data survives eviction.
-      // Consistency-region stores propagate exclusively through lock-carried
-      // update sets (applied at acquire and at barriers), NOT through page
-      // invalidation — that is RegC's "different update mechanisms" design.
-      store_log_.record(addr, bytes);
-      pinned_lines_.insert(first_line);
-    } else {
-      if (cache_.needs_twin(line)) {
-        cache_.make_twin(line);
-        charge(rt_->config().twin_time(), Bucket::kCompute);
-        ++metrics_.twins_created;
-      }
-      cache_.mark_written(line, addr, bytes);
-      const mem::PageId p0 = mem::page_of(addr);
-      const mem::PageId p1 = mem::page_of(addr + bytes - 1);
-      for (mem::PageId p = p0; p <= p1; ++p) {
-        rt_->directory_.note_write(p, idx_);
-        rt_->directory_.note_dirty(p, idx_);
-      }
-    }
-  }
-
-  const std::size_t offset = addr - cache_.line_base(first_line);
-  return {line.data.data() + offset, bytes};
-}
-
 std::span<const std::byte> SamThreadCtx::read_view(rt::Addr addr, std::size_t bytes) {
-  return view_common(addr, bytes, /*for_write=*/false);
+  return paging_.view(addr, bytes, /*for_write=*/false);
 }
 
 std::span<std::byte> SamThreadCtx::write_view(rt::Addr addr, std::size_t bytes) {
-  return view_common(addr, bytes, /*for_write=*/true);
+  return paging_.view(addr, bytes, /*for_write=*/true);
 }
 
 std::size_t SamThreadCtx::view_granularity() const { return rt_->config().line_bytes(); }
 
 void SamThreadCtx::charge_flops(double flops) {
-  charge(rt_->config().cost.flops_time(flops), Bucket::kCompute);
+  ec_.charge(rt_->config().cost.flops_time(flops), Bucket::kCompute);
 }
 
 void SamThreadCtx::charge_mem_ops(std::uint64_t loads, std::uint64_t stores) {
-  charge(rt_->config().cost.mem_ops_time(loads, stores), Bucket::kCompute);
-}
-
-// ---------------------------------------------------------------------------
-// Flush / invalidate (RegC ordinary-region consistency)
-// ---------------------------------------------------------------------------
-
-void SamThreadCtx::flush_line(PageCache::Line& line, Bucket bucket) {
-  // The line may have been cleaned under us: flush loops yield (transport
-  // booking), and during a yield another thread's demand fetch can lazily
-  // pull — and thereby clean — any of our dirty lines.
-  if (!line.dirty) return;
-  const auto& cfg = rt_->config();
-  charge(cfg.diff_scan_time(), bucket);
-  const regc::Diff diff =
-      regc::Diff::between(cache_.line_base(line.id), line.twin, line.data);
-  if (!diff.empty()) {
-    const mem::PageId first = cache_.first_page(line.id);
-    mem::MemoryServer& server = rt_->home_server(first);
-    rt_->sched_.yield_current();
-    const SimTime t0 = clock();
-    const std::size_t wire = diff.wire_bytes();
-    const SimTime resp = rt_->scl_.rpc(t0, node_, server.node(), wire + kCtrl, kCtrl,
-                                       server.service(), server.service_time(wire));
-    rt_->apply_diff_global(diff);
-    sim_thread_->advance_to(resp);
-    account_since(t0, bucket);
-    metrics_.bytes_flushed += wire;
-    ++metrics_.diffs_flushed;
-    trace(sim::TraceKind::kFlush, line.id, wire);
-  }
-  for (mem::PageId page : cache_.dirty_pages(line)) {
-    rt_->directory_.clear_dirty(page, idx_);
-  }
-  cache_.clean(line);
-}
-
-void SamThreadCtx::flush_batched(const std::vector<PageCache::Line*>& lines, Bucket bucket) {
-  const auto& cfg = rt_->config();
-  struct Pending {
-    PageCache::Line* line;
-    regc::Diff diff;
-    std::size_t wire;
-    mem::MemoryServer* server;
-  };
-  std::vector<Pending> pend;
-  pend.reserve(lines.size());
-  for (PageCache::Line* line : lines) {
-    if (!line->dirty) continue;
-    charge(cfg.diff_scan_time(), bucket);
-    regc::Diff diff = regc::Diff::between(cache_.line_base(line->id), line->twin, line->data);
-    if (diff.empty()) {
-      for (mem::PageId page : cache_.dirty_pages(*line)) {
-        rt_->directory_.clear_dirty(page, idx_);
-      }
-      cache_.clean(*line);
-      continue;
-    }
-    const std::size_t wire = diff.wire_bytes();
-    pend.push_back(Pending{line, std::move(diff), wire,
-                           &rt_->home_server(cache_.first_page(line->id))});
-  }
-  if (pend.empty()) return;
-
-  rt_->sched_.yield_current();
-  // During the yield another thread's demand fetch can lazily pull — and
-  // thereby clean — any of these lines; those diffs already reached the
-  // servers, so shipping them again would double-publish.
-  std::erase_if(pend, [](const Pending& p) { return !p.line->dirty; });
-  if (pend.empty()) return;
-
-  const SimTime t0 = clock();
-  // Group per home server (dirty-walk order, deterministic), chunked at
-  // max_batch_lines diffs per gathered RPC.
-  std::vector<std::vector<Pending*>> chunks;
-  {
-    std::vector<std::pair<mem::MemoryServer*, std::vector<Pending*>>> by_server;
-    for (Pending& p : pend) {
-      auto it = std::find_if(by_server.begin(), by_server.end(),
-                             [&](const auto& g) { return g.first == p.server; });
-      if (it == by_server.end()) {
-        by_server.push_back({p.server, {&p}});
-      } else {
-        it->second.push_back(&p);
-      }
-    }
-    const std::size_t chunk_max = std::max<std::size_t>(1, cfg.max_batch_lines);
-    for (auto& [server, list] : by_server) {
-      for (std::size_t i = 0; i < list.size(); i += chunk_max) {
-        const std::size_t n = std::min(chunk_max, list.size() - i);
-        chunks.emplace_back(list.begin() + static_cast<std::ptrdiff_t>(i),
-                            list.begin() + static_cast<std::ptrdiff_t>(i + n));
-      }
-    }
-  }
-
-  // Pipelined: every chunk posts at t0 (the sender's tx port serializes the
-  // wire; service + acks overlap across servers) and the thread stalls for
-  // the slowest response only. Sequential: each chunk posts when the
-  // previous response lands, as the per-line protocol would.
-  SimTime cursor = t0;
-  SimTime last = t0;
-  SimDuration durations_sum = 0;
-  for (const std::vector<Pending*>& chunk : chunks) {
-    mem::MemoryServer& server = *chunk.front()->server;
-    std::size_t wire = 0;
-    for (const Pending* p : chunk) wire += p->wire;
-    const std::size_t nseg = chunk.size();
-    const std::size_t request_bytes =
-        nseg == 1 ? wire + kCtrl : wire + kCtrl + nseg * scl::kSegmentDescBytes;
-    const SimTime start = cfg.flush_pipeline ? t0 : cursor;
-    const SimTime at_server = rt_->scl_.send(start, node_, server.node(), request_bytes);
-    const SimTime served = nseg == 1
-                               ? server.service().serve(at_server, server.service_time(wire))
-                               : server.serve_batch(at_server, nseg, wire);
-    const SimTime done = rt_->scl_.send(served, server.node(), node_, kCtrl);
-    cursor = done;
-    last = std::max(last, done);
-    durations_sum += done - start;
-    if (nseg > 1) {
-      ++metrics_.batched_flushes;
-      metrics_.batch_segments += nseg;
-      trace(sim::TraceKind::kBatchFlush, chunk.front()->line->id, nseg);
-    }
-    trace_span(start, done, sim::SpanCat::kBatchRpc, chunk.front()->line->id);
-    for (const Pending* p : chunk) {
-      rt_->apply_diff_global(p->diff);
-      for (mem::PageId page : cache_.dirty_pages(*p->line)) {
-        rt_->directory_.clear_dirty(page, idx_);
-      }
-      cache_.clean(*p->line);
-      metrics_.bytes_flushed += p->wire;
-      ++metrics_.diffs_flushed;
-      trace(sim::TraceKind::kFlush, p->line->id, p->wire);
-    }
-  }
-  if (cfg.flush_pipeline && chunks.size() > 1) {
-    metrics_.flush_overlap_saved_ns += durations_sum - (last - t0);
-  }
-  sim_thread_->advance_to(last);
-  account_since(t0, bucket);
-}
-
-void SamThreadCtx::flush_all_dirty(Bucket bucket) {
-  const auto& cfg = rt_->config();
-  if (cfg.max_batch_lines > 1 || cfg.flush_pipeline) {
-    flush_batched(cache_.dirty_lines(), bucket);
-    return;
-  }
-  for (PageCache::Line* line : cache_.dirty_lines()) {
-    flush_line(*line, bucket);
-  }
-}
-
-void SamThreadCtx::flush_shared_dirty(Bucket bucket) {
-  const auto& cfg = rt_->config();
-  const mem::ThreadMask me = mem::thread_bit(idx_);
-  auto shared_with_others = [&](const PageCache::Line& line) {
-    mem::ThreadMask others = 0;
-    const mem::PageId first = cache_.first_page(line.id);
-    for (unsigned p = 0; p < cfg.pages_per_line; ++p) {
-      others |= rt_->directory_.copyset(first + p);
-    }
-    return (others & ~me) != 0;
-  };
-  if (cfg.max_batch_lines > 1 || cfg.flush_pipeline) {
-    std::vector<PageCache::Line*> shared;
-    for (PageCache::Line* line : cache_.dirty_lines()) {
-      if (shared_with_others(*line)) shared.push_back(line);
-    }
-    flush_batched(shared, bucket);
-    return;
-  }
-  for (PageCache::Line* line : cache_.dirty_lines()) {
-    if (shared_with_others(*line)) flush_line(*line, bucket);
-  }
-}
-
-void SamThreadCtx::flush_remaining_functional() {
-  for (PageCache::Line* line : cache_.dirty_lines()) {
-    const regc::Diff diff =
-        regc::Diff::between(cache_.line_base(line->id), line->twin, line->data);
-    rt_->apply_diff_global(diff);
-    for (mem::PageId page : cache_.dirty_pages(*line)) {
-      rt_->directory_.clear_dirty(page, idx_);
-    }
-    cache_.clean(*line);
-  }
-}
-
-bool SamThreadCtx::has_remote_dirty_holder(LineId line) const {
-  const mem::PageId first = cache_.first_page(line);
-  mem::ThreadMask holders = 0;
-  for (unsigned p = 0; p < rt_->config().pages_per_line; ++p) {
-    holders |= rt_->directory_.dirty_holders(first + p);
-  }
-  return (holders & ~mem::thread_bit(idx_)) != 0;
-}
-
-SimTime SamThreadCtx::lazy_pull(LineId line, SimTime at_server) {
-  const mem::PageId first = cache_.first_page(line);
-  mem::ThreadMask holders = 0;
-  for (unsigned p = 0; p < rt_->config().pages_per_line; ++p) {
-    holders |= rt_->directory_.dirty_holders(first + p);
-  }
-  holders &= ~mem::thread_bit(idx_);
-  SimTime ready = at_server;
-  const net::NodeId server_node = rt_->home_server(first).node();
-  for (mem::ThreadIdx h = 0; holders != 0; ++h, holders >>= 1) {
-    // Walk holder threads in index order (deterministic).
-    if ((holders & 1) == 0) continue;
-    SamThreadCtx& other = *rt_->ctxs_[h];
-    PageCache::Line* l = other.cache_.find(line);
-    if (l == nullptr || !l->dirty) continue;  // holder info was page-stale
-    const regc::Diff diff =
-        regc::Diff::between(other.cache_.line_base(line), l->twin, l->data);
-    rt_->apply_diff_global(diff);
-    // The server requests the diff from the holder node (one-sided handler
-    // on the holder; the holder's compute thread is not interrupted).
-    const std::size_t wire = diff.wire_bytes();
-    const net::NodeId holder_node = other.node_;
-    ready = rt_->scl_.rpc(ready, server_node, holder_node, scl::kCtrlBytes,
-                          wire + scl::kCtrlBytes, rt_->node_sync_.at(holder_node),
-                          300 + from_seconds(static_cast<double>(wire) /
-                                             rt_->config().local_copy_bw));
-    for (mem::PageId page : other.cache_.dirty_pages(*l)) {
-      rt_->directory_.clear_dirty(page, h);
-    }
-    other.cache_.clean(*l);
-    other.metrics_.bytes_flushed += wire;
-    ++other.metrics_.diffs_flushed;
-    trace(sim::TraceKind::kLazyPull, line, wire);
-  }
-  return ready;
-}
-
-void SamThreadCtx::invalidate_stale(Bucket bucket) {
-  const auto& snapshot = rt_->epoch_snapshot_;
-  if (snapshot.empty()) return;
-  const auto& cfg = rt_->config();
-  const mem::ThreadMask me = mem::thread_bit(idx_);
-  for (LineId id : cache_.resident_line_ids()) {
-    PageCache::Line* line = cache_.find(id);
-    const mem::PageId first = cache_.first_page(id);
-    bool stale = false;
-    for (unsigned p = 0; p < cfg.pages_per_line && !stale; ++p) {
-      auto it = snapshot.find(first + p);
-      if (it != snapshot.end() && (it->second & ~me) != 0) stale = true;
-    }
-    if (!stale) continue;
-    // A falsely-shared line can still be dirty here: its other writers may
-    // have invalidated their copies before our flush phase saw them in the
-    // copyset. Publish our bytes before dropping the line.
-    if (line->dirty) flush_line(*line, bucket);
-    for (unsigned p = 0; p < cfg.pages_per_line; ++p) {
-      rt_->directory_.note_evicted(first + p, idx_);
-    }
-    cache_.erase(id);
-    ++metrics_.invalidations;
-    trace(sim::TraceKind::kInvalidate, id, 0);
-    charge(cfg.invalidate_per_line, bucket);
-  }
-}
-
-// ---------------------------------------------------------------------------
-// RegC consistency-region machinery (locks + update sets)
-// ---------------------------------------------------------------------------
-
-regc::Diff SamThreadCtx::materialize_store_log() {
-  regc::Diff diff;
-  for (const auto& range : store_log_.coalesced()) {
-    // Values live in the cache; pinning guaranteed residency.
-    std::vector<std::byte> buf(range.size);
-    std::size_t done = 0;
-    while (done < range.size) {
-      const mem::GAddr a = range.addr + done;
-      const LineId lid = cache_.line_of_addr(a);
-      PageCache::Line* line = cache_.find(lid);
-      SAM_EXPECT(line != nullptr, "store-log line evicted despite pin");
-      const std::size_t off = a - cache_.line_base(lid);
-      const std::size_t chunk =
-          std::min(range.size - done, rt_->config().line_bytes() - off);
-      std::memcpy(buf.data() + done, line->data.data() + off, chunk);
-      // Consistency-region stores must stay invisible to the ordinary-region
-      // twin/diff mechanism: if the line is also ordinary-dirty, mirror the
-      // bytes into the twin so the next barrier diff excludes them (they are
-      // published through the update window instead).
-      if (!line->twin.empty()) {
-        std::memcpy(line->twin.data() + off, buf.data() + done, chunk);
-      }
-      done += chunk;
-    }
-    diff.add_range(range.addr, buf);
-  }
-  store_log_.clear();
-  pinned_lines_.clear();
-  return diff;
-}
-
-void SamThreadCtx::apply_update_sets(rt::MutexId m, Bucket bucket) {
-  Manager::Mutex& mx = rt_->manager_.mutex(m);
-  std::vector<const regc::UpdateSet*> sets;
-  std::size_t bytes = 0;
-  const std::uint64_t high = mx.window.collect_since(mx.seen[idx_], sets, bytes);
-  if (sets.empty()) return;
-  for (const regc::UpdateSet* s : sets) {
-    // Patch resident cached lines; non-resident data will be demand-fetched
-    // from the (already updated) memory servers.
-    for (const auto& r : s->diff.ranges()) {
-      const LineId first_line = cache_.line_of_addr(r.addr);
-      const LineId last_line = cache_.line_of_addr(r.addr + r.data.size() - 1);
-      for (LineId lid = first_line; lid <= last_line; ++lid) {
-        if (PageCache::Line* line = cache_.find(lid)) {
-          s->diff.apply_to_buffer(cache_.line_base(lid), line->data);
-          // Keep the twin in sync so an ordinary-dirty line's next diff
-          // does not re-ship (and potentially clobber) update-set bytes.
-          if (!line->twin.empty()) {
-            s->diff.apply_to_buffer(cache_.line_base(lid), line->twin);
-          }
-        }
-      }
-    }
-  }
-  mx.seen[idx_] = high;
-  metrics_.update_set_bytes += bytes;
-  trace(sim::TraceKind::kUpdateApply, m, bytes);
-  charge(from_seconds(static_cast<double>(bytes) / rt_->config().local_copy_bw), bucket);
-
-  // Garbage-collect update sets every thread has consumed (bounds the
-  // window under long-running lock ping-pong).
-  std::uint64_t min_seen = mx.seen[0];
-  for (std::uint32_t t = 1; t < nthreads_; ++t) min_seen = std::min(min_seen, mx.seen[t]);
-  mx.window.trim(min_seen);
-}
-
-void SamThreadCtx::invalidate_lock_pages(rt::MutexId m, Bucket bucket) {
-  Manager::Mutex& mx = rt_->manager_.mutex(m);
-  const std::uint64_t seen = mx.seen_page_seq[idx_];
-  if (seen == mx.release_counter) return;
-  for (const auto& [page, seq] : mx.page_release_seq) {
-    if (seq <= seen) continue;
-    const LineId lid = cache_.line_of_page(page);
-    if (PageCache::Line* line = cache_.find(lid)) {
-      if (line->dirty) flush_line(*line, bucket);
-      const mem::PageId first = cache_.first_page(lid);
-      for (unsigned p = 0; p < rt_->config().pages_per_line; ++p) {
-        rt_->directory_.note_evicted(first + p, idx_);
-      }
-      cache_.erase(lid);
-      ++metrics_.invalidations;
-      charge(rt_->config().invalidate_per_line, bucket);
-    }
-  }
-  mx.seen_page_seq[idx_] = mx.release_counter;
-}
-
-void SamThreadCtx::publish_pages_on_release(rt::MutexId m, Bucket bucket) {
-  Manager::Mutex& mx = rt_->manager_.mutex(m);
-  ++mx.release_counter;
-  for (PageCache::Line* line : cache_.dirty_lines()) {
-    for (mem::PageId page : cache_.dirty_pages(*line)) {
-      mx.page_release_seq[page] = mx.release_counter;
-    }
-    flush_line(*line, bucket);
-  }
-  mx.seen_page_seq[idx_] = mx.release_counter;
-}
-
-void SamThreadCtx::acquire_consistency(rt::MutexId m, Bucket bucket) {
-  if (rt_->config().finegrain_updates) {
-    apply_update_sets(m, bucket);
-  } else {
-    invalidate_lock_pages(m, bucket);
-  }
-}
-
-void SamThreadCtx::lock(rt::MutexId m) {
-  rt_->sched_.yield_current();
-  const SimTime t0 = clock();
-  Manager::Mutex& mx = rt_->manager_.mutex(m);
-  ++mx.acquisitions;
-
-  const SimTime t_arrive = rt_->scl_.send(t0, node_, sync_node(), kCtrl);
-  const SimTime t_served = sync_service().serve(t_arrive, sync_service_time());
-
-  if (!mx.holder.has_value()) {
-    mx.holder = idx_;
-    // Grant carries the pending fine-grain update sets for this thread.
-    std::vector<const regc::UpdateSet*> sets;
-    std::size_t bytes = 0;
-    mx.window.collect_since(mx.seen[idx_], sets, bytes);
-    const SimTime t_resp = rt_->scl_.send(t_served, sync_node(), node_, kCtrl + bytes);
-    sim_thread_->advance_to(t_resp);
-  } else {
-    ++mx.contended_acquisitions;
-    mx.waiters.push_back(Manager::Waiter{idx_, sim_thread_});
-    rt_->sched_.block_current();
-    SAM_EXPECT(mx.holder.has_value() && *mx.holder == idx_,
-               "woken lock waiter does not hold the lock");
-  }
-  account_since(t0, Bucket::kLock);       // transport + service + queueing
-  trace_span(t0, clock(), sim::SpanCat::kLockWait, m);
-  acquire_consistency(m, Bucket::kLock);  // self-charges the local work
-  lock_acquired_at_[m] = clock();
-  regions_.enter_region(m);
-  trace(sim::TraceKind::kLockAcquire, m, mx.contended_acquisitions);
-}
-
-void SamThreadCtx::release_mutex_at(rt::MutexId m, SimTime t_served) {
-  Manager::Mutex& mx = rt_->manager_.mutex(m);
-  SAM_EXPECT(mx.holder.has_value() && *mx.holder == idx_, "release of non-held mutex");
-  if (!mx.waiters.empty()) {
-    Manager::Waiter w = mx.waiters.front();
-    mx.waiters.pop_front();
-    mx.holder = w.thread;
-    // Grant message carries the update sets the waiter has not yet seen.
-    std::vector<const regc::UpdateSet*> sets;
-    std::size_t bytes = 0;
-    mx.window.collect_since(mx.seen[w.thread], sets, bytes);
-    const net::NodeId waiter_node = rt_->config().compute_node(w.thread);
-    const SimTime t_grant = rt_->scl_.send(t_served, sync_node(), waiter_node, kCtrl + bytes);
-    rt_->sched_.unblock(w.sim_thread, t_grant);
-  } else {
-    mx.holder.reset();
-  }
-}
-
-void SamThreadCtx::unlock(rt::MutexId m) {
-  regions_.exit_region(m);
-
-  if (!rt_->config().finegrain_updates) {
-    // Page-grain eager-release fallback (A6): flush everything dirty and
-    // stamp the released pages on the lock.
-    publish_pages_on_release(m, Bucket::kLock);
-  }
-
-  // Materialize the consistency-region stores into a fine-grain update set
-  // (empty in page-grain mode: stores were never logged).
-  regc::Diff diff = materialize_store_log();
-  const std::size_t wire = diff.wire_bytes();
-  charge(from_seconds(static_cast<double>(wire) / rt_->config().local_copy_bw),
-         Bucket::kLock);
-
-  rt_->sched_.yield_current();
-  const SimTime t0 = clock();
-  const SimTime t_arrive = rt_->scl_.send(t0, node_, sync_node(), kCtrl + wire);
-  const SimTime t_served = sync_service().serve(t_arrive, sync_service_time());
-
-  // Functional release effects happen here — after the transport yield — so
-  // no earlier-clock thread can observe a value the release has not yet
-  // semantically published (the paranoid validator checks exactly this).
-  rt_->apply_diff_global(diff);  // home servers stay authoritative
-  Manager::Mutex& mx = rt_->manager_.mutex(m);
-  if (!diff.empty()) {
-    regc::UpdateSet set;
-    set.lock = m;
-    set.releaser = idx_;
-    set.diff = std::move(diff);
-    mx.window.push(std::move(set));
-    mx.seen[idx_] = mx.window.latest_seq();
-    metrics_.update_set_bytes += wire;
-  }
-
-  release_mutex_at(m, t_served);
-
-  const SimTime t_ack = rt_->scl_.send(t_served, sync_node(), node_, kCtrl);
-  sim_thread_->advance_to(t_ack);
-  account_since(t0, Bucket::kLock);
-  if (auto it = lock_acquired_at_.find(m); it != lock_acquired_at_.end()) {
-    trace_span(it->second, clock(), sim::SpanCat::kLockHeld, m);
-    lock_acquired_at_.erase(it);
-  }
-  trace(sim::TraceKind::kLockRelease, m, wire);
-}
-
-void SamThreadCtx::cond_wait(rt::CondId c, rt::MutexId m) {
-  regions_.exit_region(m);
-  if (auto it = lock_acquired_at_.find(m); it != lock_acquired_at_.end()) {
-    trace_span(it->second, clock(), sim::SpanCat::kLockHeld, m);
-    lock_acquired_at_.erase(it);
-  }
-
-  if (!rt_->config().finegrain_updates) {
-    publish_pages_on_release(m, Bucket::kLock);
-  }
-
-  // Release side: identical consistency work to unlock().
-  regc::Diff diff = materialize_store_log();
-  const std::size_t wire = diff.wire_bytes();
-  charge(from_seconds(static_cast<double>(wire) / rt_->config().local_copy_bw),
-         Bucket::kLock);
-
-  rt_->sched_.yield_current();
-  const SimTime t0 = clock();
-  const SimTime t_arrive = rt_->scl_.send(t0, node_, sync_node(), kCtrl + wire);
-  const SimTime t_served = sync_service().serve(t_arrive, sync_service_time());
-
-  rt_->apply_diff_global(diff);  // after the transport yield, as in unlock()
-  Manager::Mutex& mx = rt_->manager_.mutex(m);
-  if (!diff.empty()) {
-    regc::UpdateSet set;
-    set.lock = m;
-    set.releaser = idx_;
-    set.diff = std::move(diff);
-    mx.window.push(std::move(set));
-    mx.seen[idx_] = mx.window.latest_seq();
-    metrics_.update_set_bytes += wire;
-  }
-
-  // Park on the condition variable *before* handing the lock on, so a
-  // signal from the woken lock holder can reach this thread.
-  Manager::Cond& cv = rt_->manager_.cond(c);
-  cv.waiters.push_back(Manager::Waiter{idx_, sim_thread_});
-  cv.waiter_mutex.push_back(m);
-
-  release_mutex_at(m, t_served);
-  rt_->sched_.block_current();
-
-  // Woken by signal/broadcast with the mutex already granted to us.
-  SAM_EXPECT(mx.holder.has_value() && *mx.holder == idx_,
-             "cond_wait woke without holding the mutex");
-  account_since(t0, Bucket::kLock);
-  trace_span(t0, clock(), sim::SpanCat::kLockWait, m);
-  acquire_consistency(m, Bucket::kLock);
-  lock_acquired_at_[m] = clock();
-  regions_.enter_region(m);
-}
-
-void SamThreadCtx::cond_signal(rt::CondId c) {
-  rt_->sched_.yield_current();
-  const SimTime t0 = clock();
-  const SimTime t_arrive = rt_->scl_.send(t0, node_, sync_node(), kCtrl);
-  const SimTime t_served = sync_service().serve(t_arrive, sync_service_time());
-
-  Manager::Cond& cv = rt_->manager_.cond(c);
-  if (!cv.waiters.empty()) {
-    Manager::Waiter w = cv.waiters.front();
-    cv.waiters.pop_front();
-    const rt::MutexId m = cv.waiter_mutex.front();
-    cv.waiter_mutex.erase(cv.waiter_mutex.begin());
-    Manager::Mutex& mx = rt_->manager_.mutex(m);
-    if (!mx.holder.has_value()) {
-      mx.holder = w.thread;
-      const net::NodeId waiter_node = rt_->config().compute_node(w.thread);
-      const SimTime t_grant = rt_->scl_.send(t_served, sync_node(), waiter_node, kCtrl);
-      rt_->sched_.unblock(w.sim_thread, t_grant);
-    } else {
-      mx.waiters.push_back(w);  // re-acquire once the holder releases
-    }
-  }
-  const SimTime t_ack = rt_->scl_.send(t_served, sync_node(), node_, kCtrl);
-  sim_thread_->advance_to(t_ack);
-  account_since(t0, Bucket::kLock);
-}
-
-void SamThreadCtx::cond_broadcast(rt::CondId c) {
-  // Drain the queue via repeated signal semantics under one service visit.
-  Manager::Cond& cv = rt_->manager_.cond(c);
-  const std::size_t n = cv.waiters.size();
-  for (std::size_t i = 0; i < n; ++i) cond_signal(c);
-  if (n == 0) cond_signal(c);  // charge the round trip even when empty
-}
-
-// ---------------------------------------------------------------------------
-// Barrier (RegC global consistency point)
-// ---------------------------------------------------------------------------
-
-void SamThreadCtx::barrier(rt::BarrierId b) {
-  SAM_EXPECT(regions_.depth() == 0,
-             "barrier inside a consistency region (lock held) is not supported");
-
-  // Phase 1: publish ordinary-region writes that someone else caches (diff
-  // against twins, ship home). Unshared dirty lines stay local — they are
-  // pulled lazily if anyone ever fetches them.
-  flush_shared_dirty(Bucket::kBarrier);
-
-  // Phase 2: arrive at the barrier service.
-  rt_->sched_.yield_current();
-  const SimTime t0 = clock();
-  const SimTime t_arrive = rt_->scl_.send(t0, node_, sync_node(), kCtrl);
-  const SimTime t_served = sync_service().serve(t_arrive, sync_service_time());
-
-  Manager::Barrier& bar = rt_->manager_.barrier(b);
-  SAM_EXPECT(bar.arrived.size() < bar.parties, "barrier overfilled");
-  bar.arrived.push_back(Manager::Waiter{idx_, sim_thread_});
-  bar.last_arrival_service_done = std::max(bar.last_arrival_service_done, t_served);
-  trace(sim::TraceKind::kBarrierArrive, b, bar.arrived.size());
-
-  if (bar.arrived.size() < bar.parties) {
-    rt_->sched_.block_current();
-  } else {
-    // Last arrival: close the RegC epoch and release everyone.
-    rt_->epoch_snapshot_ = rt_->directory_.epoch_write_map();
-    rt_->directory_.end_epoch();
-    const SimTime t_rel = bar.last_arrival_service_done;
-    for (const Manager::Waiter& w : bar.arrived) {
-      if (w.thread == idx_) continue;
-      const net::NodeId n = rt_->config().compute_node(w.thread);
-      const SimTime t_go = rt_->scl_.send(t_rel, sync_node(), n, kCtrl);
-      rt_->sched_.unblock(w.sim_thread, t_go);
-    }
-    bar.arrived.clear();
-    ++bar.generation;
-    trace(sim::TraceKind::kBarrierRelease, b, bar.generation);
-    const SimTime t_go = rt_->scl_.send(t_rel, sync_node(), node_, kCtrl);
-    sim_thread_->advance_to(t_go);
-  }
-  account_since(t0, Bucket::kBarrier);  // arrival transport + wait + release
-  trace_span(t0, clock(), sim::SpanCat::kBarrierWait, b);
-
-  // Phase 3: drop falsely-shared lines written by others this epoch.
-  invalidate_stale(Bucket::kBarrier);
-
-  // Phase 4: a barrier is a global consistency point, so pending fine-grain
-  // update sets of every lock become visible here too (without paying page
-  // invalidations for mutex-protected data).
-  for (rt::MutexId m = 0; m < rt_->manager_.mutex_count(); ++m) {
-    apply_update_sets(m, Bucket::kBarrier);
-  }
-
-  if (rt_->config().paranoid_checks) validate_clean_lines();
-}
-
-void SamThreadCtx::validate_clean_lines() {
-  // Debug invariant: a resident clean line must match the authoritative
-  // server bytes — except where RegC legitimately allows this thread to lag:
-  //   (a) another thread holds unflushed (dirty-holder) modifications,
-  //   (b) another thread already wrote the page in the *current* epoch
-  //       (threads released from a barrier at different times may race
-  //       ahead; visibility is only promised at this thread's next sync),
-  //   (c) bytes covered by update sets this thread has not yet consumed
-  //       (they become visible at its next acquire/barrier).
-  // Anything else diverging is a protocol bug.
-  const auto& cfg = rt_->config();
-  const mem::ThreadMask me = mem::thread_bit(idx_);
-  std::vector<std::byte> authoritative(cfg.line_bytes());
-  for (LineId id : cache_.resident_line_ids()) {
-    PageCache::Line* line = cache_.find(id);
-    if (line->dirty) continue;
-    if (line->ready_time > clock()) continue;  // prefetch content in flight
-    const mem::PageId first = cache_.first_page(id);
-    bool skip = false;
-    for (unsigned p = 0; p < cfg.pages_per_line && !skip; ++p) {
-      if (rt_->directory_.dirty_holders(first + p) != 0) skip = true;      // (a)
-      if ((rt_->directory_.epoch_writers(first + p) & ~me) != 0) skip = true;  // (b)
-    }
-    if (skip) continue;
-    const mem::GAddr base = cache_.line_base(id);
-    rt_->read_global(base, authoritative.data(), cfg.line_bytes());
-    // (c): neutralize bytes of update sets this thread has not consumed.
-    for (rt::MutexId m = 0; m < rt_->manager_.mutex_count(); ++m) {
-      Manager::Mutex& mx = rt_->manager_.mutex(m);
-      std::vector<const regc::UpdateSet*> unseen;
-      std::size_t bytes = 0;
-      mx.window.collect_since(mx.seen[idx_], unseen, bytes);
-      for (const regc::UpdateSet* set : unseen) {
-        for (const auto& r : set->diff.ranges()) {
-          const mem::GAddr lo = std::max<mem::GAddr>(r.addr, base);
-          const mem::GAddr hi =
-              std::min<mem::GAddr>(r.addr + r.data.size(), base + cfg.line_bytes());
-          if (lo < hi) {
-            std::memcpy(authoritative.data() + (lo - base),
-                        line->data.data() + (lo - base), hi - lo);
-          }
-        }
-      }
-    }
-    if (authoritative != line->data) {
-      std::size_t off = 0;
-      while (off < authoritative.size() && authoritative[off] == line->data[off]) ++off;
-      double server_v = 0, cache_v = 0;
-      const std::size_t d = off / 8 * 8;
-      std::memcpy(&server_v, authoritative.data() + d, 8);
-      std::memcpy(&cache_v, line->data.data() + d, 8);
-      SAM_EXPECT(false, "paranoid check: clean cached line diverged from server (line " +
-                            std::to_string(id) + ", thread " + std::to_string(idx_) +
-                            ", byte " + std::to_string(off) + ", server=" +
-                            std::to_string(server_v) + ", cache=" +
-                            std::to_string(cache_v) + ")");
-    }
-  }
+  ec_.charge(rt_->config().cost.mem_ops_time(loads, stores), Bucket::kCompute);
 }
 
 // ---------------------------------------------------------------------------
@@ -1142,12 +116,12 @@ void SamThreadCtx::validate_clean_lines() {
 void SamThreadCtx::begin_measurement() {
   metrics_.reset_counters();
   metrics_.measuring = true;
-  metrics_.measure_begin = clock();
+  metrics_.measure_begin = ec_.clock();
 }
 
 void SamThreadCtx::end_measurement() {
   SAM_EXPECT(metrics_.measuring, "end_measurement without begin_measurement");
-  metrics_.measure_end = clock();
+  metrics_.measure_end = ec_.clock();
 }
 
 }  // namespace sam::core

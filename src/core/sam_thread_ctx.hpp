@@ -1,46 +1,46 @@
 // SamThreadCtx: one Samhita compute thread's runtime context.
 //
-// Implements rt::ThreadCtx on top of the simulated platform: every memory
-// view goes through the thread's software PageCache (demand paging,
-// prefetch, twins, store logs), and every synchronization call performs the
-// RegC consistency choreography (flush diffs / ship update sets / invalidate
-// falsely-shared lines) with fully timed transport and service booking.
+// A thin adapter implementing rt::ThreadCtx by wiring three engines to the
+// thread's state (page cache, prefetcher, metrics, virtual clock):
+//
+//   core::PagingEngine        — demand paging, prefetch, eviction
+//   core::ConsistencyPolicy   — the consistency protocol (regc::
+//                               ConsistencyEngine by default, selected via
+//                               SamhitaConfig::consistency_policy)
+//   core::SyncClient          — lock/cond/barrier transport choreography
+//
+// The ctx itself keeps only allocation, compute charging and measurement —
+// everything protocol-shaped lives behind the engine interfaces.
 #pragma once
 
 #include <cstdint>
-#include <set>
+#include <memory>
 #include <span>
-#include <unordered_map>
-#include <vector>
 
+#include "core/consistency_policy.hpp"
+#include "core/engine_ctx.hpp"
 #include "core/metrics.hpp"
 #include "core/page_cache.hpp"
+#include "core/paging_engine.hpp"
 #include "core/prefetcher.hpp"
-#include "net/network_model.hpp"
-#include "regc/diff.hpp"
-#include "regc/region_tracker.hpp"
-#include "regc/store_log.hpp"
+#include "core/sync_client.hpp"
+#include "net/types.hpp"
 #include "rt/runtime.hpp"
-#include "sim/coop_scheduler.hpp"
-#include "sim/resource.hpp"
-#include "sim/trace.hpp"
-
-namespace sam::mem {
-class MemoryServer;
-}
 
 namespace sam::core {
 
 class SamhitaRuntime;
+struct AllocOutcome;
 
 class SamThreadCtx final : public rt::ThreadCtx {
  public:
   SamThreadCtx(SamhitaRuntime* rt, mem::ThreadIdx idx, std::uint32_t nthreads);
+  ~SamThreadCtx() override;
 
   // --- rt::ThreadCtx -----------------------------------------------------
-  std::uint32_t index() const override { return idx_; }
-  std::uint32_t nthreads() const override { return nthreads_; }
-  SimTime now() const override;
+  std::uint32_t index() const override { return ec_.idx; }
+  std::uint32_t nthreads() const override { return ec_.nthreads; }
+  SimTime now() const override { return ec_.clock(); }
 
   rt::Addr alloc(std::size_t bytes) override;
   rt::Addr alloc_shared(std::size_t bytes) override;
@@ -53,12 +53,12 @@ class SamThreadCtx final : public rt::ThreadCtx {
   void charge_flops(double flops) override;
   void charge_mem_ops(std::uint64_t loads, std::uint64_t stores) override;
 
-  void lock(rt::MutexId m) override;
-  void unlock(rt::MutexId m) override;
-  void cond_wait(rt::CondId c, rt::MutexId m) override;
-  void cond_signal(rt::CondId c) override;
-  void cond_broadcast(rt::CondId c) override;
-  void barrier(rt::BarrierId b) override;
+  void lock(rt::MutexId m) override { sync_.lock(m); }
+  void unlock(rt::MutexId m) override { sync_.unlock(m); }
+  void cond_wait(rt::CondId c, rt::MutexId m) override { sync_.cond_wait(c, m); }
+  void cond_signal(rt::CondId c) override { sync_.cond_signal(c); }
+  void cond_broadcast(rt::CondId c) override { sync_.cond_broadcast(c); }
+  void barrier(rt::BarrierId b) override { sync_.barrier(b); }
 
   void begin_measurement() override;
   void end_measurement() override;
@@ -71,119 +71,26 @@ class SamThreadCtx final : public rt::ThreadCtx {
 
   /// Functionally applies every remaining dirty line to the servers (no
   /// timing) — end-of-run publication for verification.
-  void flush_remaining_functional();
+  void flush_remaining_functional() { policy_->flush_remaining_functional(); }
 
   Metrics& metrics() { return metrics_; }
   const Metrics& metrics() const { return metrics_; }
   PageCache& cache() { return cache_; }
-  net::NodeId node() const { return node_; }
+  net::NodeId node() const { return ec_.node; }
+  const ConsistencyPolicy& policy() const { return *policy_; }
 
  private:
-  enum class Bucket { kCompute, kLock, kBarrier, kAlloc };
-
-  /// Advances the thread clock by `d` and accounts it to `bucket`.
-  void charge(SimDuration d, Bucket bucket);
-  /// Records a protocol trace event (no-op unless tracing is enabled).
-  void trace(sim::TraceKind kind, std::uint64_t object, std::uint64_t detail);
-  /// Records a span event on this thread's track (no-op unless tracing).
-  void trace_span(SimTime begin, SimTime end, sim::SpanCat cat, std::uint64_t object);
   /// Charges allocator bookkeeping plus any manager round trips it needed.
-  void charge_alloc_outcome(const struct AllocOutcome& outcome);
-  /// Accounts already-elapsed time [t0, clock) to `bucket`.
-  void account_since(SimTime t0, Bucket bucket);
-
-  SimTime clock() const;
-
-  /// Node + service resource pair for synchronization traffic (manager, or
-  /// the local node's sync service under config.local_sync).
-  net::NodeId sync_node() const;
-  sim::Resource& sync_service();
-  SimDuration sync_service_time() const;
-
-  /// Makes [line] resident (demand fetch + anticipatory paging) and
-  /// charges the stall to `bucket`. Returns the resident line.
-  PageCache::Line& ensure_line(LineId line, Bucket bucket);
-  /// Single-line asynchronous prefetch RPC (the paper's per-line protocol).
-  void issue_prefetch(LineId line);
-  /// Partitions the prefetcher's candidates for a demand miss homed on
-  /// `server`: lines on the same server that fit the batch ride the demand
-  /// RPC (`folded`); everything else is issued asynchronously afterwards
-  /// (`deferred`). Only called when config.max_batch_lines > 1.
-  void split_prefetch_candidates(LineId demand, const mem::MemoryServer& server,
-                                 const std::vector<LineId>& candidates,
-                                 std::vector<LineId>& folded,
-                                 std::vector<LineId>& deferred);
-  /// Installs lines that rode a demand fetch as extra gathered segments.
-  void install_prefetched(mem::MemoryServer& server, const std::vector<LineId>& lines,
-                          SimTime ready);
-  /// Issues asynchronous prefetches for `candidates`: per-line RPCs when
-  /// batching is off, per-server scatter-gather batches otherwise.
-  void issue_prefetch_batches(const std::vector<LineId>& candidates);
-  /// One asynchronous fetch RPC for `lines`, all homed on `server`.
-  void issue_prefetch_rpc(mem::MemoryServer& server, std::span<const LineId> lines);
-  void evict_for_space(Bucket bucket);
-
-  /// Diffs a dirty line against its twin, ships it home, cleans the line.
-  void flush_line(PageCache::Line& line, Bucket bucket);
-  /// Ships `lines` home with per-server gathered diff RPCs (chunked at
-  /// config.max_batch_lines); under config.flush_pipeline, RPCs to distinct
-  /// servers overlap and the thread stalls for the slowest one only.
-  void flush_batched(const std::vector<PageCache::Line*>& lines, Bucket bucket);
-  void flush_all_dirty(Bucket bucket);
-  /// Barrier flush policy: flush only dirty lines some other thread
-  /// currently caches ("move only the minimum amount of data required",
-  /// paper §III). Unshared dirty lines stay local and are pulled lazily.
-  void flush_shared_dirty(Bucket bucket);
-  /// Pulls other threads' unflushed diffs for `line` into the home server.
-  /// Models the server requesting diffs from dirty holders before serving
-  /// the fetch; returns when the server copy is current.
-  SimTime lazy_pull(LineId line, SimTime at_server);
-  /// True if another thread holds unflushed modifications to `line`.
-  bool has_remote_dirty_holder(LineId line) const;
-
-  /// Drops resident lines written by other threads in the closed epoch.
-  void invalidate_stale(Bucket bucket);
-
-  /// Debug validation (config.paranoid_checks): resident clean lines with no
-  /// outstanding dirty holders must match the authoritative server bytes.
-  void validate_clean_lines();
-
-  /// Applies pending update sets of mutex `m` to this thread's cache.
-  void apply_update_sets(rt::MutexId m, Bucket bucket);
-
-  /// Page-grain fallback (A6 ablation): at acquire, drop cached lines whose
-  /// pages were released under `m` since this thread last saw it.
-  void invalidate_lock_pages(rt::MutexId m, Bucket bucket);
-  /// Page-grain fallback: at release, flush all dirty lines and stamp their
-  /// pages into the lock's release set.
-  void publish_pages_on_release(rt::MutexId m, Bucket bucket);
-
-  /// Acquire-side consistency actions (fine-grain or page-grain).
-  void acquire_consistency(rt::MutexId m, Bucket bucket);
-
-  /// Materializes the store log into a fine-grain diff (reads the values
-  /// out of the cache) and clears the log.
-  regc::Diff materialize_store_log();
-
-  std::span<std::byte> view_common(rt::Addr addr, std::size_t bytes, bool for_write);
-
-  /// Releases mutex `m` at manager-service time `t_served`, granting it to
-  /// the next waiter (if any). Shared by unlock() and cond_wait().
-  void release_mutex_at(rt::MutexId m, SimTime t_served);
+  void charge_alloc_outcome(const AllocOutcome& outcome);
 
   SamhitaRuntime* rt_;
-  mem::ThreadIdx idx_;
-  std::uint32_t nthreads_;
-  net::NodeId node_;
-  sim::SimThread* sim_thread_ = nullptr;
   PageCache cache_;
   StridePrefetcher prefetcher_;
   Metrics metrics_;
-  regc::RegionTracker regions_;
-  regc::StoreLog store_log_;
-  std::set<LineId> pinned_lines_;  ///< lines with unmaterialized store-log data
-  /// Acquire completion time per held mutex (lock-held span bookkeeping).
-  std::unordered_map<rt::MutexId, SimTime> lock_acquired_at_;
+  EngineCtx ec_;
+  std::unique_ptr<ConsistencyPolicy> policy_;
+  PagingEngine paging_;
+  SyncClient sync_;
 };
 
 }  // namespace sam::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/sam_thread_ctx.hpp"
+#include "net/network_model.hpp"
 #include "net/perturbing_network.hpp"
 #include "util/expect.hpp"
 #include "util/logger.hpp"
@@ -147,5 +148,9 @@ const Metrics& SamhitaRuntime::metrics(std::uint32_t thread) const {
   SAM_EXPECT(thread < ctxs_.size(), "thread index out of range");
   return ctxs_[thread]->metrics();
 }
+
+std::uint64_t SamhitaRuntime::network_messages() const { return net_->message_count(); }
+
+std::uint64_t SamhitaRuntime::network_bytes() const { return net_->bytes_sent(); }
 
 }  // namespace sam::core

@@ -20,16 +20,26 @@
 #include "mem/directory.hpp"
 #include "mem/global_address_space.hpp"
 #include "mem/memory_server.hpp"
-#include "net/network_model.hpp"
+#include "net/types.hpp"
 #include "regc/diff.hpp"
 #include "rt/runtime.hpp"
 #include "scl/scl.hpp"
 #include "sim/coop_scheduler.hpp"
 #include "sim/trace.hpp"
 
+namespace sam::net {
+class NetworkModel;
+}
+namespace sam::regc {
+class ConsistencyEngine;
+}
+
 namespace sam::core {
 
 class SamThreadCtx;
+class PagingEngine;
+class SyncClient;
+struct EngineCtx;
 
 class SamhitaRuntime final : public rt::Runtime {
  public:
@@ -52,8 +62,8 @@ class SamhitaRuntime final : public rt::Runtime {
   // --- inspection -------------------------------------------------------------
   const SamhitaConfig& config() const { return config_; }
   const Metrics& metrics(std::uint32_t thread) const;
-  std::uint64_t network_messages() const { return net_->message_count(); }
-  std::uint64_t network_bytes() const { return net_->bytes_sent(); }
+  std::uint64_t network_messages() const;
+  std::uint64_t network_bytes() const;
   const net::NetworkModel& network() const { return *net_; }
   const mem::Directory& directory() const { return directory_; }
   const SamAllocator& allocator() const { return allocator_; }
@@ -71,7 +81,14 @@ class SamhitaRuntime final : public rt::Runtime {
   void apply_diff_global(const regc::Diff& diff);
 
  private:
+  // The per-thread engines are trusted protocol participants: they share the
+  // runtime's platform state (scheduler, SCL, directory, manager, servers)
+  // the way the monolithic thread context used to.
   friend class SamThreadCtx;
+  friend class PagingEngine;
+  friend class SyncClient;
+  friend struct EngineCtx;
+  friend class regc::ConsistencyEngine;
 
   mem::MemoryServer& home_server(mem::PageId page);
   const mem::MemoryServer& home_server(mem::PageId page) const;

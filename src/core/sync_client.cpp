@@ -1,0 +1,241 @@
+#include "core/sync_client.hpp"
+
+#include <algorithm>
+
+#include "core/consistency_policy.hpp"
+#include "core/manager.hpp"
+#include "core/samhita_runtime.hpp"
+#include "scl/scl.hpp"
+#include "sim/coop_scheduler.hpp"
+#include "util/expect.hpp"
+
+namespace sam::core {
+
+namespace {
+constexpr std::size_t kCtrl = scl::kCtrlBytes;
+}
+
+SyncClient::SyncClient(EngineCtx* ec, ConsistencyPolicy* policy)
+    : ec_(ec), policy_(policy), rt_(ec->rt) {}
+
+net::NodeId SyncClient::sync_node() const {
+  return rt_->config().local_sync ? ec_->node : rt_->manager_.node();
+}
+
+sim::Resource& SyncClient::sync_service() {
+  if (rt_->config().local_sync) {
+    return rt_->node_sync_.at(ec_->node);
+  }
+  return rt_->manager_.service();
+}
+
+SimDuration SyncClient::sync_service_time() const {
+  // A local (same-node) sync service skips the manager's heavier request
+  // handling; it is essentially an atomic update on shared node memory.
+  return rt_->config().local_sync ? SimDuration{100} : rt_->manager_.service_time();
+}
+
+void SyncClient::end_lock_held_span(rt::MutexId m) {
+  if (auto it = lock_acquired_at_.find(m); it != lock_acquired_at_.end()) {
+    trace_span(it->second, clock(), sim::SpanCat::kLockHeld, m);
+    lock_acquired_at_.erase(it);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Locks
+// ---------------------------------------------------------------------------
+
+void SyncClient::lock(rt::MutexId m) {
+  rt_->sched_.yield_current();
+  const SimTime t0 = clock();
+  Manager::Mutex& mx = rt_->manager_.mutex(m);
+  ++mx.acquisitions;
+
+  const SimTime t_arrive = rt_->scl_.send(t0, ec_->node, sync_node(), kCtrl);
+  const SimTime t_served = sync_service().serve(t_arrive, sync_service_time());
+
+  if (!mx.holder.has_value()) {
+    mx.holder = ec_->idx;
+    // Grant carries the policy's acquire payload for this thread (pending
+    // fine-grain update sets under RegC).
+    const std::size_t bytes = policy_->grant_bytes(m, ec_->idx);
+    const SimTime t_resp = rt_->scl_.send(t_served, sync_node(), ec_->node, kCtrl + bytes);
+    ec_->sim_thread->advance_to(t_resp);
+  } else {
+    ++mx.contended_acquisitions;
+    mx.waiters.push_back(Manager::Waiter{ec_->idx, ec_->sim_thread});
+    rt_->sched_.block_current();
+    SAM_EXPECT(mx.holder.has_value() && *mx.holder == ec_->idx,
+               "woken lock waiter does not hold the lock");
+  }
+  account_since(t0, Bucket::kLock);       // transport + service + queueing
+  trace_span(t0, clock(), sim::SpanCat::kLockWait, m);
+  policy_->on_acquired(m, Bucket::kLock);  // self-charges the local work
+  lock_acquired_at_[m] = clock();
+  trace(sim::TraceKind::kLockAcquire, m, mx.contended_acquisitions);
+}
+
+void SyncClient::release_mutex_at(rt::MutexId m, SimTime t_served) {
+  Manager::Mutex& mx = rt_->manager_.mutex(m);
+  SAM_EXPECT(mx.holder.has_value() && *mx.holder == ec_->idx, "release of non-held mutex");
+  if (!mx.waiters.empty()) {
+    Manager::Waiter w = mx.waiters.front();
+    mx.waiters.pop_front();
+    mx.holder = w.thread;
+    // Grant message carries the policy's acquire payload for the waiter.
+    const std::size_t bytes = policy_->grant_bytes(m, w.thread);
+    const net::NodeId waiter_node = rt_->config().compute_node(w.thread);
+    const SimTime t_grant = rt_->scl_.send(t_served, sync_node(), waiter_node, kCtrl + bytes);
+    rt_->sched_.unblock(w.sim_thread, t_grant);
+  } else {
+    mx.holder.reset();
+  }
+}
+
+void SyncClient::unlock(rt::MutexId m) {
+  // Policy-side release work (exit region, eager publication, staging the
+  // release payload); returns the payload's wire bytes.
+  const std::size_t wire = policy_->prepare_release(m, Bucket::kLock);
+
+  rt_->sched_.yield_current();
+  const SimTime t0 = clock();
+  const SimTime t_arrive = rt_->scl_.send(t0, ec_->node, sync_node(), kCtrl + wire);
+  const SimTime t_served = sync_service().serve(t_arrive, sync_service_time());
+
+  // Functional release effects happen here — after the transport yield — so
+  // no earlier-clock thread can observe a value the release has not yet
+  // semantically published (the paranoid validator checks exactly this).
+  policy_->commit_release(m);
+
+  release_mutex_at(m, t_served);
+
+  const SimTime t_ack = rt_->scl_.send(t_served, sync_node(), ec_->node, kCtrl);
+  ec_->sim_thread->advance_to(t_ack);
+  account_since(t0, Bucket::kLock);
+  end_lock_held_span(m);
+  trace(sim::TraceKind::kLockRelease, m, wire);
+}
+
+// ---------------------------------------------------------------------------
+// Condition variables
+// ---------------------------------------------------------------------------
+
+void SyncClient::cond_wait(rt::CondId c, rt::MutexId m) {
+  end_lock_held_span(m);
+
+  // Release side: identical consistency work to unlock().
+  const std::size_t wire = policy_->prepare_release(m, Bucket::kLock);
+
+  rt_->sched_.yield_current();
+  const SimTime t0 = clock();
+  const SimTime t_arrive = rt_->scl_.send(t0, ec_->node, sync_node(), kCtrl + wire);
+  const SimTime t_served = sync_service().serve(t_arrive, sync_service_time());
+
+  policy_->commit_release(m);  // after the transport yield, as in unlock()
+
+  // Park on the condition variable *before* handing the lock on, so a
+  // signal from the woken lock holder can reach this thread.
+  Manager::Cond& cv = rt_->manager_.cond(c);
+  cv.waiters.push_back(Manager::Waiter{ec_->idx, ec_->sim_thread});
+  cv.waiter_mutex.push_back(m);
+
+  release_mutex_at(m, t_served);
+  rt_->sched_.block_current();
+
+  // Woken by signal/broadcast with the mutex already granted to us.
+  Manager::Mutex& mx = rt_->manager_.mutex(m);
+  SAM_EXPECT(mx.holder.has_value() && *mx.holder == ec_->idx,
+             "cond_wait woke without holding the mutex");
+  account_since(t0, Bucket::kLock);
+  trace_span(t0, clock(), sim::SpanCat::kLockWait, m);
+  policy_->on_acquired(m, Bucket::kLock);
+  lock_acquired_at_[m] = clock();
+}
+
+void SyncClient::cond_signal(rt::CondId c) {
+  rt_->sched_.yield_current();
+  const SimTime t0 = clock();
+  const SimTime t_arrive = rt_->scl_.send(t0, ec_->node, sync_node(), kCtrl);
+  const SimTime t_served = sync_service().serve(t_arrive, sync_service_time());
+
+  Manager::Cond& cv = rt_->manager_.cond(c);
+  if (!cv.waiters.empty()) {
+    Manager::Waiter w = cv.waiters.front();
+    cv.waiters.pop_front();
+    const rt::MutexId m = cv.waiter_mutex.front();
+    cv.waiter_mutex.erase(cv.waiter_mutex.begin());
+    Manager::Mutex& mx = rt_->manager_.mutex(m);
+    if (!mx.holder.has_value()) {
+      mx.holder = w.thread;
+      const net::NodeId waiter_node = rt_->config().compute_node(w.thread);
+      const SimTime t_grant = rt_->scl_.send(t_served, sync_node(), waiter_node, kCtrl);
+      rt_->sched_.unblock(w.sim_thread, t_grant);
+    } else {
+      mx.waiters.push_back(w);  // re-acquire once the holder releases
+    }
+  }
+  const SimTime t_ack = rt_->scl_.send(t_served, sync_node(), ec_->node, kCtrl);
+  ec_->sim_thread->advance_to(t_ack);
+  account_since(t0, Bucket::kLock);
+}
+
+void SyncClient::cond_broadcast(rt::CondId c) {
+  // Drain the queue via repeated signal semantics under one service visit.
+  Manager::Cond& cv = rt_->manager_.cond(c);
+  const std::size_t n = cv.waiters.size();
+  for (std::size_t i = 0; i < n; ++i) cond_signal(c);
+  if (n == 0) cond_signal(c);  // charge the round trip even when empty
+}
+
+// ---------------------------------------------------------------------------
+// Barrier (global consistency point)
+// ---------------------------------------------------------------------------
+
+void SyncClient::barrier(rt::BarrierId b) {
+  SAM_EXPECT(policy_->region_depth() == 0,
+             "barrier inside a consistency region (lock held) is not supported");
+
+  // Phase 1: policy publication (RegC: diff shared dirty lines home; eager
+  // release consistency: flush everything).
+  policy_->pre_barrier(Bucket::kBarrier);
+
+  // Phase 2: arrive at the barrier service.
+  rt_->sched_.yield_current();
+  const SimTime t0 = clock();
+  const SimTime t_arrive = rt_->scl_.send(t0, ec_->node, sync_node(), kCtrl);
+  const SimTime t_served = sync_service().serve(t_arrive, sync_service_time());
+
+  Manager::Barrier& bar = rt_->manager_.barrier(b);
+  SAM_EXPECT(bar.arrived.size() < bar.parties, "barrier overfilled");
+  bar.arrived.push_back(Manager::Waiter{ec_->idx, ec_->sim_thread});
+  bar.last_arrival_service_done = std::max(bar.last_arrival_service_done, t_served);
+  trace(sim::TraceKind::kBarrierArrive, b, bar.arrived.size());
+
+  if (bar.arrived.size() < bar.parties) {
+    rt_->sched_.block_current();
+  } else {
+    // Last arrival: close the RegC epoch and release everyone.
+    rt_->epoch_snapshot_ = rt_->directory_.epoch_write_map();
+    rt_->directory_.end_epoch();
+    const SimTime t_rel = bar.last_arrival_service_done;
+    for (const Manager::Waiter& w : bar.arrived) {
+      if (w.thread == ec_->idx) continue;
+      const net::NodeId n = rt_->config().compute_node(w.thread);
+      const SimTime t_go = rt_->scl_.send(t_rel, sync_node(), n, kCtrl);
+      rt_->sched_.unblock(w.sim_thread, t_go);
+    }
+    bar.arrived.clear();
+    ++bar.generation;
+    trace(sim::TraceKind::kBarrierRelease, b, bar.generation);
+    const SimTime t_go = rt_->scl_.send(t_rel, sync_node(), ec_->node, kCtrl);
+    ec_->sim_thread->advance_to(t_go);
+  }
+  account_since(t0, Bucket::kBarrier);  // arrival transport + wait + release
+  trace_span(t0, clock(), sim::SpanCat::kBarrierWait, b);
+
+  // Phase 3: policy invalidation + update-visibility work.
+  policy_->post_barrier(Bucket::kBarrier);
+}
+
+}  // namespace sam::core

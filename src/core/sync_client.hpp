@@ -1,0 +1,66 @@
+// core::SyncClient: the synchronization choreography of one compute thread.
+//
+// Owns the *transport* side of lock/cond/barrier operations — who sends what
+// to the sync service when, with fully timed SCL booking — and delegates
+// every consistency decision (what a grant carries, what a release
+// publishes, what a barrier flushes and invalidates) to the thread's
+// core::ConsistencyPolicy via its acquire/release/barrier hooks.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+
+#include "core/engine_ctx.hpp"
+#include "rt/runtime.hpp"
+
+namespace sam::sim {
+class Resource;
+}
+
+namespace sam::core {
+
+class ConsistencyPolicy;
+class SamhitaRuntime;
+
+class SyncClient {
+ public:
+  SyncClient(EngineCtx* ec, ConsistencyPolicy* policy);
+
+  void lock(rt::MutexId m);
+  void unlock(rt::MutexId m);
+  void cond_wait(rt::CondId c, rt::MutexId m);
+  void cond_signal(rt::CondId c);
+  void cond_broadcast(rt::CondId c);
+  void barrier(rt::BarrierId b);
+
+ private:
+  /// Node + service resource pair for synchronization traffic (manager, or
+  /// the local node's sync service under config.local_sync).
+  net::NodeId sync_node() const;
+  sim::Resource& sync_service();
+  SimDuration sync_service_time() const;
+
+  /// Releases mutex `m` at manager-service time `t_served`, granting it to
+  /// the next waiter (if any). Shared by unlock() and cond_wait().
+  void release_mutex_at(rt::MutexId m, SimTime t_served);
+
+  /// Closes the lock-held span opened at acquire (trace bookkeeping).
+  void end_lock_held_span(rt::MutexId m);
+
+  SimTime clock() const { return ec_->clock(); }
+  void account_since(SimTime t0, Bucket bucket) { ec_->account_since(t0, bucket); }
+  void trace(sim::TraceKind kind, std::uint64_t object, std::uint64_t detail) const {
+    ec_->trace(kind, object, detail);
+  }
+  void trace_span(SimTime begin, SimTime end, sim::SpanCat cat, std::uint64_t object) const {
+    ec_->trace_span(begin, end, cat, object);
+  }
+
+  EngineCtx* ec_;
+  ConsistencyPolicy* policy_;
+  SamhitaRuntime* rt_;
+  /// Acquire completion time per held mutex (lock-held span bookkeeping).
+  std::unordered_map<rt::MutexId, SimTime> lock_acquired_at_;
+};
+
+}  // namespace sam::core

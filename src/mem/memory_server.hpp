@@ -13,7 +13,7 @@
 #include <unordered_map>
 
 #include "mem/types.hpp"
-#include "net/network_model.hpp"
+#include "net/types.hpp"
 #include "sim/resource.hpp"
 #include "util/time_types.hpp"
 

@@ -23,14 +23,12 @@
 #include <vector>
 
 #include "net/link_model.hpp"
+#include "net/types.hpp"
 #include "sim/resource.hpp"
 #include "sim/trace.hpp"
 #include "util/time_types.hpp"
 
 namespace sam::net {
-
-/// Identifies a node (host, memory server, coprocessor, ...) in the system.
-using NodeId = std::uint32_t;
 
 /// Observability snapshot of one contended link resource (a NIC port or a
 /// shared bus). Queue depth is reported as time a message waits before its

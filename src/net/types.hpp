@@ -1,0 +1,13 @@
+// Basic interconnect identifiers, split out of network_model.hpp so headers
+// that only name a node (or hold a NetworkModel pointer) need not pull in
+// the full interconnect models.
+#pragma once
+
+#include <cstdint>
+
+namespace sam::net {
+
+/// Identifies a node (host, memory server, coprocessor, ...) in the system.
+using NodeId = std::uint32_t;
+
+}  // namespace sam::net

@@ -5,6 +5,7 @@
 
 #include "core/report.hpp"
 #include "core/samhita_runtime.hpp"
+#include "net/network_model.hpp"
 #include "obs/json.hpp"
 #include "obs/profiler.hpp"
 #include "util/time_types.hpp"
@@ -107,6 +108,7 @@ void write_config(JsonWriter& w, const core::SamhitaConfig& cfg) {
   w.kv("flush_pipeline", cfg.flush_pipeline);
   w.kv("placement", cfg.placement == core::Placement::kBlock ? "block" : "scatter");
   w.kv("finegrain_updates", cfg.finegrain_updates);
+  w.kv("consistency_policy", core::to_string(cfg.consistency_policy));
   w.kv("local_sync", cfg.local_sync);
   w.kv("trace_enabled", cfg.trace_enabled);
   w.kv("net_latency_scale", cfg.net_latency_scale);

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/samhita_runtime.hpp"
+#include "net/network_model.hpp"
 #include "obs/json.hpp"
 #include "sim/trace.hpp"
 
@@ -30,6 +31,8 @@ TrackRef track_of(const sim::SpanEvent& s) {
     case sim::SpanCat::kLockHeld:
     case sim::SpanCat::kBarrierWait:
     case sim::SpanCat::kBatchRpc:
+    case sim::SpanCat::kDemandMiss:
+    case sim::SpanCat::kFlushRpc:
       return {kPidCompute, s.track};
     case sim::SpanCat::kManager:
       return {kPidServices, 0};

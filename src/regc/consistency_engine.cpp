@@ -1,0 +1,565 @@
+#include "regc/consistency_engine.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "core/manager.hpp"
+#include "core/metrics.hpp"
+#include "core/sam_thread_ctx.hpp"
+#include "core/samhita_runtime.hpp"
+#include "mem/memory_server.hpp"
+#include "regc/update_set.hpp"
+#include "scl/scl.hpp"
+#include "sim/coop_scheduler.hpp"
+#include "util/expect.hpp"
+
+namespace sam::regc {
+
+namespace {
+constexpr std::size_t kCtrl = scl::kCtrlBytes;
+}
+
+ConsistencyEngine::ConsistencyEngine(core::EngineCtx* ec) : ec_(ec), rt_(ec->rt) {}
+
+// ---------------------------------------------------------------------------
+// Write tracking
+// ---------------------------------------------------------------------------
+
+void ConsistencyEngine::on_tracked_write(core::PageCache::Line& line, mem::GAddr addr,
+                                         std::size_t bytes) {
+  if (regions_.in_consistency_region() && rt_->config().finegrain_updates) {
+    // The store-instrumentation path: record fine-grain ranges; values are
+    // materialized at release. Pin the line so the data survives eviction.
+    // Consistency-region stores propagate exclusively through lock-carried
+    // update sets (applied at acquire and at barriers), NOT through page
+    // invalidation — that is RegC's "different update mechanisms" design.
+    store_log_.record(addr, bytes);
+    pinned_lines_.insert(line.id);
+  } else {
+    ordinary_write(line, addr, bytes);
+  }
+}
+
+void ConsistencyEngine::ordinary_write(core::PageCache::Line& line, mem::GAddr addr,
+                                       std::size_t bytes) {
+  if (cache().needs_twin(line)) {
+    cache().make_twin(line);
+    charge(rt_->config().twin_time(), core::Bucket::kCompute);
+    ++metrics().twins_created;
+  }
+  cache().mark_written(line, addr, bytes);
+  const mem::PageId p0 = mem::page_of(addr);
+  const mem::PageId p1 = mem::page_of(addr + bytes - 1);
+  for (mem::PageId p = p0; p <= p1; ++p) {
+    rt_->directory_.note_write(p, ec_->idx);
+    rt_->directory_.note_dirty(p, ec_->idx);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Flush / invalidate (ordinary-region consistency)
+// ---------------------------------------------------------------------------
+
+void ConsistencyEngine::flush_line(core::PageCache::Line& line, core::Bucket bucket) {
+  // The line may have been cleaned under us: flush loops yield (transport
+  // booking), and during a yield another thread's demand fetch can lazily
+  // pull — and thereby clean — any of our dirty lines.
+  if (!line.dirty) return;
+  const auto& cfg = rt_->config();
+  charge(cfg.diff_scan_time(), bucket);
+  const Diff diff = Diff::between(cache().line_base(line.id), line.twin, line.data);
+  if (!diff.empty()) {
+    const mem::PageId first = cache().first_page(line.id);
+    mem::MemoryServer& server = rt_->home_server(first);
+    rt_->sched_.yield_current();
+    const SimTime t0 = clock();
+    const std::size_t wire = diff.wire_bytes();
+    const SimTime resp = rt_->scl_.rpc(t0, ec_->node, server.node(), wire + kCtrl, kCtrl,
+                                       server.service(), server.service_time(wire));
+    rt_->apply_diff_global(diff);
+    ec_->sim_thread->advance_to(resp);
+    account_since(t0, bucket);
+    metrics().bytes_flushed += wire;
+    ++metrics().diffs_flushed;
+    trace(sim::TraceKind::kFlush, line.id, wire);
+    trace_span(t0, resp, sim::SpanCat::kFlushRpc, line.id);
+  }
+  for (mem::PageId page : cache().dirty_pages(line)) {
+    rt_->directory_.clear_dirty(page, ec_->idx);
+  }
+  cache().clean(line);
+}
+
+void ConsistencyEngine::flush_batched(const std::vector<core::PageCache::Line*>& lines,
+                                      core::Bucket bucket) {
+  const auto& cfg = rt_->config();
+  struct Pending {
+    core::PageCache::Line* line;
+    Diff diff;
+    std::size_t wire;
+    mem::MemoryServer* server;
+  };
+  std::vector<Pending> pend;
+  pend.reserve(lines.size());
+  for (core::PageCache::Line* line : lines) {
+    if (!line->dirty) continue;
+    charge(cfg.diff_scan_time(), bucket);
+    Diff diff = Diff::between(cache().line_base(line->id), line->twin, line->data);
+    if (diff.empty()) {
+      for (mem::PageId page : cache().dirty_pages(*line)) {
+        rt_->directory_.clear_dirty(page, ec_->idx);
+      }
+      cache().clean(*line);
+      continue;
+    }
+    const std::size_t wire = diff.wire_bytes();
+    pend.push_back(Pending{line, std::move(diff), wire,
+                           &rt_->home_server(cache().first_page(line->id))});
+  }
+  if (pend.empty()) return;
+
+  rt_->sched_.yield_current();
+  // During the yield another thread's demand fetch can lazily pull — and
+  // thereby clean — any of these lines; those diffs already reached the
+  // servers, so shipping them again would double-publish.
+  std::erase_if(pend, [](const Pending& p) { return !p.line->dirty; });
+  if (pend.empty()) return;
+
+  const SimTime t0 = clock();
+  // Group per home server (dirty-walk order, deterministic), chunked at
+  // max_batch_lines diffs per gathered RPC.
+  std::vector<std::vector<Pending*>> chunks;
+  {
+    std::vector<std::pair<mem::MemoryServer*, std::vector<Pending*>>> by_server;
+    for (Pending& p : pend) {
+      auto it = std::find_if(by_server.begin(), by_server.end(),
+                             [&](const auto& g) { return g.first == p.server; });
+      if (it == by_server.end()) {
+        by_server.push_back({p.server, {&p}});
+      } else {
+        it->second.push_back(&p);
+      }
+    }
+    const std::size_t chunk_max = std::max<std::size_t>(1, cfg.max_batch_lines);
+    for (auto& [server, list] : by_server) {
+      for (std::size_t i = 0; i < list.size(); i += chunk_max) {
+        const std::size_t n = std::min(chunk_max, list.size() - i);
+        chunks.emplace_back(list.begin() + static_cast<std::ptrdiff_t>(i),
+                            list.begin() + static_cast<std::ptrdiff_t>(i + n));
+      }
+    }
+  }
+
+  // Pipelined: every chunk posts at t0 (the sender's tx port serializes the
+  // wire; service + acks overlap across servers) and the thread stalls for
+  // the slowest response only. Sequential: each chunk posts when the
+  // previous response lands, as the per-line protocol would.
+  SimTime cursor = t0;
+  SimTime last = t0;
+  SimDuration durations_sum = 0;
+  for (const std::vector<Pending*>& chunk : chunks) {
+    mem::MemoryServer& server = *chunk.front()->server;
+    std::size_t wire = 0;
+    for (const Pending* p : chunk) wire += p->wire;
+    const std::size_t nseg = chunk.size();
+    const std::size_t request_bytes =
+        nseg == 1 ? wire + kCtrl : wire + kCtrl + nseg * scl::kSegmentDescBytes;
+    const SimTime start = cfg.flush_pipeline ? t0 : cursor;
+    const SimTime at_server = rt_->scl_.send(start, ec_->node, server.node(), request_bytes);
+    const SimTime served = nseg == 1
+                               ? server.service().serve(at_server, server.service_time(wire))
+                               : server.serve_batch(at_server, nseg, wire);
+    const SimTime done = rt_->scl_.send(served, server.node(), ec_->node, kCtrl);
+    cursor = done;
+    last = std::max(last, done);
+    durations_sum += done - start;
+    if (nseg > 1) {
+      ++metrics().batched_flushes;
+      metrics().batch_segments += nseg;
+      trace(sim::TraceKind::kBatchFlush, chunk.front()->line->id, nseg);
+    }
+    trace_span(start, done, sim::SpanCat::kBatchRpc, chunk.front()->line->id);
+    for (const Pending* p : chunk) {
+      rt_->apply_diff_global(p->diff);
+      for (mem::PageId page : cache().dirty_pages(*p->line)) {
+        rt_->directory_.clear_dirty(page, ec_->idx);
+      }
+      cache().clean(*p->line);
+      metrics().bytes_flushed += p->wire;
+      ++metrics().diffs_flushed;
+      trace(sim::TraceKind::kFlush, p->line->id, p->wire);
+    }
+  }
+  if (cfg.flush_pipeline && chunks.size() > 1) {
+    metrics().flush_overlap_saved_ns += durations_sum - (last - t0);
+  }
+  ec_->sim_thread->advance_to(last);
+  account_since(t0, bucket);
+}
+
+void ConsistencyEngine::flush_all_dirty(core::Bucket bucket) {
+  const auto& cfg = rt_->config();
+  if (cfg.max_batch_lines > 1 || cfg.flush_pipeline) {
+    flush_batched(cache().dirty_lines(), bucket);
+    return;
+  }
+  for (core::PageCache::Line* line : cache().dirty_lines()) {
+    flush_line(*line, bucket);
+  }
+}
+
+void ConsistencyEngine::flush_shared_dirty(core::Bucket bucket) {
+  const auto& cfg = rt_->config();
+  const mem::ThreadMask me = mem::thread_bit(ec_->idx);
+  auto shared_with_others = [&](const core::PageCache::Line& line) {
+    mem::ThreadMask others = 0;
+    const mem::PageId first = cache().first_page(line.id);
+    for (unsigned p = 0; p < cfg.pages_per_line; ++p) {
+      others |= rt_->directory_.copyset(first + p);
+    }
+    return (others & ~me) != 0;
+  };
+  if (cfg.max_batch_lines > 1 || cfg.flush_pipeline) {
+    std::vector<core::PageCache::Line*> shared;
+    for (core::PageCache::Line* line : cache().dirty_lines()) {
+      if (shared_with_others(*line)) shared.push_back(line);
+    }
+    flush_batched(shared, bucket);
+    return;
+  }
+  for (core::PageCache::Line* line : cache().dirty_lines()) {
+    if (shared_with_others(*line)) flush_line(*line, bucket);
+  }
+}
+
+void ConsistencyEngine::flush_remaining_functional() {
+  for (core::PageCache::Line* line : cache().dirty_lines()) {
+    const Diff diff = Diff::between(cache().line_base(line->id), line->twin, line->data);
+    rt_->apply_diff_global(diff);
+    for (mem::PageId page : cache().dirty_pages(*line)) {
+      rt_->directory_.clear_dirty(page, ec_->idx);
+    }
+    cache().clean(*line);
+  }
+}
+
+bool ConsistencyEngine::is_pinned(core::LineId line) const {
+  return pinned_lines_.count(line) != 0;
+}
+
+bool ConsistencyEngine::has_remote_dirty_holder(core::LineId line) const {
+  const mem::PageId first = cache().first_page(line);
+  mem::ThreadMask holders = 0;
+  for (unsigned p = 0; p < rt_->config().pages_per_line; ++p) {
+    holders |= rt_->directory_.dirty_holders(first + p);
+  }
+  return (holders & ~mem::thread_bit(ec_->idx)) != 0;
+}
+
+SimTime ConsistencyEngine::lazy_pull(core::LineId line, SimTime at_server) {
+  const mem::PageId first = cache().first_page(line);
+  mem::ThreadMask holders = 0;
+  for (unsigned p = 0; p < rt_->config().pages_per_line; ++p) {
+    holders |= rt_->directory_.dirty_holders(first + p);
+  }
+  holders &= ~mem::thread_bit(ec_->idx);
+  SimTime ready = at_server;
+  const net::NodeId server_node = rt_->home_server(first).node();
+  for (mem::ThreadIdx h = 0; holders != 0; ++h, holders >>= 1) {
+    // Walk holder threads in index order (deterministic).
+    if ((holders & 1) == 0) continue;
+    core::SamThreadCtx& other = *rt_->ctxs_[h];
+    core::PageCache::Line* l = other.cache().find(line);
+    if (l == nullptr || !l->dirty) continue;  // holder info was page-stale
+    const Diff diff = Diff::between(other.cache().line_base(line), l->twin, l->data);
+    rt_->apply_diff_global(diff);
+    // The server requests the diff from the holder node (one-sided handler
+    // on the holder; the holder's compute thread is not interrupted).
+    const std::size_t wire = diff.wire_bytes();
+    const net::NodeId holder_node = other.node();
+    ready = rt_->scl_.rpc(ready, server_node, holder_node, scl::kCtrlBytes,
+                          wire + scl::kCtrlBytes, rt_->node_sync_.at(holder_node),
+                          300 + from_seconds(static_cast<double>(wire) /
+                                             rt_->config().local_copy_bw));
+    for (mem::PageId page : other.cache().dirty_pages(*l)) {
+      rt_->directory_.clear_dirty(page, h);
+    }
+    other.cache().clean(*l);
+    other.metrics().bytes_flushed += wire;
+    ++other.metrics().diffs_flushed;
+    trace(sim::TraceKind::kLazyPull, line, wire);
+  }
+  return ready;
+}
+
+void ConsistencyEngine::invalidate_stale(core::Bucket bucket) {
+  const auto& snapshot = rt_->epoch_snapshot_;
+  if (snapshot.empty()) return;
+  const auto& cfg = rt_->config();
+  const mem::ThreadMask me = mem::thread_bit(ec_->idx);
+  for (core::LineId id : cache().resident_line_ids()) {
+    core::PageCache::Line* line = cache().find(id);
+    const mem::PageId first = cache().first_page(id);
+    bool stale = false;
+    for (unsigned p = 0; p < cfg.pages_per_line && !stale; ++p) {
+      auto it = snapshot.find(first + p);
+      if (it != snapshot.end() && (it->second & ~me) != 0) stale = true;
+    }
+    if (!stale) continue;
+    // A falsely-shared line can still be dirty here: its other writers may
+    // have invalidated their copies before our flush phase saw them in the
+    // copyset. Publish our bytes before dropping the line.
+    if (line->dirty) flush_line(*line, bucket);
+    for (unsigned p = 0; p < cfg.pages_per_line; ++p) {
+      rt_->directory_.note_evicted(first + p, ec_->idx);
+    }
+    cache().erase(id);
+    ++metrics().invalidations;
+    trace(sim::TraceKind::kInvalidate, id, 0);
+    charge(cfg.invalidate_per_line, bucket);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Consistency-region machinery (locks + update sets)
+// ---------------------------------------------------------------------------
+
+Diff ConsistencyEngine::materialize_store_log() {
+  Diff diff;
+  for (const auto& range : store_log_.coalesced()) {
+    // Values live in the cache; pinning guaranteed residency.
+    std::vector<std::byte> buf(range.size);
+    std::size_t done = 0;
+    while (done < range.size) {
+      const mem::GAddr a = range.addr + done;
+      const core::LineId lid = cache().line_of_addr(a);
+      core::PageCache::Line* line = cache().find(lid);
+      SAM_EXPECT(line != nullptr, "store-log line evicted despite pin");
+      const std::size_t off = a - cache().line_base(lid);
+      const std::size_t chunk =
+          std::min(range.size - done, rt_->config().line_bytes() - off);
+      std::memcpy(buf.data() + done, line->data.data() + off, chunk);
+      // Consistency-region stores must stay invisible to the ordinary-region
+      // twin/diff mechanism: if the line is also ordinary-dirty, mirror the
+      // bytes into the twin so the next barrier diff excludes them (they are
+      // published through the update window instead).
+      if (!line->twin.empty()) {
+        std::memcpy(line->twin.data() + off, buf.data() + done, chunk);
+      }
+      done += chunk;
+    }
+    diff.add_range(range.addr, buf);
+  }
+  store_log_.clear();
+  pinned_lines_.clear();
+  return diff;
+}
+
+void ConsistencyEngine::apply_update_sets(rt::MutexId m, core::Bucket bucket) {
+  core::Manager::Mutex& mx = rt_->manager_.mutex(m);
+  std::vector<const UpdateSet*> sets;
+  std::size_t bytes = 0;
+  const std::uint64_t high = mx.window.collect_since(mx.seen[ec_->idx], sets, bytes);
+  if (sets.empty()) return;
+  for (const UpdateSet* s : sets) {
+    // Patch resident cached lines; non-resident data will be demand-fetched
+    // from the (already updated) memory servers.
+    for (const auto& r : s->diff.ranges()) {
+      const core::LineId first_line = cache().line_of_addr(r.addr);
+      const core::LineId last_line = cache().line_of_addr(r.addr + r.data.size() - 1);
+      for (core::LineId lid = first_line; lid <= last_line; ++lid) {
+        if (core::PageCache::Line* line = cache().find(lid)) {
+          s->diff.apply_to_buffer(cache().line_base(lid), line->data);
+          // Keep the twin in sync so an ordinary-dirty line's next diff
+          // does not re-ship (and potentially clobber) update-set bytes.
+          if (!line->twin.empty()) {
+            s->diff.apply_to_buffer(cache().line_base(lid), line->twin);
+          }
+        }
+      }
+    }
+  }
+  mx.seen[ec_->idx] = high;
+  metrics().update_set_bytes += bytes;
+  trace(sim::TraceKind::kUpdateApply, m, bytes);
+  charge(from_seconds(static_cast<double>(bytes) / rt_->config().local_copy_bw), bucket);
+
+  // Garbage-collect update sets every thread has consumed (bounds the
+  // window under long-running lock ping-pong).
+  std::uint64_t min_seen = mx.seen[0];
+  for (std::uint32_t t = 1; t < ec_->nthreads; ++t) min_seen = std::min(min_seen, mx.seen[t]);
+  mx.window.trim(min_seen);
+}
+
+void ConsistencyEngine::invalidate_lock_pages(rt::MutexId m, core::Bucket bucket) {
+  core::Manager::Mutex& mx = rt_->manager_.mutex(m);
+  const std::uint64_t seen = mx.seen_page_seq[ec_->idx];
+  if (seen == mx.release_counter) return;
+  for (const auto& [page, seq] : mx.page_release_seq) {
+    if (seq <= seen) continue;
+    const core::LineId lid = cache().line_of_page(page);
+    if (core::PageCache::Line* line = cache().find(lid)) {
+      if (line->dirty) flush_line(*line, bucket);
+      const mem::PageId first = cache().first_page(lid);
+      for (unsigned p = 0; p < rt_->config().pages_per_line; ++p) {
+        rt_->directory_.note_evicted(first + p, ec_->idx);
+      }
+      cache().erase(lid);
+      ++metrics().invalidations;
+      charge(rt_->config().invalidate_per_line, bucket);
+    }
+  }
+  mx.seen_page_seq[ec_->idx] = mx.release_counter;
+}
+
+void ConsistencyEngine::publish_pages_on_release(rt::MutexId m, core::Bucket bucket) {
+  core::Manager::Mutex& mx = rt_->manager_.mutex(m);
+  ++mx.release_counter;
+  for (core::PageCache::Line* line : cache().dirty_lines()) {
+    for (mem::PageId page : cache().dirty_pages(*line)) {
+      mx.page_release_seq[page] = mx.release_counter;
+    }
+    flush_line(*line, bucket);
+  }
+  mx.seen_page_seq[ec_->idx] = mx.release_counter;
+}
+
+std::size_t ConsistencyEngine::grant_bytes(rt::MutexId m, mem::ThreadIdx to) const {
+  // Grant messages carry the pending fine-grain update sets for `to`.
+  core::Manager::Mutex& mx = rt_->manager_.mutex(m);
+  std::vector<const UpdateSet*> sets;
+  std::size_t bytes = 0;
+  mx.window.collect_since(mx.seen[to], sets, bytes);
+  return bytes;
+}
+
+void ConsistencyEngine::on_acquired(rt::MutexId m, core::Bucket bucket) {
+  if (rt_->config().finegrain_updates) {
+    apply_update_sets(m, bucket);
+  } else {
+    invalidate_lock_pages(m, bucket);
+  }
+  regions_.enter_region(m);
+}
+
+std::size_t ConsistencyEngine::prepare_release(rt::MutexId m, core::Bucket bucket) {
+  regions_.exit_region(m);
+
+  if (!rt_->config().finegrain_updates) {
+    // Page-grain eager-release fallback (A6): flush everything dirty and
+    // stamp the released pages on the lock.
+    publish_pages_on_release(m, bucket);
+  }
+
+  // Materialize the consistency-region stores into a fine-grain update set
+  // (empty in page-grain mode: stores were never logged).
+  pending_diff_ = materialize_store_log();
+  pending_wire_ = pending_diff_.wire_bytes();
+  charge(from_seconds(static_cast<double>(pending_wire_) / rt_->config().local_copy_bw),
+         bucket);
+  return pending_wire_;
+}
+
+void ConsistencyEngine::commit_release(rt::MutexId m) {
+  rt_->apply_diff_global(pending_diff_);  // home servers stay authoritative
+  core::Manager::Mutex& mx = rt_->manager_.mutex(m);
+  if (!pending_diff_.empty()) {
+    UpdateSet set;
+    set.lock = m;
+    set.releaser = ec_->idx;
+    set.diff = std::move(pending_diff_);
+    mx.window.push(std::move(set));
+    mx.seen[ec_->idx] = mx.window.latest_seq();
+    metrics().update_set_bytes += pending_wire_;
+  }
+  pending_diff_ = Diff{};
+  pending_wire_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Barrier hooks (global consistency point)
+// ---------------------------------------------------------------------------
+
+void ConsistencyEngine::pre_barrier(core::Bucket bucket) {
+  // Publish ordinary-region writes that someone else caches (diff against
+  // twins, ship home). Unshared dirty lines stay local — they are pulled
+  // lazily if anyone ever fetches them.
+  flush_shared_dirty(bucket);
+}
+
+void ConsistencyEngine::post_barrier(core::Bucket bucket) {
+  // Drop falsely-shared lines written by others this epoch.
+  invalidate_stale(bucket);
+
+  // A barrier is a global consistency point, so pending fine-grain update
+  // sets of every lock become visible here too (without paying page
+  // invalidations for mutex-protected data).
+  for (rt::MutexId m = 0; m < rt_->manager_.mutex_count(); ++m) {
+    apply_update_sets(m, bucket);
+  }
+
+  if (rt_->config().paranoid_checks) validate_clean_lines();
+}
+
+void ConsistencyEngine::validate_clean_lines() {
+  // Debug invariant: a resident clean line must match the authoritative
+  // server bytes — except where RegC legitimately allows this thread to lag:
+  //   (a) another thread holds unflushed (dirty-holder) modifications,
+  //   (b) another thread already wrote the page in the *current* epoch
+  //       (threads released from a barrier at different times may race
+  //       ahead; visibility is only promised at this thread's next sync),
+  //   (c) bytes covered by update sets this thread has not yet consumed
+  //       (they become visible at its next acquire/barrier).
+  // Anything else diverging is a protocol bug.
+  const auto& cfg = rt_->config();
+  const mem::ThreadMask me = mem::thread_bit(ec_->idx);
+  std::vector<std::byte> authoritative(cfg.line_bytes());
+  for (core::LineId id : cache().resident_line_ids()) {
+    core::PageCache::Line* line = cache().find(id);
+    if (line->dirty) continue;
+    if (line->ready_time > clock()) continue;  // prefetch content in flight
+    const mem::PageId first = cache().first_page(id);
+    bool skip = false;
+    for (unsigned p = 0; p < cfg.pages_per_line && !skip; ++p) {
+      if (rt_->directory_.dirty_holders(first + p) != 0) skip = true;      // (a)
+      if ((rt_->directory_.epoch_writers(first + p) & ~me) != 0) skip = true;  // (b)
+    }
+    if (skip) continue;
+    const mem::GAddr base = cache().line_base(id);
+    rt_->read_global(base, authoritative.data(), cfg.line_bytes());
+    // (c): neutralize bytes of update sets this thread has not consumed.
+    for (rt::MutexId m = 0; m < rt_->manager_.mutex_count(); ++m) {
+      core::Manager::Mutex& mx = rt_->manager_.mutex(m);
+      std::vector<const UpdateSet*> unseen;
+      std::size_t bytes = 0;
+      mx.window.collect_since(mx.seen[ec_->idx], unseen, bytes);
+      for (const UpdateSet* set : unseen) {
+        for (const auto& r : set->diff.ranges()) {
+          const mem::GAddr lo = std::max<mem::GAddr>(r.addr, base);
+          const mem::GAddr hi =
+              std::min<mem::GAddr>(r.addr + r.data.size(), base + cfg.line_bytes());
+          if (lo < hi) {
+            std::memcpy(authoritative.data() + (lo - base),
+                        line->data.data() + (lo - base), hi - lo);
+          }
+        }
+      }
+    }
+    if (authoritative != line->data) {
+      std::size_t off = 0;
+      while (off < authoritative.size() && authoritative[off] == line->data[off]) ++off;
+      double server_v = 0, cache_v = 0;
+      const std::size_t d = off / 8 * 8;
+      std::memcpy(&server_v, authoritative.data() + d, 8);
+      std::memcpy(&cache_v, line->data.data() + d, 8);
+      SAM_EXPECT(false, "paranoid check: clean cached line diverged from server (line " +
+                            std::to_string(id) + ", thread " + std::to_string(ec_->idx) +
+                            ", byte " + std::to_string(off) + ", server=" +
+                            std::to_string(server_v) + ", cache=" +
+                            std::to_string(cache_v) + ")");
+    }
+  }
+}
+
+}  // namespace sam::regc

@@ -1,0 +1,115 @@
+// regc::ConsistencyEngine: the paper's Regional Consistency protocol as a
+// core::ConsistencyPolicy.
+//
+// Consistency-region stores (lock held, config.finegrain_updates) go through
+// a store log and are materialized into fine-grain update sets carried by
+// the lock; ordinary-region stores use the twin/diff multiple-writer
+// protocol and are flushed at barriers (only lines some other thread
+// caches). Acquires apply pending update sets; barriers close the epoch and
+// invalidate falsely-shared lines.
+//
+// The protected helpers are the building blocks subclasses recompose:
+// regc::EagerRCPolicy reuses the twin/diff and page-grain publication
+// machinery to express eager release consistency.
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <vector>
+
+#include "core/consistency_policy.hpp"
+#include "core/engine_ctx.hpp"
+#include "core/page_cache.hpp"
+#include "regc/diff.hpp"
+#include "regc/region_tracker.hpp"
+#include "regc/store_log.hpp"
+#include "rt/runtime.hpp"
+
+namespace sam::core {
+class SamhitaRuntime;
+struct Metrics;
+}  // namespace sam::core
+
+namespace sam::regc {
+
+class ConsistencyEngine : public core::ConsistencyPolicy {
+ public:
+  explicit ConsistencyEngine(core::EngineCtx* ec);
+
+  const char* name() const override { return "regc"; }
+
+  void on_tracked_write(core::PageCache::Line& line, mem::GAddr addr,
+                        std::size_t bytes) override;
+
+  bool is_pinned(core::LineId line) const override;
+  bool has_remote_dirty_holder(core::LineId line) const override;
+  SimTime lazy_pull(core::LineId line, SimTime at_server) override;
+  void flush_line(core::PageCache::Line& line, core::Bucket bucket) override;
+
+  std::size_t grant_bytes(rt::MutexId m, mem::ThreadIdx to) const override;
+  void on_acquired(rt::MutexId m, core::Bucket bucket) override;
+  std::size_t prepare_release(rt::MutexId m, core::Bucket bucket) override;
+  void commit_release(rt::MutexId m) override;
+
+  void pre_barrier(core::Bucket bucket) override;
+  void post_barrier(core::Bucket bucket) override;
+
+  std::size_t region_depth() const override { return regions_.depth(); }
+  void flush_remaining_functional() override;
+
+ protected:
+  // --- building blocks shared with subclasses ------------------------------
+  /// Ordinary-region write: create a twin if needed, mark the written range
+  /// dirty, note the write in the directory (epoch map + dirty holders).
+  void ordinary_write(core::PageCache::Line& line, mem::GAddr addr, std::size_t bytes);
+  /// Ships `lines` home with per-server gathered diff RPCs (chunked at
+  /// config.max_batch_lines); under config.flush_pipeline, RPCs to distinct
+  /// servers overlap and the thread stalls for the slowest one only.
+  void flush_batched(const std::vector<core::PageCache::Line*>& lines, core::Bucket bucket);
+  void flush_all_dirty(core::Bucket bucket);
+  /// Barrier flush policy: flush only dirty lines some other thread
+  /// currently caches ("move only the minimum amount of data required",
+  /// paper §III). Unshared dirty lines stay local and are pulled lazily.
+  void flush_shared_dirty(core::Bucket bucket);
+  /// Drops resident lines written by other threads in the closed epoch.
+  void invalidate_stale(core::Bucket bucket);
+  /// Applies pending update sets of mutex `m` to this thread's cache.
+  void apply_update_sets(rt::MutexId m, core::Bucket bucket);
+  /// Page-grain fallback: at acquire, drop cached lines whose pages were
+  /// released under `m` since this thread last saw it.
+  void invalidate_lock_pages(rt::MutexId m, core::Bucket bucket);
+  /// Page-grain fallback: at release, flush all dirty lines and stamp their
+  /// pages into the lock's release set.
+  void publish_pages_on_release(rt::MutexId m, core::Bucket bucket);
+  /// Materializes the store log into a fine-grain diff (reads the values
+  /// out of the cache) and clears the log.
+  Diff materialize_store_log();
+  /// Debug validation (config.paranoid_checks): resident clean lines with no
+  /// outstanding dirty holders must match the authoritative server bytes.
+  void validate_clean_lines();
+
+  core::PageCache& cache() const { return *ec_->cache; }
+  core::Metrics& metrics() const { return *ec_->metrics; }
+  SimTime clock() const { return ec_->clock(); }
+  void charge(SimDuration d, core::Bucket bucket) { ec_->charge(d, bucket); }
+  void account_since(SimTime t0, core::Bucket bucket) { ec_->account_since(t0, bucket); }
+  void trace(sim::TraceKind kind, std::uint64_t object, std::uint64_t detail) const {
+    ec_->trace(kind, object, detail);
+  }
+  void trace_span(SimTime begin, SimTime end, sim::SpanCat cat, std::uint64_t object) const {
+    ec_->trace_span(begin, end, cat, object);
+  }
+
+  core::EngineCtx* ec_;
+  core::SamhitaRuntime* rt_;
+  RegionTracker regions_;
+
+ private:
+  StoreLog store_log_;
+  std::set<core::LineId> pinned_lines_;  ///< lines with unmaterialized store-log data
+  /// Release payload staged by prepare_release, published by commit_release.
+  Diff pending_diff_;
+  std::size_t pending_wire_ = 0;
+};
+
+}  // namespace sam::regc

@@ -1,0 +1,48 @@
+#include "regc/eager_rc_policy.hpp"
+
+#include "core/samhita_runtime.hpp"
+
+namespace sam::regc {
+
+void EagerRCPolicy::on_tracked_write(core::PageCache::Line& line, mem::GAddr addr,
+                                     std::size_t bytes) {
+  // No store log: consistency-region stores dirty the line like any other
+  // write and are published eagerly at the next release.
+  ordinary_write(line, addr, bytes);
+}
+
+std::size_t EagerRCPolicy::grant_bytes(rt::MutexId m, mem::ThreadIdx to) const {
+  // Grants carry no data — acquirers pay with invalidations and refetches.
+  (void)m;
+  (void)to;
+  return 0;
+}
+
+void EagerRCPolicy::on_acquired(rt::MutexId m, core::Bucket bucket) {
+  invalidate_lock_pages(m, bucket);
+  regions_.enter_region(m);
+}
+
+std::size_t EagerRCPolicy::prepare_release(rt::MutexId m, core::Bucket bucket) {
+  regions_.exit_region(m);
+  // Eager publication: every dirty diff goes home before the lock moves on.
+  publish_pages_on_release(m, bucket);
+  return 0;
+}
+
+void EagerRCPolicy::commit_release(rt::MutexId m) {
+  // Nothing staged: publication already happened in prepare_release.
+  (void)m;
+}
+
+void EagerRCPolicy::pre_barrier(core::Bucket bucket) {
+  // Pessimistic barrier: flush everything dirty, shared or not.
+  flush_all_dirty(bucket);
+}
+
+void EagerRCPolicy::post_barrier(core::Bucket bucket) {
+  invalidate_stale(bucket);
+  if (rt_->config().paranoid_checks) validate_clean_lines();
+}
+
+}  // namespace sam::regc

@@ -1,0 +1,36 @@
+// regc::EagerRCPolicy: eager release consistency, the pessimistic baseline
+// RegC is measured against.
+//
+// Every store uses the ordinary twin/diff path (no store log, no update
+// sets). A release pushes all dirty diffs home immediately and stamps the
+// released pages on the lock; an acquire invalidates every page released
+// under that lock since this thread last held it, so the next access
+// refetches the full line. Barriers flush *all* dirty lines (not just the
+// shared ones) and invalidate as usual. The protocol is correct but moves
+// strictly more bytes than RegC on false-sharing and lock-ping-pong
+// patterns — bench/ablation_consistency quantifies the gap.
+#pragma once
+
+#include "regc/consistency_engine.hpp"
+
+namespace sam::regc {
+
+class EagerRCPolicy final : public ConsistencyEngine {
+ public:
+  using ConsistencyEngine::ConsistencyEngine;
+
+  const char* name() const override { return "eager_rc"; }
+
+  void on_tracked_write(core::PageCache::Line& line, mem::GAddr addr,
+                        std::size_t bytes) override;
+
+  std::size_t grant_bytes(rt::MutexId m, mem::ThreadIdx to) const override;
+  void on_acquired(rt::MutexId m, core::Bucket bucket) override;
+  std::size_t prepare_release(rt::MutexId m, core::Bucket bucket) override;
+  void commit_release(rt::MutexId m) override;
+
+  void pre_barrier(core::Bucket bucket) override;
+  void post_barrier(core::Bucket bucket) override;
+};
+
+}  // namespace sam::regc

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "net/network_model.hpp"
 #include "util/expect.hpp"
 
 namespace sam::scl {

@@ -14,9 +14,13 @@
 #include <span>
 #include <vector>
 
-#include "net/network_model.hpp"
+#include "net/types.hpp"
 #include "sim/resource.hpp"
 #include "util/time_types.hpp"
+
+namespace sam::net {
+class NetworkModel;
+}
 
 namespace sam::scl {
 

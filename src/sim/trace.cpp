@@ -38,6 +38,8 @@ const char* to_string(SpanCat cat) {
     case SpanCat::kManager: return "manager_service";
     case SpanCat::kLink: return "link_busy";
     case SpanCat::kBatchRpc: return "batch_rpc";
+    case SpanCat::kDemandMiss: return "demand_miss";
+    case SpanCat::kFlushRpc: return "flush_rpc";
   }
   return "?";
 }

@@ -58,6 +58,10 @@ enum class SpanCat : std::uint8_t {
   kLink,         ///< track = link index (NetworkModel::link_stats order)
   kBatchRpc,     ///< track = thread, object = first line id: one batched
                  ///< fetch/flush RPC from post to response arrival
+  kDemandMiss,   ///< track = thread, object = line id: paging-engine demand
+                 ///< miss from request post to line installed
+  kFlushRpc,     ///< track = thread, object = line id: consistency-engine
+                 ///< diff flush RPC from post to ack
 };
 
 const char* to_string(SpanCat cat);

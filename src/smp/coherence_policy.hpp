@@ -1,0 +1,34 @@
+// smp::CoherencePolicy: the SMP baseline's MSI cost model exposed through
+// the runtime-agnostic core::ViewConsistencyPolicy surface.
+//
+// The Pthreads baseline has hardware coherence, so its "consistency policy"
+// is just a per-view penalty function: a write to a line last touched by
+// another core pays an ownership transfer, a read of a remotely-dirty line
+// pays a share transfer. Routing it through the same interface the DSM
+// policies implement keeps every runtime's coherence hook in one shape.
+#pragma once
+
+#include "core/consistency_policy.hpp"
+#include "smp/coherence_model.hpp"
+
+namespace sam::smp {
+
+class CoherencePolicy final : public core::ViewConsistencyPolicy {
+ public:
+  explicit CoherencePolicy(CoherenceModel* model) : model_(model) {}
+
+  const char* name() const override { return "msi"; }
+
+  SimDuration on_read_view(std::uint32_t t, std::uint64_t addr, std::size_t bytes) override {
+    return model_->on_read(t, addr, bytes);
+  }
+
+  SimDuration on_write_view(std::uint32_t t, std::uint64_t addr, std::size_t bytes) override {
+    return model_->on_write(t, addr, bytes);
+  }
+
+ private:
+  CoherenceModel* model_;  ///< non-owning; lives in SmpRuntime
+};
+
+}  // namespace sam::smp

@@ -132,14 +132,14 @@ void SmpThreadCtx::free(rt::Addr addr) {
 std::span<const std::byte> SmpThreadCtx::read_view(rt::Addr addr, std::size_t bytes) {
   SAM_EXPECT(bytes > 0 && addr + bytes <= rt_->heap_.size(), "view out of range");
   charge(rt_->config().view_overhead, Bucket::kCompute);
-  charge(rt_->coherence_.on_read(idx_, addr, bytes), Bucket::kCompute);
+  charge(rt_->coherence_policy_.on_read_view(idx_, addr, bytes), Bucket::kCompute);
   return {rt_->heap_.data() + addr, bytes};
 }
 
 std::span<std::byte> SmpThreadCtx::write_view(rt::Addr addr, std::size_t bytes) {
   SAM_EXPECT(bytes > 0 && addr + bytes <= rt_->heap_.size(), "view out of range");
   charge(rt_->config().view_overhead, Bucket::kCompute);
-  charge(rt_->coherence_.on_write(idx_, addr, bytes), Bucket::kCompute);
+  charge(rt_->coherence_policy_.on_write_view(idx_, addr, bytes), Bucket::kCompute);
   return {rt_->heap_.data() + addr, bytes};
 }
 

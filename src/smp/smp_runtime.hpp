@@ -19,6 +19,7 @@
 #include "rt/runtime.hpp"
 #include "sim/coop_scheduler.hpp"
 #include "smp/coherence_model.hpp"
+#include "smp/coherence_policy.hpp"
 
 namespace sam::smp {
 
@@ -55,6 +56,8 @@ class SmpRuntime final : public rt::Runtime {
 
   const SmpConfig& config() const { return config_; }
   CoherenceModel& coherence() { return coherence_; }
+  /// The coherence model behind the shared per-view policy surface.
+  core::ViewConsistencyPolicy& coherence_policy() { return coherence_policy_; }
 
  private:
   friend class SmpThreadCtx;
@@ -82,6 +85,7 @@ class SmpRuntime final : public rt::Runtime {
   std::vector<std::byte> heap_;
   std::uint64_t brk_ = 64;  // keep 0 as a null-ish address
   CoherenceModel coherence_;
+  CoherencePolicy coherence_policy_{&coherence_};
   std::vector<Mutex> mutexes_;
   std::vector<Cond> conds_;
   std::vector<Barrier> barriers_;

@@ -1,0 +1,120 @@
+// Golden-metric regression tests: the default RegC policy must reproduce the
+// pre-refactor (seed) simulator EXACTLY — same virtual-time buckets, same
+// miss counts, same wire bytes, down to the nanosecond. The constants below
+// were captured from the seed build (commit d9816f5) with the capture loop
+// documented next to each workload; any drift means the engine decomposition
+// changed protocol behaviour, which is a bug even if the answers stay right.
+//
+// These are deliberately exact-equality checks on aggregate counters, not
+// EXPECT_NEAR: the simulator is deterministic, so the only tolerance that
+// makes sense is zero.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "apps/jacobi.hpp"
+#include "apps/microbench.hpp"
+#include "core/samhita_runtime.hpp"
+
+namespace sam {
+namespace {
+
+struct Golden {
+  const char* tag;
+  std::uint64_t compute_ns;
+  std::uint64_t lock_ns;
+  std::uint64_t barrier_ns;
+  std::uint64_t misses;
+  std::uint64_t bytes_fetched;
+  std::uint64_t bytes_flushed;
+  std::uint64_t update_set_bytes;
+};
+
+Golden totals_of(const char* tag, const core::SamhitaRuntime& rt) {
+  Golden g{tag, 0, 0, 0, 0, 0, 0, 0};
+  for (std::uint32_t t = 0; t < rt.ran_threads(); ++t) {
+    const core::Metrics& m = rt.metrics(t);
+    g.compute_ns += m.compute_ns;
+    g.lock_ns += m.sync_lock_ns;
+    g.barrier_ns += m.sync_barrier_ns;
+    g.misses += m.cache_misses;
+    g.bytes_fetched += m.bytes_fetched;
+    g.bytes_flushed += m.bytes_flushed;
+    g.update_set_bytes += m.update_set_bytes;
+  }
+  return g;
+}
+
+void expect_equal(const Golden& got, const Golden& want) {
+  EXPECT_EQ(got.compute_ns, want.compute_ns) << want.tag << " compute_ns";
+  EXPECT_EQ(got.lock_ns, want.lock_ns) << want.tag << " sync_lock_ns";
+  EXPECT_EQ(got.barrier_ns, want.barrier_ns) << want.tag << " sync_barrier_ns";
+  EXPECT_EQ(got.misses, want.misses) << want.tag << " cache_misses";
+  EXPECT_EQ(got.bytes_fetched, want.bytes_fetched) << want.tag << " bytes_fetched";
+  EXPECT_EQ(got.bytes_flushed, want.bytes_flushed) << want.tag << " bytes_flushed";
+  EXPECT_EQ(got.update_set_bytes, want.update_set_bytes)
+      << want.tag << " update_set_bytes";
+}
+
+apps::MicrobenchParams micro_params(int S, apps::MicrobenchAlloc alloc) {
+  apps::MicrobenchParams p;
+  p.threads = 8;
+  p.N = 10;
+  p.M = 100;
+  p.S = S;
+  p.B = 256;
+  p.alloc = alloc;
+  return p;
+}
+
+// micro --threads=8 --N=10 --M=100 --S=2 --B=256 --alloc=local
+TEST(GoldenMetrics, MicroLocalMatchesSeed) {
+  core::SamhitaRuntime rt;
+  const auto r = apps::run_microbench(rt, micro_params(2, apps::MicrobenchAlloc::kLocal));
+  EXPECT_EQ(r.gsum, 12864743.837333623);
+  expect_equal(totals_of("micro_local_t8", rt),
+               {"micro_local_t8", 8555634ull, 2752365ull, 2443581ull, 7ull, 229376ull,
+                0ull, 15360ull});
+}
+
+// jacobi --threads=8 --n=64 --iters=5
+TEST(GoldenMetrics, JacobiMatchesSeed) {
+  core::SamhitaRuntime rt;
+  apps::JacobiParams p;
+  p.threads = 8;
+  p.n = 64;
+  p.iterations = 5;
+  const auto r = apps::run_jacobi(rt, p);
+  EXPECT_EQ(r.final_residual, 0.19386141905108209);
+  expect_equal(totals_of("jacobi_n64_t8", rt),
+               {"jacobi_n64_t8", 7595420ull, 4049359ull, 6302913ull, 96ull, 2670592ull,
+                69150ull, 7680ull});
+}
+
+// micro --threads=8 --N=10 --M=100 --B=256 --alloc=strided, stride sweep:
+// S=1 shares every line, S=8 is the paper's worst-case strided layout.
+TEST(GoldenMetrics, StridedSweepMatchesSeed) {
+  const Golden want[] = {
+      {"strided_S1_t8", 10030573ull, 4334270ull, 4846375ull, 77ull, 1376256ull,
+       387072ull, 15360ull},
+      {"strided_S2_t8", 25132502ull, 3030943ull, 7894703ull, 157ull, 2686976ull,
+       1152000ull, 15360ull},
+      {"strided_S4_t8", 57276825ull, 3209099ull, 10871176ull, 307ull, 5308416ull,
+       2681856ull, 15360ull},
+      {"strided_S8_t8", 121900815ull, 3589040ull, 17199005ull, 607ull, 10551296ull,
+       5849088ull, 15360ull},
+  };
+  const double gsum[] = {6432371.9186668117, 12864743.837333623, 25729487.674667258,
+                         51458975.349334508};
+  const int strides[] = {1, 2, 4, 8};
+  for (int i = 0; i < 4; ++i) {
+    core::SamhitaRuntime rt;
+    const auto r = apps::run_microbench(
+        rt, micro_params(strides[i], apps::MicrobenchAlloc::kGlobalStrided));
+    EXPECT_EQ(r.gsum, gsum[i]) << want[i].tag;
+    expect_equal(totals_of(want[i].tag, rt), want[i]);
+  }
+}
+
+}  // namespace
+}  // namespace sam

@@ -16,7 +16,7 @@
 //   --prefetch-policy=none|nextline|stride --prefetch-depth=N
 //   --max-batch-lines=N --flush-pipeline=bool
 //   --eviction=dirty|lru --placement=block|scatter --local-sync=bool
-//   --finegrain=bool
+//   --finegrain=bool --consistency-policy=regc|eager_rc
 //
 // Observability flags (any of them implicitly enables protocol tracing):
 //   --trace=<path>        protocol event CSV (columns: docs/protocol.md §9)
@@ -69,6 +69,10 @@ core::SamhitaConfig config_from_args(const util::ArgParser& args) {
   cfg.flush_pipeline = args.get_bool("flush-pipeline", cfg.flush_pipeline);
   cfg.local_sync = args.get_bool("local-sync", cfg.local_sync);
   cfg.finegrain_updates = args.get_bool("finegrain", cfg.finegrain_updates);
+  // Both spellings are accepted; the underscore form matches the config field.
+  cfg.consistency_policy = core::consistency_policy_from_string(args.get_string(
+      "consistency-policy",
+      args.get_string("consistency_policy", core::to_string(cfg.consistency_policy))));
   const std::string eviction = args.get_string("eviction", "dirty");
   SAM_EXPECT(eviction == "dirty" || eviction == "lru", "--eviction wants dirty|lru");
   cfg.eviction =
