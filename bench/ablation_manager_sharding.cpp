@@ -1,0 +1,63 @@
+// Ablation A7: sharding the centralized manager (§V: "Samhita performs all
+// synchronization operations using a manager [which] adds additional
+// overhead"). We sweep manager shard counts against thread counts on a
+// sync-heavy micro-benchmark (tiny compute, one lock + one barrier per
+// outer iteration, so the manager's service queue dominates) and on the
+// molecular-dynamics kernel, and report how sync time falls as the single
+// service loop is split. Functional checksums are emitted so the sweep
+// doubles as a correctness check: sharding must never change results.
+#include <iostream>
+
+#include "apps/md.hpp"
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sam;
+  const auto opt = bench::BenchOptions::parse(argc, argv);
+  auto csv = bench::make_csv(opt);
+  std::cout << "# ablationA7: manager sharding, sync time vs shard count\n";
+  csv->header({"figure", "workload", "shards", "threads", "sync_seconds",
+               "compute_seconds", "elapsed_seconds", "checksum"});
+
+  // Sync-heavy micro: each of the N outer iterations is a lock-protected
+  // reduction plus a barrier; M and B are small so sync dominates compute.
+  apps::MicrobenchParams p;
+  p.N = opt.quick ? 10 : 40;
+  p.M = 2;
+  p.S = 1;
+  p.B = 64;
+  p.alloc = apps::MicrobenchAlloc::kLocal;
+
+  for (std::int64_t shards : {1, 2, 4, 8}) {
+    for (std::int64_t threads : {4, 8, 16}) {
+      if (opt.quick && threads > 8) continue;
+      core::SamhitaConfig cfg;
+      cfg.manager_shards = static_cast<unsigned>(shards);
+      p.threads = static_cast<std::uint32_t>(threads);
+      const auto r = bench::run_smh(p, cfg);
+      csv->raw_row({"ablationA7", "micro_sync", std::to_string(shards),
+                    std::to_string(threads), std::to_string(r.mean_sync_seconds),
+                    std::to_string(r.mean_compute_seconds),
+                    std::to_string(r.elapsed_seconds), std::to_string(r.gsum)});
+    }
+  }
+
+  apps::MdParams md;
+  md.particles = opt.quick ? 128 : 512;
+  md.steps = opt.quick ? 2 : 4;
+  for (std::int64_t shards : {1, 2, 4, 8}) {
+    for (std::int64_t threads : {4, 8, 16}) {
+      if (opt.quick && threads > 8) continue;
+      core::SamhitaConfig cfg;
+      cfg.manager_shards = static_cast<unsigned>(shards);
+      md.threads = static_cast<std::uint32_t>(threads);
+      core::SamhitaRuntime rt(cfg);
+      const auto r = apps::run_md(rt, md);
+      csv->raw_row({"ablationA7", "md", std::to_string(shards), std::to_string(threads),
+                    std::to_string(r.mean_sync_seconds),
+                    std::to_string(r.mean_compute_seconds),
+                    std::to_string(r.elapsed_seconds), std::to_string(r.potential)});
+    }
+  }
+  return 0;
+}

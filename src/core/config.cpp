@@ -36,4 +36,35 @@ ConsistencyPolicyKind consistency_policy_from_string(const std::string& s) {
   return ConsistencyPolicyKind::kRegC;
 }
 
+const char* to_string(ManagerPlacement p) {
+  switch (p) {
+    case ManagerPlacement::kDedicated: return "dedicated";
+    case ManagerPlacement::kColocated: return "colocated";
+  }
+  return "?";
+}
+
+ManagerPlacement manager_placement_from_string(const std::string& s) {
+  if (s == "dedicated") return ManagerPlacement::kDedicated;
+  if (s == "colocated") return ManagerPlacement::kColocated;
+  SAM_EXPECT(false,
+             "unknown manager placement '" + s + "' (want dedicated|colocated)");
+  return ManagerPlacement::kDedicated;
+}
+
+void validate(const SamhitaConfig& cfg) {
+  SAM_EXPECT(cfg.memory_servers >= 1, "memory_servers must be >= 1");
+  SAM_EXPECT(cfg.compute_nodes >= 1, "compute_nodes must be >= 1");
+  SAM_EXPECT(cfg.cores_per_node >= 1, "cores_per_node must be >= 1");
+  SAM_EXPECT(cfg.manager_shards >= 1,
+             "manager_shards must be >= 1 (1 = the paper's single manager)");
+  SAM_EXPECT(cfg.manager_shards <= kMaxManagerShards,
+             "manager_shards " + std::to_string(cfg.manager_shards) +
+                 " out of range (max " + std::to_string(kMaxManagerShards) + ")");
+  SAM_EXPECT(cfg.pages_per_line >= 1, "pages_per_line must be >= 1");
+  SAM_EXPECT(cfg.cache_capacity_bytes >= cfg.line_bytes(),
+             "cache_capacity_bytes must hold at least one line");
+  SAM_EXPECT(cfg.max_batch_lines >= 1, "max_batch_lines must be >= 1");
+}
+
 }  // namespace sam::core

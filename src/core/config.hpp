@@ -45,6 +45,20 @@ enum class ConsistencyPolicyKind { kRegC, kEagerRC };
 const char* to_string(ConsistencyPolicyKind k);
 ConsistencyPolicyKind consistency_policy_from_string(const std::string& s);
 
+/// Placement of the synchronization/metadata service shards over fabric
+/// nodes. kDedicated gives every shard its own node (its own NIC and
+/// service loop — the fully decentralized layout); kColocated keeps all
+/// shard service loops on the single manager node (scales request handling
+/// but shares one fabric endpoint, isolating the CPU-serialization effect).
+enum class ManagerPlacement { kDedicated, kColocated };
+
+const char* to_string(ManagerPlacement p);
+ManagerPlacement manager_placement_from_string(const std::string& s);
+
+/// Hard ceiling on `manager_shards` (config validation; the fabric models
+/// scale to any node count, this just catches typo-grade values early).
+inline constexpr unsigned kMaxManagerShards = 64;
+
 /// CPU cost model shared by both runtimes so compute time is comparable.
 struct ComputeCost {
   double clock_ghz = 2.8;         ///< paper's Penryn/Harpertown Xeons
@@ -145,16 +159,35 @@ struct SamhitaConfig {
   /// kEagerRC is the eager-release baseline for cross-protocol sweeps.
   ConsistencyPolicyKind consistency_policy = ConsistencyPolicyKind::kRegC;
 
+  /// Number of synchronization/metadata service shards the manager's state
+  /// is partitioned across (core::ServiceDirectory). 1 reproduces the
+  /// paper's single centralized manager bit-identically; N > 1 spreads sync
+  /// objects round-robin over N shards so independent locks stop queueing
+  /// on one service loop (the §V overhead observation).
+  unsigned manager_shards = 1;
+  /// Where the shards live (ignored at manager_shards == 1, where both
+  /// placements collapse to the paper's single manager node).
+  ManagerPlacement manager_placement = ManagerPlacement::kDedicated;
+
   ComputeCost cost;
 
   // Derived quantities -------------------------------------------------------
   std::size_t line_bytes() const { return pages_per_line * mem::kPageSize; }
   unsigned max_threads() const { return compute_nodes * cores_per_node; }
-  unsigned total_nodes() const { return memory_servers + 1 + compute_nodes; }
-  /// Node layout: [0, memory_servers) servers, then manager, then compute.
+  /// Fabric nodes occupied by the sync/metadata service shards.
+  unsigned manager_nodes() const {
+    return manager_placement == ManagerPlacement::kDedicated ? manager_shards : 1;
+  }
+  unsigned total_nodes() const { return memory_servers + manager_nodes() + compute_nodes; }
+  /// Node layout: [0, memory_servers) servers, then manager shard nodes,
+  /// then compute. manager_node() is shard 0's node (the paper's manager).
   unsigned manager_node() const { return memory_servers; }
+  unsigned manager_shard_node(unsigned shard) const {
+    return memory_servers +
+           (manager_placement == ManagerPlacement::kDedicated ? shard : 0);
+  }
   unsigned compute_node(unsigned thread) const {
-    const unsigned base = memory_servers + 1;
+    const unsigned base = memory_servers + manager_nodes();
     if (placement == Placement::kScatter) {
       return base + (thread % compute_nodes);
     }
@@ -171,5 +204,11 @@ struct SamhitaConfig {
     return from_seconds(2.0 * static_cast<double>(line_bytes()) / local_copy_bw);
   }
 };
+
+/// Fails fast (util::ContractViolation with a CLI-worthy message) on
+/// out-of-range topology/protocol values instead of letting them surface as
+/// confusing downstream failures. Called by SamhitaRuntime on construction;
+/// tools call it right after flag parsing.
+void validate(const SamhitaConfig& cfg);
 
 }  // namespace sam::core

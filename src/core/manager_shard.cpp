@@ -1,0 +1,67 @@
+#include "core/manager_shard.hpp"
+
+#include "util/expect.hpp"
+
+namespace sam::core {
+
+ManagerShard::ManagerShard(unsigned index, net::NodeId node, SimDuration service_time)
+    : index_(index),
+      node_(node),
+      service_time_(service_time),
+      service_("manager-shard-" + std::to_string(index)) {}
+
+ManagerShard::Mutex& ManagerShard::add_mutex(rt::MutexId id) {
+  mutex_slot_.emplace(id, mutexes_.size());
+  mutex_ids_.push_back(id);
+  mutexes_.emplace_back();
+  mutexes_.back().seen.assign(mem::kMaxThreads, 0);
+  mutexes_.back().seen_page_seq.assign(mem::kMaxThreads, 0);
+  return mutexes_.back();
+}
+
+ManagerShard::Cond& ManagerShard::add_cond(rt::CondId id) {
+  cond_slot_.emplace(id, conds_.size());
+  conds_.emplace_back();
+  return conds_.back();
+}
+
+ManagerShard::Barrier& ManagerShard::add_barrier(rt::BarrierId id, std::uint32_t parties) {
+  SAM_EXPECT(parties >= 1, "barrier needs at least one party");
+  barrier_slot_.emplace(id, barriers_.size());
+  barrier_ids_.push_back(id);
+  barriers_.emplace_back();
+  barriers_.back().parties = parties;
+  return barriers_.back();
+}
+
+ManagerShard::Mutex& ManagerShard::mutex(rt::MutexId id) {
+  const auto it = mutex_slot_.find(id);
+  SAM_EXPECT(it != mutex_slot_.end(), "mutex id not owned by this shard");
+  return mutexes_[it->second];
+}
+
+ManagerShard::Cond& ManagerShard::cond(rt::CondId id) {
+  const auto it = cond_slot_.find(id);
+  SAM_EXPECT(it != cond_slot_.end(), "condition variable id not owned by this shard");
+  return conds_[it->second];
+}
+
+ManagerShard::Barrier& ManagerShard::barrier(rt::BarrierId id) {
+  const auto it = barrier_slot_.find(id);
+  SAM_EXPECT(it != barrier_slot_.end(), "barrier id not owned by this shard");
+  return barriers_[it->second];
+}
+
+const ManagerShard::Mutex& ManagerShard::mutex(rt::MutexId id) const {
+  const auto it = mutex_slot_.find(id);
+  SAM_EXPECT(it != mutex_slot_.end(), "mutex id not owned by this shard");
+  return mutexes_[it->second];
+}
+
+const ManagerShard::Barrier& ManagerShard::barrier(rt::BarrierId id) const {
+  const auto it = barrier_slot_.find(id);
+  SAM_EXPECT(it != barrier_slot_.end(), "barrier id not owned by this shard");
+  return barriers_[it->second];
+}
+
+}  // namespace sam::core

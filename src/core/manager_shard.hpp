@@ -1,0 +1,117 @@
+// One shard of the Samhita synchronization/metadata service (§II, §V).
+//
+// The paper's manager is a single service on its own node, and "Samhita
+// performs all synchronization operations using a manager [which] adds
+// additional overhead" (§V): every mutex/cond/barrier RPC from every thread
+// queues on one service loop. A ManagerShard is 1/N of that service: it
+// runs on its own net::NodeId with its own sim::Resource and holds the
+// *functional* state of the sync objects the core::ServiceDirectory routed
+// to it, including the RegC update windows attached to locks. With N = 1
+// (the default) the single shard reproduces the paper's manager
+// bit-identically. The timed choreography (who waits until when) lives in
+// core::SyncClient.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/types.hpp"
+#include "net/types.hpp"
+#include "regc/update_set.hpp"
+#include "rt/runtime.hpp"
+#include "sim/resource.hpp"
+
+namespace sam::sim {
+class SimThread;
+}
+
+namespace sam::core {
+
+class ManagerShard {
+ public:
+  struct Waiter {
+    mem::ThreadIdx thread;
+    sim::SimThread* sim_thread;
+  };
+
+  struct Mutex {
+    std::optional<mem::ThreadIdx> holder;
+    std::deque<Waiter> waiters;
+    regc::UpdateWindow window;                       ///< RegC update sets
+    std::vector<std::uint64_t> seen;                 ///< per-thread high-water seq
+    std::uint64_t acquisitions = 0;
+    std::uint64_t contended_acquisitions = 0;
+
+    // Page-grain fallback state (config.finegrain_updates == false):
+    // pages flushed by releases of this lock, stamped with a release
+    // sequence so each acquirer invalidates exactly the pages released
+    // since it last held the lock.
+    std::uint64_t release_counter = 0;
+    std::unordered_map<mem::PageId, std::uint64_t> page_release_seq;
+    std::vector<std::uint64_t> seen_page_seq;        ///< per-thread high-water
+  };
+
+  struct Cond {
+    std::deque<Waiter> waiters;
+    std::vector<rt::MutexId> waiter_mutex;  ///< parallel to waiters
+  };
+
+  struct Barrier {
+    std::uint32_t parties = 0;
+    std::vector<Waiter> arrived;
+    SimTime last_arrival_service_done = 0;
+    std::uint64_t generation = 0;
+  };
+
+  ManagerShard(unsigned index, net::NodeId node, SimDuration service_time);
+
+  unsigned index() const { return index_; }
+  net::NodeId node() const { return node_; }
+  sim::Resource& service() { return service_; }
+  const sim::Resource& service() const { return service_; }
+  SimDuration service_time() const { return service_time_; }
+
+  /// State creation for a globally-assigned id (ServiceDirectory routes the
+  /// id here; the shard stores the state and remembers ownership order).
+  Mutex& add_mutex(rt::MutexId id);
+  Cond& add_cond(rt::CondId id);
+  Barrier& add_barrier(rt::BarrierId id, std::uint32_t parties);
+
+  /// State lookup by *global* id; the id must be owned by this shard.
+  Mutex& mutex(rt::MutexId id);
+  Cond& cond(rt::CondId id);
+  Barrier& barrier(rt::BarrierId id);
+  const Mutex& mutex(rt::MutexId id) const;
+  const Barrier& barrier(rt::BarrierId id) const;
+
+  /// Global ids owned by this shard, in creation order (deterministic
+  /// iteration for shard-local gathers, e.g. the barrier update-set merge).
+  const std::vector<rt::MutexId>& owned_mutexes() const { return mutex_ids_; }
+  const std::vector<rt::BarrierId>& owned_barriers() const { return barrier_ids_; }
+
+  std::size_t mutex_count() const { return mutex_ids_.size(); }
+  std::size_t cond_count() const { return cond_slot_.size(); }
+  std::size_t barrier_count() const { return barrier_ids_.size(); }
+
+ private:
+  unsigned index_;
+  net::NodeId node_;
+  SimDuration service_time_;
+  sim::Resource service_;
+  // Deques: references handed out (and held across scheduler yields by
+  // SyncClient / the consistency engines) stay valid as objects are added.
+  std::deque<Mutex> mutexes_;
+  std::deque<Cond> conds_;
+  std::deque<Barrier> barriers_;
+  std::vector<rt::MutexId> mutex_ids_;
+  std::vector<rt::BarrierId> barrier_ids_;
+  std::unordered_map<rt::MutexId, std::size_t> mutex_slot_;
+  std::unordered_map<rt::CondId, std::size_t> cond_slot_;
+  std::unordered_map<rt::BarrierId, std::size_t> barrier_slot_;
+};
+
+}  // namespace sam::core

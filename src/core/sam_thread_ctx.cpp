@@ -71,12 +71,14 @@ rt::Addr SamThreadCtx::alloc_shared(std::size_t bytes) {
 void SamThreadCtx::charge_alloc_outcome(const AllocOutcome& outcome) {
   ec_.trace(sim::TraceKind::kAlloc, 0, outcome.manager_rpcs);
   ec_.charge(120, Bucket::kAlloc);  // local allocator bookkeeping
+  // Allocation metadata requests carry no object identity: route by thread
+  // so allocator traffic spreads across the manager shards.
+  ManagerShard& sh = rt_->services_.alloc_shard(ec_.idx);
   for (unsigned i = 0; i < outcome.manager_rpcs; ++i) {
     rt_->sched_.yield_current();
     const SimTime t0 = ec_.clock();
-    const SimTime resp =
-        rt_->scl_.rpc(t0, ec_.node, rt_->manager_.node(), kCtrl, kCtrl,
-                      rt_->manager_.service(), rt_->manager_.service_time());
+    const SimTime resp = rt_->scl_.rpc(t0, ec_.node, sh.node(), kCtrl, kCtrl,
+                                       sh.service(), sh.service_time());
     ec_.sim_thread->advance_to(resp);
     ec_.account_since(t0, Bucket::kAlloc);
   }

@@ -17,6 +17,13 @@ constexpr SimDuration kSpawnStagger = 5 * timeunits::kMicrosecond;
 }  // namespace
 
 namespace {
+/// Validation gate on the constructor path: every field is range-checked
+/// before any subsystem consumes it (fail fast with a CLI-worthy message).
+SamhitaConfig validated(SamhitaConfig config) {
+  validate(config);
+  return config;
+}
+
 std::unique_ptr<net::NetworkModel> build_network(const SamhitaConfig& config) {
   auto base = net::make_network_scaled(config.network, config.total_nodes(),
                                        config.net_latency_scale,
@@ -28,13 +35,13 @@ std::unique_ptr<net::NetworkModel> build_network(const SamhitaConfig& config) {
 }  // namespace
 
 SamhitaRuntime::SamhitaRuntime(SamhitaConfig config)
-    : config_(config),
-      net_(build_network(config)),
+    : config_(validated(std::move(config))),
+      net_(build_network(config_)),
       scl_(net_.get()),
-      gas_(config.address_space_bytes, config.memory_servers),
-      manager_(config.manager_node(), config.manager_service),
+      gas_(config_.address_space_bytes, config_.memory_servers),
+      services_(&config_),
       allocator_(&config_, &gas_),
-      trace_(config.trace_capacity) {
+      trace_(config_.trace_capacity) {
   SAM_EXPECT(config_.memory_servers >= 1, "need at least one memory server");
   servers_.reserve(config_.memory_servers);
   for (unsigned i = 0; i < config_.memory_servers; ++i) {
@@ -53,7 +60,9 @@ SamhitaRuntime::SamhitaRuntime(SamhitaConfig config)
     for (unsigned i = 0; i < config_.memory_servers; ++i) {
       servers_[i].service().attach_trace(&trace_, sim::SpanCat::kServer, i);
     }
-    manager_.service().attach_trace(&trace_, sim::SpanCat::kManager, 0);
+    for (unsigned s = 0; s < services_.shard_count(); ++s) {
+      services_.shard(s).service().attach_trace(&trace_, sim::SpanCat::kManager, s);
+    }
     net_->attach_trace(&trace_);
   }
 }

@@ -14,13 +14,13 @@
 #include <vector>
 
 #include "core/config.hpp"
-#include "core/manager.hpp"
 #include "core/metrics.hpp"
 #include "core/sam_allocator.hpp"
 #include "mem/directory.hpp"
 #include "mem/global_address_space.hpp"
 #include "mem/memory_server.hpp"
 #include "net/types.hpp"
+#include "core/service_directory.hpp"
 #include "regc/diff.hpp"
 #include "rt/runtime.hpp"
 #include "scl/scl.hpp"
@@ -48,10 +48,10 @@ class SamhitaRuntime final : public rt::Runtime {
 
   // --- rt::Runtime ----------------------------------------------------------
   const std::string& name() const override { return name_; }
-  rt::MutexId create_mutex() override { return manager_.create_mutex(); }
-  rt::CondId create_cond() override { return manager_.create_cond(); }
+  rt::MutexId create_mutex() override { return services_.create_mutex(); }
+  rt::CondId create_cond() override { return services_.create_cond(); }
   rt::BarrierId create_barrier(std::uint32_t parties) override {
-    return manager_.create_barrier(parties);
+    return services_.create_barrier(parties);
   }
   void parallel_run(std::uint32_t nthreads,
                     const std::function<void(rt::ThreadCtx&)>& body) override;
@@ -68,7 +68,8 @@ class SamhitaRuntime final : public rt::Runtime {
   const mem::Directory& directory() const { return directory_; }
   const SamAllocator& allocator() const { return allocator_; }
   const std::vector<mem::MemoryServer>& servers() const { return servers_; }
-  const Manager& manager() const { return manager_; }
+  /// The sharded sync/metadata service (routing directory + shards).
+  const ServiceDirectory& services() const { return services_; }
   /// Largest virtual timestamp the scheduler handed out (run duration).
   SimTime sim_horizon() const { return sched_.horizon(); }
   /// Protocol event trace (populated when config.trace_enabled).
@@ -99,7 +100,7 @@ class SamhitaRuntime final : public rt::Runtime {
   scl::Scl scl_;
   mem::GlobalAddressSpace gas_;
   std::vector<mem::MemoryServer> servers_;
-  Manager manager_;
+  ServiceDirectory services_;
   mem::Directory directory_;
   SamAllocator allocator_;
   /// Per-compute-node sync service used when config.local_sync is enabled

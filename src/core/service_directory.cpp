@@ -1,0 +1,62 @@
+#include "core/service_directory.hpp"
+
+#include "core/config.hpp"
+#include "util/expect.hpp"
+
+namespace sam::core {
+
+ServiceDirectory::ServiceDirectory(const SamhitaConfig* config) {
+  SAM_EXPECT(config->manager_shards >= 1, "need at least one manager shard");
+  shards_.reserve(config->manager_shards);
+  for (unsigned s = 0; s < config->manager_shards; ++s) {
+    shards_.emplace_back(s, static_cast<net::NodeId>(config->manager_shard_node(s)),
+                         config->manager_service);
+  }
+}
+
+unsigned ServiceDirectory::place_next() {
+  const unsigned s = next_shard_;
+  next_shard_ = (next_shard_ + 1) % static_cast<unsigned>(shards_.size());
+  return s;
+}
+
+rt::MutexId ServiceDirectory::create_mutex() {
+  const auto id = static_cast<rt::MutexId>(mutex_shard_.size());
+  const unsigned s = place_next();
+  mutex_shard_.push_back(s);
+  shards_[s].add_mutex(id);
+  return id;
+}
+
+rt::CondId ServiceDirectory::create_cond() {
+  const auto id = static_cast<rt::CondId>(cond_shard_.size());
+  const unsigned s = place_next();
+  cond_shard_.push_back(s);
+  shards_[s].add_cond(id);
+  return id;
+}
+
+rt::BarrierId ServiceDirectory::create_barrier(std::uint32_t parties) {
+  const auto id = static_cast<rt::BarrierId>(barrier_shard_.size());
+  const unsigned s = place_next();
+  barrier_shard_.push_back(s);
+  shards_[s].add_barrier(id, parties);
+  return id;
+}
+
+unsigned ServiceDirectory::mutex_shard_index(rt::MutexId id) const {
+  SAM_EXPECT(id < mutex_shard_.size(), "unknown mutex id");
+  return mutex_shard_[id];
+}
+
+unsigned ServiceDirectory::cond_shard_index(rt::CondId id) const {
+  SAM_EXPECT(id < cond_shard_.size(), "unknown condition variable id");
+  return cond_shard_[id];
+}
+
+unsigned ServiceDirectory::barrier_shard_index(rt::BarrierId id) const {
+  SAM_EXPECT(id < barrier_shard_.size(), "unknown barrier id");
+  return barrier_shard_[id];
+}
+
+}  // namespace sam::core

@@ -1,0 +1,83 @@
+// core::ServiceDirectory: the routing layer of the sharded sync/metadata
+// service.
+//
+// The directory assigns every synchronization object (mutex, condition
+// variable, barrier) to one of N ManagerShards at creation time and answers
+// "which shard owns object X?" for the transport layer (core::SyncClient,
+// the allocator's metadata RPCs). Placement is round-robin over shards in
+// global creation order — across *all* object types, so e.g. a workload's
+// single mutex and single barrier land on different shards and their
+// request streams stop falsely serializing on one service loop. Ids stay
+// global (dense, per-type) so application code and the RegC machinery are
+// oblivious to sharding; with N = 1 every object maps to shard 0 and the
+// system is bit-identical to the paper's centralized manager.
+//
+// Allocation-metadata requests have no object identity; they are routed by
+// requesting thread (thread % N) so allocator traffic also spreads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/manager_shard.hpp"
+
+namespace sam::core {
+
+struct SamhitaConfig;
+
+class ServiceDirectory {
+ public:
+  explicit ServiceDirectory(const SamhitaConfig* config);
+
+  unsigned shard_count() const { return static_cast<unsigned>(shards_.size()); }
+  ManagerShard& shard(unsigned s) { return shards_[s]; }
+  const ManagerShard& shard(unsigned s) const { return shards_[s]; }
+
+  rt::MutexId create_mutex();
+  rt::CondId create_cond();
+  rt::BarrierId create_barrier(std::uint32_t parties);
+
+  unsigned mutex_shard_index(rt::MutexId id) const;
+  unsigned cond_shard_index(rt::CondId id) const;
+  unsigned barrier_shard_index(rt::BarrierId id) const;
+
+  ManagerShard& mutex_shard(rt::MutexId id) { return shards_[mutex_shard_index(id)]; }
+  ManagerShard& cond_shard(rt::CondId id) { return shards_[cond_shard_index(id)]; }
+  ManagerShard& barrier_shard(rt::BarrierId id) {
+    return shards_[barrier_shard_index(id)];
+  }
+  const ManagerShard& barrier_shard(rt::BarrierId id) const {
+    return shards_[barrier_shard_index(id)];
+  }
+  /// Shard servicing thread `t`'s allocation-metadata requests.
+  ManagerShard& alloc_shard(mem::ThreadIdx t) {
+    return shards_[t % shards_.size()];
+  }
+
+  /// State lookup by global id, routed through the owning shard.
+  ManagerShard::Mutex& mutex(rt::MutexId id) { return mutex_shard(id).mutex(id); }
+  const ManagerShard::Mutex& mutex(rt::MutexId id) const {
+    return shards_[mutex_shard_index(id)].mutex(id);
+  }
+  ManagerShard::Cond& cond(rt::CondId id) { return cond_shard(id).cond(id); }
+  ManagerShard::Barrier& barrier(rt::BarrierId id) { return barrier_shard(id).barrier(id); }
+  const ManagerShard::Barrier& barrier(rt::BarrierId id) const {
+    return barrier_shard(id).barrier(id);
+  }
+
+  std::size_t mutex_count() const { return mutex_shard_.size(); }
+  std::size_t cond_count() const { return cond_shard_.size(); }
+  std::size_t barrier_count() const { return barrier_shard_.size(); }
+
+ private:
+  unsigned place_next();
+
+  std::vector<ManagerShard> shards_;
+  // Global id -> owning shard index, per object type.
+  std::vector<unsigned> mutex_shard_;
+  std::vector<unsigned> cond_shard_;
+  std::vector<unsigned> barrier_shard_;
+  unsigned next_shard_ = 0;  ///< round-robin placement cursor
+};
+
+}  // namespace sam::core

@@ -3,8 +3,8 @@
 #include <algorithm>
 
 #include "core/consistency_policy.hpp"
-#include "core/manager.hpp"
 #include "core/samhita_runtime.hpp"
+#include "core/service_directory.hpp"
 #include "scl/scl.hpp"
 #include "sim/coop_scheduler.hpp"
 #include "util/expect.hpp"
@@ -18,21 +18,21 @@ constexpr std::size_t kCtrl = scl::kCtrlBytes;
 SyncClient::SyncClient(EngineCtx* ec, ConsistencyPolicy* policy)
     : ec_(ec), policy_(policy), rt_(ec->rt) {}
 
-net::NodeId SyncClient::sync_node() const {
-  return rt_->config().local_sync ? ec_->node : rt_->manager_.node();
+net::NodeId SyncClient::sync_node(const ManagerShard& shard) const {
+  return rt_->config().local_sync ? ec_->node : shard.node();
 }
 
-sim::Resource& SyncClient::sync_service() {
+sim::Resource& SyncClient::sync_service(ManagerShard& shard) {
   if (rt_->config().local_sync) {
     return rt_->node_sync_.at(ec_->node);
   }
-  return rt_->manager_.service();
+  return shard.service();
 }
 
-SimDuration SyncClient::sync_service_time() const {
+SimDuration SyncClient::sync_service_time(const ManagerShard& shard) const {
   // A local (same-node) sync service skips the manager's heavier request
   // handling; it is essentially an atomic update on shared node memory.
-  return rt_->config().local_sync ? SimDuration{100} : rt_->manager_.service_time();
+  return rt_->config().local_sync ? SimDuration{100} : shard.service_time();
 }
 
 void SyncClient::end_lock_held_span(rt::MutexId m) {
@@ -49,22 +49,23 @@ void SyncClient::end_lock_held_span(rt::MutexId m) {
 void SyncClient::lock(rt::MutexId m) {
   rt_->sched_.yield_current();
   const SimTime t0 = clock();
-  Manager::Mutex& mx = rt_->manager_.mutex(m);
+  ManagerShard& sh = rt_->services_.mutex_shard(m);
+  ManagerShard::Mutex& mx = sh.mutex(m);
   ++mx.acquisitions;
 
-  const SimTime t_arrive = rt_->scl_.send(t0, ec_->node, sync_node(), kCtrl);
-  const SimTime t_served = sync_service().serve(t_arrive, sync_service_time());
+  const SimTime t_arrive = rt_->scl_.send(t0, ec_->node, sync_node(sh), kCtrl);
+  const SimTime t_served = sync_service(sh).serve(t_arrive, sync_service_time(sh));
 
   if (!mx.holder.has_value()) {
     mx.holder = ec_->idx;
     // Grant carries the policy's acquire payload for this thread (pending
     // fine-grain update sets under RegC).
     const std::size_t bytes = policy_->grant_bytes(m, ec_->idx);
-    const SimTime t_resp = rt_->scl_.send(t_served, sync_node(), ec_->node, kCtrl + bytes);
+    const SimTime t_resp = rt_->scl_.send(t_served, sync_node(sh), ec_->node, kCtrl + bytes);
     ec_->sim_thread->advance_to(t_resp);
   } else {
     ++mx.contended_acquisitions;
-    mx.waiters.push_back(Manager::Waiter{ec_->idx, ec_->sim_thread});
+    mx.waiters.push_back(ManagerShard::Waiter{ec_->idx, ec_->sim_thread});
     rt_->sched_.block_current();
     SAM_EXPECT(mx.holder.has_value() && *mx.holder == ec_->idx,
                "woken lock waiter does not hold the lock");
@@ -77,16 +78,18 @@ void SyncClient::lock(rt::MutexId m) {
 }
 
 void SyncClient::release_mutex_at(rt::MutexId m, SimTime t_served) {
-  Manager::Mutex& mx = rt_->manager_.mutex(m);
+  ManagerShard& sh = rt_->services_.mutex_shard(m);
+  ManagerShard::Mutex& mx = sh.mutex(m);
   SAM_EXPECT(mx.holder.has_value() && *mx.holder == ec_->idx, "release of non-held mutex");
   if (!mx.waiters.empty()) {
-    Manager::Waiter w = mx.waiters.front();
+    ManagerShard::Waiter w = mx.waiters.front();
     mx.waiters.pop_front();
     mx.holder = w.thread;
     // Grant message carries the policy's acquire payload for the waiter.
     const std::size_t bytes = policy_->grant_bytes(m, w.thread);
     const net::NodeId waiter_node = rt_->config().compute_node(w.thread);
-    const SimTime t_grant = rt_->scl_.send(t_served, sync_node(), waiter_node, kCtrl + bytes);
+    const SimTime t_grant =
+        rt_->scl_.send(t_served, sync_node(sh), waiter_node, kCtrl + bytes);
     rt_->sched_.unblock(w.sim_thread, t_grant);
   } else {
     mx.holder.reset();
@@ -100,8 +103,9 @@ void SyncClient::unlock(rt::MutexId m) {
 
   rt_->sched_.yield_current();
   const SimTime t0 = clock();
-  const SimTime t_arrive = rt_->scl_.send(t0, ec_->node, sync_node(), kCtrl + wire);
-  const SimTime t_served = sync_service().serve(t_arrive, sync_service_time());
+  ManagerShard& sh = rt_->services_.mutex_shard(m);
+  const SimTime t_arrive = rt_->scl_.send(t0, ec_->node, sync_node(sh), kCtrl + wire);
+  const SimTime t_served = sync_service(sh).serve(t_arrive, sync_service_time(sh));
 
   // Functional release effects happen here — after the transport yield — so
   // no earlier-clock thread can observe a value the release has not yet
@@ -110,7 +114,7 @@ void SyncClient::unlock(rt::MutexId m) {
 
   release_mutex_at(m, t_served);
 
-  const SimTime t_ack = rt_->scl_.send(t_served, sync_node(), ec_->node, kCtrl);
+  const SimTime t_ack = rt_->scl_.send(t_served, sync_node(sh), ec_->node, kCtrl);
   ec_->sim_thread->advance_to(t_ack);
   account_since(t0, Bucket::kLock);
   end_lock_held_span(m);
@@ -124,27 +128,39 @@ void SyncClient::unlock(rt::MutexId m) {
 void SyncClient::cond_wait(rt::CondId c, rt::MutexId m) {
   end_lock_held_span(m);
 
-  // Release side: identical consistency work to unlock().
+  // Release side: identical consistency work to unlock(). The release RPC
+  // goes to the *mutex's* shard; when the condition variable lives on a
+  // different shard the park request is forwarded there (one extra control
+  // hop + service visit, shard-to-shard).
   const std::size_t wire = policy_->prepare_release(m, Bucket::kLock);
 
   rt_->sched_.yield_current();
   const SimTime t0 = clock();
-  const SimTime t_arrive = rt_->scl_.send(t0, ec_->node, sync_node(), kCtrl + wire);
-  const SimTime t_served = sync_service().serve(t_arrive, sync_service_time());
+  ManagerShard& msh = rt_->services_.mutex_shard(m);
+  ManagerShard& csh = rt_->services_.cond_shard(c);
+  const SimTime t_arrive = rt_->scl_.send(t0, ec_->node, sync_node(msh), kCtrl + wire);
+  const SimTime t_served = sync_service(msh).serve(t_arrive, sync_service_time(msh));
 
   policy_->commit_release(m);  // after the transport yield, as in unlock()
 
+  if (!rt_->config().local_sync && &csh != &msh) {
+    // Cross-shard wait: the mutex shard forwards the park request to the
+    // cond's shard, which services it before the thread is parked.
+    const SimTime t_fwd = rt_->scl_.send(t_served, msh.node(), csh.node(), kCtrl);
+    csh.service().serve(t_fwd, csh.service_time());
+  }
+
   // Park on the condition variable *before* handing the lock on, so a
   // signal from the woken lock holder can reach this thread.
-  Manager::Cond& cv = rt_->manager_.cond(c);
-  cv.waiters.push_back(Manager::Waiter{ec_->idx, ec_->sim_thread});
+  ManagerShard::Cond& cv = csh.cond(c);
+  cv.waiters.push_back(ManagerShard::Waiter{ec_->idx, ec_->sim_thread});
   cv.waiter_mutex.push_back(m);
 
   release_mutex_at(m, t_served);
   rt_->sched_.block_current();
 
   // Woken by signal/broadcast with the mutex already granted to us.
-  Manager::Mutex& mx = rt_->manager_.mutex(m);
+  ManagerShard::Mutex& mx = msh.mutex(m);
   SAM_EXPECT(mx.holder.has_value() && *mx.holder == ec_->idx,
              "cond_wait woke without holding the mutex");
   account_since(t0, Bucket::kLock);
@@ -156,33 +172,42 @@ void SyncClient::cond_wait(rt::CondId c, rt::MutexId m) {
 void SyncClient::cond_signal(rt::CondId c) {
   rt_->sched_.yield_current();
   const SimTime t0 = clock();
-  const SimTime t_arrive = rt_->scl_.send(t0, ec_->node, sync_node(), kCtrl);
-  const SimTime t_served = sync_service().serve(t_arrive, sync_service_time());
+  ManagerShard& csh = rt_->services_.cond_shard(c);
+  const SimTime t_arrive = rt_->scl_.send(t0, ec_->node, sync_node(csh), kCtrl);
+  const SimTime t_served = sync_service(csh).serve(t_arrive, sync_service_time(csh));
 
-  Manager::Cond& cv = rt_->manager_.cond(c);
+  ManagerShard::Cond& cv = csh.cond(c);
   if (!cv.waiters.empty()) {
-    Manager::Waiter w = cv.waiters.front();
+    ManagerShard::Waiter w = cv.waiters.front();
     cv.waiters.pop_front();
     const rt::MutexId m = cv.waiter_mutex.front();
     cv.waiter_mutex.erase(cv.waiter_mutex.begin());
-    Manager::Mutex& mx = rt_->manager_.mutex(m);
+    ManagerShard& msh = rt_->services_.mutex_shard(m);
+    // The hand-off mutates mutex state, which lives on the mutex's shard;
+    // cross-shard signals pay a forward hop + service visit to get there.
+    SimTime t_mutex = t_served;
+    if (!rt_->config().local_sync && &msh != &csh) {
+      const SimTime t_fwd = rt_->scl_.send(t_served, csh.node(), msh.node(), kCtrl);
+      t_mutex = msh.service().serve(t_fwd, msh.service_time());
+    }
+    ManagerShard::Mutex& mx = msh.mutex(m);
     if (!mx.holder.has_value()) {
       mx.holder = w.thread;
       const net::NodeId waiter_node = rt_->config().compute_node(w.thread);
-      const SimTime t_grant = rt_->scl_.send(t_served, sync_node(), waiter_node, kCtrl);
+      const SimTime t_grant = rt_->scl_.send(t_mutex, sync_node(msh), waiter_node, kCtrl);
       rt_->sched_.unblock(w.sim_thread, t_grant);
     } else {
       mx.waiters.push_back(w);  // re-acquire once the holder releases
     }
   }
-  const SimTime t_ack = rt_->scl_.send(t_served, sync_node(), ec_->node, kCtrl);
+  const SimTime t_ack = rt_->scl_.send(t_served, sync_node(csh), ec_->node, kCtrl);
   ec_->sim_thread->advance_to(t_ack);
   account_since(t0, Bucket::kLock);
 }
 
 void SyncClient::cond_broadcast(rt::CondId c) {
   // Drain the queue via repeated signal semantics under one service visit.
-  Manager::Cond& cv = rt_->manager_.cond(c);
+  ManagerShard::Cond& cv = rt_->services_.cond_shard(c).cond(c);
   const std::size_t n = cv.waiters.size();
   for (std::size_t i = 0; i < n; ++i) cond_signal(c);
   if (n == 0) cond_signal(c);  // charge the round trip even when empty
@@ -200,15 +225,16 @@ void SyncClient::barrier(rt::BarrierId b) {
   // release consistency: flush everything).
   policy_->pre_barrier(Bucket::kBarrier);
 
-  // Phase 2: arrive at the barrier service.
+  // Phase 2: arrive at the owning shard's barrier service.
   rt_->sched_.yield_current();
   const SimTime t0 = clock();
-  const SimTime t_arrive = rt_->scl_.send(t0, ec_->node, sync_node(), kCtrl);
-  const SimTime t_served = sync_service().serve(t_arrive, sync_service_time());
+  ManagerShard& sh = rt_->services_.barrier_shard(b);
+  const SimTime t_arrive = rt_->scl_.send(t0, ec_->node, sync_node(sh), kCtrl);
+  const SimTime t_served = sync_service(sh).serve(t_arrive, sync_service_time(sh));
 
-  Manager::Barrier& bar = rt_->manager_.barrier(b);
+  ManagerShard::Barrier& bar = sh.barrier(b);
   SAM_EXPECT(bar.arrived.size() < bar.parties, "barrier overfilled");
-  bar.arrived.push_back(Manager::Waiter{ec_->idx, ec_->sim_thread});
+  bar.arrived.push_back(ManagerShard::Waiter{ec_->idx, ec_->sim_thread});
   bar.last_arrival_service_done = std::max(bar.last_arrival_service_done, t_served);
   trace(sim::TraceKind::kBarrierArrive, b, bar.arrived.size());
 
@@ -219,16 +245,16 @@ void SyncClient::barrier(rt::BarrierId b) {
     rt_->epoch_snapshot_ = rt_->directory_.epoch_write_map();
     rt_->directory_.end_epoch();
     const SimTime t_rel = bar.last_arrival_service_done;
-    for (const Manager::Waiter& w : bar.arrived) {
+    for (const ManagerShard::Waiter& w : bar.arrived) {
       if (w.thread == ec_->idx) continue;
       const net::NodeId n = rt_->config().compute_node(w.thread);
-      const SimTime t_go = rt_->scl_.send(t_rel, sync_node(), n, kCtrl);
+      const SimTime t_go = rt_->scl_.send(t_rel, sync_node(sh), n, kCtrl);
       rt_->sched_.unblock(w.sim_thread, t_go);
     }
     bar.arrived.clear();
     ++bar.generation;
     trace(sim::TraceKind::kBarrierRelease, b, bar.generation);
-    const SimTime t_go = rt_->scl_.send(t_rel, sync_node(), ec_->node, kCtrl);
+    const SimTime t_go = rt_->scl_.send(t_rel, sync_node(sh), ec_->node, kCtrl);
     ec_->sim_thread->advance_to(t_go);
   }
   account_since(t0, Bucket::kBarrier);  // arrival transport + wait + release

@@ -11,6 +11,7 @@
 #include <unordered_map>
 
 #include "core/engine_ctx.hpp"
+#include "core/manager_shard.hpp"
 #include "rt/runtime.hpp"
 
 namespace sam::sim {
@@ -34,11 +35,12 @@ class SyncClient {
   void barrier(rt::BarrierId b);
 
  private:
-  /// Node + service resource pair for synchronization traffic (manager, or
-  /// the local node's sync service under config.local_sync).
-  net::NodeId sync_node() const;
-  sim::Resource& sync_service();
-  SimDuration sync_service_time() const;
+  /// Node + service resource pair for synchronization traffic: the manager
+  /// shard owning the object, or the local node's sync service under
+  /// config.local_sync (which bypasses sharding entirely).
+  net::NodeId sync_node(const ManagerShard& shard) const;
+  sim::Resource& sync_service(ManagerShard& shard);
+  SimDuration sync_service_time(const ManagerShard& shard) const;
 
   /// Releases mutex `m` at manager-service time `t_served`, granting it to
   /// the next waiter (if any). Shared by unlock() and cond_wait().

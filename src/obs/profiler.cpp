@@ -24,12 +24,13 @@ struct LineAccum {
 };
 
 void profile_locks(const core::SamhitaRuntime& runtime, Profile& out) {
-  const core::Manager& mgr = runtime.manager();
+  const core::ServiceDirectory& svc = runtime.services();
   std::map<std::uint64_t, LockProfile> locks;
-  for (std::size_t i = 0; i < mgr.mutex_count(); ++i) {
-    const auto& mx = mgr.mutex(static_cast<rt::MutexId>(i));
+  for (std::size_t i = 0; i < svc.mutex_count(); ++i) {
+    const auto& mx = svc.mutex(static_cast<rt::MutexId>(i));
     LockProfile& lp = locks[i];
     lp.id = i;
+    lp.shard = svc.mutex_shard_index(static_cast<rt::MutexId>(i));
     lp.acquisitions = mx.acquisitions;
     lp.contended_acquisitions = mx.contended_acquisitions;
   }
@@ -57,7 +58,7 @@ void profile_locks(const core::SamhitaRuntime& runtime, Profile& out) {
 }
 
 void profile_barriers(const core::SamhitaRuntime& runtime, Profile& out) {
-  const core::Manager& mgr = runtime.manager();
+  const core::ServiceDirectory& svc = runtime.services();
 
   // Gather every barrier-wait span per barrier id.
   std::map<std::uint64_t, std::vector<const sim::SpanEvent*>> waits;
@@ -65,10 +66,11 @@ void profile_barriers(const core::SamhitaRuntime& runtime, Profile& out) {
     if (s.cat == sim::SpanCat::kBarrierWait) waits[s.object].push_back(&s);
   }
 
-  for (std::size_t i = 0; i < mgr.barrier_count(); ++i) {
+  for (std::size_t i = 0; i < svc.barrier_count(); ++i) {
     BarrierProfile bp;
     bp.id = i;
-    bp.parties = mgr.barrier(static_cast<rt::BarrierId>(i)).parties;
+    bp.shard = svc.barrier_shard_index(static_cast<rt::BarrierId>(i));
+    bp.parties = svc.barrier(static_cast<rt::BarrierId>(i)).parties;
     auto it = waits.find(i);
     if (it != waits.end()) {
       std::vector<const sim::SpanEvent*>& spans = it->second;
@@ -185,12 +187,12 @@ std::string format_profile(const Profile& p) {
   }
 
   os << "locks (total wait " << p.total_lock_wait_seconds << " s):\n";
-  std::snprintf(buf, sizeof buf, "  %6s %12s %12s %14s %14s %14s\n", "id", "acquires",
-                "contended", "wait_s", "max_wait_s", "held_s");
+  std::snprintf(buf, sizeof buf, "  %6s %6s %12s %12s %14s %14s %14s\n", "id", "shard",
+                "acquires", "contended", "wait_s", "max_wait_s", "held_s");
   os << buf;
   for (const LockProfile& l : p.locks) {
-    std::snprintf(buf, sizeof buf, "  %6llu %12llu %12llu %14.6f %14.6f %14.6f\n",
-                  static_cast<unsigned long long>(l.id),
+    std::snprintf(buf, sizeof buf, "  %6llu %6u %12llu %12llu %14.6f %14.6f %14.6f\n",
+                  static_cast<unsigned long long>(l.id), l.shard,
                   static_cast<unsigned long long>(l.acquisitions),
                   static_cast<unsigned long long>(l.contended_acquisitions), l.wait_seconds,
                   l.max_wait_seconds, l.held_seconds);
@@ -198,12 +200,12 @@ std::string format_profile(const Profile& p) {
   }
 
   os << "barriers (total wait " << p.total_barrier_wait_seconds << " s):\n";
-  std::snprintf(buf, sizeof buf, "  %6s %8s %9s %14s %14s %14s\n", "id", "parties",
-                "episodes", "wait_s", "max_wait_s", "imbalance_s");
+  std::snprintf(buf, sizeof buf, "  %6s %6s %8s %9s %14s %14s %14s\n", "id", "shard",
+                "parties", "episodes", "wait_s", "max_wait_s", "imbalance_s");
   os << buf;
   for (const BarrierProfile& b : p.barriers) {
-    std::snprintf(buf, sizeof buf, "  %6llu %8u %9llu %14.6f %14.6f %14.6f\n",
-                  static_cast<unsigned long long>(b.id), b.parties,
+    std::snprintf(buf, sizeof buf, "  %6llu %6u %8u %9llu %14.6f %14.6f %14.6f\n",
+                  static_cast<unsigned long long>(b.id), b.shard, b.parties,
                   static_cast<unsigned long long>(b.episodes), b.wait_seconds,
                   b.max_wait_seconds, b.imbalance_seconds);
     os << buf;
@@ -243,6 +245,7 @@ void write_profile_json(JsonWriter& w, const Profile& p) {
   for (const LockProfile& l : p.locks) {
     w.begin_object();
     w.kv("id", l.id);
+    w.kv("shard", static_cast<std::uint64_t>(l.shard));
     w.kv("acquisitions", l.acquisitions);
     w.kv("contended_acquisitions", l.contended_acquisitions);
     w.kv("wait_seconds", l.wait_seconds);
@@ -257,6 +260,7 @@ void write_profile_json(JsonWriter& w, const Profile& p) {
   for (const BarrierProfile& b : p.barriers) {
     w.begin_object();
     w.kv("id", b.id);
+    w.kv("shard", static_cast<std::uint64_t>(b.shard));
     w.kv("parties", b.parties);
     w.kv("episodes", b.episodes);
     w.kv("wait_seconds", b.wait_seconds);

@@ -28,6 +28,7 @@ class JsonWriter;
 
 struct LockProfile {
   std::uint64_t id = 0;
+  std::uint32_t shard = 0;  ///< manager shard servicing this lock
   std::uint64_t acquisitions = 0;
   std::uint64_t contended_acquisitions = 0;
   double wait_seconds = 0;      ///< summed acquire->grant latency, all threads
@@ -37,6 +38,7 @@ struct LockProfile {
 
 struct BarrierProfile {
   std::uint64_t id = 0;
+  std::uint32_t shard = 0;  ///< manager shard servicing this barrier
   std::uint32_t parties = 0;
   std::uint64_t episodes = 0;       ///< completed barrier generations seen
   double wait_seconds = 0;          ///< summed arrive->release latency

@@ -1,5 +1,6 @@
 #include "obs/run_report.hpp"
 
+#include <algorithm>
 #include <ostream>
 #include <string>
 
@@ -46,7 +47,9 @@ void collect_platform(const core::SamhitaRuntime& rt, Registry& reg) {
 
   const auto& servers = rt.servers();
   for (std::size_t i = 0; i < servers.size(); ++i) {
-    const std::string prefix = "server." + std::to_string(i) + ".";
+    // Key by the server's own id, not the container position: stable across
+    // reorderings of the server vector.
+    const std::string prefix = "server." + std::to_string(servers[i].index()) + ".";
     const mem::MemoryServer::Counters& c = servers[i].counters();
     reg.set_counter(prefix + "read_requests", c.read_requests);
     reg.set_counter(prefix + "write_requests", c.write_requests);
@@ -61,11 +64,34 @@ void collect_platform(const core::SamhitaRuntime& rt, Registry& reg) {
     reg.set_gauge(prefix + "max_wait_seconds", svc.max_wait_seconds());
   }
 
-  const sim::Resource& mgr = rt.manager().service();
-  reg.set_counter("manager.requests", mgr.request_count());
-  reg.set_gauge("manager.busy_seconds", to_seconds(mgr.busy_time()));
-  reg.set_gauge("manager.mean_wait_seconds", mgr.mean_wait_seconds());
-  reg.set_gauge("manager.max_wait_seconds", mgr.max_wait_seconds());
+  // "manager.*" aggregates over all shards (identical to the pre-sharding
+  // keys at one shard); each shard additionally reports under its own id.
+  const core::ServiceDirectory& svc = rt.services();
+  std::uint64_t mgr_requests = 0;
+  double mgr_busy = 0.0;
+  double mgr_wait_sum = 0.0;
+  double mgr_max_wait = 0.0;
+  for (unsigned s = 0; s < svc.shard_count(); ++s) {
+    const sim::Resource& r = svc.shard(s).service();
+    mgr_requests += r.request_count();
+    mgr_busy += to_seconds(r.busy_time());
+    mgr_wait_sum += r.mean_wait_seconds() * static_cast<double>(r.request_count());
+    mgr_max_wait = std::max(mgr_max_wait, r.max_wait_seconds());
+    const std::string prefix =
+        "manager.shard." + std::to_string(svc.shard(s).index()) + ".";
+    reg.set_counter(prefix + "requests", r.request_count());
+    reg.set_gauge(prefix + "busy_seconds", to_seconds(r.busy_time()));
+    reg.set_gauge(prefix + "mean_wait_seconds", r.mean_wait_seconds());
+    reg.set_gauge(prefix + "max_wait_seconds", r.max_wait_seconds());
+  }
+  reg.set_counter("manager.requests", mgr_requests);
+  reg.set_gauge("manager.busy_seconds", mgr_busy);
+  reg.set_gauge("manager.mean_wait_seconds",
+                svc.shard_count() == 1
+                    ? svc.shard(0).service().mean_wait_seconds()
+                    : (mgr_requests ? mgr_wait_sum / static_cast<double>(mgr_requests)
+                                    : 0.0));
+  reg.set_gauge("manager.max_wait_seconds", mgr_max_wait);
 
   const auto links = rt.network().link_stats();
   for (std::size_t k = 0; k < links.size(); ++k) {
@@ -110,6 +136,8 @@ void write_config(JsonWriter& w, const core::SamhitaConfig& cfg) {
   w.kv("finegrain_updates", cfg.finegrain_updates);
   w.kv("consistency_policy", core::to_string(cfg.consistency_policy));
   w.kv("local_sync", cfg.local_sync);
+  w.kv("manager_shards", cfg.manager_shards);
+  w.kv("manager_placement", core::to_string(cfg.manager_placement));
   w.kv("trace_enabled", cfg.trace_enabled);
   w.kv("net_latency_scale", cfg.net_latency_scale);
   w.kv("net_bandwidth_scale", cfg.net_bandwidth_scale);
@@ -176,7 +204,7 @@ void write_servers(JsonWriter& w, const core::SamhitaRuntime& rt) {
     const mem::MemoryServer::Counters& c = servers[i].counters();
     const sim::Resource& svc = servers[i].service();
     w.begin_object();
-    w.kv("server", static_cast<std::uint64_t>(i));
+    w.kv("server", static_cast<std::uint64_t>(servers[i].index()));
     w.kv("read_requests", c.read_requests);
     w.kv("write_requests", c.write_requests);
     w.kv("bytes_read", c.bytes_read);
@@ -243,15 +271,54 @@ void write_run_report(const core::SamhitaRuntime& runtime, std::ostream& out,
 
   w.key("manager");
   {
-    const sim::Resource& mgr = runtime.manager().service();
+    // Aggregate view across all shards; keeps the pre-sharding schema.
+    const core::ServiceDirectory& svc = runtime.services();
+    std::uint64_t requests = 0;
+    double busy = 0.0;
+    double wait_sum = 0.0;
+    double max_wait = 0.0;
+    for (unsigned s = 0; s < svc.shard_count(); ++s) {
+      const sim::Resource& r = svc.shard(s).service();
+      requests += r.request_count();
+      busy += to_seconds(r.busy_time());
+      wait_sum += r.mean_wait_seconds() * static_cast<double>(r.request_count());
+      max_wait = std::max(max_wait, r.max_wait_seconds());
+    }
+    const double mean_wait =
+        svc.shard_count() == 1
+            ? svc.shard(0).service().mean_wait_seconds()
+            : (requests ? wait_sum / static_cast<double>(requests) : 0.0);
     w.begin_object();
-    w.kv("requests", mgr.request_count());
-    w.kv("busy_seconds", to_seconds(mgr.busy_time()));
-    w.kv("mean_wait_seconds", mgr.mean_wait_seconds());
-    w.kv("max_wait_seconds", mgr.max_wait_seconds());
-    w.kv("mutexes", static_cast<std::uint64_t>(runtime.manager().mutex_count()));
-    w.kv("barriers", static_cast<std::uint64_t>(runtime.manager().barrier_count()));
+    w.kv("shards", static_cast<std::uint64_t>(svc.shard_count()));
+    w.kv("requests", requests);
+    w.kv("busy_seconds", busy);
+    w.kv("mean_wait_seconds", mean_wait);
+    w.kv("max_wait_seconds", max_wait);
+    w.kv("mutexes", static_cast<std::uint64_t>(svc.mutex_count()));
+    w.kv("barriers", static_cast<std::uint64_t>(svc.barrier_count()));
     w.end_object();
+  }
+
+  w.key("sync_shards");
+  {
+    const core::ServiceDirectory& svc = runtime.services();
+    w.begin_array();
+    for (unsigned s = 0; s < svc.shard_count(); ++s) {
+      const core::ManagerShard& sh = svc.shard(s);
+      const sim::Resource& r = sh.service();
+      w.begin_object();
+      w.kv("shard", static_cast<std::uint64_t>(sh.index()));
+      w.kv("node", static_cast<std::uint64_t>(sh.node()));
+      w.kv("requests", r.request_count());
+      w.kv("busy_seconds", to_seconds(r.busy_time()));
+      w.kv("mean_wait_seconds", r.mean_wait_seconds());
+      w.kv("max_wait_seconds", r.max_wait_seconds());
+      w.kv("mutexes", static_cast<std::uint64_t>(sh.mutex_count()));
+      w.kv("conds", static_cast<std::uint64_t>(sh.cond_count()));
+      w.kv("barriers", static_cast<std::uint64_t>(sh.barrier_count()));
+      w.end_object();
+    }
+    w.end_array();
   }
 
   w.key("links");

@@ -25,7 +25,7 @@ struct TrackRef {
   std::uint32_t tid;
 };
 
-TrackRef track_of(const sim::SpanEvent& s) {
+TrackRef track_of(const sim::SpanEvent& s, std::uint32_t manager_tracks) {
   switch (s.cat) {
     case sim::SpanCat::kLockWait:
     case sim::SpanCat::kLockHeld:
@@ -35,9 +35,10 @@ TrackRef track_of(const sim::SpanEvent& s) {
     case sim::SpanCat::kFlushRpc:
       return {kPidCompute, s.track};
     case sim::SpanCat::kManager:
-      return {kPidServices, 0};
+      // One track per manager shard (span track = shard index).
+      return {kPidServices, s.track};
     case sim::SpanCat::kServer:
-      return {kPidServices, 1 + s.track};
+      return {kPidServices, manager_tracks + s.track};
     case sim::SpanCat::kLink:
       return {kPidInterconnect, s.track};
   }
@@ -85,11 +86,18 @@ void write_chrome_trace(const core::SamhitaRuntime& runtime, std::ostream& out) 
   for (std::uint32_t t = 0; t < runtime.ran_threads(); ++t) {
     write_thread_name(w, kPidCompute, t, "compute-" + std::to_string(t));
   }
-  write_thread_name(w, kPidServices, 0, "manager");
+  const std::uint32_t shard_tracks = runtime.services().shard_count();
+  if (shard_tracks == 1) {
+    write_thread_name(w, kPidServices, 0, "manager");
+  } else {
+    for (std::uint32_t s = 0; s < shard_tracks; ++s) {
+      write_thread_name(w, kPidServices, s, "manager-shard-" + std::to_string(s));
+    }
+  }
   const auto& servers = runtime.servers();
   for (std::size_t i = 0; i < servers.size(); ++i) {
-    write_thread_name(w, kPidServices, static_cast<std::uint32_t>(1 + i),
-                      "memory-server-" + std::to_string(i));
+    write_thread_name(w, kPidServices, shard_tracks + static_cast<std::uint32_t>(i),
+                      "memory-server-" + std::to_string(servers[i].index()));
   }
   const std::vector<net::LinkStat> links = runtime.network().link_stats();
   for (std::size_t k = 0; k < links.size(); ++k) {
@@ -98,7 +106,7 @@ void write_chrome_trace(const core::SamhitaRuntime& runtime, std::ostream& out) 
 
   // --- span events: complete ("X") events with ts + dur --------------------
   for (const sim::SpanEvent& s : trace.spans()) {
-    const TrackRef tr = track_of(s);
+    const TrackRef tr = track_of(s, shard_tracks);
     w.begin_object();
     w.kv("name", sim::to_string(s.cat));
     w.kv("cat", "span");

@@ -4,7 +4,7 @@
 #include <cstring>
 #include <utility>
 
-#include "core/manager.hpp"
+#include "core/service_directory.hpp"
 #include "core/metrics.hpp"
 #include "core/sam_thread_ctx.hpp"
 #include "core/samhita_runtime.hpp"
@@ -357,7 +357,7 @@ Diff ConsistencyEngine::materialize_store_log() {
 }
 
 void ConsistencyEngine::apply_update_sets(rt::MutexId m, core::Bucket bucket) {
-  core::Manager::Mutex& mx = rt_->manager_.mutex(m);
+  core::ManagerShard::Mutex& mx = rt_->services_.mutex(m);
   std::vector<const UpdateSet*> sets;
   std::size_t bytes = 0;
   const std::uint64_t high = mx.window.collect_since(mx.seen[ec_->idx], sets, bytes);
@@ -393,7 +393,7 @@ void ConsistencyEngine::apply_update_sets(rt::MutexId m, core::Bucket bucket) {
 }
 
 void ConsistencyEngine::invalidate_lock_pages(rt::MutexId m, core::Bucket bucket) {
-  core::Manager::Mutex& mx = rt_->manager_.mutex(m);
+  core::ManagerShard::Mutex& mx = rt_->services_.mutex(m);
   const std::uint64_t seen = mx.seen_page_seq[ec_->idx];
   if (seen == mx.release_counter) return;
   for (const auto& [page, seq] : mx.page_release_seq) {
@@ -414,7 +414,7 @@ void ConsistencyEngine::invalidate_lock_pages(rt::MutexId m, core::Bucket bucket
 }
 
 void ConsistencyEngine::publish_pages_on_release(rt::MutexId m, core::Bucket bucket) {
-  core::Manager::Mutex& mx = rt_->manager_.mutex(m);
+  core::ManagerShard::Mutex& mx = rt_->services_.mutex(m);
   ++mx.release_counter;
   for (core::PageCache::Line* line : cache().dirty_lines()) {
     for (mem::PageId page : cache().dirty_pages(*line)) {
@@ -427,7 +427,7 @@ void ConsistencyEngine::publish_pages_on_release(rt::MutexId m, core::Bucket buc
 
 std::size_t ConsistencyEngine::grant_bytes(rt::MutexId m, mem::ThreadIdx to) const {
   // Grant messages carry the pending fine-grain update sets for `to`.
-  core::Manager::Mutex& mx = rt_->manager_.mutex(m);
+  core::ManagerShard::Mutex& mx = rt_->services_.mutex(m);
   std::vector<const UpdateSet*> sets;
   std::size_t bytes = 0;
   mx.window.collect_since(mx.seen[to], sets, bytes);
@@ -463,7 +463,7 @@ std::size_t ConsistencyEngine::prepare_release(rt::MutexId m, core::Bucket bucke
 
 void ConsistencyEngine::commit_release(rt::MutexId m) {
   rt_->apply_diff_global(pending_diff_);  // home servers stay authoritative
-  core::Manager::Mutex& mx = rt_->manager_.mutex(m);
+  core::ManagerShard::Mutex& mx = rt_->services_.mutex(m);
   if (!pending_diff_.empty()) {
     UpdateSet set;
     set.lock = m;
@@ -494,9 +494,14 @@ void ConsistencyEngine::post_barrier(core::Bucket bucket) {
 
   // A barrier is a global consistency point, so pending fine-grain update
   // sets of every lock become visible here too (without paying page
-  // invalidations for mutex-protected data).
-  for (rt::MutexId m = 0; m < rt_->manager_.mutex_count(); ++m) {
-    apply_update_sets(m, bucket);
+  // invalidations for mutex-protected data). The gather is shard-local —
+  // each shard's owned locks in its creation order — then combined across
+  // shards; with one shard this is exactly the global creation order.
+  const core::ServiceDirectory& services = rt_->services_;
+  for (unsigned s = 0; s < services.shard_count(); ++s) {
+    for (rt::MutexId m : services.shard(s).owned_mutexes()) {
+      apply_update_sets(m, bucket);
+    }
   }
 
   if (rt_->config().paranoid_checks) validate_clean_lines();
@@ -529,8 +534,8 @@ void ConsistencyEngine::validate_clean_lines() {
     const mem::GAddr base = cache().line_base(id);
     rt_->read_global(base, authoritative.data(), cfg.line_bytes());
     // (c): neutralize bytes of update sets this thread has not consumed.
-    for (rt::MutexId m = 0; m < rt_->manager_.mutex_count(); ++m) {
-      core::Manager::Mutex& mx = rt_->manager_.mutex(m);
+    for (rt::MutexId m = 0; m < rt_->services_.mutex_count(); ++m) {
+      core::ManagerShard::Mutex& mx = rt_->services_.mutex(m);
       std::vector<const UpdateSet*> unseen;
       std::size_t bytes = 0;
       mx.window.collect_since(mx.seen[ec_->idx], unseen, bytes);

@@ -54,7 +54,7 @@ enum class SpanCat : std::uint8_t {
   kLockHeld,     ///< track = thread, object = mutex id: granted -> release done
   kBarrierWait,  ///< track = thread, object = barrier id: arrival -> released
   kServer,       ///< track = memory-server index: one request's service window
-  kManager,      ///< track = 0: one manager/sync-service request window
+  kManager,      ///< track = manager shard index: one sync-service request window
   kLink,         ///< track = link index (NetworkModel::link_stats order)
   kBatchRpc,     ///< track = thread, object = first line id: one batched
                  ///< fetch/flush RPC from post to response arrival

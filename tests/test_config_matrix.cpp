@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/samhita_runtime.hpp"
+#include "util/expect.hpp"
 #include "util/rng.hpp"
 
 namespace sam::core {
@@ -94,6 +95,23 @@ std::vector<NamedConfig> config_matrix() {
     c.cfg.paranoid_checks = true;
     c.cfg.network_jitter = 15'000;
     c.cfg.jitter_seed = 17;
+    out.push_back(c);
+  }
+  {
+    NamedConfig c{"sharded4", {}};
+    c.cfg.manager_shards = 4;
+    out.push_back(c);
+  }
+  {
+    NamedConfig c{"sharded4_colocated", {}};
+    c.cfg.manager_shards = 4;
+    c.cfg.manager_placement = ManagerPlacement::kColocated;
+    out.push_back(c);
+  }
+  {
+    NamedConfig c{"sharded4_paranoid", {}};
+    c.cfg.manager_shards = 4;
+    c.cfg.paranoid_checks = true;
     out.push_back(c);
   }
   return out;
@@ -215,6 +233,103 @@ TEST_P(ConfigMatrix, DeterministicElapsedTime) {
     return runtime.elapsed_seconds();
   };
   EXPECT_EQ(run(), run()) << GetParam().name;
+}
+
+// ---------------------------------------------------------------------------
+// Directed cross-shard sync: a barrier owned by shard 0 must correctly
+// synchronize threads whose mutexes live on *other* shards (no shard-local
+// shortcut may leak ordering).
+// ---------------------------------------------------------------------------
+
+TEST(ManagerSharding, BarrierOnShardZeroOrdersMutexesOnOtherShards) {
+  SamhitaConfig cfg;
+  cfg.manager_shards = 4;
+  SamhitaRuntime runtime(cfg);
+  constexpr std::uint32_t kThreads = 6;
+  constexpr int kEpochs = 3;
+  constexpr int kIncrements = 8;
+
+  // Round-robin placement: first created object -> shard 0.
+  const auto bar = runtime.create_barrier(kThreads);   // shard 0
+  const auto mtx_a = runtime.create_mutex();           // shard 1
+  const auto mtx_b = runtime.create_mutex();           // shard 2
+  const auto mtx_c = runtime.create_mutex();           // shard 3
+  ASSERT_EQ(runtime.services().barrier_shard_index(bar), 0u);
+  ASSERT_EQ(runtime.services().mutex_shard_index(mtx_a), 1u);
+  ASSERT_EQ(runtime.services().mutex_shard_index(mtx_b), 2u);
+  ASSERT_EQ(runtime.services().mutex_shard_index(mtx_c), 3u);
+
+  const rt::MutexId locks[] = {mtx_a, mtx_b, mtx_c};
+  rt::Addr counters = 0;
+  bool epochs_ok = true;
+
+  runtime.parallel_run(kThreads, [&](rt::ThreadCtx& ctx) {
+    const std::uint32_t me = ctx.index();
+    if (me == 0) {
+      counters = ctx.alloc_shared(3 * sizeof(double));
+      for (int k = 0; k < 3; ++k) ctx.write<double>(counters + k * 8, 0.0);
+    }
+    ctx.barrier(bar);
+    for (int epoch = 1; epoch <= kEpochs; ++epoch) {
+      // Each thread hammers a lock on a non-zero shard...
+      const int k = static_cast<int>(me) % 3;
+      for (int i = 0; i < kIncrements; ++i) {
+        ctx.lock(locks[k]);
+        ctx.write<double>(counters + k * 8, ctx.read<double>(counters + k * 8) + 1.0);
+        ctx.unlock(locks[k]);
+      }
+      // ...and the shard-0 barrier must publish all of it to everyone.
+      ctx.barrier(bar);
+      double sum = 0;
+      for (int j = 0; j < 3; ++j) sum += ctx.read<double>(counters + j * 8);
+      if (sum != 1.0 * kThreads * kIncrements * epoch) epochs_ok = false;
+      ctx.barrier(bar);
+    }
+  });
+
+  EXPECT_TRUE(epochs_ok);
+  const auto final_counts = runtime.read_global_array<double>(counters, 3);
+  EXPECT_DOUBLE_EQ(final_counts[0] + final_counts[1] + final_counts[2],
+                   1.0 * kThreads * kIncrements * kEpochs);
+  // Every shard actually serviced traffic.
+  for (unsigned s = 0; s < 4; ++s) {
+    EXPECT_GT(runtime.services().shard(s).service().request_count(), 0u) << "shard " << s;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Config validation: malformed knobs must fail fast at construction with a
+// contract violation (which the CLI surfaces as a clear error), not crash
+// mid-run.
+// ---------------------------------------------------------------------------
+
+TEST(ConfigValidation, RejectsOutOfRangeManagerShards) {
+  SamhitaConfig cfg;
+  cfg.manager_shards = 0;
+  EXPECT_THROW(SamhitaRuntime{cfg}, util::ContractViolation);
+  cfg.manager_shards = kMaxManagerShards + 1;
+  EXPECT_THROW(SamhitaRuntime{cfg}, util::ContractViolation);
+  cfg.manager_shards = kMaxManagerShards;  // boundary value is legal
+  EXPECT_NO_THROW(SamhitaRuntime{cfg});
+}
+
+TEST(ConfigValidation, RejectsUnknownEnumStrings) {
+  EXPECT_THROW(consistency_policy_from_string("write_through"), util::ContractViolation);
+  EXPECT_THROW(manager_placement_from_string("spread"), util::ContractViolation);
+  EXPECT_NO_THROW(consistency_policy_from_string("eager_rc"));
+  EXPECT_NO_THROW(manager_placement_from_string("colocated"));
+}
+
+TEST(ConfigValidation, RejectsDegeneratePlatforms) {
+  SamhitaConfig cfg;
+  cfg.memory_servers = 0;
+  EXPECT_THROW(SamhitaRuntime{cfg}, util::ContractViolation);
+  cfg = SamhitaConfig{};
+  cfg.compute_nodes = 0;
+  EXPECT_THROW(SamhitaRuntime{cfg}, util::ContractViolation);
+  cfg = SamhitaConfig{};
+  cfg.cache_capacity_bytes = cfg.line_bytes() - 1;  // below one line
+  EXPECT_THROW(SamhitaRuntime{cfg}, util::ContractViolation);
 }
 
 }  // namespace

@@ -116,5 +116,53 @@ TEST(GoldenMetrics, StridedSweepMatchesSeed) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// eager_rc policy goldens: same workloads under the eager release-consistency
+// policy (constants captured from the seed build, commit 14867a8, before the
+// manager was sharded). Pins the policy aggregates through the sync-service
+// refactor.
+// ---------------------------------------------------------------------------
+
+core::SamhitaConfig eager_cfg() {
+  core::SamhitaConfig cfg;
+  cfg.consistency_policy = core::ConsistencyPolicyKind::kEagerRC;
+  return cfg;
+}
+
+// micro --threads=8 --N=10 --M=100 --S=2 --B=256 --alloc=local
+TEST(GoldenMetrics, EagerRcMicroLocalMatchesSeed) {
+  core::SamhitaRuntime rt(eager_cfg());
+  const auto r = apps::run_microbench(rt, micro_params(2, apps::MicrobenchAlloc::kLocal));
+  EXPECT_EQ(r.gsum, 12864743.837333623);
+  expect_equal(totals_of("eager_micro_local_t8", rt),
+               {"eager_micro_local_t8", 10082315ull, 16210419ull, 13887362ull, 80ull,
+                1425408ull, 886542ull, 0ull});
+}
+
+// micro --threads=8 --N=10 --M=100 --S=2 --B=256 --alloc=strided
+TEST(GoldenMetrics, EagerRcStridedMatchesSeed) {
+  core::SamhitaRuntime rt(eager_cfg());
+  const auto r =
+      apps::run_microbench(rt, micro_params(2, apps::MicrobenchAlloc::kGlobalStrided));
+  EXPECT_EQ(r.gsum, 12864743.837333623);
+  expect_equal(totals_of("eager_strided_S2_t8", rt),
+               {"eager_strided_S2_t8", 26784633ull, 11768406ull, 13609011ull, 230ull,
+                3883008ull, 1209102ull, 0ull});
+}
+
+// jacobi --threads=8 --n=64 --iters=5
+TEST(GoldenMetrics, EagerRcJacobiMatchesSeed) {
+  core::SamhitaRuntime rt(eager_cfg());
+  apps::JacobiParams p;
+  p.threads = 8;
+  p.n = 64;
+  p.iterations = 5;
+  const auto r = apps::run_jacobi(rt, p);
+  EXPECT_EQ(r.final_residual, 0.19386141905108209);
+  expect_equal(totals_of("eager_jacobi_n64_t8", rt),
+               {"eager_jacobi_n64_t8", 9600062ull, 9236925ull, 9044097ull, 129ull,
+                3424256ull, 69523ull, 0ull});
+}
+
 }  // namespace
 }  // namespace sam

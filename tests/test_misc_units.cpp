@@ -1,10 +1,11 @@
-// Coverage for the smaller units: logger, span chunking, manager accessors,
-// scaled network factory, SMP heap stability, SCL edge cases.
+// Coverage for the smaller units: logger, span chunking, sync-service
+// directory accessors, scaled network factory, SMP heap stability, SCL edge
+// cases.
 #include <gtest/gtest.h>
 
 #include <vector>
 
-#include "core/manager.hpp"
+#include "core/service_directory.hpp"
 #include "core/samhita_runtime.hpp"
 #include "net/network_model.hpp"
 #include "rt/span_util.hpp"
@@ -58,20 +59,49 @@ TEST(SpanUtil, MisalignedElementRejected) {
       util::ContractViolation);
 }
 
-TEST(Manager, CreateAndAccess) {
-  core::Manager m(0, 400);
-  const auto mx = m.create_mutex();
-  const auto cv = m.create_cond();
-  const auto bar = m.create_barrier(4);
-  EXPECT_EQ(m.mutex_count(), 1u);
-  EXPECT_EQ(m.barrier_count(), 1u);
-  EXPECT_FALSE(m.mutex(mx).holder.has_value());
-  EXPECT_EQ(m.barrier(bar).parties, 4u);
-  EXPECT_TRUE(m.cond(cv).waiters.empty());
-  EXPECT_THROW(m.mutex(99), util::ContractViolation);
-  EXPECT_THROW(m.barrier(99), util::ContractViolation);
-  EXPECT_THROW(m.cond(99), util::ContractViolation);
-  EXPECT_THROW(m.create_barrier(0), util::ContractViolation);
+TEST(ServiceDirectory, CreateAndAccess) {
+  core::SamhitaConfig cfg;  // manager_shards = 1: the paper's single manager
+  core::ServiceDirectory d(&cfg);
+  const auto mx = d.create_mutex();
+  const auto cv = d.create_cond();
+  const auto bar = d.create_barrier(4);
+  EXPECT_EQ(d.shard_count(), 1u);
+  EXPECT_EQ(d.mutex_count(), 1u);
+  EXPECT_EQ(d.barrier_count(), 1u);
+  EXPECT_EQ(d.mutex_shard_index(mx), 0u);
+  EXPECT_EQ(d.cond_shard_index(cv), 0u);
+  EXPECT_EQ(d.barrier_shard_index(bar), 0u);
+  EXPECT_FALSE(d.mutex(mx).holder.has_value());
+  EXPECT_EQ(d.barrier(bar).parties, 4u);
+  EXPECT_TRUE(d.cond(cv).waiters.empty());
+  EXPECT_THROW(d.mutex(99), util::ContractViolation);
+  EXPECT_THROW(d.barrier(99), util::ContractViolation);
+  EXPECT_THROW(d.cond(99), util::ContractViolation);
+  EXPECT_THROW(d.create_barrier(0), util::ContractViolation);
+}
+
+TEST(ServiceDirectory, RoundRobinPlacementAcrossObjectTypes) {
+  core::SamhitaConfig cfg;
+  cfg.manager_shards = 3;
+  core::ServiceDirectory d(&cfg);
+  // Placement is round-robin in *global* creation order across all object
+  // types, so even a single-mutex + single-barrier workload spreads out.
+  const auto m0 = d.create_mutex();    // -> shard 0
+  const auto b0 = d.create_barrier(2); // -> shard 1
+  const auto c0 = d.create_cond();     // -> shard 2
+  const auto m1 = d.create_mutex();    // -> shard 0 again
+  EXPECT_EQ(d.mutex_shard_index(m0), 0u);
+  EXPECT_EQ(d.barrier_shard_index(b0), 1u);
+  EXPECT_EQ(d.cond_shard_index(c0), 2u);
+  EXPECT_EQ(d.mutex_shard_index(m1), 0u);
+  // Shards expose their owned ids in creation order; lookups on the wrong
+  // shard are contract violations.
+  EXPECT_EQ(d.shard(0).owned_mutexes(), (std::vector<rt::MutexId>{m0, m1}));
+  EXPECT_EQ(d.shard(1).owned_barriers(), (std::vector<rt::BarrierId>{b0}));
+  EXPECT_THROW(d.shard(1).mutex(m0), util::ContractViolation);
+  // Each shard gets its own node when placement is dedicated.
+  EXPECT_NE(d.shard(0).node(), d.shard(1).node());
+  EXPECT_EQ(d.shard(0).node(), cfg.manager_node());
 }
 
 TEST(ScaledNetwork, LatencyScalingIsMonotone) {

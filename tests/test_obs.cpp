@@ -571,8 +571,12 @@ TEST(CollectRegistry, MirrorsComponentCounters) {
   const obs::Registry reg = obs::collect_registry(runtime);
   EXPECT_EQ(reg.counter("net.messages"), runtime.network_messages());
   EXPECT_EQ(reg.counter("net.bytes"), runtime.network_bytes());
-  EXPECT_EQ(reg.counter("manager.requests"),
-            runtime.manager().service().request_count());
+  std::uint64_t shard_requests = 0;
+  for (unsigned s = 0; s < runtime.services().shard_count(); ++s) {
+    shard_requests += runtime.services().shard(s).service().request_count();
+  }
+  EXPECT_EQ(reg.counter("manager.requests"), shard_requests);
+  EXPECT_EQ(reg.counter("manager.shard.0.requests"), shard_requests);
   const auto& srv = runtime.servers()[0];
   EXPECT_EQ(reg.counter("server.0.read_requests"), srv.counters().read_requests);
   EXPECT_EQ(reg.counter("server.0.write_requests"), srv.counters().write_requests);

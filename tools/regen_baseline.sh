@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_baseline.json, the performance baseline the CI benchmark
+# gate compares fresh runs against (ratio must stay <= 1.05 per series).
+#
+# Run this after an *intentional* performance change, commit the refreshed
+# baseline together with the change, and mention the regeneration in the
+# commit message so reviewers know the gate was re-pinned on purpose.
+#
+# Usage: tools/regen_baseline.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+if [[ ! -d "$BUILD_DIR" ]]; then
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+fi
+cmake --build "$BUILD_DIR" -j --target ablation_batching
+
+# Same invocation as the CI gate: the quick sweep, baseline written in place.
+"./$BUILD_DIR/bench/ablation_batching" --quick --write-baseline=BENCH_baseline.json \
+  > /dev/null
+
+echo "regenerated BENCH_baseline.json:"
+python3 -m json.tool BENCH_baseline.json | head -20

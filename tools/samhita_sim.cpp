@@ -17,6 +17,7 @@
 //   --max-batch-lines=N --flush-pipeline=bool
 //   --eviction=dirty|lru --placement=block|scatter --local-sync=bool
 //   --finegrain=bool --consistency-policy=regc|eager_rc
+//   --manager-shards=N --manager-placement=dedicated|colocated
 //
 // Observability flags (any of them implicitly enables protocol tracing):
 //   --trace=<path>        protocol event CSV (columns: docs/protocol.md §9)
@@ -73,6 +74,10 @@ core::SamhitaConfig config_from_args(const util::ArgParser& args) {
   cfg.consistency_policy = core::consistency_policy_from_string(args.get_string(
       "consistency-policy",
       args.get_string("consistency_policy", core::to_string(cfg.consistency_policy))));
+  cfg.manager_shards =
+      static_cast<unsigned>(args.get_int("manager-shards", cfg.manager_shards));
+  cfg.manager_placement = core::manager_placement_from_string(args.get_string(
+      "manager-placement", core::to_string(cfg.manager_placement)));
   const std::string eviction = args.get_string("eviction", "dirty");
   SAM_EXPECT(eviction == "dirty" || eviction == "lru", "--eviction wants dirty|lru");
   cfg.eviction =
