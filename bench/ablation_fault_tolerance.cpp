@@ -1,0 +1,50 @@
+// Ablation A10: what does surviving an unreliable platform cost? Sweeps the
+// canned fault plans (plus escalating drop rates) over the microbenchmark
+// and reports virtual-time overhead and the recovery counters. The fault-off
+// row doubles as a bit-identity witness: its timings must match a plan-free
+// build exactly.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sam;
+  const auto opt = bench::BenchOptions::parse(argc, argv);
+  auto csv = bench::make_csv(opt);
+  std::cout << "# ablationA10: fault-tolerance overhead "
+            << "(retry/backoff + memory-server failover vs a clean fabric)\n";
+  csv->header({"figure", "plan", "threads", "elapsed_seconds", "recovery_seconds",
+               "retries", "timeouts", "failovers", "drops"});
+
+  apps::MicrobenchParams p;
+  p.N = 8;
+  p.M = 8;
+  p.S = 2;
+  p.B = 256;
+  p.alloc = apps::MicrobenchAlloc::kGlobalStrided;
+
+  const char* plans[] = {"none", "drop=0.01", "flaky-links", "drop=0.05",
+                         "latency-spikes", "server-crash"};
+  for (const char* plan : plans) {
+    for (std::int64_t threads : {4, 8, 16}) {
+      if (opt.quick && threads > 8) continue;
+      core::SamhitaConfig cfg;
+      cfg.fault_plan = plan;
+      if (std::string(plan) == "server-crash") {
+        cfg.memory_servers = 2;  // somewhere to fail over to
+        cfg.replica_server = 1;
+      }
+      p.threads = static_cast<std::uint32_t>(threads);
+      core::SamhitaRuntime runtime(cfg);
+      const auto r = apps::run_microbench(runtime, p);
+      const auto s = core::summarize(runtime);
+      csv->raw_row({"ablationA10", plan, std::to_string(threads),
+                    std::to_string(r.elapsed_seconds),
+                    std::to_string(s.recovery_seconds), std::to_string(s.scl_retries),
+                    std::to_string(s.scl_timeouts), std::to_string(s.failovers),
+                    std::to_string(runtime.fault_plan().drops_injected())});
+    }
+  }
+  return 0;
+}

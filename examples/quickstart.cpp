@@ -1,48 +1,49 @@
 // Quickstart: the Samhita programming model in one file.
 //
-// Allocates shared memory in the global address space, runs eight compute
-// threads that fill a shared array and accumulate a sum under a mutex, and
-// prints where the virtual time went. The same body also runs unchanged on
-// the Pthreads baseline — the paper's "trivial porting" claim.
+// Written entirely against the sam::api facade — the paper's API table
+// (sam_alloc, sam_lock, sam_barrier, ...) and nothing else. Allocates
+// shared memory in the global address space, runs eight compute threads
+// that fill a shared array and accumulate a sum under a mutex, and prints
+// where the virtual time went. The same body also runs unchanged on the
+// Pthreads baseline — the paper's "trivial porting" claim.
 //
 // Build & run:   ./build/examples/quickstart
 #include <cstdio>
 #include <memory>
 
-#include "core/samhita_runtime.hpp"
+#include "api/sam_api.hpp"
 #include "rt/span_util.hpp"
-#include "smp/smp_runtime.hpp"
 
 namespace {
+
+using namespace sam::api;
 
 constexpr std::uint32_t kThreads = 8;
 constexpr std::size_t kElems = 1 << 16;  // 512 KiB of shared doubles
 
 struct Shared {
-  sam::rt::Addr data = 0;
-  sam::rt::Addr sum = 0;
+  Addr data = 0;
+  Addr sum = 0;
 };
 
 /// The portable parallel region: identical on Samhita and Pthreads.
-void body(sam::rt::ThreadCtx& ctx, Shared& sh, sam::rt::MutexId mtx,
-          sam::rt::BarrierId bar) {
-  using namespace sam;
+void body(ThreadCtx& ctx, Shared& sh, MutexId mtx, BarrierId bar) {
   const std::uint32_t me = ctx.index();
   const std::size_t chunk = kElems / ctx.nthreads();
   const std::size_t lo = me * chunk;
 
   if (me == 0) {
-    sh.data = ctx.alloc_shared(kElems * sizeof(double));
-    sh.sum = ctx.alloc_shared(sizeof(double));
-    ctx.write<double>(sh.sum, 0.0);
+    sh.data = sam_alloc_shared(ctx, kElems * sizeof(double));
+    sh.sum = sam_alloc_shared(ctx, sizeof(double));
+    sam_write<double>(ctx, sh.sum, 0.0);
   }
-  ctx.barrier(bar);  // publish the allocations
+  sam_barrier(ctx, bar);  // publish the allocations
 
   ctx.begin_measurement();
   // Each thread fills its slice of the shared array (ordinary region:
   // page-granularity consistency via twins/diffs at the barrier).
   double local = 0.0;
-  rt::for_each_write_span<double>(
+  sam::rt::for_each_write_span<double>(
       ctx, sh.data + lo * sizeof(double), chunk,
       [&](std::span<double> out, std::size_t at) {
         for (std::size_t i = 0; i < out.size(); ++i) {
@@ -55,20 +56,19 @@ void body(sam::rt::ThreadCtx& ctx, Shared& sh, sam::rt::MutexId mtx,
 
   // Mutex-protected accumulation (consistency region: the stores are
   // propagated fine-grain with the lock, RegC-style).
-  ctx.lock(mtx);
-  ctx.write<double>(sh.sum, ctx.read<double>(sh.sum) + local);
-  ctx.unlock(mtx);
+  sam_lock(ctx, mtx);
+  sam_write<double>(ctx, sh.sum, sam_read<double>(ctx, sh.sum) + local);
+  sam_unlock(ctx, mtx);
 
-  ctx.barrier(bar);  // global consistency point
+  sam_barrier(ctx, bar);  // global consistency point
   ctx.end_measurement();
 }
 
-void run_on(sam::rt::Runtime& runtime) {
+void run_on(Runtime& runtime) {
   Shared sh;
-  const auto mtx = runtime.create_mutex();
-  const auto bar = runtime.create_barrier(kThreads);
-  runtime.parallel_run(kThreads,
-                       [&](sam::rt::ThreadCtx& ctx) { body(ctx, sh, mtx, bar); });
+  const MutexId mtx = sam_mutex_init(runtime);
+  const BarrierId bar = sam_barrier_init(runtime, kThreads);
+  sam_threads(runtime, kThreads, [&](ThreadCtx& ctx) { body(ctx, sh, mtx, bar); });
 
   const double sum = runtime.read_global_array<double>(sh.sum, 1)[0];
   const double expect = static_cast<double>(kElems) * (kElems - 1) / 2.0;
@@ -85,16 +85,7 @@ void run_on(sam::rt::Runtime& runtime) {
 int main() {
   std::printf("Samhita quickstart: %u threads filling %zu shared doubles\n\n", kThreads,
               kElems);
-  {
-    sam::core::SamhitaRuntime samhita;  // the DSM over the simulated cluster
-    run_on(samhita);
-    std::printf("  (network: %llu messages, %.2f MiB moved)\n\n",
-                static_cast<unsigned long long>(samhita.network_messages()),
-                static_cast<double>(samhita.network_bytes()) / (1 << 20));
-  }
-  {
-    sam::smp::SmpRuntime pthreads;  // the cache-coherent baseline
-    run_on(pthreads);
-  }
+  run_on(*make_samhita_runtime());   // the DSM over the simulated cluster
+  run_on(*make_pthreads_runtime());  // the cache-coherent baseline
   return 0;
 }

@@ -1,0 +1,25 @@
+#include "api/sam_api.hpp"
+
+#include "core/config.hpp"
+#include "core/samhita_runtime.hpp"
+#include "smp/smp_runtime.hpp"
+
+namespace sam::api {
+
+// The factories live out-of-line so the facade header stays free of engine
+// headers: an application TU that includes sam_api.hpp compiles against
+// rt::Runtime only.
+
+std::unique_ptr<Runtime> make_samhita_runtime() {
+  return std::make_unique<core::SamhitaRuntime>();
+}
+
+std::unique_ptr<Runtime> make_samhita_runtime(const core::SamhitaConfig& cfg) {
+  return std::make_unique<core::SamhitaRuntime>(cfg);
+}
+
+std::unique_ptr<Runtime> make_pthreads_runtime() {
+  return std::make_unique<smp::SmpRuntime>();
+}
+
+}  // namespace sam::api

@@ -1,0 +1,133 @@
+// sam::api — the one public programming surface, mirroring the paper's API.
+//
+// The paper presents Samhita through a small Pthreads-like table
+// (allocation, mutexes, condition variables, barriers, thread creation);
+// ported applications touch nothing else. This header is that table for the
+// simulated system: every entry point an application needs, with the
+// paper's `sam_*` spellings, over the runtime-neutral `rt::` interface.
+// Everything outside this header and `rt/runtime.hpp` (engines, protocol,
+// transport, managers) is implementation detail and may change freely.
+//
+//   paper API                    here
+//   ---------------------------  -------------------------------------------
+//   sam_init / platform bring-up make_samhita_runtime(cfg) / make_pthreads_runtime()
+//   thread creation              sam_threads(rt, n, body)
+//   sam_alloc / sam_free         sam_alloc(ctx, bytes) / sam_free(ctx, a)
+//   shared allocation            sam_alloc_shared(ctx, bytes)
+//   sam_mutex_init               sam_mutex_init(rt)
+//   sam_mutex_lock / _unlock     sam_lock(ctx, m) / sam_unlock(ctx, m)
+//   sam_cond_init                sam_cond_init(rt)
+//   sam_cond_wait / _signal      sam_cond_wait(ctx, c, m) / sam_cond_signal(ctx, c)
+//   sam_cond_broadcast           sam_cond_broadcast(ctx, c)
+//   sam_barrier_init             sam_barrier_init(rt, parties)
+//   sam_barrier_wait             sam_barrier(ctx, b)
+//
+// Memory is read and written through typed views (`sam_read`, `sam_write`,
+// `sam_read_array`, `sam_write_array`) — on the DSM these go through the
+// software page cache exactly like a load/store through the paging path
+// would. A view is valid until the next runtime call on the same ctx.
+//
+// The same application body runs unchanged on the cache-coherent Pthreads
+// baseline (the paper's "trivial porting" claim): only the factory call
+// changes. See examples/quickstart.cpp and docs/api.md.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <span>
+
+#include "rt/runtime.hpp"
+
+namespace sam::core {
+struct SamhitaConfig;
+}
+
+namespace sam::api {
+
+// Handle and context types an application sees. These are the full public
+// vocabulary; nothing else leaks out of the runtime.
+using Addr = rt::Addr;
+using MutexId = rt::MutexId;
+using CondId = rt::CondId;
+using BarrierId = rt::BarrierId;
+using ThreadCtx = rt::ThreadCtx;
+using Runtime = rt::Runtime;
+using ThreadReport = rt::ThreadReport;
+
+// --- platform bring-up ----------------------------------------------------
+
+/// The DSM over the simulated non-coherent cluster, default configuration
+/// (the paper's testbed: QDR IB, one memory server, four compute nodes).
+std::unique_ptr<Runtime> make_samhita_runtime();
+
+/// Same, explicitly configured (topology, protocol knobs, fault plan — see
+/// core::SamhitaConfig in core/config.hpp for every field).
+std::unique_ptr<Runtime> make_samhita_runtime(const core::SamhitaConfig& cfg);
+
+/// The cache-coherent Pthreads baseline the paper compares against.
+std::unique_ptr<Runtime> make_pthreads_runtime();
+
+// --- thread creation ------------------------------------------------------
+
+/// Runs `body` on `nthreads` simulated compute threads to completion — the
+/// paper's thread-creation entry point. One parallel region per runtime.
+inline void sam_threads(Runtime& rt, std::uint32_t nthreads,
+                        const std::function<void(ThreadCtx&)>& body) {
+  rt.parallel_run(nthreads, body);
+}
+
+// --- memory management ----------------------------------------------------
+
+/// Allocates thread-local data (arena/zone/striped strategy by size).
+inline Addr sam_alloc(ThreadCtx& ctx, std::size_t bytes) { return ctx.alloc(bytes); }
+
+/// Allocates data other threads will access (always manager-served, so
+/// shared data never false-shares a line with a private arena).
+inline Addr sam_alloc_shared(ThreadCtx& ctx, std::size_t bytes) {
+  return ctx.alloc_shared(bytes);
+}
+
+inline void sam_free(ThreadCtx& ctx, Addr addr) { ctx.free(addr); }
+
+// --- memory access --------------------------------------------------------
+
+template <typename T>
+T sam_read(ThreadCtx& ctx, Addr addr) {
+  return ctx.read<T>(addr);
+}
+
+template <typename T>
+void sam_write(ThreadCtx& ctx, Addr addr, const T& value) {
+  ctx.write<T>(addr, value);
+}
+
+/// Read-only span of `count` elements at `addr`; valid until the next
+/// runtime call on this ctx. Must not cross ctx.view_granularity().
+template <typename T>
+std::span<const T> sam_read_array(ThreadCtx& ctx, Addr addr, std::size_t count) {
+  return ctx.read_array<T>(addr, count);
+}
+
+/// Writable span; the whole range is marked written.
+template <typename T>
+std::span<T> sam_write_array(ThreadCtx& ctx, Addr addr, std::size_t count) {
+  return ctx.write_array<T>(addr, count);
+}
+
+// --- synchronization ------------------------------------------------------
+
+inline MutexId sam_mutex_init(Runtime& rt) { return rt.create_mutex(); }
+inline CondId sam_cond_init(Runtime& rt) { return rt.create_cond(); }
+inline BarrierId sam_barrier_init(Runtime& rt, std::uint32_t parties) {
+  return rt.create_barrier(parties);
+}
+
+inline void sam_lock(ThreadCtx& ctx, MutexId m) { ctx.lock(m); }
+inline void sam_unlock(ThreadCtx& ctx, MutexId m) { ctx.unlock(m); }
+inline void sam_cond_wait(ThreadCtx& ctx, CondId c, MutexId m) { ctx.cond_wait(c, m); }
+inline void sam_cond_signal(ThreadCtx& ctx, CondId c) { ctx.cond_signal(c); }
+inline void sam_cond_broadcast(ThreadCtx& ctx, CondId c) { ctx.cond_broadcast(c); }
+inline void sam_barrier(ThreadCtx& ctx, BarrierId b) { ctx.barrier(b); }
+
+}  // namespace sam::api

@@ -1,5 +1,6 @@
 #include "core/config.hpp"
 
+#include "net/fault_plan.hpp"
 #include "util/expect.hpp"
 
 namespace sam::core {
@@ -65,6 +66,42 @@ void validate(const SamhitaConfig& cfg) {
   SAM_EXPECT(cfg.cache_capacity_bytes >= cfg.line_bytes(),
              "cache_capacity_bytes must hold at least one line");
   SAM_EXPECT(cfg.max_batch_lines >= 1, "max_batch_lines must be >= 1");
+
+  // Fault-tolerance knobs fail fast here instead of surfacing as confusing
+  // mid-run behavior (a timer that fires on every healthy attempt, a
+  // failover target that does not exist).
+  SAM_EXPECT(cfg.retry_max_attempts >= 1, "retry_max_attempts must be >= 1");
+  // One control-message round trip on the chosen fabric: the retry timer
+  // must outlast it or every healthy attempt would "time out".
+  double rtt_ns = 2600.0;  // ib: 2 x (QDR wire + HCA turnaround) for 64 B
+  if (cfg.network == "pcie") rtt_ns = 4800.0;
+  if (cfg.network == "scif") rtt_ns = 2300.0;
+  rtt_ns *= cfg.net_latency_scale;
+  SAM_EXPECT(static_cast<double>(cfg.retry_timeout) >= rtt_ns,
+             "retry_timeout " + std::to_string(cfg.retry_timeout) +
+                 " ns is below one control round trip (~" +
+                 std::to_string(static_cast<std::uint64_t>(rtt_ns)) + " ns on " +
+                 cfg.network + "); the timer would fire on every healthy attempt");
+  SAM_EXPECT(cfg.replica_server < cfg.memory_servers,
+             "replica_server " + std::to_string(cfg.replica_server) +
+                 " out of range (memory_servers = " +
+                 std::to_string(cfg.memory_servers) + ")");
+  // Parsing throws ContractViolation on malformed specs; crash windows get
+  // topology checks on top.
+  const net::FaultPlan plan = net::FaultPlan::parse(cfg.fault_plan, cfg.fault_seed);
+  for (const net::CrashWindow& w : plan.crash_windows()) {
+    SAM_EXPECT(w.node < cfg.memory_servers,
+               "fault plan crashes node " + std::to_string(w.node) +
+                   ", which is not a memory server (servers live on nodes [0, " +
+                   std::to_string(cfg.memory_servers) + "))");
+    SAM_EXPECT(cfg.memory_servers >= 2,
+               "a server-crash fault plan needs memory_servers >= 2 so a replica "
+               "can cover the outage");
+    SAM_EXPECT(w.node != cfg.replica_server,
+               "fault plan crashes node " + std::to_string(w.node) +
+                   ", which is also the configured replica_server — failover "
+                   "would target the dead server");
+  }
 }
 
 }  // namespace sam::core

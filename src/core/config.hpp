@@ -129,6 +129,24 @@ struct SamhitaConfig {
   SimDuration network_jitter = 0;
   std::uint64_t jitter_seed = 1;
 
+  // --- fault tolerance ------------------------------------------------------
+  /// What goes wrong when (net::FaultPlan::parse): "none" (the default; the
+  /// verbs book the exact fault-free message sequence), a canned plan
+  /// (flaky-links | latency-spikes | server-crash), or semicolon-separated
+  /// clauses "drop=P;spike=P:NS;crash=NODE:T0:T1".
+  std::string fault_plan = "none";
+  std::uint64_t fault_seed = 1;  ///< seeds the plan's drop stream
+  /// Client-side retry policy for every fault-aware SCL verb: per-attempt
+  /// sender timer, exponential backoff base, and total attempt budget.
+  SimDuration retry_timeout = 200'000;
+  SimDuration retry_backoff = 50'000;
+  unsigned retry_max_attempts = 4;
+  /// Memory server (index < memory_servers) acting as hot standby: clean
+  /// lines are re-fetched from it while their home server is inside a crash
+  /// window. Only consulted when the plan has crash windows; must then name
+  /// a live server different from every crashed node.
+  unsigned replica_server = 0;
+
   // --- allocator strategy thresholds (§II: three strategies) --------------
   std::size_t arena_threshold = 32768;       ///< < this: per-thread arena
   std::size_t stripe_threshold = 1 << 20;    ///< >= this: striped across servers

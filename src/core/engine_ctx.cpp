@@ -2,6 +2,7 @@
 
 #include "core/metrics.hpp"
 #include "core/samhita_runtime.hpp"
+#include "scl/scl.hpp"
 #include "sim/coop_scheduler.hpp"
 #include "util/expect.hpp"
 
@@ -32,6 +33,14 @@ void EngineCtx::account_since(SimTime t0, Bucket bucket) {
     case Bucket::kBarrier: metrics->sync_barrier_ns += d; break;
     case Bucket::kAlloc: metrics->alloc_ns += d; break;
   }
+}
+
+void EngineCtx::book_completion(const scl::Completion& c, std::uint64_t object) {
+  if (c.attempts <= 1 && c.ok()) return;
+  metrics->scl_retries += c.attempts - 1;
+  metrics->scl_timeouts += c.failed_attempts();
+  metrics->recovery_ns += c.retry_wait_ns;
+  if (c.attempts > 1) trace(sim::TraceKind::kRetry, object, c.attempts - 1);
 }
 
 void EngineCtx::trace(sim::TraceKind kind, std::uint64_t object, std::uint64_t detail) const {

@@ -21,6 +21,10 @@ namespace sam::sim {
 class SimThread;
 }
 
+namespace sam::scl {
+struct Completion;
+}
+
 namespace sam::core {
 
 class SamhitaRuntime;
@@ -47,6 +51,11 @@ struct EngineCtx {
   void charge(SimDuration d, Bucket bucket);
   /// Accounts already-elapsed time [t0, clock) to `bucket`.
   void account_since(SimTime t0, Bucket bucket);
+
+  /// Books the reliability side of one fault-aware SCL completion against
+  /// this thread: retry/timeout counters, recovery time, and a kRetry trace
+  /// event when the verb needed reposts. No-op for clean first-try verbs.
+  void book_completion(const scl::Completion& c, std::uint64_t object);
 
   /// Records a protocol trace event (no-op unless tracing is enabled).
   void trace(sim::TraceKind kind, std::uint64_t object, std::uint64_t detail) const;

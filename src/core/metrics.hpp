@@ -41,6 +41,15 @@ struct Metrics {
   std::uint64_t bytes_flushed = 0;
   std::uint64_t update_set_bytes = 0;
 
+  // Fault-tolerance accounting (all zero with fault_plan = none).
+  std::uint64_t scl_retries = 0;   ///< SCL attempt reposts charged to this thread
+  std::uint64_t scl_timeouts = 0;  ///< sender timers that fired
+  std::uint64_t failovers = 0;     ///< fetches redirected to the replica server
+  /// Virtual time this thread lost to timeouts, backoff and failover
+  /// re-drives (already contained in the compute/sync buckets; this breaks
+  /// it out for the recovery report).
+  SimDuration recovery_ns = 0;
+
   /// Per-demand-miss stall latencies in ns (only populated when
   /// config.collect_latency_histograms is set).
   util::SampleSet miss_latency;
@@ -55,7 +64,18 @@ struct Metrics {
     return measure_end > measure_begin ? measure_end - measure_begin : 0;
   }
 
-  void reset_counters() { *this = Metrics{}; }
+  // Fault/recovery counters survive the reset: injected faults are platform
+  // lifetime events (a crash window during setup is still a crash), and the
+  // recovery report must not silently lose failovers that happened before
+  // begin_measurement().
+  void reset_counters() {
+    Metrics fresh;
+    fresh.scl_retries = scl_retries;
+    fresh.scl_timeouts = scl_timeouts;
+    fresh.failovers = failovers;
+    fresh.recovery_ns = recovery_ns;
+    *this = fresh;
+  }
 };
 
 }  // namespace sam::core

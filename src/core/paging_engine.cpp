@@ -34,8 +34,12 @@ void PagingEngine::issue_prefetch(LineId line) {
   const std::size_t bytes = cfg.line_bytes();
   // Asynchronous request: transport + service booked now, the thread does
   // not wait. Content is materialized at issue time (see DESIGN.md §8).
-  const SimTime resp = rt_->scl_.rpc(clock(), ec_->node, server.node(), kCtrl, bytes + kCtrl,
-                                     server.service(), server.service_time(bytes));
+  const scl::Completion c =
+      rt_->scl_.rpc(clock(), ec_->node, server.node(), kCtrl, bytes + kCtrl,
+                    server.service(), server.service_time(bytes));
+  ec_->book_completion(c, line);
+  if (!c.ok()) return;  // a guess is never worth a failover; abandon it
+  const SimTime resp = c.done;
   std::vector<std::byte> data(bytes);
   server.read_bytes(cache().line_base(line), data.data(), bytes);
   cache().install(line, std::move(data), resp, /*prefetched=*/true);
@@ -127,15 +131,53 @@ PageCache::Line& PagingEngine::ensure_line(LineId line, Bucket bucket) {
   const std::size_t nseg = 1 + folded.size();
   const std::size_t request_bytes =
       nseg == 1 ? kCtrl : kCtrl + nseg * scl::kSegmentDescBytes;
-  const SimTime at_server = rt_->scl_.send(t0, ec_->node, server.node(), request_bytes);
-  // If other threads hold unflushed diffs for this line, the server pulls
-  // them first (lazy diff collection, TreadMarks-style).
-  const SimTime current = policy_->lazy_pull(line, at_server);
   const std::size_t total = bytes * nseg;
-  const SimTime served =
-      nseg == 1 ? server.service().serve(current, server.service_time(bytes))
-                : server.serve_batch(current, nseg, total);
-  const SimTime resp = rt_->scl_.send(served, server.node(), ec_->node, total + kCtrl);
+
+  // The demand choreography (request leg, lazy diff pull, service window,
+  // gathered response) interleaves transport with engine-side work no single
+  // SCL verb models, so it drives the verbs' shared retry machinery
+  // directly. `xfer` is the timing source: the home server, or the replica
+  // once a crash window forces a failover (frames stay the home server's —
+  // the replica is a modeled hot standby of the same bytes).
+  mem::MemoryServer* xfer = &server;
+  const auto attempt_fetch = [&](SimTime post) {
+    scl::Scl::Attempt a;
+    const SimTime at_server = rt_->scl_.send(post, ec_->node, xfer->node(), request_bytes);
+    if (rt_->scl_.peer_down(xfer->node(), at_server)) {
+      a.server_down = true;  // request lands in a crash window: no service
+      return a;
+    }
+    if (rt_->scl_.lose_leg(ec_->node, xfer->node())) return a;
+    // If other threads hold unflushed diffs for this line, the server pulls
+    // them first (lazy diff collection, TreadMarks-style).
+    const SimTime current = policy_->lazy_pull(line, at_server);
+    const SimTime served =
+        nseg == 1 ? xfer->service().serve(current, xfer->service_time(bytes))
+                  : xfer->serve_batch(current, nseg, total);
+    const SimTime response = rt_->scl_.send(served, xfer->node(), ec_->node, total + kCtrl);
+    if (rt_->scl_.lose_leg(xfer->node(), ec_->node)) return a;
+    a.ok = true;
+    a.done = response;
+    return a;
+  };
+  scl::Completion fetch;
+  SimTime post = t0;
+  for (unsigned round = 0;; ++round) {
+    SAM_EXPECT(round < 64, "demand fetch re-drive livelock (fault plan too hostile)");
+    fetch = rt_->scl_.with_retries(post, total, attempt_fetch);
+    ec_->book_completion(fetch, line);
+    if (fetch.ok()) break;
+    if (fetch.status == net::Status::kServerDown && xfer == &server) {
+      // Home server is mid-outage: fail over to the replica for the
+      // re-drive, starting when the timeout exposed the crash.
+      xfer = &rt_->replica_server();
+      ++metrics().failovers;
+      trace(sim::TraceKind::kFailover, line, xfer->node());
+    }
+    post = fetch.done;
+  }
+  if (post != t0) trace_span(t0, fetch.done, sim::SpanCat::kRecovery, line);
+  const SimTime resp = fetch.done;
   if (nseg > 1) {
     ++metrics().batched_fetches;
     metrics().batch_segments += nseg;
@@ -261,15 +303,26 @@ void PagingEngine::issue_prefetch_rpc(mem::MemoryServer& server,
   // not wait. Content is materialized at issue time (see DESIGN.md §8).
   SimTime resp;
   if (lines.size() == 1) {
-    resp = rt_->scl_.rpc(clock(), ec_->node, server.node(), kCtrl, bytes + kCtrl,
-                         server.service(), server.service_time(bytes));
+    const scl::Completion c =
+        rt_->scl_.rpc(clock(), ec_->node, server.node(), kCtrl, bytes + kCtrl,
+                      server.service(), server.service_time(bytes));
+    ec_->book_completion(c, lines.front());
+    if (!c.ok()) return;  // abandoned guess, same as issue_prefetch
+    resp = c.done;
   } else {
     const SimTime t0 = clock();
     const SimTime at_server =
         rt_->scl_.send(t0, ec_->node, server.node(),
                        kCtrl + lines.size() * scl::kSegmentDescBytes);
+    // Asynchronous batch: the thread never waits on it, so a faulted leg
+    // simply abandons the guesses instead of spinning up retry timers.
+    if (rt_->scl_.peer_down(server.node(), at_server) ||
+        rt_->scl_.lose_leg(ec_->node, server.node())) {
+      return;
+    }
     const SimTime served = server.serve_batch(at_server, lines.size(), total);
     resp = rt_->scl_.send(served, server.node(), ec_->node, total + kCtrl);
+    if (rt_->scl_.lose_leg(server.node(), ec_->node)) return;
     ++metrics().batched_fetches;
     metrics().batch_segments += lines.size();
     trace(sim::TraceKind::kBatchFetch, lines.front(), lines.size());

@@ -31,9 +31,15 @@ RunSummary summarize(const SamhitaRuntime& runtime) {
     s.bytes_fetched += m.bytes_fetched;
     s.bytes_flushed += m.bytes_flushed;
     s.update_set_bytes += m.update_set_bytes;
+    s.scl_retries += m.scl_retries;
+    s.scl_timeouts += m.scl_timeouts;
+    s.failovers += m.failovers;
+    s.recovery_seconds += to_seconds(m.recovery_ns);
   }
   s.network_messages = runtime.network_messages();
   s.network_bytes = runtime.network_bytes();
+  s.drops_injected = runtime.fault_plan().drops_injected();
+  s.fault_plan = runtime.fault_plan().summary();
   return s;
 }
 
@@ -75,6 +81,16 @@ std::string format_report(const RunSummary& s) {
        static_cast<double>(s.bytes_flushed) / (1 << 20),
        static_cast<unsigned long long>(s.network_messages),
        static_cast<double>(s.network_bytes) / (1 << 20));
+  // Only emitted under an active fault plan, so fault-free reports are
+  // byte-identical to what they always were.
+  if (s.fault_plan != "none") {
+    line("  faults  plan %s: %llu drops injected, %llu timeouts, %llu retries, "
+         "%llu failovers, %.3f ms recovering",
+         s.fault_plan.c_str(), static_cast<unsigned long long>(s.drops_injected),
+         static_cast<unsigned long long>(s.scl_timeouts),
+         static_cast<unsigned long long>(s.scl_retries),
+         static_cast<unsigned long long>(s.failovers), s.recovery_seconds * 1e3);
+  }
   return out;
 }
 

@@ -38,6 +38,14 @@ struct RunSummary {
   std::uint64_t network_messages = 0;
   std::uint64_t network_bytes = 0;
 
+  // Fault tolerance (all zero when fault_plan = none).
+  std::uint64_t scl_retries = 0;
+  std::uint64_t scl_timeouts = 0;
+  std::uint64_t failovers = 0;
+  std::uint64_t drops_injected = 0;
+  double recovery_seconds = 0;
+  std::string fault_plan = "none";
+
   double hit_rate() const {
     const auto total = cache_hits + cache_misses;
     return total == 0 ? 0.0 : static_cast<double>(cache_hits) / static_cast<double>(total);

@@ -77,9 +77,19 @@ void SamThreadCtx::charge_alloc_outcome(const AllocOutcome& outcome) {
   for (unsigned i = 0; i < outcome.manager_rpcs; ++i) {
     rt_->sched_.yield_current();
     const SimTime t0 = ec_.clock();
-    const SimTime resp = rt_->scl_.rpc(t0, ec_.node, sh.node(), kCtrl, kCtrl,
-                                       sh.service(), sh.service_time());
-    ec_.sim_thread->advance_to(resp);
+    // Shard nodes never crash, so only dropped legs matter here: re-drive
+    // the metadata RPC until it lands.
+    scl::Completion c;
+    SimTime post = t0;
+    for (unsigned round = 0;; ++round) {
+      SAM_EXPECT(round < 64, "alloc RPC re-drive livelock (fault plan too hostile)");
+      c = rt_->scl_.rpc(post, ec_.node, sh.node(), kCtrl, kCtrl, sh.service(),
+                        sh.service_time());
+      ec_.book_completion(c, 0);
+      if (c.ok()) break;
+      post = c.done;
+    }
+    ec_.sim_thread->advance_to(c.done);
     ec_.account_since(t0, Bucket::kAlloc);
   }
 }

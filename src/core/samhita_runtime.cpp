@@ -24,25 +24,36 @@ SamhitaConfig validated(SamhitaConfig config) {
   return config;
 }
 
-std::unique_ptr<net::NetworkModel> build_network(const SamhitaConfig& config) {
+std::unique_ptr<net::NetworkModel> build_network(const SamhitaConfig& config,
+                                                 const net::FaultPlan& plan) {
   auto base = net::make_network_scaled(config.network, config.total_nodes(),
                                        config.net_latency_scale,
                                        config.net_bandwidth_scale);
-  if (config.network_jitter == 0) return base;
+  // Jitter and fault-plan latency spikes share the perturbing decorator;
+  // with both off the base model is returned untouched (bit-identity).
+  if (config.network_jitter == 0 && plan.spike_probability() == 0.0) return base;
   return std::make_unique<net::PerturbingNetwork>(std::move(base), config.network_jitter,
-                                                  config.jitter_seed);
+                                                  config.jitter_seed,
+                                                  plan.spike_probability(),
+                                                  plan.spike_ns());
 }
 }  // namespace
 
 SamhitaRuntime::SamhitaRuntime(SamhitaConfig config)
     : config_(validated(std::move(config))),
-      net_(build_network(config_)),
+      fault_plan_(net::FaultPlan::parse(config_.fault_plan, config_.fault_seed)),
+      net_(build_network(config_, fault_plan_)),
       scl_(net_.get()),
       gas_(config_.address_space_bytes, config_.memory_servers),
       services_(&config_),
       allocator_(&config_, &gas_),
       trace_(config_.trace_capacity) {
   SAM_EXPECT(config_.memory_servers >= 1, "need at least one memory server");
+  // Always attached: an inactive plan reduces every per-leg fault check to a
+  // cheap boolean, and directed tests can still force drops through it.
+  scl_.configure_faults(&fault_plan_,
+                        scl::RetryPolicy{config_.retry_timeout, config_.retry_backoff,
+                                         config_.retry_max_attempts});
   servers_.reserve(config_.memory_servers);
   for (unsigned i = 0; i < config_.memory_servers; ++i) {
     // Memory servers occupy nodes [0, memory_servers).

@@ -19,6 +19,7 @@
 #include "mem/directory.hpp"
 #include "mem/global_address_space.hpp"
 #include "mem/memory_server.hpp"
+#include "net/fault_plan.hpp"
 #include "net/types.hpp"
 #include "core/service_directory.hpp"
 #include "regc/diff.hpp"
@@ -75,6 +76,17 @@ class SamhitaRuntime final : public rt::Runtime {
   /// Protocol event trace (populated when config.trace_enabled).
   const sim::TraceBuffer& trace() const { return trace_; }
   sim::TraceBuffer& trace() { return trace_; }
+  /// The communication layer (retry counters, fault-aware verbs).
+  const scl::Scl& scl() const { return scl_; }
+  scl::Scl& scl() { return scl_; }
+  /// The injected fault plan ("none" by default). Non-const so directed
+  /// tests can force drops deterministically.
+  const net::FaultPlan& fault_plan() const { return fault_plan_; }
+  net::FaultPlan& fault_plan() { return fault_plan_; }
+  /// Hot-standby memory server clean lines fail over to during an outage.
+  const mem::MemoryServer& replica_server() const {
+    return servers_.at(config_.replica_server);
+  }
 
   /// Writes bytes into the authoritative space, routing by page home.
   void write_global_bytes(mem::GAddr addr, const std::byte* in, std::size_t n);
@@ -94,8 +106,14 @@ class SamhitaRuntime final : public rt::Runtime {
   mem::MemoryServer& home_server(mem::PageId page);
   const mem::MemoryServer& home_server(mem::PageId page) const;
 
+  mem::MemoryServer& replica_server() {
+    return servers_.at(config_.replica_server);
+  }
+
   std::string name_ = "samhita";
   SamhitaConfig config_;
+  /// Parsed before net_: the plan's spike parameters feed build_network.
+  net::FaultPlan fault_plan_;
   std::unique_ptr<net::NetworkModel> net_;
   scl::Scl scl_;
   mem::GlobalAddressSpace gas_;

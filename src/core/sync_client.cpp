@@ -35,6 +35,18 @@ SimDuration SyncClient::sync_service_time(const ManagerShard& shard) const {
   return rt_->config().local_sync ? SimDuration{100} : shard.service_time();
 }
 
+SimTime SyncClient::request_arrival(SimTime t, net::NodeId dst, std::size_t bytes,
+                                    std::uint64_t object) {
+  SimTime post = t;
+  for (unsigned round = 0;; ++round) {
+    SAM_EXPECT(round < 64, "sync request re-drive livelock (fault plan too hostile)");
+    const scl::Completion c = rt_->scl_.request(post, ec_->node, dst, bytes);
+    ec_->book_completion(c, object);
+    if (c.ok()) return c.done;
+    post = c.done;
+  }
+}
+
 void SyncClient::end_lock_held_span(rt::MutexId m) {
   if (auto it = lock_acquired_at_.find(m); it != lock_acquired_at_.end()) {
     trace_span(it->second, clock(), sim::SpanCat::kLockHeld, m);
@@ -53,7 +65,7 @@ void SyncClient::lock(rt::MutexId m) {
   ManagerShard::Mutex& mx = sh.mutex(m);
   ++mx.acquisitions;
 
-  const SimTime t_arrive = rt_->scl_.send(t0, ec_->node, sync_node(sh), kCtrl);
+  const SimTime t_arrive = request_arrival(t0, sync_node(sh), kCtrl, m);
   const SimTime t_served = sync_service(sh).serve(t_arrive, sync_service_time(sh));
 
   if (!mx.holder.has_value()) {
@@ -104,7 +116,7 @@ void SyncClient::unlock(rt::MutexId m) {
   rt_->sched_.yield_current();
   const SimTime t0 = clock();
   ManagerShard& sh = rt_->services_.mutex_shard(m);
-  const SimTime t_arrive = rt_->scl_.send(t0, ec_->node, sync_node(sh), kCtrl + wire);
+  const SimTime t_arrive = request_arrival(t0, sync_node(sh), kCtrl + wire, m);
   const SimTime t_served = sync_service(sh).serve(t_arrive, sync_service_time(sh));
 
   // Functional release effects happen here — after the transport yield — so
@@ -138,7 +150,7 @@ void SyncClient::cond_wait(rt::CondId c, rt::MutexId m) {
   const SimTime t0 = clock();
   ManagerShard& msh = rt_->services_.mutex_shard(m);
   ManagerShard& csh = rt_->services_.cond_shard(c);
-  const SimTime t_arrive = rt_->scl_.send(t0, ec_->node, sync_node(msh), kCtrl + wire);
+  const SimTime t_arrive = request_arrival(t0, sync_node(msh), kCtrl + wire, m);
   const SimTime t_served = sync_service(msh).serve(t_arrive, sync_service_time(msh));
 
   policy_->commit_release(m);  // after the transport yield, as in unlock()
@@ -173,7 +185,7 @@ void SyncClient::cond_signal(rt::CondId c) {
   rt_->sched_.yield_current();
   const SimTime t0 = clock();
   ManagerShard& csh = rt_->services_.cond_shard(c);
-  const SimTime t_arrive = rt_->scl_.send(t0, ec_->node, sync_node(csh), kCtrl);
+  const SimTime t_arrive = request_arrival(t0, sync_node(csh), kCtrl, c);
   const SimTime t_served = sync_service(csh).serve(t_arrive, sync_service_time(csh));
 
   ManagerShard::Cond& cv = csh.cond(c);
@@ -229,7 +241,7 @@ void SyncClient::barrier(rt::BarrierId b) {
   rt_->sched_.yield_current();
   const SimTime t0 = clock();
   ManagerShard& sh = rt_->services_.barrier_shard(b);
-  const SimTime t_arrive = rt_->scl_.send(t0, ec_->node, sync_node(sh), kCtrl);
+  const SimTime t_arrive = request_arrival(t0, sync_node(sh), kCtrl, b);
   const SimTime t_served = sync_service(sh).serve(t_arrive, sync_service_time(sh));
 
   ManagerShard::Barrier& bar = sh.barrier(b);

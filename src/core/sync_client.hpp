@@ -46,6 +46,13 @@ class SyncClient {
   /// the next waiter (if any). Shared by unlock() and cond_wait().
   void release_mutex_at(rt::MutexId m, SimTime t_served);
 
+  /// Fault-aware client request leg to a sync service: posts `bytes` to
+  /// `dst`, re-driving through dropped legs until it arrives. Returns the
+  /// arrival time. Grant/unblock legs stay raw Scl::send — they originate at
+  /// the manager, which never times out on its own wakeups.
+  SimTime request_arrival(SimTime t, net::NodeId dst, std::size_t bytes,
+                          std::uint64_t object);
+
   /// Closes the lock-held span opened at acquire (trace bookkeeping).
   void end_lock_held_span(rt::MutexId m);
 

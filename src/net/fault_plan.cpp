@@ -1,0 +1,169 @@
+#include "net/fault_plan.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/expect.hpp"
+
+namespace sam::net {
+
+namespace {
+
+/// Splits `s` on `sep`, dropping empty pieces.
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t end = s.find(sep, start);
+    const std::string piece =
+        s.substr(start, end == std::string::npos ? std::string::npos : end - start);
+    if (!piece.empty()) out.push_back(piece);
+    if (end == std::string::npos) break;
+    start = end + 1;
+  }
+  return out;
+}
+
+double parse_probability(const std::string& v, const std::string& clause) {
+  char* end = nullptr;
+  const double p = std::strtod(v.c_str(), &end);
+  SAM_EXPECT(end != nullptr && *end == '\0' && p >= 0.0 && p <= 1.0,
+             "fault plan clause '" + clause + "': probability '" + v +
+                 "' must be a number in [0, 1]");
+  return p;
+}
+
+std::uint64_t parse_u64(const std::string& v, const std::string& clause) {
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(v.c_str(), &end, 10);
+  SAM_EXPECT(end != nullptr && *end == '\0' && !v.empty(),
+             "fault plan clause '" + clause + "': '" + v +
+                 "' must be a non-negative integer");
+  return n;
+}
+
+/// Canned plans keep the CLI one flag away from a meaningful fault run. The
+/// crash window (0.4ms-1.4ms) lands inside the measured phase of the micro
+/// and jacobi smoke workloads.
+std::string canned_spec(const std::string& name) {
+  if (name == "flaky-links") return "drop=0.02";
+  if (name == "latency-spikes") return "spike=0.05:40000";
+  if (name == "server-crash") return "crash=0:0:1400000";
+  return name;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& spec, std::uint64_t seed) {
+  FaultPlan plan;
+  plan.rng_ = util::SplitMix64(seed);
+  if (spec.empty() || spec == "none") return plan;
+
+  const std::string resolved = canned_spec(spec);
+  for (const std::string& clause : split(resolved, ';')) {
+    const std::size_t eq = clause.find('=');
+    SAM_EXPECT(eq != std::string::npos,
+               "fault plan clause '" + clause +
+                   "' has no '=' (want drop=P | spike=P:NS | crash=NODE:T0:T1, or a "
+                   "canned plan: none|flaky-links|latency-spikes|server-crash)");
+    const std::string key = clause.substr(0, eq);
+    const std::vector<std::string> args = split(clause.substr(eq + 1), ':');
+    if (key == "drop") {
+      SAM_EXPECT(args.size() == 1, "fault plan clause '" + clause + "': want drop=P");
+      plan.drop_ = parse_probability(args[0], clause);
+    } else if (key == "spike") {
+      SAM_EXPECT(args.size() == 2,
+                 "fault plan clause '" + clause + "': want spike=PROB:EXTRA_NS");
+      plan.spike_prob_ = parse_probability(args[0], clause);
+      plan.spike_ns_ = parse_u64(args[1], clause);
+      SAM_EXPECT(plan.spike_prob_ == 0.0 || plan.spike_ns_ > 0,
+                 "fault plan clause '" + clause + "': spike magnitude must be > 0 ns");
+    } else if (key == "crash") {
+      SAM_EXPECT(args.size() == 3,
+                 "fault plan clause '" + clause + "': want crash=NODE:DOWN_NS:UP_NS");
+      CrashWindow w;
+      w.node = static_cast<NodeId>(parse_u64(args[0], clause));
+      w.down_at = parse_u64(args[1], clause);
+      w.up_at = parse_u64(args[2], clause);
+      SAM_EXPECT(w.down_at < w.up_at,
+                 "fault plan clause '" + clause + "': crash window must have T0 < T1");
+      plan.crashes_.push_back(w);
+    } else {
+      SAM_EXPECT(false, "unknown fault plan clause '" + key +
+                            "' (want drop|spike|crash, or a canned plan: "
+                            "none|flaky-links|latency-spikes|server-crash)");
+    }
+  }
+  return plan;
+}
+
+bool FaultPlan::drop_message(NodeId src, NodeId dst) {
+  (void)src;
+  (void)dst;
+  if (forced_drops_ > 0) {
+    --forced_drops_;
+    ++drops_injected_;
+    return true;
+  }
+  if (drop_ <= 0.0) return false;
+  if (rng_.next_double() >= drop_) return false;
+  ++drops_injected_;
+  return true;
+}
+
+bool FaultPlan::server_down(NodeId node, SimTime t) const {
+  return std::any_of(crashes_.begin(), crashes_.end(), [&](const CrashWindow& w) {
+    return w.node == node && t >= w.down_at && t < w.up_at;
+  });
+}
+
+SimTime FaultPlan::server_up_at(NodeId node, SimTime t) const {
+  SimTime up = t;
+  // Windows may abut or overlap; iterate until no window covers `up`.
+  bool moved = true;
+  while (moved) {
+    moved = false;
+    for (const CrashWindow& w : crashes_) {
+      if (w.node == node && up >= w.down_at && up < w.up_at) {
+        up = w.up_at;
+        moved = true;
+      }
+    }
+  }
+  return up;
+}
+
+std::string FaultPlan::summary() const {
+  if (!active()) return "none";
+  std::string out;
+  char buf[96];
+  if (drop_ > 0.0) {
+    std::snprintf(buf, sizeof buf, "drop=%g", drop_);
+    out += buf;
+  }
+  if (spike_prob_ > 0.0) {
+    std::snprintf(buf, sizeof buf, "%sspike=%g:%llu", out.empty() ? "" : ";",
+                  spike_prob_, static_cast<unsigned long long>(spike_ns_));
+    out += buf;
+  }
+  for (const CrashWindow& w : crashes_) {
+    std::snprintf(buf, sizeof buf, "%scrash=%u:%llu:%llu", out.empty() ? "" : ";",
+                  w.node, static_cast<unsigned long long>(w.down_at),
+                  static_cast<unsigned long long>(w.up_at));
+    out += buf;
+  }
+  return out;
+}
+
+const char* to_string(Status s) {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kTimeout: return "timeout";
+    case Status::kServerDown: return "server_down";
+    case Status::kRetriesExhausted: return "retries_exhausted";
+  }
+  return "?";
+}
+
+}  // namespace sam::net

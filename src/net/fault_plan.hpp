@@ -1,0 +1,95 @@
+// net::FaultPlan: deterministic, seed-driven failure injection.
+//
+// The paper's testbed assumes a reliable QDR fabric and always-up memory
+// servers; a production-scale system has to survive dropped messages, slow
+// links and dead servers. A FaultPlan describes *what goes wrong when* so
+// the rest of the stack (scl::Scl retry timers, core::PagingEngine
+// failover) can be exercised deterministically:
+//
+//   link drops      — each queried message leg is lost with probability
+//                     `drop`, drawn from a SplitMix64 stream seeded by the
+//                     plan seed (bit-reproducible per seed).
+//   latency spikes  — probability + magnitude consumed by
+//                     net::PerturbingNetwork (a spiking delivery decorator).
+//   server crashes  — [down_at, up_at) windows per memory-server node during
+//                     which the node answers nothing.
+//
+// Plans parse from a spec string: either a canned name ("none",
+// "flaky-links", "latency-spikes", "server-crash") or semicolon-separated
+// clauses, e.g. "drop=0.02;spike=0.05:40000;crash=0:0:1400000".
+// Malformed specs throw util::ContractViolation with a CLI-worthy message.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/types.hpp"
+#include "util/rng.hpp"
+#include "util/time_types.hpp"
+
+namespace sam::net {
+
+/// One memory-server outage: `node` serves nothing in [down_at, up_at).
+struct CrashWindow {
+  NodeId node = 0;
+  SimTime down_at = 0;
+  SimTime up_at = 0;
+};
+
+class FaultPlan {
+ public:
+  /// The default plan injects nothing (active() == false).
+  FaultPlan() = default;
+
+  /// Parses a canned plan name or a clause spec (see header comment).
+  static FaultPlan parse(const std::string& spec, std::uint64_t seed);
+
+  /// True when the plan can perturb anything (drops, spikes or crashes).
+  bool active() const {
+    return drop_ > 0.0 || spike_prob_ > 0.0 || !crashes_.empty();
+  }
+  bool has_crashes() const { return !crashes_.empty(); }
+
+  /// True when a drop_message() query could return true (probability drops
+  /// configured, or forced drops pending). When false, callers skip the
+  /// query entirely so no RNG draw is consumed.
+  bool link_faults_possible() const { return drop_ > 0.0 || forced_drops_ > 0; }
+
+  double drop_probability() const { return drop_; }
+  double spike_probability() const { return spike_prob_; }
+  SimDuration spike_ns() const { return spike_ns_; }
+  const std::vector<CrashWindow>& crash_windows() const { return crashes_; }
+
+  /// Decides whether one message leg src->dst is lost. Consumes one RNG draw
+  /// per call (when drop > 0), so the injected fault sequence is a pure
+  /// function of the seed and the deterministic query order.
+  bool drop_message(NodeId src, NodeId dst);
+
+  /// Forces the next `n` drop_message() queries to return true (directed
+  /// tests: timeout -> retry -> success without probability games).
+  void force_drops(unsigned n) { forced_drops_ += n; }
+
+  /// True when `node` is inside a crash window at time `t`.
+  bool server_down(NodeId node, SimTime t) const;
+
+  /// Earliest time >= t at which `node` answers again (t when already up).
+  SimTime server_up_at(NodeId node, SimTime t) const;
+
+  std::uint64_t drops_injected() const { return drops_injected_; }
+
+  /// Canonical clause spelling of the plan ("none" when inactive) — stable
+  /// across canned-name aliases, used by reports.
+  std::string summary() const;
+
+ private:
+  double drop_ = 0.0;
+  double spike_prob_ = 0.0;
+  SimDuration spike_ns_ = 0;
+  std::vector<CrashWindow> crashes_;
+  util::SplitMix64 rng_{1};
+  unsigned forced_drops_ = 0;
+  std::uint64_t drops_injected_ = 0;
+};
+
+}  // namespace sam::net

@@ -5,17 +5,26 @@
 namespace sam::net {
 
 PerturbingNetwork::PerturbingNetwork(std::unique_ptr<NetworkModel> inner,
-                                     SimDuration max_jitter, std::uint64_t seed)
-    : inner_(std::move(inner)), max_jitter_(max_jitter), rng_(seed) {
+                                     SimDuration max_jitter, std::uint64_t seed,
+                                     double spike_prob, SimDuration spike_ns)
+    : inner_(std::move(inner)),
+      max_jitter_(max_jitter),
+      rng_(seed),
+      spike_prob_(spike_prob),
+      spike_ns_(spike_ns) {
   SAM_EXPECT(inner_ != nullptr, "null inner network");
+  SAM_EXPECT(spike_prob_ >= 0.0 && spike_prob_ <= 1.0, "spike probability out of [0, 1]");
   name_ = inner_->name() + "+jitter";
 }
 
 SimTime PerturbingNetwork::deliver(SimTime t, NodeId src, NodeId dst, std::size_t bytes) {
   account(bytes);
-  const SimTime base = inner_->deliver(t, src, dst, bytes);
-  if (max_jitter_ == 0) return base;
-  return base + rng_.next_below(max_jitter_ + 1);
+  SimTime base = inner_->deliver(t, src, dst, bytes);
+  if (max_jitter_ != 0) base += rng_.next_below(max_jitter_ + 1);
+  // Spikes draw from the same stream but only when enabled, so jitter-only
+  // configurations see the exact RNG sequence they always did.
+  if (spike_prob_ > 0.0 && rng_.next_double() < spike_prob_) base += spike_ns_;
+  return base;
 }
 
 }  // namespace sam::net

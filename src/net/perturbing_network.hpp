@@ -20,8 +20,13 @@ class PerturbingNetwork final : public NetworkModel {
  public:
   /// Wraps `inner`, adding a uniform random delay in [0, max_jitter] ns to
   /// every delivery, drawn from a SplitMix64 stream seeded with `seed`.
+  /// When `spike_prob` > 0, each delivery additionally suffers a flat
+  /// `spike_ns` latency spike with that probability (net::FaultPlan's
+  /// congestion-burst model); with spikes disabled the RNG draw sequence is
+  /// unchanged, so existing jitter runs stay bit-identical.
   PerturbingNetwork(std::unique_ptr<NetworkModel> inner, SimDuration max_jitter,
-                    std::uint64_t seed);
+                    std::uint64_t seed, double spike_prob = 0.0,
+                    SimDuration spike_ns = 0);
 
   SimTime deliver(SimTime t, NodeId src, NodeId dst, std::size_t bytes) override;
   const std::string& name() const override { return name_; }
@@ -35,6 +40,8 @@ class PerturbingNetwork final : public NetworkModel {
   std::unique_ptr<NetworkModel> inner_;
   SimDuration max_jitter_;
   util::SplitMix64 rng_;
+  double spike_prob_;
+  SimDuration spike_ns_;
   std::string name_;
 };
 

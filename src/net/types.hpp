@@ -10,4 +10,16 @@ namespace sam::net {
 /// Identifies a node (host, memory server, coprocessor, ...) in the system.
 using NodeId = std::uint32_t;
 
+/// Outcome of a timed communication operation. Shared between the transport
+/// layer (net::FaultPlan decides what fails) and the SCL verbs (scl::
+/// Completion reports how the operation ended after retries).
+enum class Status : std::uint8_t {
+  kOk,                ///< completed; timestamps are valid
+  kTimeout,           ///< one attempt's sender timer expired (internal state)
+  kServerDown,        ///< the target was inside a crash window; gave up
+  kRetriesExhausted,  ///< every attempt was lost; gave up
+};
+
+const char* to_string(Status s);
+
 }  // namespace sam::net

@@ -6,8 +6,10 @@
 
 #include "core/report.hpp"
 #include "core/samhita_runtime.hpp"
+#include "net/fault_plan.hpp"
 #include "net/network_model.hpp"
 #include "obs/json.hpp"
+#include "scl/scl.hpp"
 #include "obs/profiler.hpp"
 #include "util/time_types.hpp"
 
@@ -35,6 +37,10 @@ void collect_metrics_totals(const core::SamhitaRuntime& rt, Registry& reg) {
     reg.add_counter("regc.update_set_bytes", m.update_set_bytes);
     reg.add_counter("bytes.fetched", m.bytes_fetched);
     reg.add_counter("bytes.flushed", m.bytes_flushed);
+    reg.add_counter("scl.retries", m.scl_retries);
+    reg.add_counter("scl.timeouts", m.scl_timeouts);
+    reg.add_counter("mem.failovers", m.failovers);
+    reg.add_counter("recovery.ns", static_cast<std::uint64_t>(m.recovery_ns));
     for (const double ns : m.miss_latency.samples()) {
       reg.histogram("miss_latency_ns").add(ns);
     }
@@ -44,6 +50,12 @@ void collect_metrics_totals(const core::SamhitaRuntime& rt, Registry& reg) {
 void collect_platform(const core::SamhitaRuntime& rt, Registry& reg) {
   reg.set_counter("net.messages", rt.network_messages());
   reg.set_counter("net.bytes", rt.network_bytes());
+
+  const scl::Scl::Counters& sc = rt.scl().counters();
+  reg.set_counter("scl.attempts", sc.attempts);
+  reg.set_counter("scl.server_down_aborts", sc.server_down_aborts);
+  reg.set_counter("scl.exhausted", sc.exhausted);
+  reg.set_counter("net.drops_injected", rt.fault_plan().drops_injected());
 
   const auto& servers = rt.servers();
   for (std::size_t i = 0; i < servers.size(); ++i) {
@@ -141,6 +153,12 @@ void write_config(JsonWriter& w, const core::SamhitaConfig& cfg) {
   w.kv("trace_enabled", cfg.trace_enabled);
   w.kv("net_latency_scale", cfg.net_latency_scale);
   w.kv("net_bandwidth_scale", cfg.net_bandwidth_scale);
+  w.kv("fault_plan", cfg.fault_plan);
+  w.kv("fault_seed", cfg.fault_seed);
+  w.kv("retry_timeout_ns", static_cast<std::uint64_t>(cfg.retry_timeout));
+  w.kv("retry_backoff_ns", static_cast<std::uint64_t>(cfg.retry_backoff));
+  w.kv("retry_max_attempts", cfg.retry_max_attempts);
+  w.kv("replica_server", cfg.replica_server);
   w.end_object();
 }
 
@@ -172,6 +190,10 @@ void write_summary(JsonWriter& w, const core::RunSummary& s) {
   w.kv("update_set_bytes", s.update_set_bytes);
   w.kv("network_messages", s.network_messages);
   w.kv("network_bytes", s.network_bytes);
+  w.kv("scl_retries", s.scl_retries);
+  w.kv("scl_timeouts", s.scl_timeouts);
+  w.kv("failovers", s.failovers);
+  w.kv("recovery_seconds", s.recovery_seconds);
   w.end_object();
 }
 
@@ -323,6 +345,25 @@ void write_run_report(const core::SamhitaRuntime& runtime, std::ostream& out,
 
   w.key("links");
   write_links(w, runtime);
+
+  w.key("recovery");
+  {
+    // Fault-tolerance accounting: what the plan injected and what the retry /
+    // failover machinery paid to absorb it. All-zero when fault_plan = none.
+    const scl::Scl::Counters& sc = runtime.scl().counters();
+    w.begin_object();
+    w.kv("fault_plan", runtime.fault_plan().summary());
+    w.kv("drops_injected", runtime.fault_plan().drops_injected());
+    w.kv("scl_attempts", sc.attempts);
+    w.kv("scl_retries", summary.scl_retries);
+    w.kv("scl_timeouts", summary.scl_timeouts);
+    w.kv("server_down_aborts", sc.server_down_aborts);
+    w.kv("retries_exhausted", sc.exhausted);
+    w.kv("failovers", summary.failovers);
+    w.kv("recovery_seconds", summary.recovery_seconds);
+    w.kv("replica_server", runtime.config().replica_server);
+    w.end_object();
+  }
 
   w.key("registry");
   reg.write_json(w);

@@ -33,6 +33,7 @@ TrackRef track_of(const sim::SpanEvent& s, std::uint32_t manager_tracks) {
     case sim::SpanCat::kBatchRpc:
     case sim::SpanCat::kDemandMiss:
     case sim::SpanCat::kFlushRpc:
+    case sim::SpanCat::kRecovery:
       return {kPidCompute, s.track};
     case sim::SpanCat::kManager:
       // One track per manager shard (span track = shard index).

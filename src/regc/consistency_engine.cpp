@@ -75,8 +75,26 @@ void ConsistencyEngine::flush_line(core::PageCache::Line& line, core::Bucket buc
     rt_->sched_.yield_current();
     const SimTime t0 = clock();
     const std::size_t wire = diff.wire_bytes();
-    const SimTime resp = rt_->scl_.rpc(t0, ec_->node, server.node(), wire + kCtrl, kCtrl,
-                                       server.service(), server.service_time(wire));
+    // Dirty bytes have exactly one home, so a flush never fails over: on a
+    // crash window the diff is held and the RPC re-driven once the server
+    // is back; exhausted retry windows simply re-drive.
+    scl::Completion c;
+    SimTime post = t0;
+    for (unsigned round = 0;; ++round) {
+      SAM_EXPECT(round < 64, "flush re-drive livelock (fault plan too hostile)");
+      c = rt_->scl_.rpc(post, ec_->node, server.node(), wire + kCtrl, kCtrl,
+                        server.service(), server.service_time(wire));
+      ec_->book_completion(c, line.id);
+      if (c.ok()) break;
+      post = c.done;
+      if (c.status == net::Status::kServerDown) {
+        const SimTime up = rt_->fault_plan_.server_up_at(server.node(), c.done);
+        metrics().recovery_ns += up - c.done;  // waiting out the outage
+        post = up;
+      }
+    }
+    if (post != t0) trace_span(t0, c.done, sim::SpanCat::kRecovery, line.id);
+    const SimTime resp = c.done;
     rt_->apply_diff_global(diff);
     ec_->sim_thread->advance_to(resp);
     account_since(t0, bucket);
@@ -166,11 +184,42 @@ void ConsistencyEngine::flush_batched(const std::vector<core::PageCache::Line*>&
     const std::size_t request_bytes =
         nseg == 1 ? wire + kCtrl : wire + kCtrl + nseg * scl::kSegmentDescBytes;
     const SimTime start = cfg.flush_pipeline ? t0 : cursor;
-    const SimTime at_server = rt_->scl_.send(start, ec_->node, server.node(), request_bytes);
-    const SimTime served = nseg == 1
-                               ? server.service().serve(at_server, server.service_time(wire))
-                               : server.serve_batch(at_server, nseg, wire);
-    const SimTime done = rt_->scl_.send(served, server.node(), ec_->node, kCtrl);
+    // Same recovery rule as flush_line: hold the diffs through drops and
+    // crash windows, re-driving the gathered RPC until it lands.
+    scl::Completion c;
+    SimTime post = start;
+    for (unsigned round = 0;; ++round) {
+      SAM_EXPECT(round < 64, "batched flush re-drive livelock (fault plan too hostile)");
+      c = rt_->scl_.with_retries(post, wire, [&](SimTime p) {
+        scl::Scl::Attempt a;
+        const SimTime at_server = rt_->scl_.send(p, ec_->node, server.node(), request_bytes);
+        if (rt_->scl_.peer_down(server.node(), at_server)) {
+          a.server_down = true;
+          return a;
+        }
+        if (rt_->scl_.lose_leg(ec_->node, server.node())) return a;
+        const SimTime served =
+            nseg == 1 ? server.service().serve(at_server, server.service_time(wire))
+                      : server.serve_batch(at_server, nseg, wire);
+        const SimTime acked = rt_->scl_.send(served, server.node(), ec_->node, kCtrl);
+        if (rt_->scl_.lose_leg(server.node(), ec_->node)) return a;
+        a.ok = true;
+        a.done = acked;
+        return a;
+      });
+      ec_->book_completion(c, chunk.front()->line->id);
+      if (c.ok()) break;
+      post = c.done;
+      if (c.status == net::Status::kServerDown) {
+        const SimTime up = rt_->fault_plan_.server_up_at(server.node(), c.done);
+        metrics().recovery_ns += up - c.done;  // waiting out the outage
+        post = up;
+      }
+    }
+    if (post != start) {
+      trace_span(start, c.done, sim::SpanCat::kRecovery, chunk.front()->line->id);
+    }
+    const SimTime done = c.done;
     cursor = done;
     last = std::max(last, done);
     durations_sum += done - start;
@@ -278,10 +327,16 @@ SimTime ConsistencyEngine::lazy_pull(core::LineId line, SimTime at_server) {
     // on the holder; the holder's compute thread is not interrupted).
     const std::size_t wire = diff.wire_bytes();
     const net::NodeId holder_node = other.node();
-    ready = rt_->scl_.rpc(ready, server_node, holder_node, scl::kCtrlBytes,
-                          wire + scl::kCtrlBytes, rt_->node_sync_.at(holder_node),
-                          300 + from_seconds(static_cast<double>(wire) /
-                                             rt_->config().local_copy_bw));
+    // Holder nodes are compute nodes (never in a crash window); the rpc's
+    // own retry loop covers dropped legs. The diff was applied above, so
+    // even an exhausted pull just costs its retry window.
+    const scl::Completion c =
+        rt_->scl_.rpc(ready, server_node, holder_node, scl::kCtrlBytes,
+                      wire + scl::kCtrlBytes, rt_->node_sync_.at(holder_node),
+                      300 + from_seconds(static_cast<double>(wire) /
+                                         rt_->config().local_copy_bw));
+    ec_->book_completion(c, line);
+    ready = c.done;
     for (mem::PageId page : other.cache().dirty_pages(*l)) {
       rt_->directory_.clear_dirty(page, h);
     }

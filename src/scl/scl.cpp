@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "net/fault_plan.hpp"
 #include "net/network_model.hpp"
 #include "util/expect.hpp"
 
@@ -9,33 +10,102 @@ namespace sam::scl {
 
 Scl::Scl(net::NetworkModel* net) : net_(net) { SAM_EXPECT(net != nullptr, "null network"); }
 
+void Scl::configure_faults(net::FaultPlan* plan, const RetryPolicy& policy) {
+  SAM_EXPECT(policy.max_attempts >= 1, "retry policy needs at least one attempt");
+  SAM_EXPECT(policy.timeout > 0, "retry timeout must be positive");
+  plan_ = plan;
+  policy_ = policy;
+}
+
+bool Scl::lose_leg(net::NodeId src, net::NodeId dst) {
+  return plan_ != nullptr && plan_->link_faults_possible() && plan_->drop_message(src, dst);
+}
+
+bool Scl::peer_down(net::NodeId peer, SimTime at) const {
+  return plan_ != nullptr && plan_->has_crashes() && plan_->server_down(peer, at);
+}
+
+bool Scl::faults_possible() const {
+  return plan_ != nullptr && (plan_->link_faults_possible() || plan_->has_crashes());
+}
+
 SimTime Scl::send(SimTime t, net::NodeId src, net::NodeId dst, std::size_t bytes) {
   return net_->deliver(t, src, dst, bytes);
 }
 
-SimTime Scl::rdma_read(SimTime t, net::NodeId src, net::NodeId peer, std::size_t bytes) {
+Completion Scl::request(SimTime t, net::NodeId src, net::NodeId dst, std::size_t bytes) {
+  return with_retries(t, bytes, [&](SimTime post) {
+    Attempt a;
+    const SimTime arrival = net_->deliver(post, src, dst, bytes);
+    if (peer_down(dst, arrival)) {
+      a.server_down = true;
+      return a;
+    }
+    if (lose_leg(src, dst)) return a;
+    a.ok = true;
+    a.done = arrival;
+    return a;
+  });
+}
+
+Completion Scl::rdma_read(SimTime t, net::NodeId src, net::NodeId peer, std::size_t bytes) {
   // Work request travels to the peer HCA, which streams the data back
   // without involving the peer CPU (one-sided semantics).
-  const SimTime request_at_peer = net_->deliver(t, src, peer, kCtrlBytes);
-  return net_->deliver(request_at_peer, peer, src, bytes);
+  return with_retries(t, bytes, [&](SimTime post) {
+    Attempt a;
+    const SimTime request_at_peer = net_->deliver(post, src, peer, kCtrlBytes);
+    if (peer_down(peer, request_at_peer)) {
+      a.server_down = true;
+      return a;
+    }
+    if (lose_leg(src, peer)) return a;  // request lost: peer never streams
+    const SimTime data = net_->deliver(request_at_peer, peer, src, bytes);
+    if (lose_leg(peer, src)) return a;  // data lost in flight (wire time spent)
+    a.ok = true;
+    a.done = data;
+    return a;
+  });
 }
 
-Scl::WriteResult Scl::rdma_write(SimTime t, net::NodeId src, net::NodeId peer,
-                                 std::size_t bytes) {
-  const SimTime visible = net_->deliver(t, src, peer, bytes);
-  // Local completion: the send queue drains once the payload is handed to
-  // the NIC; we approximate with the serialization component by charging a
-  // zero-byte self-delivery plus the payload time embedded in `visible`.
-  // A reliable-connection write is locally complete when the ack returns.
-  const SimTime acked = net_->deliver(visible, peer, src, kCtrlBytes);
-  return WriteResult{acked, visible};
+Completion Scl::rdma_write(SimTime t, net::NodeId src, net::NodeId peer,
+                           std::size_t bytes) {
+  return with_retries(t, bytes, [&](SimTime post) {
+    Attempt a;
+    const SimTime visible = net_->deliver(post, src, peer, bytes);
+    if (peer_down(peer, visible)) {
+      a.server_down = true;
+      return a;
+    }
+    if (lose_leg(src, peer)) return a;
+    // A reliable-connection write is locally complete when the ack returns;
+    // a lost ack re-drives the (idempotent) write.
+    const SimTime acked = net_->deliver(visible, peer, src, kCtrlBytes);
+    if (lose_leg(peer, src)) return a;
+    a.ok = true;
+    a.done = acked;
+    a.remote_visible = visible;
+    return a;
+  });
 }
 
-SimTime Scl::rpc(SimTime t, net::NodeId src, net::NodeId dst, std::size_t request_bytes,
-                 std::size_t response_bytes, sim::Resource& server, SimDuration service) {
-  const SimTime request_arrival = net_->deliver(t, src, dst, request_bytes);
-  const SimTime served = server.serve(request_arrival, service);
-  return net_->deliver(served, dst, src, response_bytes);
+Completion Scl::rpc(SimTime t, net::NodeId src, net::NodeId dst, std::size_t request_bytes,
+                    std::size_t response_bytes, sim::Resource& server,
+                    SimDuration service) {
+  return with_retries(t, request_bytes + response_bytes, [&](SimTime post) {
+    Attempt a;
+    const SimTime request_arrival = net_->deliver(post, src, dst, request_bytes);
+    if (peer_down(dst, request_arrival)) {
+      a.server_down = true;  // dead server books no service time
+      return a;
+    }
+    if (lose_leg(src, dst)) return a;  // request lost: never served
+    const SimTime served = server.serve(request_arrival, service);
+    const SimTime resp = net_->deliver(served, dst, src, response_bytes);
+    if (lose_leg(dst, src)) return a;  // response lost after service
+    a.ok = true;
+    a.done = resp;
+    return a;
+  });
 }
 
 namespace {
@@ -69,46 +139,96 @@ std::vector<PeerBatch> coalesce_by_peer(std::span<const Segment> segs) {
   return out;
 }
 
+std::size_t total_bytes(std::span<const Segment> segs) {
+  std::size_t n = 0;
+  for (const Segment& s : segs) n += s.bytes;
+  return n;
+}
+
 }  // namespace
 
-SimTime Scl::rdma_read_v(SimTime t, net::NodeId src, std::span<const Segment> segs) {
+Completion Scl::rdma_read_v(SimTime t, net::NodeId src, std::span<const Segment> segs) {
   SAM_EXPECT(!segs.empty(), "empty scatter-gather list");
   // One work request per peer: a single control message carries every
   // segment descriptor for that peer, then the peer HCA gathers the
   // payloads into one response stream. Work requests to distinct peers are
-  // posted back-to-back and overlap on the wire.
-  SimTime done = t;
-  for (const PeerBatch& b : coalesce_by_peer(segs)) {
-    const SimTime request_at_peer =
-        net_->deliver(t, src, b.node, kCtrlBytes + b.segments * kSegmentDescBytes);
-    done = std::max(done, net_->deliver(request_at_peer, b.node, src, b.bytes));
-  }
-  return done;
+  // posted back-to-back and overlap on the wire. A lost leg anywhere
+  // retries the whole work request batch.
+  const std::vector<PeerBatch> batches = coalesce_by_peer(segs);
+  return with_retries(t, total_bytes(segs), [&](SimTime post) {
+    Attempt a;
+    bool lost = false;
+    SimTime done = post;
+    for (const PeerBatch& b : batches) {
+      const SimTime request_at_peer =
+          net_->deliver(post, src, b.node, kCtrlBytes + b.segments * kSegmentDescBytes);
+      if (peer_down(b.node, request_at_peer)) {
+        a.server_down = true;
+        continue;
+      }
+      if (lose_leg(src, b.node)) {
+        lost = true;
+        continue;
+      }
+      const SimTime data = net_->deliver(request_at_peer, b.node, src, b.bytes);
+      if (lose_leg(b.node, src)) {
+        lost = true;
+        continue;
+      }
+      done = std::max(done, data);
+    }
+    if (a.server_down || lost) return a;
+    a.ok = true;
+    a.done = done;
+    return a;
+  });
 }
 
-Scl::WriteResult Scl::rdma_write_v(SimTime t, net::NodeId src,
-                                   std::span<const Segment> segs) {
+Completion Scl::rdma_write_v(SimTime t, net::NodeId src, std::span<const Segment> segs) {
   SAM_EXPECT(!segs.empty(), "empty scatter-gather list");
-  WriteResult r{t, t};
-  for (const PeerBatch& b : coalesce_by_peer(segs)) {
-    const SimTime visible =
-        net_->deliver(t, src, b.node, b.bytes + b.segments * kSegmentDescBytes);
-    const SimTime acked = net_->deliver(visible, b.node, src, kCtrlBytes);
-    r.remote_visible = std::max(r.remote_visible, visible);
-    r.local_complete = std::max(r.local_complete, acked);
-  }
-  return r;
+  const std::vector<PeerBatch> batches = coalesce_by_peer(segs);
+  return with_retries(t, total_bytes(segs), [&](SimTime post) {
+    Attempt a;
+    bool lost = false;
+    SimTime visible_max = post;
+    SimTime acked_max = post;
+    for (const PeerBatch& b : batches) {
+      const SimTime visible =
+          net_->deliver(post, src, b.node, b.bytes + b.segments * kSegmentDescBytes);
+      if (peer_down(b.node, visible)) {
+        a.server_down = true;
+        continue;
+      }
+      if (lose_leg(src, b.node)) {
+        lost = true;
+        continue;
+      }
+      const SimTime acked = net_->deliver(visible, b.node, src, kCtrlBytes);
+      if (lose_leg(b.node, src)) {
+        lost = true;
+        continue;
+      }
+      visible_max = std::max(visible_max, visible);
+      acked_max = std::max(acked_max, acked);
+    }
+    if (a.server_down || lost) return a;
+    a.ok = true;
+    a.done = acked_max;
+    a.remote_visible = visible_max;
+    return a;
+  });
 }
 
-std::vector<SimTime> Scl::rpc_v(SimTime t, net::NodeId src,
-                                std::span<const RpcRequest> reqs) {
-  std::vector<SimTime> done;
+std::vector<Completion> Scl::rpc_v(SimTime t, net::NodeId src,
+                                   std::span<const RpcRequest> reqs) {
+  std::vector<Completion> done;
   done.reserve(reqs.size());
   for (const RpcRequest& r : reqs) {
     SAM_EXPECT(r.server != nullptr, "rpc_v request without a server resource");
     // All requests are posted at `t`: they queue on src's send port inside
     // deliver(), but the remote service windows and responses overlap —
-    // that is the pipelining win over sequential rpc() calls.
+    // that is the pipelining win over sequential rpc() calls. Each request
+    // retries independently.
     done.push_back(rpc(t, src, r.dst, r.request_bytes, r.response_bytes, *r.server,
                        r.service));
   }

@@ -8,9 +8,19 @@
 // take the caller's current virtual time and return completion times,
 // booking contended resources (NIC ports, bus, server service loops) along
 // the way.
+//
+// Every verb is fault-aware: when a net::FaultPlan is configured, posted
+// legs can be dropped and memory-server peers can be inside crash windows.
+// The client side then runs a timer per attempt and reposts with
+// exponential backoff, so each verb returns a uniform scl::Completion
+// (completion time + net::Status + attempt count) instead of a bare
+// SimTime. With no plan configured the verbs execute the exact message
+// sequence they always did — fault handling is structurally off the hot
+// path, keeping fault-free runs bit-identical.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -20,7 +30,8 @@
 
 namespace sam::net {
 class NetworkModel;
-}
+class FaultPlan;
+}  // namespace sam::net
 
 namespace sam::scl {
 
@@ -47,50 +58,164 @@ struct RpcRequest {
   SimDuration service = 0;
 };
 
+/// Client-side reliability knobs: each attempt is covered by a sender timer
+/// of `timeout` ns; a lost attempt is reposted after an additional
+/// backoff * 2^(attempt-1) ns, at most `max_attempts` times in total.
+struct RetryPolicy {
+  SimDuration timeout = 200'000;
+  SimDuration backoff = 50'000;
+  unsigned max_attempts = 4;
+};
+
+/// Uniform outcome of every SCL verb.
+struct Completion {
+  SimTime done = 0;  ///< caller-side completion (or give-up) time
+  net::Status status = net::Status::kOk;
+  std::size_t bytes_moved = 0;    ///< payload the verb set out to move
+  unsigned attempts = 1;          ///< 1 = first try succeeded
+  SimTime remote_visible = 0;     ///< rdma_write*: payload landed at peer
+  SimDuration retry_wait_ns = 0;  ///< virtual time lost to timeouts + backoff
+
+  bool ok() const { return status == net::Status::kOk; }
+  /// Attempts whose sender timer fired (every attempt but a successful last).
+  unsigned failed_attempts() const { return ok() ? attempts - 1 : attempts; }
+};
+
 class Scl {
  public:
   explicit Scl(net::NetworkModel* net);
 
-  /// One-way message: returns arrival time at `dst`.
+  /// Attaches the fault plan and retry policy. A null plan (the default)
+  /// disables every fault check — the verbs book the identical deliver/serve
+  /// sequence as a build without fault tolerance.
+  void configure_faults(net::FaultPlan* plan, const RetryPolicy& policy);
+
+  /// Raw one-way message: returns arrival time at `dst`. Never consults the
+  /// fault plan — manager-originated grant/unblock/release legs use this so
+  /// a fault can never strand a waiter the manager believes it has woken.
   SimTime send(SimTime t, net::NodeId src, net::NodeId dst, std::size_t bytes);
 
+  /// Fault-aware client-posted one-way leg (sync requests, flush posts):
+  /// like send(), but the leg can be dropped or hit a dead peer, in which
+  /// case the client times out and reposts. `done` is the arrival time at
+  /// `dst` of the attempt that got through.
+  Completion request(SimTime t, net::NodeId src, net::NodeId dst, std::size_t bytes);
+
   /// One-sided read of `bytes` from `peer` into `src`'s memory.
-  /// Returns completion time at `src` (request out, data back).
-  SimTime rdma_read(SimTime t, net::NodeId src, net::NodeId peer, std::size_t bytes);
+  /// `done` is the completion time at `src` (request out, data back).
+  Completion rdma_read(SimTime t, net::NodeId src, net::NodeId peer, std::size_t bytes);
 
-  struct WriteResult {
-    SimTime local_complete;  ///< source may reuse its buffer
-    SimTime remote_visible;  ///< bytes are in the peer's memory
-  };
-
-  /// One-sided write of `bytes` from `src` into `peer`'s memory.
-  WriteResult rdma_write(SimTime t, net::NodeId src, net::NodeId peer, std::size_t bytes);
+  /// One-sided write of `bytes` from `src` into `peer`'s memory. `done` is
+  /// local completion (ack returned, buffer reusable); `remote_visible` is
+  /// when the bytes are in the peer's memory.
+  Completion rdma_write(SimTime t, net::NodeId src, net::NodeId peer, std::size_t bytes);
 
   /// Two-sided request/response: the request queues at `server` (the remote
   /// service loop) for `service` time before the response is sent.
-  /// Returns the response arrival time at `src`.
-  SimTime rpc(SimTime t, net::NodeId src, net::NodeId dst, std::size_t request_bytes,
-              std::size_t response_bytes, sim::Resource& server, SimDuration service);
+  /// `done` is the response arrival time at `src`.
+  Completion rpc(SimTime t, net::NodeId src, net::NodeId dst, std::size_t request_bytes,
+                 std::size_t response_bytes, sim::Resource& server, SimDuration service);
 
   /// Scatter-gather read: one work request per distinct peer in `segs`
   /// carrying all of that peer's segment descriptors; the peer HCA streams
   /// one gathered payload back. Segments to distinct peers overlap (they
-  /// contend only on src's ports); returns the time the last payload lands.
-  SimTime rdma_read_v(SimTime t, net::NodeId src, std::span<const Segment> segs);
+  /// contend only on src's ports); `done` is when the last payload lands.
+  /// Any lost leg retries the whole work request.
+  Completion rdma_read_v(SimTime t, net::NodeId src, std::span<const Segment> segs);
 
   /// Scatter-gather write: one gathered message per distinct peer.
-  /// local_complete / remote_visible are the max over all peers.
-  WriteResult rdma_write_v(SimTime t, net::NodeId src, std::span<const Segment> segs);
+  /// `done` / `remote_visible` are the max over all peers.
+  Completion rdma_write_v(SimTime t, net::NodeId src, std::span<const Segment> segs);
 
   /// Pipelined RPC fan-out: every request is posted at time `t` (they
   /// serialize on src's send port but their service windows and responses
-  /// overlap). Returns the per-request response arrival times, same order.
-  std::vector<SimTime> rpc_v(SimTime t, net::NodeId src, std::span<const RpcRequest> reqs);
+  /// overlap). Each request retries independently; same order as `reqs`.
+  std::vector<Completion> rpc_v(SimTime t, net::NodeId src,
+                                std::span<const RpcRequest> reqs);
+
+  // -- building blocks ------------------------------------------------------
+  // Multi-leg choreographies (demand paging's send/serve_batch/send, the
+  // batched flush) interleave transport legs with engine-side service calls
+  // that no single verb models. They reuse the same timer/backoff machinery
+  // through with_retries() + the per-leg fault queries below.
+
+  /// Outcome of one attempt of a with_retries() body.
+  struct Attempt {
+    bool ok = false;
+    SimTime done = 0;            ///< valid when ok
+    SimTime remote_visible = 0;  ///< optional (write-like attempts)
+    bool server_down = false;    ///< failure cause when !ok
+  };
+
+  /// Runs `fn(post_time)` under the retry policy: a failed attempt charges
+  /// one timeout, then reposts with exponential backoff. Server-down
+  /// failures abort after the first timeout (callers fail over instead of
+  /// burning the full retry budget). Single-attempt policies that lose the
+  /// leg report kTimeout; exhausted multi-attempt loops kRetriesExhausted.
+  template <typename Fn>
+  Completion with_retries(SimTime t, std::size_t bytes_moved, Fn&& fn) {
+    Completion c;
+    c.bytes_moved = bytes_moved;
+    SimTime post = t;
+    for (unsigned a = 1;; ++a) {
+      ++counters_.attempts;
+      const Attempt out = fn(post);
+      c.attempts = a;
+      if (out.ok) {
+        c.done = out.done;
+        c.remote_visible = out.remote_visible;
+        c.retry_wait_ns = post - t;
+        return c;
+      }
+      ++counters_.timeouts;
+      c.done = post + policy_.timeout;  // sender timer fires
+      c.retry_wait_ns = c.done - t;
+      if (out.server_down) {
+        ++counters_.server_down_aborts;
+        c.status = net::Status::kServerDown;
+        return c;
+      }
+      if (a >= policy_.max_attempts) {
+        ++counters_.exhausted;
+        c.status = a == 1 ? net::Status::kTimeout : net::Status::kRetriesExhausted;
+        return c;
+      }
+      ++counters_.retries;
+      post = c.done + (policy_.backoff << (a - 1));
+    }
+  }
+
+  /// One fault-plan drop query for a posted leg src->dst. False (and no RNG
+  /// draw) when no plan is configured or link faults are off.
+  bool lose_leg(net::NodeId src, net::NodeId dst);
+
+  /// True when `peer` sits inside a crash window at time `at`.
+  bool peer_down(net::NodeId peer, SimTime at) const;
+
+  /// True when any per-leg fault check could fire (plan configured and
+  /// non-trivial) — lets hot paths skip fault bookkeeping entirely.
+  bool faults_possible() const;
+
+  const RetryPolicy& retry_policy() const { return policy_; }
+  net::FaultPlan* fault_plan() { return plan_; }
+
+  /// Cumulative client-side reliability counters across all verbs.
+  struct Counters {
+    std::uint64_t attempts = 0;  ///< attempt legs posted (>= verb calls)
+    std::uint64_t retries = 0;   ///< reposts after a timeout
+    std::uint64_t timeouts = 0;  ///< sender timers that fired
+    std::uint64_t server_down_aborts = 0;
+    std::uint64_t exhausted = 0;  ///< verbs that gave up (kTimeout/kRetriesExhausted)
+  };
+  const Counters& counters() const { return counters_; }
 
   net::NetworkModel& network() { return *net_; }
 
  private:
   net::NetworkModel* net_;
+  net::FaultPlan* plan_ = nullptr;
+  RetryPolicy policy_;
+  Counters counters_;
 };
 
 }  // namespace sam::scl

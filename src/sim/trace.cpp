@@ -25,6 +25,8 @@ const char* to_string(TraceKind kind) {
     case TraceKind::kAlloc: return "alloc";
     case TraceKind::kBatchFetch: return "batch_fetch";
     case TraceKind::kBatchFlush: return "batch_flush";
+    case TraceKind::kRetry: return "retry";
+    case TraceKind::kFailover: return "failover";
   }
   return "?";
 }
@@ -40,6 +42,7 @@ const char* to_string(SpanCat cat) {
     case SpanCat::kBatchRpc: return "batch_rpc";
     case SpanCat::kDemandMiss: return "demand_miss";
     case SpanCat::kFlushRpc: return "flush_rpc";
+    case SpanCat::kRecovery: return "recovery";
   }
   return "?";
 }

@@ -33,6 +33,8 @@ enum class TraceKind : std::uint8_t {
   kAlloc,
   kBatchFetch,  ///< object = first line id, detail = segments in the batch
   kBatchFlush,  ///< object = first line id, detail = segments in the batch
+  kRetry,       ///< object = line/lock id, detail = reposts the verb needed
+  kFailover,    ///< object = line id, detail = replica node that covered
 };
 
 const char* to_string(TraceKind kind);
@@ -62,6 +64,8 @@ enum class SpanCat : std::uint8_t {
                  ///< miss from request post to line installed
   kFlushRpc,     ///< track = thread, object = line id: consistency-engine
                  ///< diff flush RPC from post to ack
+  kRecovery,     ///< track = thread, object = line id: fault recovery window
+                 ///< (first timeout/failover to the operation completing)
 };
 
 const char* to_string(SpanCat cat);

@@ -1,0 +1,375 @@
+// Fault-tolerance tests: the FaultPlan spec language, the SCL retry/timeout/
+// backoff machinery behind the Completion API, memory-server failover in the
+// paging engine, and the fail-fast config validation for the fault knobs.
+//
+// Two invariants anchor everything:
+//   1. With fault_plan = none (the default), behaviour is bit-identical to a
+//      plan-free build — checked here against a default-config run.
+//   2. With any plan, functional results never change; only virtual time
+//      and the recovery counters do.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "apps/jacobi.hpp"
+#include "apps/microbench.hpp"
+#include "core/report.hpp"
+#include "core/samhita_runtime.hpp"
+#include "net/fault_plan.hpp"
+#include "net/network_model.hpp"
+#include "scl/scl.hpp"
+#include "sim/resource.hpp"
+#include "util/expect.hpp"
+
+namespace sam {
+namespace {
+
+// ---------------------------------------------------------------------------
+// FaultPlan parsing
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlan, DefaultIsInactive) {
+  net::FaultPlan plan;
+  EXPECT_FALSE(plan.active());
+  EXPECT_FALSE(plan.has_crashes());
+  EXPECT_FALSE(plan.link_faults_possible());
+  EXPECT_EQ(plan.summary(), "none");
+}
+
+TEST(FaultPlan, ParsesCannedNames) {
+  EXPECT_DOUBLE_EQ(net::FaultPlan::parse("flaky-links", 1).drop_probability(), 0.02);
+  EXPECT_DOUBLE_EQ(net::FaultPlan::parse("latency-spikes", 1).spike_probability(), 0.05);
+  EXPECT_EQ(net::FaultPlan::parse("latency-spikes", 1).spike_ns(), 40'000u);
+  const auto crash = net::FaultPlan::parse("server-crash", 1);
+  ASSERT_EQ(crash.crash_windows().size(), 1u);
+  EXPECT_EQ(crash.crash_windows()[0].node, 0u);
+  EXPECT_FALSE(net::FaultPlan::parse("none", 1).active());
+}
+
+TEST(FaultPlan, ParsesClauseSpec) {
+  const auto plan = net::FaultPlan::parse("drop=0.1;spike=0.2:5000;crash=1:100:200", 7);
+  EXPECT_DOUBLE_EQ(plan.drop_probability(), 0.1);
+  EXPECT_DOUBLE_EQ(plan.spike_probability(), 0.2);
+  EXPECT_EQ(plan.spike_ns(), 5000u);
+  ASSERT_EQ(plan.crash_windows().size(), 1u);
+  EXPECT_EQ(plan.crash_windows()[0].node, 1u);
+  EXPECT_EQ(plan.summary(), "drop=0.1;spike=0.2:5000;crash=1:100:200");
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs) {
+  EXPECT_THROW(net::FaultPlan::parse("token-ring", 1), util::ContractViolation);
+  EXPECT_THROW(net::FaultPlan::parse("drop=", 1), util::ContractViolation);
+  EXPECT_THROW(net::FaultPlan::parse("drop=2.0", 1), util::ContractViolation);
+  EXPECT_THROW(net::FaultPlan::parse("spike=0.1", 1), util::ContractViolation);
+  EXPECT_THROW(net::FaultPlan::parse("crash=0:200:100", 1), util::ContractViolation);
+}
+
+TEST(FaultPlan, DropStreamIsSeedDeterministic) {
+  auto a = net::FaultPlan::parse("drop=0.3", 42);
+  auto b = net::FaultPlan::parse("drop=0.3", 42);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.drop_message(0, 1), b.drop_message(0, 1));
+  }
+  EXPECT_EQ(a.drops_injected(), b.drops_injected());
+  EXPECT_GT(a.drops_injected(), 0u);
+}
+
+TEST(FaultPlan, CrashWindowIsHalfOpen) {
+  const auto plan = net::FaultPlan::parse("crash=0:100:200", 1);
+  EXPECT_FALSE(plan.server_down(0, 99));
+  EXPECT_TRUE(plan.server_down(0, 100));
+  EXPECT_TRUE(plan.server_down(0, 199));
+  EXPECT_FALSE(plan.server_down(0, 200));
+  EXPECT_FALSE(plan.server_down(1, 150));  // other nodes unaffected
+  EXPECT_EQ(plan.server_up_at(0, 150), 200u);
+  EXPECT_EQ(plan.server_up_at(0, 250), 250u);  // already up
+}
+
+// ---------------------------------------------------------------------------
+// Config validation (fail-fast, CLI-worthy messages)
+// ---------------------------------------------------------------------------
+
+TEST(FaultConfig, RejectsReplicaOutOfRange) {
+  core::SamhitaConfig cfg;
+  cfg.memory_servers = 2;
+  cfg.replica_server = 2;  // valid ids are 0 and 1
+  EXPECT_THROW(core::SamhitaRuntime{cfg}, util::ContractViolation);
+}
+
+TEST(FaultConfig, RejectsTimeoutBelowNetworkRtt) {
+  core::SamhitaConfig cfg;
+  cfg.fault_plan = "flaky-links";
+  cfg.retry_timeout = 100;  // far below one IB round trip
+  EXPECT_THROW(core::SamhitaRuntime{cfg}, util::ContractViolation);
+}
+
+TEST(FaultConfig, RejectsZeroAttempts) {
+  core::SamhitaConfig cfg;
+  cfg.retry_max_attempts = 0;
+  EXPECT_THROW(core::SamhitaRuntime{cfg}, util::ContractViolation);
+}
+
+TEST(FaultConfig, RejectsCrashOnNonServerNode) {
+  core::SamhitaConfig cfg;
+  cfg.memory_servers = 2;
+  cfg.replica_server = 1;
+  cfg.fault_plan = "crash=5:0:1000";  // node 5 is a compute node
+  EXPECT_THROW(core::SamhitaRuntime{cfg}, util::ContractViolation);
+}
+
+TEST(FaultConfig, RejectsCrashWithoutReplicaCandidate) {
+  core::SamhitaConfig cfg;
+  cfg.memory_servers = 1;  // nowhere to fail over to
+  cfg.fault_plan = "crash=0:0:1000";
+  EXPECT_THROW(core::SamhitaRuntime{cfg}, util::ContractViolation);
+}
+
+TEST(FaultConfig, RejectsCrashOfTheReplicaItself) {
+  core::SamhitaConfig cfg;
+  cfg.memory_servers = 2;
+  cfg.replica_server = 0;
+  cfg.fault_plan = "crash=0:0:1000";  // failover would target the dead server
+  EXPECT_THROW(core::SamhitaRuntime{cfg}, util::ContractViolation);
+}
+
+// ---------------------------------------------------------------------------
+// SCL retry machinery (directed, against a bare Scl)
+// ---------------------------------------------------------------------------
+
+struct SclHarness {
+  net::IBFabricModel ib{2, net::IBFabricModel::qdr_defaults()};
+  net::FaultPlan plan;
+  scl::Scl s{&ib};
+  explicit SclHarness(const scl::RetryPolicy& policy = {}) {
+    s.configure_faults(&plan, policy);
+  }
+};
+
+TEST(SclRetry, TimeoutThenRetrySucceeds) {
+  SclHarness h;
+  h.plan.force_drops(1);  // first leg lost, second attempt clean
+  const scl::Completion c = h.s.rdma_read(0, 0, 1, 4096);
+  EXPECT_TRUE(c.ok());
+  EXPECT_EQ(c.attempts, 2u);
+  EXPECT_EQ(c.failed_attempts(), 1u);
+  // The retry waited out one timeout plus one backoff before reposting.
+  EXPECT_GE(c.retry_wait_ns, h.s.retry_policy().timeout + h.s.retry_policy().backoff);
+  EXPECT_EQ(h.plan.drops_injected(), 1u);
+  EXPECT_EQ(h.s.counters().retries, 1u);
+  EXPECT_EQ(h.s.counters().timeouts, 1u);
+}
+
+TEST(SclRetry, BackoffGrowsExponentially) {
+  SclHarness h;
+  h.plan.force_drops(2);  // attempts 1 and 2 lost, attempt 3 lands
+  const scl::Completion c = h.s.request(0, 0, 1, 64);
+  EXPECT_TRUE(c.ok());
+  EXPECT_EQ(c.attempts, 3u);
+  // Repost schedule: fail at T, repost at T+B; fail at 2T+B, repost at
+  // 2T+3B (backoff doubles). retry_wait_ns is the last repost offset.
+  const SimDuration T = h.s.retry_policy().timeout;
+  const SimDuration B = h.s.retry_policy().backoff;
+  EXPECT_EQ(c.retry_wait_ns, 2 * T + 3 * B);
+}
+
+TEST(SclRetry, ExhaustionReportsRetriesExhausted) {
+  scl::RetryPolicy policy;
+  policy.max_attempts = 3;
+  SclHarness h(policy);
+  h.plan.force_drops(3);  // every attempt loses a leg
+  const scl::Completion c = h.s.rdma_write(0, 0, 1, 4096);
+  EXPECT_FALSE(c.ok());
+  EXPECT_EQ(c.status, net::Status::kRetriesExhausted);
+  EXPECT_EQ(c.attempts, 3u);
+  EXPECT_EQ(c.failed_attempts(), 3u);
+  EXPECT_EQ(h.s.counters().exhausted, 1u);
+  // done = last repost + timeout: the caller knows when to re-drive.
+  EXPECT_GT(c.done, 2 * h.s.retry_policy().timeout);
+}
+
+TEST(SclRetry, SingleAttemptPolicyReportsTimeout) {
+  scl::RetryPolicy policy;
+  policy.max_attempts = 1;
+  SclHarness h(policy);
+  h.plan.force_drops(1);
+  const scl::Completion c = h.s.request(0, 0, 1, 64);
+  EXPECT_FALSE(c.ok());
+  EXPECT_EQ(c.status, net::Status::kTimeout);
+  EXPECT_EQ(c.attempts, 1u);
+}
+
+TEST(SclRetry, CrashedPeerAbortsAfterOneTimeout) {
+  SclHarness h;
+  h.plan = net::FaultPlan::parse("crash=1:0:10000000", 1);
+  sim::Resource server("srv");
+  const scl::Completion c = h.s.rpc(0, 0, 1, 64, 64, server, 10'000);
+  EXPECT_FALSE(c.ok());
+  EXPECT_EQ(c.status, net::Status::kServerDown);
+  EXPECT_EQ(c.attempts, 1u);  // fast failover: no pointless re-sends
+  EXPECT_EQ(server.request_count(), 0u);  // a dead server serves nothing
+  EXPECT_EQ(h.s.counters().server_down_aborts, 1u);
+}
+
+TEST(SclRetry, VectoredVerbRetriesWholeBatch) {
+  SclHarness h;
+  h.plan.force_drops(1);
+  const scl::Segment segs[] = {{1, 4096}, {1, 4096}};
+  const scl::Completion c = h.s.rdma_read_v(0, 0, segs);
+  EXPECT_TRUE(c.ok());
+  EXPECT_EQ(c.attempts, 2u);
+  EXPECT_EQ(c.bytes_moved, 8192u);
+}
+
+TEST(SclRetry, FaultFreeVerbsReportOneAttempt) {
+  SclHarness h;  // plan attached but inactive
+  const scl::Completion c = h.s.rdma_read(0, 0, 1, 4096);
+  EXPECT_TRUE(c.ok());
+  EXPECT_EQ(c.attempts, 1u);
+  EXPECT_EQ(c.retry_wait_ns, 0u);
+  EXPECT_EQ(h.s.counters().attempts, 1u);
+  EXPECT_EQ(h.s.counters().retries, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Whole-system behaviour under fault plans
+// ---------------------------------------------------------------------------
+
+apps::MicrobenchParams small_micro() {
+  apps::MicrobenchParams p;
+  p.threads = 4;
+  p.N = 4;
+  p.M = 4;
+  p.S = 2;
+  p.B = 128;
+  p.alloc = apps::MicrobenchAlloc::kGlobalStrided;
+  return p;
+}
+
+TEST(FaultRuns, FaultOffIsBitIdenticalToDefault) {
+  core::SamhitaRuntime plain{core::SamhitaConfig{}};
+  const auto r0 = apps::run_microbench(plain, small_micro());
+
+  core::SamhitaConfig cfg;
+  cfg.fault_plan = "none";  // explicit, plus non-default retry knobs
+  cfg.retry_timeout = 500'000;
+  cfg.retry_max_attempts = 2;
+  core::SamhitaRuntime explicit_off{cfg};
+  const auto r1 = apps::run_microbench(explicit_off, small_micro());
+
+  EXPECT_EQ(r0.gsum, r1.gsum);
+  EXPECT_EQ(r0.elapsed_seconds, r1.elapsed_seconds);  // exact: same event sequence
+  const auto s0 = core::summarize(plain);
+  const auto s1 = core::summarize(explicit_off);
+  EXPECT_EQ(s0.network_messages, s1.network_messages);
+  EXPECT_EQ(s0.network_bytes, s1.network_bytes);
+  EXPECT_EQ(s1.scl_retries, 0u);
+  EXPECT_EQ(s1.failovers, 0u);
+  EXPECT_EQ(s1.recovery_seconds, 0.0);
+}
+
+TEST(FaultRuns, FlakyLinksPreserveResultsAndCostTime) {
+  core::SamhitaRuntime clean{core::SamhitaConfig{}};
+  const auto r_clean = apps::run_microbench(clean, small_micro());
+
+  core::SamhitaConfig cfg;
+  cfg.fault_plan = "drop=0.05";
+  core::SamhitaRuntime flaky{cfg};
+  flaky.fault_plan().force_drops(1);  // at least one injected fault, any seed
+  const auto r_flaky = apps::run_microbench(flaky, small_micro());
+
+  EXPECT_EQ(r_clean.gsum, r_flaky.gsum);  // functional result invariant
+  EXPECT_GT(r_flaky.elapsed_seconds, r_clean.elapsed_seconds);
+  const auto s = core::summarize(flaky);
+  EXPECT_GT(s.scl_retries + s.scl_timeouts, 0u);
+  EXPECT_GT(s.recovery_seconds, 0.0);
+  EXPECT_GT(flaky.fault_plan().drops_injected(), 0u);
+}
+
+TEST(FaultRuns, FlakyRunsAreSeedDeterministic) {
+  core::SamhitaConfig cfg;
+  cfg.fault_plan = "flaky-links";
+  cfg.fault_seed = 99;
+  core::SamhitaRuntime a{cfg};
+  core::SamhitaRuntime b{cfg};
+  const auto ra = apps::run_microbench(a, small_micro());
+  const auto rb = apps::run_microbench(b, small_micro());
+  EXPECT_EQ(ra.gsum, rb.gsum);
+  EXPECT_EQ(ra.elapsed_seconds, rb.elapsed_seconds);
+  EXPECT_EQ(a.fault_plan().drops_injected(), b.fault_plan().drops_injected());
+  EXPECT_EQ(core::summarize(a).scl_retries, core::summarize(b).scl_retries);
+}
+
+TEST(FaultRuns, ServerCrashFailsOverToReplica) {
+  core::SamhitaRuntime clean{core::SamhitaConfig{}};
+  const auto r_clean = apps::run_microbench(clean, small_micro());
+
+  core::SamhitaConfig cfg;
+  cfg.memory_servers = 2;
+  cfg.replica_server = 1;
+  cfg.fault_plan = "server-crash";  // node 0 dark through startup
+  core::SamhitaRuntime crashed{cfg};
+  const auto r = apps::run_microbench(crashed, small_micro());
+
+  EXPECT_EQ(r.gsum, r_clean.gsum);  // replica serves the same bytes
+  const auto s = core::summarize(crashed);
+  EXPECT_GT(s.failovers, 0u);
+  EXPECT_GT(s.scl_timeouts, 0u);
+  EXPECT_GT(s.recovery_seconds, 0.0);
+}
+
+TEST(FaultRuns, MidRunCrashRedrivesFlushes) {
+  // Window chosen to land inside jacobi's iteration phase: dirty-line
+  // flushes aimed at the dead home server must wait out the outage and
+  // re-drive (dirty data may only land on the home), then the run completes
+  // with the exact fault-free residual.
+  apps::JacobiParams p;
+  p.threads = 4;
+  p.n = 64;
+  p.iterations = 6;
+
+  core::SamhitaRuntime clean{core::SamhitaConfig{}};
+  const auto r_clean = apps::run_jacobi(clean, p);
+
+  core::SamhitaConfig cfg;
+  cfg.memory_servers = 2;
+  cfg.replica_server = 1;
+  cfg.fault_plan = "crash=0:300000:900000";
+  core::SamhitaRuntime crashed{cfg};
+  const auto r = apps::run_jacobi(crashed, p);
+
+  EXPECT_EQ(r.final_residual, r_clean.final_residual);
+  const auto s = core::summarize(crashed);
+  EXPECT_GT(s.scl_timeouts, 0u);
+  EXPECT_GT(s.recovery_seconds, 0.0);
+}
+
+TEST(FaultRuns, CrossShardSyncSurvivesDrops) {
+  // Sharded manager + flaky links: lock/unlock/barrier request legs to every
+  // shard are retried until they land, so the locked counter still totals.
+  core::SamhitaConfig cfg;
+  cfg.manager_shards = 2;
+  cfg.fault_plan = "drop=0.05";
+  cfg.fault_seed = 3;
+  core::SamhitaRuntime rt{cfg};
+  const auto m = rt.create_mutex();
+  const auto b = rt.create_barrier(4);
+  rt::Addr a = 0;
+  rt.parallel_run(4, [&](rt::ThreadCtx& ctx) {
+    if (ctx.index() == 0) {
+      a = ctx.alloc_shared(sizeof(double));
+      ctx.write<double>(a, 0.0);
+    }
+    ctx.barrier(b);
+    for (int i = 0; i < 25; ++i) {
+      ctx.lock(m);
+      ctx.write<double>(a, ctx.read<double>(a) + 1.0);
+      ctx.unlock(m);
+    }
+    ctx.barrier(b);
+  });
+  EXPECT_EQ(rt.read_global_array<double>(a, 1)[0], 100.0);
+  EXPECT_GT(rt.fault_plan().drops_injected(), 0u);
+}
+
+}  // namespace
+}  // namespace sam

@@ -81,24 +81,28 @@ TEST(NetworkModel, NodeRangeChecked) {
 TEST(Scl, RdmaReadIsRoundTrip) {
   net::IBFabricModel ib(2, net::IBFabricModel::qdr_defaults());
   scl::Scl s(&ib);
-  const SimTime done = s.rdma_read(0, 0, 1, 16384);
+  const scl::Completion c = s.rdma_read(0, 0, 1, 16384);
+  EXPECT_TRUE(c.ok());
+  EXPECT_EQ(c.attempts, 1u);
+  EXPECT_EQ(c.bytes_moved, 16384u);
   // Must cost at least two one-way latencies plus data serialization.
-  EXPECT_GT(done, 2 * 1900u);
+  EXPECT_GT(c.done, 2 * 1900u);
 }
 
 TEST(Scl, RdmaWriteRemoteVisibleBeforeLocalAck) {
   net::IBFabricModel ib(2, net::IBFabricModel::qdr_defaults());
   scl::Scl s(&ib);
-  const auto w = s.rdma_write(0, 0, 1, 4096);
-  EXPECT_LT(w.remote_visible, w.local_complete);
+  const scl::Completion w = s.rdma_write(0, 0, 1, 4096);
+  EXPECT_TRUE(w.ok());
+  EXPECT_LT(w.remote_visible, w.done);  // ack lands after the payload
 }
 
 TEST(Scl, RpcIncludesServiceAndQueueing) {
   net::IBFabricModel ib(2, net::IBFabricModel::qdr_defaults());
   scl::Scl s(&ib);
   sim::Resource server("srv");
-  const SimTime r1 = s.rpc(0, 0, 1, 64, 64, server, 10'000);
-  const SimTime r2 = s.rpc(0, 0, 1, 64, 64, server, 10'000);
+  const SimTime r1 = s.rpc(0, 0, 1, 64, 64, server, 10'000).done;
+  const SimTime r2 = s.rpc(0, 0, 1, 64, 64, server, 10'000).done;
   EXPECT_GT(r1, 10'000u + 2 * 1900u);
   EXPECT_GT(r2, r1);  // queued behind the first at the server
   EXPECT_EQ(server.request_count(), 2u);

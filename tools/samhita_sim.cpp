@@ -19,6 +19,11 @@
 //   --finegrain=bool --consistency-policy=regc|eager_rc
 //   --manager-shards=N --manager-placement=dedicated|colocated
 //
+// Fault-tolerance flags (docs/protocol.md §11):
+//   --fault-plan=none|flaky-links|latency-spikes|server-crash|<spec>
+//   --fault-seed=N --retry-timeout=NS --retry-backoff=NS
+//   --retry-max-attempts=N --replica-server=N
+//
 // Observability flags (any of them implicitly enables protocol tracing):
 //   --trace=<path>        protocol event CSV (columns: docs/protocol.md §9)
 //   --trace-json=<path>   Chrome/Perfetto trace_event JSON; load the file in
@@ -87,6 +92,17 @@ core::SamhitaConfig config_from_args(const util::ArgParser& args) {
              "--placement wants block|scatter");
   cfg.placement =
       placement == "block" ? core::Placement::kBlock : core::Placement::kScatter;
+  cfg.fault_plan = args.get_string("fault-plan", cfg.fault_plan);
+  cfg.fault_seed = static_cast<std::uint64_t>(
+      args.get_int("fault-seed", static_cast<std::int64_t>(cfg.fault_seed)));
+  cfg.retry_timeout = static_cast<SimDuration>(
+      args.get_int("retry-timeout", static_cast<std::int64_t>(cfg.retry_timeout)));
+  cfg.retry_backoff = static_cast<SimDuration>(
+      args.get_int("retry-backoff", static_cast<std::int64_t>(cfg.retry_backoff)));
+  cfg.retry_max_attempts =
+      static_cast<unsigned>(args.get_int("retry-max-attempts", cfg.retry_max_attempts));
+  cfg.replica_server =
+      static_cast<unsigned>(args.get_int("replica-server", cfg.replica_server));
   // Every observability consumer feeds on the protocol trace, so any of the
   // switches that need one turns tracing on.
   cfg.trace_enabled = args.has("trace") || args.has("trace-json") ||
