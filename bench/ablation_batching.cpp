@@ -30,7 +30,8 @@ int main(int argc, char** argv) {
                " strided micro-benchmark, 4 memory servers\n";
   csv->header({"figure", "policy", "max_batch_lines", "flush_pipeline", "compute_seconds",
                "sync_seconds", "misses", "prefetch_hits", "prefetch_unused",
-               "batched_fetches", "batched_flushes", "overlap_saved_seconds"});
+               "batched_fetches", "batched_flushes", "overlap_saved_seconds",
+               "sim_events_per_sec"});
 
   apps::MicrobenchParams p;
   p.threads = opt.quick ? 8 : 16;
@@ -59,11 +60,15 @@ int main(int argc, char** argv) {
                       std::to_string(r.mean_sync_seconds), std::to_string(s.cache_misses),
                       std::to_string(s.prefetch_hits), std::to_string(s.prefetch_unused),
                       std::to_string(s.batched_fetches), std::to_string(s.batched_flushes),
-                      std::to_string(s.flush_overlap_saved_seconds)});
+                      std::to_string(s.flush_overlap_saved_seconds),
+                      std::to_string(s.sim_events_per_sec)});
         const std::string key = std::string("strided_") + core::to_string(policy) + "_b" +
                                 std::to_string(batch) + (pipeline ? "_pipe" : "_seq");
         baseline[key + "_compute_seconds"] = r.mean_compute_seconds;
         baseline[key + "_sync_seconds"] = r.mean_sync_seconds;
+        // Host-throughput telemetry: recorded in fresh baselines so runs can
+        // be compared across machines, never gated (wall-clock is noisy).
+        baseline[key + "_sim_events_per_sec"] = s.sim_events_per_sec;
       }
     }
   }

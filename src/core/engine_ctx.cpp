@@ -52,4 +52,23 @@ void EngineCtx::trace_span(SimTime begin, SimTime end, sim::SpanCat cat,
   rt->trace_.record_span(begin, end, idx, cat, object);
 }
 
+std::uint64_t EngineCtx::mint_trace_id() const { return rt->trace_.next_trace_id(); }
+
+void EngineCtx::note_trace_parent(std::uint64_t child, std::uint64_t parent) const {
+  rt->trace_.note_parent(child, parent);
+}
+
+OpScope::OpScope(const EngineCtx& ec) : thread_(ec.sim_thread) {
+  id_ = ec.mint_trace_id();
+  if (id_ == 0 || thread_ == nullptr) return;
+  prev_ = thread_->trace_ctx();
+  if (prev_ != 0) ec.note_trace_parent(id_, prev_);
+  thread_->set_trace_ctx(id_);
+}
+
+OpScope::~OpScope() {
+  if (id_ == 0 || thread_ == nullptr) return;
+  thread_->set_trace_ctx(prev_);
+}
+
 }  // namespace sam::core

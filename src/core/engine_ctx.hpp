@@ -61,6 +61,36 @@ struct EngineCtx {
   void trace(sim::TraceKind kind, std::uint64_t object, std::uint64_t detail) const;
   /// Records a span event on this thread's track (no-op unless tracing).
   void trace_span(SimTime begin, SimTime end, sim::SpanCat cat, std::uint64_t object) const;
+
+  /// Mints a run-unique causal trace id (0 when tracing is disabled).
+  std::uint64_t mint_trace_id() const;
+  /// Records a causal parent edge between two minted ids (see
+  /// sim::TraceBuffer::note_parent).
+  void note_trace_parent(std::uint64_t child, std::uint64_t parent) const;
+};
+
+/// RAII frame for one logical operation (demand miss, flush RPC, sync verb,
+/// prefetch): mints a trace id, links it to the enclosing operation (if any)
+/// as its causal parent, and installs it as the thread's active trace
+/// context so every event and span recorded while the scope is live — cache
+/// events, link transfers, server/manager service windows, retry/failover
+/// and recovery legs — carries the id. Scopes nest (a flush forced by a
+/// demand miss's eviction becomes the miss's child) and restore the previous
+/// context on exit. Fully inert when tracing is disabled.
+class OpScope {
+ public:
+  explicit OpScope(const EngineCtx& ec);
+  ~OpScope();
+
+  OpScope(const OpScope&) = delete;
+  OpScope& operator=(const OpScope&) = delete;
+
+  std::uint64_t id() const { return id_; }
+
+ private:
+  sim::SimThread* thread_ = nullptr;
+  std::uint64_t id_ = 0;
+  std::uint64_t prev_ = 0;
 };
 
 }  // namespace sam::core

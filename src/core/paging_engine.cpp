@@ -30,6 +30,7 @@ void PagingEngine::issue_prefetch(LineId line) {
   if (cache().resident_lines() + 1 > cache().capacity_lines()) return;  // don't evict for a guess
   if (policy_->has_remote_dirty_holder(line)) return;  // demand path will pull diffs
 
+  const OpScope op(*ec_);
   mem::MemoryServer& server = rt_->home_server(first);
   const std::size_t bytes = cfg.line_bytes();
   // Asynchronous request: transport + service booked now, the thread does
@@ -103,8 +104,11 @@ PageCache::Line& PagingEngine::ensure_line(LineId line, Bucket bucket) {
     return *hit;
   }
 
-  // Demand miss.
+  // Demand miss. The op scope spans the whole choreography — eviction
+  // flushes mint child ids, and the retry/failover legs, service windows and
+  // follow-on prefetch batches all inherit this id.
   ++metrics().cache_misses;
+  const OpScope op(*ec_);
   trace(sim::TraceKind::kCacheMiss, line, cfg.line_bytes());
   evict_for_space(bucket);
 
@@ -296,6 +300,7 @@ void PagingEngine::issue_prefetch_batches(const std::vector<LineId>& candidates)
 
 void PagingEngine::issue_prefetch_rpc(mem::MemoryServer& server,
                                       std::span<const LineId> lines) {
+  const OpScope op(*ec_);
   const auto& cfg = rt_->config();
   const std::size_t bytes = cfg.line_bytes();
   const std::size_t total = bytes * lines.size();

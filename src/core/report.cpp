@@ -40,6 +40,12 @@ RunSummary summarize(const SamhitaRuntime& runtime) {
   s.network_bytes = runtime.network_bytes();
   s.drops_injected = runtime.fault_plan().drops_injected();
   s.fault_plan = runtime.fault_plan().summary();
+  s.spans_dropped = runtime.trace().spans_dropped();
+  s.sim_thread_resumes = runtime.sim_thread_resumes();
+  s.sim_event_callbacks = runtime.sim_event_callbacks();
+  s.sim_event_queue_peak = runtime.sim_event_queue_peak();
+  s.sim_wall_seconds = runtime.sim_wall_seconds();
+  s.sim_events_per_sec = runtime.sim_events_per_sec();
   return s;
 }
 
@@ -90,6 +96,21 @@ std::string format_report(const RunSummary& s) {
          static_cast<unsigned long long>(s.scl_timeouts),
          static_cast<unsigned long long>(s.scl_retries),
          static_cast<unsigned long long>(s.failovers), s.recovery_seconds * 1e3);
+  }
+  // Host-side cost of the simulation itself (wall clock, so this line is the
+  // one nondeterministic part of the report).
+  if (s.sim_wall_seconds > 0) {
+    line("  sim     %llu thread resumes + %llu event callbacks in %.1f ms wall "
+         "(%.2f M events/s, peak queue %llu)",
+         static_cast<unsigned long long>(s.sim_thread_resumes),
+         static_cast<unsigned long long>(s.sim_event_callbacks),
+         s.sim_wall_seconds * 1e3, s.sim_events_per_sec / 1e6,
+         static_cast<unsigned long long>(s.sim_event_queue_peak));
+  }
+  if (s.spans_dropped > 0) {
+    line("  trace   WARNING: %llu spans dropped (bounded span store full); "
+         "profiles cover a truncated window",
+         static_cast<unsigned long long>(s.spans_dropped));
   }
   return out;
 }

@@ -46,6 +46,19 @@ struct RunSummary {
   double recovery_seconds = 0;
   std::string fault_plan = "none";
 
+  // Observability health: spans the bounded trace store had to drop (0 when
+  // tracing is off or the capacity sufficed); nonzero means profiles and
+  // critical-path attribution cover a truncated window.
+  std::uint64_t spans_dropped = 0;
+
+  // Simulator self-profiling: host cost of the run (wall clock, not virtual
+  // time — see docs/observability.md).
+  std::uint64_t sim_thread_resumes = 0;
+  std::uint64_t sim_event_callbacks = 0;
+  std::uint64_t sim_event_queue_peak = 0;
+  double sim_wall_seconds = 0;
+  double sim_events_per_sec = 0;
+
   double hit_rate() const {
     const auto total = cache_hits + cache_misses;
     return total == 0 ? 0.0 : static_cast<double>(cache_hits) / static_cast<double>(total);

@@ -1,6 +1,7 @@
 #include "core/samhita_runtime.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "core/sam_thread_ctx.hpp"
 #include "net/network_model.hpp"
@@ -141,7 +142,13 @@ void SamhitaRuntime::parallel_run(std::uint32_t nthreads,
                    ctx->on_thread_end();
                  });
   }
+  // Host wall-clock around the scheduler loop only: this is the simulator's
+  // own cost (sim_events_per_sec), disjoint from all virtual-time metrics so
+  // measuring it cannot perturb a run.
+  const auto wall0 = std::chrono::steady_clock::now();
   sched_.run();
+  sim_wall_seconds_ =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0).count();
 
   // Publish any remaining unshared dirty lines so the memory servers hold
   // the authoritative final state (read_global / verification).

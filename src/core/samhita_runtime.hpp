@@ -88,6 +88,23 @@ class SamhitaRuntime final : public rt::Runtime {
     return servers_.at(config_.replica_server);
   }
 
+  // --- simulator self-profiling (host cost, not virtual time) ---------------
+
+  /// Host wall-clock seconds spent inside the scheduler loop of the most
+  /// recent parallel_run (the simulation's own cost; rt::Runtime's
+  /// elapsed_seconds() is *virtual* time).
+  double sim_wall_seconds() const { return sim_wall_seconds_; }
+  std::uint64_t sim_thread_resumes() const { return sched_.thread_resumes(); }
+  std::uint64_t sim_event_callbacks() const { return sched_.event_callbacks(); }
+  std::uint64_t sim_event_queue_peak() const { return sched_.event_queue_peak(); }
+  /// Scheduler dispatches (thread resumes + event callbacks) per host
+  /// second — the simulator throughput figure recorded in BENCH JSON.
+  double sim_events_per_sec() const {
+    const auto n =
+        static_cast<double>(sim_thread_resumes() + sim_event_callbacks());
+    return sim_wall_seconds_ > 0.0 ? n / sim_wall_seconds_ : 0.0;
+  }
+
   /// Writes bytes into the authoritative space, routing by page home.
   void write_global_bytes(mem::GAddr addr, const std::byte* in, std::size_t n);
   /// Applies every range of a diff to the home memory servers.
@@ -131,6 +148,7 @@ class SamhitaRuntime final : public rt::Runtime {
   /// release; consumed by waking threads for invalidation.
   std::unordered_map<mem::PageId, mem::ThreadMask> epoch_snapshot_;
   bool ran_ = false;
+  double sim_wall_seconds_ = 0.0;
 };
 
 }  // namespace sam::core

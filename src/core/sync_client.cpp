@@ -59,6 +59,7 @@ void SyncClient::end_lock_held_span(rt::MutexId m) {
 // ---------------------------------------------------------------------------
 
 void SyncClient::lock(rt::MutexId m) {
+  const OpScope op(*ec_);
   rt_->sched_.yield_current();
   const SimTime t0 = clock();
   ManagerShard& sh = rt_->services_.mutex_shard(m);
@@ -100,6 +101,9 @@ void SyncClient::release_mutex_at(rt::MutexId m, SimTime t_served) {
     // Grant message carries the policy's acquire payload for the waiter.
     const std::size_t bytes = policy_->grant_bytes(m, w.thread);
     const net::NodeId waiter_node = rt_->config().compute_node(w.thread);
+    // The waiter is still blocked inside its own lock op; link that op to
+    // the releasing op so the grant hand-off keeps the chain connected.
+    ec_->note_trace_parent(w.sim_thread->trace_ctx(), ec_->sim_thread->trace_ctx());
     const SimTime t_grant =
         rt_->scl_.send(t_served, sync_node(sh), waiter_node, kCtrl + bytes);
     rt_->sched_.unblock(w.sim_thread, t_grant);
@@ -110,7 +114,9 @@ void SyncClient::release_mutex_at(rt::MutexId m, SimTime t_served) {
 
 void SyncClient::unlock(rt::MutexId m) {
   // Policy-side release work (exit region, eager publication, staging the
-  // release payload); returns the payload's wire bytes.
+  // release payload); returns the payload's wire bytes. The op scope opens
+  // first so any flushes the policy issues become this release's children.
+  const OpScope op(*ec_);
   const std::size_t wire = policy_->prepare_release(m, Bucket::kLock);
 
   rt_->sched_.yield_current();
@@ -138,6 +144,7 @@ void SyncClient::unlock(rt::MutexId m) {
 // ---------------------------------------------------------------------------
 
 void SyncClient::cond_wait(rt::CondId c, rt::MutexId m) {
+  const OpScope op(*ec_);
   end_lock_held_span(m);
 
   // Release side: identical consistency work to unlock(). The release RPC
@@ -182,6 +189,7 @@ void SyncClient::cond_wait(rt::CondId c, rt::MutexId m) {
 }
 
 void SyncClient::cond_signal(rt::CondId c) {
+  const OpScope op(*ec_);
   rt_->sched_.yield_current();
   const SimTime t0 = clock();
   ManagerShard& csh = rt_->services_.cond_shard(c);
@@ -203,6 +211,9 @@ void SyncClient::cond_signal(rt::CondId c) {
       t_mutex = msh.service().serve(t_fwd, msh.service_time());
     }
     ManagerShard::Mutex& mx = msh.mutex(m);
+    // Cross-shard cond hand-off: the parked waiter's cond_wait op joins this
+    // signal's chain whether it is granted now or re-queued on the mutex.
+    ec_->note_trace_parent(w.sim_thread->trace_ctx(), ec_->sim_thread->trace_ctx());
     if (!mx.holder.has_value()) {
       mx.holder = w.thread;
       const net::NodeId waiter_node = rt_->config().compute_node(w.thread);
@@ -232,6 +243,9 @@ void SyncClient::cond_broadcast(rt::CondId c) {
 void SyncClient::barrier(rt::BarrierId b) {
   SAM_EXPECT(policy_->region_depth() == 0,
              "barrier inside a consistency region (lock held) is not supported");
+  // Covers publication and invalidation too: pre/post-barrier flushes mint
+  // child ids of this barrier episode.
+  const OpScope op(*ec_);
 
   // Phase 1: policy publication (RegC: diff shared dirty lines home; eager
   // release consistency: flush everything).
@@ -260,6 +274,9 @@ void SyncClient::barrier(rt::BarrierId b) {
     for (const ManagerShard::Waiter& w : bar.arrived) {
       if (w.thread == ec_->idx) continue;
       const net::NodeId n = rt_->config().compute_node(w.thread);
+      // Release hand-off: every parked arrival's barrier op joins the last
+      // arrival's chain, connecting the whole episode.
+      ec_->note_trace_parent(w.sim_thread->trace_ctx(), ec_->sim_thread->trace_ctx());
       const SimTime t_go = rt_->scl_.send(t_rel, sync_node(sh), n, kCtrl);
       rt_->sched_.unblock(w.sim_thread, t_go);
     }

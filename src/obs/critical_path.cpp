@@ -1,0 +1,318 @@
+#include "obs/critical_path.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <utility>
+
+#include "core/samhita_runtime.hpp"
+#include "obs/json.hpp"
+
+namespace sam::obs {
+
+namespace {
+
+/// Union-find over trace ids (path-halving; ids are sparse, so a map).
+class Dsu {
+ public:
+  void add(std::uint64_t x) { parent_.try_emplace(x, x); }
+
+  std::uint64_t find(std::uint64_t x) {
+    auto it = parent_.find(x);
+    while (it->second != x) {
+      auto up = parent_.find(it->second);
+      it->second = up->second;  // halve the path
+      x = it->second;
+      it = parent_.find(x);
+    }
+    return x;
+  }
+
+  void unite(std::uint64_t a, std::uint64_t b) { parent_[find(a)] = find(b); }
+
+  const std::unordered_map<std::uint64_t, std::uint64_t>& nodes() const {
+    return parent_;
+  }
+
+ private:
+  std::unordered_map<std::uint64_t, std::uint64_t> parent_;
+};
+
+using Seg = std::pair<SimTime, SimTime>;
+
+/// Total length of the union of `segs` clipped to [a, b). `segs` is scratch:
+/// sorted in place.
+SimDuration covered_within(std::vector<Seg>& segs, SimTime a, SimTime b) {
+  std::sort(segs.begin(), segs.end());
+  SimDuration covered = 0;
+  SimTime cursor = a;
+  for (const Seg& s : segs) {
+    const SimTime lo = std::max(s.first, cursor);
+    const SimTime hi = std::min(s.second, b);
+    if (hi > lo) {
+      covered += hi - lo;
+      cursor = hi;
+    }
+    if (cursor >= b) break;
+  }
+  return covered;
+}
+
+/// Attribution priority when several blocking spans cover the same instant
+/// (e.g. a recovery window inside a demand miss). Higher wins; 0 = not a
+/// compute-side blocking span.
+int priority_of(sim::SpanCat cat) {
+  switch (cat) {
+    case sim::SpanCat::kRecovery: return 4;
+    case sim::SpanCat::kBarrierWait: return 3;
+    case sim::SpanCat::kLockWait: return 2;
+    case sim::SpanCat::kDemandMiss:
+    case sim::SpanCat::kFlushRpc:
+    case sim::SpanCat::kBatchRpc: return 1;
+    default: return 0;
+  }
+}
+
+}  // namespace
+
+std::unordered_map<std::uint64_t, std::uint64_t> resolve_trace_components(
+    const sim::TraceBuffer& trace) {
+  Dsu dsu;
+  for (const sim::SpanEvent& s : trace.spans()) {
+    if (s.trace_id != 0) dsu.add(s.trace_id);
+  }
+  for (const auto& [child, parent] : trace.parent_edges()) {
+    dsu.add(child);
+    dsu.add(parent);
+    dsu.unite(child, parent);
+  }
+  // Re-root every component at its smallest id so the labeling is stable
+  // across runs (DSU roots depend on union order).
+  std::unordered_map<std::uint64_t, std::uint64_t> min_of_root;
+  std::vector<std::uint64_t> ids;
+  ids.reserve(dsu.nodes().size());
+  for (const auto& [id, unused] : dsu.nodes()) ids.push_back(id);
+  for (std::uint64_t id : ids) {
+    auto [it, fresh] = min_of_root.try_emplace(dsu.find(id), id);
+    if (!fresh) it->second = std::min(it->second, id);
+  }
+  std::unordered_map<std::uint64_t, std::uint64_t> out;
+  out.reserve(ids.size());
+  for (std::uint64_t id : ids) out.emplace(id, min_of_root.at(dsu.find(id)));
+  return out;
+}
+
+CriticalPath build_critical_path(const core::SamhitaRuntime& runtime,
+                                 std::size_t top_n) {
+  const sim::TraceBuffer& trace = runtime.trace();
+  const SimTime horizon = runtime.sim_horizon();
+  CriticalPath cp;
+  cp.threads = runtime.ran_threads();
+  cp.run_seconds = to_seconds(horizon);
+  cp.total_thread_seconds = cp.run_seconds * cp.threads;
+  cp.truncated = trace.spans_dropped() > 0;
+
+  // Service windows and link transfers indexed by the op that drove them
+  // (they share the op's ambient trace id; see core::OpScope).
+  std::unordered_map<std::uint64_t, std::vector<Seg>> service_by_id;
+  std::unordered_map<std::uint64_t, std::vector<Seg>> link_by_id;
+  std::vector<std::vector<const sim::SpanEvent*>> by_thread(cp.threads);
+  for (const sim::SpanEvent& s : trace.spans()) {
+    if (s.cat == sim::SpanCat::kServer || s.cat == sim::SpanCat::kManager) {
+      if (s.trace_id != 0) service_by_id[s.trace_id].emplace_back(s.begin, s.end);
+    } else if (s.cat == sim::SpanCat::kLink) {
+      if (s.trace_id != 0) link_by_id[s.trace_id].emplace_back(s.begin, s.end);
+    } else if (priority_of(s.cat) > 0 && s.track < cp.threads && s.begin < horizon &&
+               s.end > s.begin) {
+      by_thread[s.track].push_back(&s);
+    }
+  }
+
+  SimDuration ns[7] = {};  // compute, demand, server, network, lock, barrier, recovery
+  for (std::uint32_t t = 0; t < cp.threads; ++t) {
+    std::vector<const sim::SpanEvent*>& spans = by_thread[t];
+    std::sort(spans.begin(), spans.end(),
+              [](const sim::SpanEvent* a, const sim::SpanEvent* b) {
+                return a->begin < b->begin;
+              });
+    std::vector<SimTime> bounds;
+    bounds.reserve(2 * spans.size() + 2);
+    bounds.push_back(0);
+    bounds.push_back(horizon);
+    for (const sim::SpanEvent* s : spans) {
+      bounds.push_back(s->begin);
+      bounds.push_back(std::min(s->end, horizon));
+    }
+    std::sort(bounds.begin(), bounds.end());
+    bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+
+    // One pointer-advance sweep: the active set stays small because a
+    // thread's blocking spans are sequential or nested, never unbounded.
+    std::size_t next = 0;
+    std::vector<const sim::SpanEvent*> active;
+    std::vector<Seg> scratch;
+    for (std::size_t i = 0; i + 1 < bounds.size(); ++i) {
+      const SimTime a = bounds[i];
+      const SimTime b = bounds[i + 1];
+      while (next < spans.size() && spans[next]->begin <= a) {
+        active.push_back(spans[next]);
+        ++next;
+      }
+      std::erase_if(active, [&](const sim::SpanEvent* s) { return s->end <= a; });
+
+      int best = 0;
+      for (const sim::SpanEvent* s : active) best = std::max(best, priority_of(s->cat));
+      const SimDuration len = b - a;
+      switch (best) {
+        case 0: ns[0] += len; break;
+        case 4: ns[6] += len; break;
+        case 3: ns[5] += len; break;
+        case 2: ns[4] += len; break;
+        case 1: {
+          // A fetch/flush RPC window: split it into the op's service windows,
+          // its link transfers, and the engine-side remainder.
+          scratch.clear();
+          for (const sim::SpanEvent* s : active) {
+            if (priority_of(s->cat) != 1 || s->trace_id == 0) continue;
+            if (auto it = service_by_id.find(s->trace_id); it != service_by_id.end()) {
+              scratch.insert(scratch.end(), it->second.begin(), it->second.end());
+            }
+          }
+          const SimDuration server = covered_within(scratch, a, b);
+          scratch.clear();
+          for (const sim::SpanEvent* s : active) {
+            if (priority_of(s->cat) != 1 || s->trace_id == 0) continue;
+            if (auto it = link_by_id.find(s->trace_id); it != link_by_id.end()) {
+              scratch.insert(scratch.end(), it->second.begin(), it->second.end());
+            }
+            if (auto it = service_by_id.find(s->trace_id); it != service_by_id.end()) {
+              // Service windows shadow overlapping link time so the two
+              // sub-buckets stay disjoint.
+              scratch.insert(scratch.end(), it->second.begin(), it->second.end());
+            }
+          }
+          const SimDuration wire_or_served = covered_within(scratch, a, b);
+          const SimDuration network = wire_or_served - server;
+          ns[2] += server;
+          ns[3] += network;
+          ns[1] += len - wire_or_served;
+          break;
+        }
+      }
+    }
+  }
+  cp.breakdown.compute_seconds = to_seconds(ns[0]);
+  cp.breakdown.demand_fetch_seconds = to_seconds(ns[1]);
+  cp.breakdown.server_service_seconds = to_seconds(ns[2]);
+  cp.breakdown.network_seconds = to_seconds(ns[3]);
+  cp.breakdown.lock_wait_seconds = to_seconds(ns[4]);
+  cp.breakdown.barrier_wait_seconds = to_seconds(ns[5]);
+  cp.breakdown.recovery_seconds = to_seconds(ns[6]);
+
+  // Top-N causal chains: connected components ranked by wall extent.
+  const auto components = resolve_trace_components(trace);
+  struct Agg {
+    SimTime begin = ~SimTime{0};
+    SimTime end = 0;
+    std::size_t spans = 0;
+    const sim::SpanEvent* leading = nullptr;
+  };
+  std::map<std::uint64_t, Agg> agg;  // ordered: deterministic chain labels
+  for (const sim::SpanEvent& s : trace.spans()) {
+    if (s.trace_id == 0) continue;
+    Agg& a = agg[components.at(s.trace_id)];
+    if (s.begin < a.begin || a.leading == nullptr) {
+      a.begin = s.begin;
+      a.leading = &s;
+    }
+    a.end = std::max(a.end, s.end);
+    ++a.spans;
+  }
+  cp.chains.reserve(agg.size());
+  for (const auto& [root, a] : agg) {
+    CausalChain c;
+    c.trace_id = root;
+    c.seconds = to_seconds(a.end - a.begin);
+    c.spans = a.spans;
+    c.thread = a.leading->track;
+    c.leading_cat = a.leading->cat;
+    c.object = a.leading->object;
+    cp.chains.push_back(c);
+  }
+  std::sort(cp.chains.begin(), cp.chains.end(),
+            [](const CausalChain& x, const CausalChain& y) {
+              if (x.seconds != y.seconds) return x.seconds > y.seconds;
+              return x.trace_id < y.trace_id;
+            });
+  if (cp.chains.size() > top_n) cp.chains.resize(top_n);
+  return cp;
+}
+
+std::string format_critical_path(const CriticalPath& cp) {
+  char buf[192];
+  std::string out;
+  auto line = [&](const char* fmt, auto... args) {
+    std::snprintf(buf, sizeof buf, fmt, args...);
+    out += buf;
+    out += '\n';
+  };
+  line("critical path (%u threads x %.3f ms = %.3f ms thread-time)%s", cp.threads,
+       cp.run_seconds * 1e3, cp.total_thread_seconds * 1e3,
+       cp.truncated ? " [TRUNCATED: spans dropped]" : "");
+  const double total = cp.total_thread_seconds > 0 ? cp.total_thread_seconds : 1.0;
+  auto row = [&](const char* name, double sec) {
+    line("  %-14s %6.1f%%  %10.3f ms", name, 100.0 * sec / total, sec * 1e3);
+  };
+  row("compute", cp.breakdown.compute_seconds);
+  row("demand fetch", cp.breakdown.demand_fetch_seconds);
+  row("server service", cp.breakdown.server_service_seconds);
+  row("network", cp.breakdown.network_seconds);
+  row("lock wait", cp.breakdown.lock_wait_seconds);
+  row("barrier wait", cp.breakdown.barrier_wait_seconds);
+  row("recovery", cp.breakdown.recovery_seconds);
+  if (!cp.chains.empty()) {
+    line("  top causal chains:");
+    for (std::size_t i = 0; i < cp.chains.size(); ++i) {
+      const CausalChain& c = cp.chains[i];
+      line("    %2zu. id %-6llu %s(%llu) from thread %u: %zu spans over %.3f ms",
+           i + 1, static_cast<unsigned long long>(c.trace_id),
+           sim::to_string(c.leading_cat), static_cast<unsigned long long>(c.object),
+           c.thread, c.spans, c.seconds * 1e3);
+    }
+  }
+  return out;
+}
+
+void write_critical_path_json(JsonWriter& w, const CriticalPath& cp) {
+  w.begin_object();
+  w.kv("threads", cp.threads);
+  w.kv("run_seconds", cp.run_seconds);
+  w.kv("total_thread_seconds", cp.total_thread_seconds);
+  w.kv("truncated", cp.truncated);
+  w.key("breakdown");
+  w.begin_object();
+  w.kv("compute_seconds", cp.breakdown.compute_seconds);
+  w.kv("demand_fetch_seconds", cp.breakdown.demand_fetch_seconds);
+  w.kv("server_service_seconds", cp.breakdown.server_service_seconds);
+  w.kv("network_seconds", cp.breakdown.network_seconds);
+  w.kv("lock_wait_seconds", cp.breakdown.lock_wait_seconds);
+  w.kv("barrier_wait_seconds", cp.breakdown.barrier_wait_seconds);
+  w.kv("recovery_seconds", cp.breakdown.recovery_seconds);
+  w.end_object();
+  w.key("chains");
+  w.begin_array();
+  for (const CausalChain& c : cp.chains) {
+    w.begin_object();
+    w.kv("trace_id", c.trace_id);
+    w.kv("seconds", c.seconds);
+    w.kv("spans", static_cast<std::uint64_t>(c.spans));
+    w.kv("thread", c.thread);
+    w.kv("leading", sim::to_string(c.leading_cat));
+    w.kv("object", c.object);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+}  // namespace sam::obs

@@ -1,0 +1,78 @@
+// Critical-path attribution over the causal span graph.
+//
+// Walks the spans recorded by sim::TraceBuffer plus their trace-id
+// parent/child edges (see core::OpScope) and answers "what bounds this
+// run?": a per-run breakdown of thread time into compute / demand fetch /
+// server service / network / lock wait / barrier wait / recovery whose
+// components sum to total thread time exactly, plus the top-N longest
+// causal chains (connected components of the op graph, ranked by wall
+// extent). Feeds the JSON run report and the --critical-path CLI summary.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/trace.hpp"
+
+namespace sam::core {
+class SamhitaRuntime;
+}
+
+namespace sam::obs {
+
+class JsonWriter;
+
+/// Maps every trace id reachable from the recorded spans and parent edges to
+/// its connected component's root (the smallest id in the component). Two
+/// spans whose ids map to the same root belong to one causal chain.
+std::unordered_map<std::uint64_t, std::uint64_t> resolve_trace_components(
+    const sim::TraceBuffer& trace);
+
+/// Where the run's thread-time went. Buckets are disjoint and exhaustive:
+/// per thread, every nanosecond of [0, sim_horizon] lands in exactly one, so
+/// the seven fields sum to threads x run_seconds (the "within epsilon"
+/// acceptance bound is met by construction; epsilon only absorbs float
+/// rounding).
+struct CriticalPathBreakdown {
+  double compute_seconds = 0;         ///< no blocking span covers the instant
+  double demand_fetch_seconds = 0;    ///< in a fetch/flush RPC window, engine side
+  double server_service_seconds = 0;  ///< ... covered by the op's service windows
+  double network_seconds = 0;         ///< ... covered by the op's link transfers
+  double lock_wait_seconds = 0;
+  double barrier_wait_seconds = 0;
+  double recovery_seconds = 0;
+};
+
+/// One causal chain: a connected component of ops, described by its extent.
+struct CausalChain {
+  std::uint64_t trace_id = 0;  ///< component root id
+  double seconds = 0;          ///< max span end - min span begin
+  std::size_t spans = 0;       ///< spans in the component
+  std::uint32_t thread = 0;    ///< track of the earliest span
+  sim::SpanCat leading_cat = sim::SpanCat::kDemandMiss;  ///< earliest span's cat
+  std::uint64_t object = 0;    ///< earliest span's object (line/mutex/barrier id)
+};
+
+struct CriticalPath {
+  std::uint32_t threads = 0;
+  double run_seconds = 0;           ///< sim_horizon in seconds
+  double total_thread_seconds = 0;  ///< threads x run_seconds
+  CriticalPathBreakdown breakdown;
+  std::vector<CausalChain> chains;  ///< top-N by extent, longest first
+  bool truncated = false;           ///< spans were dropped; attribution partial
+};
+
+/// Builds the attribution from a finished traced run.
+CriticalPath build_critical_path(const core::SamhitaRuntime& runtime,
+                                 std::size_t top_n = 5);
+
+/// Renders the human-readable --critical-path summary.
+std::string format_critical_path(const CriticalPath& cp);
+
+/// Emits the critical_path object of the JSON run report (schema:
+/// docs/observability.md).
+void write_critical_path_json(JsonWriter& w, const CriticalPath& cp);
+
+}  // namespace sam::obs

@@ -56,6 +56,7 @@ void write_histogram_json(JsonWriter& w, const util::Histogram& h) {
     w.kv("p50", h.percentile(50.0));
     w.kv("p95", h.percentile(95.0));
     w.kv("p99", h.percentile(99.0));
+    w.kv("p999", h.percentile(99.9));
   }
   w.key("buckets");
   w.begin_array();

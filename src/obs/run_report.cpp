@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <ostream>
 #include <string>
+#include <utility>
 
 #include "core/report.hpp"
 #include "core/samhita_runtime.hpp"
 #include "net/fault_plan.hpp"
 #include "net/network_model.hpp"
+#include "obs/critical_path.hpp"
 #include "obs/json.hpp"
 #include "scl/scl.hpp"
 #include "obs/profiler.hpp"
@@ -125,9 +127,54 @@ void collect_trace(const core::SamhitaRuntime& rt, Registry& reg) {
     switch (s.cat) {
       case sim::SpanCat::kLockWait: reg.histogram("lock_wait_ns").add(ns); break;
       case sim::SpanCat::kBarrierWait: reg.histogram("barrier_wait_ns").add(ns); break;
+      case sim::SpanCat::kDemandMiss: reg.histogram("demand_miss_ns").add(ns); break;
+      case sim::SpanCat::kFlushRpc: reg.histogram("flush_rpc_ns").add(ns); break;
       default: break;
     }
   }
+}
+
+/// Per-op latency sections: one entry per traced operation kind, quantiles
+/// from the span-duration histograms collect_trace builds. Ops that never
+/// happened report count 0 (an empty histogram) so consumers see a stable
+/// key set.
+void write_latencies(JsonWriter& w, const Registry& reg) {
+  static constexpr std::pair<const char*, const char*> kOps[] = {
+      {"demand_miss", "demand_miss_ns"},
+      {"lock_wait", "lock_wait_ns"},
+      {"barrier_wait", "barrier_wait_ns"},
+      {"flush_rpc", "flush_rpc_ns"},
+  };
+  w.begin_object();
+  for (const auto& [op, key] : kOps) {
+    w.key(op);
+    if (const util::Histogram* h = reg.find_histogram(key)) {
+      write_histogram_json(w, *h);
+    } else {
+      write_histogram_json(w, util::Histogram{});
+    }
+  }
+  w.end_object();
+}
+
+void write_simulator(JsonWriter& w, const core::SamhitaRuntime& rt) {
+  w.begin_object();
+  w.kv("wall_seconds", rt.sim_wall_seconds());
+  w.kv("events_per_sec", rt.sim_events_per_sec());
+  w.kv("thread_resumes", rt.sim_thread_resumes());
+  w.kv("event_callbacks", rt.sim_event_callbacks());
+  w.kv("event_queue_peak", static_cast<std::uint64_t>(rt.sim_event_queue_peak()));
+  if (rt.trace().enabled()) {
+    w.key("event_counts");
+    w.begin_object();
+    for (std::size_t k = 0; k < sim::kTraceKindCount; ++k) {
+      const auto kind = static_cast<sim::TraceKind>(k);
+      const std::uint64_t n = rt.trace().total_by_kind(kind);
+      if (n > 0) w.kv(sim::to_string(kind), n);
+    }
+    w.end_object();
+  }
+  w.end_object();
 }
 
 void write_config(JsonWriter& w, const core::SamhitaConfig& cfg) {
@@ -194,6 +241,8 @@ void write_summary(JsonWriter& w, const core::RunSummary& s) {
   w.kv("scl_timeouts", s.scl_timeouts);
   w.kv("failovers", s.failovers);
   w.kv("recovery_seconds", s.recovery_seconds);
+  w.kv("spans_dropped", s.spans_dropped);
+  w.kv("sim_events_per_sec", s.sim_events_per_sec);
   w.end_object();
 }
 
@@ -365,10 +414,19 @@ void write_run_report(const core::SamhitaRuntime& runtime, std::ostream& out,
     w.end_object();
   }
 
+  w.key("simulator");
+  write_simulator(w, runtime);
+
   w.key("registry");
   reg.write_json(w);
 
   if (runtime.trace().enabled()) {
+    w.key("latencies");
+    write_latencies(w, reg);
+
+    w.key("critical_path");
+    write_critical_path_json(w, build_critical_path(runtime, profile_top_n));
+
     const Profile profile = build_profile(runtime, profile_top_n);
     w.key("profile");
     write_profile_json(w, profile);

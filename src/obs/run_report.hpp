@@ -22,7 +22,10 @@ class SamhitaRuntime;
 namespace sam::obs {
 
 /// Bump on any backwards-incompatible change to the report layout.
-inline constexpr int kRunReportSchemaVersion = 1;
+/// v2: causal tracing — per-op "latencies" (p50/p95/p99/p99.9) and
+/// "critical_path" sections on traced runs, an always-present "simulator"
+/// self-profiling section, and spans_dropped/sim_events_per_sec in summary.
+inline constexpr int kRunReportSchemaVersion = 2;
 
 /// Flattens the runtime's component counters into one named-metric registry:
 /// protocol totals as counters, utilization/wait figures as gauges, and

@@ -1,12 +1,15 @@
 #include "obs/trace_json.hpp"
 
+#include <algorithm>
 #include <cstdint>
+#include <map>
 #include <ostream>
 #include <string>
 #include <vector>
 
 #include "core/samhita_runtime.hpp"
 #include "net/network_model.hpp"
+#include "obs/critical_path.hpp"
 #include "obs/json.hpp"
 #include "sim/trace.hpp"
 
@@ -119,8 +122,45 @@ void write_chrome_trace(const core::SamhitaRuntime& runtime, std::ostream& out) 
     w.key("args");
     w.begin_object();
     w.kv("object", s.object);
+    w.kv("trace_id", s.trace_id);
     w.end_object();
     w.end_object();
+  }
+
+  // --- flow events: Perfetto arrows stitching each causal chain ------------
+  // One flow per connected component of the op graph (flow id = the
+  // component's root trace id): "s" on the earliest span, "t" on each
+  // intermediate, "f" (binding point "e") on the last, so a demand miss's
+  // request leg, service window, retry/failover legs and forced flushes
+  // render as one connected chain.
+  {
+    const auto components = resolve_trace_components(trace);
+    std::map<std::uint64_t, std::vector<const sim::SpanEvent*>> chains;
+    for (const sim::SpanEvent& s : trace.spans()) {
+      if (s.trace_id != 0) chains[components.at(s.trace_id)].push_back(&s);
+    }
+    for (auto& [root, spans] : chains) {
+      if (spans.size() < 2) continue;  // an arrow needs two ends
+      std::stable_sort(spans.begin(), spans.end(),
+                       [](const sim::SpanEvent* a, const sim::SpanEvent* b) {
+                         return a->begin < b->begin;
+                       });
+      for (std::size_t i = 0; i < spans.size(); ++i) {
+        const sim::SpanEvent& s = *spans[i];
+        const TrackRef tr = track_of(s, shard_tracks);
+        const char* ph = i == 0 ? "s" : (i + 1 == spans.size() ? "f" : "t");
+        w.begin_object();
+        w.kv("name", "op");
+        w.kv("cat", "flow");
+        w.kv("ph", ph);
+        w.kv("id", root);
+        w.kv("ts", to_us(s.begin));
+        w.kv("pid", tr.pid);
+        w.kv("tid", tr.tid);
+        if (*ph == 'f') w.kv("bp", "e");
+        w.end_object();
+      }
+    }
   }
 
   // --- instant events: protocol actions on compute-thread tracks -----------
@@ -138,6 +178,7 @@ void write_chrome_trace(const core::SamhitaRuntime& runtime, std::ostream& out) 
     w.begin_object();
     w.kv("object", e.object);
     w.kv("detail", e.detail);
+    w.kv("trace_id", e.trace_id);
     w.end_object();
     w.end_object();
   }
@@ -153,6 +194,7 @@ void write_chrome_trace(const core::SamhitaRuntime& runtime, std::ostream& out) 
   w.kv("events_recorded", trace.total_recorded());
   w.kv("events_retained", static_cast<std::uint64_t>(events.size()));
   w.kv("spans_dropped", trace.spans_dropped());
+  w.kv("trace_ids_minted", trace.ids_minted());
   w.end_object();
   w.end_object();
   out << '\n';

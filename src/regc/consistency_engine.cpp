@@ -66,6 +66,7 @@ void ConsistencyEngine::flush_line(core::PageCache::Line& line, core::Bucket buc
   // booking), and during a yield another thread's demand fetch can lazily
   // pull — and thereby clean — any of our dirty lines.
   if (!line.dirty) return;
+  const core::OpScope op(*ec_);
   const auto& cfg = rt_->config();
   charge(cfg.diff_scan_time(), bucket);
   const Diff diff = Diff::between(cache().line_base(line.id), line.twin, line.data);
@@ -177,6 +178,9 @@ void ConsistencyEngine::flush_batched(const std::vector<core::PageCache::Line*>&
   SimTime last = t0;
   SimDuration durations_sum = 0;
   for (const std::vector<Pending*>& chunk : chunks) {
+    // One op per gathered RPC: its service window, recovery legs and flush
+    // events share the chunk's id.
+    const core::OpScope op(*ec_);
     mem::MemoryServer& server = *chunk.front()->server;
     std::size_t wire = 0;
     for (const Pending* p : chunk) wire += p->wire;

@@ -120,6 +120,7 @@ void CoopScheduler::run() {
     }
 
     horizon_ = std::max(horizon_, t->clock_);
+    ++thread_resumes_;
     t->status_ = SimThread::Status::kRunning;
     running_ = t;
     t->cv_.notify_one();

@@ -70,6 +70,13 @@ class SimThread {
     if (t > clock_) clock_ = t;
   }
 
+  /// Causal trace id of the operation this thread is currently inside
+  /// (0 = none). Installed/restored by core::OpScope; read by
+  /// TraceBuffer::record/record_span to stamp events, and by sync hand-off
+  /// sites to link a blocked waiter's pending op to the op that wakes it.
+  std::uint64_t trace_ctx() const { return trace_ctx_; }
+  void set_trace_ctx(std::uint64_t id) { trace_ctx_ = id; }
+
  private:
   friend class CoopScheduler;
 
@@ -85,6 +92,7 @@ class SimThread {
   std::condition_variable cv_;
   std::thread os_thread_;
   bool started_ = false;
+  std::uint64_t trace_ctx_ = 0;
 };
 
 /// Drives a set of SimThreads plus an EventQueue to completion.
@@ -134,6 +142,17 @@ class CoopScheduler {
   std::size_t thread_count() const { return threads_.size(); }
   SimThread* thread(SimThreadId id) { return threads_.at(id).get(); }
 
+  /// --- simulator self-profiling (host-cost metering, docs/observability.md)
+
+  /// Thread resumptions dispatched by run(): each is one scheduler round
+  /// trip (pick min-clock thread, hand off, wait for it to yield back).
+  std::uint64_t thread_resumes() const { return thread_resumes_; }
+  /// Event callbacks executed through the queue (prefetch completions,
+  /// timers, fault events).
+  std::uint64_t event_callbacks() const { return events_.executed(); }
+  /// High-water mark of pending events in the queue.
+  std::size_t event_queue_peak() const { return events_.peak_size(); }
+
  private:
   friend class SimThread;
 
@@ -149,6 +168,7 @@ class CoopScheduler {
   bool in_run_ = false;
   bool aborting_ = false;
   SimTime horizon_ = 0;
+  std::uint64_t thread_resumes_ = 0;
 };
 
 }  // namespace sam::sim

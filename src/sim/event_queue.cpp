@@ -10,6 +10,7 @@ EventId EventQueue::schedule(SimTime when, std::function<void()> fn) {
   cancelled_.push_back(false);
   heap_.push(Entry{when, next_seq_++, id, std::move(fn)});
   ++live_;
+  if (live_ > peak_live_) peak_live_ = live_;
   return id;
 }
 
@@ -42,6 +43,7 @@ SimTime EventQueue::run_next() {
   heap_.pop();
   cancelled_[e.id] = true;  // mark consumed
   --live_;
+  ++executed_;
   e.fn();
   return e.when;
 }

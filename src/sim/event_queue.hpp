@@ -43,6 +43,11 @@ class EventQueue {
   /// Runs all events with time <= `until`; returns number executed.
   std::size_t run_until(SimTime until);
 
+  /// Self-profiling: total callbacks executed, and the high-water mark of
+  /// live (scheduled, not yet fired or cancelled) events.
+  std::uint64_t executed() const { return executed_; }
+  std::size_t peak_size() const { return peak_live_; }
+
  private:
   struct Entry {
     SimTime when;
@@ -61,6 +66,8 @@ class EventQueue {
   mutable std::vector<bool> cancelled_;  // indexed by EventId
   std::uint64_t next_seq_ = 0;
   std::size_t live_ = 0;
+  std::uint64_t executed_ = 0;
+  std::size_t peak_live_ = 0;
 };
 
 }  // namespace sam::sim

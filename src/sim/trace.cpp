@@ -3,9 +3,25 @@
 #include <algorithm>
 #include <ostream>
 
+#include "sim/coop_scheduler.hpp"
 #include "util/expect.hpp"
 
 namespace sam::sim {
+
+namespace {
+
+/// Ambient causal context: the trace id of the operation the currently
+/// running simulated thread is inside (0 in scheduler/event context or when
+/// no core::OpScope is active). Lets every layer — scl verbs, network links,
+/// server/manager service windows — stamp its events without threading an id
+/// through each call signature, because those spans are all recorded
+/// synchronously on the operation's own SimThread.
+std::uint64_t ambient_trace_id() {
+  const SimThread* t = CoopScheduler::current();
+  return t != nullptr ? t->trace_ctx() : 0;
+}
+
+}  // namespace
 
 const char* to_string(TraceKind kind) {
   switch (kind) {
@@ -56,9 +72,10 @@ TraceBuffer::TraceBuffer(std::size_t capacity) {
 void TraceBuffer::record(SimTime time, std::uint32_t thread, TraceKind kind,
                          std::uint64_t object, std::uint64_t detail) {
   if (!enabled_) return;
-  ring_[next_] = TraceEvent{time, thread, kind, object, detail};
+  ring_[next_] = TraceEvent{time, thread, kind, object, detail, ambient_trace_id()};
   next_ = (next_ + 1) % ring_.size();
   ++total_;
+  ++kind_totals_[static_cast<std::size_t>(kind)];
 }
 
 void TraceBuffer::record_span(SimTime begin, SimTime end, std::uint32_t track,
@@ -69,7 +86,17 @@ void TraceBuffer::record_span(SimTime begin, SimTime end, std::uint32_t track,
     ++spans_dropped_;
     return;
   }
-  spans_.push_back(SpanEvent{begin, end, track, cat, object});
+  spans_.push_back(SpanEvent{begin, end, track, cat, object, ambient_trace_id()});
+}
+
+std::uint64_t TraceBuffer::next_trace_id() {
+  if (!enabled_) return 0;
+  return ++ids_minted_;
+}
+
+void TraceBuffer::note_parent(std::uint64_t child, std::uint64_t parent) {
+  if (!enabled_ || child == 0 || parent == 0 || child == parent) return;
+  parent_edges_.emplace_back(child, parent);
 }
 
 std::vector<TraceEvent> TraceBuffer::snapshot() const {
@@ -90,13 +117,16 @@ void TraceBuffer::clear() {
   total_ = 0;
   spans_.clear();
   spans_dropped_ = 0;
+  ids_minted_ = 0;
+  parent_edges_.clear();
+  kind_totals_.fill(0);
 }
 
 void TraceBuffer::dump_csv(std::ostream& out) const {
-  out << "time_ns,thread,kind,object,detail\n";
+  out << "time_ns,thread,kind,object,detail,trace_id\n";
   for (const TraceEvent& e : snapshot()) {
     out << e.time << ',' << e.thread << ',' << to_string(e.kind) << ',' << e.object << ','
-        << e.detail << '\n';
+        << e.detail << ',' << e.trace_id << '\n';
   }
 }
 

@@ -7,9 +7,11 @@
 // one TraceEvent per protocol action into a bounded ring.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/time_types.hpp"
@@ -37,14 +39,19 @@ enum class TraceKind : std::uint8_t {
   kFailover,    ///< object = line id, detail = replica node that covered
 };
 
+/// Number of TraceKind enumerators (for per-kind counter arrays).
+inline constexpr std::size_t kTraceKindCount =
+    static_cast<std::size_t>(TraceKind::kFailover) + 1;
+
 const char* to_string(TraceKind kind);
 
 struct TraceEvent {
   SimTime time = 0;
   std::uint32_t thread = 0;
   TraceKind kind = TraceKind::kCacheMiss;
-  std::uint64_t object = 0;  ///< line id, lock id, barrier id, address...
-  std::uint64_t detail = 0;  ///< bytes moved, waiters, ...
+  std::uint64_t object = 0;    ///< line id, lock id, barrier id, address...
+  std::uint64_t detail = 0;    ///< bytes moved, waiters, ...
+  std::uint64_t trace_id = 0;  ///< causal operation id (0 = outside any op)
 };
 
 /// Categories of *span* (interval) events. Instant TraceEvents capture what
@@ -75,7 +82,8 @@ struct SpanEvent {
   SimTime end = 0;
   std::uint32_t track = 0;  ///< thread / server / link index, per category
   SpanCat cat = SpanCat::kLockWait;
-  std::uint64_t object = 0;  ///< mutex/barrier id, request sequence number...
+  std::uint64_t object = 0;    ///< mutex/barrier id, request sequence number...
+  std::uint64_t trace_id = 0;  ///< causal operation id (0 = outside any op)
 };
 
 /// Bounded event ring. When full, the oldest events are overwritten.
@@ -95,6 +103,23 @@ class TraceBuffer {
   void record_span(SimTime begin, SimTime end, std::uint32_t track, SpanCat cat,
                    std::uint64_t object);
 
+  /// Mints the next run-unique causal operation id (1, 2, 3, ... in the
+  /// deterministic scheduling order). Returns 0 when tracing is disabled so
+  /// callers can treat "no id" and "tracing off" uniformly.
+  std::uint64_t next_trace_id();
+  /// How many ids next_trace_id() has handed out (including ops whose spans
+  /// were later dropped by the bounded span store).
+  std::uint64_t ids_minted() const { return ids_minted_; }
+
+  /// Records a causal parent/child edge between two minted ids — e.g. a
+  /// flush forced by a demand miss's eviction, or a lock grant handed from
+  /// the releasing op to the blocked acquirer. Self-edges and edges touching
+  /// id 0 are ignored.
+  void note_parent(std::uint64_t child, std::uint64_t parent);
+  const std::vector<std::pair<std::uint64_t, std::uint64_t>>& parent_edges() const {
+    return parent_edges_;
+  }
+
   /// Events in record order (oldest first), honoring ring wraparound.
   std::vector<TraceEvent> snapshot() const;
 
@@ -106,12 +131,18 @@ class TraceBuffer {
   std::size_t capacity() const { return ring_.size(); }
   void clear();
 
-  /// Writes the snapshot as CSV (time_ns,thread,kind,object,detail).
+  /// Writes the snapshot as CSV (time_ns,thread,kind,object,detail,trace_id).
   /// Column meaning per kind is documented in docs/protocol.md §9.
   void dump_csv(std::ostream& out) const;
 
   /// Number of recorded events of one kind (within the retained window).
   std::uint64_t count(TraceKind kind) const;
+
+  /// Number of events of one kind ever recorded, counting ring-overwritten
+  /// events too — the simulator self-profiling counters.
+  std::uint64_t total_by_kind(TraceKind kind) const {
+    return kind_totals_[static_cast<std::size_t>(kind)];
+  }
 
  private:
   bool enabled_ = false;
@@ -121,6 +152,11 @@ class TraceBuffer {
   std::vector<SpanEvent> spans_;
   std::size_t span_capacity_ = 0;
   std::uint64_t spans_dropped_ = 0;
+  std::uint64_t ids_minted_ = 0;
+  // One edge per nested/handed-off op: bounded by ids_minted_, not by the
+  // span store, so late-run causality survives span truncation.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> parent_edges_;
+  std::array<std::uint64_t, kTraceKindCount> kind_totals_{};
 };
 
 }  // namespace sam::sim

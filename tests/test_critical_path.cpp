@@ -1,0 +1,199 @@
+// Tests for obs::build_critical_path and the causal-chain machinery: the
+// breakdown must partition thread-time, chains must connect end-to-end
+// (including retry/failover recovery legs), and the JSON/text renderings
+// must be well-formed.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+#include "apps/jacobi.hpp"
+#include "apps/microbench.hpp"
+#include "core/samhita_runtime.hpp"
+#include "obs/critical_path.hpp"
+#include "obs/json.hpp"
+#include "sim/trace.hpp"
+
+namespace sam {
+namespace {
+
+double breakdown_total(const obs::CriticalPathBreakdown& b) {
+  return b.compute_seconds + b.demand_fetch_seconds + b.server_service_seconds +
+         b.network_seconds + b.lock_wait_seconds + b.barrier_wait_seconds +
+         b.recovery_seconds;
+}
+
+core::SamhitaConfig traced_config() {
+  core::SamhitaConfig cfg;
+  cfg.trace_enabled = true;
+  return cfg;
+}
+
+void run_traced_micro(core::SamhitaRuntime& runtime) {
+  apps::MicrobenchParams p;
+  p.threads = 4;
+  p.N = 3;
+  p.M = 6;
+  p.alloc = apps::MicrobenchAlloc::kGlobalStrided;
+  apps::run_microbench(runtime, p);
+}
+
+TEST(CriticalPath, BreakdownPartitionsThreadTime) {
+  core::SamhitaRuntime runtime{traced_config()};
+  run_traced_micro(runtime);
+  const obs::CriticalPath cp = obs::build_critical_path(runtime);
+  ASSERT_EQ(cp.threads, 4u);
+  EXPECT_GT(cp.run_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(cp.total_thread_seconds, 4.0 * cp.run_seconds);
+  EXPECT_FALSE(cp.truncated);
+  // The seven buckets are a partition of [0, horizon] per thread: they must
+  // sum to total thread-time to within float rounding (the 1% acceptance
+  // epsilon is generous; the construction is exact in integer nanoseconds).
+  EXPECT_NEAR(breakdown_total(cp.breakdown), cp.total_thread_seconds,
+              1e-9 * cp.total_thread_seconds + 1e-12);
+  // A strided shared-memory workload demand-fetches, serializes on the gsum
+  // lock and meets barriers: those buckets must all be populated.
+  EXPECT_GT(cp.breakdown.compute_seconds, 0.0);
+  EXPECT_GT(cp.breakdown.demand_fetch_seconds + cp.breakdown.server_service_seconds +
+                cp.breakdown.network_seconds,
+            0.0);
+  EXPECT_GT(cp.breakdown.barrier_wait_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(cp.breakdown.recovery_seconds, 0.0);  // fault-free run
+}
+
+TEST(CriticalPath, ChainsConnectOpsToServiceWindows) {
+  core::SamhitaRuntime runtime{traced_config()};
+  run_traced_micro(runtime);
+  const auto components = obs::resolve_trace_components(runtime.trace());
+  // Some demand-miss span must share a component with a server service
+  // window or a link transfer: the chain crosses engine -> scl -> net -> mem.
+  std::unordered_set<std::uint64_t> demand_roots;
+  for (const sim::SpanEvent& s : runtime.trace().spans()) {
+    if (s.cat == sim::SpanCat::kDemandMiss && s.trace_id != 0) {
+      demand_roots.insert(components.at(s.trace_id));
+    }
+  }
+  ASSERT_FALSE(demand_roots.empty());
+  bool service_joined = false, link_joined = false;
+  for (const sim::SpanEvent& s : runtime.trace().spans()) {
+    if (s.trace_id == 0) continue;
+    const std::uint64_t root = components.at(s.trace_id);
+    if (s.cat == sim::SpanCat::kServer && demand_roots.count(root)) service_joined = true;
+    if (s.cat == sim::SpanCat::kLink && demand_roots.count(root)) link_joined = true;
+  }
+  EXPECT_TRUE(service_joined);
+  EXPECT_TRUE(link_joined);
+
+  const obs::CriticalPath cp = obs::build_critical_path(runtime, 3);
+  ASSERT_FALSE(cp.chains.empty());
+  EXPECT_LE(cp.chains.size(), 3u);
+  // Longest first, and every chain describes at least one span.
+  for (std::size_t i = 1; i < cp.chains.size(); ++i) {
+    EXPECT_GE(cp.chains[i - 1].seconds, cp.chains[i].seconds);
+  }
+  for (const obs::CausalChain& c : cp.chains) {
+    EXPECT_GT(c.trace_id, 0u);
+    EXPECT_GT(c.spans, 0u);
+  }
+}
+
+TEST(CriticalPath, RecoveryLegsStayOnTheOpsChain) {
+  // A crashed home server forces timeouts, retries and failover inside demand
+  // misses and flushes. The recovery window is recorded on the op's own
+  // SimThread while its OpScope is active, so recovery spans must share a
+  // causal component with the op that suffered them — the acceptance
+  // criterion "chains connected across retry/failover legs".
+  core::SamhitaConfig cfg;
+  cfg.trace_enabled = true;
+  cfg.memory_servers = 2;
+  cfg.replica_server = 1;
+  cfg.fault_plan = "server-crash";  // node 0 dark through startup
+  core::SamhitaRuntime runtime(cfg);
+  apps::MicrobenchParams p;
+  p.threads = 2;
+  p.N = 2;
+  p.M = 4;
+  p.alloc = apps::MicrobenchAlloc::kGlobal;
+  apps::run_microbench(runtime, p);
+
+  const auto& trace = runtime.trace();
+  const auto components = obs::resolve_trace_components(trace);
+  std::unordered_set<std::uint64_t> op_roots;
+  for (const sim::SpanEvent& s : trace.spans()) {
+    if (s.trace_id == 0) continue;
+    if (s.cat == sim::SpanCat::kDemandMiss || s.cat == sim::SpanCat::kFlushRpc ||
+        s.cat == sim::SpanCat::kBatchRpc) {
+      op_roots.insert(components.at(s.trace_id));
+    }
+  }
+  std::size_t recovery_spans = 0, connected = 0;
+  for (const sim::SpanEvent& s : trace.spans()) {
+    if (s.cat != sim::SpanCat::kRecovery) continue;
+    ++recovery_spans;
+    ASSERT_NE(s.trace_id, 0u);
+    if (op_roots.count(components.at(s.trace_id))) ++connected;
+  }
+  ASSERT_GT(recovery_spans, 0u);
+  EXPECT_EQ(connected, recovery_spans);
+
+  const obs::CriticalPath cp = obs::build_critical_path(runtime);
+  EXPECT_GT(cp.breakdown.recovery_seconds, 0.0);
+  EXPECT_NEAR(breakdown_total(cp.breakdown), cp.total_thread_seconds,
+              1e-9 * cp.total_thread_seconds + 1e-12);
+}
+
+TEST(CriticalPath, JacobiBreakdownSurvivesScale) {
+  // A bigger, barrier-heavy workload: same partition invariant, and the sync
+  // buckets dominate compute less than the whole (sanity on magnitudes).
+  core::SamhitaConfig cfg;
+  cfg.trace_enabled = true;
+  core::SamhitaRuntime runtime(cfg);
+  apps::JacobiParams p;
+  p.threads = 4;
+  p.n = 64;
+  p.iterations = 4;
+  apps::run_jacobi(runtime, p);
+  const obs::CriticalPath cp = obs::build_critical_path(runtime);
+  EXPECT_NEAR(breakdown_total(cp.breakdown), cp.total_thread_seconds,
+              1e-9 * cp.total_thread_seconds + 1e-12);
+  EXPECT_GT(cp.breakdown.compute_seconds, 0.0);
+  EXPECT_GT(cp.breakdown.barrier_wait_seconds, 0.0);
+}
+
+TEST(CriticalPath, TextAndJsonRenderings) {
+  core::SamhitaRuntime runtime{traced_config()};
+  run_traced_micro(runtime);
+  const obs::CriticalPath cp = obs::build_critical_path(runtime, 2);
+
+  const std::string text = obs::format_critical_path(cp);
+  EXPECT_NE(text.find("critical path (4 threads"), std::string::npos);
+  EXPECT_NE(text.find("demand fetch"), std::string::npos);
+  EXPECT_NE(text.find("top causal chains:"), std::string::npos);
+  EXPECT_EQ(text.find("TRUNCATED"), std::string::npos);
+
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  obs::write_critical_path_json(w, cp);
+  EXPECT_TRUE(w.done());
+  const obs::JsonValue v = obs::json_parse(os.str());
+  EXPECT_DOUBLE_EQ(v.at("threads").number, 4.0);
+  EXPECT_FALSE(v.at("truncated").boolean);
+  const obs::JsonValue& bd = v.at("breakdown");
+  double total = 0;
+  for (const char* key :
+       {"compute_seconds", "demand_fetch_seconds", "server_service_seconds",
+        "network_seconds", "lock_wait_seconds", "barrier_wait_seconds",
+        "recovery_seconds"}) {
+    ASSERT_NE(bd.find(key), nullptr) << key;
+    total += bd.at(key).number;
+  }
+  EXPECT_NEAR(total, v.at("total_thread_seconds").number,
+              0.01 * v.at("total_thread_seconds").number);
+  ASSERT_TRUE(v.at("chains").is_array());
+  ASSERT_LE(v.at("chains").arr.size(), 2u);
+  ASSERT_FALSE(v.at("chains").arr.empty());
+  EXPECT_GT(v.at("chains").arr[0].at("spans").number, 0.0);
+}
+
+}  // namespace
+}  // namespace sam

@@ -232,6 +232,10 @@ TEST(Registry, JsonRoundTrip) {
   const obs::JsonValue& h = v.at("histograms").at("h");
   EXPECT_DOUBLE_EQ(h.at("count").number, 1.0);
   EXPECT_DOUBLE_EQ(h.at("sum").number, 2.0);
+  // Full quantile ladder, including the tail the fault-tolerance work cares
+  // about; with one sample every percentile collapses onto it.
+  EXPECT_DOUBLE_EQ(h.at("p50").number, 2.0);
+  EXPECT_DOUBLE_EQ(h.at("p999").number, 2.0);
   ASSERT_EQ(h.at("buckets").arr.size(), 1u);  // only non-empty buckets emitted
   EXPECT_DOUBLE_EQ(h.at("buckets").arr[0].arr[0].number, 2.0);  // lower bound
   EXPECT_DOUBLE_EQ(h.at("buckets").arr[0].arr[1].number, 1.0);  // count
@@ -340,6 +344,7 @@ TEST(ChromeTrace, ExportParsesBackWithRequiredFields) {
   ASSERT_FALSE(events.arr.empty());
 
   std::size_t metadata = 0, complete = 0, instant = 0;
+  std::size_t flow_starts = 0, flow_steps = 0, flow_finishes = 0;
   for (const obs::JsonValue& e : events.arr) {
     ASSERT_TRUE(e.is_object());
     const std::string& ph = e.at("ph").str;
@@ -355,11 +360,23 @@ TEST(ChromeTrace, ExportParsesBackWithRequiredFields) {
     if (ph == "X") {
       ++complete;
       EXPECT_GE(e.at("dur").number, 0.0);
+      ASSERT_NE(e.at("args").find("trace_id"), nullptr);
     } else if (ph == "i") {
       ++instant;
       EXPECT_EQ(e.at("s").str, "t");
       EXPECT_DOUBLE_EQ(e.at("pid").number, 1.0);  // protocol events: compute pid
       EXPECT_LT(e.at("tid").number, 2.0);
+      ASSERT_NE(e.at("args").find("trace_id"), nullptr);
+    } else if (ph == "s" || ph == "t" || ph == "f") {
+      // Flow events stitching causal chains across tracks.
+      EXPECT_EQ(e.at("cat").str, "flow");
+      EXPECT_GT(e.at("id").number, 0.0);
+      if (ph == "s") ++flow_starts;
+      if (ph == "t") ++flow_steps;
+      if (ph == "f") {
+        ++flow_finishes;
+        EXPECT_EQ(e.at("bp").str, "e");  // bind to the enclosing slice
+      }
     } else {
       FAIL() << "unexpected phase: " << ph;
     }
@@ -367,6 +384,11 @@ TEST(ChromeTrace, ExportParsesBackWithRequiredFields) {
   EXPECT_GT(metadata, 0u);
   EXPECT_GT(complete, 0u);
   EXPECT_GT(instant, 0u);
+  // A traced run with demand misses must produce connected chains, and every
+  // started flow must terminate.
+  EXPECT_GT(flow_starts, 0u);
+  EXPECT_EQ(flow_starts, flow_finishes);
+  EXPECT_GT(flow_steps, 0u);
   EXPECT_DOUBLE_EQ(root.at("otherData").at("events_recorded").number,
                    static_cast<double>(runtime.trace().total_recorded()));
 }
@@ -541,6 +563,46 @@ TEST(RunReport, SchemaAndTotalsMatchSummary) {
   ASSERT_NE(root.find("profile"), nullptr);
   ASSERT_TRUE(root.at("profile").at("locks").is_array());
   EXPECT_FALSE(root.at("profile").at("locks").arr.empty());
+
+  // v2: summary carries the span-loss and host-throughput figures...
+  EXPECT_DOUBLE_EQ(js.at("spans_dropped").number, static_cast<double>(s.spans_dropped));
+  EXPECT_GT(js.at("sim_events_per_sec").number, 0.0);
+
+  // ...a per-op latency section with the full quantile ladder...
+  const obs::JsonValue& lat = root.at("latencies");
+  for (const char* op : {"demand_miss", "lock_wait", "barrier_wait", "flush_rpc"}) {
+    ASSERT_NE(lat.find(op), nullptr) << op;
+  }
+  const obs::JsonValue& dm = lat.at("demand_miss");
+  EXPECT_GT(dm.at("count").number, 0.0);
+  for (const char* q : {"p50", "p95", "p99", "p999"}) {
+    ASSERT_NE(dm.find(q), nullptr) << q;
+  }
+
+  // ...an always-present simulator self-profiling section...
+  const obs::JsonValue& simj = root.at("simulator");
+  EXPECT_GT(simj.at("events_per_sec").number, 0.0);
+  EXPECT_GT(simj.at("thread_resumes").number, 0.0);
+  // The cooperative runtime drives work through SimThreads; the timer queue
+  // may legitimately stay empty, but the counters must be reported.
+  ASSERT_NE(simj.find("event_queue_peak"), nullptr);
+  ASSERT_NE(simj.find("event_callbacks"), nullptr);
+  EXPECT_GE(simj.at("event_queue_peak").number, 0.0);
+  ASSERT_NE(simj.find("event_counts"), nullptr);
+  EXPECT_GT(simj.at("event_counts").at("cache_miss").number, 0.0);
+
+  // ...and the critical-path attribution, whose buckets partition thread-time.
+  const obs::JsonValue& cp = root.at("critical_path");
+  const obs::JsonValue& bd = cp.at("breakdown");
+  const double total =
+      bd.at("compute_seconds").number + bd.at("demand_fetch_seconds").number +
+      bd.at("server_service_seconds").number + bd.at("network_seconds").number +
+      bd.at("lock_wait_seconds").number + bd.at("barrier_wait_seconds").number +
+      bd.at("recovery_seconds").number;
+  EXPECT_NEAR(total, cp.at("total_thread_seconds").number,
+              0.01 * cp.at("total_thread_seconds").number);
+  ASSERT_TRUE(cp.at("chains").is_array());
+  EXPECT_FALSE(cp.at("chains").arr.empty());
 }
 
 TEST(RunReport, WithoutTracingOmitsProfile) {
@@ -554,7 +616,13 @@ TEST(RunReport, WithoutTracingOmitsProfile) {
   obs::write_run_report(runtime, os, "micro");
   const obs::JsonValue root = obs::json_parse(os.str());
   EXPECT_EQ(root.find("profile"), nullptr);
+  EXPECT_EQ(root.find("latencies"), nullptr);
+  EXPECT_EQ(root.find("critical_path"), nullptr);
   EXPECT_FALSE(root.at("config").at("trace_enabled").boolean);
+  // Self-profiling needs no trace: the section is always present.
+  ASSERT_NE(root.find("simulator"), nullptr);
+  EXPECT_GT(root.at("simulator").at("events_per_sec").number, 0.0);
+  EXPECT_EQ(root.at("simulator").find("event_counts"), nullptr);
 }
 
 TEST(CollectRegistry, MirrorsComponentCounters) {
@@ -582,10 +650,13 @@ TEST(CollectRegistry, MirrorsComponentCounters) {
   EXPECT_EQ(reg.counter("server.0.write_requests"), srv.counters().write_requests);
   EXPECT_GT(reg.counter("server.0.bytes_read") + reg.counter("server.0.bytes_written"),
             0u);
-  // Lock/barrier wait distributions come from the span stream.
+  // Lock/barrier wait and per-op latency distributions come from the span
+  // stream.
   ASSERT_NE(reg.find_histogram("lock_wait_ns"), nullptr);
   ASSERT_NE(reg.find_histogram("barrier_wait_ns"), nullptr);
   EXPECT_GT(reg.find_histogram("barrier_wait_ns")->count(), 0u);
+  ASSERT_NE(reg.find_histogram("demand_miss_ns"), nullptr);
+  EXPECT_GT(reg.find_histogram("demand_miss_ns")->count(), 0u);
 }
 
 }  // namespace

@@ -2,6 +2,9 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "core/samhita_runtime.hpp"
 #include "sim/trace.hpp"
@@ -60,7 +63,68 @@ TEST(TraceBuffer, CsvDump) {
   t.record(123, 2, sim::TraceKind::kLockAcquire, 7, 9);
   std::ostringstream os;
   t.dump_csv(os);
-  EXPECT_EQ(os.str(), "time_ns,thread,kind,object,detail\n123,2,lock_acquire,7,9\n");
+  // No OpScope active outside parallel_run, so trace_id is 0.
+  EXPECT_EQ(os.str(),
+            "time_ns,thread,kind,object,detail,trace_id\n123,2,lock_acquire,7,9,0\n");
+}
+
+TEST(TraceBuffer, WraparoundKeepsRecordOrder) {
+  sim::TraceBuffer t(4);
+  t.set_enabled(true);
+  // 2.5x the capacity, strictly increasing timestamps: after wrapping the
+  // snapshot must still come back oldest-first with no seam at the ring join.
+  for (int i = 0; i < 10; ++i) {
+    t.record(static_cast<SimTime>(100 + i), 0, sim::TraceKind::kCacheHit, i, 0);
+  }
+  const auto events = t.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LT(events[i - 1].time, events[i].time);
+    EXPECT_EQ(events[i - 1].object + 1, events[i].object);
+  }
+  EXPECT_EQ(events.front().object, 6u);
+  // Ring overwrite loses retained events, never the lifetime per-kind totals.
+  EXPECT_EQ(t.total_by_kind(sim::TraceKind::kCacheHit), 10u);
+  EXPECT_EQ(t.count(sim::TraceKind::kCacheHit), 4u);
+}
+
+TEST(TraceBuffer, SpanDropAccounting) {
+  sim::TraceBuffer t(4);  // span store capacity == ring capacity
+  t.set_enabled(true);
+  for (int i = 0; i < 7; ++i) {
+    t.record_span(static_cast<SimTime>(i), static_cast<SimTime>(i + 1), 0,
+                  sim::SpanCat::kLockWait, static_cast<std::uint64_t>(i));
+  }
+  // Oldest kept, newest dropped (profilers need the start of the run).
+  ASSERT_EQ(t.spans().size(), 4u);
+  EXPECT_EQ(t.spans().front().object, 0u);
+  EXPECT_EQ(t.spans().back().object, 3u);
+  EXPECT_EQ(t.spans_dropped(), 3u);
+  t.clear();
+  EXPECT_EQ(t.spans_dropped(), 0u);
+  EXPECT_TRUE(t.spans().empty());
+}
+
+TEST(TraceBuffer, TraceIdMinting) {
+  sim::TraceBuffer t(4);
+  // Disabled: no ids, so callers can treat "tracing off" as "no op context".
+  EXPECT_EQ(t.next_trace_id(), 0u);
+  EXPECT_EQ(t.ids_minted(), 0u);
+  t.set_enabled(true);
+  EXPECT_EQ(t.next_trace_id(), 1u);
+  EXPECT_EQ(t.next_trace_id(), 2u);
+  EXPECT_EQ(t.ids_minted(), 2u);
+  t.note_parent(2, 1);
+  t.note_parent(2, 2);  // self edge: ignored
+  t.note_parent(0, 1);  // zero endpoint: ignored
+  t.note_parent(2, 0);
+  ASSERT_EQ(t.parent_edges().size(), 1u);
+  EXPECT_EQ(t.parent_edges()[0].first, 2u);
+  EXPECT_EQ(t.parent_edges()[0].second, 1u);
+  t.clear();
+  EXPECT_EQ(t.ids_minted(), 0u);
+  EXPECT_TRUE(t.parent_edges().empty());
+  EXPECT_EQ(t.next_trace_id(), 1u);
 }
 
 TEST(TraceBuffer, KindNamesComplete) {
@@ -106,6 +170,90 @@ TEST(TraceIntegration, RuntimeRecordsProtocolEvents) {
     EXPECT_GE(e.time, last[e.thread]);
     last[e.thread] = e.time;
   }
+}
+
+TEST(TraceIntegration, SameConfigSameTraceIds) {
+  // The simulator is deterministic, so two identical runs must mint the same
+  // ids in the same order and stamp them on the same events — flow ids in
+  // exported traces are stable run to run.
+  auto run_once = [](std::string& csv, std::uint64_t& minted,
+                     std::vector<std::pair<std::uint64_t, std::uint64_t>>& edges) {
+    core::SamhitaConfig cfg;
+    cfg.trace_enabled = true;
+    core::SamhitaRuntime runtime(cfg);
+    const auto m = runtime.create_mutex();
+    const auto b = runtime.create_barrier(2);
+    rt::Addr a = 0;
+    runtime.parallel_run(2, [&](rt::ThreadCtx& ctx) {
+      if (ctx.index() == 0) {
+        a = ctx.alloc_shared(8192);
+        ctx.write<double>(a, 1.0);
+      }
+      ctx.barrier(b);
+      ctx.lock(m);
+      ctx.write<double>(a + 8, ctx.read<double>(a));
+      ctx.unlock(m);
+      ctx.barrier(b);
+    });
+    std::ostringstream os;
+    runtime.trace().dump_csv(os);
+    csv = os.str();
+    minted = runtime.trace().ids_minted();
+    edges = runtime.trace().parent_edges();
+  };
+  std::string csv1, csv2;
+  std::uint64_t minted1 = 0, minted2 = 0;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> edges1, edges2;
+  run_once(csv1, minted1, edges1);
+  run_once(csv2, minted2, edges2);
+  EXPECT_GT(minted1, 0u);
+  EXPECT_EQ(minted1, minted2);
+  EXPECT_EQ(csv1, csv2);
+  EXPECT_EQ(edges1, edges2);
+}
+
+TEST(TraceIntegration, OpsStampEventsAndConnectHandoffs) {
+  core::SamhitaConfig cfg;
+  cfg.trace_enabled = true;
+  core::SamhitaRuntime runtime(cfg);
+  const auto m = runtime.create_mutex();
+  const auto b = runtime.create_barrier(2);
+  rt::Addr a = 0;
+  runtime.parallel_run(2, [&](rt::ThreadCtx& ctx) {
+    if (ctx.index() == 0) {
+      a = ctx.alloc_shared(8192);
+      ctx.write<double>(a, 1.0);
+    }
+    ctx.barrier(b);
+    ctx.lock(m);
+    ctx.write<double>(a + 8, ctx.read<double>(a));
+    ctx.unlock(m);
+    ctx.barrier(b);
+  });
+  const auto& trace = runtime.trace();
+  // Every demand miss happens inside an OpScope, so it carries a nonzero id.
+  std::uint64_t misses_with_id = 0;
+  for (const auto& e : trace.snapshot()) {
+    if (e.kind == sim::TraceKind::kCacheMiss) {
+      EXPECT_NE(e.trace_id, 0u);
+      ++misses_with_id;
+    }
+  }
+  EXPECT_GT(misses_with_id, 0u);
+  // Demand-miss spans carry the op id too, and so do the server service
+  // windows recorded while serving them (ambient context).
+  std::uint64_t demand_spans = 0, server_spans_with_id = 0;
+  for (const auto& s : trace.spans()) {
+    if (s.cat == sim::SpanCat::kDemandMiss) {
+      EXPECT_NE(s.trace_id, 0u);
+      ++demand_spans;
+    }
+    if (s.cat == sim::SpanCat::kServer && s.trace_id != 0) ++server_spans_with_id;
+  }
+  EXPECT_GT(demand_spans, 0u);
+  EXPECT_GT(server_spans_with_id, 0u);
+  // The barrier hand-off recorded at least one cross-thread parent edge.
+  EXPECT_FALSE(trace.parent_edges().empty());
 }
 
 TEST(TraceIntegration, DisabledByDefault) {

@@ -23,3 +23,14 @@ cmake --build "$BUILD_DIR" -j --target ablation_batching
 
 echo "regenerated BENCH_baseline.json:"
 python3 -m json.tool BENCH_baseline.json | head -20
+
+# Host-throughput telemetry: recorded for cross-machine comparison, never
+# gated (wall-clock noise would make a ratio gate flaky).
+echo "recorded sim_events_per_sec series (informational, not gated):"
+python3 - <<'EOF'
+import json
+baseline = json.load(open("BENCH_baseline.json"))
+for key, value in sorted(baseline.items()):
+    if key.endswith("_sim_events_per_sec"):
+        print(f"  {key}: {value/1e6:.2f} M events/s")
+EOF

@@ -30,6 +30,9 @@
 //                         chrome://tracing or ui.perfetto.dev
 //   --profile=<n>         print the contention & false-sharing profile
 //                         (top-n hottest cache lines) after the run report
+//   --critical-path=<n>   print the critical-path attribution (compute /
+//                         demand fetch / server / network / lock / barrier /
+//                         recovery breakdown + top-n causal chains)
 //   --json-report=<path>  schema-versioned machine-readable run report
 //                         (obs::write_run_report; see docs/observability.md)
 #include <cstdio>
@@ -43,6 +46,7 @@
 #include "apps/microbench.hpp"
 #include "core/report.hpp"
 #include "core/samhita_runtime.hpp"
+#include "obs/critical_path.hpp"
 #include "obs/profiler.hpp"
 #include "obs/run_report.hpp"
 #include "obs/trace_json.hpp"
@@ -106,7 +110,8 @@ core::SamhitaConfig config_from_args(const util::ArgParser& args) {
   // Every observability consumer feeds on the protocol trace, so any of the
   // switches that need one turns tracing on.
   cfg.trace_enabled = args.has("trace") || args.has("trace-json") ||
-                      args.has("profile") || args.has("json-report");
+                      args.has("profile") || args.has("json-report") ||
+                      args.has("critical-path");
   return cfg;
 }
 
@@ -115,6 +120,13 @@ std::size_t profile_top_n(const util::ArgParser& args) {
   const std::string v = args.get_string("profile", "");
   if (v.empty() || v == "true") return 10;
   return static_cast<std::size_t>(args.get_int("profile", 10));
+}
+
+/// --critical-path=<n> with a bare --critical-path meaning the default top-5.
+std::size_t critical_path_top_n(const util::ArgParser& args) {
+  const std::string v = args.get_string("critical-path", "");
+  if (v.empty() || v == "true") return 5;
+  return static_cast<std::size_t>(args.get_int("critical-path", 5));
 }
 
 int run_workload(const util::ArgParser& args, core::SamhitaRuntime& runtime) {
@@ -198,6 +210,13 @@ int main(int argc, char** argv) {
     if (rc != 0) return rc;
 
     std::printf("\n%s", core::format_report(runtime).c_str());
+    if (runtime.trace().spans_dropped() > 0) {
+      std::fprintf(stderr,
+                   "warning: %llu spans dropped (bounded span store full); "
+                   "profiles, latency quantiles and critical-path attribution "
+                   "cover a truncated window\n",
+                   static_cast<unsigned long long>(runtime.trace().spans_dropped()));
+    }
 
     if (args.has("trace")) {
       const std::string path = args.get_string("trace", "trace.csv");
@@ -222,6 +241,11 @@ int main(int argc, char** argv) {
       std::printf("\n%s",
                   obs::format_profile(obs::build_profile(runtime, profile_top_n(args)))
                       .c_str());
+    }
+    if (args.has("critical-path")) {
+      const obs::CriticalPath cp =
+          obs::build_critical_path(runtime, critical_path_top_n(args));
+      std::printf("\n%s", obs::format_critical_path(cp).c_str());
     }
     if (args.has("json-report")) {
       const std::string path = args.get_string("json-report", "run.json");
