@@ -8,33 +8,6 @@
 
 namespace sam::core {
 
-SimTime EngineCtx::clock() const {
-  SAM_EXPECT(sim_thread != nullptr, "context not bound to a simulated thread");
-  return sim_thread->clock();
-}
-
-void EngineCtx::charge(SimDuration d, Bucket bucket) {
-  sim_thread->advance(d);
-  switch (bucket) {
-    case Bucket::kCompute: metrics->compute_ns += d; break;
-    case Bucket::kLock: metrics->sync_lock_ns += d; break;
-    case Bucket::kBarrier: metrics->sync_barrier_ns += d; break;
-    case Bucket::kAlloc: metrics->alloc_ns += d; break;
-  }
-}
-
-void EngineCtx::account_since(SimTime t0, Bucket bucket) {
-  const SimTime t1 = clock();
-  SAM_EXPECT(t1 >= t0, "clock went backwards");
-  const SimDuration d = t1 - t0;
-  switch (bucket) {
-    case Bucket::kCompute: metrics->compute_ns += d; break;
-    case Bucket::kLock: metrics->sync_lock_ns += d; break;
-    case Bucket::kBarrier: metrics->sync_barrier_ns += d; break;
-    case Bucket::kAlloc: metrics->alloc_ns += d; break;
-  }
-}
-
 void EngineCtx::book_completion(const scl::Completion& c, std::uint64_t object) {
   if (c.attempts <= 1 && c.ok()) return;
   metrics->scl_retries += c.attempts - 1;
@@ -43,19 +16,8 @@ void EngineCtx::book_completion(const scl::Completion& c, std::uint64_t object) 
   if (c.attempts > 1) trace(sim::TraceKind::kRetry, object, c.attempts - 1);
 }
 
-void EngineCtx::trace(sim::TraceKind kind, std::uint64_t object, std::uint64_t detail) const {
-  rt->trace_.record(sim_thread ? sim_thread->clock() : 0, idx, kind, object, detail);
-}
-
-void EngineCtx::trace_span(SimTime begin, SimTime end, sim::SpanCat cat,
-                           std::uint64_t object) const {
-  rt->trace_.record_span(begin, end, idx, cat, object);
-}
-
-std::uint64_t EngineCtx::mint_trace_id() const { return rt->trace_.next_trace_id(); }
-
 void EngineCtx::note_trace_parent(std::uint64_t child, std::uint64_t parent) const {
-  rt->trace_.note_parent(child, parent);
+  trace_buf->note_parent(child, parent);
 }
 
 OpScope::OpScope(const EngineCtx& ec) : thread_(ec.sim_thread) {

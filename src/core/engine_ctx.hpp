@@ -12,14 +12,13 @@
 
 #include <cstdint>
 
+#include "core/metrics.hpp"
 #include "mem/types.hpp"
 #include "net/types.hpp"
+#include "sim/coop_scheduler.hpp"
 #include "sim/trace.hpp"
+#include "util/expect.hpp"
 #include "util/time_types.hpp"
-
-namespace sam::sim {
-class SimThread;
-}
 
 namespace sam::scl {
 struct Completion;
@@ -30,7 +29,6 @@ namespace sam::core {
 class SamhitaRuntime;
 class PageCache;
 class StridePrefetcher;
-struct Metrics;
 
 /// Accounting bucket a charge lands in (paper §III's compute/sync split).
 enum class Bucket { kCompute, kLock, kBarrier, kAlloc };
@@ -44,29 +42,64 @@ struct EngineCtx {
   PageCache* cache = nullptr;
   StridePrefetcher* prefetcher = nullptr;
   Metrics* metrics = nullptr;
+  sim::TraceBuffer* trace_buf = nullptr;  ///< the runtime's trace buffer
 
-  SimTime clock() const;
+  // The accessors below run on every simulated memory access, so they are
+  // defined inline: a charge is one add plus a bucket add, a trace is a
+  // single predictable branch when tracing is off.
+
+  SimTime clock() const {
+    SAM_EXPECT(sim_thread != nullptr, "context not bound to a simulated thread");
+    return sim_thread->clock();
+  }
 
   /// Advances the thread clock by `d` and accounts it to `bucket`.
-  void charge(SimDuration d, Bucket bucket);
+  void charge(SimDuration d, Bucket bucket) {
+    sim_thread->advance(d);
+    bucket_of(bucket) += d;
+  }
+
   /// Accounts already-elapsed time [t0, clock) to `bucket`.
-  void account_since(SimTime t0, Bucket bucket);
+  void account_since(SimTime t0, Bucket bucket) {
+    const SimTime t1 = clock();
+    SAM_EXPECT(t1 >= t0, "clock went backwards");
+    bucket_of(bucket) += t1 - t0;
+  }
 
   /// Books the reliability side of one fault-aware SCL completion against
   /// this thread: retry/timeout counters, recovery time, and a kRetry trace
   /// event when the verb needed reposts. No-op for clean first-try verbs.
   void book_completion(const scl::Completion& c, std::uint64_t object);
 
-  /// Records a protocol trace event (no-op unless tracing is enabled).
-  void trace(sim::TraceKind kind, std::uint64_t object, std::uint64_t detail) const;
+  /// Records a protocol trace event (no-op unless tracing is enabled — the
+  /// enabled check runs before the clock is even read).
+  void trace(sim::TraceKind kind, std::uint64_t object, std::uint64_t detail) const {
+    if (!trace_buf->enabled()) return;
+    trace_buf->record(sim_thread ? sim_thread->clock() : 0, idx, kind, object, detail);
+  }
+
   /// Records a span event on this thread's track (no-op unless tracing).
-  void trace_span(SimTime begin, SimTime end, sim::SpanCat cat, std::uint64_t object) const;
+  void trace_span(SimTime begin, SimTime end, sim::SpanCat cat, std::uint64_t object) const {
+    trace_buf->record_span(begin, end, idx, cat, object);
+  }
 
   /// Mints a run-unique causal trace id (0 when tracing is disabled).
-  std::uint64_t mint_trace_id() const;
+  std::uint64_t mint_trace_id() const { return trace_buf->next_trace_id(); }
   /// Records a causal parent edge between two minted ids (see
   /// sim::TraceBuffer::note_parent).
   void note_trace_parent(std::uint64_t child, std::uint64_t parent) const;
+
+  /// Accounting slot for `bucket` (implementation detail of charge/account;
+  /// public only to keep EngineCtx an aggregate).
+  SimDuration& bucket_of(Bucket bucket) {
+    switch (bucket) {
+      case Bucket::kCompute: return metrics->compute_ns;
+      case Bucket::kLock: return metrics->sync_lock_ns;
+      case Bucket::kBarrier: return metrics->sync_barrier_ns;
+      case Bucket::kAlloc: break;
+    }
+    return metrics->alloc_ns;
+  }
 };
 
 /// RAII frame for one logical operation (demand miss, flush RPC, sync verb,

@@ -1,6 +1,7 @@
 #include "core/page_cache.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "util/expect.hpp"
 
@@ -11,55 +12,93 @@ PageCache::PageCache(const SamhitaConfig* config, mem::ThreadIdx owner)
   SAM_EXPECT(config != nullptr, "null config");
   SAM_EXPECT(config->pages_per_line >= 1 && config->pages_per_line <= 64,
              "pages_per_line must be in [1, 64] (dirty mask width)");
+  if (std::has_single_bit(config->pages_per_line)) {
+    page_shift_ = std::countr_zero(config->pages_per_line);
+  }
+  table_.resize(kInitialSlots);
+  table_mask_ = kInitialSlots - 1;
+  table_shift_ = 64 - static_cast<unsigned>(std::countr_zero(kInitialSlots));
 }
 
-PageCache::Line* PageCache::find(LineId line) {
-  auto it = lines_.find(line);
-  return it == lines_.end() ? nullptr : it->second.get();
+PageCache::Frame PageCache::acquire_frame() {
+  if (!free_frames_.empty()) {
+    const Frame f = free_frames_.back();
+    free_frames_.pop_back();
+    return f;
+  }
+  if (frames_allocated_ == chunks_.size() * kChunkFrames) {
+    chunks_.push_back(std::make_unique<Line[]>(kChunkFrames));
+  }
+  return static_cast<Frame>(frames_allocated_++);
 }
 
-const PageCache::Line* PageCache::find(LineId line) const {
-  auto it = lines_.find(line);
-  return it == lines_.end() ? nullptr : it->second.get();
+void PageCache::grow_table() {
+  std::vector<TableSlot> old = std::move(table_);
+  table_.assign(old.size() * 2, TableSlot{});
+  table_mask_ = table_.size() - 1;
+  table_shift_ = 64 - static_cast<unsigned>(std::countr_zero(table_.size()));
+  for (const TableSlot& s : old) {
+    if (s.frame != kNoFrame) table_insert(s.id, s.frame);
+  }
 }
 
-PageCache::Line& PageCache::install(LineId line, std::vector<std::byte> data,
-                                    SimTime ready_time, bool prefetched) {
+void PageCache::table_insert(LineId line, Frame f) {
+  std::size_t i = slot_of(line);
+  while (table_[i].frame != kNoFrame) i = (i + 1) & table_mask_;
+  table_[i] = TableSlot{line, f};
+}
+
+PageCache::Line& PageCache::install(LineId line, SimTime ready_time, bool prefetched) {
   SAM_EXPECT(!contains(line), "line already resident");
-  SAM_EXPECT(data.size() == config_->line_bytes(), "line data size mismatch");
-  auto l = std::make_unique<Line>();
-  l->id = line;
-  l->data = std::move(data);
-  l->ready_time = ready_time;
-  l->prefetched = prefetched;
-  l->last_use = ++use_counter_;
-  Line& ref = *l;
-  lines_.emplace(line, std::move(l));
-  return ref;
+  if ((size_ + 1) * 2 > table_.size()) grow_table();
+  const Frame f = acquire_frame();
+  ++size_;
+  table_insert(line, f);
+  Line& l = *frame_ptr(f);
+  l.id = line;
+  // Recycled frames keep their buffer capacity: size + zero-fill, no alloc.
+  l.data.assign(config_->line_bytes(), std::byte{0});
+  l.twin.clear();
+  l.dirty = false;
+  l.dirty_page_mask = 0;
+  l.noted_mask = 0;
+  l.note_epoch = 0;
+  l.ready_time = ready_time;
+  l.prefetched = prefetched;
+  l.last_use = ++use_counter_;
+  return l;
 }
 
 void PageCache::erase(LineId line) {
-  const auto n = lines_.erase(line);
-  SAM_EXPECT(n == 1, "erase of non-resident line");
+  std::size_t i = slot_of(line);
+  for (;;) {
+    const TableSlot& s = table_[i];
+    SAM_EXPECT(s.frame != kNoFrame, "erase of non-resident line");
+    if (s.id == line) break;
+    i = (i + 1) & table_mask_;
+  }
+  free_frames_.push_back(table_[i].frame);
+  --size_;
+  // Backward-shift deletion keeps every survivor reachable from its home
+  // slot without tombstones (probe lengths stay short forever).
+  std::size_t hole = i;
+  for (std::size_t j = (hole + 1) & table_mask_;; j = (j + 1) & table_mask_) {
+    if (table_[j].frame == kNoFrame) break;
+    const std::size_t home = slot_of(table_[j].id) & table_mask_;
+    // Move j into the hole unless its home lies in (hole, j] (cyclically) —
+    // then the hole does not break j's probe chain.
+    const bool skip = hole <= j ? (home > hole && home <= j) : (home > hole || home <= j);
+    if (!skip) {
+      table_[hole] = table_[j];
+      hole = j;
+    }
+  }
+  table_[hole] = TableSlot{};
 }
 
 void PageCache::make_twin(Line& line) {
   SAM_EXPECT(line.twin.empty(), "twin already exists");
   line.twin = line.data;
-}
-
-void PageCache::mark_written(Line& line, mem::GAddr addr, std::size_t n) {
-  SAM_EXPECT(n > 0, "empty write range");
-  SAM_EXPECT(!line.twin.empty(), "mark_written before make_twin");
-  const mem::GAddr base = line_base(line.id);
-  SAM_EXPECT(addr >= base && addr + n <= base + config_->line_bytes(),
-             "write range outside line");
-  line.dirty = true;
-  const std::size_t first = (addr - base) / mem::kPageSize;
-  const std::size_t last = (addr + n - 1 - base) / mem::kPageSize;
-  for (std::size_t p = first; p <= last; ++p) {
-    line.dirty_page_mask |= (std::uint64_t{1} << p);
-  }
 }
 
 std::vector<mem::PageId> PageCache::dirty_pages(const Line& line) const {
@@ -75,16 +114,23 @@ std::vector<mem::PageId> PageCache::dirty_pages(const Line& line) const {
 void PageCache::clean(Line& line) {
   line.dirty = false;
   line.dirty_page_mask = 0;
+  line.noted_mask = 0;
   line.twin.clear();
-  line.twin.shrink_to_fit();
+}
+
+template <typename Fn>
+void PageCache::for_each_resident(Fn&& fn) const {
+  for (const TableSlot& s : table_) {
+    if (s.frame != kNoFrame) fn(*frame_ptr(s.frame));
+  }
 }
 
 std::vector<PageCache::Line*> PageCache::dirty_lines() {
   std::vector<Line*> out;
-  for (auto& [id, l] : lines_) {
-    if (l->dirty) out.push_back(l.get());
-  }
-  // Deterministic order regardless of hash iteration.
+  for_each_resident([&](const Line& l) {
+    if (l.dirty) out.push_back(const_cast<Line*>(&l));
+  });
+  // Deterministic order regardless of table layout.
   std::sort(out.begin(), out.end(), [](const Line* a, const Line* b) { return a->id < b->id; });
   return out;
 }
@@ -105,23 +151,24 @@ PageCache::Line* PageCache::pick_victim(const std::function<bool(const Line&)>& 
     }
     return cand->last_use < cur->last_use;
   };
-  for (auto& [id, l] : lines_) {
-    if (pinned && pinned(*l)) continue;
+  for_each_resident([&](const Line& cl) {
+    Line* l = const_cast<Line*>(&cl);
+    if (pinned && pinned(*l)) return;
     if (!best) {
-      best = l.get();
-    } else if (better(l.get(), best)) {
-      best = l.get();
-    } else if (!better(best, l.get()) && l->id < best->id) {
-      best = l.get();  // deterministic tie-break on line id
+      best = l;
+    } else if (better(l, best)) {
+      best = l;
+    } else if (!better(best, l) && l->id < best->id) {
+      best = l;  // deterministic tie-break on line id
     }
-  }
+  });
   return best;
 }
 
 std::vector<LineId> PageCache::resident_line_ids() const {
   std::vector<LineId> out;
-  out.reserve(lines_.size());
-  for (const auto& [id, l] : lines_) out.push_back(id);
+  out.reserve(size_);
+  for_each_resident([&](const Line& l) { out.push_back(l.id); });
   std::sort(out.begin(), out.end());
   return out;
 }

@@ -11,17 +11,26 @@
 // PageCache holds functional state only (real bytes, twins, dirty masks);
 // the timed protocol (fetch RPCs, diff flushes) is orchestrated by
 // SamThreadCtx, which owns the virtual clock.
+//
+// Layout: an open-addressing hash table (linear probe, backward-shift
+// deletion) maps LineId to a frame in a chunked arena. The hit path — the
+// hottest lookup in the simulator — is one multiply-shift hash and usually
+// one probe into a flat 16-byte-slot array. Frames are recycled through a
+// free list and their data/twin buffers keep their capacity across
+// evictions, so steady-state install/erase performs no per-line heap
+// allocation. Frame addresses are stable for the cache's lifetime (chunks
+// never move), which callers rely on across intervening installs.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "core/config.hpp"
 #include "mem/types.hpp"
+#include "util/expect.hpp"
 #include "util/time_types.hpp"
 
 namespace sam::core {
@@ -40,12 +49,19 @@ class PageCache {
     SimTime ready_time = 0;               ///< when an async fetch completes
     bool prefetched = false;              ///< fetched by prefetch, not yet demanded
     std::uint64_t last_use = 0;           ///< LRU stamp
+    /// Pages whose write was already noted in the directory (bit per page,
+    /// valid while `note_epoch` matches the directory epoch). Cleared with
+    /// the dirty state so cleaned pages get re-noted on their next write.
+    std::uint64_t noted_mask = 0;
+    std::uint64_t note_epoch = 0;
   };
 
   PageCache(const SamhitaConfig* config, mem::ThreadIdx owner);
 
   // --- geometry -------------------------------------------------------------
-  LineId line_of_page(mem::PageId p) const { return p / config_->pages_per_line; }
+  LineId line_of_page(mem::PageId p) const {
+    return page_shift_ >= 0 ? p >> page_shift_ : p / config_->pages_per_line;
+  }
   LineId line_of_addr(mem::GAddr a) const { return line_of_page(mem::page_of(a)); }
   mem::GAddr line_base(LineId l) const {
     return static_cast<mem::GAddr>(l) * config_->line_bytes();
@@ -53,13 +69,23 @@ class PageCache {
   mem::PageId first_page(LineId l) const { return l * config_->pages_per_line; }
 
   // --- lookup / residency -----------------------------------------------------
-  Line* find(LineId line);
-  const Line* find(LineId line) const;
-  bool contains(LineId line) const { return lines_.count(line) != 0; }
+  Line* find(LineId line) {
+    std::size_t i = slot_of(line);
+    for (;;) {
+      const TableSlot& s = table_[i];
+      if (s.frame == kNoFrame) return nullptr;
+      if (s.id == line) return frame_ptr(s.frame);
+      i = (i + 1) & table_mask_;
+    }
+  }
+  const Line* find(LineId line) const { return const_cast<PageCache*>(this)->find(line); }
+  bool contains(LineId line) const { return find(line) != nullptr; }
 
-  /// Installs a line with the given content. The line must not be resident.
-  Line& install(LineId line, std::vector<std::byte> data, SimTime ready_time,
-                bool prefetched);
+  /// Installs a line and returns it with `data` sized to line_bytes and
+  /// zero-filled; the caller materializes the content in place. The line
+  /// must not be resident. The reference stays valid until the cache dies
+  /// (frames are stable), though the *frame* is recycled after erase().
+  Line& install(LineId line, SimTime ready_time, bool prefetched);
 
   /// Removes a line (invalidation or post-flush eviction).
   void erase(LineId line);
@@ -75,19 +101,32 @@ class PageCache {
   void make_twin(Line& line);
 
   /// Marks [addr, addr+n) written in the ordinary region; twin must exist.
-  void mark_written(Line& line, mem::GAddr addr, std::size_t n);
+  void mark_written(Line& line, mem::GAddr addr, std::size_t n) {
+    SAM_EXPECT(n > 0, "empty write range");
+    SAM_EXPECT(!line.twin.empty(), "mark_written before make_twin");
+    const mem::GAddr base = line_base(line.id);
+    SAM_EXPECT(addr >= base && addr + n <= base + config_->line_bytes(),
+               "write range outside line");
+    line.dirty = true;
+    const std::size_t first = (addr - base) / mem::kPageSize;
+    const std::size_t last = (addr + n - 1 - base) / mem::kPageSize;
+    for (std::size_t p = first; p <= last; ++p) {
+      line.dirty_page_mask |= (std::uint64_t{1} << p);
+    }
+  }
 
   /// Pages (global ids) covered by a line's dirty mask.
   std::vector<mem::PageId> dirty_pages(const Line& line) const;
 
-  /// Clears dirty state after a flush (drops the twin).
+  /// Clears dirty state after a flush (drops the twin, keeps its capacity
+  /// so the next make_twin on this frame allocates nothing).
   void clean(Line& line);
 
   std::vector<Line*> dirty_lines();
 
   // --- capacity / eviction --------------------------------------------------
-  std::size_t resident_lines() const { return lines_.size(); }
-  std::size_t resident_bytes() const { return lines_.size() * config_->line_bytes(); }
+  std::size_t resident_lines() const { return size_; }
+  std::size_t resident_bytes() const { return size_ * config_->line_bytes(); }
   std::size_t capacity_lines() const;
   bool over_capacity() const { return resident_lines() > capacity_lines(); }
 
@@ -101,10 +140,53 @@ class PageCache {
   mem::ThreadIdx owner() const { return owner_; }
   const SamhitaConfig& config() const { return *config_; }
 
+  /// Allocation-count hook: line frames ever carved from the arena. Steady
+  /// across a workload phase, install/erase churn is recycling frames
+  /// instead of allocating.
+  std::size_t frames_allocated() const { return frames_allocated_; }
+
  private:
+  using Frame = std::uint32_t;
+  static constexpr Frame kNoFrame = ~Frame{0};
+  /// Frames per arena chunk; chunks are allocated once and never move.
+  static constexpr std::size_t kChunkFrames = 64;
+  static constexpr std::size_t kInitialSlots = 64;  // power of two
+
+  struct TableSlot {
+    LineId id = 0;
+    Frame frame = kNoFrame;
+  };
+
+  std::size_t slot_of(LineId line) const {
+    // Fibonacci hashing: sequential line ids (the common scan pattern)
+    // spread across the table instead of clustering a linear probe.
+    return static_cast<std::size_t>((line * 0x9E3779B97F4A7C15ull) >> table_shift_);
+  }
+  Line* frame_ptr(Frame f) {
+    return &chunks_[f / kChunkFrames][f % kChunkFrames];
+  }
+  const Line* frame_ptr(Frame f) const {
+    return &chunks_[f / kChunkFrames][f % kChunkFrames];
+  }
+  Frame acquire_frame();
+  void grow_table();
+  void table_insert(LineId line, Frame f);
+  template <typename Fn>
+  void for_each_resident(Fn&& fn) const;
+
   const SamhitaConfig* config_;
   mem::ThreadIdx owner_;
-  std::unordered_map<LineId, std::unique_ptr<Line>> lines_;
+  /// Open-addressing table; capacity is a power of two, load factor <= 1/2.
+  std::vector<TableSlot> table_;
+  std::size_t table_mask_ = 0;
+  unsigned table_shift_ = 0;  // 64 - log2(table size)
+  /// Stable arena: chunks of Line frames plus a recycle list.
+  std::vector<std::unique_ptr<Line[]>> chunks_;
+  std::vector<Frame> free_frames_;
+  std::size_t frames_allocated_ = 0;
+  std::size_t size_ = 0;
+  /// log2(pages_per_line) when it is a power of two, else -1 (divide).
+  int page_shift_ = -1;
   std::uint64_t use_counter_ = 0;
 };
 

@@ -1,6 +1,7 @@
 #include "core/paging_engine.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <utility>
 
 #include "core/consistency_policy.hpp"
@@ -19,7 +20,28 @@ constexpr std::size_t kCtrl = scl::kCtrlBytes;
 }
 
 PagingEngine::PagingEngine(EngineCtx* ec, ConsistencyPolicy* policy)
-    : ec_(ec), policy_(policy), rt_(ec->rt) {}
+    : ec_(ec), policy_(policy), rt_(ec->rt) {
+  const auto& cfg = rt_->config();
+  const bool pow2 = std::has_single_bit(cfg.line_bytes());
+  const bool batching = cfg.max_batch_lines > 1;
+  if (pow2) {
+    line_shift_ = static_cast<unsigned>(std::countr_zero(cfg.line_bytes()));
+    line_mask_ = cfg.line_bytes() - 1;
+  }
+  if (pow2 && batching) {
+    ensure_fn_ = &PagingEngine::ensure_line_t<true, true>;
+    view_fn_ = &PagingEngine::view_t<true, true>;
+  } else if (pow2) {
+    ensure_fn_ = &PagingEngine::ensure_line_t<true, false>;
+    view_fn_ = &PagingEngine::view_t<true, false>;
+  } else if (batching) {
+    ensure_fn_ = &PagingEngine::ensure_line_t<false, true>;
+    view_fn_ = &PagingEngine::view_t<false, true>;
+  } else {
+    ensure_fn_ = &PagingEngine::ensure_line_t<false, false>;
+    view_fn_ = &PagingEngine::view_t<false, false>;
+  }
+}
 
 void PagingEngine::issue_prefetch(LineId line) {
   const auto& cfg = rt_->config();
@@ -41,9 +63,8 @@ void PagingEngine::issue_prefetch(LineId line) {
   ec_->book_completion(c, line);
   if (!c.ok()) return;  // a guess is never worth a failover; abandon it
   const SimTime resp = c.done;
-  std::vector<std::byte> data(bytes);
-  server.read_bytes(cache().line_base(line), data.data(), bytes);
-  cache().install(line, std::move(data), resp, /*prefetched=*/true);
+  PageCache::Line& l = cache().install(line, resp, /*prefetched=*/true);
+  server.read_bytes(cache().line_base(line), l.data.data(), bytes);
   for (unsigned p = 0; p < cfg.pages_per_line; ++p) {
     rt_->directory_.note_cached(first + p, ec_->idx);
   }
@@ -82,9 +103,9 @@ void PagingEngine::evict_for_space(Bucket bucket) {
   }
 }
 
-PageCache::Line& PagingEngine::ensure_line(LineId line, Bucket bucket) {
-  const auto& cfg = rt_->config();
-  charge(cfg.cache_lookup, bucket);
+template <bool kPow2Line, bool kBatching>
+PageCache::Line& PagingEngine::ensure_line_t(LineId line, Bucket bucket) {
+  charge(rt_->config().cache_lookup, bucket);
   if (PageCache::Line* hit = cache().find(line)) {
     if (hit->ready_time > clock()) {
       // Prefetch still in flight: stall until the data lands.
@@ -103,7 +124,12 @@ PageCache::Line& PagingEngine::ensure_line(LineId line, Bucket bucket) {
     trace(sim::TraceKind::kCacheHit, line, 0);
     return *hit;
   }
+  return miss_line<kBatching>(line, bucket);
+}
 
+template <bool kBatching>
+PageCache::Line& PagingEngine::miss_line(LineId line, Bucket bucket) {
+  const auto& cfg = rt_->config();
   // Demand miss. The op scope spans the whole choreography — eviction
   // flushes mint child ids, and the retry/failover legs, service windows and
   // follow-on prefetch batches all inherit this id.
@@ -124,7 +150,7 @@ PageCache::Line& PagingEngine::ensure_line(LineId line, Bucket bucket) {
   if (cfg.prefetch_enabled) candidates = prefetcher().on_miss(line);
   std::vector<LineId> folded;
   std::vector<LineId> deferred;
-  if (cfg.max_batch_lines > 1) {
+  if constexpr (kBatching) {
     split_prefetch_candidates(line, server, candidates, folded, deferred);
   } else {
     deferred = std::move(candidates);
@@ -189,9 +215,8 @@ PageCache::Line& PagingEngine::ensure_line(LineId line, Bucket bucket) {
     trace_span(t0, resp, sim::SpanCat::kBatchRpc, line);
   }
   trace_span(t0, resp, sim::SpanCat::kDemandMiss, line);
-  std::vector<std::byte> data(bytes);
-  server.read_bytes(cache().line_base(line), data.data(), bytes);
-  PageCache::Line& installed = cache().install(line, std::move(data), resp, /*prefetched=*/false);
+  PageCache::Line& installed = cache().install(line, resp, /*prefetched=*/false);
+  server.read_bytes(cache().line_base(line), installed.data.data(), bytes);
   for (unsigned p = 0; p < cfg.pages_per_line; ++p) {
     rt_->directory_.note_cached(first + p, ec_->idx);
   }
@@ -244,9 +269,8 @@ void PagingEngine::install_prefetched(mem::MemoryServer& server,
   const auto& cfg = rt_->config();
   const std::size_t bytes = cfg.line_bytes();
   for (LineId l : lines) {
-    std::vector<std::byte> data(bytes);
-    server.read_bytes(cache().line_base(l), data.data(), bytes);
-    cache().install(l, std::move(data), ready, /*prefetched=*/true);
+    PageCache::Line& installed = cache().install(l, ready, /*prefetched=*/true);
+    server.read_bytes(cache().line_base(l), installed.data.data(), bytes);
     const mem::PageId first = cache().first_page(l);
     for (unsigned p = 0; p < cfg.pages_per_line; ++p) {
       rt_->directory_.note_cached(first + p, ec_->idx);
@@ -334,9 +358,8 @@ void PagingEngine::issue_prefetch_rpc(mem::MemoryServer& server,
     trace_span(t0, resp, sim::SpanCat::kBatchRpc, lines.front());
   }
   for (LineId l : lines) {
-    std::vector<std::byte> data(bytes);
-    server.read_bytes(cache().line_base(l), data.data(), bytes);
-    cache().install(l, std::move(data), resp, /*prefetched=*/true);
+    PageCache::Line& installed = cache().install(l, resp, /*prefetched=*/true);
+    server.read_bytes(cache().line_base(l), installed.data.data(), bytes);
     const mem::PageId first = cache().first_page(l);
     for (unsigned p = 0; p < cfg.pages_per_line; ++p) {
       rt_->directory_.note_cached(first + p, ec_->idx);
@@ -347,18 +370,31 @@ void PagingEngine::issue_prefetch_rpc(mem::MemoryServer& server,
   }
 }
 
-std::span<std::byte> PagingEngine::view(rt::Addr addr, std::size_t bytes, bool for_write) {
+template <bool kPow2Line, bool kBatching>
+std::span<std::byte> PagingEngine::view_t(rt::Addr addr, std::size_t bytes,
+                                          bool for_write) {
   SAM_EXPECT(bytes > 0, "empty view");
-  const LineId first_line = cache().line_of_addr(addr);
-  const LineId last_line = cache().line_of_addr(addr + bytes - 1);
-  SAM_EXPECT(first_line == last_line,
-             "view crosses a cache-line boundary; split it (see rt::for_each_chunk)");
+  LineId first_line;
+  std::size_t offset;
+  if constexpr (kPow2Line) {
+    first_line = addr >> line_shift_;
+    const LineId last_line = (addr + bytes - 1) >> line_shift_;
+    SAM_EXPECT(first_line == last_line,
+               "view crosses a cache-line boundary; split it (see rt::for_each_chunk)");
+    offset = addr & line_mask_;
+  } else {
+    first_line = cache().line_of_addr(addr);
+    const LineId last_line = cache().line_of_addr(addr + bytes - 1);
+    SAM_EXPECT(first_line == last_line,
+               "view crosses a cache-line boundary; split it (see rt::for_each_chunk)");
+    offset = addr - cache().line_base(first_line);
+  }
 
-  PageCache::Line& line = ensure_line(first_line, Bucket::kCompute);
+  PageCache::Line& line =
+      ensure_line_t<kPow2Line, kBatching>(first_line, Bucket::kCompute);
 
   if (for_write) policy_->on_tracked_write(line, addr, bytes);
 
-  const std::size_t offset = addr - cache().line_base(first_line);
   return {line.data.data() + offset, bytes};
 }
 

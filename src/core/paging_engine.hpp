@@ -33,15 +33,36 @@ class PagingEngine {
 
   /// Makes [line] resident (demand fetch + anticipatory paging) and
   /// charges the stall to `bucket`. Returns the resident line.
-  PageCache::Line& ensure_line(LineId line, Bucket bucket);
+  PageCache::Line& ensure_line(LineId line, Bucket bucket) {
+    return (this->*ensure_fn_)(line, bucket);
+  }
 
   /// One memory view: residency + write tracking via the policy.
-  std::span<std::byte> view(rt::Addr addr, std::size_t bytes, bool for_write);
+  std::span<std::byte> view(rt::Addr addr, std::size_t bytes, bool for_write) {
+    return (this->*view_fn_)(addr, bytes, for_write);
+  }
 
   /// Evicts (flushing dirty victims through the policy) until one line fits.
   void evict_for_space(Bucket bucket);
 
  private:
+  // The per-access fast path is specialized at construction on the config
+  // knobs that never change afterwards — power-of-two line geometry (address
+  // math becomes shift/mask) and scatter-gather batching (the miss
+  // choreography drops its folding branches) — and dispatched through a
+  // member function pointer bound once. Behavior is identical across
+  // specializations; only the instruction stream differs.
+  template <bool kPow2Line, bool kBatching>
+  PageCache::Line& ensure_line_t(LineId line, Bucket bucket);
+  template <bool kPow2Line, bool kBatching>
+  std::span<std::byte> view_t(rt::Addr addr, std::size_t bytes, bool for_write);
+  /// Cold demand-miss choreography shared by every specialization.
+  template <bool kBatching>
+  PageCache::Line& miss_line(LineId line, Bucket bucket);
+
+  using EnsureFn = PageCache::Line& (PagingEngine::*)(LineId, Bucket);
+  using ViewFn = std::span<std::byte> (PagingEngine::*)(rt::Addr, std::size_t, bool);
+
   /// Single-line asynchronous prefetch RPC (the paper's per-line protocol).
   void issue_prefetch(LineId line);
   /// Partitions the prefetcher's candidates for a demand miss homed on
@@ -77,6 +98,12 @@ class PagingEngine {
   EngineCtx* ec_;
   ConsistencyPolicy* policy_;
   SamhitaRuntime* rt_;
+  EnsureFn ensure_fn_;
+  ViewFn view_fn_;
+  /// Cached geometry for the power-of-two fast path (log2/mask of
+  /// line_bytes); unused when pages_per_line is not a power of two.
+  unsigned line_shift_ = 0;
+  std::size_t line_mask_ = 0;
 };
 
 }  // namespace sam::core

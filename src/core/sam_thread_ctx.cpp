@@ -31,7 +31,7 @@ SamThreadCtx::SamThreadCtx(SamhitaRuntime* rt, mem::ThreadIdx idx, std::uint32_t
                                                 : PrefetchPolicy::kNone,
                   rt->config().prefetch_depth),
       ec_{rt, idx, nthreads, rt->config().compute_node(idx),
-          /*sim_thread=*/nullptr, &cache_, &prefetcher_, &metrics_},
+          /*sim_thread=*/nullptr, &cache_, &prefetcher_, &metrics_, &rt->trace()},
       policy_(make_policy(rt->config().consistency_policy, &ec_)),
       paging_(&ec_, policy_.get()),
       sync_(&ec_, policy_.get()) {}

@@ -49,9 +49,25 @@ void ConsistencyEngine::ordinary_write(core::PageCache::Line& line, mem::GAddr a
     ++metrics().twins_created;
   }
   cache().mark_written(line, addr, bytes);
+  // Directory notes are idempotent within an epoch, so repeated writes to
+  // the same page (the overwhelmingly common pattern) skip the hash lookups:
+  // the per-line noted mask remembers which pages this thread has already
+  // registered. The mask is cleared whenever the notes could go stale —
+  // clean()/lazy-pull reset it alongside the dirty state, and an epoch
+  // rollover (end_epoch clears the writer sets) invalidates it via the
+  // epoch stamp.
+  const std::uint64_t epoch = rt_->directory_.epoch();
+  if (line.note_epoch != epoch) {
+    line.note_epoch = epoch;
+    line.noted_mask = 0;
+  }
   const mem::PageId p0 = mem::page_of(addr);
   const mem::PageId p1 = mem::page_of(addr + bytes - 1);
+  const mem::PageId base = cache().first_page(line.id);
   for (mem::PageId p = p0; p <= p1; ++p) {
+    const std::uint64_t bit = std::uint64_t{1} << (p - base);
+    if (line.noted_mask & bit) continue;
+    line.noted_mask |= bit;
     rt_->directory_.note_write(p, ec_->idx);
     rt_->directory_.note_dirty(p, ec_->idx);
   }
@@ -387,8 +403,9 @@ void ConsistencyEngine::invalidate_stale(core::Bucket bucket) {
 Diff ConsistencyEngine::materialize_store_log() {
   Diff diff;
   for (const auto& range : store_log_.coalesced()) {
-    // Values live in the cache; pinning guaranteed residency.
-    std::vector<std::byte> buf(range.size);
+    // Values live in the cache; pinning guaranteed residency. The payload is
+    // materialized straight into the diff's pooled buffer (no scratch copy).
+    std::span<std::byte> buf = diff.add_range_uninit(range.addr, range.size);
     std::size_t done = 0;
     while (done < range.size) {
       const mem::GAddr a = range.addr + done;
@@ -408,7 +425,6 @@ Diff ConsistencyEngine::materialize_store_log() {
       }
       done += chunk;
     }
-    diff.add_range(range.addr, buf);
   }
   store_log_.clear();
   pinned_lines_.clear();

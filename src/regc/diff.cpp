@@ -1,63 +1,134 @@
 #include "regc/diff.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cstring>
 
+#include "util/arena.hpp"
 #include "util/expect.hpp"
 
 namespace sam::regc {
+namespace {
+
+constexpr bool kLittleEndian = std::endian::native == std::endian::little;
+
+inline std::uint64_t load_u64(const std::byte* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+/// First index >= pos where twin and current differ, else n. The common
+/// case (long clean stretches) runs eight bytes per XOR.
+std::size_t next_diff(const std::byte* t, const std::byte* c, std::size_t n,
+                      std::size_t pos) {
+  if constexpr (kLittleEndian) {
+    while (pos + 8 <= n) {
+      const std::uint64_t x = load_u64(t + pos) ^ load_u64(c + pos);
+      if (x != 0) return pos + (static_cast<std::size_t>(std::countr_zero(x)) >> 3);
+      pos += 8;
+    }
+  }
+  while (pos < n && t[pos] == c[pos]) ++pos;
+  return pos;
+}
+
+/// First index >= pos where twin and current agree, else n. Fully-changed
+/// words (no zero byte in the XOR) are skipped eight at a time; the zero-byte
+/// locator flags the *lowest* zero byte exactly, which is the one we take.
+std::size_t run_end(const std::byte* t, const std::byte* c, std::size_t n,
+                    std::size_t pos) {
+  if constexpr (kLittleEndian) {
+    constexpr std::uint64_t kLo = 0x0101010101010101ull;
+    constexpr std::uint64_t kHi = 0x8080808080808080ull;
+    while (pos + 8 <= n) {
+      const std::uint64_t x = load_u64(t + pos) ^ load_u64(c + pos);
+      const std::uint64_t zero = (x - kLo) & ~x & kHi;
+      if (zero != 0) return pos + (static_cast<std::size_t>(std::countr_zero(zero)) >> 3);
+      pos += 8;
+    }
+  }
+  while (pos < n && t[pos] != c[pos]) ++pos;
+  return pos;
+}
+
+}  // namespace
+
+Diff::Diff()
+    : ranges_(util::VectorPool<Range>::local().acquire()),
+      payload_(util::VectorPool<std::byte>::local().acquire()) {}
+
+Diff::~Diff() {
+  util::VectorPool<Range>::local().release(std::move(ranges_));
+  util::VectorPool<std::byte>::local().release(std::move(payload_));
+}
+
+Diff::Diff(const Diff& other) : Diff() {
+  ranges_ = other.ranges_;
+  payload_ = other.payload_;
+}
+
+Diff::Diff(Diff&& other) noexcept
+    : ranges_(std::move(other.ranges_)), payload_(std::move(other.payload_)) {}
+
+Diff& Diff::operator=(const Diff& other) {
+  // Plain element copy keeps this diff's recycled capacity.
+  ranges_ = other.ranges_;
+  payload_ = other.payload_;
+  return *this;
+}
+
+Diff& Diff::operator=(Diff&& other) noexcept {
+  // Swap: our buffers ride out in `other` and return to the pool with it.
+  ranges_.swap(other.ranges_);
+  payload_.swap(other.payload_);
+  return *this;
+}
 
 Diff Diff::between(mem::GAddr base, std::span<const std::byte> twin,
                    std::span<const std::byte> current, std::size_t gap_coalesce) {
   SAM_EXPECT(twin.size() == current.size(), "twin/current size mismatch");
   Diff d;
+  const std::byte* t = twin.data();
+  const std::byte* c = current.data();
   const std::size_t n = twin.size();
-  std::size_t i = 0;
+  std::size_t i = next_diff(t, c, n, 0);
   while (i < n) {
-    if (twin[i] == current[i]) {
-      ++i;
-      continue;
-    }
-    // Start of a changed run; extend while changed, jumping small clean gaps.
-    std::size_t end = i + 1;
-    std::size_t last_changed = i;
-    while (end < n) {
-      if (twin[end] != current[end]) {
-        last_changed = end;
-        ++end;
-      } else if (end - last_changed <= gap_coalesce) {
-        ++end;  // tolerate a short clean gap inside one range
-      } else {
-        break;
-      }
+    // Contiguous changed run, then extend across clean gaps short enough to
+    // coalesce: a gap of g unchanged bytes is absorbed iff g <= gap_coalesce.
+    std::size_t last_changed = run_end(t, c, n, i + 1) - 1;
+    std::size_t next = next_diff(t, c, n, last_changed + 1);
+    while (next < n && next - last_changed <= gap_coalesce + 1) {
+      last_changed = run_end(t, c, n, next + 1) - 1;
+      next = next_diff(t, c, n, last_changed + 1);
     }
     const std::size_t len = last_changed - i + 1;
-    DiffRange r;
-    r.addr = base + i;
-    r.data.assign(current.begin() + static_cast<std::ptrdiff_t>(i),
-                  current.begin() + static_cast<std::ptrdiff_t>(i + len));
-    d.ranges_.push_back(std::move(r));
-    i = last_changed + 1;
+    std::memcpy(d.add_range_uninit(base + i, len).data(), c + i, len);
+    i = next;
   }
   return d;
 }
 
+std::span<std::byte> Diff::add_range_uninit(mem::GAddr addr, std::size_t len) {
+  SAM_EXPECT(len > 0, "empty diff range");
+  const std::size_t offset = payload_.size();
+  payload_.resize(offset + len);
+  ranges_.push_back(Range{addr, offset, len});
+  return std::span<std::byte>(payload_.data() + offset, len);
+}
+
 void Diff::add_range(mem::GAddr addr, std::span<const std::byte> data) {
-  SAM_EXPECT(!data.empty(), "empty diff range");
-  DiffRange r;
-  r.addr = addr;
-  r.data.assign(data.begin(), data.end());
-  ranges_.push_back(std::move(r));
+  std::span<std::byte> dst = add_range_uninit(addr, data.size());
+  std::memcpy(dst.data(), data.data(), data.size());
 }
 
 void Diff::append(const Diff& other) {
-  ranges_.insert(ranges_.end(), other.ranges_.begin(), other.ranges_.end());
-}
-
-std::size_t Diff::payload_bytes() const {
-  std::size_t total = 0;
-  for (const auto& r : ranges_) total += r.data.size();
-  return total;
+  const std::size_t shift = payload_.size();
+  payload_.insert(payload_.end(), other.payload_.begin(), other.payload_.end());
+  ranges_.reserve(ranges_.size() + other.ranges_.size());
+  for (const Range& r : other.ranges_) {
+    ranges_.push_back(Range{r.addr, r.offset + shift, r.len});
+  }
 }
 
 std::size_t Diff::wire_bytes() const {
@@ -65,27 +136,36 @@ std::size_t Diff::wire_bytes() const {
 }
 
 void Diff::apply_to(mem::MemoryServer& server) const {
-  for (const auto& r : ranges_) {
-    server.write_bytes(r.addr, r.data.data(), r.data.size());
+  for (const Range& r : ranges_) {
+    server.write_bytes(r.addr, payload_.data() + r.offset, r.len);
   }
 }
 
 void Diff::apply_to_buffer(mem::GAddr buf_base, std::span<std::byte> buf) const {
   const mem::GAddr buf_end = buf_base + buf.size();
-  for (const auto& r : ranges_) {
-    const mem::GAddr r_end = r.addr + r.data.size();
+  for (const Range& r : ranges_) {
+    const mem::GAddr r_end = r.addr + r.len;
     if (r_end <= buf_base || r.addr >= buf_end) continue;
     const mem::GAddr lo = std::max(r.addr, buf_base);
     const mem::GAddr hi = std::min(r_end, buf_end);
-    std::memcpy(buf.data() + (lo - buf_base), r.data.data() + (lo - r.addr), hi - lo);
+    std::memcpy(buf.data() + (lo - buf_base), payload_.data() + r.offset + (lo - r.addr),
+                hi - lo);
   }
 }
 
+const util::PoolStats& Diff::range_pool_stats() {
+  return util::VectorPool<Range>::local().stats();
+}
+
+const util::PoolStats& Diff::payload_pool_stats() {
+  return util::VectorPool<std::byte>::local().stats();
+}
+
 bool Diff::disjoint(const Diff& a, const Diff& b) {
-  for (const auto& ra : a.ranges_) {
-    const mem::GAddr ra_end = ra.addr + ra.data.size();
-    for (const auto& rb : b.ranges_) {
-      const mem::GAddr rb_end = rb.addr + rb.data.size();
+  for (const Range& ra : a.ranges_) {
+    const mem::GAddr ra_end = ra.addr + ra.len;
+    for (const Range& rb : b.ranges_) {
+      const mem::GAddr rb_end = rb.addr + rb.len;
       if (ra.addr < rb_end && rb.addr < ra_end) return false;
     }
   }

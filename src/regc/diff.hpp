@@ -7,28 +7,43 @@
 // *different* bytes of the same page (false sharing) produce disjoint diffs
 // whose application commutes — that is the multiple-writer protocol from
 // paper §II, in the TreadMarks tradition.
+//
+// Storage: one pooled payload buffer per diff plus compact {addr, offset,
+// len} run records, instead of a std::vector per range. Buffers come from
+// util::VectorPool, so steady-state diffing allocates nothing; the
+// twin-compare itself scans word-at-a-time (uint64 XOR) and refines to byte
+// boundaries only around mismatches.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <iterator>
 #include <span>
 #include <vector>
 
 #include "mem/memory_server.hpp"
 #include "mem/types.hpp"
+#include "util/arena.hpp"
 
 namespace sam::regc {
 
-/// One contiguous run of changed bytes at a global address.
+/// View of one contiguous run of changed bytes at a global address. `data`
+/// points into the owning Diff's payload buffer and is invalidated by any
+/// mutation of that diff.
 struct DiffRange {
   mem::GAddr addr = 0;
-  std::vector<std::byte> data;
+  std::span<const std::byte> data;
 };
 
 /// An ordered set of disjoint changed-byte runs.
 class Diff {
  public:
-  Diff() = default;
+  Diff();
+  ~Diff();
+  Diff(const Diff& other);
+  Diff(Diff&& other) noexcept;
+  Diff& operator=(const Diff& other);
+  Diff& operator=(Diff&& other) noexcept;
 
   /// Computes the diff of `current` against `twin` for the page whose global
   /// base address is `base`.
@@ -46,15 +61,52 @@ class Diff {
   /// Appends a range directly (used by StoreLog materialization).
   void add_range(mem::GAddr addr, std::span<const std::byte> data);
 
+  /// Appends a range of `len` uninitialized bytes and returns the writable
+  /// payload window for the caller to fill in place. The span is valid only
+  /// until the diff is next mutated.
+  std::span<std::byte> add_range_uninit(mem::GAddr addr, std::size_t len);
+
   /// Merges another diff into this one (ranges kept as-is; order preserved).
   void append(const Diff& other);
 
   bool empty() const { return ranges_.empty(); }
   std::size_t range_count() const { return ranges_.size(); }
-  const std::vector<DiffRange>& ranges() const { return ranges_; }
+
+  /// Random-access view over the runs, yielding DiffRange values.
+  class RangeList {
+   public:
+    class iterator {
+     public:
+      using value_type = DiffRange;
+      using difference_type = std::ptrdiff_t;
+      using iterator_category = std::input_iterator_tag;
+      iterator(const Diff* d, std::size_t i) : d_(d), i_(i) {}
+      DiffRange operator*() const { return d_->range_at(i_); }
+      iterator& operator++() {
+        ++i_;
+        return *this;
+      }
+      bool operator==(const iterator& o) const { return i_ == o.i_; }
+      bool operator!=(const iterator& o) const { return i_ != o.i_; }
+
+     private:
+      const Diff* d_;
+      std::size_t i_;
+    };
+    explicit RangeList(const Diff* d) : d_(d) {}
+    std::size_t size() const { return d_->range_count(); }
+    bool empty() const { return d_->empty(); }
+    DiffRange operator[](std::size_t i) const { return d_->range_at(i); }
+    iterator begin() const { return iterator(d_, 0); }
+    iterator end() const { return iterator(d_, d_->range_count()); }
+
+   private:
+    const Diff* d_;
+  };
+  RangeList ranges() const { return RangeList(this); }
 
   /// Changed payload bytes.
-  std::size_t payload_bytes() const;
+  std::size_t payload_bytes() const { return payload_.size(); }
 
   /// Bytes this diff occupies on the wire (payload + per-range headers).
   std::size_t wire_bytes() const;
@@ -69,8 +121,29 @@ class Diff {
   /// True if no byte is covered by both diffs (multiple-writer soundness).
   static bool disjoint(const Diff& a, const Diff& b);
 
+  /// Allocation-count hooks: stats of the calling thread's recycling pools
+  /// (range records / payload bytes). A steady `fresh` count across a
+  /// workload proves the diff hot path performs no heap allocation.
+  static const util::PoolStats& range_pool_stats();
+  static const util::PoolStats& payload_pool_stats();
+
  private:
-  std::vector<DiffRange> ranges_;
+  /// One run: `len` payload bytes at payload_[offset] targeting `addr`.
+  struct Range {
+    mem::GAddr addr = 0;
+    std::size_t offset = 0;
+    std::size_t len = 0;
+  };
+
+  DiffRange range_at(std::size_t i) const {
+    const Range& r = ranges_[i];
+    return DiffRange{r.addr,
+                     std::span<const std::byte>(payload_.data() + r.offset, r.len)};
+  }
+
+  /// Pooled buffers: run records plus the concatenated payload bytes.
+  std::vector<Range> ranges_;
+  std::vector<std::byte> payload_;
 };
 
 /// Per-range wire header: address (8) + length (4) + flags (4).

@@ -5,13 +5,35 @@
 #include "util/expect.hpp"
 #include "util/logger.hpp"
 
+// ASan cannot follow a swapcontext to a foreign stack on its own: it keeps
+// per-stack shadow state and a fake-stack allocator, both of which must be
+// told about every fiber switch or the sanitize job reports false positives
+// on the first deep call after a resume.
+#if defined(__SANITIZE_ADDRESS__)
+#define SAM_ASAN_FIBERS 1
+#endif
+#if !defined(SAM_ASAN_FIBERS) && defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define SAM_ASAN_FIBERS 1
+#endif
+#endif
+
+#ifdef SAM_ASAN_FIBERS
+#include <sanitizer/common_interface_defs.h>
+#endif
+
 namespace sam::sim {
 
 namespace {
 
 /// Thrown inside a simulated thread to unwind its stack during shutdown.
-/// Never escapes thread_main; never reported as a user error.
+/// Never escapes the trampoline; never reported as a user error.
 struct AbortSignal {};
+
+/// Fiber stack size. Kernels recurse shallowly, but gtest assertion and
+/// report formatting paths can be deep; 512 KiB leaves ample headroom and
+/// 64 threads still cost only 32 MiB, freed with the runtime.
+constexpr std::size_t kFiberStackBytes = 512 * 1024;
 
 thread_local SimThread* g_current = nullptr;
 
@@ -30,21 +52,28 @@ SimThread* CoopScheduler::current() { return g_current; }
 SimThread* CoopScheduler::spawn(std::string name, SimTime start_clock,
                                 std::function<void()> body) {
   SAM_EXPECT(static_cast<bool>(body), "null thread body");
-  std::unique_lock lock(mu_);
   const auto id = static_cast<SimThreadId>(threads_.size());
-  threads_.push_back(std::make_unique<SimThread>(this, id, std::move(name), start_clock,
-                                                 std::move(body)));
+  threads_.push_back(
+      std::make_unique<SimThread>(this, id, std::move(name), start_clock,
+                                  std::move(body)));
   SimThread* t = threads_.back().get();
-  t->os_thread_ = std::thread([this, t] { thread_main(t); });
+  t->stack_ = std::make_unique<std::byte[]>(kFiberStackBytes);
+  getcontext(&t->ctx_);
+  t->ctx_.uc_stack.ss_sp = t->stack_.get();
+  t->ctx_.uc_stack.ss_size = kFiberStackBytes;
+  t->ctx_.uc_link = nullptr;
+  makecontext(&t->ctx_, &SimThread::trampoline, 0);
   return t;
 }
 
-void CoopScheduler::thread_main(SimThread* t) {
-  std::unique_lock lock(mu_);
-  t->cv_.wait(lock, [&] { return t->status_ == SimThread::Status::kRunning || aborting_; });
-  if (t->status_ == SimThread::Status::kRunning && !aborting_) {
-    g_current = t;
-    lock.unlock();
+void SimThread::trampoline() {
+  SimThread* t = g_current;
+  CoopScheduler* sched = t->sched_;
+#ifdef SAM_ASAN_FIBERS
+  __sanitizer_finish_switch_fiber(nullptr, &sched->asan_sched_bottom_,
+                                  &sched->asan_sched_size_);
+#endif
+  if (t->status_ == Status::kRunning && !sched->aborting_) {
     try {
       t->body_();
     } catch (const AbortSignal&) {
@@ -52,15 +81,44 @@ void CoopScheduler::thread_main(SimThread* t) {
     } catch (...) {
       t->error_ = std::current_exception();
     }
-    lock.lock();
-    g_current = nullptr;
   }
-  t->status_ = SimThread::Status::kFinished;
-  if (running_ == t) running_ = nullptr;
-  sched_cv_.notify_one();
+  t->status_ = Status::kFinished;
+#ifdef SAM_ASAN_FIBERS
+  // nullptr fake-stack save: this fiber is dying, let ASan reclaim it.
+  __sanitizer_start_switch_fiber(nullptr, sched->asan_sched_bottom_,
+                                 sched->asan_sched_size_);
+#endif
+  swapcontext(&t->ctx_, &sched->sched_ctx_);
+  // never reached: a finished fiber is never resumed
 }
 
-SimThread* CoopScheduler::pick_min_ready_locked() {
+void CoopScheduler::resume(SimThread* t) {
+  t->started_ = true;
+  running_ = t;
+  g_current = t;
+#ifdef SAM_ASAN_FIBERS
+  __sanitizer_start_switch_fiber(&asan_fake_, t->stack_.get(), kFiberStackBytes);
+#endif
+  swapcontext(&sched_ctx_, &t->ctx_);
+#ifdef SAM_ASAN_FIBERS
+  __sanitizer_finish_switch_fiber(asan_fake_, nullptr, nullptr);
+#endif
+  g_current = nullptr;
+  running_ = nullptr;
+}
+
+void CoopScheduler::suspend_current(SimThread* t) {
+#ifdef SAM_ASAN_FIBERS
+  __sanitizer_start_switch_fiber(&t->asan_fake_, asan_sched_bottom_, asan_sched_size_);
+#endif
+  swapcontext(&t->ctx_, &sched_ctx_);
+#ifdef SAM_ASAN_FIBERS
+  __sanitizer_finish_switch_fiber(t->asan_fake_, &asan_sched_bottom_, &asan_sched_size_);
+#endif
+  if (t->status_ != SimThread::Status::kRunning) throw AbortSignal{};
+}
+
+SimThread* CoopScheduler::pick_min_ready() {
   SimThread* best = nullptr;
   for (auto& up : threads_) {
     SimThread* t = up.get();
@@ -74,7 +132,6 @@ SimThread* CoopScheduler::pick_min_ready_locked() {
 }
 
 void CoopScheduler::run() {
-  std::unique_lock lock(mu_);
   SAM_EXPECT(!in_run_, "CoopScheduler::run is not reentrant");
   in_run_ = true;
 
@@ -92,7 +149,7 @@ void CoopScheduler::run() {
     }
     if (first_error) break;
 
-    SimThread* t = pick_min_ready_locked();
+    SimThread* t = pick_min_ready();
     const bool have_event = !events_.empty();
     const SimTime ev_time = have_event ? events_.next_time() : 0;
 
@@ -111,10 +168,8 @@ void CoopScheduler::run() {
     }
 
     if (have_event && (!t || ev_time <= t->clock_)) {
-      // Event callbacks run without the lock so they may call unblock().
-      lock.unlock();
+      // Event callbacks run in scheduler context and may call unblock().
       const SimTime et = events_.run_next();
-      lock.lock();
       horizon_ = std::max(horizon_, et);
       continue;
     }
@@ -122,29 +177,27 @@ void CoopScheduler::run() {
     horizon_ = std::max(horizon_, t->clock_);
     ++thread_resumes_;
     t->status_ = SimThread::Status::kRunning;
-    running_ = t;
-    t->cv_.notify_one();
-    sched_cv_.wait(lock, [&] { return running_ == nullptr; });
+    resume(t);
   }
 
-  // Shutdown: unwind every thread that has not finished.
+  // Shutdown: unwind every thread that has not finished. Resuming a fiber
+  // with aborting_ set (status left non-Running) makes suspend_current throw
+  // AbortSignal, unwinding the fiber stack through its destructors; the
+  // trampoline catches it and marks the thread finished. Index loop: an
+  // unwinding destructor may legally spawn or unblock.
   aborting_ = true;
-  for (;;) {
-    bool all_done = true;
-    for (auto& up : threads_) {
-      if (up->status_ != SimThread::Status::kFinished) {
-        all_done = false;
-        up->cv_.notify_one();
-      }
+  for (std::size_t i = 0; i < threads_.size(); ++i) {
+    SimThread* t = threads_[i].get();
+    if (t->status_ == SimThread::Status::kFinished) continue;
+    if (!t->started_) {
+      // Body never began: nothing on the fiber stack to unwind.
+      t->status_ = SimThread::Status::kFinished;
+      continue;
     }
-    if (all_done) break;
-    sched_cv_.wait_for(lock, std::chrono::milliseconds(1));
+    resume(t);
+    SAM_EXPECT(t->status_ == SimThread::Status::kFinished,
+               "abort unwind did not finish thread");
   }
-  lock.unlock();
-  for (auto& up : threads_) {
-    if (up->os_thread_.joinable()) up->os_thread_.join();
-  }
-  lock.lock();
   aborting_ = false;
 
   if (first_error) std::rethrow_exception(first_error);
@@ -155,30 +208,21 @@ void CoopScheduler::run() {
 }
 
 CoopScheduler::~CoopScheduler() {
-  {
-    std::unique_lock lock(mu_);
-    aborting_ = true;
-    for (auto& up : threads_) up->cv_.notify_one();
+  // run() unwinds every started fiber before returning or throwing, so this
+  // only sweeps fibers whose bodies never began (spawn without run).
+  aborting_ = true;
+  for (std::size_t i = 0; i < threads_.size(); ++i) {
+    SimThread* t = threads_[i].get();
+    if (t->status_ == SimThread::Status::kFinished || !t->started_) continue;
+    resume(t);
   }
-  for (auto& up : threads_) {
-    if (up->os_thread_.joinable()) up->os_thread_.join();
-  }
-}
-
-void CoopScheduler::hand_back_to_scheduler_locked(std::unique_lock<std::mutex>& lock,
-                                                  SimThread* t) {
-  running_ = nullptr;
-  sched_cv_.notify_one();
-  t->cv_.wait(lock, [&] { return t->status_ == SimThread::Status::kRunning || aborting_; });
-  if (t->status_ != SimThread::Status::kRunning) throw AbortSignal{};
 }
 
 void CoopScheduler::yield_current() {
   SimThread* t = current();
   SAM_EXPECT(t != nullptr, "yield_current outside a simulated thread");
-  std::unique_lock lock(mu_);
   t->status_ = SimThread::Status::kReady;
-  hand_back_to_scheduler_locked(lock, t);
+  suspend_current(t);
 }
 
 void CoopScheduler::wait_until(SimTime when) {
@@ -191,14 +235,12 @@ void CoopScheduler::wait_until(SimTime when) {
 void CoopScheduler::block_current() {
   SimThread* t = current();
   SAM_EXPECT(t != nullptr, "block_current outside a simulated thread");
-  std::unique_lock lock(mu_);
   t->status_ = SimThread::Status::kBlocked;
-  hand_back_to_scheduler_locked(lock, t);
+  suspend_current(t);
 }
 
 void CoopScheduler::unblock(SimThread* t, SimTime at) {
   SAM_EXPECT(t != nullptr, "unblock(nullptr)");
-  std::unique_lock lock(mu_);
   SAM_EXPECT(t->status_ == SimThread::Status::kBlocked,
              "unblock of thread '" + t->name_ + "' that is not blocked");
   t->advance_to(at);
@@ -206,13 +248,9 @@ void CoopScheduler::unblock(SimThread* t, SimTime at) {
 }
 
 EventId CoopScheduler::schedule_event(SimTime when, std::function<void()> fn) {
-  std::unique_lock lock(mu_);
   return events_.schedule(when, std::move(fn));
 }
 
-bool CoopScheduler::cancel_event(EventId id) {
-  std::unique_lock lock(mu_);
-  return events_.cancel(id);
-}
+bool CoopScheduler::cancel_event(EventId id) { return events_.cancel(id); }
 
 }  // namespace sam::sim

@@ -1,16 +1,63 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
+
 #include "util/expect.hpp"
 
 namespace sam::sim {
+
+EventQueue::Slot EventQueue::alloc_slot() {
+  if (!free_slots_.empty()) {
+    const Slot s = free_slots_.back();
+    free_slots_.pop_back();
+    return s;
+  }
+  pool_.emplace_back();
+  return static_cast<Slot>(pool_.size() - 1);
+}
+
+void EventQueue::release_slot(Slot s) {
+  pool_[s].fn = nullptr;  // drop captures now, not at next reuse
+  free_slots_.push_back(s);
+}
+
+void EventQueue::bottom_insert(Slot s) {
+  // Descending order: earliest at the back, so pop is pop_back().
+  const auto pos = std::upper_bound(bottom_.begin(), bottom_.end(), s,
+                                    [this](Slot a, Slot b) { return before(b, a); });
+  bottom_.insert(pos, s);
+}
 
 EventId EventQueue::schedule(SimTime when, std::function<void()> fn) {
   SAM_EXPECT(static_cast<bool>(fn), "null event callback");
   const EventId id = cancelled_.size();
   cancelled_.push_back(false);
-  heap_.push(Entry{when, next_seq_++, id, std::move(fn)});
+  const Slot s = alloc_slot();
+  Entry& e = pool_[s];
+  e.when = when;
+  e.seq = next_seq_++;
+  e.id = id;
+  e.fn = std::move(fn);
   ++live_;
   if (live_ > peak_live_) peak_live_ = live_;
+
+  if (when < bottom_high_) {
+    // Bottom's domain has advanced past `when`; only a sorted insert keeps
+    // the global pop order.
+    bottom_insert(s);
+  } else if (rung_active_ && when < rung_hi_) {
+    rung_[static_cast<std::size_t>((when - rung_lo_) / rung_width_)].push_back(s);
+  } else if (!rung_active_ && bottom_.size() < kBottomMax &&
+             (top_.empty() || when < top_min_)) {
+    // Common case: small mostly-monotonic queue. Keep serving from the
+    // sorted bottom and widen its domain to cover the new event.
+    bottom_high_ = when + 1;
+    bottom_insert(s);
+  } else {
+    if (top_.empty() || when < top_min_) top_min_ = when;
+    if (top_.empty() || when > top_max_) top_max_ = when;
+    top_.push_back(s);
+  }
   return id;
 }
 
@@ -22,30 +69,90 @@ bool EventQueue::cancel(EventId id) {
   return true;
 }
 
-void EventQueue::drop_cancelled() const {
-  while (!heap_.empty() && cancelled_[heap_.top().id]) {
-    // const_cast is confined here: popping cancelled entries does not change
-    // the queue's observable (live) contents.
-    const_cast<EventQueue*>(this)->heap_.pop();
+void EventQueue::spawn_rung_from_top() {
+  rung_lo_ = top_min_;
+  rung_hi_ = top_max_ + 1;
+  const SimTime range = rung_hi_ - rung_lo_;
+  rung_width_ = std::max<SimTime>(1, (range + kRungBuckets - 1) / kRungBuckets);
+  const auto nbuckets = static_cast<std::size_t>((range + rung_width_ - 1) / rung_width_);
+  rung_.resize(nbuckets);
+  for (const Slot s : top_) {
+    const auto b = static_cast<std::size_t>((pool_[s].when - rung_lo_) / rung_width_);
+    rung_[b].push_back(s);
+  }
+  top_.clear();
+  rung_cur_ = 0;
+  rung_active_ = true;
+  // Bottom is empty here; its domain restarts below the rung. Events
+  // scheduled before rung_lo_ from now on sort straight into bottom.
+  bottom_high_ = rung_lo_;
+}
+
+bool EventQueue::refill_bottom() {
+  if (rung_active_) {
+    while (rung_cur_ < rung_.size()) {
+      auto& bucket = rung_[rung_cur_];
+      ++rung_cur_;
+      bottom_high_ =
+          rung_cur_ < rung_.size() ? rung_lo_ + rung_width_ * rung_cur_ : rung_hi_;
+      if (bucket.empty()) continue;
+      for (const Slot s : bucket) {
+        if (cancelled_[pool_[s].id]) {
+          release_slot(s);
+        } else {
+          bottom_.push_back(s);
+        }
+      }
+      bucket.clear();
+      if (!bottom_.empty()) {
+        // One bucket's worth: the pragmatic stand-in for recursive
+        // sub-rung spawning at our queue sizes.
+        std::sort(bottom_.begin(), bottom_.end(),
+                  [this](Slot a, Slot b) { return before(b, a); });
+        return true;
+      }
+    }
+    rung_active_ = false;
+    bottom_high_ = rung_hi_;
+  }
+  if (top_.empty()) return false;
+  spawn_rung_from_top();
+  return true;  // progress: caller re-drains the fresh rung
+}
+
+EventQueue::Slot EventQueue::peek_front() {
+  for (;;) {
+    while (!bottom_.empty() && cancelled_[pool_[bottom_.back()].id]) {
+      release_slot(bottom_.back());
+      bottom_.pop_back();
+    }
+    if (!bottom_.empty()) return bottom_.back();
+    if (!refill_bottom()) return kInvalidSlot;
   }
 }
 
 SimTime EventQueue::next_time() const {
-  drop_cancelled();
-  SAM_EXPECT(!heap_.empty(), "next_time on empty EventQueue");
-  return heap_.top().when;
+  // const_cast is confined here: draining cancelled entries and rotating
+  // rung buckets into bottom do not change the queue's observable (live)
+  // contents — the same laziness the heap implementation had.
+  const Slot s = const_cast<EventQueue*>(this)->peek_front();
+  SAM_EXPECT(s != kInvalidSlot, "next_time on empty EventQueue");
+  return pool_[s].when;
 }
 
 SimTime EventQueue::run_next() {
-  drop_cancelled();
-  SAM_EXPECT(!heap_.empty(), "run_next on empty EventQueue");
-  Entry e = std::move(const_cast<Entry&>(heap_.top()));
-  heap_.pop();
+  const Slot s = peek_front();
+  SAM_EXPECT(s != kInvalidSlot, "run_next on empty EventQueue");
+  bottom_.pop_back();
+  Entry& e = pool_[s];
   cancelled_[e.id] = true;  // mark consumed
   --live_;
   ++executed_;
-  e.fn();
-  return e.when;
+  const SimTime when = e.when;
+  auto fn = std::move(e.fn);
+  release_slot(s);  // recycle before running: fn may schedule new events
+  fn();
+  return when;
 }
 
 std::size_t EventQueue::run_until(SimTime until) {

@@ -6,11 +6,21 @@
 //
 // Determinism: ties on time are broken by insertion sequence number, so two
 // events at the same instant always fire in the order they were scheduled.
+//
+// Structure: a ladder/calendar queue instead of a binary heap. DES
+// timestamps are mostly monotonic, so almost every event lands in the small
+// sorted *bottom* tier and is popped in O(1); far-future events park in an
+// unsorted *top* tier and are bucketed into a rung of calendar bins only
+// when the bottom drains down to them. Entries live in a recycled slot pool
+// — steady-state scheduling performs no per-event container allocation
+// (std::function may still allocate for captures beyond its small-buffer
+// size). Pop order is the total order (when, seq), bit-identical to the
+// reference heap; tests/test_event_queue_determinism.cpp checks this against
+// a reference heap on randomized schedules.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "util/time_types.hpp"
@@ -50,20 +60,61 @@ class EventQueue {
 
  private:
   struct Entry {
-    SimTime when;
-    std::uint64_t seq;
-    EventId id;
+    SimTime when = 0;
+    std::uint64_t seq = 0;
+    EventId id = 0;
     std::function<void()> fn;
-    bool operator>(const Entry& o) const {
-      if (when != o.when) return when > o.when;
-      return seq > o.seq;
-    }
   };
+  /// Index into pool_. 32 bits bound live events at 4G, far past any run.
+  using Slot = std::uint32_t;
 
-  void drop_cancelled() const;
+  static constexpr Slot kInvalidSlot = ~Slot{0};
+  /// Bottom stays a sorted array while small; beyond this, new far events
+  /// park in top and are calendar-bucketed on demand.
+  static constexpr std::size_t kBottomMax = 64;
+  /// Rung fan-out when top is distributed into calendar bins.
+  static constexpr std::size_t kRungBuckets = 64;
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
-  mutable std::vector<bool> cancelled_;  // indexed by EventId
+  /// Total event order: (when, seq). Globally unique per entry.
+  bool before(Slot a, Slot b) const {
+    const Entry &ea = pool_[a], &eb = pool_[b];
+    if (ea.when != eb.when) return ea.when < eb.when;
+    return ea.seq < eb.seq;
+  }
+
+  Slot alloc_slot();
+  void release_slot(Slot s);
+  void bottom_insert(Slot s);
+  /// Moves the next non-empty rung bucket (or a freshly spawned rung from
+  /// top) into bottom. Returns false when no events remain anywhere.
+  bool refill_bottom();
+  void spawn_rung_from_top();
+  /// Earliest live entry, skipping cancelled ones; kInvalidSlot if none.
+  Slot peek_front();
+
+  std::vector<Entry> pool_;
+  std::vector<Slot> free_slots_;
+  std::vector<bool> cancelled_;  // indexed by EventId
+
+  /// Sorted descending by (when, seq): earliest event at the back.
+  std::vector<Slot> bottom_;
+  /// Exclusive upper bound of bottom's time domain: any event scheduled
+  /// with when < bottom_high_ must sort into bottom to keep pop order.
+  SimTime bottom_high_ = 0;
+
+  bool rung_active_ = false;
+  SimTime rung_lo_ = 0;
+  SimTime rung_hi_ = 0;
+  SimTime rung_width_ = 1;
+  std::size_t rung_cur_ = 0;
+  std::vector<std::vector<Slot>> rung_;
+
+  /// Unsorted far-future events, all with when >= bottom_high_ (and
+  /// >= rung_hi_ while a rung is active).
+  std::vector<Slot> top_;
+  SimTime top_min_ = 0;
+  SimTime top_max_ = 0;
+
   std::uint64_t next_seq_ = 0;
   std::size_t live_ = 0;
   std::uint64_t executed_ = 0;

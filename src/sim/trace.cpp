@@ -69,29 +69,22 @@ TraceBuffer::TraceBuffer(std::size_t capacity) {
   span_capacity_ = capacity;
 }
 
-void TraceBuffer::record(SimTime time, std::uint32_t thread, TraceKind kind,
-                         std::uint64_t object, std::uint64_t detail) {
-  if (!enabled_) return;
+void TraceBuffer::record_slow(SimTime time, std::uint32_t thread, TraceKind kind,
+                              std::uint64_t object, std::uint64_t detail) {
   ring_[next_] = TraceEvent{time, thread, kind, object, detail, ambient_trace_id()};
   next_ = (next_ + 1) % ring_.size();
   ++total_;
   ++kind_totals_[static_cast<std::size_t>(kind)];
 }
 
-void TraceBuffer::record_span(SimTime begin, SimTime end, std::uint32_t track,
-                              SpanCat cat, std::uint64_t object) {
-  if (!enabled_) return;
+void TraceBuffer::record_span_slow(SimTime begin, SimTime end, std::uint32_t track,
+                                   SpanCat cat, std::uint64_t object) {
   SAM_EXPECT(end >= begin, "span ends before it begins");
   if (spans_.size() >= span_capacity_) {
     ++spans_dropped_;
     return;
   }
   spans_.push_back(SpanEvent{begin, end, track, cat, object, ambient_trace_id()});
-}
-
-std::uint64_t TraceBuffer::next_trace_id() {
-  if (!enabled_) return 0;
-  return ++ids_minted_;
 }
 
 void TraceBuffer::note_parent(std::uint64_t child, std::uint64_t parent) {

@@ -31,7 +31,8 @@ TEST(Diff, FindsSingleChangedRun) {
   const Diff d = Diff::between(100, twin, cur);
   ASSERT_EQ(d.range_count(), 1u);
   EXPECT_EQ(d.ranges()[0].addr, 102u);
-  EXPECT_EQ(d.ranges()[0].data, bytes({7, 8}));
+  const auto r0 = d.ranges()[0];
+  EXPECT_EQ(std::vector<std::byte>(r0.data.begin(), r0.data.end()), bytes({7, 8}));
   EXPECT_EQ(d.payload_bytes(), 2u);
   EXPECT_EQ(d.wire_bytes(), 2u + kDiffRangeHeaderBytes);
 }

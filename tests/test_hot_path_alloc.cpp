@@ -1,0 +1,81 @@
+// Allocation-counting checks for the simulator's steady-state hot paths.
+//
+// The perf contract (docs/performance.md) is that per-event, per-line and
+// per-diff-range work recycles pooled buffers instead of touching the heap.
+// These tests pin that down with the pool/arena counters: warm the path up,
+// snapshot the fresh-allocation counts, run the steady state, and require
+// the counters not to move.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/page_cache.hpp"
+#include "regc/diff.hpp"
+#include "util/arena.hpp"
+
+namespace sam {
+namespace {
+
+TEST(HotPathAlloc, VectorPoolRecyclesBuffers) {
+  util::VectorPool<int> pool;
+  std::vector<int> v = pool.acquire();
+  v.resize(100);
+  pool.release(std::move(v));
+  for (int i = 0; i < 10; ++i) {
+    std::vector<int> w = pool.acquire();
+    EXPECT_GE(w.capacity(), 100u) << "recycled buffer lost its capacity";
+    pool.release(std::move(w));
+  }
+  EXPECT_EQ(pool.stats().fresh, 1u);
+  EXPECT_EQ(pool.stats().acquires, 11u);
+  EXPECT_EQ(pool.stats().releases, 11u);
+}
+
+TEST(HotPathAlloc, DiffSteadyStateAllocatesNothing) {
+  std::vector<std::byte> twin(4096, std::byte{0});
+  std::vector<std::byte> cur = twin;
+  for (std::size_t i = 128; i < 256; ++i) cur[i] = std::byte{0xAB};
+  cur[1000] = std::byte{1};
+  cur[4095] = std::byte{2};
+
+  // Warm-up covers the peak number of simultaneously live diffs (one here)
+  // and grows the pooled buffers to the working size.
+  for (int i = 0; i < 4; ++i) {
+    const regc::Diff d = regc::Diff::between(0, twin, cur);
+    ASSERT_EQ(d.range_count(), 3u);
+  }
+  const std::uint64_t range_fresh = regc::Diff::range_pool_stats().fresh;
+  const std::uint64_t payload_fresh = regc::Diff::payload_pool_stats().fresh;
+
+  for (int i = 0; i < 1000; ++i) {
+    const regc::Diff d = regc::Diff::between(0, twin, cur);
+    ASSERT_FALSE(d.empty());
+  }
+  EXPECT_EQ(regc::Diff::range_pool_stats().fresh, range_fresh)
+      << "diff construction allocated fresh range buffers in steady state";
+  EXPECT_EQ(regc::Diff::payload_pool_stats().fresh, payload_fresh)
+      << "diff construction allocated fresh payload buffers in steady state";
+}
+
+TEST(HotPathAlloc, PageCacheInstallEraseRecyclesFrames) {
+  core::SamhitaConfig cfg;
+  core::PageCache cache(&cfg, 0);
+  for (core::LineId l = 0; l < 16; ++l) cache.install(l, 0, false);
+  const std::size_t warm = cache.frames_allocated();
+
+  core::LineId victim = 0;
+  core::LineId next = 16;
+  for (int i = 0; i < 1000; ++i) {
+    cache.erase(victim++);
+    core::PageCache::Line& line = cache.install(next++, 0, false);
+    EXPECT_EQ(line.data.size(), cfg.line_bytes());
+  }
+  EXPECT_EQ(cache.frames_allocated(), warm)
+      << "install/erase churn carved fresh frames instead of recycling";
+  EXPECT_EQ(cache.resident_lines(), 16u);
+}
+
+}  // namespace
+}  // namespace sam

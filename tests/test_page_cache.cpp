@@ -1,6 +1,8 @@
 // Unit tests for the per-thread software page cache.
 #include <gtest/gtest.h>
 
+#include <random>
+#include <set>
 #include <vector>
 
 #include "core/page_cache.hpp"
@@ -16,9 +18,6 @@ SamhitaConfig small_config() {
   return cfg;
 }
 
-std::vector<std::byte> line_data(const SamhitaConfig& cfg, std::byte fill = std::byte{0}) {
-  return std::vector<std::byte>(cfg.line_bytes(), fill);
-}
 
 TEST(PageCache, Geometry) {
   SamhitaConfig cfg = small_config();
@@ -35,7 +34,7 @@ TEST(PageCache, InstallFindErase) {
   SamhitaConfig cfg = small_config();
   PageCache c(&cfg, 0);
   EXPECT_EQ(c.find(5), nullptr);
-  auto& l = c.install(5, line_data(cfg), 0, false);
+  auto& l = c.install(5, 0, false);
   EXPECT_EQ(&l, c.find(5));
   EXPECT_TRUE(c.contains(5));
   EXPECT_EQ(c.resident_lines(), 1u);
@@ -47,14 +46,14 @@ TEST(PageCache, InstallFindErase) {
 TEST(PageCache, DoubleInstallThrows) {
   SamhitaConfig cfg = small_config();
   PageCache c(&cfg, 0);
-  c.install(1, line_data(cfg), 0, false);
-  EXPECT_THROW(c.install(1, line_data(cfg), 0, false), util::ContractViolation);
+  c.install(1, 0, false);
+  EXPECT_THROW(c.install(1, 0, false), util::ContractViolation);
 }
 
 TEST(PageCache, TwinAndDirtyTracking) {
   SamhitaConfig cfg = small_config();
   PageCache c(&cfg, 0);
-  auto& l = c.install(0, line_data(cfg), 0, false);
+  auto& l = c.install(0, 0, false);
   EXPECT_TRUE(c.needs_twin(l));
   EXPECT_THROW(c.mark_written(l, 0, 8), util::ContractViolation);  // twin first
   c.make_twin(l);
@@ -75,7 +74,7 @@ TEST(PageCache, TwinAndDirtyTracking) {
 TEST(PageCache, MarkWrittenOutsideLineThrows) {
   SamhitaConfig cfg = small_config();
   PageCache c(&cfg, 0);
-  auto& l = c.install(1, line_data(cfg), 0, false);
+  auto& l = c.install(1, 0, false);
   c.make_twin(l);
   EXPECT_THROW(c.mark_written(l, 0, 8), util::ContractViolation);
 }
@@ -84,11 +83,11 @@ TEST(PageCache, DirtyLinesSortedById) {
   SamhitaConfig cfg = small_config();
   PageCache c(&cfg, 0);
   for (LineId id : {7u, 2u, 9u}) {
-    auto& l = c.install(id, line_data(cfg), 0, false);
+    auto& l = c.install(id, 0, false);
     c.make_twin(l);
     c.mark_written(l, c.line_base(id), 8);
   }
-  c.install(1, line_data(cfg), 0, false);  // clean
+  c.install(1, 0, false);  // clean
   const auto dirty = c.dirty_lines();
   ASSERT_EQ(dirty.size(), 3u);
   EXPECT_EQ(dirty[0]->id, 2u);
@@ -100,9 +99,9 @@ TEST(PageCache, CapacityInLines) {
   SamhitaConfig cfg = small_config();
   PageCache c(&cfg, 0);
   EXPECT_EQ(c.capacity_lines(), 4u);
-  for (LineId id = 0; id < 4; ++id) c.install(id, line_data(cfg), 0, false);
+  for (LineId id = 0; id < 4; ++id) c.install(id, 0, false);
   EXPECT_FALSE(c.over_capacity());
-  c.install(4, line_data(cfg), 0, false);
+  c.install(4, 0, false);
   EXPECT_TRUE(c.over_capacity());
 }
 
@@ -110,9 +109,9 @@ TEST(PageCache, DirtyFirstEvictionPrefersDirtyLru) {
   SamhitaConfig cfg = small_config();
   cfg.eviction = EvictionPolicy::kDirtyFirst;
   PageCache c(&cfg, 0);
-  auto& a = c.install(0, line_data(cfg), 0, false);  // clean, oldest
-  auto& b = c.install(1, line_data(cfg), 0, false);
-  auto& d = c.install(2, line_data(cfg), 0, false);
+  auto& a = c.install(0, 0, false);  // clean, oldest
+  auto& b = c.install(1, 0, false);
+  auto& d = c.install(2, 0, false);
   c.make_twin(b);
   c.mark_written(b, c.line_base(1), 8);
   c.make_twin(d);
@@ -128,8 +127,8 @@ TEST(PageCache, LruEvictionIgnoresDirtiness) {
   SamhitaConfig cfg = small_config();
   cfg.eviction = EvictionPolicy::kLru;
   PageCache c(&cfg, 0);
-  auto& a = c.install(0, line_data(cfg), 0, false);
-  auto& b = c.install(1, line_data(cfg), 0, false);
+  auto& a = c.install(0, 0, false);
+  auto& b = c.install(1, 0, false);
   c.make_twin(b);
   c.mark_written(b, c.line_base(1), 8);
   PageCache::Line* victim = c.pick_victim(nullptr);
@@ -141,8 +140,8 @@ TEST(PageCache, LruEvictionIgnoresDirtiness) {
 TEST(PageCache, PinnedLinesSkipped) {
   SamhitaConfig cfg = small_config();
   PageCache c(&cfg, 0);
-  c.install(0, line_data(cfg), 0, false);
-  c.install(1, line_data(cfg), 0, false);
+  c.install(0, 0, false);
+  c.install(1, 0, false);
   auto* victim =
       c.pick_victim([](const PageCache::Line& l) { return l.id == 0; });
   ASSERT_NE(victim, nullptr);
@@ -154,8 +153,8 @@ TEST(PageCache, PinnedLinesSkipped) {
 TEST(PageCache, PrefetchedFlagAndReadyTimeStored) {
   SamhitaConfig cfg = small_config();
   PageCache c(&cfg, 0);
-  auto& demand = c.install(0, line_data(cfg), 100, false);
-  auto& ahead = c.install(1, line_data(cfg), 900, true);
+  auto& demand = c.install(0, 100, false);
+  auto& ahead = c.install(1, 900, true);
   EXPECT_FALSE(demand.prefetched);
   EXPECT_TRUE(ahead.prefetched);
   EXPECT_EQ(ahead.ready_time, 900);
@@ -166,8 +165,8 @@ TEST(PageCache, VictimPredicateCanSkipInFlightLines) {
   // flight (ready_time in the future); model that with the predicate hook.
   SamhitaConfig cfg = small_config();
   PageCache c(&cfg, 0);
-  c.install(0, line_data(cfg), 500, true);  // in flight until t=500
-  c.install(1, line_data(cfg), 0, false);
+  c.install(0, 500, true);  // in flight until t=500
+  c.install(1, 0, false);
   const SimTime now = 100;
   auto* victim = c.pick_victim(
       [now](const PageCache::Line& l) { return l.ready_time > now; });
@@ -183,7 +182,7 @@ TEST(PageCache, VictimPredicateCanSkipInFlightLines) {
 TEST(PageCache, ResidentIdsSorted) {
   SamhitaConfig cfg = small_config();
   PageCache c(&cfg, 0);
-  for (LineId id : {9u, 3u, 6u}) c.install(id, line_data(cfg), 0, false);
+  for (LineId id : {9u, 3u, 6u}) c.install(id, 0, false);
   EXPECT_EQ(c.resident_line_ids(), (std::vector<LineId>{3, 6, 9}));
 }
 
@@ -191,6 +190,76 @@ TEST(PageCache, RejectsBadLineWidth) {
   SamhitaConfig cfg;
   cfg.pages_per_line = 65;
   EXPECT_THROW(PageCache(&cfg, 0), util::ContractViolation);
+}
+
+TEST(PageCache, InstallZeroFillsAndRecyclesFrames) {
+  SamhitaConfig cfg = small_config();
+  PageCache c(&cfg, 0);
+  auto& l = c.install(0, 0, false);
+  ASSERT_EQ(l.data.size(), cfg.line_bytes());
+  l.data[7] = std::byte{0xAB};
+  c.make_twin(l);
+  c.mark_written(l, 0, 8);
+  c.erase(0);
+  // The recycled frame must come back pristine: zero data, no twin, clean.
+  auto& r = c.install(3, 0, false);
+  ASSERT_EQ(r.data.size(), cfg.line_bytes());
+  EXPECT_EQ(r.data[7], std::byte{0});
+  EXPECT_TRUE(c.needs_twin(r));
+  EXPECT_FALSE(r.dirty);
+  EXPECT_EQ(r.dirty_page_mask, 0u);
+}
+
+TEST(PageCache, LinePointersStableAcrossTableGrowth) {
+  // The miss path holds a Line& across later installs (folded prefetches);
+  // frames must never move even as the hash table rehashes.
+  SamhitaConfig cfg = small_config();
+  cfg.cache_capacity_bytes = 4096 * cfg.line_bytes();
+  PageCache c(&cfg, 0);
+  std::vector<PageCache::Line*> ptrs;
+  for (LineId id = 0; id < 500; ++id) ptrs.push_back(&c.install(id, 0, false));
+  for (LineId id = 0; id < 500; ++id) {
+    EXPECT_EQ(ptrs[id], c.find(id));
+    EXPECT_EQ(ptrs[id]->id, id);
+  }
+}
+
+TEST(PageCache, RandomizedChurnMatchesReferenceSet) {
+  // Install/erase churn with adversarial ids exercises linear probing and
+  // backward-shift deletion; residency must always match a reference set.
+  SamhitaConfig cfg = small_config();
+  cfg.cache_capacity_bytes = 4096 * cfg.line_bytes();
+  PageCache c(&cfg, 0);
+  std::set<LineId> ref;
+  std::mt19937 rng(7);
+  for (int step = 0; step < 20000; ++step) {
+    // Small id universe forces frequent collisions and re-installs.
+    const LineId id = rng() % 97;
+    if (ref.count(id)) {
+      c.erase(id);
+      ref.erase(id);
+    } else {
+      c.install(id, 0, false);
+      ref.insert(id);
+    }
+    ASSERT_EQ(c.resident_lines(), ref.size());
+  }
+  const std::vector<LineId> expect(ref.begin(), ref.end());
+  EXPECT_EQ(c.resident_line_ids(), expect);
+  for (LineId id = 0; id < 97; ++id) EXPECT_EQ(c.contains(id), ref.count(id) != 0);
+}
+
+TEST(PageCache, NonPowerOfTwoLineWidthGeometry) {
+  SamhitaConfig cfg;
+  cfg.pages_per_line = 3;  // divide path, not the shift fast path
+  PageCache c(&cfg, 0);
+  EXPECT_EQ(c.line_of_page(0), 0u);
+  EXPECT_EQ(c.line_of_page(2), 0u);
+  EXPECT_EQ(c.line_of_page(3), 1u);
+  EXPECT_EQ(c.line_of_page(7), 2u);
+  EXPECT_EQ(c.first_page(2), 6u);
+  c.install(2, 0, false);
+  EXPECT_TRUE(c.contains(2));
 }
 
 }  // namespace

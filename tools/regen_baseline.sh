@@ -1,6 +1,10 @@
 #!/usr/bin/env bash
-# Regenerates BENCH_baseline.json, the performance baseline the CI benchmark
-# gate compares fresh runs against (ratio must stay <= 1.05 per series).
+# Regenerates BENCH_baseline.json, the performance baseline the CI gates
+# compare fresh runs against:
+#   - virtual-time series (*_compute_seconds): deterministic, gated at 5%
+#   - host-throughput series (perf_*_sim_events_per_sec): wall-clock, gated
+#     by the perf-smoke job at 30% (regression only; improvements pass)
+#   - per-sweep *_sim_events_per_sec telemetry: recorded, never gated
 #
 # Run this after an *intentional* performance change, commit the refreshed
 # baseline together with the change, and mention the regeneration in the
@@ -15,22 +19,58 @@ BUILD_DIR="${1:-build}"
 if [[ ! -d "$BUILD_DIR" ]]; then
   cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 fi
-cmake --build "$BUILD_DIR" -j --target ablation_batching
+cmake --build "$BUILD_DIR" -j --target ablation_batching samhita_sim
 
 # Same invocation as the CI gate: the quick sweep, baseline written in place.
 "./$BUILD_DIR/bench/ablation_batching" --quick --write-baseline=BENCH_baseline.json \
   > /dev/null
 
+# Gated throughput series: the perf-smoke workloads (jacobi fig12, strided
+# micro fig05), best of three runs to shave scheduler noise. --perf-json
+# keeps tracing off, so this measures the untraced fast path the simulator
+# actually runs sweeps on.
+for spec in "jacobi:--workload=jacobi --n=512 --iters=10 --threads=16:perf_jacobi_fig12" \
+            "strided:--workload=micro --alloc=strided --M=1000 --threads=16:perf_strided_fig05"; do
+  name="${spec%%:*}"
+  rest="${spec#*:}"
+  flags="${rest%%:*}"
+  key="${rest##*:}"
+  for i in 1 2 3; do
+    # shellcheck disable=SC2086
+    "./$BUILD_DIR/tools/samhita_sim" $flags --perf-json="/tmp/perf_${name}_${i}.json" \
+      > /dev/null
+  done
+  python3 - "$name" "$key" <<'EOF'
+import json, sys
+name, key = sys.argv[1], sys.argv[2]
+best = max(json.load(open(f"/tmp/perf_{name}_{i}.json"))["sim_events_per_sec"]
+           for i in (1, 2, 3))
+baseline = json.load(open("BENCH_baseline.json"))
+baseline[f"{key}_sim_events_per_sec"] = best
+with open("BENCH_baseline.json", "w") as out:
+    out.write("{\n")
+    out.write(",\n".join(f'  "{k}": {v:.9g}' for k, v in sorted(baseline.items())))
+    out.write("\n}\n")
+EOF
+done
+
 echo "regenerated BENCH_baseline.json:"
 python3 -m json.tool BENCH_baseline.json | head -20
 
-# Host-throughput telemetry: recorded for cross-machine comparison, never
-# gated (wall-clock noise would make a ratio gate flaky).
+echo "gated sim_events_per_sec series (perf-smoke, 30% regression gate):"
+python3 - <<'EOF'
+import json
+baseline = json.load(open("BENCH_baseline.json"))
+for key, value in sorted(baseline.items()):
+    if key.startswith("perf_") and key.endswith("_sim_events_per_sec"):
+        print(f"  {key}: {value/1e6:.2f} M events/s")
+EOF
+
 echo "recorded sim_events_per_sec series (informational, not gated):"
 python3 - <<'EOF'
 import json
 baseline = json.load(open("BENCH_baseline.json"))
 for key, value in sorted(baseline.items()):
-    if key.endswith("_sim_events_per_sec"):
+    if key.endswith("_sim_events_per_sec") and not key.startswith("perf_"):
         print(f"  {key}: {value/1e6:.2f} M events/s")
 EOF

@@ -35,6 +35,12 @@
 //                         recovery breakdown + top-n causal chains)
 //   --json-report=<path>  schema-versioned machine-readable run report
 //                         (obs::write_run_report; see docs/observability.md)
+//
+// Performance telemetry (does NOT enable tracing, so the measured wall time
+// is the untraced fast path — see docs/performance.md):
+//   --perf-json=<path>    tiny JSON with thread_resumes, event_callbacks,
+//                         sim_wall_seconds and sim_events_per_sec; consumed
+//                         by the CI perf-smoke gate and tools/regen_baseline.sh
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -246,6 +252,23 @@ int main(int argc, char** argv) {
       const obs::CriticalPath cp =
           obs::build_critical_path(runtime, critical_path_top_n(args));
       std::printf("\n%s", obs::format_critical_path(cp).c_str());
+    }
+    if (args.has("perf-json")) {
+      // Deliberately not an observability flag: it must not enable tracing,
+      // or the measurement would include the tracing overhead it exists to
+      // keep honest.
+      const std::string path = args.get_string("perf-json", "perf.json");
+      const core::RunSummary s = core::summarize(runtime);
+      std::ofstream out(path);
+      SAM_EXPECT(out.is_open(), "cannot open perf output: " + path);
+      out << "{\n"
+          << "  \"thread_resumes\": " << s.sim_thread_resumes << ",\n"
+          << "  \"event_callbacks\": " << s.sim_event_callbacks << ",\n"
+          << "  \"sim_wall_seconds\": " << s.sim_wall_seconds << ",\n"
+          << "  \"sim_events_per_sec\": " << s.sim_events_per_sec << "\n"
+          << "}\n";
+      std::printf("\nperf-json: %.2f M events/s -> %s\n", s.sim_events_per_sec / 1e6,
+                  path.c_str());
     }
     if (args.has("json-report")) {
       const std::string path = args.get_string("json-report", "run.json");
