@@ -1,0 +1,157 @@
+// Ablation: dynamic page placement. Sweeps placement_policy (static vs
+// migrate vs migrate+replicate) over two workloads:
+//   - "strided": the hot-page worst case — one zone allocation homes every
+//     per-thread block on a single memory server; each epoch every thread
+//     rewrites its own block and reads its neighbour's, so all diff flushes
+//     and invalidation re-fetches queue on that one server unless the
+//     manager migrates each block's home to its dominant writer.
+//   - "jacobi256": the fig11/fig12-style scale point, 256 threads — four
+//     times the old 64-thread ceiling — with the boundary-row false sharing
+//     the placement policy can and must leave alone.
+// The simulator is deterministic, so the virtual-time series are exact:
+// migrate must strictly reduce the strided sim time vs static.
+//
+// --write-baseline=<path> writes a flat JSON map of the virtual-time series
+// (suffix _sim_seconds, disjoint from the batching gate's _compute_seconds
+// namespace). tools/regen_baseline.sh merges it into BENCH_baseline.json,
+// which the CI placement gate compares fresh runs against.
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "apps/jacobi.hpp"
+#include "bench_common.hpp"
+#include "core/report.hpp"
+#include "mem/types.hpp"
+
+namespace {
+
+using namespace sam;
+
+/// One barrier epoch of the strided hot-page kernel: write your own
+/// line-sized block, then read your neighbour's (making every block shared,
+/// so barriers flush it and the reader re-fetches it next epoch).
+double run_strided_hot_page(core::SamhitaRuntime& rt, std::uint32_t threads, int epochs) {
+  const auto b = rt.create_barrier(threads);
+  const std::size_t block = rt.config().line_bytes();
+  const std::size_t doubles = block / sizeof(double);
+  rt::Addr base = 0;
+  rt.parallel_run(threads, [&](rt::ThreadCtx& ctx) {
+    if (ctx.index() == 0) base = ctx.alloc(threads * block);
+    ctx.barrier(b);
+    const rt::Addr mine = base + ctx.index() * block;
+    const rt::Addr next = base + ((ctx.index() + 1) % threads) * block;
+    for (int e = 0; e < epochs; ++e) {
+      auto w = ctx.write_array<double>(mine, doubles);
+      for (std::size_t i = 0; i < doubles; ++i) w[i] = ctx.index() + e + i * 0.25;
+      ctx.barrier(b);
+      auto r = ctx.read_array<double>(next, doubles);
+      double sink = 0.0;
+      for (std::size_t i = 0; i < doubles; i += 64) sink += r[i];
+      (void)sink;
+      ctx.barrier(b);
+    }
+  });
+  return static_cast<double>(rt.sim_horizon()) * 1e-9;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sam;
+  const auto opt = bench::BenchOptions::parse(argc, argv);
+  util::ArgParser args(argc, argv);
+  const std::string baseline_path = args.get_string("write-baseline", "");
+  auto csv = bench::make_csv(opt);
+
+  std::cout << "# ablation_page_placement: static vs migrate vs migrate+replicate,"
+               " strided hot-page kernel + 256-thread jacobi, 4 memory servers\n";
+  csv->header({"figure", "workload", "policy", "threads", "sim_seconds",
+               "compute_seconds", "sync_seconds", "misses", "network_bytes", "migrations",
+               "replications", "replica_fetches"});
+
+  std::map<std::string, double> baseline;
+  const core::PagePlacementPolicy policies[] = {
+      core::PagePlacementPolicy::kStatic, core::PagePlacementPolicy::kMigrate,
+      core::PagePlacementPolicy::kMigrateReplicate};
+  const auto key_name = [](core::PagePlacementPolicy p) {
+    switch (p) {
+      case core::PagePlacementPolicy::kStatic: return "static";
+      case core::PagePlacementPolicy::kMigrate: return "migrate";
+      case core::PagePlacementPolicy::kMigrateReplicate: return "migrate_replicate";
+    }
+    return "unknown";
+  };
+
+  // Strided hot-page kernel: every block homed on one server by the zone
+  // allocator; migration's whole win is draining that server's queue.
+  for (const auto policy : policies) {
+    core::SamhitaConfig cfg;
+    cfg.memory_servers = 4;
+    cfg.compute_nodes = 4;
+    cfg.cores_per_node = opt.quick ? 2 : 4;
+    cfg.placement_policy = policy;
+    cfg.migration_threshold = 1;
+    const std::uint32_t threads = cfg.max_threads();
+    core::SamhitaRuntime rt(cfg);
+    const double sim_seconds = run_strided_hot_page(rt, threads, opt.quick ? 6 : 10);
+    const core::RunSummary s = core::summarize(rt);
+    csv->raw_row({"ablation_page_placement", "strided", core::to_string(policy),
+                  std::to_string(threads), std::to_string(sim_seconds), "0", "0",
+                  std::to_string(s.cache_misses), std::to_string(s.network_bytes),
+                  std::to_string(s.page_migrations), std::to_string(s.page_replications),
+                  std::to_string(s.replica_fetches)});
+    baseline[std::string("placement_strided_") + key_name(policy) + "_sim_seconds"] =
+        sim_seconds;
+  }
+
+  // Jacobi at 256 threads (quick: 64): the tentpole scale point, straight
+  // through the spilled ThreadSet representation.
+  for (const auto policy : policies) {
+    core::SamhitaConfig cfg;
+    cfg.memory_servers = 4;
+    cfg.compute_nodes = opt.quick ? 8 : 32;
+    cfg.cores_per_node = 8;
+    cfg.placement_policy = policy;
+    cfg.migration_threshold = 1;
+    core::SamhitaRuntime rt(cfg);
+    apps::JacobiParams p;
+    p.threads = cfg.max_threads();
+    p.n = opt.quick ? 128 : 320;
+    p.iterations = 3;
+    const auto r = apps::run_jacobi(rt, p);
+    const double expect = apps::jacobi_reference_residual(p);
+    SAM_EXPECT(std::abs(r.final_residual - expect) <= std::abs(expect) * 1e-9 + 1e-15,
+               "jacobi residual diverged under placement");
+    const core::RunSummary s = core::summarize(rt);
+    const double sim_seconds = static_cast<double>(rt.sim_horizon()) * 1e-9;
+    const std::string label =
+        std::string("jacobi") + std::to_string(p.threads) + "_" + key_name(policy);
+    csv->raw_row({"ablation_page_placement", "jacobi", core::to_string(policy),
+                  std::to_string(p.threads), std::to_string(sim_seconds),
+                  std::to_string(r.mean_compute_seconds),
+                  std::to_string(r.mean_sync_seconds), std::to_string(s.cache_misses),
+                  std::to_string(s.network_bytes),
+                  std::to_string(s.page_migrations), std::to_string(s.page_replications),
+                  std::to_string(s.replica_fetches)});
+    baseline["placement_" + label + "_sim_seconds"] = sim_seconds;
+  }
+
+  if (!baseline_path.empty()) {
+    std::ofstream out(baseline_path);
+    SAM_EXPECT(out.is_open(), "cannot open baseline output: " + baseline_path);
+    out << "{\n";
+    bool first = true;
+    for (const auto& [key, value] : baseline) {
+      if (!first) out << ",\n";
+      first = false;
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.9g", value);
+      out << "  \"" << key << "\": " << buf;
+    }
+    out << "\n}\n";
+  }
+  return 0;
+}

@@ -53,6 +53,26 @@ ManagerPlacement manager_placement_from_string(const std::string& s) {
   return ManagerPlacement::kDedicated;
 }
 
+const char* to_string(PagePlacementPolicy p) {
+  switch (p) {
+    case PagePlacementPolicy::kStatic: return "static";
+    case PagePlacementPolicy::kMigrate: return "migrate";
+    case PagePlacementPolicy::kMigrateReplicate: return "migrate+replicate";
+  }
+  return "?";
+}
+
+PagePlacementPolicy page_placement_from_string(const std::string& s) {
+  if (s == "static") return PagePlacementPolicy::kStatic;
+  if (s == "migrate") return PagePlacementPolicy::kMigrate;
+  if (s == "migrate+replicate" || s == "migrate_replicate") {
+    return PagePlacementPolicy::kMigrateReplicate;
+  }
+  SAM_EXPECT(false, "unknown placement policy '" + s +
+                        "' (want static|migrate|migrate+replicate)");
+  return PagePlacementPolicy::kStatic;
+}
+
 void validate(const SamhitaConfig& cfg) {
   SAM_EXPECT(cfg.memory_servers >= 1, "memory_servers must be >= 1");
   SAM_EXPECT(cfg.compute_nodes >= 1, "compute_nodes must be >= 1");
@@ -62,6 +82,13 @@ void validate(const SamhitaConfig& cfg) {
   SAM_EXPECT(cfg.manager_shards <= kMaxManagerShards,
              "manager_shards " + std::to_string(cfg.manager_shards) +
                  " out of range (max " + std::to_string(kMaxManagerShards) + ")");
+  // An oversized thread count used to shift silently out of the old 64-bit
+  // directory mask; now it is a hard, explained failure at construction.
+  SAM_EXPECT(cfg.max_threads() <= mem::kMaxThreads,
+             "topology provides " + std::to_string(cfg.max_threads()) +
+                 " compute threads (compute_nodes x cores_per_node), above the "
+                 "directory thread-set ceiling kMaxThreads = " +
+                 std::to_string(mem::kMaxThreads));
   SAM_EXPECT(cfg.pages_per_line >= 1, "pages_per_line must be >= 1");
   SAM_EXPECT(cfg.cache_capacity_bytes >= cfg.line_bytes(),
              "cache_capacity_bytes must hold at least one line");
@@ -86,6 +113,18 @@ void validate(const SamhitaConfig& cfg) {
              "replica_server " + std::to_string(cfg.replica_server) +
                  " out of range (memory_servers = " +
                  std::to_string(cfg.memory_servers) + ")");
+  if (cfg.placement_policy != PagePlacementPolicy::kStatic) {
+    SAM_EXPECT(cfg.migration_threshold >= 1, "migration_threshold must be >= 1");
+  }
+  if (cfg.placement_policy == PagePlacementPolicy::kMigrateReplicate) {
+    SAM_EXPECT(cfg.max_replicas >= 1,
+               "max_replicas must be >= 1 under migrate+replicate");
+    SAM_EXPECT(cfg.max_replicas < cfg.memory_servers,
+               "max_replicas " + std::to_string(cfg.max_replicas) +
+                   " needs at least max_replicas + 1 memory servers "
+                   "(memory_servers = " + std::to_string(cfg.memory_servers) +
+                   "); a replica on the home server would be meaningless");
+  }
   // Parsing throws ContractViolation on malformed specs; crash windows get
   // topology checks on top.
   const net::FaultPlan plan = net::FaultPlan::parse(cfg.fault_plan, cfg.fault_seed);

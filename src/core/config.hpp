@@ -59,6 +59,18 @@ ManagerPlacement manager_placement_from_string(const std::string& s);
 /// scale to any node count, this just catches typo-grade values early).
 inline constexpr unsigned kMaxManagerShards = 64;
 
+/// Dynamic page placement run by the manager at barrier epoch boundaries
+/// (mem::PageDirectory is the seam; core::ManagerShard plans the moves).
+/// kStatic keeps the allocator's striping untouched (bit-identical to the
+/// paper protocol). kMigrate re-homes a hot page to the memory server
+/// preferred by its dominant writer. kMigrateReplicate additionally grants
+/// read-mostly pages up to `max_replicas` replica servers that demand
+/// fetches are spread across (write-invalidated on the next tracked write).
+enum class PagePlacementPolicy { kStatic, kMigrate, kMigrateReplicate };
+
+const char* to_string(PagePlacementPolicy p);
+PagePlacementPolicy page_placement_from_string(const std::string& s);
+
 /// CPU cost model shared by both runtimes so compute time is comparable.
 struct ComputeCost {
   double clock_ghz = 2.8;         ///< paper's Penryn/Harpertown Xeons
@@ -186,6 +198,16 @@ struct SamhitaConfig {
   /// Where the shards live (ignored at manager_shards == 1, where both
   /// placements collapse to the paper's single manager node).
   ManagerPlacement manager_placement = ManagerPlacement::kDedicated;
+
+  /// Dynamic page placement at barrier epoch boundaries (see
+  /// PagePlacementPolicy). kStatic reproduces the seed bit-identically.
+  PagePlacementPolicy placement_policy = PagePlacementPolicy::kStatic;
+  /// Minimum per-window accesses (writes for migration, fetches for
+  /// replication) before the manager considers a page hot enough to move.
+  unsigned migration_threshold = 4;
+  /// Replica servers a read-mostly page may be granted under
+  /// kMigrateReplicate (capped by memory_servers - 1).
+  unsigned max_replicas = 2;
 
   ComputeCost cost;
 

@@ -1,5 +1,9 @@
 #include "core/manager_shard.hpp"
 
+#include <algorithm>
+
+#include "core/config.hpp"
+#include "mem/page_directory.hpp"
 #include "util/expect.hpp"
 
 namespace sam::core {
@@ -56,6 +60,98 @@ const ManagerShard::Mutex& ManagerShard::mutex(rt::MutexId id) const {
   const auto it = mutex_slot_.find(id);
   SAM_EXPECT(it != mutex_slot_.end(), "mutex id not owned by this shard");
   return mutexes_[it->second];
+}
+
+std::vector<ManagerShard::PlacementDecision> ManagerShard::plan_placement(
+    mem::PageDirectory& dir, const SamhitaConfig& cfg) {
+  std::vector<PlacementDecision> decisions;
+  const std::unordered_map<mem::PageId, mem::PageDirectory::PageHeat> heat =
+      dir.take_heat();
+  if (heat.empty()) return decisions;
+
+  // Pages are fetched and installed a whole cache line at a time, and the
+  // paging path resolves one serving server per *line* — so every page of a
+  // line must stay homed together. Placement therefore aggregates page heat
+  // to line granularity and migrates/replicates whole lines.
+  struct LineHeat {
+    std::uint32_t writes = 0;
+    std::uint32_t fetches = 0;
+    mem::ThreadSet readers;
+    mem::ThreadIdx writer = 0;
+    std::int64_t writer_votes = 0;
+  };
+  const mem::PageId ppl = cfg.pages_per_line;
+  std::unordered_map<mem::PageId, LineHeat> lines;
+  for (const auto& [page, h] : heat) {
+    LineHeat& lh = lines[page / ppl];
+    lh.writes += h.writes;
+    lh.fetches += h.fetches;
+    lh.readers.insert_all(h.readers);
+    // Second-level Boyer–Moore: each page contributes its surviving
+    // majority candidate, weighted by its residual vote count.
+    if (h.writer_votes > 0) {
+      if (lh.writer_votes == 0) {
+        lh.writer = h.writer;
+        lh.writer_votes = h.writer_votes;
+      } else if (lh.writer == h.writer) {
+        lh.writer_votes += h.writer_votes;
+      } else {
+        lh.writer_votes -= h.writer_votes;
+      }
+    }
+  }
+
+  // The aggregation map is hash-ordered; plan over sorted line ids so the
+  // decision sequence (and thus every booked RPC) is deterministic.
+  std::vector<mem::PageId> ids;
+  ids.reserve(lines.size());
+  for (const auto& [line, lh] : lines) ids.push_back(line);
+  std::sort(ids.begin(), ids.end());
+
+  const bool replicate = cfg.placement_policy == PagePlacementPolicy::kMigrateReplicate;
+  for (const mem::PageId line : ids) {
+    const LineHeat& lh = lines.at(line);
+    const mem::PageId first = line * ppl;
+    // Leave alone any line that is not fully assigned or whose pages
+    // disagree on home: placement preserves the line-uniform-home
+    // invariant, it never creates violations.
+    bool uniform = dir.has_home(first);
+    for (mem::PageId p = first + 1; uniform && p < first + ppl; ++p) {
+      uniform = dir.has_home(p) && dir.home(p) == dir.home(first);
+    }
+    if (!uniform) continue;
+    const mem::ServerIdx home = dir.home(first);
+    if (lh.writes >= cfg.migration_threshold && lh.writer_votes > 0) {
+      // Hot written line: re-home it with its dominant writer's preferred
+      // server. Writer-to-server affinity uses the same modulo striping the
+      // allocator does, so repeated windows with a stable writer converge.
+      const mem::ServerIdx preferred =
+          static_cast<mem::ServerIdx>(lh.writer % cfg.memory_servers);
+      if (preferred != home) {
+        for (mem::PageId p = first; p < first + ppl; ++p) {
+          decisions.push_back(PlacementDecision{
+              PlacementDecision::Kind::kMigrate, p, home, preferred});
+        }
+      }
+    } else if (replicate && lh.writes == 0 && lh.fetches >= cfg.migration_threshold &&
+               lh.readers.count() >= 2 && !dir.has_replicas(first)) {
+      // Read-mostly line under multi-reader pressure: spread fetch service
+      // across extra servers. Replicas are timing stand-ins for the home
+      // frames, so any distinct servers work; ring order keeps the choice
+      // deterministic.
+      const unsigned grants = std::min<unsigned>(
+          cfg.max_replicas, cfg.memory_servers - 1);
+      for (unsigned k = 0; k < grants; ++k) {
+        const mem::ServerIdx target =
+            static_cast<mem::ServerIdx>((home + 1 + k) % cfg.memory_servers);
+        for (mem::PageId p = first; p < first + ppl; ++p) {
+          decisions.push_back(PlacementDecision{
+              PlacementDecision::Kind::kReplicate, p, home, target});
+        }
+      }
+    }
+  }
+  return decisions;
 }
 
 const ManagerShard::Barrier& ManagerShard::barrier(rt::BarrierId id) const {

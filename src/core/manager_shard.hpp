@@ -29,7 +29,13 @@ namespace sam::sim {
 class SimThread;
 }
 
+namespace sam::mem {
+class PageDirectory;
+}
+
 namespace sam::core {
+
+struct SamhitaConfig;
 
 class ManagerShard {
  public:
@@ -67,6 +73,15 @@ class ManagerShard {
     std::uint64_t generation = 0;
   };
 
+  /// One page-placement action planned at an epoch boundary.
+  struct PlacementDecision {
+    enum class Kind { kMigrate, kReplicate };
+    Kind kind;
+    mem::PageId page;
+    mem::ServerIdx from;    ///< current home (the frame source)
+    mem::ServerIdx target;  ///< new home (migrate) or replica server
+  };
+
   ManagerShard(unsigned index, net::NodeId node, SimDuration service_time);
 
   unsigned index() const { return index_; }
@@ -92,6 +107,17 @@ class ManagerShard {
   /// iteration for shard-local gathers, e.g. the barrier update-set merge).
   const std::vector<rt::MutexId>& owned_mutexes() const { return mutex_ids_; }
   const std::vector<rt::BarrierId>& owned_barriers() const { return barrier_ids_; }
+
+  /// The placement policy hook (paper §II: placement is the manager's
+  /// responsibility). Consumes the directory's heat window for the epoch
+  /// that just closed and plans, deterministically (pages in ascending id
+  /// order): migrate a hot page's home to the server preferred by its
+  /// dominant writer, and — under kMigrateReplicate — grant read-mostly
+  /// pages replicas for their heavy readers. The caller (the barrier's last
+  /// arrival, on this shard) executes the decisions: moves frames, books
+  /// the transfer RPCs and stamps the trace.
+  std::vector<PlacementDecision> plan_placement(mem::PageDirectory& dir,
+                                                const SamhitaConfig& cfg);
 
   std::size_t mutex_count() const { return mutex_ids_.size(); }
   std::size_t cond_count() const { return cond_slot_.size(); }

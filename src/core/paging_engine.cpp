@@ -53,7 +53,9 @@ void PagingEngine::issue_prefetch(LineId line) {
   if (policy_->has_remote_dirty_holder(line)) return;  // demand path will pull diffs
 
   const OpScope op(*ec_);
-  mem::MemoryServer& server = rt_->home_server(first);
+  // Timing source: the home, or a placement replica spreading the service
+  // load. Authoritative bytes always come from the home frame.
+  mem::MemoryServer& server = rt_->fetch_server(first, ec_->idx);
   const std::size_t bytes = cfg.line_bytes();
   // Asynchronous request: transport + service booked now, the thread does
   // not wait. Content is materialized at issue time (see DESIGN.md §8).
@@ -64,7 +66,7 @@ void PagingEngine::issue_prefetch(LineId line) {
   if (!c.ok()) return;  // a guess is never worth a failover; abandon it
   const SimTime resp = c.done;
   PageCache::Line& l = cache().install(line, resp, /*prefetched=*/true);
-  server.read_bytes(cache().line_base(line), l.data.data(), bytes);
+  rt_->home_server(first).read_bytes(cache().line_base(line), l.data.data(), bytes);
   for (unsigned p = 0; p < cfg.pages_per_line; ++p) {
     rt_->directory_.note_cached(first + p, ec_->idx);
   }
@@ -139,7 +141,11 @@ PageCache::Line& PagingEngine::miss_line(LineId line, Bucket bucket) {
   evict_for_space(bucket);
 
   const mem::PageId first = cache().first_page(line);
-  mem::MemoryServer& server = rt_->home_server(first);
+  mem::MemoryServer& home = rt_->home_server(first);
+  // The server this miss is *served by*: the home, or a placement replica
+  // when the page is read-mostly replicated (load spreading). Frames stay
+  // authoritative at the home — bytes below are read from `home`.
+  mem::MemoryServer& server = rt_->fetch_server(first, ec_->idx);
   const std::size_t bytes = cfg.line_bytes();
 
   // Anticipatory paging (paper §II): feed the miss-stream predictor. When
@@ -170,6 +176,7 @@ PageCache::Line& PagingEngine::miss_line(LineId line, Bucket bucket) {
   // once a crash window forces a failover (frames stay the home server's —
   // the replica is a modeled hot standby of the same bytes).
   mem::MemoryServer* xfer = &server;
+  bool failed_over = false;
   const auto attempt_fetch = [&](SimTime post) {
     scl::Scl::Attempt a;
     const SimTime at_server = rt_->scl_.send(post, ec_->node, xfer->node(), request_bytes);
@@ -197,10 +204,11 @@ PageCache::Line& PagingEngine::miss_line(LineId line, Bucket bucket) {
     fetch = rt_->scl_.with_retries(post, total, attempt_fetch);
     ec_->book_completion(fetch, line);
     if (fetch.ok()) break;
-    if (fetch.status == net::Status::kServerDown && xfer == &server) {
+    if (fetch.status == net::Status::kServerDown && !failed_over) {
       // Home server is mid-outage: fail over to the replica for the
       // re-drive, starting when the timeout exposed the crash.
       xfer = &rt_->replica_server();
+      failed_over = true;
       ++metrics().failovers;
       trace(sim::TraceKind::kFailover, line, xfer->node());
     }
@@ -216,12 +224,12 @@ PageCache::Line& PagingEngine::miss_line(LineId line, Bucket bucket) {
   }
   trace_span(t0, resp, sim::SpanCat::kDemandMiss, line);
   PageCache::Line& installed = cache().install(line, resp, /*prefetched=*/false);
-  server.read_bytes(cache().line_base(line), installed.data.data(), bytes);
+  home.read_bytes(cache().line_base(line), installed.data.data(), bytes);
   for (unsigned p = 0; p < cfg.pages_per_line; ++p) {
     rt_->directory_.note_cached(first + p, ec_->idx);
   }
   metrics().bytes_fetched += bytes;
-  install_prefetched(server, folded, resp);
+  install_prefetched(folded, resp);
   ec_->sim_thread->advance_to(resp);
   if (cfg.collect_latency_histograms) {
     metrics().miss_latency.add(static_cast<double>(clock() - t0));
@@ -254,7 +262,7 @@ void PagingEngine::split_prefetch_candidates(LineId demand, const mem::MemorySer
     const mem::PageId first = cache().first_page(l);
     if (!rt_->gas_.is_assigned(first)) continue;
     if (policy_->has_remote_dirty_holder(l)) continue;  // demand path must pull diffs
-    const bool same_server = &rt_->home_server(first) == &server;
+    const bool same_server = &rt_->fetch_server(first, ec_->idx) == &server;
     if (same_server && folded.size() + 1 < cfg.max_batch_lines && slots > 0) {
       folded.push_back(l);
       --slots;
@@ -264,14 +272,16 @@ void PagingEngine::split_prefetch_candidates(LineId demand, const mem::MemorySer
   }
 }
 
-void PagingEngine::install_prefetched(mem::MemoryServer& server,
-                                      const std::vector<LineId>& lines, SimTime ready) {
+void PagingEngine::install_prefetched(const std::vector<LineId>& lines, SimTime ready) {
   const auto& cfg = rt_->config();
   const std::size_t bytes = cfg.line_bytes();
   for (LineId l : lines) {
     PageCache::Line& installed = cache().install(l, ready, /*prefetched=*/true);
-    server.read_bytes(cache().line_base(l), installed.data.data(), bytes);
     const mem::PageId first = cache().first_page(l);
+    // Per-line home: batches are grouped by *serving* server, which under
+    // replication may differ from a folded line's home.
+    rt_->home_server(first).read_bytes(cache().line_base(l), installed.data.data(),
+                                       bytes);
     for (unsigned p = 0; p < cfg.pages_per_line; ++p) {
       rt_->directory_.note_cached(first + p, ec_->idx);
     }
@@ -303,7 +313,7 @@ void PagingEngine::issue_prefetch_batches(const std::vector<LineId>& candidates)
     const mem::PageId first = cache().first_page(l);
     if (!rt_->gas_.is_assigned(first)) continue;
     if (policy_->has_remote_dirty_holder(l)) continue;
-    mem::MemoryServer* server = &rt_->home_server(first);
+    mem::MemoryServer* server = &rt_->fetch_server(first, ec_->idx);
     auto it = std::find_if(groups.begin(), groups.end(),
                            [&](const auto& g) { return g.first == server; });
     if (it == groups.end()) {
@@ -359,8 +369,9 @@ void PagingEngine::issue_prefetch_rpc(mem::MemoryServer& server,
   }
   for (LineId l : lines) {
     PageCache::Line& installed = cache().install(l, resp, /*prefetched=*/true);
-    server.read_bytes(cache().line_base(l), installed.data.data(), bytes);
     const mem::PageId first = cache().first_page(l);
+    rt_->home_server(first).read_bytes(cache().line_base(l), installed.data.data(),
+                                       bytes);
     for (unsigned p = 0; p < cfg.pages_per_line; ++p) {
       rt_->directory_.note_cached(first + p, ec_->idx);
     }

@@ -65,21 +65,21 @@ class PagingEngine {
 
   /// Single-line asynchronous prefetch RPC (the paper's per-line protocol).
   void issue_prefetch(LineId line);
-  /// Partitions the prefetcher's candidates for a demand miss homed on
-  /// `server`: lines on the same server that fit the batch ride the demand
-  /// RPC (`folded`); everything else is issued asynchronously afterwards
-  /// (`deferred`). Only called when config.max_batch_lines > 1.
+  /// Partitions the prefetcher's candidates for a demand miss served by
+  /// `server`: lines served by the same server that fit the batch ride the
+  /// demand RPC (`folded`); everything else is issued asynchronously
+  /// afterwards (`deferred`). Only called when config.max_batch_lines > 1.
   void split_prefetch_candidates(LineId demand, const mem::MemoryServer& server,
                                  const std::vector<LineId>& candidates,
                                  std::vector<LineId>& folded,
                                  std::vector<LineId>& deferred);
-  /// Installs lines that rode a demand fetch as extra gathered segments.
-  void install_prefetched(mem::MemoryServer& server, const std::vector<LineId>& lines,
-                          SimTime ready);
+  /// Installs lines that rode a demand fetch as extra gathered segments
+  /// (bytes from each line's own home frame).
+  void install_prefetched(const std::vector<LineId>& lines, SimTime ready);
   /// Issues asynchronous prefetches for `candidates`: per-line RPCs when
-  /// batching is off, per-server scatter-gather batches otherwise.
+  /// batching is off, per-serving-server scatter-gather batches otherwise.
   void issue_prefetch_batches(const std::vector<LineId>& candidates);
-  /// One asynchronous fetch RPC for `lines`, all homed on `server`.
+  /// One asynchronous fetch RPC for `lines`, all served by `server`.
   void issue_prefetch_rpc(mem::MemoryServer& server, std::span<const LineId> lines);
 
   PageCache& cache() const { return *ec_->cache; }

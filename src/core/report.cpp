@@ -40,6 +40,11 @@ RunSummary summarize(const SamhitaRuntime& runtime) {
   s.network_bytes = runtime.network_bytes();
   s.drops_injected = runtime.fault_plan().drops_injected();
   s.fault_plan = runtime.fault_plan().summary();
+  s.page_migrations = runtime.directory().migrations();
+  s.page_replications = runtime.directory().replications();
+  s.replica_drops = runtime.directory().replica_drops();
+  s.replica_fetches = runtime.directory().replica_fetches();
+  s.placement_policy = to_string(runtime.config().placement_policy);
   s.spans_dropped = runtime.trace().spans_dropped();
   s.sim_thread_resumes = runtime.sim_thread_resumes();
   s.sim_event_callbacks = runtime.sim_event_callbacks();
@@ -96,6 +101,16 @@ std::string format_report(const RunSummary& s) {
          static_cast<unsigned long long>(s.scl_timeouts),
          static_cast<unsigned long long>(s.scl_retries),
          static_cast<unsigned long long>(s.failovers), s.recovery_seconds * 1e3);
+  }
+  // Only emitted under a dynamic placement policy, so static-placement
+  // reports are byte-identical to what they always were.
+  if (s.placement_policy != "static") {
+    line("  place   policy %s: %llu migrations, %llu replications, "
+         "%llu replica drops, %llu fetches served by replicas",
+         s.placement_policy.c_str(), static_cast<unsigned long long>(s.page_migrations),
+         static_cast<unsigned long long>(s.page_replications),
+         static_cast<unsigned long long>(s.replica_drops),
+         static_cast<unsigned long long>(s.replica_fetches));
   }
   // Host-side cost of the simulation itself (wall clock, so this line is the
   // one nondeterministic part of the report).

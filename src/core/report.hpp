@@ -46,6 +46,13 @@ struct RunSummary {
   double recovery_seconds = 0;
   std::string fault_plan = "none";
 
+  // Dynamic page placement (all zero when placement_policy = static).
+  std::uint64_t page_migrations = 0;
+  std::uint64_t page_replications = 0;
+  std::uint64_t replica_drops = 0;
+  std::uint64_t replica_fetches = 0;
+  std::string placement_policy = "static";
+
   // Observability health: spans the bounded trace store had to drop (0 when
   // tracing is off or the capacity sufficed); nonzero means profiles and
   // critical-path attribution cover a truncated window.

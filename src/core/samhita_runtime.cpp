@@ -61,6 +61,9 @@ SamhitaRuntime::SamhitaRuntime(SamhitaConfig config)
     servers_.emplace_back(static_cast<mem::ServerIdx>(i), static_cast<net::NodeId>(i));
   }
   trace_.set_enabled(config_.trace_enabled);
+  // Heat tracking feeds the placement planner; static placement never reads
+  // it, so the hooks stay disabled (and cost one branch) on the seed path.
+  directory_.set_collect_heat(config_.placement_policy != PagePlacementPolicy::kStatic);
   node_sync_.reserve(config_.total_nodes());
   for (unsigned n = 0; n < config_.total_nodes(); ++n) {
     node_sync_.emplace_back("node-sync-" + std::to_string(n));
@@ -82,11 +85,22 @@ SamhitaRuntime::SamhitaRuntime(SamhitaConfig config)
 SamhitaRuntime::~SamhitaRuntime() = default;
 
 mem::MemoryServer& SamhitaRuntime::home_server(mem::PageId page) {
-  return servers_.at(gas_.home(page));
+  return servers_.at(directory_.home(page));
 }
 
 const mem::MemoryServer& SamhitaRuntime::home_server(mem::PageId page) const {
-  return servers_.at(gas_.home(page));
+  return servers_.at(directory_.home(page));
+}
+
+mem::MemoryServer& SamhitaRuntime::fetch_server(mem::PageId page, mem::ThreadIdx reader) {
+  const std::vector<mem::ServerIdx>& reps = directory_.replicas(page);
+  if (reps.empty()) return servers_.at(directory_.home(page));
+  // Deterministic reader-indexed spread over {home, replicas...}; slot 0 is
+  // the home so a single replica still leaves it serving half the readers.
+  const std::size_t pick = reader % (reps.size() + 1);
+  if (pick == 0) return servers_.at(directory_.home(page));
+  directory_.count_replica_fetch();
+  return servers_.at(reps[pick - 1]);
 }
 
 void SamhitaRuntime::write_global_bytes(mem::GAddr addr, const std::byte* in, std::size_t n) {
@@ -125,7 +139,7 @@ void SamhitaRuntime::parallel_run(std::uint32_t nthreads,
   SAM_EXPECT(nthreads >= 1, "need at least one compute thread");
   SAM_EXPECT(nthreads <= config_.max_threads(),
              "more threads than the configured platform provides");
-  SAM_EXPECT(nthreads <= mem::kMaxThreads, "thread count exceeds directory mask width");
+  SAM_EXPECT(nthreads <= mem::kMaxThreads, "thread count exceeds directory set width");
   ran_ = true;
 
   ctxs_.reserve(nthreads);

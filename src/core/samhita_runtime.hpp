@@ -16,7 +16,7 @@
 #include "core/config.hpp"
 #include "core/metrics.hpp"
 #include "core/sam_allocator.hpp"
-#include "mem/directory.hpp"
+#include "mem/page_directory.hpp"
 #include "mem/global_address_space.hpp"
 #include "mem/memory_server.hpp"
 #include "net/fault_plan.hpp"
@@ -66,7 +66,7 @@ class SamhitaRuntime final : public rt::Runtime {
   std::uint64_t network_messages() const;
   std::uint64_t network_bytes() const;
   const net::NetworkModel& network() const { return *net_; }
-  const mem::Directory& directory() const { return directory_; }
+  const mem::PageDirectory& directory() const { return directory_; }
   const SamAllocator& allocator() const { return allocator_; }
   const std::vector<mem::MemoryServer>& servers() const { return servers_; }
   /// The sharded sync/metadata service (routing directory + shards).
@@ -123,6 +123,13 @@ class SamhitaRuntime final : public rt::Runtime {
   mem::MemoryServer& home_server(mem::PageId page);
   const mem::MemoryServer& home_server(mem::PageId page) const;
 
+  /// Where a demand fetch/prefetch of `page` by `reader` is *served* from:
+  /// the page's home, or — when the placement policy granted read-mostly
+  /// replicas — a deterministic reader-indexed choice among home+replicas
+  /// (spreading service load across servers). Replicas are a timing model
+  /// of a hot standby: authoritative bytes always come from the home frame.
+  mem::MemoryServer& fetch_server(mem::PageId page, mem::ThreadIdx reader);
+
   mem::MemoryServer& replica_server() {
     return servers_.at(config_.replica_server);
   }
@@ -136,7 +143,7 @@ class SamhitaRuntime final : public rt::Runtime {
   mem::GlobalAddressSpace gas_;
   std::vector<mem::MemoryServer> servers_;
   ServiceDirectory services_;
-  mem::Directory directory_;
+  mem::PageDirectory directory_{&gas_};
   SamAllocator allocator_;
   /// Per-compute-node sync service used when config.local_sync is enabled
   /// (§V: avoid contacting the manager on a single-node system).
@@ -146,7 +153,7 @@ class SamhitaRuntime final : public rt::Runtime {
   std::vector<std::unique_ptr<SamThreadCtx>> ctxs_;
   /// Write map snapshot of the epoch closed by the most recent barrier
   /// release; consumed by waking threads for invalidation.
-  std::unordered_map<mem::PageId, mem::ThreadMask> epoch_snapshot_;
+  std::unordered_map<mem::PageId, mem::ThreadSet> epoch_snapshot_;
   bool ran_ = false;
   double sim_wall_seconds_ = 0.0;
 };

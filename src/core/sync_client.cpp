@@ -268,9 +268,14 @@ void SyncClient::barrier(rt::BarrierId b) {
     rt_->sched_.block_current();
   } else {
     // Last arrival: close the RegC epoch and release everyone.
-    rt_->epoch_snapshot_ = rt_->directory_.epoch_write_map();
-    rt_->directory_.end_epoch();
+    rt_->epoch_snapshot_ = rt_->directory_.end_epoch();
     const SimTime t_rel = bar.last_arrival_service_done;
+    // Placement window: the manager plans over the closed epoch's heat and
+    // this thread (already at the manager, holding the service) executes the
+    // moves before anyone restarts.
+    if (rt_->config().placement_policy != PagePlacementPolicy::kStatic) {
+      execute_placement(sh, t_rel);
+    }
     for (const ManagerShard::Waiter& w : bar.arrived) {
       if (w.thread == ec_->idx) continue;
       const net::NodeId n = rt_->config().compute_node(w.thread);
@@ -291,6 +296,37 @@ void SyncClient::barrier(rt::BarrierId b) {
 
   // Phase 3: policy invalidation + update-visibility work.
   policy_->post_barrier(Bucket::kBarrier);
+}
+
+void SyncClient::execute_placement(ManagerShard& shard, SimTime t_rel) {
+  const std::vector<ManagerShard::PlacementDecision> decisions =
+      shard.plan_placement(rt_->directory_, rt_->config());
+  std::vector<std::byte> frame(mem::kPageSize);
+  for (const ManagerShard::PlacementDecision& d : decisions) {
+    mem::MemoryServer& from = rt_->servers_.at(d.from);
+    mem::MemoryServer& to = rt_->servers_.at(d.target);
+    // One frame-transfer RPC per decision, source server to target server,
+    // timed on the target's service loop. A transfer lost to a fault just
+    // abandons the decision — the previous placement stays valid, and the
+    // page is re-considered next window if it stays hot.
+    const scl::Completion c =
+        rt_->scl_.rpc(t_rel, from.node(), to.node(), mem::kPageSize + kCtrl, kCtrl,
+                      to.service(), to.service_time(mem::kPageSize));
+    if (!c.ok()) continue;
+    if (d.kind == ManagerShard::PlacementDecision::Kind::kMigrate) {
+      // Move the authoritative frame bytes with the home: the old frame is
+      // never consulted again (home resolution now points at the target).
+      from.read_page(d.page, frame.data());
+      to.write_bytes(mem::page_base(d.page), frame.data(), mem::kPageSize);
+      rt_->directory_.set_home(d.page, d.target);
+      rt_->directory_.count_migration();
+      trace(sim::TraceKind::kPageMigrate, d.page, d.target);
+    } else {
+      rt_->directory_.add_replica(d.page, d.target);
+      rt_->directory_.count_replication();
+      trace(sim::TraceKind::kPageReplicate, d.page, d.target);
+    }
+  }
 }
 
 }  // namespace sam::core

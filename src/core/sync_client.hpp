@@ -56,6 +56,13 @@ class SyncClient {
   /// Closes the lock-held span opened at acquire (trace bookkeeping).
   void end_lock_held_span(rt::MutexId m);
 
+  /// Runs the manager's placement plan for the epoch that just closed
+  /// (barrier last-arrival only): books the frame-transfer RPCs over scl::
+  /// completions, moves migrated frames' bytes, updates the directory and
+  /// stamps each decision into the trace. No-op under static placement
+  /// (the barrier hook is gated on the policy).
+  void execute_placement(ManagerShard& shard, SimTime t_rel);
+
   SimTime clock() const { return ec_->clock(); }
   void account_since(SimTime t0, Bucket bucket) { ec_->account_since(t0, bucket); }
   void trace(sim::TraceKind kind, std::uint64_t object, std::uint64_t detail) const {

@@ -1,0 +1,128 @@
+#include "mem/page_directory.hpp"
+
+#include <utility>
+
+#include "mem/global_address_space.hpp"
+#include "util/expect.hpp"
+
+namespace sam::mem {
+
+namespace {
+const ThreadSet kEmptySet;
+const std::vector<ServerIdx> kNoReplicas;
+}  // namespace
+
+ServerIdx PageDirectory::home(PageId page) const {
+  auto it = home_override_.find(page);
+  if (it != home_override_.end()) return it->second;
+  return gas_->home(page);
+}
+
+bool PageDirectory::has_home(PageId page) const {
+  return home_override_.count(page) > 0 || gas_->is_assigned(page);
+}
+
+void PageDirectory::set_home(PageId page, ServerIdx server) {
+  // Migrating back to the base assignment erases the override so the
+  // overlay only ever holds genuinely displaced pages.
+  if (gas_->home(page) == server) {
+    home_override_.erase(page);
+  } else {
+    home_override_[page] = server;
+  }
+}
+
+const std::vector<ServerIdx>& PageDirectory::replicas(PageId page) const {
+  auto it = replicas_.find(page);
+  return it == replicas_.end() ? kNoReplicas : it->second;
+}
+
+void PageDirectory::add_replica(PageId page, ServerIdx server) {
+  std::vector<ServerIdx>& reps = replicas_[page];
+  for (ServerIdx r : reps) {
+    if (r == server) return;
+  }
+  reps.push_back(server);
+}
+
+std::size_t PageDirectory::drop_replicas(PageId page) {
+  auto it = replicas_.find(page);
+  if (it == replicas_.end()) return 0;
+  const std::size_t n = it->second.size();
+  replicas_.erase(it);
+  replica_drops_ += n;
+  return n;
+}
+
+void PageDirectory::note_cached(PageId page, ThreadIdx t) {
+  copysets_[page].insert(t);
+  if (collect_heat_) {
+    PageHeat& h = heat_[page];
+    ++h.fetches;
+    h.readers.insert(t);
+  }
+}
+
+void PageDirectory::note_evicted(PageId page, ThreadIdx t) {
+  auto it = copysets_.find(page);
+  if (it == copysets_.end()) return;
+  it->second.erase(t);
+  if (it->second.empty()) copysets_.erase(it);
+}
+
+const ThreadSet& PageDirectory::copyset(PageId page) const {
+  auto it = copysets_.find(page);
+  return it == copysets_.end() ? kEmptySet : it->second;
+}
+
+void PageDirectory::note_write(PageId page, ThreadIdx t) {
+  epoch_writers_[page].insert(t);
+  if (collect_heat_) {
+    PageHeat& h = heat_[page];
+    ++h.writes;
+    if (h.writer_votes == 0) {
+      h.writer = t;
+      h.writer_votes = 1;
+    } else if (h.writer == t) {
+      ++h.writer_votes;
+    } else {
+      --h.writer_votes;
+    }
+  }
+}
+
+const ThreadSet& PageDirectory::epoch_writers(PageId page) const {
+  auto it = epoch_writers_.find(page);
+  return it == epoch_writers_.end() ? kEmptySet : it->second;
+}
+
+void PageDirectory::note_dirty(PageId page, ThreadIdx t) {
+  dirty_holders_[page].insert(t);
+}
+
+void PageDirectory::clear_dirty(PageId page, ThreadIdx t) {
+  auto it = dirty_holders_.find(page);
+  if (it == dirty_holders_.end()) return;
+  it->second.erase(t);
+  if (it->second.empty()) dirty_holders_.erase(it);
+}
+
+const ThreadSet& PageDirectory::dirty_holders(PageId page) const {
+  auto it = dirty_holders_.find(page);
+  return it == dirty_holders_.end() ? kEmptySet : it->second;
+}
+
+std::unordered_map<PageId, ThreadSet> PageDirectory::end_epoch() {
+  std::unordered_map<PageId, ThreadSet> snapshot = std::move(epoch_writers_);
+  epoch_writers_.clear();  // moved-from: restore a valid empty map
+  ++epoch_;
+  return snapshot;
+}
+
+std::unordered_map<PageId, PageDirectory::PageHeat> PageDirectory::take_heat() {
+  std::unordered_map<PageId, PageHeat> window = std::move(heat_);
+  heat_.clear();
+  return window;
+}
+
+}  // namespace sam::mem

@@ -1,0 +1,132 @@
+// Page directory: per-page ownership and sharing state.
+//
+// The directory is the memory-ownership spine of the instance. For every
+// tracked page it can answer:
+//   - where the page lives: its *home* memory server (the allocator's
+//     static striping, unless placement migrated it) and any read-mostly
+//     *replica* servers granted by the placement policy,
+//   - which threads hold a cached copy of it (copyset),
+//   - which threads wrote it during the current epoch (writer set), and
+//   - which threads hold unflushed modifications to it (dirty holders).
+// A thread must invalidate its copy of p at a barrier iff some *other*
+// thread wrote p this epoch — that re-fetch is the false-sharing compute
+// penalty the paper's figures 4/5/7/8 measure.
+//
+// Home resolution replaces the implicit "ask the address space" scattered
+// through the paging path: the GlobalAddressSpace still records the
+// allocator's immutable base assignment, and the directory overlays the
+// placement policy's migrations on top, so `home(p)` is the single seam
+// every fetch/flush/read routes through. With placement static (the
+// default) the overlay is empty and resolution is exactly the seed's.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/thread_set.hpp"
+#include "mem/types.hpp"
+
+namespace sam::mem {
+
+class GlobalAddressSpace;
+
+class PageDirectory {
+ public:
+  /// Per-page access heat over the current placement window (one barrier
+  /// epoch). Fed by the note_* hooks only while heat collection is on, and
+  /// consumed (then reset) by the manager's placement planning.
+  struct PageHeat {
+    std::uint32_t writes = 0;   ///< tracked-write notes this window
+    std::uint32_t fetches = 0;  ///< cache fills this window
+    ThreadSet readers;          ///< threads that fetched this window
+    /// Boyer–Moore majority vote over the window's write stream: after the
+    /// window, `writer` is the dominant writer if any thread wrote a
+    /// majority of the notes (O(1) per note, no per-thread histogram).
+    ThreadIdx writer = 0;
+    std::int32_t writer_votes = 0;
+  };
+
+  explicit PageDirectory(const GlobalAddressSpace* gas) : gas_(gas) {}
+
+  // --- home / replica resolution (the placement seam) ----------------------
+  /// The page's current home server: the placement override when one
+  /// exists, else the allocator's base assignment.
+  ServerIdx home(PageId page) const;
+  /// Whether the page has any home at all (assigned by the allocator or
+  /// migrated). Placement planning skips lines that are not fully assigned.
+  bool has_home(PageId page) const;
+  /// Re-homes the page (placement migration). The caller moves the frame
+  /// bytes; the directory only records ownership.
+  void set_home(PageId page, ServerIdx server);
+  /// Read-mostly replica servers of the page (empty for most pages).
+  const std::vector<ServerIdx>& replicas(PageId page) const;
+  void add_replica(PageId page, ServerIdx server);
+  /// Drops every replica of the page (write invalidation). Returns how many
+  /// were dropped.
+  std::size_t drop_replicas(PageId page);
+  bool has_replicas(PageId page) const { return !replicas(page).empty(); }
+  std::size_t migrated_pages() const { return home_override_.size(); }
+
+  // --- copyset maintenance (driven by cache fill / eviction) ---
+  void note_cached(PageId page, ThreadIdx t);
+  void note_evicted(PageId page, ThreadIdx t);
+  const ThreadSet& copyset(PageId page) const;
+
+  // --- epoch writer tracking (driven by stores in ordinary regions) ---
+  void note_write(PageId page, ThreadIdx t);
+  const ThreadSet& epoch_writers(PageId page) const;
+
+  // --- dirty-holder tracking (drives lazy diff pulls) ---
+  // A thread holding unflushed ordinary-region modifications to a page is a
+  // *dirty holder*. Synchronization moves "only the minimum amount of data
+  // required" (paper §III): at a barrier a thread flushes only lines someone
+  // else currently caches; anyone who later fetches a page with dirty
+  // holders pulls their diffs on demand.
+  void note_dirty(PageId page, ThreadIdx t);
+  void clear_dirty(PageId page, ThreadIdx t);
+  const ThreadSet& dirty_holders(PageId page) const;
+
+  /// Closes the epoch: bumps the epoch counter and returns the closed
+  /// epoch's writer map *by value* — a stable snapshot the caller can hold
+  /// across the boundary (the old live-reference accessor dangled the
+  /// moment end_epoch() cleared the map underneath it).
+  std::unordered_map<PageId, ThreadSet> end_epoch();
+
+  std::uint64_t epoch() const { return epoch_; }
+
+  // --- placement heat (fed only while heat collection is on) ----------------
+  void set_collect_heat(bool on) { collect_heat_ = on; }
+  bool collect_heat() const { return collect_heat_; }
+  /// The current window's heat map (planning input; reset via take_heat).
+  const std::unordered_map<PageId, PageHeat>& heat() const { return heat_; }
+  /// Consumes the window: returns the heat map and starts a fresh one.
+  std::unordered_map<PageId, PageHeat> take_heat();
+
+  // --- placement accounting --------------------------------------------------
+  void count_migration() { ++migrations_; }
+  void count_replication() { ++replications_; }
+  void count_replica_fetch() { ++replica_fetches_; }
+  std::uint64_t migrations() const { return migrations_; }
+  std::uint64_t replications() const { return replications_; }
+  std::uint64_t replica_drops() const { return replica_drops_; }
+  std::uint64_t replica_fetches() const { return replica_fetches_; }
+
+ private:
+  const GlobalAddressSpace* gas_;
+  std::unordered_map<PageId, ThreadSet> copysets_;
+  std::unordered_map<PageId, ThreadSet> epoch_writers_;
+  std::unordered_map<PageId, ThreadSet> dirty_holders_;
+  /// Placement migrations, overlaid on the allocator's base assignment.
+  std::unordered_map<PageId, ServerIdx> home_override_;
+  std::unordered_map<PageId, std::vector<ServerIdx>> replicas_;
+  std::unordered_map<PageId, PageHeat> heat_;
+  bool collect_heat_ = false;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t migrations_ = 0;
+  std::uint64_t replications_ = 0;
+  std::uint64_t replica_drops_ = 0;
+  std::uint64_t replica_fetches_ = 0;
+};
+
+}  // namespace sam::mem

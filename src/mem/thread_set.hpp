@@ -1,0 +1,198 @@
+// mem::ThreadSet: a small set of compute-thread indices.
+//
+// The directory keeps one thread set per tracked page (copyset, epoch writer
+// set, dirty-holder set), so the representation must stay cheap at the
+// paper's scale (tens of threads) while supporting the DiSquawk-scale
+// topologies ROADMAP item 1 targets (hundreds of cores). Threads 0..63 live
+// in one inline 64-bit word — the common case allocates nothing and all set
+// algebra is a handful of bitwise ops. The first insert of a thread >= 64
+// spills to a fixed-span bitset (7 more words, covering kMaxThreads = 512)
+// drawn from a util::VectorPool, so even the spilled path stops allocating
+// once the pool is warm. The inline word stays authoritative for threads
+// 0..63 in both representations.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "mem/types.hpp"
+#include "util/arena.hpp"
+#include "util/expect.hpp"
+
+namespace sam::mem {
+
+class ThreadSet {
+ public:
+  ThreadSet() = default;
+
+  ThreadSet(const ThreadSet& o) : word0_(o.word0_) {
+    if (!o.spill_.empty()) spill_ = o.spill_;
+  }
+
+  ThreadSet& operator=(const ThreadSet& o) {
+    if (this == &o) return *this;
+    word0_ = o.word0_;
+    if (o.spill_.empty()) {
+      release_spill();
+    } else if (spill_.empty()) {
+      spill_ = o.spill_;
+    } else {
+      std::copy(o.spill_.begin(), o.spill_.end(), spill_.begin());
+    }
+    return *this;
+  }
+
+  ThreadSet(ThreadSet&& o) noexcept
+      : word0_(std::exchange(o.word0_, 0)), spill_(std::move(o.spill_)) {}
+
+  ThreadSet& operator=(ThreadSet&& o) noexcept {
+    if (this == &o) return *this;
+    release_spill();
+    word0_ = std::exchange(o.word0_, 0);
+    spill_ = std::move(o.spill_);
+    return *this;
+  }
+
+  ~ThreadSet() { release_spill(); }
+
+  /// Singleton set (replaces the old thread_bit() call sites).
+  static ThreadSet of(ThreadIdx t) {
+    ThreadSet s;
+    s.insert(t);
+    return s;
+  }
+
+  void insert(ThreadIdx t) {
+    SAM_EXPECT(t < kMaxThreads, "thread index exceeds directory set width");
+    if (t < kWordBits) {
+      word0_ |= bit(t);
+      return;
+    }
+    if (spill_.empty()) acquire_spill();
+    spill_[t / kWordBits - 1] |= bit(t % kWordBits);
+  }
+
+  void erase(ThreadIdx t) {
+    if (t < kWordBits) {
+      word0_ &= ~bit(t);
+    } else if (!spill_.empty() && t < kMaxThreads) {
+      spill_[t / kWordBits - 1] &= ~bit(t % kWordBits);
+    }
+  }
+
+  bool contains(ThreadIdx t) const {
+    if (t < kWordBits) return (word0_ & bit(t)) != 0;
+    if (spill_.empty() || t >= kMaxThreads) return false;
+    return (spill_[t / kWordBits - 1] & bit(t % kWordBits)) != 0;
+  }
+
+  bool empty() const {
+    if (word0_ != 0) return false;
+    for (std::uint64_t w : spill_) {
+      if (w != 0) return false;
+    }
+    return true;
+  }
+
+  unsigned count() const {
+    unsigned n = static_cast<unsigned>(std::popcount(word0_));
+    for (std::uint64_t w : spill_) n += static_cast<unsigned>(std::popcount(w));
+    return n;
+  }
+
+  void clear() {
+    word0_ = 0;
+    release_spill();
+  }
+
+  /// Set union: *this |= o.
+  void insert_all(const ThreadSet& o) {
+    word0_ |= o.word0_;
+    if (o.spill_.empty()) return;
+    if (spill_.empty()) acquire_spill();
+    for (unsigned i = 0; i < kSpillWords; ++i) spill_[i] |= o.spill_[i];
+  }
+
+  bool intersects(const ThreadSet& o) const {
+    if ((word0_ & o.word0_) != 0) return true;
+    if (spill_.empty() || o.spill_.empty()) return false;
+    for (unsigned i = 0; i < kSpillWords; ++i) {
+      if ((spill_[i] & o.spill_[i]) != 0) return true;
+    }
+    return false;
+  }
+
+  /// True iff the set holds any member other than `t` — the protocol's
+  /// ubiquitous "(mask & ~me) != 0" idiom without materializing a copy.
+  bool contains_other_than(ThreadIdx t) const {
+    const std::uint64_t w0 = t < kWordBits ? word0_ & ~bit(t) : word0_;
+    if (w0 != 0) return true;
+    for (unsigned i = 0; i < kSpillWords && i < spill_.size(); ++i) {
+      std::uint64_t w = spill_[i];
+      if (t >= kWordBits && t / kWordBits - 1 == i) w &= ~bit(t % kWordBits);
+      if (w != 0) return true;
+    }
+    return false;
+  }
+
+  /// Visits members in ascending thread order (deterministic iteration —
+  /// the lazy-pull choreography depends on it).
+  template <typename F>
+  void for_each(F&& f) const {
+    for (std::uint64_t w = word0_; w != 0; w &= w - 1) {
+      f(static_cast<ThreadIdx>(std::countr_zero(w)));
+    }
+    for (unsigned i = 0; i < spill_.size(); ++i) {
+      for (std::uint64_t w = spill_[i]; w != 0; w &= w - 1) {
+        f(static_cast<ThreadIdx>((i + 1) * kWordBits + std::countr_zero(w)));
+      }
+    }
+  }
+
+  friend bool operator==(const ThreadSet& a, const ThreadSet& b) {
+    if (a.word0_ != b.word0_) return false;
+    for (unsigned i = 0; i < kSpillWords; ++i) {
+      const std::uint64_t wa = i < a.spill_.size() ? a.spill_[i] : 0;
+      const std::uint64_t wb = i < b.spill_.size() ? b.spill_[i] : 0;
+      if (wa != wb) return false;
+    }
+    return true;
+  }
+
+  friend bool operator!=(const ThreadSet& a, const ThreadSet& b) { return !(a == b); }
+
+  /// Pool counters for the spill bitsets: the allocation-accounting tests
+  /// assert `fresh` stays flat across a warmed-up <= 64-thread run (the
+  /// inline path never touches the pool at all).
+  static const util::PoolStats& spill_pool_stats() {
+    return util::VectorPool<std::uint64_t>::local().stats();
+  }
+
+ private:
+  static constexpr unsigned kWordBits = 64;
+  static constexpr unsigned kSpillWords = (kMaxThreads - 1) / kWordBits;
+
+  static constexpr std::uint64_t bit(unsigned i) { return std::uint64_t{1} << i; }
+
+  void acquire_spill() {
+    spill_ = util::VectorPool<std::uint64_t>::local().acquire();
+    spill_.assign(kSpillWords, 0);
+  }
+
+  void release_spill() {
+    if (spill_.empty()) return;
+    util::VectorPool<std::uint64_t>::local().release(std::move(spill_));
+    spill_.clear();
+  }
+
+  /// Threads 0..63 (always authoritative for that range).
+  std::uint64_t word0_ = 0;
+  /// Threads 64..kMaxThreads-1: empty until the first spill insert, then
+  /// exactly kSpillWords words from the pool.
+  std::vector<std::uint64_t> spill_;
+};
+
+}  // namespace sam::mem

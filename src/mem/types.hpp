@@ -29,12 +29,10 @@ constexpr GAddr page_base(PageId p) { return p * kPageSize; }
 /// Null/global-invalid address sentinel.
 constexpr GAddr kNullGAddr = ~0ull;
 
-/// Set of threads represented as a bitmask (supports up to 64 threads,
-/// which covers the paper's 32-thread maximum with headroom).
-using ThreadMask = std::uint64_t;
-
-constexpr ThreadMask thread_bit(ThreadIdx t) { return ThreadMask{1} << t; }
-
-constexpr unsigned kMaxThreads = 64;
+/// Hard ceiling on compute threads per instance. Thread sets (copysets,
+/// writer sets, dirty-holder sets — see mem::ThreadSet) are sized for this;
+/// 512 covers the DiSquawk-scale topologies ROADMAP item 1 targets while
+/// the common <= 64-thread case stays a single inline word.
+constexpr unsigned kMaxThreads = 512;
 
 }  // namespace sam::mem

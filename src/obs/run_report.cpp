@@ -59,6 +59,12 @@ void collect_platform(const core::SamhitaRuntime& rt, Registry& reg) {
   reg.set_counter("scl.exhausted", sc.exhausted);
   reg.set_counter("net.drops_injected", rt.fault_plan().drops_injected());
 
+  reg.set_counter("placement.migrations", rt.directory().migrations());
+  reg.set_counter("placement.replications", rt.directory().replications());
+  reg.set_counter("placement.replica_drops", rt.directory().replica_drops());
+  reg.set_counter("placement.replica_fetches", rt.directory().replica_fetches());
+  reg.set_counter("placement.migrated_pages", rt.directory().migrated_pages());
+
   const auto& servers = rt.servers();
   for (std::size_t i = 0; i < servers.size(); ++i) {
     // Key by the server's own id, not the container position: stable across
@@ -197,6 +203,9 @@ void write_config(JsonWriter& w, const core::SamhitaConfig& cfg) {
   w.kv("local_sync", cfg.local_sync);
   w.kv("manager_shards", cfg.manager_shards);
   w.kv("manager_placement", core::to_string(cfg.manager_placement));
+  w.kv("placement_policy", core::to_string(cfg.placement_policy));
+  w.kv("migration_threshold", cfg.migration_threshold);
+  w.kv("max_replicas", cfg.max_replicas);
   w.kv("trace_enabled", cfg.trace_enabled);
   w.kv("net_latency_scale", cfg.net_latency_scale);
   w.kv("net_bandwidth_scale", cfg.net_bandwidth_scale);
@@ -241,6 +250,10 @@ void write_summary(JsonWriter& w, const core::RunSummary& s) {
   w.kv("scl_timeouts", s.scl_timeouts);
   w.kv("failovers", s.failovers);
   w.kv("recovery_seconds", s.recovery_seconds);
+  w.kv("page_migrations", s.page_migrations);
+  w.kv("page_replications", s.page_replications);
+  w.kv("replica_drops", s.replica_drops);
+  w.kv("replica_fetches", s.replica_fetches);
   w.kv("spans_dropped", s.spans_dropped);
   w.kv("sim_events_per_sec", s.sim_events_per_sec);
   w.end_object();

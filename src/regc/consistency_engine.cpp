@@ -70,6 +70,17 @@ void ConsistencyEngine::ordinary_write(core::PageCache::Line& line, mem::GAddr a
     line.noted_mask |= bit;
     rt_->directory_.note_write(p, ec_->idx);
     rt_->directory_.note_dirty(p, ec_->idx);
+    // Write invalidation: a replicated line stops being read-mostly the
+    // moment someone writes any of it. Replica grants are line-uniform, so
+    // revoke them across the whole line at once (heat collection doubles as
+    // the placement-enabled flag).
+    if (rt_->directory_.collect_heat() && rt_->directory_.has_replicas(p)) {
+      std::size_t dropped = 0;
+      for (unsigned i = 0; i < rt_->config().pages_per_line; ++i) {
+        dropped += rt_->directory_.drop_replicas(base + i);
+      }
+      trace(sim::TraceKind::kReplicaDrop, p, dropped);
+    }
   }
 }
 
@@ -280,14 +291,12 @@ void ConsistencyEngine::flush_all_dirty(core::Bucket bucket) {
 
 void ConsistencyEngine::flush_shared_dirty(core::Bucket bucket) {
   const auto& cfg = rt_->config();
-  const mem::ThreadMask me = mem::thread_bit(ec_->idx);
   auto shared_with_others = [&](const core::PageCache::Line& line) {
-    mem::ThreadMask others = 0;
     const mem::PageId first = cache().first_page(line.id);
     for (unsigned p = 0; p < cfg.pages_per_line; ++p) {
-      others |= rt_->directory_.copyset(first + p);
+      if (rt_->directory_.copyset(first + p).contains_other_than(ec_->idx)) return true;
     }
-    return (others & ~me) != 0;
+    return false;
   };
   if (cfg.max_batch_lines > 1 || cfg.flush_pipeline) {
     std::vector<core::PageCache::Line*> shared;
@@ -319,28 +328,29 @@ bool ConsistencyEngine::is_pinned(core::LineId line) const {
 
 bool ConsistencyEngine::has_remote_dirty_holder(core::LineId line) const {
   const mem::PageId first = cache().first_page(line);
-  mem::ThreadMask holders = 0;
   for (unsigned p = 0; p < rt_->config().pages_per_line; ++p) {
-    holders |= rt_->directory_.dirty_holders(first + p);
+    if (rt_->directory_.dirty_holders(first + p).contains_other_than(ec_->idx)) {
+      return true;
+    }
   }
-  return (holders & ~mem::thread_bit(ec_->idx)) != 0;
+  return false;
 }
 
 SimTime ConsistencyEngine::lazy_pull(core::LineId line, SimTime at_server) {
   const mem::PageId first = cache().first_page(line);
-  mem::ThreadMask holders = 0;
+  mem::ThreadSet holders;
   for (unsigned p = 0; p < rt_->config().pages_per_line; ++p) {
-    holders |= rt_->directory_.dirty_holders(first + p);
+    holders.insert_all(rt_->directory_.dirty_holders(first + p));
   }
-  holders &= ~mem::thread_bit(ec_->idx);
+  holders.erase(ec_->idx);
   SimTime ready = at_server;
   const net::NodeId server_node = rt_->home_server(first).node();
-  for (mem::ThreadIdx h = 0; holders != 0; ++h, holders >>= 1) {
-    // Walk holder threads in index order (deterministic).
-    if ((holders & 1) == 0) continue;
+  // Walk holder threads in index order (for_each is ascending —
+  // deterministic).
+  holders.for_each([&](mem::ThreadIdx h) {
     core::SamThreadCtx& other = *rt_->ctxs_[h];
     core::PageCache::Line* l = other.cache().find(line);
-    if (l == nullptr || !l->dirty) continue;  // holder info was page-stale
+    if (l == nullptr || !l->dirty) return;  // holder info was page-stale
     const Diff diff = Diff::between(other.cache().line_base(line), l->twin, l->data);
     rt_->apply_diff_global(diff);
     // The server requests the diff from the holder node (one-sided handler
@@ -364,7 +374,7 @@ SimTime ConsistencyEngine::lazy_pull(core::LineId line, SimTime at_server) {
     other.metrics().bytes_flushed += wire;
     ++other.metrics().diffs_flushed;
     trace(sim::TraceKind::kLazyPull, line, wire);
-  }
+  });
   return ready;
 }
 
@@ -372,14 +382,13 @@ void ConsistencyEngine::invalidate_stale(core::Bucket bucket) {
   const auto& snapshot = rt_->epoch_snapshot_;
   if (snapshot.empty()) return;
   const auto& cfg = rt_->config();
-  const mem::ThreadMask me = mem::thread_bit(ec_->idx);
   for (core::LineId id : cache().resident_line_ids()) {
     core::PageCache::Line* line = cache().find(id);
     const mem::PageId first = cache().first_page(id);
     bool stale = false;
     for (unsigned p = 0; p < cfg.pages_per_line && !stale; ++p) {
       auto it = snapshot.find(first + p);
-      if (it != snapshot.end() && (it->second & ~me) != 0) stale = true;
+      if (it != snapshot.end() && it->second.contains_other_than(ec_->idx)) stale = true;
     }
     if (!stale) continue;
     // A falsely-shared line can still be dirty here: its other writers may
@@ -593,7 +602,6 @@ void ConsistencyEngine::validate_clean_lines() {
   //       (they become visible at its next acquire/barrier).
   // Anything else diverging is a protocol bug.
   const auto& cfg = rt_->config();
-  const mem::ThreadMask me = mem::thread_bit(ec_->idx);
   std::vector<std::byte> authoritative(cfg.line_bytes());
   for (core::LineId id : cache().resident_line_ids()) {
     core::PageCache::Line* line = cache().find(id);
@@ -602,8 +610,10 @@ void ConsistencyEngine::validate_clean_lines() {
     const mem::PageId first = cache().first_page(id);
     bool skip = false;
     for (unsigned p = 0; p < cfg.pages_per_line && !skip; ++p) {
-      if (rt_->directory_.dirty_holders(first + p) != 0) skip = true;      // (a)
-      if ((rt_->directory_.epoch_writers(first + p) & ~me) != 0) skip = true;  // (b)
+      if (!rt_->directory_.dirty_holders(first + p).empty()) skip = true;  // (a)
+      if (rt_->directory_.epoch_writers(first + p).contains_other_than(ec_->idx)) {
+        skip = true;  // (b)
+      }
     }
     if (skip) continue;
     const mem::GAddr base = cache().line_base(id);

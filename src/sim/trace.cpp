@@ -43,6 +43,9 @@ const char* to_string(TraceKind kind) {
     case TraceKind::kBatchFlush: return "batch_flush";
     case TraceKind::kRetry: return "retry";
     case TraceKind::kFailover: return "failover";
+    case TraceKind::kPageMigrate: return "page_migrate";
+    case TraceKind::kPageReplicate: return "page_replicate";
+    case TraceKind::kReplicaDrop: return "replica_drop";
   }
   return "?";
 }

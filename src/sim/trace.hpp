@@ -37,11 +37,14 @@ enum class TraceKind : std::uint8_t {
   kBatchFlush,  ///< object = first line id, detail = segments in the batch
   kRetry,       ///< object = line/lock id, detail = reposts the verb needed
   kFailover,    ///< object = line id, detail = replica node that covered
+  kPageMigrate,    ///< object = page id, detail = new home server index
+  kPageReplicate,  ///< object = page id, detail = replica server index
+  kReplicaDrop,    ///< object = page id, detail = replicas write-invalidated
 };
 
 /// Number of TraceKind enumerators (for per-kind counter arrays).
 inline constexpr std::size_t kTraceKindCount =
-    static_cast<std::size_t>(TraceKind::kFailover) + 1;
+    static_cast<std::size_t>(TraceKind::kReplicaDrop) + 1;
 
 const char* to_string(TraceKind kind);
 

@@ -318,6 +318,47 @@ TEST(ConfigValidation, RejectsUnknownEnumStrings) {
   EXPECT_THROW(manager_placement_from_string("spread"), util::ContractViolation);
   EXPECT_NO_THROW(consistency_policy_from_string("eager_rc"));
   EXPECT_NO_THROW(manager_placement_from_string("colocated"));
+  EXPECT_THROW(page_placement_from_string("random"), util::ContractViolation);
+  EXPECT_NO_THROW(page_placement_from_string("migrate+replicate"));
+  EXPECT_NO_THROW(page_placement_from_string("migrate_replicate"));  // alias
+}
+
+TEST(ConfigValidation, RejectsTopologyAboveThreadSetCeiling) {
+  SamhitaConfig cfg;
+  cfg.compute_nodes = mem::kMaxThreads + 1;  // one thread too many
+  cfg.cores_per_node = 1;
+  EXPECT_THROW(SamhitaRuntime{cfg}, util::ContractViolation);
+  cfg.compute_nodes = mem::kMaxThreads / 4;
+  cfg.cores_per_node = 5;  // product above the ceiling
+  EXPECT_THROW(SamhitaRuntime{cfg}, util::ContractViolation);
+  cfg.cores_per_node = 4;  // exactly at the boundary is legal
+  EXPECT_NO_THROW(SamhitaRuntime{cfg});
+}
+
+TEST(ConfigValidation, RejectsOutOfRangeReplicaServer) {
+  SamhitaConfig cfg;
+  cfg.replica_server = cfg.memory_servers;  // one past the last server
+  EXPECT_THROW(SamhitaRuntime{cfg}, util::ContractViolation);
+  cfg.replica_server = cfg.memory_servers - 1;  // boundary value is legal
+  EXPECT_NO_THROW(SamhitaRuntime{cfg});
+}
+
+TEST(ConfigValidation, RejectsDegeneratePlacementKnobs) {
+  SamhitaConfig cfg;
+  cfg.placement_policy = PagePlacementPolicy::kMigrate;
+  cfg.migration_threshold = 0;
+  EXPECT_THROW(SamhitaRuntime{cfg}, util::ContractViolation);
+  cfg = SamhitaConfig{};
+  cfg.placement_policy = PagePlacementPolicy::kMigrateReplicate;
+  cfg.memory_servers = 2;
+  cfg.max_replicas = 2;  // would need 3 servers
+  EXPECT_THROW(SamhitaRuntime{cfg}, util::ContractViolation);
+  cfg.max_replicas = 1;
+  EXPECT_NO_THROW(SamhitaRuntime{cfg});
+  // The knobs are inert (unvalidated) under static placement.
+  cfg = SamhitaConfig{};
+  cfg.migration_threshold = 0;
+  EXPECT_NO_THROW(SamhitaRuntime{cfg});
 }
 
 TEST(ConfigValidation, RejectsDegeneratePlatforms) {

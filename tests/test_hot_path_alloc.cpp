@@ -12,6 +12,7 @@
 
 #include "core/config.hpp"
 #include "core/page_cache.hpp"
+#include "mem/page_directory.hpp"
 #include "regc/diff.hpp"
 #include "util/arena.hpp"
 
@@ -75,6 +76,34 @@ TEST(HotPathAlloc, PageCacheInstallEraseRecyclesFrames) {
   EXPECT_EQ(cache.frames_allocated(), warm)
       << "install/erase churn carved fresh frames instead of recycling";
   EXPECT_EQ(cache.resident_lines(), 16u);
+}
+
+TEST(HotPathAlloc, DirectorySpillChurnRecyclesThreadSetBuffers) {
+  mem::PageDirectory d(nullptr);
+  // Warm-up: touch every page's sets with a >=64 thread so each holds a
+  // spill buffer, covering the peak simultaneously-live spilled sets.
+  for (mem::PageId p = 0; p < 8; ++p) {
+    d.note_cached(p, 100);
+    d.note_write(p, 100);
+    d.note_dirty(p, 100);
+  }
+  const std::uint64_t fresh = mem::ThreadSet::spill_pool_stats().fresh;
+
+  for (int i = 0; i < 1000; ++i) {
+    const mem::PageId p = static_cast<mem::PageId>(i % 8);
+    const mem::ThreadIdx t = static_cast<mem::ThreadIdx>(64 + i % 128);
+    d.note_cached(p, t);
+    d.note_dirty(p, t);
+    d.clear_dirty(p, t);
+    d.note_evicted(p, t);
+    // The epoch close hands the writer map out by value and starts a fresh
+    // one; spill buffers of the snapshot's sets return to the pool when the
+    // snapshot dies.
+    d.note_write(p, t);
+    if (i % 8 == 7) (void)d.end_epoch();
+  }
+  EXPECT_EQ(mem::ThreadSet::spill_pool_stats().fresh, fresh)
+      << "directory steady state allocated fresh thread-set spill buffers";
 }
 
 }  // namespace

@@ -2,9 +2,10 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <initializer_list>
 
-#include "mem/directory.hpp"
 #include "mem/global_address_space.hpp"
+#include "mem/page_directory.hpp"
 #include "mem/memory_server.hpp"
 #include "util/expect.hpp"
 
@@ -73,37 +74,110 @@ TEST(MemoryServer, ServiceTimeScalesWithBytes) {
   EXPECT_GE(s.service_time(0), 1u);  // fixed overhead
 }
 
-TEST(Directory, CopysetTracksCachingThreads) {
-  Directory d;
-  d.note_cached(7, 1);
-  d.note_cached(7, 3);
-  EXPECT_EQ(d.copyset(7), thread_bit(1) | thread_bit(3));
-  d.note_evicted(7, 1);
-  EXPECT_EQ(d.copyset(7), thread_bit(3));
-  d.note_evicted(7, 3);
-  EXPECT_EQ(d.copyset(7), 0u);
-  d.note_evicted(7, 3);  // idempotent
-  EXPECT_EQ(d.copyset(9), 0u);
+ThreadSet make_set(std::initializer_list<ThreadIdx> threads) {
+  ThreadSet s;
+  for (ThreadIdx t : threads) s.insert(t);
+  return s;
 }
 
-TEST(Directory, EpochWritersClearAtEpochEnd) {
-  Directory d;
+TEST(PageDirectory, CopysetTracksCachingThreads) {
+  PageDirectory d(nullptr);
+  d.note_cached(7, 1);
+  d.note_cached(7, 3);
+  EXPECT_EQ(d.copyset(7), make_set({1, 3}));
+  d.note_evicted(7, 1);
+  EXPECT_EQ(d.copyset(7), make_set({3}));
+  d.note_evicted(7, 3);
+  EXPECT_TRUE(d.copyset(7).empty());
+  d.note_evicted(7, 3);  // idempotent
+  EXPECT_TRUE(d.copyset(9).empty());
+}
+
+TEST(PageDirectory, CopysetSpansTheSpillBoundary) {
+  PageDirectory d(nullptr);
+  d.note_cached(7, 3);
+  d.note_cached(7, 200);  // beyond the inline 64-thread word
+  EXPECT_EQ(d.copyset(7), make_set({3, 200}));
+  EXPECT_TRUE(d.copyset(7).contains_other_than(3));
+  d.note_evicted(7, 200);
+  EXPECT_FALSE(d.copyset(7).contains_other_than(3));
+}
+
+TEST(PageDirectory, EpochWritersSnapshotAtEpochEnd) {
+  PageDirectory d(nullptr);
   d.note_write(4, 0);
   d.note_write(4, 2);
   d.note_write(5, 1);
-  EXPECT_EQ(d.epoch_writers(4), thread_bit(0) | thread_bit(2));
-  EXPECT_EQ(d.epoch_write_map().size(), 2u);
+  EXPECT_EQ(d.epoch_writers(4), make_set({0, 2}));
   const auto e = d.epoch();
-  d.end_epoch();
+  // end_epoch() hands back a stable snapshot of the closed epoch's writer
+  // map (by value — no reference into state the close just reset).
+  const auto snapshot = d.end_epoch();
+  EXPECT_EQ(snapshot.size(), 2u);
+  EXPECT_EQ(snapshot.at(4), make_set({0, 2}));
+  EXPECT_EQ(snapshot.at(5), make_set({1}));
   EXPECT_EQ(d.epoch(), e + 1);
-  EXPECT_EQ(d.epoch_writers(4), 0u);
-  EXPECT_TRUE(d.epoch_write_map().empty());
+  EXPECT_TRUE(d.epoch_writers(4).empty());
+  // The snapshot stays intact as the next epoch accumulates writers.
+  d.note_write(4, 7);
+  EXPECT_EQ(snapshot.at(4), make_set({0, 2}));
+  EXPECT_TRUE(d.end_epoch().at(4) == make_set({7}));
 }
 
-TEST(Directory, RejectsThreadBeyondMaskWidth) {
-  Directory d;
-  EXPECT_THROW(d.note_cached(0, 64), util::ContractViolation);
-  EXPECT_THROW(d.note_write(0, 99), util::ContractViolation);
+TEST(PageDirectory, RejectsThreadBeyondSetWidth) {
+  PageDirectory d(nullptr);
+  EXPECT_THROW(d.note_cached(0, kMaxThreads), util::ContractViolation);
+  EXPECT_THROW(d.note_write(0, kMaxThreads + 35), util::ContractViolation);
+}
+
+TEST(PageDirectory, HomeOverlaysPlacementOnBaseAssignment) {
+  GlobalAddressSpace gas(1 << 20, 3);
+  gas.assign_home(0, 8, 1);
+  PageDirectory d(&gas);
+  EXPECT_EQ(d.home(3), 1u);
+  EXPECT_EQ(d.migrated_pages(), 0u);
+  d.set_home(3, 2);  // placement migration
+  EXPECT_EQ(d.home(3), 2u);
+  EXPECT_EQ(d.home(4), 1u);  // untouched pages keep the base assignment
+  EXPECT_EQ(d.migrated_pages(), 1u);
+  d.set_home(3, 1);  // migrating back to base erases the override
+  EXPECT_EQ(d.home(3), 1u);
+  EXPECT_EQ(d.migrated_pages(), 0u);
+}
+
+TEST(PageDirectory, ReplicasGrantAndWriteInvalidate) {
+  PageDirectory d(nullptr);
+  EXPECT_FALSE(d.has_replicas(11));
+  d.add_replica(11, 2);
+  d.add_replica(11, 0);
+  ASSERT_EQ(d.replicas(11).size(), 2u);
+  EXPECT_EQ(d.replicas(11)[0], 2u);
+  EXPECT_EQ(d.replicas(11)[1], 0u);
+  EXPECT_EQ(d.drop_replicas(11), 2u);  // write invalidation
+  EXPECT_FALSE(d.has_replicas(11));
+  EXPECT_EQ(d.drop_replicas(11), 0u);  // idempotent
+  EXPECT_EQ(d.replica_drops(), 2u);
+}
+
+TEST(PageDirectory, HeatWindowFeedsPlacement) {
+  PageDirectory d(nullptr);
+  d.note_write(9, 5);  // heat off: nothing recorded
+  EXPECT_TRUE(d.heat().empty());
+  d.set_collect_heat(true);
+  d.note_cached(9, 1);
+  d.note_cached(9, 2);
+  d.note_write(9, 5);
+  d.note_write(9, 5);
+  d.note_write(9, 6);
+  const auto heat = d.take_heat();
+  ASSERT_EQ(heat.count(9), 1u);
+  const PageDirectory::PageHeat& h = heat.at(9);
+  EXPECT_EQ(h.fetches, 2u);
+  EXPECT_EQ(h.readers, make_set({1, 2}));
+  EXPECT_EQ(h.writes, 3u);
+  EXPECT_EQ(h.writer, 5u);  // Boyer–Moore majority vote
+  EXPECT_GT(h.writer_votes, 0);
+  EXPECT_TRUE(d.heat().empty());  // take_heat() starts a fresh window
 }
 
 }  // namespace

@@ -1,0 +1,202 @@
+// mem::ThreadSet unit + differential tests.
+//
+// ThreadSet is the directory's sharer-set representation: an inline 64-bit
+// word for the common small case, spilling to a pooled fixed-span bitset
+// when a thread index >= 64 appears. The differential tests drive a ThreadSet
+// and a std::set<ThreadIdx> reference through the same random operation
+// stream — deliberately straddling the inline->spill boundary — and require
+// identical observable behavior at every step.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <set>
+#include <vector>
+
+#include "mem/thread_set.hpp"
+#include "mem/types.hpp"
+#include "util/expect.hpp"
+
+namespace sam::mem {
+namespace {
+
+std::vector<ThreadIdx> to_vector(const ThreadSet& s) {
+  std::vector<ThreadIdx> out;
+  s.for_each([&](ThreadIdx t) { out.push_back(t); });
+  return out;
+}
+
+TEST(ThreadSet, StartsEmpty) {
+  ThreadSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_FALSE(s.contains(0));
+  EXPECT_FALSE(s.contains_other_than(0));
+  EXPECT_TRUE(to_vector(s).empty());
+}
+
+TEST(ThreadSet, InlineInsertEraseContains) {
+  ThreadSet s;
+  s.insert(3);
+  s.insert(63);
+  s.insert(3);  // idempotent
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_TRUE(s.contains(63));
+  EXPECT_FALSE(s.contains(4));
+  EXPECT_TRUE(s.contains_other_than(3));
+  s.erase(3);
+  EXPECT_FALSE(s.contains(3));
+  EXPECT_FALSE(s.contains_other_than(63));
+  s.erase(3);  // idempotent
+  EXPECT_EQ(s.count(), 1u);
+}
+
+TEST(ThreadSet, SpillsAboveSixtyFourAndIteratesAscending) {
+  ThreadSet s;
+  s.insert(200);
+  s.insert(5);
+  s.insert(64);
+  s.insert(kMaxThreads - 1);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_EQ(to_vector(s),
+            (std::vector<ThreadIdx>{5, 64, 200, kMaxThreads - 1}));
+  s.erase(64);
+  EXPECT_EQ(to_vector(s), (std::vector<ThreadIdx>{5, 200, kMaxThreads - 1}));
+}
+
+TEST(ThreadSet, RejectsIndexAtSetWidth) {
+  ThreadSet s;
+  s.insert(kMaxThreads - 1);  // largest representable index
+  EXPECT_THROW(s.insert(kMaxThreads), util::ContractViolation);
+}
+
+TEST(ThreadSet, EqualityIgnoresSpillRepresentation) {
+  // a spilled once (then shrank back under 64); b never spilled. Equality
+  // must compare contents, not whether a spill buffer is attached.
+  ThreadSet a;
+  a.insert(10);
+  a.insert(100);
+  a.erase(100);
+  ThreadSet b = ThreadSet::of(10);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b, a);
+  a.insert(100);
+  EXPECT_NE(a, b);
+}
+
+TEST(ThreadSet, CopyAndMovePreserveContents) {
+  ThreadSet a;
+  a.insert(1);
+  a.insert(400);
+  ThreadSet copy = a;
+  EXPECT_EQ(copy, a);
+  copy.insert(2);
+  EXPECT_FALSE(a.contains(2));  // deep copy
+  ThreadSet moved = std::move(a);
+  EXPECT_TRUE(moved.contains(400));
+  ThreadSet assigned;
+  assigned = copy;
+  EXPECT_EQ(assigned, copy);
+  assigned = std::move(moved);
+  EXPECT_TRUE(assigned.contains(400));
+  EXPECT_FALSE(assigned.contains(2));
+}
+
+TEST(ThreadSet, InsertAllMergesAndIntersects) {
+  ThreadSet a;
+  a.insert(3);
+  a.insert(70);
+  ThreadSet b;
+  b.insert(70);
+  b.insert(300);
+  EXPECT_TRUE(a.intersects(b));
+  a.insert_all(b);
+  EXPECT_EQ(to_vector(a), (std::vector<ThreadIdx>{3, 70, 300}));
+  ThreadSet c = ThreadSet::of(4);
+  EXPECT_FALSE(a.intersects(c));
+  EXPECT_FALSE(c.intersects(a));
+}
+
+// The load-bearing check: drive ThreadSet and std::set through the same
+// random insert/erase/query stream, with an index distribution that keeps
+// crossing the inline/spill boundary, and compare every observable.
+TEST(ThreadSet, DifferentialAgainstStdSetAcrossSpillBoundary) {
+  std::mt19937_64 rng(0xD15C0);
+  // Cluster mass just below and above the 64-thread inline word so sets
+  // repeatedly straddle it, plus a tail over the full [0, kMaxThreads) span.
+  auto random_index = [&]() -> ThreadIdx {
+    switch (rng() % 3) {
+      case 0: return static_cast<ThreadIdx>(rng() % 64);
+      case 1: return static_cast<ThreadIdx>(64 + rng() % 8);
+      default: return static_cast<ThreadIdx>(rng() % kMaxThreads);
+    }
+  };
+  for (int trial = 0; trial < 20; ++trial) {
+    ThreadSet set;
+    std::set<ThreadIdx> ref;
+    for (int step = 0; step < 400; ++step) {
+      const ThreadIdx t = random_index();
+      if (rng() % 3 != 0) {
+        set.insert(t);
+        ref.insert(t);
+      } else {
+        set.erase(t);
+        ref.erase(t);
+      }
+      ASSERT_EQ(set.count(), ref.size());
+      ASSERT_EQ(set.empty(), ref.empty());
+      const ThreadIdx probe = random_index();
+      ASSERT_EQ(set.contains(probe), ref.count(probe) > 0);
+      ASSERT_EQ(set.contains_other_than(probe),
+                ref.size() > (ref.count(probe) > 0 ? 1u : 0u));
+      // for_each visits exactly the reference contents, ascending.
+      ASSERT_EQ(to_vector(set),
+                std::vector<ThreadIdx>(ref.begin(), ref.end()));
+    }
+    // Cross-set ops against a second differential pair.
+    ThreadSet other;
+    std::set<ThreadIdx> other_ref;
+    for (int i = 0; i < 40; ++i) {
+      const ThreadIdx t = random_index();
+      other.insert(t);
+      other_ref.insert(t);
+    }
+    std::vector<ThreadIdx> inter;
+    std::set_intersection(ref.begin(), ref.end(), other_ref.begin(),
+                          other_ref.end(), std::back_inserter(inter));
+    ASSERT_EQ(set.intersects(other), !inter.empty());
+    set.insert_all(other);
+    ref.insert(other_ref.begin(), other_ref.end());
+    ASSERT_EQ(to_vector(set), std::vector<ThreadIdx>(ref.begin(), ref.end()));
+    set.clear();
+    ASSERT_TRUE(set.empty());
+    ASSERT_EQ(set, ThreadSet{});
+  }
+}
+
+// Steady-state spill churn must recycle pooled buffers, not carve fresh
+// ones (same contract as the diff/page-cache pools in test_hot_path_alloc).
+TEST(ThreadSet, SpillChurnAllocatesNothingInSteadyState) {
+  // Warm-up: grow the thread-local pool to the peak number of
+  // simultaneously live spilled sets the loop below holds (two).
+  {
+    ThreadSet a = ThreadSet::of(100);
+    ThreadSet b = ThreadSet::of(200);
+    b.insert_all(a);
+  }
+  const std::uint64_t fresh = ThreadSet::spill_pool_stats().fresh;
+  for (int i = 0; i < 1000; ++i) {
+    ThreadSet a;
+    a.insert(static_cast<ThreadIdx>(64 + i % 100));  // forces a spill
+    ThreadSet b = a;                                 // copies the spill
+    b.erase(static_cast<ThreadIdx>(64 + i % 100));
+    ASSERT_TRUE(b.empty());
+  }
+  EXPECT_EQ(ThreadSet::spill_pool_stats().fresh, fresh)
+      << "spilled-set churn allocated fresh spill buffers in steady state";
+}
+
+}  // namespace
+}  // namespace sam::mem

@@ -19,11 +19,25 @@ BUILD_DIR="${1:-build}"
 if [[ ! -d "$BUILD_DIR" ]]; then
   cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 fi
-cmake --build "$BUILD_DIR" -j --target ablation_batching samhita_sim
+cmake --build "$BUILD_DIR" -j --target ablation_batching ablation_page_placement samhita_sim
 
 # Same invocation as the CI gate: the quick sweep, baseline written in place.
 "./$BUILD_DIR/bench/ablation_batching" --quick --write-baseline=BENCH_baseline.json \
   > /dev/null
+
+# Dynamic page placement virtual-time series (*_sim_seconds): deterministic,
+# gated at 5% by the CI placement gate alongside the batching series.
+"./$BUILD_DIR/bench/ablation_page_placement" --quick \
+  --write-baseline=/tmp/placement_baseline.json > /dev/null
+python3 - <<'EOF'
+import json
+baseline = json.load(open("BENCH_baseline.json"))
+baseline.update(json.load(open("/tmp/placement_baseline.json")))
+with open("BENCH_baseline.json", "w") as out:
+    out.write("{\n")
+    out.write(",\n".join(f'  "{k}": {v:.9g}' for k, v in sorted(baseline.items())))
+    out.write("\n}\n")
+EOF
 
 # Gated throughput series: the perf-smoke workloads (jacobi fig12, strided
 # micro fig05), best of three runs to shave scheduler noise. --perf-json

@@ -18,6 +18,8 @@
 //   --eviction=dirty|lru --placement=block|scatter --local-sync=bool
 //   --finegrain=bool --consistency-policy=regc|eager_rc
 //   --manager-shards=N --manager-placement=dedicated|colocated
+//   --placement-policy=static|migrate|migrate+replicate
+//   --migration-threshold=N --max-replicas=N
 //
 // Fault-tolerance flags (docs/protocol.md §11):
 //   --fault-plan=none|flaky-links|latency-spikes|server-crash|<spec>
@@ -93,6 +95,12 @@ core::SamhitaConfig config_from_args(const util::ArgParser& args) {
       static_cast<unsigned>(args.get_int("manager-shards", cfg.manager_shards));
   cfg.manager_placement = core::manager_placement_from_string(args.get_string(
       "manager-placement", core::to_string(cfg.manager_placement)));
+  cfg.placement_policy = core::page_placement_from_string(args.get_string(
+      "placement-policy", core::to_string(cfg.placement_policy)));
+  cfg.migration_threshold = static_cast<unsigned>(
+      args.get_int("migration-threshold", cfg.migration_threshold));
+  cfg.max_replicas =
+      static_cast<unsigned>(args.get_int("max-replicas", cfg.max_replicas));
   const std::string eviction = args.get_string("eviction", "dirty");
   SAM_EXPECT(eviction == "dirty" || eviction == "lru", "--eviction wants dirty|lru");
   cfg.eviction =
