@@ -1,4 +1,4 @@
-// Ablation A7: sharding the centralized manager (§V: "Samhita performs all
+// Ablation A11: sharding the centralized manager (§V: "Samhita performs all
 // synchronization operations using a manager [which] adds additional
 // overhead"). We sweep manager shard counts against thread counts on a
 // sync-heavy micro-benchmark (tiny compute, one lock + one barrier per
@@ -15,7 +15,7 @@ int main(int argc, char** argv) {
   using namespace sam;
   const auto opt = bench::BenchOptions::parse(argc, argv);
   auto csv = bench::make_csv(opt);
-  std::cout << "# ablationA7: manager sharding, sync time vs shard count\n";
+  std::cout << "# ablationA11: manager sharding, sync time vs shard count\n";
   csv->header({"figure", "workload", "shards", "threads", "sync_seconds",
                "compute_seconds", "elapsed_seconds", "checksum"});
 
@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
       cfg.manager_shards = static_cast<unsigned>(shards);
       p.threads = static_cast<std::uint32_t>(threads);
       const auto r = bench::run_smh(p, cfg);
-      csv->raw_row({"ablationA7", "micro_sync", std::to_string(shards),
+      csv->raw_row({"ablationA11", "micro_sync", std::to_string(shards),
                     std::to_string(threads), std::to_string(r.mean_sync_seconds),
                     std::to_string(r.mean_compute_seconds),
                     std::to_string(r.elapsed_seconds), std::to_string(r.gsum)});
@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
       md.threads = static_cast<std::uint32_t>(threads);
       core::SamhitaRuntime rt(cfg);
       const auto r = apps::run_md(rt, md);
-      csv->raw_row({"ablationA7", "md", std::to_string(shards), std::to_string(threads),
+      csv->raw_row({"ablationA11", "md", std::to_string(shards), std::to_string(threads),
                     std::to_string(r.mean_sync_seconds),
                     std::to_string(r.mean_compute_seconds),
                     std::to_string(r.elapsed_seconds), std::to_string(r.potential)});

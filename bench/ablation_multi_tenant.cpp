@@ -1,0 +1,273 @@
+// Ablation A12: multi-tenant interference and weighted-fair QoS.
+//
+// Three jobs co-resident on ONE simulated Samhita instance (core::
+// TenantFabric): a latency-sensitive Jacobi solver, a "hot-key" KV-style
+// aggressor (the kGlobal micro-benchmark — every thread hammers the same
+// shared allocation, so a handful of hot pages at their home server absorb
+// a disproportionate request stream), and a molecular-dynamics background
+// job. We run each tenant solo, then co-resident under the naive shared
+// FIFO, then co-resident under weighted-fair queueing sweeping the Jacobi
+// tenant's weight (plus one point with an admission cap throttling the
+// aggressor), and report per-tenant slowdown and p99 demand-miss latency
+// versus solo. The headline: WFQ cuts the latency-sensitive tenant's p99
+// slowdown relative to the shared FIFO, without starving the aggressor.
+//
+// Functional checksums (residual / gsum / energies) are asserted against
+// the sequential references on every run, so the sweep doubles as a
+// multi-tenant correctness check.
+//
+// --write-baseline=<path> writes the multi_tenant_* series recorded in
+// BENCH_baseline.json (informational + CI interference gate; deliberately
+// NOT named *_compute_seconds / *_sim_seconds, which other gates reserve).
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/jacobi.hpp"
+#include "apps/md.hpp"
+#include "bench_common.hpp"
+#include "core/tenant_fabric.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace sam;
+
+struct Workloads {
+  apps::JacobiParams jacobi;
+  apps::MicrobenchParams hotkey;
+  apps::MdParams md;
+};
+
+Workloads make_workloads(bool quick) {
+  Workloads w;
+  w.jacobi.threads = 4;
+  w.jacobi.n = 64;
+  w.jacobi.iterations = quick ? 4 : 5;
+  // Hot-key aggressor: one shared kGlobal allocation, tiny compute, many
+  // outer rounds -> every barrier re-faults the same pages, flooding the
+  // single shared memory server with demand misses and flushes.
+  w.hotkey.threads = 8;
+  w.hotkey.N = quick ? 8 : 10;
+  w.hotkey.M = 2;
+  w.hotkey.S = 4;
+  w.hotkey.B = 512;
+  w.hotkey.alloc = apps::MicrobenchAlloc::kGlobal;
+  w.md.threads = 4;
+  w.md.particles = 96;
+  w.md.steps = 2;
+  return w;
+}
+
+/// Shared platform shape for every run (solo and co-resident) so slowdowns
+/// compare like with like.
+core::SamhitaConfig make_config() {
+  core::SamhitaConfig cfg;
+  // ONE memory server: every tenant's pages share one service queue, so the
+  // cross-tenant discipline (FIFO vs WFQ) is what decides who waits.
+  cfg.memory_servers = 1;
+  cfg.collect_latency_histograms = true;  // p99 needs stored samples
+  return cfg;
+}
+
+/// p99 demand-miss latency (ns) over global threads [base, base+n).
+double p99_miss_ns(const core::SamhitaRuntime& rt, unsigned base, unsigned n) {
+  util::SampleSet merged;
+  for (unsigned i = 0; i < n; ++i) {
+    for (double s : rt.metrics(base + i).miss_latency.samples()) merged.add(s);
+  }
+  return merged.count() ? merged.percentile(99.0) : 0.0;
+}
+
+struct TenantOutcome {
+  double elapsed_seconds = 0;
+  double sync_seconds = 0;
+  double p99_ns = 0;
+  double checksum = 0;
+  std::uint64_t admission_stalls = 0;      ///< entrance-gate hits (QoS mode)
+  double service_wait_seconds = 0;         ///< summed queue wait at shared resources
+};
+
+/// Folds a tenant's QoS accounting over every shared service queue (memory
+/// servers + manager shards). Zero in FIFO mode, where per-tenant stats are
+/// not kept.
+void fold_service_stats(const core::SamhitaRuntime& rt, core::TenantId t,
+                        TenantOutcome& out) {
+  const auto fold = [&](const sim::Resource& r) {
+    if (!r.qos_enabled() || t >= r.qos_tenant_count()) return;
+    const sim::Resource::TenantStats& s = r.tenant_stats(t);
+    out.admission_stalls += s.admission_stalls;
+    out.service_wait_seconds += s.waits.sum();
+  };
+  for (const mem::MemoryServer& srv : rt.servers()) fold(srv.service());
+  for (unsigned i = 0; i < rt.services().shard_count(); ++i) {
+    fold(rt.services().shard(i).service());
+  }
+}
+
+struct SweepPoint {
+  std::string mode;  ///< "solo", "fifo", "wfq_w<k>", "wfq_w<k>_cap<c>"
+  TenantOutcome jacobi, hotkey, md;
+};
+
+/// One co-resident run of all three tenants under the given QoS settings.
+SweepPoint run_corun(const Workloads& w, core::TenantQos qos, double jacobi_weight,
+                     unsigned hotkey_cap, const std::string& mode) {
+  core::SamhitaConfig cfg = make_config();
+  cfg.tenant_qos = qos;
+  cfg.tenants = {
+      {"jacobi", w.jacobi.threads, jacobi_weight, 0},
+      {"hotkey", w.hotkey.threads, 1.0, hotkey_cap},
+      {"md", w.md.threads, 1.0, 0},
+  };
+  core::TenantFabric fabric(cfg);
+
+  apps::JacobiResult jr;
+  apps::MicrobenchResult hr;
+  apps::MdResult mr;
+  fabric.run({
+      [&](rt::Runtime& rt) { jr = apps::run_jacobi(rt, w.jacobi); },
+      [&](rt::Runtime& rt) { hr = apps::run_microbench(rt, w.hotkey); },
+      [&](rt::Runtime& rt) { mr = apps::run_md(rt, w.md); },
+  });
+
+  // Co-residency must never change answers, only timing. Mutex-protected FP
+  // reductions may re-associate (acquisition order shifts under contention),
+  // so compare at the same 1e-9 relative tolerance the unit tests use.
+  const auto close = [](double a, double b) {
+    return std::abs(a - b) <= std::abs(b) * 1e-9 + 1e-15;
+  };
+  SAM_EXPECT(close(jr.final_residual, apps::jacobi_reference_residual(w.jacobi)),
+             "co-resident jacobi residual diverged from the sequential reference");
+  SAM_EXPECT(close(hr.gsum, apps::microbench_reference_gsum(w.hotkey)),
+             "co-resident hot-key gsum diverged from the sequential reference");
+  const apps::MdReference mref = apps::md_reference(w.md);
+  SAM_EXPECT(close(mr.potential, mref.potential) && close(mr.kinetic, mref.kinetic),
+             "co-resident md energies diverged from the sequential reference");
+
+  const core::SamhitaRuntime& rt = fabric.runtime();
+  const core::SamhitaConfig& rc = rt.config();
+  SweepPoint p;
+  p.mode = mode;
+  p.jacobi = {jr.elapsed_seconds, jr.mean_sync_seconds,
+              p99_miss_ns(rt, rc.tenant_thread_base(0), w.jacobi.threads),
+              jr.final_residual};
+  p.hotkey = {hr.elapsed_seconds, hr.mean_sync_seconds,
+              p99_miss_ns(rt, rc.tenant_thread_base(1), w.hotkey.threads), hr.gsum};
+  p.md = {mr.elapsed_seconds, mr.mean_sync_seconds,
+          p99_miss_ns(rt, rc.tenant_thread_base(2), w.md.threads), mr.potential};
+  fold_service_stats(rt, 0, p.jacobi);
+  fold_service_stats(rt, 1, p.hotkey);
+  fold_service_stats(rt, 2, p.md);
+  if (bench::BenchReportSink::instance().enabled()) {
+    bench::BenchReportSink::instance().add(rt, "multi_tenant " + mode);
+  }
+  return p;
+}
+
+/// Each tenant alone on an identically shaped (tenant-free) instance: the
+/// interference-free reference every slowdown is computed against.
+SweepPoint run_solo(const Workloads& w) {
+  SweepPoint p;
+  p.mode = "solo";
+  {
+    core::SamhitaRuntime rt(make_config());
+    const auto r = apps::run_jacobi(rt, w.jacobi);
+    p.jacobi = {r.elapsed_seconds, r.mean_sync_seconds,
+                p99_miss_ns(rt, 0, w.jacobi.threads), r.final_residual};
+  }
+  {
+    core::SamhitaRuntime rt(make_config());
+    const auto r = apps::run_microbench(rt, w.hotkey);
+    p.hotkey = {r.elapsed_seconds, r.mean_sync_seconds,
+                p99_miss_ns(rt, 0, w.hotkey.threads), r.gsum};
+  }
+  {
+    core::SamhitaRuntime rt(make_config());
+    const auto r = apps::run_md(rt, w.md);
+    p.md = {r.elapsed_seconds, r.mean_sync_seconds, p99_miss_ns(rt, 0, w.md.threads),
+            r.potential};
+  }
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sam;
+  const auto opt = bench::BenchOptions::parse(argc, argv);
+  util::ArgParser args(argc, argv);
+  const std::string baseline_path = args.get_string("write-baseline", "");
+  auto csv = bench::make_csv(opt);
+
+  std::cout << "# ablationA12: multi-tenant interference, FIFO vs weighted-fair QoS\n";
+  csv->header({"figure", "mode", "tenant", "threads", "elapsed_seconds",
+               "slowdown_vs_solo", "sync_seconds", "p99_miss_ns", "p99_slowdown_vs_solo",
+               "service_wait_seconds", "admission_stalls", "checksum"});
+
+  const Workloads w = make_workloads(opt.quick);
+  const SweepPoint solo = run_solo(w);
+
+  std::vector<SweepPoint> points;
+  points.push_back(run_corun(w, core::TenantQos::kFifo, 1.0, 0, "fifo"));
+  for (const double weight : {1.0, 2.0, 4.0, 8.0}) {
+    if (opt.quick && (weight == 2.0 || weight == 8.0)) continue;
+    points.push_back(run_corun(w, core::TenantQos::kWfq, weight, 0,
+                               "wfq_w" + std::to_string(static_cast<int>(weight))));
+  }
+  // Admission side of QoS: equal weights, but the aggressor capped to one
+  // outstanding request per shared resource — rate limiting at the entrance
+  // instead of (not on top of) a bigger queue share for the victim.
+  points.push_back(run_corun(w, core::TenantQos::kWfq, 1.0, 1, "wfq_w1_cap1"));
+
+  std::map<std::string, double> baseline;
+  const auto emit = [&](const SweepPoint& p) {
+    const struct {
+      const char* name;
+      unsigned threads;
+      const TenantOutcome* out;
+      const TenantOutcome* ref;
+    } rows[] = {{"jacobi", w.jacobi.threads, &p.jacobi, &solo.jacobi},
+                {"hotkey", w.hotkey.threads, &p.hotkey, &solo.hotkey},
+                {"md", w.md.threads, &p.md, &solo.md}};
+    for (const auto& r : rows) {
+      const double slow =
+          r.ref->elapsed_seconds > 0 ? r.out->elapsed_seconds / r.ref->elapsed_seconds : 1.0;
+      const double p99_slow = r.ref->p99_ns > 0 ? r.out->p99_ns / r.ref->p99_ns : 1.0;
+      csv->raw_row({"ablationA12", p.mode, r.name, std::to_string(r.threads),
+                    std::to_string(r.out->elapsed_seconds), std::to_string(slow),
+                    std::to_string(r.out->sync_seconds), std::to_string(r.out->p99_ns),
+                    std::to_string(p99_slow),
+                    std::to_string(r.out->service_wait_seconds),
+                    std::to_string(r.out->admission_stalls),
+                    std::to_string(r.out->checksum)});
+      const std::string key = "multi_tenant_" + p.mode + "_" + r.name;
+      baseline[key + "_elapsed_seconds"] = r.out->elapsed_seconds;
+      baseline[key + "_p99_ns"] = r.out->p99_ns;
+      if (p.mode != "solo") {
+        baseline[key + "_slowdown"] = slow;
+        baseline[key + "_p99_slowdown"] = p99_slow;
+      }
+    }
+  };
+  emit(solo);
+  for (const SweepPoint& p : points) emit(p);
+
+  if (!baseline_path.empty()) {
+    std::ofstream out(baseline_path);
+    SAM_EXPECT(out.is_open(), "cannot open baseline output: " + baseline_path);
+    out << "{\n";
+    bool first = true;
+    for (const auto& [key, value] : baseline) {
+      if (!first) out << ",\n";
+      first = false;
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.9g", value);
+      out << "  \"" << key << "\": " << buf;
+    }
+    out << "\n}\n";
+  }
+  return 0;
+}

@@ -1,5 +1,7 @@
 #include "core/config.hpp"
 
+#include <cmath>
+
 #include "net/fault_plan.hpp"
 #include "util/expect.hpp"
 
@@ -73,6 +75,42 @@ PagePlacementPolicy page_placement_from_string(const std::string& s) {
   return PagePlacementPolicy::kStatic;
 }
 
+const char* to_string(TenantQos q) {
+  switch (q) {
+    case TenantQos::kFifo: return "fifo";
+    case TenantQos::kWfq: return "wfq";
+  }
+  return "?";
+}
+
+TenantQos tenant_qos_from_string(const std::string& s) {
+  if (s == "fifo") return TenantQos::kFifo;
+  if (s == "wfq") return TenantQos::kWfq;
+  SAM_EXPECT(false, "unknown tenant qos '" + s + "' (want fifo|wfq)");
+  return TenantQos::kFifo;
+}
+
+unsigned SamhitaConfig::tenant_threads_total() const {
+  unsigned total = 0;
+  for (const TenantSpec& t : tenants) total += t.threads;
+  return total;
+}
+
+unsigned SamhitaConfig::tenant_thread_base(TenantId t) const {
+  unsigned base = 0;
+  for (TenantId i = 0; i < t && i < tenants.size(); ++i) base += tenants[i].threads;
+  return base;
+}
+
+TenantId SamhitaConfig::tenant_of_thread(unsigned thread) const {
+  unsigned base = 0;
+  for (TenantId i = 0; i < tenants.size(); ++i) {
+    base += tenants[i].threads;
+    if (thread < base) return i;
+  }
+  return 0;
+}
+
 void validate(const SamhitaConfig& cfg) {
   SAM_EXPECT(cfg.memory_servers >= 1, "memory_servers must be >= 1");
   SAM_EXPECT(cfg.compute_nodes >= 1, "compute_nodes must be >= 1");
@@ -125,6 +163,41 @@ void validate(const SamhitaConfig& cfg) {
                    "(memory_servers = " + std::to_string(cfg.memory_servers) +
                    "); a replica on the home server would be meaningless");
   }
+  // Tenant specs fail fast before the fabric carves partitions or thread
+  // ranges out of them (paper-default single-job configs skip all of this).
+  if (!cfg.tenants.empty()) {
+    for (std::size_t i = 0; i < cfg.tenants.size(); ++i) {
+      const TenantSpec& t = cfg.tenants[i];
+      SAM_EXPECT(t.threads >= 1,
+                 "tenant " + std::to_string(i) + " ('" + t.name +
+                     "') must launch at least one thread");
+      SAM_EXPECT(t.weight > 0.0 && std::isfinite(t.weight),
+                 "tenant " + std::to_string(i) + " ('" + t.name +
+                     "') service weight must be positive and finite");
+    }
+    const unsigned total = cfg.tenant_threads_total();
+    SAM_EXPECT(total <= cfg.max_threads(),
+               "tenants launch " + std::to_string(total) +
+                   " threads, above the platform's " +
+                   std::to_string(cfg.max_threads()) +
+                   " (compute_nodes x cores_per_node)");
+    SAM_EXPECT(total <= mem::kMaxThreads,
+               "tenants launch " + std::to_string(total) +
+                   " threads, above the directory thread-set ceiling "
+                   "kMaxThreads = " + std::to_string(mem::kMaxThreads));
+    SAM_EXPECT(cfg.tenant_partition_pages() >= cfg.pages_per_line,
+               "address space too small to give each of " +
+                   std::to_string(cfg.tenant_count()) +
+                   " tenants a partition of at least one cache line");
+    // Partitions are consecutive equal-size page ranges; verify the
+    // arithmetic really keeps the last tenant inside the space (overlap or
+    // overflow here would silently alias two tenants' memory).
+    SAM_EXPECT(cfg.tenant_base_page(cfg.tenant_count() - 1) +
+                       cfg.tenant_partition_pages() <=
+                   cfg.total_pages(),
+               "tenant address-space partitions overflow the global space");
+  }
+
   // Parsing throws ContractViolation on malformed specs; crash windows get
   // topology checks on top.
   const net::FaultPlan plan = net::FaultPlan::parse(cfg.fault_plan, cfg.fault_seed);

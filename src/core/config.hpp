@@ -8,6 +8,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "mem/types.hpp"
 #include "util/time_types.hpp"
@@ -70,6 +71,32 @@ enum class PagePlacementPolicy { kStatic, kMigrate, kMigrateReplicate };
 
 const char* to_string(PagePlacementPolicy p);
 PagePlacementPolicy page_placement_from_string(const std::string& s);
+
+/// Identifier of a tenant (co-resident job) in a multi-tenant fabric.
+using TenantId = std::uint32_t;
+
+/// Service discipline shared components (memory servers, manager shards)
+/// apply across tenants. kFifo is the naive shared queue (a noisy neighbour
+/// freely inflates everyone's waits); kWfq is weighted-fair queueing by
+/// TenantSpec::weight with optional per-tenant admission caps
+/// (sim::Resource::enable_qos).
+enum class TenantQos { kFifo, kWfq };
+
+const char* to_string(TenantQos q);
+TenantQos tenant_qos_from_string(const std::string& s);
+
+/// One co-resident job of a multi-tenant fabric (core::TenantFabric). Each
+/// tenant gets a disjoint partition of the global address space, its own
+/// range of compute threads, its own sync-object namespace and metrics; the
+/// memory servers, manager shards and interconnect are shared.
+struct TenantSpec {
+  std::string name = "tenant";  ///< report/track label (e.g. the app name)
+  unsigned threads = 1;         ///< compute threads this tenant launches
+  double weight = 1.0;          ///< relative service share under kWfq
+  /// Per-shared-resource cap on outstanding requests (0 = unlimited); the
+  /// admission side of QoS, rate-limiting a tenant at the entrance.
+  unsigned admission_limit = 0;
+};
 
 /// CPU cost model shared by both runtimes so compute time is comparable.
 struct ComputeCost {
@@ -209,6 +236,15 @@ struct SamhitaConfig {
   /// kMigrateReplicate (capped by memory_servers - 1).
   unsigned max_replicas = 2;
 
+  // --- multi-tenant fabric ---------------------------------------------------
+  /// Co-resident tenants sharing this universe. Empty (the default) keeps
+  /// the classic one-job runtime, bit-identical to the seed; non-empty
+  /// switches parallel execution to core::TenantFabric's launch path.
+  std::vector<TenantSpec> tenants;
+  /// Cross-tenant service discipline of the shared memory-server and
+  /// manager-shard queues (ignored without tenants).
+  TenantQos tenant_qos = TenantQos::kFifo;
+
   ComputeCost cost;
 
   // Derived quantities -------------------------------------------------------
@@ -235,6 +271,29 @@ struct SamhitaConfig {
     // the paper schedules up to 8 threads per node.
     return base + (thread / cores_per_node);
   }
+
+  // Multi-tenant derived quantities ------------------------------------------
+  unsigned tenant_count() const {
+    return tenants.empty() ? 1u : static_cast<unsigned>(tenants.size());
+  }
+  std::uint64_t total_pages() const { return address_space_bytes / mem::kPageSize; }
+  /// Pages in each tenant's address-space partition: an equal split of the
+  /// global space, rounded down to whole cache lines so no line (and hence
+  /// no false sharing) ever straddles two tenants.
+  std::uint64_t tenant_partition_pages() const {
+    const std::uint64_t per = total_pages() / tenant_count();
+    return per / pages_per_line * pages_per_line;
+  }
+  std::uint64_t tenant_base_page(TenantId t) const {
+    return static_cast<std::uint64_t>(t) * tenant_partition_pages();
+  }
+  /// Total compute threads launched across all tenants.
+  unsigned tenant_threads_total() const;
+  /// First global thread index of tenant `t` (tenants occupy consecutive
+  /// global thread ranges in spec order).
+  unsigned tenant_thread_base(TenantId t) const;
+  /// Tenant owning global thread index `thread` (0 without tenants).
+  TenantId tenant_of_thread(unsigned thread) const;
 
   SimDuration twin_time() const {
     return from_seconds(static_cast<double>(line_bytes()) / local_copy_bw);

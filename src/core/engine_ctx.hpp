@@ -43,6 +43,13 @@ struct EngineCtx {
   StridePrefetcher* prefetcher = nullptr;
   Metrics* metrics = nullptr;
   sim::TraceBuffer* trace_buf = nullptr;  ///< the runtime's trace buffer
+  // Multi-tenant identity. `idx`/`nthreads` above stay GLOBAL — the protocol
+  // (directory thread sets, node mapping, arena indexing) spans the whole
+  // fabric — while local_* are the tenant's own work-decomposition view
+  // exposed through rt::ThreadCtx. Single-tenant runs have local == global.
+  std::uint32_t tenant = 0;
+  std::uint32_t local_idx = 0;
+  std::uint32_t local_nthreads = 0;
 
   // The accessors below run on every simulated memory access, so they are
   // defined inline: a charge is one add plus a bucket add, a trace is a

@@ -17,18 +17,32 @@ std::size_t round_up(std::size_t v, std::size_t align) {
 }  // namespace
 
 SamAllocator::SamAllocator(const SamhitaConfig* config, mem::GlobalAddressSpace* gas)
-    : config_(config), gas_(gas), arenas_(mem::kMaxThreads) {
+    : SamAllocator(config, gas, 0,
+                   gas != nullptr ? gas->size_bytes() / mem::kPageSize : 0) {}
+
+SamAllocator::SamAllocator(const SamhitaConfig* config, mem::GlobalAddressSpace* gas,
+                           mem::PageId base_page, std::uint64_t pages)
+    : config_(config),
+      gas_(gas),
+      base_page_(base_page),
+      limit_page_(base_page + pages),
+      next_page_(base_page),
+      arenas_(mem::kMaxThreads) {
   SAM_EXPECT(config != nullptr && gas != nullptr, "null config/gas");
   SAM_EXPECT(config->arena_chunk_bytes % config->line_bytes() == 0,
              "arena chunks must be whole cache lines");
   SAM_EXPECT(config->stripe_bytes % config->line_bytes() == 0,
              "stripe unit must be whole cache lines");
+  SAM_EXPECT(limit_page_ * mem::kPageSize <= gas->size_bytes(),
+             "allocator page range exceeds the global address space");
 }
 
 mem::PageId SamAllocator::reserve_pages(std::uint64_t pages) {
   const mem::PageId first = next_page_;
-  SAM_EXPECT((first + pages) * mem::kPageSize <= gas_->size_bytes(),
-             "global address space exhausted");
+  SAM_EXPECT(first + pages <= limit_page_,
+             base_page_ == 0 && limit_page_ * mem::kPageSize == gas_->size_bytes()
+                 ? "global address space exhausted"
+                 : "tenant address-space partition exhausted");
   next_page_ += pages;
   return first;
 }

@@ -33,7 +33,16 @@ struct AllocOutcome {
 
 class SamAllocator {
  public:
+  /// Allocator over the whole global address space (the classic single-job
+  /// runtime).
   SamAllocator(const SamhitaConfig* config, mem::GlobalAddressSpace* gas);
+
+  /// Allocator constrained to the page range [base_page, base_page + pages):
+  /// one tenant's address-space partition in a multi-tenant fabric.
+  /// Exhausting the partition fails fast instead of bleeding into a
+  /// neighbouring tenant's range.
+  SamAllocator(const SamhitaConfig* config, mem::GlobalAddressSpace* gas,
+               mem::PageId base_page, std::uint64_t pages);
 
   /// Allocates `bytes` on behalf of thread `t`. Never returns kNullGAddr.
   mem::GAddr alloc(mem::ThreadIdx t, std::size_t bytes, AllocOutcome& outcome);
@@ -52,7 +61,12 @@ class SamAllocator {
   std::size_t live_count() const { return live_.size(); }
 
   /// Bytes of address space consumed so far (diagnostics / tests).
-  std::uint64_t reserved_bytes() const { return next_page_ * mem::kPageSize; }
+  std::uint64_t reserved_bytes() const {
+    return (next_page_ - base_page_) * mem::kPageSize;
+  }
+  mem::PageId base_page() const { return base_page_; }
+  /// First page past this allocator's range.
+  mem::PageId limit_page() const { return limit_page_; }
 
  private:
   struct Arena {
@@ -69,6 +83,8 @@ class SamAllocator {
 
   const SamhitaConfig* config_;
   mem::GlobalAddressSpace* gas_;
+  mem::PageId base_page_ = 0;
+  mem::PageId limit_page_ = 0;
   mem::PageId next_page_ = 0;
   std::vector<Arena> arenas_;          // indexed by thread
   Arena zone_;                         // shared zone bump state

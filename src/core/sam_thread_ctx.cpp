@@ -25,13 +25,20 @@ std::unique_ptr<ConsistencyPolicy> make_policy(ConsistencyPolicyKind kind, Engin
 }  // namespace
 
 SamThreadCtx::SamThreadCtx(SamhitaRuntime* rt, mem::ThreadIdx idx, std::uint32_t nthreads)
+    : SamThreadCtx(rt, idx, nthreads, /*tenant=*/0, /*local_idx=*/idx,
+                   /*local_nthreads=*/nthreads) {}
+
+SamThreadCtx::SamThreadCtx(SamhitaRuntime* rt, mem::ThreadIdx idx, std::uint32_t nthreads,
+                           TenantId tenant, std::uint32_t local_idx,
+                           std::uint32_t local_nthreads)
     : rt_(rt),
       cache_(&rt->config(), idx),
       prefetcher_(rt->config().prefetch_enabled ? rt->config().prefetch_policy
                                                 : PrefetchPolicy::kNone,
                   rt->config().prefetch_depth),
       ec_{rt, idx, nthreads, rt->config().compute_node(idx),
-          /*sim_thread=*/nullptr, &cache_, &prefetcher_, &metrics_, &rt->trace()},
+          /*sim_thread=*/nullptr, &cache_, &prefetcher_, &metrics_, &rt->trace(),
+          tenant, local_idx, local_nthreads},
       policy_(make_policy(rt->config().consistency_policy, &ec_)),
       paging_(&ec_, policy_.get()),
       sync_(&ec_, policy_.get()) {}
@@ -56,14 +63,14 @@ void SamThreadCtx::on_thread_end() {
 
 rt::Addr SamThreadCtx::alloc(std::size_t bytes) {
   AllocOutcome outcome;
-  const mem::GAddr addr = rt_->allocator_.alloc(ec_.idx, bytes, outcome);
+  const mem::GAddr addr = rt_->allocator_of(ec_.tenant).alloc(ec_.idx, bytes, outcome);
   charge_alloc_outcome(outcome);
   return addr;
 }
 
 rt::Addr SamThreadCtx::alloc_shared(std::size_t bytes) {
   AllocOutcome outcome;
-  const mem::GAddr addr = rt_->allocator_.alloc_shared(bytes, outcome);
+  const mem::GAddr addr = rt_->allocator_of(ec_.tenant).alloc_shared(bytes, outcome);
   charge_alloc_outcome(outcome);
   return addr;
 }
@@ -95,7 +102,7 @@ void SamThreadCtx::charge_alloc_outcome(const AllocOutcome& outcome) {
 }
 
 void SamThreadCtx::free(rt::Addr addr) {
-  rt_->allocator_.free(ec_.idx, addr);
+  rt_->allocator_of(ec_.tenant).free(ec_.idx, addr);
   ec_.charge(80, Bucket::kAlloc);
 }
 

@@ -34,12 +34,18 @@ struct AllocOutcome;
 
 class SamThreadCtx final : public rt::ThreadCtx {
  public:
+  /// Single-tenant context: local and global identity coincide.
   SamThreadCtx(SamhitaRuntime* rt, mem::ThreadIdx idx, std::uint32_t nthreads);
+  /// Multi-tenant context: `idx`/`nthreads` are the fabric-global identity
+  /// (protocol state), `local_idx`/`local_nthreads` the tenant-scoped view
+  /// the app kernel sees through index()/nthreads().
+  SamThreadCtx(SamhitaRuntime* rt, mem::ThreadIdx idx, std::uint32_t nthreads,
+               TenantId tenant, std::uint32_t local_idx, std::uint32_t local_nthreads);
   ~SamThreadCtx() override;
 
   // --- rt::ThreadCtx -----------------------------------------------------
-  std::uint32_t index() const override { return ec_.idx; }
-  std::uint32_t nthreads() const override { return ec_.nthreads; }
+  std::uint32_t index() const override { return ec_.local_idx; }
+  std::uint32_t nthreads() const override { return ec_.local_nthreads; }
   SimTime now() const override { return ec_.clock(); }
 
   rt::Addr alloc(std::size_t bytes) override;
@@ -76,6 +82,7 @@ class SamThreadCtx final : public rt::ThreadCtx {
   Metrics& metrics() { return metrics_; }
   const Metrics& metrics() const { return metrics_; }
   PageCache& cache() { return cache_; }
+  TenantId tenant() const { return ec_.tenant; }
   net::NodeId node() const { return ec_.node; }
   const ConsistencyPolicy& policy() const { return *policy_; }
 

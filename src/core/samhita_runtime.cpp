@@ -47,7 +47,6 @@ SamhitaRuntime::SamhitaRuntime(SamhitaConfig config)
       scl_(net_.get()),
       gas_(config_.address_space_bytes, config_.memory_servers),
       services_(&config_),
-      allocator_(&config_, &gas_),
       trace_(config_.trace_capacity) {
   SAM_EXPECT(config_.memory_servers >= 1, "need at least one memory server");
   // Always attached: an inactive plan reduces every per-leg fault check to a
@@ -60,6 +59,20 @@ SamhitaRuntime::SamhitaRuntime(SamhitaConfig config)
     // Memory servers occupy nodes [0, memory_servers).
     servers_.emplace_back(static_cast<mem::ServerIdx>(i), static_cast<net::NodeId>(i));
   }
+  // One allocator per tenant, each fenced to its own partition so exhaustion
+  // (or an allocator bug) cannot bleed into a neighbour's pages. The
+  // single-tenant universe keeps one whole-space allocator.
+  if (config_.tenants.empty()) {
+    allocators_.push_back(std::make_unique<SamAllocator>(&config_, &gas_));
+  } else {
+    allocators_.reserve(config_.tenant_count());
+    for (TenantId t = 0; t < config_.tenant_count(); ++t) {
+      allocators_.push_back(std::make_unique<SamAllocator>(
+          &config_, &gas_, config_.tenant_base_page(t),
+          config_.tenant_partition_pages()));
+    }
+  }
+  epoch_snapshots_.resize(config_.tenant_count());
   trace_.set_enabled(config_.trace_enabled);
   // Heat tracking feeds the placement planner; static placement never reads
   // it, so the hooks stay disabled (and cost one branch) on the seed path.
@@ -67,6 +80,22 @@ SamhitaRuntime::SamhitaRuntime(SamhitaConfig config)
   node_sync_.reserve(config_.total_nodes());
   for (unsigned n = 0; n < config_.total_nodes(); ++n) {
     node_sync_.emplace_back("node-sync-" + std::to_string(n));
+  }
+  // Weighted-fair QoS on every shared service point: each memory server's
+  // batch loop, each manager shard, and the per-node local sync resources.
+  // FIFO universes (and all single-tenant runs) never call enable_qos, so
+  // Resource::serve keeps its seed arithmetic bit-for-bit.
+  if (!config_.tenants.empty() && config_.tenant_qos == TenantQos::kWfq) {
+    std::vector<sim::TenantShare> shares;
+    shares.reserve(config_.tenants.size());
+    for (const TenantSpec& t : config_.tenants) {
+      shares.push_back(sim::TenantShare{t.weight, t.admission_limit});
+    }
+    for (mem::MemoryServer& s : servers_) s.service().enable_qos(shares);
+    for (unsigned s = 0; s < services_.shard_count(); ++s) {
+      services_.shard(s).service().enable_qos(shares);
+    }
+    for (sim::Resource& r : node_sync_) r.enable_qos(shares);
   }
   if (config_.trace_enabled) {
     // Mirror every contended component's service windows into the trace as
@@ -166,6 +195,65 @@ void SamhitaRuntime::parallel_run(std::uint32_t nthreads,
 
   // Publish any remaining unshared dirty lines so the memory servers hold
   // the authoritative final state (read_global / verification).
+  for (auto& ctx : ctxs_) ctx->flush_remaining_functional();
+}
+
+void SamhitaRuntime::run_tenants(std::vector<TenantLaunch> launches) {
+  SAM_EXPECT(!ran_, "run_tenants may be called once per runtime instance");
+  SAM_EXPECT(!config_.tenants.empty(),
+             "run_tenants requires tenants in the config (use parallel_run for "
+             "a single-job universe)");
+  SAM_EXPECT(launches.size() == config_.tenants.size(),
+             "need exactly one launch per configured tenant");
+  for (std::size_t t = 0; t < launches.size(); ++t) {
+    SAM_EXPECT(static_cast<bool>(launches[t].body),
+               "tenant " + std::to_string(t) + " launch has no body");
+    SAM_EXPECT(launches[t].nthreads == config_.tenants[t].threads,
+               "tenant " + std::to_string(t) + " launches " +
+                   std::to_string(launches[t].nthreads) +
+                   " threads but its TenantSpec declares " +
+                   std::to_string(config_.tenants[t].threads));
+  }
+  ran_ = true;
+
+  // Tenant t's threads get consecutive GLOBAL indices starting at
+  // tenant_thread_base(t) — the protocol (directory thread sets, compute
+  // node mapping, per-thread arenas) spans the whole fabric — while each
+  // ctx's local index/nthreads scope the app's work decomposition to its own
+  // tenant.
+  const std::uint32_t total = config_.tenant_threads_total();
+  ctxs_.reserve(total);
+  std::uint32_t g = 0;
+  for (TenantId t = 0; t < launches.size(); ++t) {
+    for (std::uint32_t i = 0; i < launches[t].nthreads; ++i, ++g) {
+      ctxs_.push_back(std::make_unique<SamThreadCtx>(
+          this, static_cast<mem::ThreadIdx>(g), total, t, i,
+          launches[t].nthreads));
+    }
+  }
+  g = 0;
+  for (TenantId t = 0; t < launches.size(); ++t) {
+    const std::function<void(rt::ThreadCtx&)>* body = &launches[t].body;
+    for (std::uint32_t i = 0; i < launches[t].nthreads; ++i, ++g) {
+      SamThreadCtx* ctx = ctxs_[g].get();
+      sim::SimThread* st = sched_.spawn(
+          "t" + std::to_string(t) + "-compute-" + std::to_string(i),
+          static_cast<SimTime>(g) * kSpawnStagger, [ctx, body] {
+            ctx->on_thread_start();
+            (*body)(*ctx);
+            ctx->on_thread_end();
+          });
+      // Tenant identity rides on the fiber (ambient attribution for QoS and
+      // tracing) with the thread->tenant table as the fallback for
+      // recordings made from scheduler/event context.
+      st->set_tenant(t);
+      trace_.set_thread_tenant(g, t);
+    }
+  }
+  const auto wall0 = std::chrono::steady_clock::now();
+  sched_.run();
+  sim_wall_seconds_ =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0).count();
   for (auto& ctx : ctxs_) ctx->flush_remaining_functional();
 }
 

@@ -56,6 +56,23 @@ class SamhitaRuntime final : public rt::Runtime {
   }
   void parallel_run(std::uint32_t nthreads,
                     const std::function<void(rt::ThreadCtx&)>& body) override;
+
+  // --- multi-tenant launch ----------------------------------------------------
+  /// One tenant's parallel region: thread count (must equal its
+  /// TenantSpec::threads) and the body its threads run.
+  struct TenantLaunch {
+    std::uint32_t nthreads = 0;
+    std::function<void(rt::ThreadCtx&)> body;
+  };
+  /// Launches every configured tenant concurrently in this universe: tenant
+  /// t's threads get consecutive global indices starting at
+  /// config().tenant_thread_base(t), share the memory servers, manager
+  /// shards and network with every other tenant, and see a local
+  /// index()/nthreads() scoped to their own tenant. Requires
+  /// config().tenants to be non-empty; may be called once per runtime
+  /// instance (mutually exclusive with parallel_run).
+  void run_tenants(std::vector<TenantLaunch> launches);
+
   rt::ThreadReport report(std::uint32_t thread) const override;
   std::uint32_t ran_threads() const override;
   void read_global(rt::Addr addr, std::byte* out, std::size_t bytes) const override;
@@ -67,7 +84,12 @@ class SamhitaRuntime final : public rt::Runtime {
   std::uint64_t network_bytes() const;
   const net::NetworkModel& network() const { return *net_; }
   const mem::PageDirectory& directory() const { return directory_; }
-  const SamAllocator& allocator() const { return allocator_; }
+  /// The (first) allocator: the whole address space in a single-tenant
+  /// universe, tenant 0's partition otherwise.
+  const SamAllocator& allocator() const { return *allocators_.front(); }
+  /// Tenant t's partition-constrained allocator.
+  const SamAllocator& tenant_allocator(TenantId t) const { return *allocators_.at(t); }
+  TenantId tenant_count() const { return config_.tenant_count(); }
   const std::vector<mem::MemoryServer>& servers() const { return servers_; }
   /// The sharded sync/metadata service (routing directory + shards).
   const ServiceDirectory& services() const { return services_; }
@@ -134,6 +156,8 @@ class SamhitaRuntime final : public rt::Runtime {
     return servers_.at(config_.replica_server);
   }
 
+  SamAllocator& allocator_of(TenantId t) { return *allocators_.at(t); }
+
   std::string name_ = "samhita";
   SamhitaConfig config_;
   /// Parsed before net_: the plan's spike parameters feed build_network.
@@ -144,16 +168,22 @@ class SamhitaRuntime final : public rt::Runtime {
   std::vector<mem::MemoryServer> servers_;
   ServiceDirectory services_;
   mem::PageDirectory directory_{&gas_};
-  SamAllocator allocator_;
+  /// One allocator per tenant, each constrained to its address-space
+  /// partition (a single whole-space allocator in single-tenant universes).
+  std::vector<std::unique_ptr<SamAllocator>> allocators_;
   /// Per-compute-node sync service used when config.local_sync is enabled
   /// (§V: avoid contacting the manager on a single-node system).
   std::vector<sim::Resource> node_sync_;
   sim::CoopScheduler sched_;
   sim::TraceBuffer trace_;
   std::vector<std::unique_ptr<SamThreadCtx>> ctxs_;
-  /// Write map snapshot of the epoch closed by the most recent barrier
-  /// release; consumed by waking threads for invalidation.
-  std::unordered_map<mem::PageId, mem::ThreadSet> epoch_snapshot_;
+  /// Per-tenant write-map snapshot of the epoch closed by that tenant's most
+  /// recent barrier release; consumed by its waking threads for
+  /// invalidation. One slot in single-tenant universes. Keeping these
+  /// separate is a correctness seam, not bookkeeping: a global snapshot
+  /// would let tenant B's barrier consume (and discard) tenant A's pending
+  /// write notes, so A's threads would keep reading stale lines.
+  std::vector<std::unordered_map<mem::PageId, mem::ThreadSet>> epoch_snapshots_;
   bool ran_ = false;
   double sim_wall_seconds_ = 0.0;
 };

@@ -267,8 +267,17 @@ void SyncClient::barrier(rt::BarrierId b) {
   if (bar.arrived.size() < bar.parties) {
     rt_->sched_.block_current();
   } else {
-    // Last arrival: close the RegC epoch and release everyone.
-    rt_->epoch_snapshot_ = rt_->directory_.end_epoch();
+    // Last arrival: close the RegC epoch and release everyone. In a
+    // multi-tenant fabric the close is scoped to this tenant's address-space
+    // partition so sibling tenants' pending write notes survive until their
+    // own barriers (a whole-map close here would silently discard them).
+    if (rt_->config().tenants.empty()) {
+      rt_->epoch_snapshots_[0] = rt_->directory_.end_epoch();
+    } else {
+      const mem::PageId base = rt_->config().tenant_base_page(ec_->tenant);
+      rt_->epoch_snapshots_[ec_->tenant] = rt_->directory_.end_epoch_range(
+          base, base + rt_->config().tenant_partition_pages());
+    }
     const SimTime t_rel = bar.last_arrival_service_done;
     // Placement window: the manager plans over the closed epoch's heat and
     // this thread (already at the manager, holding the service) executes the

@@ -1,0 +1,155 @@
+#include "core/tenant_fabric.hpp"
+
+#include <utility>
+
+#include "util/expect.hpp"
+
+namespace sam::core {
+
+// ---------------------------------------------------------------------------
+// TenantRuntime
+// ---------------------------------------------------------------------------
+
+TenantRuntime::TenantRuntime(TenantFabric* fabric, SamhitaRuntime* rt, TenantId tenant)
+    : fabric_(fabric),
+      rt_(rt),
+      tenant_(tenant),
+      name_(rt->name() + "/" + rt->config().tenants.at(tenant).name) {}
+
+rt::MutexId TenantRuntime::create_mutex() { return rt_->create_mutex(); }
+
+rt::CondId TenantRuntime::create_cond() { return rt_->create_cond(); }
+
+rt::BarrierId TenantRuntime::create_barrier(std::uint32_t parties) {
+  return rt_->create_barrier(parties);
+}
+
+void TenantRuntime::parallel_run(std::uint32_t nthreads,
+                                 const std::function<void(rt::ThreadCtx&)>& body) {
+  const TenantSpec& spec = rt_->config().tenants.at(tenant_);
+  SAM_EXPECT(nthreads == spec.threads,
+             "tenant '" + spec.name + "' launches " + std::to_string(nthreads) +
+                 " threads but its TenantSpec declares " +
+                 std::to_string(spec.threads));
+  fabric_->park_at_launch(tenant_, nthreads, body);
+}
+
+rt::ThreadReport TenantRuntime::report(std::uint32_t thread) const {
+  SAM_EXPECT(thread < rt_->config().tenants.at(tenant_).threads,
+             "tenant-local thread index out of range");
+  return rt_->report(rt_->config().tenant_thread_base(tenant_) + thread);
+}
+
+std::uint32_t TenantRuntime::ran_threads() const {
+  if (rt_->ran_threads() == 0) return 0;
+  return rt_->config().tenants.at(tenant_).threads;
+}
+
+void TenantRuntime::read_global(rt::Addr addr, std::byte* out, std::size_t bytes) const {
+  rt_->read_global(addr, out, bytes);
+}
+
+// ---------------------------------------------------------------------------
+// TenantFabric
+// ---------------------------------------------------------------------------
+
+TenantFabric::TenantFabric(SamhitaConfig config) : rt_(std::move(config)) {
+  SAM_EXPECT(!rt_.config().tenants.empty(),
+             "TenantFabric needs a config that declares tenants");
+  const TenantId n = rt_.config().tenant_count();
+  slots_.resize(n);
+  tenants_.reserve(n);
+  for (TenantId t = 0; t < n; ++t) {
+    tenants_.push_back(
+        std::unique_ptr<TenantRuntime>(new TenantRuntime(this, &rt_, t)));
+  }
+}
+
+void TenantFabric::park_at_launch(TenantId t, std::uint32_t nthreads,
+                                  std::function<void(rt::ThreadCtx&)> body) {
+  std::unique_lock<std::mutex> lk(mu_);
+  Slot& s = slots_.at(t);
+  SAM_EXPECT(!s.registered, "parallel_run may be called once per tenant");
+  s.body = std::move(body);
+  s.nthreads = nthreads;
+  s.registered = true;
+  cv_.notify_all();
+  cv_.wait(lk, [&s] { return s.resumed; });
+}
+
+void TenantFabric::driver_main(TenantId t, const Driver& driver) {
+  try {
+    driver(*tenants_.at(t));
+  } catch (...) {
+    std::lock_guard<std::mutex> lk(mu_);
+    slots_[t].error = std::current_exception();
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  slots_[t].done = true;
+  cv_.notify_all();
+}
+
+void TenantFabric::run(std::vector<Driver> drivers) {
+  SAM_EXPECT(!ran_, "TenantFabric::run may be called once");
+  SAM_EXPECT(drivers.size() == slots_.size(),
+             "need exactly one driver per configured tenant");
+  for (const Driver& d : drivers) {
+    SAM_EXPECT(static_cast<bool>(d), "tenant driver must be callable");
+  }
+  ran_ = true;
+
+  // Phase 1 — serialized starts: driver t runs alone until it parks at its
+  // parallel_run (or returns); only then does driver t+1 start. Sync-object
+  // creation order is therefore deterministic, and no two host threads ever
+  // touch the shared runtime concurrently.
+  threads_.reserve(drivers.size());
+  for (TenantId t = 0; t < drivers.size(); ++t) {
+    threads_.emplace_back(
+        [this, t, d = std::move(drivers[t])] { driver_main(t, d); });
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [this, t] { return slots_[t].registered || slots_[t].done; });
+  }
+
+  // Phase 2 — simulate. Every driver is parked (a driver that finished or
+  // died without launching is a contract violation surfaced below, after the
+  // unwind). The fibers read the parked drivers' registered bodies; the
+  // baton mutex ordered those writes before this read.
+  std::exception_ptr sim_error;
+  bool all_registered = true;
+  for (const Slot& s : slots_) all_registered = all_registered && s.registered;
+  if (all_registered) {
+    std::vector<SamhitaRuntime::TenantLaunch> launches;
+    launches.reserve(slots_.size());
+    for (Slot& s : slots_) {
+      launches.push_back(SamhitaRuntime::TenantLaunch{s.nthreads, s.body});
+    }
+    try {
+      rt_.run_tenants(std::move(launches));
+    } catch (...) {
+      sim_error = std::current_exception();
+    }
+  }
+
+  // Phase 3 — serialized finishes: resume each parked driver for its
+  // post-run reads and join it before touching the next. On an error path
+  // the resumed drivers observe a never-/partially-run instance; whatever
+  // they throw is captured per slot and loses to the primary error below.
+  for (TenantId t = 0; t < slots_.size(); ++t) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      slots_[t].resumed = true;
+      cv_.notify_all();
+      cv_.wait(lk, [this, t] { return slots_[t].done; });
+    }
+    threads_[t].join();
+  }
+
+  if (sim_error) std::rethrow_exception(sim_error);
+  for (const Slot& s : slots_) {
+    if (s.error) std::rethrow_exception(s.error);
+  }
+  SAM_EXPECT(all_registered,
+             "a tenant driver finished without calling parallel_run");
+}
+
+}  // namespace sam::core

@@ -1,0 +1,130 @@
+// TenantFabric: N independent jobs ("tenants") co-resident on ONE simulated
+// Samhita instance.
+//
+// Each tenant gets an rt::Runtime facade (TenantRuntime) so existing app
+// drivers — run_jacobi, run_md, the microbenchmarks — execute per tenant
+// unchanged, while all tenants share the memory servers, manager shards and
+// network of a single SamhitaRuntime and contend for them under the
+// configured QoS discipline (SamhitaConfig::tenant_qos).
+//
+// Drivers are blocking code (they call parallel_run and then read results),
+// so each runs on its own host thread — but the fabric passes a *baton*
+// between them: strictly one host thread executes at any instant.
+//
+//   1. Drivers start one at a time; each runs alone up to its parallel_run
+//      call (creating its sync objects in deterministic order) and parks.
+//   2. With every driver parked, the fabric thread runs the one cooperative
+//      scheduler; all tenants' fibers interleave in min-clock order exactly
+//      as a single job's would.
+//   3. Drivers are resumed and joined one at a time for their post-run
+//      verification reads.
+//
+// Shared state therefore needs no locking beyond the baton itself, and runs
+// stay bit-reproducible regardless of host scheduling.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/samhita_runtime.hpp"
+#include "rt/runtime.hpp"
+
+namespace sam::core {
+
+class TenantFabric;
+
+/// One tenant's view of the shared instance. Sync objects come from the
+/// shared global id space (so tenants can never collide), parallel_run
+/// registers the tenant's body with the fabric and blocks until the fabric
+/// has simulated every tenant, and post-run inspection is scoped to the
+/// tenant's own thread range.
+class TenantRuntime final : public rt::Runtime {
+ public:
+  const std::string& name() const override { return name_; }
+  rt::MutexId create_mutex() override;
+  rt::CondId create_cond() override;
+  rt::BarrierId create_barrier(std::uint32_t parties) override;
+  /// Registers the tenant's parallel region and parks the calling driver
+  /// thread until the fabric has run the whole universe. `nthreads` must
+  /// equal this tenant's TenantSpec::threads.
+  void parallel_run(std::uint32_t nthreads,
+                    const std::function<void(rt::ThreadCtx&)>& body) override;
+  /// Report for the tenant's LOCAL thread `thread` (0-based within the
+  /// tenant).
+  rt::ThreadReport report(std::uint32_t thread) const override;
+  std::uint32_t ran_threads() const override;
+  void read_global(rt::Addr addr, std::byte* out, std::size_t bytes) const override;
+
+  TenantId tenant() const { return tenant_; }
+
+ private:
+  friend class TenantFabric;
+  TenantRuntime(TenantFabric* fabric, SamhitaRuntime* rt, TenantId tenant);
+
+  TenantFabric* fabric_;
+  SamhitaRuntime* rt_;
+  TenantId tenant_;
+  std::string name_;
+};
+
+class TenantFabric {
+ public:
+  /// A tenant's driver: the blocking job code, handed that tenant's runtime
+  /// facade (e.g. [&](rt::Runtime& rt) { result = run_jacobi(rt, params); }).
+  using Driver = std::function<void(rt::Runtime&)>;
+
+  /// The config must declare the tenants (config.tenants non-empty).
+  explicit TenantFabric(SamhitaConfig config);
+  ~TenantFabric() = default;
+
+  TenantFabric(const TenantFabric&) = delete;
+  TenantFabric& operator=(const TenantFabric&) = delete;
+
+  /// Runs one driver per configured tenant to completion (see file comment
+  /// for the baton protocol). May be called once. Rethrows the first
+  /// simulation or driver error after every driver thread has been joined.
+  void run(std::vector<Driver> drivers);
+
+  /// Tenant t's runtime facade (valid for the fabric's lifetime).
+  rt::Runtime& tenant_runtime(TenantId t) { return *tenants_.at(t); }
+  /// The shared underlying instance (post-run inspection: metrics, trace,
+  /// services, directory).
+  SamhitaRuntime& runtime() { return rt_; }
+  const SamhitaRuntime& runtime() const { return rt_; }
+
+ private:
+  friend class TenantRuntime;
+
+  struct Slot {
+    std::function<void(rt::ThreadCtx&)> body;
+    std::uint32_t nthreads = 0;
+    bool registered = false;  ///< driver reached parallel_run and parked
+    bool resumed = false;     ///< fabric released the driver post-run
+    bool done = false;        ///< driver function returned (or threw)
+    std::exception_ptr error;
+  };
+
+  /// Called by TenantRuntime::parallel_run on a driver thread: hands the
+  /// baton back to the fabric and blocks until resumed post-run.
+  void park_at_launch(TenantId t, std::uint32_t nthreads,
+                      std::function<void(rt::ThreadCtx&)> body);
+  void driver_main(TenantId t, const Driver& driver);
+
+  SamhitaRuntime rt_;
+  std::vector<std::unique_ptr<TenantRuntime>> tenants_;
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Slot> slots_;
+  bool ran_ = false;
+};
+
+}  // namespace sam::core

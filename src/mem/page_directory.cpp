@@ -119,6 +119,21 @@ std::unordered_map<PageId, ThreadSet> PageDirectory::end_epoch() {
   return snapshot;
 }
 
+std::unordered_map<PageId, ThreadSet> PageDirectory::end_epoch_range(PageId first,
+                                                                     PageId limit) {
+  std::unordered_map<PageId, ThreadSet> snapshot;
+  for (auto it = epoch_writers_.begin(); it != epoch_writers_.end();) {
+    if (it->first >= first && it->first < limit) {
+      snapshot.emplace(it->first, std::move(it->second));
+      it = epoch_writers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  ++epoch_;
+  return snapshot;
+}
+
 std::unordered_map<PageId, PageDirectory::PageHeat> PageDirectory::take_heat() {
   std::unordered_map<PageId, PageHeat> window = std::move(heat_);
   heat_.clear();

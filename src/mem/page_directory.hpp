@@ -93,6 +93,15 @@ class PageDirectory {
   /// moment end_epoch() cleared the map underneath it).
   std::unordered_map<PageId, ThreadSet> end_epoch();
 
+  /// Closes the epoch for the page range [first, limit) only: extracts and
+  /// clears the writer notes of pages inside the range, leaving other pages'
+  /// notes live. The multi-tenant barrier seam — tenants' address-space
+  /// partitions are disjoint page ranges, so one tenant's barrier must not
+  /// consume (and thereby lose) another tenant's pending write notes. Bumps
+  /// the epoch counter like end_epoch(); per-thread note memoization keyed
+  /// on the counter only re-notes (idempotently) under the extra bumps.
+  std::unordered_map<PageId, ThreadSet> end_epoch_range(PageId first, PageId limit);
+
   std::uint64_t epoch() const { return epoch_; }
 
   // --- placement heat (fed only while heat collection is on) ----------------

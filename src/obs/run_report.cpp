@@ -49,6 +49,84 @@ void collect_metrics_totals(const core::SamhitaRuntime& rt, Registry& reg) {
   }
 }
 
+/// Per-tenant service totals aggregated over every QoS-enabled station
+/// (memory servers + manager shards).
+struct TenantServiceTotals {
+  std::uint64_t requests = 0;
+  double busy_seconds = 0.0;
+  double wait_sum_seconds = 0.0;
+  double max_wait_seconds = 0.0;
+  std::uint64_t admission_stalls = 0;
+  double admission_wait_seconds = 0.0;
+  std::uint32_t peak_outstanding = 0;
+};
+
+TenantServiceTotals tenant_service_totals(const core::SamhitaRuntime& rt,
+                                          core::TenantId t) {
+  TenantServiceTotals out;
+  const auto fold = [&out, t](const sim::Resource& r) {
+    if (!r.qos_enabled() || t >= r.qos_tenant_count()) return;
+    const sim::Resource::TenantStats& s = r.tenant_stats(t);
+    out.requests += s.requests;
+    out.busy_seconds += to_seconds(s.busy);
+    out.wait_sum_seconds += s.waits.sum();
+    out.max_wait_seconds = std::max(out.max_wait_seconds, s.waits.max());
+    out.admission_stalls += s.admission_stalls;
+    out.admission_wait_seconds += s.admission_wait_seconds;
+    out.peak_outstanding = std::max(out.peak_outstanding, s.peak_outstanding);
+  };
+  for (const mem::MemoryServer& s : rt.servers()) fold(s.service());
+  for (unsigned s = 0; s < rt.services().shard_count(); ++s) {
+    fold(rt.services().shard(s).service());
+  }
+  return out;
+}
+
+/// "tenant.<i>.*" registry namespace: every counter in a multi-tenant run is
+/// attributable to exactly one tenant (per-tenant sums over each tenant's
+/// global-thread range equal the global totals). Emitted only when the
+/// config declares tenants, so single-job reports keep their exact key set.
+void collect_tenants(const core::SamhitaRuntime& rt, Registry& reg) {
+  const core::SamhitaConfig& cfg = rt.config();
+  if (cfg.tenants.empty() || rt.ran_threads() == 0) return;
+  for (core::TenantId t = 0; t < cfg.tenant_count(); ++t) {
+    const std::string prefix = "tenant." + std::to_string(t) + ".";
+    const std::uint32_t base = cfg.tenant_thread_base(t);
+    const std::uint32_t limit =
+        std::min(base + cfg.tenants[t].threads, rt.ran_threads());
+    reg.set_counter(prefix + "threads", limit > base ? limit - base : 0);
+    double compute = 0.0;
+    double sync = 0.0;
+    for (std::uint32_t i = base; i < limit; ++i) {
+      const core::Metrics& m = rt.metrics(i);
+      reg.add_counter(prefix + "cache.hits", m.cache_hits);
+      reg.add_counter(prefix + "cache.misses", m.cache_misses);
+      reg.add_counter(prefix + "cache.invalidations", m.invalidations);
+      reg.add_counter(prefix + "regc.diffs_flushed", m.diffs_flushed);
+      reg.add_counter(prefix + "bytes.fetched", m.bytes_fetched);
+      reg.add_counter(prefix + "bytes.flushed", m.bytes_flushed);
+      compute += to_seconds(m.compute_ns);
+      sync += to_seconds(m.sync_ns());
+      for (const double ns : m.miss_latency.samples()) {
+        reg.histogram(prefix + "miss_latency_ns").add(ns);
+      }
+    }
+    reg.set_gauge(prefix + "compute_seconds", compute);
+    reg.set_gauge(prefix + "sync_seconds", sync);
+    const TenantServiceTotals svc = tenant_service_totals(rt, t);
+    reg.set_counter(prefix + "service.requests", svc.requests);
+    reg.set_gauge(prefix + "service.busy_seconds", svc.busy_seconds);
+    reg.set_gauge(prefix + "service.mean_wait_seconds",
+                  svc.requests ? svc.wait_sum_seconds /
+                                     static_cast<double>(svc.requests)
+                               : 0.0);
+    reg.set_gauge(prefix + "service.max_wait_seconds", svc.max_wait_seconds);
+    reg.set_counter(prefix + "service.admission_stalls", svc.admission_stalls);
+    reg.set_gauge(prefix + "service.admission_wait_seconds",
+                  svc.admission_wait_seconds);
+  }
+}
+
 void collect_platform(const core::SamhitaRuntime& rt, Registry& reg) {
   reg.set_counter("net.messages", rt.network_messages());
   reg.set_counter("net.bytes", rt.network_bytes());
@@ -215,6 +293,22 @@ void write_config(JsonWriter& w, const core::SamhitaConfig& cfg) {
   w.kv("retry_backoff_ns", static_cast<std::uint64_t>(cfg.retry_backoff));
   w.kv("retry_max_attempts", cfg.retry_max_attempts);
   w.kv("replica_server", cfg.replica_server);
+  // Only multi-tenant configs carry tenant keys, so single-job reports keep
+  // the exact seed schema.
+  if (!cfg.tenants.empty()) {
+    w.kv("tenant_qos", core::to_string(cfg.tenant_qos));
+    w.key("tenants");
+    w.begin_array();
+    for (const core::TenantSpec& t : cfg.tenants) {
+      w.begin_object();
+      w.kv("name", t.name);
+      w.kv("threads", t.threads);
+      w.kv("weight", t.weight);
+      w.kv("admission_limit", t.admission_limit);
+      w.end_object();
+    }
+    w.end_array();
+  }
   w.end_object();
 }
 
@@ -304,6 +398,65 @@ void write_servers(JsonWriter& w, const core::SamhitaRuntime& rt) {
   w.end_array();
 }
 
+/// Per-tenant report section (multi-tenant runs only): identity, spec,
+/// tenant-scoped time/counter totals, QoS service accounting, and the
+/// tenant's own miss-latency histogram.
+void write_tenants(JsonWriter& w, const core::SamhitaRuntime& rt, const Registry& reg) {
+  const core::SamhitaConfig& cfg = rt.config();
+  w.begin_array();
+  for (core::TenantId t = 0; t < cfg.tenant_count(); ++t) {
+    const core::TenantSpec& spec = cfg.tenants[t];
+    const std::string prefix = "tenant." + std::to_string(t) + ".";
+    const std::uint32_t base = cfg.tenant_thread_base(t);
+    const std::uint32_t limit = std::min(base + spec.threads, rt.ran_threads());
+    double elapsed = 0.0;
+    for (std::uint32_t i = base; i < limit; ++i) {
+      elapsed = std::max(elapsed, to_seconds(rt.metrics(i).measured_ns()));
+    }
+    w.begin_object();
+    w.kv("tenant", t);
+    w.kv("name", spec.name);
+    w.kv("weight", spec.weight);
+    w.kv("admission_limit", spec.admission_limit);
+    w.kv("threads", spec.threads);
+    w.kv("thread_base", base);
+    w.kv("elapsed_seconds", elapsed);
+    w.kv("compute_seconds", reg.gauge(prefix + "compute_seconds"));
+    w.kv("sync_seconds", reg.gauge(prefix + "sync_seconds"));
+    w.kv("cache_hits", reg.counter(prefix + "cache.hits"));
+    w.kv("cache_misses", reg.counter(prefix + "cache.misses"));
+    w.kv("invalidations", reg.counter(prefix + "cache.invalidations"));
+    w.kv("diffs_flushed", reg.counter(prefix + "regc.diffs_flushed"));
+    w.kv("bytes_fetched", reg.counter(prefix + "bytes.fetched"));
+    w.kv("bytes_flushed", reg.counter(prefix + "bytes.flushed"));
+    w.key("service");
+    {
+      const TenantServiceTotals svc = tenant_service_totals(rt, t);
+      w.begin_object();
+      w.kv("qos", core::to_string(cfg.tenant_qos));
+      w.kv("requests", svc.requests);
+      w.kv("busy_seconds", svc.busy_seconds);
+      w.kv("mean_wait_seconds",
+           svc.requests
+               ? svc.wait_sum_seconds / static_cast<double>(svc.requests)
+               : 0.0);
+      w.kv("max_wait_seconds", svc.max_wait_seconds);
+      w.kv("admission_stalls", svc.admission_stalls);
+      w.kv("admission_wait_seconds", svc.admission_wait_seconds);
+      w.kv("peak_outstanding", svc.peak_outstanding);
+      w.end_object();
+    }
+    w.key("miss_latency");
+    if (const util::Histogram* h = reg.find_histogram(prefix + "miss_latency_ns")) {
+      write_histogram_json(w, *h);
+    } else {
+      write_histogram_json(w, util::Histogram{});
+    }
+    w.end_object();
+  }
+  w.end_array();
+}
+
 void write_links(JsonWriter& w, const core::SamhitaRuntime& rt) {
   w.begin_array();
   for (const net::LinkStat& l : rt.network().link_stats()) {
@@ -323,6 +476,7 @@ void write_links(JsonWriter& w, const core::SamhitaRuntime& rt) {
 Registry collect_registry(const core::SamhitaRuntime& runtime) {
   Registry reg;
   collect_metrics_totals(runtime, reg);
+  collect_tenants(runtime, reg);
   collect_platform(runtime, reg);
   if (runtime.trace().enabled()) collect_trace(runtime, reg);
   return reg;
@@ -352,6 +506,13 @@ void write_run_report(const core::SamhitaRuntime& runtime, std::ostream& out,
 
   w.key("servers");
   write_servers(w, runtime);
+
+  // Multi-tenant runs get a per-tenant section; single-job reports keep the
+  // exact seed schema (no new key).
+  if (runtime.config().tenant_count() > 1) {
+    w.key("tenants");
+    write_tenants(w, runtime, reg);
+  }
 
   w.key("manager");
   {

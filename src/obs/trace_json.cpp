@@ -20,6 +20,10 @@ namespace {
 constexpr std::uint32_t kPidCompute = 1;
 constexpr std::uint32_t kPidServices = 2;
 constexpr std::uint32_t kPidInterconnect = 3;
+/// Multi-tenant runs split the compute process per tenant: tenant t's
+/// compute tracks live under pid kPidTenantBase + t so each tenant renders
+/// as its own collapsible process group in Perfetto.
+constexpr std::uint32_t kPidTenantBase = 10;
 
 double to_us(SimTime t) { return static_cast<double>(t) / 1000.0; }
 
@@ -28,7 +32,14 @@ struct TrackRef {
   std::uint32_t tid;
 };
 
-TrackRef track_of(const sim::SpanEvent& s, std::uint32_t manager_tracks) {
+/// Pid of the compute track for global thread `t` (`thread_pid` is empty in
+/// single-tenant runs — everything stays under kPidCompute).
+std::uint32_t compute_pid_of(std::uint32_t t, const std::vector<std::uint32_t>& thread_pid) {
+  return t < thread_pid.size() ? thread_pid[t] : kPidCompute;
+}
+
+TrackRef track_of(const sim::SpanEvent& s, std::uint32_t manager_tracks,
+                  const std::vector<std::uint32_t>& thread_pid) {
   switch (s.cat) {
     case sim::SpanCat::kLockWait:
     case sim::SpanCat::kLockHeld:
@@ -37,7 +48,7 @@ TrackRef track_of(const sim::SpanEvent& s, std::uint32_t manager_tracks) {
     case sim::SpanCat::kDemandMiss:
     case sim::SpanCat::kFlushRpc:
     case sim::SpanCat::kRecovery:
-      return {kPidCompute, s.track};
+      return {compute_pid_of(s.track, thread_pid), s.track};
     case sim::SpanCat::kManager:
       // One track per manager shard (span track = shard index).
       return {kPidServices, s.track};
@@ -46,7 +57,7 @@ TrackRef track_of(const sim::SpanEvent& s, std::uint32_t manager_tracks) {
     case sim::SpanCat::kLink:
       return {kPidInterconnect, s.track};
   }
-  return {kPidCompute, s.track};
+  return {compute_pid_of(s.track, thread_pid), s.track};
 }
 
 void write_meta(JsonWriter& w, const char* which, std::uint32_t pid, std::uint32_t tid,
@@ -83,12 +94,37 @@ void write_chrome_trace(const core::SamhitaRuntime& runtime, std::ostream& out) 
   w.begin_array();
 
   // --- metadata: name every process and thread track -----------------------
-  write_process_name(w, kPidCompute, "samhita compute");
+  // Multi-tenant runs: one compute process per tenant (pid 10+t), so every
+  // compute track — and every event on it — is attributable to exactly one
+  // tenant at a glance. Single-tenant output is unchanged.
+  const core::SamhitaConfig& cfg = runtime.config();
+  const bool multi_tenant = cfg.tenant_count() > 1;
+  std::vector<std::uint32_t> thread_pid;
+  if (multi_tenant) {
+    thread_pid.resize(runtime.ran_threads());
+    for (std::uint32_t t = 0; t < runtime.ran_threads(); ++t) {
+      thread_pid[t] = kPidTenantBase + cfg.tenant_of_thread(t);
+    }
+    for (core::TenantId i = 0; i < cfg.tenant_count(); ++i) {
+      write_process_name(w, kPidTenantBase + i,
+                         "samhita tenant " + std::to_string(i) + " (" +
+                             cfg.tenants[i].name + ")");
+    }
+  } else {
+    write_process_name(w, kPidCompute, "samhita compute");
+  }
   write_process_name(w, kPidServices, "samhita services");
   write_process_name(w, kPidInterconnect, "samhita interconnect");
 
   for (std::uint32_t t = 0; t < runtime.ran_threads(); ++t) {
-    write_thread_name(w, kPidCompute, t, "compute-" + std::to_string(t));
+    if (multi_tenant) {
+      const core::TenantId i = cfg.tenant_of_thread(t);
+      write_thread_name(w, thread_pid[t],
+                        t, cfg.tenants[i].name + "-compute-" +
+                               std::to_string(t - cfg.tenant_thread_base(i)));
+    } else {
+      write_thread_name(w, kPidCompute, t, "compute-" + std::to_string(t));
+    }
   }
   const std::uint32_t shard_tracks = runtime.services().shard_count();
   if (shard_tracks == 1) {
@@ -110,7 +146,7 @@ void write_chrome_trace(const core::SamhitaRuntime& runtime, std::ostream& out) 
 
   // --- span events: complete ("X") events with ts + dur --------------------
   for (const sim::SpanEvent& s : trace.spans()) {
-    const TrackRef tr = track_of(s, shard_tracks);
+    const TrackRef tr = track_of(s, shard_tracks, thread_pid);
     w.begin_object();
     w.kv("name", sim::to_string(s.cat));
     w.kv("cat", "span");
@@ -123,6 +159,7 @@ void write_chrome_trace(const core::SamhitaRuntime& runtime, std::ostream& out) 
     w.begin_object();
     w.kv("object", s.object);
     w.kv("trace_id", s.trace_id);
+    if (multi_tenant) w.kv("tenant", s.tenant);
     w.end_object();
     w.end_object();
   }
@@ -147,7 +184,7 @@ void write_chrome_trace(const core::SamhitaRuntime& runtime, std::ostream& out) 
                        });
       for (std::size_t i = 0; i < spans.size(); ++i) {
         const sim::SpanEvent& s = *spans[i];
-        const TrackRef tr = track_of(s, shard_tracks);
+        const TrackRef tr = track_of(s, shard_tracks, thread_pid);
         const char* ph = i == 0 ? "s" : (i + 1 == spans.size() ? "f" : "t");
         w.begin_object();
         w.kv("name", "op");
@@ -171,7 +208,7 @@ void write_chrome_trace(const core::SamhitaRuntime& runtime, std::ostream& out) 
     w.kv("cat", "protocol");
     w.kv("ph", "i");
     w.kv("ts", to_us(e.time));
-    w.kv("pid", kPidCompute);
+    w.kv("pid", compute_pid_of(e.thread, thread_pid));
     w.kv("tid", e.thread);
     w.kv("s", "t");
     w.key("args");
@@ -179,6 +216,7 @@ void write_chrome_trace(const core::SamhitaRuntime& runtime, std::ostream& out) 
     w.kv("object", e.object);
     w.kv("detail", e.detail);
     w.kv("trace_id", e.trace_id);
+    if (multi_tenant) w.kv("tenant", e.tenant);
     w.end_object();
     w.end_object();
   }

@@ -379,7 +379,7 @@ SimTime ConsistencyEngine::lazy_pull(core::LineId line, SimTime at_server) {
 }
 
 void ConsistencyEngine::invalidate_stale(core::Bucket bucket) {
-  const auto& snapshot = rt_->epoch_snapshot_;
+  const auto& snapshot = rt_->epoch_snapshots_[ec_->tenant];
   if (snapshot.empty()) return;
   const auto& cfg = rt_->config();
   for (core::LineId id : cache().resident_line_ids()) {

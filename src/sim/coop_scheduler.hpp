@@ -81,6 +81,13 @@ class SimThread {
   std::uint64_t trace_ctx() const { return trace_ctx_; }
   void set_trace_ctx(std::uint64_t id) { trace_ctx_ = id; }
 
+  /// Tenant this thread acts for in a multi-tenant fabric (0 in a classic
+  /// single-job universe). Installed once at spawn by the runtime; read
+  /// ambiently by QoS-enabled sim::Resources to attribute and schedule each
+  /// service request, and by trace sinks for tenant attribution.
+  std::uint32_t tenant() const { return tenant_; }
+  void set_tenant(std::uint32_t t) { tenant_ = t; }
+
  private:
   friend class CoopScheduler;
 
@@ -102,6 +109,7 @@ class SimThread {
   void* asan_fake_ = nullptr;
   bool started_ = false;
   std::uint64_t trace_ctx_ = 0;
+  std::uint32_t tenant_ = 0;
 };
 
 /// Drives a set of SimThreads plus an EventQueue to completion.

@@ -1,12 +1,25 @@
 #include "sim/resource.hpp"
 
 #include <algorithm>
+#include <cmath>
 
+#include "sim/coop_scheduler.hpp"
 #include "util/expect.hpp"
 
 namespace sam::sim {
 
 SimTime Resource::serve(SimTime arrival, SimDuration service) {
+  if (shares_.empty()) return serve_fifo(arrival, service);
+  const SimThread* cur = CoopScheduler::current();
+  return serve_wfq(cur != nullptr ? cur->tenant() : 0, arrival, service);
+}
+
+SimTime Resource::serve_as(std::uint32_t tenant, SimTime arrival, SimDuration service) {
+  SAM_EXPECT(!shares_.empty(), "serve_as requires enable_qos()");
+  return serve_wfq(tenant, arrival, service);
+}
+
+SimTime Resource::serve_fifo(SimTime arrival, SimDuration service) {
   const SimTime start = std::max(arrival, next_free_);
   waits_.add(to_seconds(start - arrival));
   next_free_ = start + service;
@@ -16,6 +29,114 @@ SimTime Resource::serve(SimTime arrival, SimDuration service) {
     trace_->record_span(start, next_free_, trace_track_, trace_cat_, requests_);
   }
   return next_free_;
+}
+
+SimTime Resource::serve_wfq(std::uint32_t tenant, SimTime arrival, SimDuration service) {
+  SAM_EXPECT(tenant < shares_.size(), "tenant index out of range for QoS resource");
+  TenantStats& ts = tenant_stats_[tenant];
+
+  // Admission gate: with a cap of k, the request becomes eligible only once
+  // fewer than k of the tenant's earlier bookings are still outstanding —
+  // i.e. at the completion of the booking whose retirement frees a slot.
+  std::deque<SimTime>& out = outstanding_[tenant];
+  while (!out.empty() && out.front() <= arrival) out.pop_front();
+  SimTime eligible = arrival;
+  const std::uint32_t cap = shares_[tenant].admission_limit;
+  if (cap > 0 && out.size() >= cap) {
+    eligible = out[out.size() - cap];
+    ++ts.admission_stalls;
+    ts.admission_wait_seconds += to_seconds(eligible - arrival);
+  }
+
+  // Weighted-fair gate: the tenant's virtual clock advances by service/share
+  // per booking, where share is its weight fraction among *active* tenants
+  // (virtual clock still ahead of this arrival). A tenant consuming more
+  // than its share watches its own gate recede into the future; the
+  // real-time gaps its pushed-out bookings leave behind are claimed by other
+  // tenants' later arrivals via the first-fit window search below. An idle
+  // tenant's clock falls behind real time and snaps back to the arrival, so
+  // history is never held against it (no banked credit, no banked debt
+  // beyond its own backlog).
+  double active_weight = 0.0;
+  for (std::size_t u = 0; u < shares_.size(); ++u) {
+    if (u == tenant || vfinish_[u] > static_cast<double>(arrival)) {
+      active_weight += shares_[u].weight;
+    }
+  }
+  const double share = shares_[tenant].weight / active_weight;
+  const double vstart = std::max(static_cast<double>(eligible), vfinish_[tenant]);
+  vfinish_[tenant] = vstart + static_cast<double>(service) / share;
+
+  // Deliberately NOT work-conserving: the gate may hold the server idle even
+  // with this request in hand. Commitments are made in arrival order, so a
+  // latency-sensitive tenant can only be protected by gaps that *pre-exist*
+  // its arrivals — pacing a heavy tenant's bursts apart is what creates
+  // them. (Capping the gate at the booked-timeline end restores work
+  // conservation but provably degenerates to FIFO for blocking requesters:
+  // every burst books contiguously and victims queue behind the whole run.)
+  const SimTime gate = std::max(eligible, static_cast<SimTime>(std::llround(vstart)));
+
+  // Prune booked windows no future arrival can be gated before: arrivals are
+  // presented in nondecreasing order, so every future gate is >= arrival.
+  const auto keep = std::find_if(bookings_.begin(), bookings_.end(),
+                                 [&](const Booking& b) { return b.end > arrival; });
+  bookings_.erase(bookings_.begin(), keep);
+
+  const SimTime start = book_window(gate, service);
+  const SimTime done = start + service;
+
+  out.push_back(done);
+  ts.peak_outstanding =
+      std::max(ts.peak_outstanding, static_cast<std::uint32_t>(out.size()));
+  ++ts.requests;
+  ts.busy += service;
+  ts.waits.add(to_seconds(start - arrival));
+
+  ++requests_;
+  busy_ += service;
+  waits_.add(to_seconds(start - arrival));
+  next_free_ = std::max(next_free_, done);
+  if (trace_ != nullptr && trace_->enabled() && service > 0) {
+    trace_->record_span(start, done, trace_track_, trace_cat_, requests_);
+  }
+  return done;
+}
+
+SimTime Resource::book_window(SimTime gate, SimDuration service) {
+  SimTime start = gate;
+  for (const Booking& b : bookings_) {
+    if (b.end <= start) continue;
+    if (b.start >= start + service) break;  // the gap [start, b.start) fits
+    start = b.end;                          // overlap: try after this window
+  }
+  if (service > 0) {
+    const Booking w{start, start + service};
+    bookings_.insert(std::upper_bound(bookings_.begin(), bookings_.end(), w,
+                                      [](const Booking& a, const Booking& b) {
+                                        return a.start < b.start;
+                                      }),
+                     w);
+  }
+  return start;
+}
+
+void Resource::enable_qos(const std::vector<TenantShare>& tenants) {
+  SAM_EXPECT(!tenants.empty(), "QoS needs at least one tenant share");
+  SAM_EXPECT(requests_ == 0, "enable_qos must precede the first request");
+  for (const TenantShare& t : tenants) {
+    SAM_EXPECT(t.weight > 0.0 && std::isfinite(t.weight),
+               "tenant service weight must be positive and finite");
+  }
+  shares_ = tenants;
+  tenant_stats_.assign(tenants.size(), TenantStats{});
+  vfinish_.assign(tenants.size(), 0.0);
+  outstanding_.assign(tenants.size(), {});
+  bookings_.clear();
+}
+
+const Resource::TenantStats& Resource::tenant_stats(std::uint32_t tenant) const {
+  SAM_EXPECT(tenant < tenant_stats_.size(), "tenant index out of range");
+  return tenant_stats_[tenant];
 }
 
 void Resource::attach_trace(TraceBuffer* sink, SpanCat cat, std::uint32_t track) {
@@ -29,6 +150,10 @@ void Resource::reset() {
   busy_ = 0;
   requests_ = 0;
   waits_ = util::StreamingStats{};
+  tenant_stats_.assign(shares_.size(), TenantStats{});
+  vfinish_.assign(shares_.size(), 0.0);
+  outstanding_.assign(shares_.size(), {});
+  bookings_.clear();
 }
 
 MultiResource::MultiResource(std::string name, unsigned servers) : name_(std::move(name)) {

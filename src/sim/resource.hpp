@@ -1,18 +1,36 @@
-// FIFO service stations for contention modelling.
+// Service stations for contention modelling: FIFO and weighted-fair.
 //
 // A Resource models a serially-serviced component — a memory server's
-// request pipeline, a NIC, the manager's service loop. A request arriving
-// at time `a` needing service `s` completes at
+// request pipeline, a NIC, the manager's service loop. In the default FIFO
+// discipline a request arriving at time `a` needing service `s` completes at
 //     max(a, next_free) + s
 // and pushes next_free to that completion time. Because the CoopScheduler
 // always runs the minimum-clock thread, arrivals are presented in
 // nondecreasing time order, which makes this closed-form queue exact.
 //
+// enable_qos() switches the station to a *weighted-fair* service queue for a
+// multi-tenant fabric (virtual-finish-time scheduling): each tenant carries
+// a virtual clock that advances by service/share per booking, where share is
+// the tenant's weight fraction among currently-active tenants. A tenant
+// consuming more than its share sees its own gate recede into the future,
+// leaving real-time gaps in the booking list that other tenants' later
+// arrivals claim first — so a noisy neighbour cannot monopolize the station.
+// An optional per-tenant admission cap bounds outstanding bookings, rate-
+// limiting a tenant at the entrance rather than in the queue. With a single
+// tenant the discipline degenerates to exactly the FIFO arithmetic above.
+//
+// The discipline is *paced*, not work-conserving: a gated booking may leave
+// the station idle ahead of it. That is the point — completion times are
+// committed in arrival order, so reserved gaps laid down ahead of time are
+// the only way a later latency-sensitive arrival can overtake an earlier
+// burst (think token-bucket shaping, not run-queue picking).
+//
 // A MultiResource models k identical servers (e.g. a multi-threaded memory
-// server) with the same discipline.
+// server) with the FIFO discipline.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -22,14 +40,47 @@
 
 namespace sam::sim {
 
+/// Per-tenant share of a QoS-enabled Resource.
+struct TenantShare {
+  double weight = 1.0;  ///< relative service share (> 0)
+  /// Maximum bookings a tenant may have outstanding (booked but not yet
+  /// complete); further arrivals are gated to the completion that frees a
+  /// slot. 0 = unlimited.
+  std::uint32_t admission_limit = 0;
+};
+
 class Resource {
  public:
+  /// Per-tenant accounting, populated only in QoS mode.
+  struct TenantStats {
+    std::uint64_t requests = 0;
+    SimDuration busy = 0;
+    util::StreamingStats waits;           ///< queueing delay (start - arrival)
+    std::uint64_t admission_stalls = 0;   ///< arrivals gated by the admission cap
+    double admission_wait_seconds = 0.0;  ///< total time spent gated at admission
+    std::uint32_t peak_outstanding = 0;   ///< booked-but-incomplete high-water mark
+  };
+
   explicit Resource(std::string name) : name_(std::move(name)) {}
 
-  /// Books a request; returns its completion time.
+  /// Books a request; returns its completion time. In QoS mode the request
+  /// is attributed to the ambient SimThread's tenant (tenant 0 when called
+  /// outside any simulated thread).
   SimTime serve(SimTime arrival, SimDuration service);
 
-  /// Earliest time a new arrival could start service.
+  /// QoS-mode booking for an explicit tenant (unit tests, callers outside a
+  /// simulated thread). Requires enable_qos() first.
+  SimTime serve_as(std::uint32_t tenant, SimTime arrival, SimDuration service);
+
+  /// Installs the weighted-fair discipline over `tenants.size()` tenants.
+  /// Must be called before the first serve(); weights must be positive.
+  void enable_qos(const std::vector<TenantShare>& tenants);
+  bool qos_enabled() const { return !shares_.empty(); }
+  std::size_t qos_tenant_count() const { return shares_.size(); }
+  const TenantStats& tenant_stats(std::uint32_t tenant) const;
+
+  /// Earliest time a new arrival could start service (FIFO); in QoS mode,
+  /// the completion time of the latest booking.
   SimTime next_free() const { return next_free_; }
 
   const std::string& name() const { return name_; }
@@ -52,6 +103,19 @@ class Resource {
   void reset();
 
  private:
+  /// One booked service window (QoS mode). Windows are disjoint and kept
+  /// sorted by start; windows wholly before the arrival frontier are pruned.
+  struct Booking {
+    SimTime start;
+    SimTime end;
+  };
+
+  SimTime serve_fifo(SimTime arrival, SimDuration service);
+  SimTime serve_wfq(std::uint32_t tenant, SimTime arrival, SimDuration service);
+  /// Earliest start >= gate where a `service`-long window fits between the
+  /// existing bookings (first fit); records the window.
+  SimTime book_window(SimTime gate, SimDuration service);
+
   std::string name_;
   SimTime next_free_ = 0;
   SimDuration busy_ = 0;
@@ -60,6 +124,14 @@ class Resource {
   TraceBuffer* trace_ = nullptr;
   SpanCat trace_cat_ = SpanCat::kServer;
   std::uint32_t trace_track_ = 0;
+
+  // --- QoS state (empty shares_ = FIFO fast path, the seed discipline) -----
+  std::vector<TenantShare> shares_;
+  std::vector<TenantStats> tenant_stats_;
+  std::vector<double> vfinish_;  ///< per-tenant virtual finish clock
+  /// Per-tenant completion times of outstanding bookings (admission gate).
+  std::vector<std::deque<SimTime>> outstanding_;
+  std::vector<Booking> bookings_;  ///< sorted, disjoint service windows
 };
 
 class MultiResource {

@@ -21,6 +21,18 @@ std::uint64_t ambient_trace_id() {
   return t != nullptr ? t->trace_ctx() : 0;
 }
 
+/// Ambient tenant: every protocol action — including server/manager service
+/// windows and link transfers — is recorded synchronously on the fiber of
+/// the thread performing the operation, so the running SimThread's tenant is
+/// the owning tenant. Returns false in scheduler/event context, where the
+/// caller falls back to the thread -> tenant table.
+bool ambient_tenant(std::uint32_t& out) {
+  const SimThread* t = CoopScheduler::current();
+  if (t == nullptr) return false;
+  out = t->tenant();
+  return true;
+}
+
 }  // namespace
 
 const char* to_string(TraceKind kind) {
@@ -74,7 +86,9 @@ TraceBuffer::TraceBuffer(std::size_t capacity) {
 
 void TraceBuffer::record_slow(SimTime time, std::uint32_t thread, TraceKind kind,
                               std::uint64_t object, std::uint64_t detail) {
-  ring_[next_] = TraceEvent{time, thread, kind, object, detail, ambient_trace_id()};
+  std::uint32_t tenant;
+  if (!ambient_tenant(tenant)) tenant = tenant_of_thread(thread);
+  ring_[next_] = TraceEvent{time, thread, kind, object, detail, ambient_trace_id(), tenant};
   next_ = (next_ + 1) % ring_.size();
   ++total_;
   ++kind_totals_[static_cast<std::size_t>(kind)];
@@ -87,7 +101,20 @@ void TraceBuffer::record_span_slow(SimTime begin, SimTime end, std::uint32_t tra
     ++spans_dropped_;
     return;
   }
-  spans_.push_back(SpanEvent{begin, end, track, cat, object, ambient_trace_id()});
+  // Span tracks are thread indices only for thread-attributed categories;
+  // server/manager/link spans rely on the ambient fiber for attribution.
+  std::uint32_t tenant;
+  if (!ambient_tenant(tenant)) {
+    const bool thread_track = cat != SpanCat::kServer && cat != SpanCat::kManager &&
+                              cat != SpanCat::kLink;
+    tenant = thread_track ? tenant_of_thread(track) : 0;
+  }
+  spans_.push_back(SpanEvent{begin, end, track, cat, object, ambient_trace_id(), tenant});
+}
+
+void TraceBuffer::set_thread_tenant(std::uint32_t thread, std::uint32_t tenant) {
+  if (thread >= thread_tenant_.size()) thread_tenant_.resize(thread + 1, 0);
+  thread_tenant_[thread] = tenant;
 }
 
 void TraceBuffer::note_parent(std::uint64_t child, std::uint64_t parent) {

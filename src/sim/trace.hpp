@@ -55,6 +55,7 @@ struct TraceEvent {
   std::uint64_t object = 0;    ///< line id, lock id, barrier id, address...
   std::uint64_t detail = 0;    ///< bytes moved, waiters, ...
   std::uint64_t trace_id = 0;  ///< causal operation id (0 = outside any op)
+  std::uint32_t tenant = 0;    ///< owning tenant (0 in a single-job universe)
 };
 
 /// Categories of *span* (interval) events. Instant TraceEvents capture what
@@ -87,6 +88,7 @@ struct SpanEvent {
   SpanCat cat = SpanCat::kLockWait;
   std::uint64_t object = 0;    ///< mutex/barrier id, request sequence number...
   std::uint64_t trace_id = 0;  ///< causal operation id (0 = outside any op)
+  std::uint32_t tenant = 0;    ///< owning tenant (0 in a single-job universe)
 };
 
 /// Bounded event ring. When full, the oldest events are overwritten.
@@ -131,6 +133,15 @@ class TraceBuffer {
     return parent_edges_;
   }
 
+  /// Registers thread -> tenant ownership for tenant attribution of events
+  /// recorded outside any running SimThread (event-queue callbacks name the
+  /// thread explicitly; everything else is stamped from the ambient fiber).
+  /// Unregistered threads attribute to tenant 0.
+  void set_thread_tenant(std::uint32_t thread, std::uint32_t tenant);
+  std::uint32_t tenant_of_thread(std::uint32_t thread) const {
+    return thread < thread_tenant_.size() ? thread_tenant_[thread] : 0;
+  }
+
   /// Events in record order (oldest first), honoring ring wraparound.
   std::vector<TraceEvent> snapshot() const;
 
@@ -173,6 +184,7 @@ class TraceBuffer {
   // span store, so late-run causality survives span truncation.
   std::vector<std::pair<std::uint64_t, std::uint64_t>> parent_edges_;
   std::array<std::uint64_t, kTraceKindCount> kind_totals_{};
+  std::vector<std::uint32_t> thread_tenant_;  ///< thread idx -> tenant id
 };
 
 }  // namespace sam::sim

@@ -361,6 +361,38 @@ TEST(ConfigValidation, RejectsDegeneratePlacementKnobs) {
   EXPECT_NO_THROW(SamhitaRuntime{cfg});
 }
 
+TEST(ConfigValidation, RejectsDegenerateTenantSpecs) {
+  SamhitaConfig cfg;
+  cfg.tenants = {{"a", 2, 1.0, 0}, {"b", 0, 1.0, 0}};  // zero-thread tenant
+  EXPECT_THROW(SamhitaRuntime{cfg}, util::ContractViolation);
+  cfg.tenants = {{"a", 2, 0.0, 0}};  // zero weight
+  EXPECT_THROW(SamhitaRuntime{cfg}, util::ContractViolation);
+  cfg.tenants = {{"a", 2, -1.5, 0}};  // negative weight
+  EXPECT_THROW(SamhitaRuntime{cfg}, util::ContractViolation);
+  cfg.tenants = {{"a", 2, 1.0, 0}, {"b", 2, 2.5, 4}};  // well-formed
+  EXPECT_NO_THROW(SamhitaRuntime{cfg});
+}
+
+TEST(ConfigValidation, RejectsTenantThreadsAbovePlatformCapacity) {
+  SamhitaConfig cfg;
+  const unsigned cap = cfg.max_threads();
+  cfg.tenants = {{"a", cap, 1.0, 0}, {"b", 1, 1.0, 0}};  // one over
+  EXPECT_THROW(SamhitaRuntime{cfg}, util::ContractViolation);
+  cfg.tenants = {{"a", cap - 1, 1.0, 0}, {"b", 1, 1.0, 0}};  // exactly at cap
+  EXPECT_NO_THROW(SamhitaRuntime{cfg});
+}
+
+TEST(ConfigValidation, RejectsTenantPartitionBelowOneCacheLine) {
+  SamhitaConfig cfg;
+  // Two tenants over an address space of one cache line: each partition
+  // would be half a line, so a line would straddle both tenants.
+  cfg.address_space_bytes = cfg.line_bytes();
+  cfg.tenants = {{"a", 1, 1.0, 0}, {"b", 1, 1.0, 0}};
+  EXPECT_THROW(SamhitaRuntime{cfg}, util::ContractViolation);
+  cfg.address_space_bytes = 2 * cfg.line_bytes();  // one line each is legal
+  EXPECT_NO_THROW(SamhitaRuntime{cfg});
+}
+
 TEST(ConfigValidation, RejectsDegeneratePlatforms) {
   SamhitaConfig cfg;
   cfg.memory_servers = 0;

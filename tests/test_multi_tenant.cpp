@@ -1,0 +1,223 @@
+// Integration tests for the multi-tenant fabric: co-resident kernels stay
+// correct, every metric and trace event is attributable to exactly one
+// tenant (per-tenant sums reproduce the global totals), tenants cannot
+// allocate outside their address-space partition, and a single configured
+// tenant reproduces the plain single-job run.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/jacobi.hpp"
+#include "apps/md.hpp"
+#include "apps/microbench.hpp"
+#include "core/tenant_fabric.hpp"
+#include "mem/types.hpp"
+#include "obs/run_report.hpp"
+#include "sim/trace.hpp"
+
+namespace sam {
+namespace {
+
+core::SamhitaConfig three_tenant_config() {
+  core::SamhitaConfig cfg;
+  cfg.tenants = {{"jacobi", 4, 2.0, 0}, {"micro", 4, 1.0, 0}, {"md", 3, 1.0, 0}};
+  cfg.tenant_qos = core::TenantQos::kWfq;
+  return cfg;
+}
+
+apps::JacobiParams small_jacobi() {
+  apps::JacobiParams p;
+  p.threads = 4;
+  p.n = 32;
+  p.iterations = 3;
+  return p;
+}
+
+apps::MicrobenchParams small_micro() {
+  apps::MicrobenchParams p;
+  p.threads = 4;
+  p.N = 4;
+  p.M = 4;
+  p.S = 2;
+  p.B = 128;
+  p.alloc = apps::MicrobenchAlloc::kGlobal;
+  return p;
+}
+
+apps::MdParams small_md() {
+  apps::MdParams p;
+  p.threads = 3;
+  p.particles = 48;
+  p.steps = 2;
+  return p;
+}
+
+TEST(TenantFabric, CoResidentKernelsMatchSequentialReferences) {
+  core::TenantFabric fabric(three_tenant_config());
+  const auto jp = small_jacobi();
+  const auto mp = small_micro();
+  const auto dp = small_md();
+  apps::JacobiResult jr;
+  apps::MicrobenchResult mr;
+  apps::MdResult dr;
+  fabric.run({
+      [&](rt::Runtime& rt) { jr = apps::run_jacobi(rt, jp); },
+      [&](rt::Runtime& rt) { mr = apps::run_microbench(rt, mp); },
+      [&](rt::Runtime& rt) { dr = apps::run_md(rt, dp); },
+  });
+  const double jref = apps::jacobi_reference_residual(jp);
+  EXPECT_NEAR(jr.final_residual, jref, std::abs(jref) * 1e-9 + 1e-15);
+  const double gref = apps::microbench_reference_gsum(mp);
+  EXPECT_NEAR(mr.gsum, gref, std::abs(gref) * 1e-9 + 1e-15);
+  const apps::MdReference dref = apps::md_reference(dp);
+  EXPECT_NEAR(dr.potential, dref.potential, std::abs(dref.potential) * 1e-9 + 1e-15);
+  EXPECT_NEAR(dr.kinetic, dref.kinetic, std::abs(dref.kinetic) * 1e-9 + 1e-15);
+  // Each tenant's facade reports exactly its own thread count.
+  EXPECT_EQ(fabric.tenant_runtime(0).ran_threads(), 4u);
+  EXPECT_EQ(fabric.tenant_runtime(1).ran_threads(), 4u);
+  EXPECT_EQ(fabric.tenant_runtime(2).ran_threads(), 3u);
+}
+
+// The acceptance bar for attribution: folding the per-tenant registry
+// namespaces back together must reproduce the global totals exactly — no
+// event double-counted, none dropped.
+TEST(TenantFabric, PerTenantCountersSumToGlobalTotals) {
+  core::TenantFabric fabric(three_tenant_config());
+  const auto jp = small_jacobi();
+  const auto mp = small_micro();
+  const auto dp = small_md();
+  fabric.run({
+      [&](rt::Runtime& rt) { (void)apps::run_jacobi(rt, jp); },
+      [&](rt::Runtime& rt) { (void)apps::run_microbench(rt, mp); },
+      [&](rt::Runtime& rt) { (void)apps::run_md(rt, dp); },
+  });
+  const obs::Registry reg = obs::collect_registry(fabric.runtime());
+  for (const char* key : {"cache.hits", "cache.misses", "cache.invalidations",
+                          "regc.diffs_flushed", "bytes.fetched", "bytes.flushed"}) {
+    std::uint64_t tenant_sum = 0;
+    for (int t = 0; t < 3; ++t) {
+      tenant_sum += reg.counter("tenant." + std::to_string(t) + "." + key);
+    }
+    EXPECT_EQ(tenant_sum, reg.counter(key)) << key;
+  }
+  std::uint64_t threads = 0;
+  for (int t = 0; t < 3; ++t) {
+    threads += reg.counter("tenant." + std::to_string(t) + ".threads");
+  }
+  EXPECT_EQ(threads, fabric.runtime().ran_threads());
+}
+
+TEST(TenantFabric, TraceEventsAttributeToExactlyOneTenant) {
+  core::SamhitaConfig cfg = three_tenant_config();
+  cfg.trace_enabled = true;
+  core::TenantFabric fabric(cfg);
+  const auto jp = small_jacobi();
+  const auto mp = small_micro();
+  const auto dp = small_md();
+  fabric.run({
+      [&](rt::Runtime& rt) { (void)apps::run_jacobi(rt, jp); },
+      [&](rt::Runtime& rt) { (void)apps::run_microbench(rt, mp); },
+      [&](rt::Runtime& rt) { (void)apps::run_md(rt, dp); },
+  });
+  const core::SamhitaConfig& rc = fabric.runtime().config();
+  const sim::TraceBuffer& trace = fabric.runtime().trace();
+  std::vector<std::uint64_t> per_tenant(3, 0);
+  for (const sim::TraceEvent& e : trace.snapshot()) {
+    ASSERT_LT(e.tenant, 3u);
+    // Protocol events are recorded on the acting compute thread: the
+    // event's tenant must be the thread's owner.
+    EXPECT_EQ(e.tenant, rc.tenant_of_thread(e.thread));
+    ++per_tenant[e.tenant];
+  }
+  // Every tenant left a footprint, and the per-tenant counts partition the
+  // total (each event owned by exactly one tenant).
+  std::uint64_t total = 0;
+  for (int t = 0; t < 3; ++t) {
+    EXPECT_GT(per_tenant[t], 0u) << "tenant " << t << " recorded no events";
+    total += per_tenant[t];
+  }
+  EXPECT_EQ(total, trace.snapshot().size());
+}
+
+TEST(TenantFabric, RunReportCarriesPerTenantSections) {
+  core::TenantFabric fabric(three_tenant_config());
+  const auto jp = small_jacobi();
+  const auto mp = small_micro();
+  const auto dp = small_md();
+  fabric.run({
+      [&](rt::Runtime& rt) { (void)apps::run_jacobi(rt, jp); },
+      [&](rt::Runtime& rt) { (void)apps::run_microbench(rt, mp); },
+      [&](rt::Runtime& rt) { (void)apps::run_md(rt, dp); },
+  });
+  std::ostringstream out;
+  obs::write_run_report(fabric.runtime(), out, "multi-tenant test");
+  const std::string report = out.str();
+  EXPECT_NE(report.find("\"tenants\""), std::string::npos);
+  for (const char* name : {"\"jacobi\"", "\"micro\"", "\"md\""}) {
+    EXPECT_NE(report.find(name), std::string::npos) << name;
+  }
+  EXPECT_NE(report.find("\"qos\""), std::string::npos);
+  EXPECT_NE(report.find("\"wfq\""), std::string::npos);
+}
+
+TEST(TenantFabric, AllocationsStayInsideTenantPartition) {
+  core::SamhitaConfig cfg;
+  cfg.tenants = {{"a", 2, 1.0, 0}, {"b", 2, 1.0, 0}};
+  core::TenantFabric fabric(cfg);
+  const core::SamhitaConfig& rc = fabric.runtime().config();
+  const std::uint64_t part_bytes = rc.tenant_partition_pages() * mem::kPageSize;
+  std::vector<std::vector<rt::Addr>> addrs(2);
+  const auto driver = [&](int tenant) {
+    return [&, tenant](rt::Runtime& rt) {
+      rt.parallel_run(2, [&, tenant](rt::ThreadCtx& ctx) {
+        // Private, shared and large (striped-strategy) allocations all have
+        // to land inside the tenant's own partition.
+        addrs[tenant].push_back(ctx.alloc(64));
+        addrs[tenant].push_back(ctx.alloc_shared(4096));
+        if (ctx.index() == 0) addrs[tenant].push_back(ctx.alloc_shared(1 << 17));
+      });
+    };
+  };
+  fabric.run({driver(0), driver(1)});
+  for (int t = 0; t < 2; ++t) {
+    const std::uint64_t base = rc.tenant_base_page(t) * mem::kPageSize;
+    ASSERT_FALSE(addrs[t].empty());
+    for (const rt::Addr a : addrs[t]) {
+      EXPECT_GE(a, base) << "tenant " << t;
+      EXPECT_LT(a, base + part_bytes) << "tenant " << t;
+    }
+  }
+}
+
+// A universe configured with ONE tenant is the degenerate case: the tenant
+// owns the whole address space and every thread, so the run must reproduce
+// the plain (tenant-free) runtime exactly — same answer, same virtual-time
+// metrics.
+TEST(TenantFabric, SingleConfiguredTenantMatchesPlainRun) {
+  const auto jp = small_jacobi();
+  apps::JacobiResult plain;
+  {
+    core::SamhitaRuntime rt((core::SamhitaConfig()));
+    plain = apps::run_jacobi(rt, jp);
+  }
+  core::SamhitaConfig cfg;
+  cfg.tenants = {{"solo", 4, 1.0, 0}};
+  core::TenantFabric fabric(cfg);
+  apps::JacobiResult tenant;
+  fabric.run({[&](rt::Runtime& rt) { tenant = apps::run_jacobi(rt, jp); }});
+  EXPECT_EQ(tenant.final_residual, plain.final_residual);
+  EXPECT_DOUBLE_EQ(tenant.elapsed_seconds, plain.elapsed_seconds);
+  EXPECT_DOUBLE_EQ(tenant.mean_compute_seconds, plain.mean_compute_seconds);
+  EXPECT_DOUBLE_EQ(tenant.mean_sync_seconds, plain.mean_sync_seconds);
+}
+
+TEST(TenantFabric, RejectsDriverCountMismatch) {
+  core::TenantFabric fabric(three_tenant_config());
+  EXPECT_ANY_THROW(fabric.run({[](rt::Runtime&) {}}));
+}
+
+}  // namespace
+}  // namespace sam

@@ -1,5 +1,7 @@
-// Unit tests for FIFO service resources.
+// Unit tests for FIFO and weighted-fair service resources.
 #include <gtest/gtest.h>
+
+#include <vector>
 
 #include "sim/resource.hpp"
 
@@ -31,6 +33,147 @@ TEST(Resource, ResetClearsState) {
   EXPECT_EQ(r.next_free(), 0u);
   EXPECT_EQ(r.request_count(), 0u);
   EXPECT_EQ(r.serve(0, 5), 5u);
+}
+
+TEST(Resource, UtilizationAndWaitAccounting) {
+  Resource r("srv");
+  r.serve(0, 10);    // busy [0,10)
+  r.serve(20, 30);   // busy [20,50)
+  r.serve(20, 10);   // queued: starts at 50, waits 30ns
+  EXPECT_EQ(r.busy_time(), 50u);
+  EXPECT_EQ(r.request_count(), 3u);
+  EXPECT_DOUBLE_EQ(r.mean_wait_seconds(), (30e-9) / 3.0);
+}
+
+// --- weighted-fair QoS mode ------------------------------------------------
+
+TEST(ResourceQos, SoloTenantDegeneratesToFifo) {
+  Resource fifo("fifo");
+  Resource wfq("wfq");
+  wfq.enable_qos({{1.0, 0}});
+  const std::vector<std::pair<SimTime, SimDuration>> load = {
+      {0, 10}, {0, 10}, {5, 3}, {40, 7}, {40, 7}, {41, 1}};
+  for (const auto& [a, s] : load) {
+    EXPECT_EQ(wfq.serve_as(0, a, s), fifo.serve(a, s));
+  }
+  EXPECT_EQ(wfq.busy_time(), fifo.busy_time());
+  EXPECT_DOUBLE_EQ(wfq.mean_wait_seconds(), fifo.mean_wait_seconds());
+}
+
+TEST(ResourceQos, EqualWeightsInterleaveFairly) {
+  Resource r("srv");
+  r.enable_qos({{1.0, 0}, {1.0, 0}});
+  // Both tenants burst at t=0. Each booking advances its owner's virtual
+  // clock by service/share = 2*service, so the two tenants' bookings
+  // interleave instead of one monopolizing the head of the queue.
+  EXPECT_EQ(r.serve_as(0, 0, 10), 10u);   // t0 books [0,10)
+  EXPECT_EQ(r.serve_as(1, 0, 10), 20u);   // t1 gated to 10, books [10,20)
+  EXPECT_EQ(r.serve_as(0, 0, 10), 30u);   // t0's clock at 20
+  EXPECT_EQ(r.serve_as(1, 0, 10), 40u);   // t1's clock at 20 -> first fit 30
+  EXPECT_EQ(r.tenant_stats(0).requests, 2u);
+  EXPECT_EQ(r.tenant_stats(1).requests, 2u);
+  EXPECT_EQ(r.tenant_stats(0).busy, 20u);
+  EXPECT_EQ(r.tenant_stats(1).busy, 20u);
+}
+
+TEST(ResourceQos, SoloActiveTenantRunsAtFullSpeed) {
+  Resource r("srv");
+  r.enable_qos({{3.0, 0}, {1.0, 0}});  // t0 heavy-weight, t1 light
+  // Share is computed over *active* tenants only, so even the light tenant
+  // books back-to-back while it has the station to itself — weights cap
+  // nobody's use of idle capacity.
+  EXPECT_EQ(r.serve_as(1, 0, 10), 10u);
+  EXPECT_EQ(r.serve_as(1, 0, 10), 20u);
+}
+
+TEST(ResourceQos, HeavyTenantClaimsGapsLeftByPacedLightTenant) {
+  Resource r("srv");
+  r.enable_qos({{3.0, 0}, {1.0, 0}});  // t0 heavy-weight, t1 light
+  // One heavy-tenant booking makes t0 active (virtual clock ahead), so the
+  // light tenant's burst is paced at share 1/4: each booking advances its
+  // clock by 4x service, spreading its bookings out in real time.
+  EXPECT_EQ(r.serve_as(0, 0, 10), 10u);   // t0 books [0,10), clock -> 10
+  EXPECT_EQ(r.serve_as(1, 0, 10), 20u);   // t1 books [10,20), clock -> 40
+  EXPECT_EQ(r.serve_as(1, 0, 10), 50u);   // gated to 40: books [40,50)
+  // The heavy tenant's next arrival lands in the reserved gap [20,40)
+  // instead of queueing behind the light tenant's whole burst.
+  EXPECT_EQ(r.serve_as(0, 12, 10), 30u);  // books [20,30), waits 8 not 38
+  // And nothing is lost: per-tenant totals still add up to the station's.
+  EXPECT_EQ(r.tenant_stats(0).busy + r.tenant_stats(1).busy, r.busy_time());
+  EXPECT_EQ(r.tenant_stats(0).requests + r.tenant_stats(1).requests,
+            r.request_count());
+}
+
+TEST(ResourceQos, StarvationBoundedWhileVictimIsActive) {
+  Resource r("srv");
+  r.enable_qos({{1.0, 0}, {1.0, 0}});
+  // The victim t1 is active (one booking in flight) when the aggressor t0
+  // bursts: t0 is paced at share 1/2, leaving every other service quantum
+  // free. t1's next arrival claims the first gap — its wait is bounded by
+  // ~a service quantum, never the aggressor's whole backlog.
+  EXPECT_EQ(r.serve_as(1, 0, 10), 10u);
+  for (int i = 0; i < 8; ++i) r.serve_as(0, 0, 10);  // paced: [10,20),[20,30),[40,50),...
+  const SimTime done = r.serve_as(1, 25, 10);
+  EXPECT_EQ(done, 40u);  // books [30,40): overtakes t0's paced-out backlog
+  EXPECT_GT(r.next_free(), 100u);  // t0's last booking really is far out
+}
+
+TEST(ResourceQos, IdleTenantClockSnapsBack) {
+  Resource r("srv");
+  r.enable_qos({{1.0, 0}, {1.0, 0}});
+  r.serve_as(0, 0, 10);
+  r.serve_as(0, 0, 10);  // t0's clock far ahead of real time
+  // After a long idle stretch t0 is served at arrival again: history is not
+  // held against a tenant that stopped requesting.
+  EXPECT_EQ(r.serve_as(0, 1000, 10), 1010u);
+}
+
+TEST(ResourceQos, AdmissionCapGatesOutstandingRequests) {
+  Resource r("srv");
+  r.enable_qos({{1.0, 1}});  // cap: one outstanding booking
+  EXPECT_EQ(r.serve_as(0, 0, 10), 10u);
+  // Second concurrent request is not eligible until the first completes.
+  EXPECT_EQ(r.serve_as(0, 0, 10), 20u);
+  EXPECT_EQ(r.tenant_stats(0).admission_stalls, 1u);
+  EXPECT_GT(r.tenant_stats(0).admission_wait_seconds, 0.0);
+  EXPECT_EQ(r.tenant_stats(0).peak_outstanding, 2u);
+  // A request arriving after completion is admitted without a stall.
+  EXPECT_EQ(r.serve_as(0, 30, 10), 40u);
+  EXPECT_EQ(r.tenant_stats(0).admission_stalls, 1u);
+}
+
+TEST(ResourceQos, UncappedTenantNeverStalls) {
+  Resource r("srv");
+  r.enable_qos({{1.0, 0}});
+  for (int i = 0; i < 16; ++i) r.serve_as(0, 0, 5);
+  EXPECT_EQ(r.tenant_stats(0).admission_stalls, 0u);
+  EXPECT_EQ(r.tenant_stats(0).peak_outstanding, 16u);
+}
+
+TEST(ResourceQos, RejectsInvalidConfiguration) {
+  Resource r("srv");
+  EXPECT_ANY_THROW(r.enable_qos({}));                // no tenants
+  EXPECT_ANY_THROW(r.enable_qos({{0.0, 0}}));        // zero weight
+  EXPECT_ANY_THROW(r.enable_qos({{-1.0, 0}}));       // negative weight
+  Resource used("used");
+  used.serve(0, 10);
+  EXPECT_ANY_THROW(used.enable_qos({{1.0, 0}}));     // after first request
+  Resource ok("ok");
+  ok.enable_qos({{1.0, 0}});
+  EXPECT_ANY_THROW(ok.serve_as(1, 0, 10));           // tenant out of range
+}
+
+TEST(ResourceQos, ResetPreservesSharesClearsAccounting) {
+  Resource r("srv");
+  r.enable_qos({{2.0, 1}, {1.0, 0}});
+  r.serve_as(0, 0, 10);
+  r.serve_as(0, 0, 10);
+  r.reset();
+  EXPECT_TRUE(r.qos_enabled());
+  EXPECT_EQ(r.qos_tenant_count(), 2u);
+  EXPECT_EQ(r.tenant_stats(0).requests, 0u);
+  EXPECT_EQ(r.tenant_stats(0).admission_stalls, 0u);
+  EXPECT_EQ(r.serve_as(0, 0, 10), 10u);  // virtual clocks rewound too
 }
 
 TEST(MultiResource, ParallelServers) {

@@ -19,7 +19,8 @@ BUILD_DIR="${1:-build}"
 if [[ ! -d "$BUILD_DIR" ]]; then
   cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 fi
-cmake --build "$BUILD_DIR" -j --target ablation_batching ablation_page_placement samhita_sim
+cmake --build "$BUILD_DIR" -j --target ablation_batching ablation_page_placement \
+  ablation_multi_tenant samhita_sim
 
 # Same invocation as the CI gate: the quick sweep, baseline written in place.
 "./$BUILD_DIR/bench/ablation_batching" --quick --write-baseline=BENCH_baseline.json \
@@ -33,6 +34,23 @@ python3 - <<'EOF'
 import json
 baseline = json.load(open("BENCH_baseline.json"))
 baseline.update(json.load(open("/tmp/placement_baseline.json")))
+with open("BENCH_baseline.json", "w") as out:
+    out.write("{\n")
+    out.write(",\n".join(f'  "{k}": {v:.9g}' for k, v in sorted(baseline.items())))
+    out.write("\n}\n")
+EOF
+
+# Multi-tenant interference series (multi_tenant_*): per-tenant slowdown and
+# p99 miss latency vs solo under FIFO vs weighted-fair QoS. Stale keys are
+# dropped before merging so renamed sweep points cannot linger. The CI
+# multi-tenant smoke job asserts WFQ still beats FIFO on the victim's p99.
+"./$BUILD_DIR/bench/ablation_multi_tenant" --quick \
+  --write-baseline=/tmp/multi_tenant_baseline.json > /dev/null
+python3 - <<'EOF'
+import json
+baseline = json.load(open("BENCH_baseline.json"))
+baseline = {k: v for k, v in baseline.items() if not k.startswith("multi_tenant_")}
+baseline.update(json.load(open("/tmp/multi_tenant_baseline.json")))
 with open("BENCH_baseline.json", "w") as out:
     out.write("{\n")
     out.write(",\n".join(f'  "{k}": {v:.9g}' for k, v in sorted(baseline.items())))

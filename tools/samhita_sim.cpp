@@ -43,9 +43,26 @@
 //   --perf-json=<path>    tiny JSON with thread_resumes, event_callbacks,
 //                         sim_wall_seconds and sim_events_per_sec; consumed
 //                         by the CI perf-smoke gate and tools/regen_baseline.sh
+//
+// Multi-tenant mode (docs/architecture.md "Multi-tenant fabric & QoS"):
+//   --tenants=jacobi,micro,md     co-run one workload per tenant on ONE
+//                                 shared instance (any of the workload names)
+//   --tenant-threads=4,8,4        per-tenant thread counts (default: 4 each)
+//   --tenant-weights=2,1,1        WFQ service weights (default: 1.0 each)
+//   --admission-limit=0,2,0       per-tenant outstanding-request caps at each
+//                                 service station; 0 = uncapped (default)
+//   --tenant-qos=fifo|wfq         cross-tenant service discipline (default wfq)
+// Workload size flags (--n, --M, --particles, ...) apply to every tenant
+// running that workload; observability flags cover the whole universe with
+// per-tenant report sections and trace tracks.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "apps/bfs.hpp"
 #include "apps/jacobi.hpp"
@@ -54,6 +71,7 @@
 #include "apps/microbench.hpp"
 #include "core/report.hpp"
 #include "core/samhita_runtime.hpp"
+#include "core/tenant_fabric.hpp"
 #include "obs/critical_path.hpp"
 #include "obs/profiler.hpp"
 #include "obs/run_report.hpp"
@@ -143,10 +161,10 @@ std::size_t critical_path_top_n(const util::ArgParser& args) {
   return static_cast<std::size_t>(args.get_int("critical-path", 5));
 }
 
-int run_workload(const util::ArgParser& args, core::SamhitaRuntime& runtime) {
-  const std::string workload = args.get_string("workload", "micro");
-  const auto threads = static_cast<std::uint32_t>(args.get_int("threads", 8));
-
+int run_workload(const util::ArgParser& args, rt::Runtime& runtime,
+                 const std::string& workload, std::uint32_t threads,
+                 const std::string& prefix = "") {
+  const char* pre = prefix.c_str();
   if (workload == "micro") {
     apps::MicrobenchParams p;
     p.threads = threads;
@@ -156,8 +174,8 @@ int run_workload(const util::ArgParser& args, core::SamhitaRuntime& runtime) {
     p.B = static_cast<int>(args.get_int("B", 256));
     p.alloc = apps::microbench_alloc_from_string(args.get_string("alloc", "local"));
     const auto r = apps::run_microbench(runtime, p);
-    std::printf("micro(%s): gsum=%.6g compute=%.3fms sync=%.3fms elapsed=%.3fms\n",
-                apps::to_string(p.alloc), r.gsum, r.mean_compute_seconds * 1e3,
+    std::printf("%smicro(%s): gsum=%.6g compute=%.3fms sync=%.3fms elapsed=%.3fms\n",
+                pre, apps::to_string(p.alloc), r.gsum, r.mean_compute_seconds * 1e3,
                 r.mean_sync_seconds * 1e3, r.elapsed_seconds * 1e3);
     return 0;
   }
@@ -167,7 +185,7 @@ int run_workload(const util::ArgParser& args, core::SamhitaRuntime& runtime) {
     p.n = static_cast<std::uint32_t>(args.get_int("n", 256));
     p.iterations = static_cast<std::uint32_t>(args.get_int("iters", 20));
     const auto r = apps::run_jacobi(runtime, p);
-    std::printf("jacobi(%ux%u): residual=%.9g elapsed=%.3fms\n", p.n, p.n,
+    std::printf("%sjacobi(%ux%u): residual=%.9g elapsed=%.3fms\n", pre, p.n, p.n,
                 r.final_residual, r.elapsed_seconds * 1e3);
     return 0;
   }
@@ -177,8 +195,8 @@ int run_workload(const util::ArgParser& args, core::SamhitaRuntime& runtime) {
     p.particles = static_cast<std::uint32_t>(args.get_int("particles", 512));
     p.steps = static_cast<std::uint32_t>(args.get_int("steps", 4));
     const auto r = apps::run_md(runtime, p);
-    std::printf("md(%u particles): potential=%.6g kinetic=%.6g elapsed=%.3fms\n",
-                p.particles, r.potential, r.kinetic, r.elapsed_seconds * 1e3);
+    std::printf("%smd(%u particles): potential=%.6g kinetic=%.6g elapsed=%.3fms\n",
+                pre, p.particles, r.potential, r.kinetic, r.elapsed_seconds * 1e3);
     return 0;
   }
   if (workload == "matmul") {
@@ -186,7 +204,7 @@ int run_workload(const util::ArgParser& args, core::SamhitaRuntime& runtime) {
     p.threads = threads;
     p.n = static_cast<std::uint32_t>(args.get_int("n", 128));
     const auto r = apps::run_matmul(runtime, p);
-    std::printf("matmul(%ux%u): checksum=%.6f elapsed=%.3fms\n", p.n, p.n, r.checksum,
+    std::printf("%smatmul(%ux%u): checksum=%.6f elapsed=%.3fms\n", pre, p.n, p.n, r.checksum,
                 r.elapsed_seconds * 1e3);
     return 0;
   }
@@ -197,7 +215,7 @@ int run_workload(const util::ArgParser& args, core::SamhitaRuntime& runtime) {
     p.avg_degree = static_cast<std::uint32_t>(args.get_int("degree", 8));
     p.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
     const auto r = apps::run_bfs(runtime, p);
-    std::printf("bfs(%u vertices): reached=%llu levels=%u elapsed=%.3fms\n", p.vertices,
+    std::printf("%sbfs(%u vertices): reached=%llu levels=%u elapsed=%.3fms\n", pre, p.vertices,
                 static_cast<unsigned long long>(r.reached), r.levels,
                 r.elapsed_seconds * 1e3);
     return 0;
@@ -205,6 +223,66 @@ int run_workload(const util::ArgParser& args, core::SamhitaRuntime& runtime) {
   std::fprintf(stderr, "unknown --workload=%s (want micro|jacobi|md|matmul|bfs)\n",
                workload.c_str());
   return 2;
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream in(s);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+/// --tenants=...: fills cfg.tenants / cfg.tenant_qos from the per-tenant CSV
+/// flags. Tenant i runs the i-th listed workload.
+void add_tenants_from_args(const util::ArgParser& args, core::SamhitaConfig& cfg) {
+  const std::vector<std::string> workloads = split_csv(args.get_string("tenants", ""));
+  SAM_EXPECT(!workloads.empty(), "--tenants wants a comma-separated workload list");
+  const std::vector<std::string> threads = split_csv(args.get_string("tenant-threads", ""));
+  const std::vector<std::string> weights = split_csv(args.get_string("tenant-weights", ""));
+  const std::vector<std::string> caps = split_csv(args.get_string("admission-limit", ""));
+  SAM_EXPECT(threads.empty() || threads.size() == workloads.size(),
+             "--tenant-threads wants one entry per tenant");
+  SAM_EXPECT(weights.empty() || weights.size() == workloads.size(),
+             "--tenant-weights wants one entry per tenant");
+  SAM_EXPECT(caps.empty() || caps.size() == workloads.size(),
+             "--admission-limit wants one entry per tenant");
+  cfg.tenant_qos =
+      core::tenant_qos_from_string(args.get_string("tenant-qos", "wfq"));
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    core::TenantSpec spec;
+    // Duplicate workloads get distinct names so report sections stay unique.
+    spec.name = workloads[i] + "." + std::to_string(i);
+    spec.threads = threads.empty()
+                       ? 4u
+                       : static_cast<std::uint32_t>(std::stoul(threads[i]));
+    spec.weight = weights.empty() ? 1.0 : std::stod(weights[i]);
+    spec.admission_limit =
+        caps.empty() ? 0u : static_cast<std::uint32_t>(std::stoul(caps[i]));
+    cfg.tenants.push_back(spec);
+  }
+}
+
+/// Co-runs one workload per configured tenant on the fabric's shared
+/// instance; each result line is prefixed "tenant <i> <name>: ".
+int run_multi_tenant(const util::ArgParser& args, core::TenantFabric& fabric) {
+  const std::vector<core::TenantSpec>& specs = fabric.runtime().config().tenants;
+  const std::vector<std::string> workloads = split_csv(args.get_string("tenants", ""));
+  std::vector<int> rcs(workloads.size(), 0);
+  std::vector<core::TenantFabric::Driver> drivers;
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    drivers.push_back([&, i](rt::Runtime& rt) {
+      rcs[i] = run_workload(args, rt, workloads[i], specs[i].threads,
+                            "tenant " + std::to_string(i) + " ");
+    });
+  }
+  fabric.run(std::move(drivers));
+  for (const int rc : rcs) {
+    if (rc != 0) return rc;
+  }
+  return 0;
 }
 
 }  // namespace
@@ -215,12 +293,31 @@ int main(int argc, char** argv) {
     util::ArgParser args(argc, argv);
     if (args.has("help")) {
       std::printf("usage: %s --workload=micro|jacobi|md|matmul|bfs [options]\n"
+                  "       %s --tenants=<w1,w2,...> [--tenant-threads=...] "
+                  "[--tenant-weights=...] [--admission-limit=...] "
+                  "[--tenant-qos=fifo|wfq] [options]\n"
                   "see the header of tools/samhita_sim.cpp for the full flag list\n",
-                  argv[0]);
+                  argv[0], argv[0]);
       return 0;
     }
-    core::SamhitaRuntime runtime(config_from_args(args));
-    const int rc = run_workload(args, runtime);
+    core::SamhitaConfig cfg = config_from_args(args);
+    const bool multi_tenant = args.has("tenants");
+    if (multi_tenant) add_tenants_from_args(args, cfg);
+    // Both modes share one underlying instance: the observability tail below
+    // reads whichever runtime actually ran.
+    std::unique_ptr<core::TenantFabric> fabric;
+    std::unique_ptr<core::SamhitaRuntime> solo;
+    if (multi_tenant) {
+      fabric = std::make_unique<core::TenantFabric>(std::move(cfg));
+    } else {
+      solo = std::make_unique<core::SamhitaRuntime>(std::move(cfg));
+    }
+    core::SamhitaRuntime& runtime = multi_tenant ? fabric->runtime() : *solo;
+    const int rc =
+        multi_tenant
+            ? run_multi_tenant(args, *fabric)
+            : run_workload(args, *solo, args.get_string("workload", "micro"),
+                           static_cast<std::uint32_t>(args.get_int("threads", 8)));
     if (rc != 0) return rc;
 
     std::printf("\n%s", core::format_report(runtime).c_str());
@@ -282,8 +379,10 @@ int main(int argc, char** argv) {
       const std::string path = args.get_string("json-report", "run.json");
       std::ofstream out(path);
       SAM_EXPECT(out.is_open(), "cannot open report output: " + path);
-      obs::write_run_report(runtime, out, args.get_string("workload", "micro"),
-                            profile_top_n(args));
+      obs::write_run_report(
+          runtime, out,
+          multi_tenant ? "multi-tenant" : args.get_string("workload", "micro"),
+          profile_top_n(args));
       std::printf("\njson-report: schema v%d -> %s\n", obs::kRunReportSchemaVersion,
                   path.c_str());
     }
