@@ -1,0 +1,145 @@
+// KV serving figure: open-loop Zipfian load sweep, tail latency vs offered
+// rate.
+//
+// The partitioned KV store (apps/kvstore) runs one open-loop rate sweep on
+// the simulated Samhita DSM: multipliers of the base arrival rate, Poisson
+// arrivals in virtual time, Zipfian keys, bounded client queues. Below the
+// saturation knee achieved throughput tracks offered and the tail is flat;
+// past it throughput plateaus and p99.9 grows with the backlog — the classic
+// open-loop hockey stick, in virtual time, so every number is deterministic.
+//
+// The x1 point also runs on the Pthreads baseline, and both backends are
+// asserted against the sequential reference checksum: the figure doubles as
+// a cross-backend correctness check.
+//
+// --write-baseline=<path> writes the kv_* series BENCH_baseline.json tracks:
+//   kv_throughput_ops_per_sec   saturation throughput (peak achieved rate)
+//   kv_p999_latency_ns          p99.9 latency at the x1 (base-rate) point
+//   kv_saturation_rate_ops_per_sec  largest offered rate served at >= 95%
+// (informational series; deliberately NOT *_compute_seconds, which the 5%
+// compute gate reserves).
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "apps/kvstore.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace sam;
+
+apps::KvParams make_params(bool quick) {
+  apps::KvParams p;
+  p.partitions = 4;
+  p.clients = 4;
+  p.keys = quick ? 512 : 2048;
+  p.ops = quick ? 800 : 4000;
+  p.arrival_rate = 5.0e4;  // base rate; the sweep multiplies this
+  p.zipf_theta = 0.99;
+  p.read_ratio = 0.95;
+  p.value_bytes = 128;
+  p.seed = 1;
+  return p;
+}
+
+struct Point {
+  double multiplier;
+  apps::KvResult result;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sam;
+  const auto opt = bench::BenchOptions::parse(argc, argv);
+  util::ArgParser args(argc, argv);
+  const std::string baseline_path = args.get_string("write-baseline", "");
+  auto csv = bench::make_csv(opt);
+
+  std::cout << "# fig_kv_serving: open-loop Zipfian KV sweep, tail latency vs "
+               "offered rate\n";
+  csv->header({"figure", "backend", "rate_multiplier", "offered_ops_per_sec",
+               "achieved_ops_per_sec", "ops", "gets", "puts", "scans", "mean_ns",
+               "p50_ns", "p99_ns", "p999_ns", "max_ns", "elapsed_seconds"});
+
+  const apps::KvParams base = make_params(opt.quick);
+  const std::uint64_t reference = apps::kvstore_reference_checksum(base);
+  // The last multiplier sits well past the knee on the default topology, so
+  // every sweep shows the plateau (peak achieved = saturation throughput).
+  std::vector<double> multipliers = {0.25, 0.5, 1.0, 2.0, 4.0, 8.0};
+  if (opt.quick) multipliers = {0.5, 1.0, 2.0, 8.0};
+
+  const auto emit = [&](const char* backend, double mult,
+                        const apps::KvResult& r) {
+    csv->raw_row({"fig_kv", backend, std::to_string(mult),
+                  std::to_string(r.offered_rate), std::to_string(r.achieved_rate),
+                  std::to_string(r.ops_completed), std::to_string(r.gets),
+                  std::to_string(r.puts), std::to_string(r.scans),
+                  std::to_string(r.mean_ns), std::to_string(r.p50_ns),
+                  std::to_string(r.p99_ns), std::to_string(r.p999_ns),
+                  std::to_string(r.max_ns), std::to_string(r.elapsed_seconds)});
+  };
+
+  std::vector<Point> points;
+  double saturation_rate = 0.0;
+  double peak_achieved = 0.0;
+  double p999_at_base = 0.0;
+  for (const double mult : multipliers) {
+    apps::KvParams p = base;
+    p.arrival_rate = base.arrival_rate * mult;
+    core::SamhitaRuntime rt{core::SamhitaConfig{}};
+    const apps::KvResult r = apps::run_kvstore(rt, p);
+    SAM_EXPECT(r.value_checksum == reference,
+               "kvstore checksum diverged from the sequential reference (smh)");
+    emit("smh", mult, r);
+    if (r.achieved_rate >= 0.95 * r.offered_rate) {
+      saturation_rate = std::max(saturation_rate, r.offered_rate);
+    }
+    peak_achieved = std::max(peak_achieved, r.achieved_rate);
+    if (mult == 1.0) p999_at_base = r.p999_ns;
+    if (bench::BenchReportSink::instance().enabled()) {
+      bench::BenchReportSink::instance().add(
+          rt, "kv_serving x" + std::to_string(mult));
+    }
+    points.push_back({mult, r});
+  }
+
+  // Cross-backend check: the x1 point on the Pthreads baseline must land on
+  // the same final table (puts are commutative per key; each key has exactly
+  // one writing server).
+  {
+    smp::SmpRuntime rt;
+    const apps::KvResult r = apps::run_kvstore(rt, base);
+    SAM_EXPECT(r.value_checksum == reference,
+               "kvstore checksum diverged from the sequential reference (pth)");
+    emit("pth", 1.0, r);
+  }
+
+  std::printf("# saturation knee %.4g ops/s, peak achieved %.4g ops/s, "
+              "p999@x1 %.4g ns\n",
+              saturation_rate, peak_achieved, p999_at_base);
+
+  if (!baseline_path.empty()) {
+    std::ofstream out(baseline_path);
+    SAM_EXPECT(out.is_open(), "cannot open baseline output: " + baseline_path);
+    const struct {
+      const char* key;
+      double value;
+    } series[] = {{"kv_throughput_ops_per_sec", peak_achieved},
+                  {"kv_p999_latency_ns", p999_at_base},
+                  {"kv_saturation_rate_ops_per_sec", saturation_rate}};
+    out << "{\n";
+    bool first = true;
+    for (const auto& s : series) {
+      if (!first) out << ",\n";
+      first = false;
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.9g", s.value);
+      out << "  \"" << s.key << "\": " << buf;
+    }
+    out << "\n}\n";
+  }
+  return 0;
+}

@@ -2,111 +2,115 @@
 // global address space, coordinated with Samhita mutexes and condition
 // variables. Exercises the full RegC consistency-region machinery — every
 // queue operation's stores travel as fine-grain update sets with the lock.
+// Written entirely against the sam::api facade.
 //
 // Usage: ./build/examples/producer_consumer [--items=200] [--capacity=8]
 //                                           [--producers=2] [--consumers=2]
 #include <cstdio>
+#include <memory>
 #include <vector>
 
-#include "core/samhita_runtime.hpp"
+#include "api/sam_api.hpp"
 #include "util/arg_parser.hpp"
 
 namespace {
 
-using namespace sam;
+using namespace sam::api;
 
 /// Ring-buffer layout in the global address space (all doubles for
 /// simplicity: head, tail, count, then the slots).
 struct Queue {
-  rt::Addr base = 0;
+  Addr base = 0;
   std::size_t capacity = 0;
 
-  rt::Addr head() const { return base; }
-  rt::Addr tail() const { return base + 8; }
-  rt::Addr count() const { return base + 16; }
-  rt::Addr slot(std::uint64_t i) const { return base + 24 + (i % capacity) * 8; }
+  Addr head() const { return base; }
+  Addr tail() const { return base + 8; }
+  Addr count() const { return base + 16; }
+  Addr slot(std::uint64_t i) const { return base + 24 + (i % capacity) * 8; }
 };
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  util::ArgParser args(argc, argv);
+  sam::util::ArgParser args(argc, argv);
   const std::int64_t items = args.get_int("items", 200);
   const std::size_t capacity = static_cast<std::size_t>(args.get_int("capacity", 8));
-  const std::uint32_t producers = static_cast<std::uint32_t>(args.get_int("producers", 2));
-  const std::uint32_t consumers = static_cast<std::uint32_t>(args.get_int("consumers", 2));
+  const std::uint32_t producers =
+      static_cast<std::uint32_t>(args.get_int("producers", 2));
+  const std::uint32_t consumers =
+      static_cast<std::uint32_t>(args.get_int("consumers", 2));
   const std::uint32_t threads = producers + consumers;
 
   std::printf("producer/consumer: %lld items, capacity %zu, %u producers, %u consumers\n",
               static_cast<long long>(items), capacity, producers, consumers);
 
-  core::SamhitaRuntime runtime;
-  const auto mtx = runtime.create_mutex();
-  const auto not_full = runtime.create_cond();
-  const auto not_empty = runtime.create_cond();
-  const auto bar = runtime.create_barrier(threads);
+  auto runtime = make_samhita_runtime();
+  const MutexId mtx = sam_mutex_init(*runtime);
+  const CondId not_full = sam_cond_init(*runtime);
+  const CondId not_empty = sam_cond_init(*runtime);
+  const BarrierId bar = sam_barrier_init(*runtime, threads);
 
   Queue q;
   q.capacity = capacity;
   double consumed_sum = 0;
   std::int64_t consumed_count = 0;
 
-  runtime.parallel_run(threads, [&](rt::ThreadCtx& ctx) {
-    const bool producer = ctx.index() < producers;
-    if (ctx.index() == 0) {
-      q.base = ctx.alloc_shared(24 + capacity * 8);
-      ctx.write<double>(q.head(), 0);
-      ctx.write<double>(q.tail(), 0);
-      ctx.write<double>(q.count(), 0);
+  sam_threads(*runtime, threads, [&](ThreadCtx& ctx) {
+    const bool producer = sam_thread_index(ctx) < producers;
+    if (sam_thread_index(ctx) == 0) {
+      q.base = sam_alloc_shared(ctx, 24 + capacity * 8);
+      sam_write<double>(ctx, q.head(), 0);
+      sam_write<double>(ctx, q.tail(), 0);
+      sam_write<double>(ctx, q.count(), 0);
     }
-    ctx.barrier(bar);
-    ctx.begin_measurement();
+    sam_barrier(ctx, bar);
+    sam_begin_measurement(ctx);
 
     if (producer) {
       // Producers split the item range; item values are 1..items.
-      for (std::int64_t v = ctx.index() + 1; v <= items; v += producers) {
-        ctx.lock(mtx);
-        while (ctx.read<double>(q.count()) >= static_cast<double>(capacity)) {
-          ctx.cond_wait(not_full, mtx);
+      for (std::int64_t v = sam_thread_index(ctx) + 1; v <= items; v += producers) {
+        sam_lock(ctx, mtx);
+        while (sam_read<double>(ctx, q.count()) >= static_cast<double>(capacity)) {
+          sam_cond_wait(ctx, not_full, mtx);
         }
-        const auto tail = static_cast<std::uint64_t>(ctx.read<double>(q.tail()));
-        ctx.write<double>(q.slot(tail), static_cast<double>(v));
-        ctx.write<double>(q.tail(), static_cast<double>(tail + 1));
-        ctx.write<double>(q.count(), ctx.read<double>(q.count()) + 1);
-        ctx.cond_signal(not_empty);
-        ctx.unlock(mtx);
+        const auto tail = static_cast<std::uint64_t>(sam_read<double>(ctx, q.tail()));
+        sam_write<double>(ctx, q.slot(tail), static_cast<double>(v));
+        sam_write<double>(ctx, q.tail(), static_cast<double>(tail + 1));
+        sam_write<double>(ctx, q.count(), sam_read<double>(ctx, q.count()) + 1);
+        sam_cond_signal(ctx, not_empty);
+        sam_unlock(ctx, mtx);
       }
       // One poison pill per consumer, from producer 0.
-      if (ctx.index() == 0) {
+      if (sam_thread_index(ctx) == 0) {
         for (std::uint32_t c = 0; c < consumers; ++c) {
-          ctx.lock(mtx);
-          while (ctx.read<double>(q.count()) >= static_cast<double>(capacity)) {
-            ctx.cond_wait(not_full, mtx);
+          sam_lock(ctx, mtx);
+          while (sam_read<double>(ctx, q.count()) >= static_cast<double>(capacity)) {
+            sam_cond_wait(ctx, not_full, mtx);
           }
-          const auto tail = static_cast<std::uint64_t>(ctx.read<double>(q.tail()));
-          ctx.write<double>(q.slot(tail), -1.0);
-          ctx.write<double>(q.tail(), static_cast<double>(tail + 1));
-          ctx.write<double>(q.count(), ctx.read<double>(q.count()) + 1);
-          ctx.cond_signal(not_empty);
-          ctx.unlock(mtx);
+          const auto tail = static_cast<std::uint64_t>(sam_read<double>(ctx, q.tail()));
+          sam_write<double>(ctx, q.slot(tail), -1.0);
+          sam_write<double>(ctx, q.tail(), static_cast<double>(tail + 1));
+          sam_write<double>(ctx, q.count(), sam_read<double>(ctx, q.count()) + 1);
+          sam_cond_signal(ctx, not_empty);
+          sam_unlock(ctx, mtx);
         }
       }
     } else {
       for (;;) {
-        ctx.lock(mtx);
-        while (ctx.read<double>(q.count()) == 0.0) {
-          ctx.cond_wait(not_empty, mtx);
+        sam_lock(ctx, mtx);
+        while (sam_read<double>(ctx, q.count()) == 0.0) {
+          sam_cond_wait(ctx, not_empty, mtx);
         }
-        const auto head = static_cast<std::uint64_t>(ctx.read<double>(q.head()));
-        const double v = ctx.read<double>(q.slot(head));
-        ctx.write<double>(q.head(), static_cast<double>(head + 1));
-        ctx.write<double>(q.count(), ctx.read<double>(q.count()) - 1);
-        ctx.cond_signal(not_full);
-        ctx.unlock(mtx);
+        const auto head = static_cast<std::uint64_t>(sam_read<double>(ctx, q.head()));
+        const double v = sam_read<double>(ctx, q.slot(head));
+        sam_write<double>(ctx, q.head(), static_cast<double>(head + 1));
+        sam_write<double>(ctx, q.count(), sam_read<double>(ctx, q.count()) - 1);
+        sam_cond_signal(ctx, not_full);
+        sam_unlock(ctx, mtx);
         if (v < 0) break;  // poison pill
         consumed_sum += v;
         ++consumed_count;
-        ctx.charge_flops(50);  // pretend to process the item
+        sam_charge_flops(ctx, 50);  // pretend to process the item
       }
     }
   });
@@ -114,7 +118,7 @@ int main(int argc, char** argv) {
   const double expect = static_cast<double>(items) * (items + 1) / 2.0;
   std::printf("consumed %lld items, sum %.0f (expected %.0f)\n",
               static_cast<long long>(consumed_count), consumed_sum, expect);
-  std::printf("virtual elapsed: %.3f ms\n", runtime.elapsed_seconds() * 1e3);
+  std::printf("virtual elapsed: %.3f ms\n", sam_elapsed_seconds(*runtime) * 1e3);
   const bool ok = consumed_count == items && consumed_sum == expect;
   std::printf("verification: %s\n", ok ? "OK" : "MISMATCH");
   return ok ? 0 : 1;

@@ -12,7 +12,6 @@
 #include <memory>
 
 #include "api/sam_api.hpp"
-#include "rt/span_util.hpp"
 
 namespace {
 
@@ -28,8 +27,8 @@ struct Shared {
 
 /// The portable parallel region: identical on Samhita and Pthreads.
 void body(ThreadCtx& ctx, Shared& sh, MutexId mtx, BarrierId bar) {
-  const std::uint32_t me = ctx.index();
-  const std::size_t chunk = kElems / ctx.nthreads();
+  const std::uint32_t me = sam_thread_index(ctx);
+  const std::size_t chunk = kElems / sam_nthreads(ctx);
   const std::size_t lo = me * chunk;
 
   if (me == 0) {
@@ -39,20 +38,19 @@ void body(ThreadCtx& ctx, Shared& sh, MutexId mtx, BarrierId bar) {
   }
   sam_barrier(ctx, bar);  // publish the allocations
 
-  ctx.begin_measurement();
+  sam_begin_measurement(ctx);
   // Each thread fills its slice of the shared array (ordinary region:
   // page-granularity consistency via twins/diffs at the barrier).
   double local = 0.0;
-  sam::rt::for_each_write_span<double>(
-      ctx, sh.data + lo * sizeof(double), chunk,
-      [&](std::span<double> out, std::size_t at) {
-        for (std::size_t i = 0; i < out.size(); ++i) {
-          out[i] = static_cast<double>(lo + at + i);
-          local += out[i];
-        }
-      });
-  ctx.charge_flops(static_cast<double>(chunk));
-  ctx.charge_mem_ops(0, chunk);
+  sam_for_each_write<double>(ctx, sh.data + lo * sizeof(double), chunk,
+                             [&](std::span<double> out, std::size_t at) {
+                               for (std::size_t i = 0; i < out.size(); ++i) {
+                                 out[i] = static_cast<double>(lo + at + i);
+                                 local += out[i];
+                               }
+                             });
+  sam_charge_flops(ctx, static_cast<double>(chunk));
+  sam_charge_mem_ops(ctx, 0, chunk);
 
   // Mutex-protected accumulation (consistency region: the stores are
   // propagated fine-grain with the lock, RegC-style).
@@ -61,7 +59,7 @@ void body(ThreadCtx& ctx, Shared& sh, MutexId mtx, BarrierId bar) {
   sam_unlock(ctx, mtx);
 
   sam_barrier(ctx, bar);  // global consistency point
-  ctx.end_measurement();
+  sam_end_measurement(ctx);
 }
 
 void run_on(Runtime& runtime) {
@@ -70,14 +68,14 @@ void run_on(Runtime& runtime) {
   const BarrierId bar = sam_barrier_init(runtime, kThreads);
   sam_threads(runtime, kThreads, [&](ThreadCtx& ctx) { body(ctx, sh, mtx, bar); });
 
-  const double sum = runtime.read_global_array<double>(sh.sum, 1)[0];
+  const double sum = sam_read_global_array<double>(runtime, sh.sum, 1)[0];
   const double expect = static_cast<double>(kElems) * (kElems - 1) / 2.0;
   std::printf("[%s]\n", runtime.name().c_str());
   std::printf("  shared sum        = %.0f (expected %.0f) %s\n", sum, expect,
               sum == expect ? "OK" : "MISMATCH");
-  std::printf("  elapsed (virtual) = %.3f ms\n", runtime.elapsed_seconds() * 1e3);
-  std::printf("  mean compute      = %.3f ms\n", runtime.mean_compute_seconds() * 1e3);
-  std::printf("  mean sync         = %.3f ms\n\n", runtime.mean_sync_seconds() * 1e3);
+  std::printf("  elapsed (virtual) = %.3f ms\n", sam_elapsed_seconds(runtime) * 1e3);
+  std::printf("  mean compute      = %.3f ms\n", sam_mean_compute_seconds(runtime) * 1e3);
+  std::printf("  mean sync         = %.3f ms\n\n", sam_mean_sync_seconds(runtime) * 1e3);
 }
 
 }  // namespace

@@ -21,11 +21,28 @@
 //   sam_cond_broadcast           sam_cond_broadcast(ctx, c)
 //   sam_barrier_init             sam_barrier_init(rt, parties)
 //   sam_barrier_wait             sam_barrier(ctx, b)
+//   atomic compare-and-swap      sam_cas<T>(ctx, addr, expected, desired)
+//   atomic fetch-and-add         sam_fetch_add<T>(ctx, addr, delta)
+//   virtual clock / pacing       sam_now(ctx) / sam_sleep_until(ctx, t)
 //
 // Memory is read and written through typed views (`sam_read`, `sam_write`,
 // `sam_read_array`, `sam_write_array`) — on the DSM these go through the
 // software page cache exactly like a load/store through the paging path
-// would. A view is valid until the next runtime call on the same ctx.
+// would.
+//
+// ## View lifetime rules (the one authoritative statement)
+//
+// 1. A span returned by sam_read_array / sam_write_array is valid only until
+//    the *next* runtime call on the same ctx — any sam_* call taking the ctx
+//    (another view, a lock, an alloc, a barrier, an atomic) may remap or
+//    evict the backing line. Copy out what you need before the next call.
+// 2. A single view must not cross a multiple of sam_view_granularity(ctx)
+//    (the software cache-line size on the DSM). Use sam_for_each_read /
+//    sam_for_each_write to visit arbitrary ranges in granularity-safe
+//    chunks; sam_read / sam_write handle single elements.
+// 3. Writes become visible to other threads at synchronization boundaries
+//    (unlock, barrier) per regional consistency — not at the store itself.
+//    Atomics (sam_cas / sam_fetch_add) are globally ordered on their own.
 //
 // The same application body runs unchanged on the cache-coherent Pthreads
 // baseline (the paper's "trivial porting" claim): only the factory call
@@ -33,11 +50,14 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <span>
+#include <type_traits>
 
 #include "rt/runtime.hpp"
+#include "rt/span_util.hpp"
 
 namespace sam::core {
 struct SamhitaConfig;
@@ -54,6 +74,7 @@ using BarrierId = rt::BarrierId;
 using ThreadCtx = rt::ThreadCtx;
 using Runtime = rt::Runtime;
 using ThreadReport = rt::ThreadReport;
+using sam::SimTime;
 
 // --- platform bring-up ----------------------------------------------------
 
@@ -129,5 +150,100 @@ inline void sam_cond_wait(ThreadCtx& ctx, CondId c, MutexId m) { ctx.cond_wait(c
 inline void sam_cond_signal(ThreadCtx& ctx, CondId c) { ctx.cond_signal(c); }
 inline void sam_cond_broadcast(ThreadCtx& ctx, CondId c) { ctx.cond_broadcast(c); }
 inline void sam_barrier(ThreadCtx& ctx, BarrierId b) { ctx.barrier(b); }
+
+// --- atomics ---------------------------------------------------------------
+
+/// Atomic compare-and-swap on a shared 4- or 8-byte integer: swaps in
+/// `desired` iff the word equals `expected`. Returns the *previous* value
+/// (the swap happened iff the return equals `expected`). Globally ordered
+/// across threads, unlike plain sam_write.
+template <typename T>
+T sam_cas(ThreadCtx& ctx, Addr addr, T expected, T desired) {
+  static_assert(std::is_integral_v<T> && (sizeof(T) == 4 || sizeof(T) == 8),
+                "sam_cas requires a 4- or 8-byte integer type");
+  return static_cast<T>(ctx.atomic_rmw(addr, sizeof(T), rt::RmwOp::kCas,
+                                       static_cast<std::uint64_t>(expected),
+                                       static_cast<std::uint64_t>(desired)));
+}
+
+/// Atomic fetch-and-add on a shared 4- or 8-byte integer; returns the
+/// previous value. Addition wraps in two's complement.
+template <typename T>
+T sam_fetch_add(ThreadCtx& ctx, Addr addr, T delta) {
+  static_assert(std::is_integral_v<T> && (sizeof(T) == 4 || sizeof(T) == 8),
+                "sam_fetch_add requires a 4- or 8-byte integer type");
+  return static_cast<T>(ctx.atomic_rmw(addr, sizeof(T), rt::RmwOp::kFetchAdd,
+                                       static_cast<std::uint64_t>(delta), 0));
+}
+
+// --- thread identity, clock, pacing ---------------------------------------
+
+inline std::uint32_t sam_thread_index(const ThreadCtx& ctx) { return ctx.index(); }
+inline std::uint32_t sam_nthreads(const ThreadCtx& ctx) { return ctx.nthreads(); }
+
+/// This thread's virtual clock (nanoseconds of simulated time).
+inline SimTime sam_now(const ThreadCtx& ctx) { return ctx.now(); }
+
+/// Advances this thread's virtual clock to at least `t` without charging
+/// compute or sync time — the open-loop arrival pacing primitive.
+inline void sam_sleep_until(ThreadCtx& ctx, SimTime t) { ctx.sleep_until(t); }
+
+// --- cost charging ---------------------------------------------------------
+
+inline void sam_charge_flops(ThreadCtx& ctx, double flops) { ctx.charge_flops(flops); }
+inline void sam_charge_mem_ops(ThreadCtx& ctx, std::uint64_t loads,
+                               std::uint64_t stores) {
+  ctx.charge_mem_ops(loads, stores);
+}
+
+// --- measurement -----------------------------------------------------------
+
+inline void sam_begin_measurement(ThreadCtx& ctx) { ctx.begin_measurement(); }
+inline void sam_end_measurement(ThreadCtx& ctx) { ctx.end_measurement(); }
+
+// --- granularity-safe range access ----------------------------------------
+
+/// Largest span a single view may cover without crossing a line boundary.
+inline std::size_t sam_view_granularity(const ThreadCtx& ctx) {
+  return ctx.view_granularity();
+}
+
+/// Visits [0, count) elements at `addr` as read-only chunks that never cross
+/// a view-granularity boundary: fn(std::span<const T> chunk, first_index).
+template <typename T, typename Fn>
+void sam_for_each_read(ThreadCtx& ctx, Addr addr, std::size_t count, Fn&& fn) {
+  rt::for_each_read_span<T>(ctx, addr, count, std::forward<Fn>(fn));
+}
+
+/// Same, with writable chunks: fn(std::span<T> chunk, first_index).
+template <typename T, typename Fn>
+void sam_for_each_write(ThreadCtx& ctx, Addr addr, std::size_t count, Fn&& fn) {
+  rt::for_each_write_span<T>(ctx, addr, count, std::forward<Fn>(fn));
+}
+
+// --- post-run inspection ---------------------------------------------------
+
+/// Max measured-phase duration across threads (strong-scaling elapsed).
+inline double sam_elapsed_seconds(const Runtime& rt) { return rt.elapsed_seconds(); }
+
+/// Mean per-thread compute / sync seconds (what the paper's figures plot).
+inline double sam_mean_compute_seconds(const Runtime& rt) {
+  return rt.mean_compute_seconds();
+}
+inline double sam_mean_sync_seconds(const Runtime& rt) {
+  return rt.mean_sync_seconds();
+}
+
+inline std::uint32_t sam_ran_threads(const Runtime& rt) { return rt.ran_threads(); }
+inline ThreadReport sam_report(const Runtime& rt, std::uint32_t thread) {
+  return rt.report(thread);
+}
+
+/// Reads `count` elements from the authoritative shared space after the run
+/// (memory servers on the DSM, the flat heap on the baseline).
+template <typename T>
+std::vector<T> sam_read_global_array(const Runtime& rt, Addr addr, std::size_t count) {
+  return rt.read_global_array<T>(addr, count);
+}
 
 }  // namespace sam::api

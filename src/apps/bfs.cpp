@@ -3,11 +3,12 @@
 #include <algorithm>
 #include <deque>
 
-#include "rt/span_util.hpp"
 #include "util/expect.hpp"
 #include "util/rng.hpp"
 
 namespace sam::apps {
+
+using namespace api;
 
 namespace {
 constexpr std::int32_t kUnreached = -1;
@@ -47,107 +48,110 @@ CsrGraph make_random_graph(std::uint32_t vertices, std::uint32_t avg_degree,
 namespace {
 
 struct Shared {
-  rt::Addr offsets = 0;  // (V+1) u32
-  rt::Addr edges = 0;    // E u32
-  rt::Addr dist = 0;     // V i32
-  rt::Addr changed = 0;  // 1 double flag
+  Addr offsets = 0;  // (V+1) u32
+  Addr edges = 0;    // E u32
+  Addr dist = 0;     // V i32
+  Addr changed = 0;  // 1 double flag
 };
 
-void thread_body(rt::ThreadCtx& ctx, const BfsParams& p, const CsrGraph& g, Shared& sh,
-                 rt::MutexId mtx, rt::BarrierId bar) {
-  const std::uint32_t t = ctx.index();
+void thread_body(ThreadCtx& ctx, const BfsParams& p, const CsrGraph& g, Shared& sh,
+                 MutexId mtx, BarrierId bar) {
+  const std::uint32_t t = sam_thread_index(ctx);
   const std::uint32_t v_count = g.vertices;
   const std::uint32_t chunk = (v_count + p.threads - 1) / p.threads;
   const std::uint32_t lo = std::min(v_count, t * chunk);
   const std::uint32_t hi = std::min(v_count, lo + chunk);
 
   if (t == 0) {
-    sh.offsets = ctx.alloc_shared((v_count + 1) * sizeof(std::uint32_t));
-    sh.edges = ctx.alloc_shared(g.edges.size() * sizeof(std::uint32_t));
-    sh.dist = ctx.alloc_shared(v_count * sizeof(std::int32_t));
-    sh.changed = ctx.alloc_shared(sizeof(double));
+    sh.offsets = sam_alloc_shared(ctx, (v_count + 1) * sizeof(std::uint32_t));
+    sh.edges = sam_alloc_shared(ctx, g.edges.size() * sizeof(std::uint32_t));
+    sh.dist = sam_alloc_shared(ctx, v_count * sizeof(std::int32_t));
+    sh.changed = sam_alloc_shared(ctx, sizeof(double));
     // Upload the graph through the DSM (thread 0 writes, barrier publishes).
-    rt::for_each_write_span<std::uint32_t>(
-        ctx, sh.offsets, g.offsets.size(), [&](std::span<std::uint32_t> out, std::size_t at) {
+    sam_for_each_write<std::uint32_t>(
+        ctx, sh.offsets, g.offsets.size(),
+        [&](std::span<std::uint32_t> out, std::size_t at) {
           std::copy(g.offsets.begin() + static_cast<std::ptrdiff_t>(at),
                     g.offsets.begin() + static_cast<std::ptrdiff_t>(at + out.size()),
                     out.begin());
         });
-    rt::for_each_write_span<std::uint32_t>(
+    sam_for_each_write<std::uint32_t>(
         ctx, sh.edges, g.edges.size(), [&](std::span<std::uint32_t> out, std::size_t at) {
           std::copy(g.edges.begin() + static_cast<std::ptrdiff_t>(at),
                     g.edges.begin() + static_cast<std::ptrdiff_t>(at + out.size()),
                     out.begin());
         });
-    rt::for_each_write_span<std::int32_t>(
+    sam_for_each_write<std::int32_t>(
         ctx, sh.dist, v_count, [&](std::span<std::int32_t> out, std::size_t at) {
           for (std::size_t k = 0; k < out.size(); ++k) {
             out[k] = (at + k == p.source) ? 0 : kUnreached;
           }
         });
-    ctx.write<double>(sh.changed, 1.0);
+    sam_write<double>(ctx, sh.changed, 1.0);
   }
-  ctx.barrier(bar);
+  sam_barrier(ctx, bar);
 
-  ctx.begin_measurement();
+  sam_begin_measurement(ctx);
   // Local read-only snapshots of the CSR structure (read-mostly: cached
   // after first touch; we copy to host scratch once, like real codes do).
   std::vector<std::uint32_t> offsets(v_count + 1);
-  rt::for_each_read_span<std::uint32_t>(
-      ctx, sh.offsets, v_count + 1, [&](std::span<const std::uint32_t> in, std::size_t at) {
-        std::copy(in.begin(), in.end(), offsets.begin() + static_cast<std::ptrdiff_t>(at));
+  sam_for_each_read<std::uint32_t>(
+      ctx, sh.offsets, v_count + 1,
+      [&](std::span<const std::uint32_t> in, std::size_t at) {
+        std::copy(in.begin(), in.end(),
+                  offsets.begin() + static_cast<std::ptrdiff_t>(at));
       });
-  ctx.charge_mem_ops(v_count + 1, 0);
+  sam_charge_mem_ops(ctx, v_count + 1, 0);
 
   for (std::int32_t level = 0;; ++level) {
-    if (ctx.read<double>(sh.changed) == 0.0) break;
-    ctx.barrier(bar);
-    if (t == 0) ctx.write<double>(sh.changed, 0.0);
-    ctx.barrier(bar);
+    if (sam_read<double>(ctx, sh.changed) == 0.0) break;
+    sam_barrier(ctx, bar);
+    if (t == 0) sam_write<double>(ctx, sh.changed, 0.0);
+    sam_barrier(ctx, bar);
 
     bool local_changed = false;
     for (std::uint32_t v = lo; v < hi; ++v) {
-      if (ctx.read<std::int32_t>(sh.dist + v * 4) != level) continue;
+      if (sam_read<std::int32_t>(ctx, sh.dist + v * 4) != level) continue;
       const std::uint32_t begin = offsets[v];
       const std::uint32_t end = offsets[v + 1];
       for (std::uint32_t e = begin; e < end; ++e) {
-        const std::uint32_t u = ctx.read<std::uint32_t>(sh.edges + e * 4ull);
-        if (ctx.read<std::int32_t>(sh.dist + u * 4ull) == kUnreached) {
+        const std::uint32_t u = sam_read<std::uint32_t>(ctx, sh.edges + e * 4ull);
+        if (sam_read<std::int32_t>(ctx, sh.dist + u * 4ull) == kUnreached) {
           // Benign race: any same-level discoverer writes the same value.
-          ctx.write<std::int32_t>(sh.dist + u * 4ull, level + 1);
+          sam_write<std::int32_t>(ctx, sh.dist + u * 4ull, level + 1);
           local_changed = true;
         }
       }
-      ctx.charge_flops(2.0 * (end - begin));
-      ctx.charge_mem_ops(2ull * (end - begin), 0);
+      sam_charge_flops(ctx, 2.0 * (end - begin));
+      sam_charge_mem_ops(ctx, 2ull * (end - begin), 0);
     }
     if (local_changed) {
-      ctx.lock(mtx);
-      ctx.write<double>(sh.changed, 1.0);
-      ctx.unlock(mtx);
+      sam_lock(ctx, mtx);
+      sam_write<double>(ctx, sh.changed, 1.0);
+      sam_unlock(ctx, mtx);
     }
-    ctx.barrier(bar);
+    sam_barrier(ctx, bar);
   }
-  ctx.end_measurement();
+  sam_end_measurement(ctx);
 }
 
 }  // namespace
 
-BfsResult run_bfs(rt::Runtime& runtime, const BfsParams& p) {
+BfsResult run_bfs(api::Runtime& runtime, const BfsParams& p) {
   SAM_EXPECT(p.threads >= 1, "need at least one thread");
   SAM_EXPECT(p.source < p.vertices, "source out of range");
   const CsrGraph g = make_random_graph(p.vertices, p.avg_degree, p.seed);
   Shared sh;
-  const auto mtx = runtime.create_mutex();
-  const auto bar = runtime.create_barrier(p.threads);
-  runtime.parallel_run(p.threads,
-                       [&](rt::ThreadCtx& ctx) { thread_body(ctx, p, g, sh, mtx, bar); });
+  const auto mtx = sam_mutex_init(runtime);
+  const auto bar = sam_barrier_init(runtime, p.threads);
+  sam_threads(runtime, p.threads,
+              [&](ThreadCtx& ctx) { thread_body(ctx, p, g, sh, mtx, bar); });
 
   BfsResult result;
-  result.elapsed_seconds = runtime.elapsed_seconds();
-  result.mean_compute_seconds = runtime.mean_compute_seconds();
-  result.mean_sync_seconds = runtime.mean_sync_seconds();
-  const auto dist = runtime.read_global_array<std::int32_t>(sh.dist, p.vertices);
+  result.elapsed_seconds = sam_elapsed_seconds(runtime);
+  result.mean_compute_seconds = sam_mean_compute_seconds(runtime);
+  result.mean_sync_seconds = sam_mean_sync_seconds(runtime);
+  const auto dist = sam_read_global_array<std::int32_t>(runtime, sh.dist, p.vertices);
   for (std::int32_t d : dist) {
     if (d >= 0) {
       ++result.reached;

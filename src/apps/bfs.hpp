@@ -15,7 +15,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "rt/runtime.hpp"
+#include "api/sam_api.hpp"
 
 namespace sam::apps {
 
@@ -47,7 +47,7 @@ struct BfsResult {
   std::uint32_t levels = 0;         ///< BFS depth
 };
 
-BfsResult run_bfs(rt::Runtime& runtime, const BfsParams& params);
+BfsResult run_bfs(api::Runtime& runtime, const BfsParams& params);
 
 /// Sequential reference (reached count, distance sum, depth).
 BfsResult bfs_reference(const BfsParams& params);

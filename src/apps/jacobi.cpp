@@ -4,10 +4,11 @@
 #include <cmath>
 #include <vector>
 
-#include "rt/span_util.hpp"
 #include "util/expect.hpp"
 
 namespace sam::apps {
+
+using namespace api;
 
 namespace {
 
@@ -19,26 +20,26 @@ double boundary_value(std::uint32_t i, std::uint32_t j, std::uint32_t n) {
 }
 
 struct Shared {
-  rt::Addr u = 0;
-  rt::Addr unew = 0;
-  rt::Addr residual = 0;
+  Addr u = 0;
+  Addr unew = 0;
+  Addr residual = 0;
 };
 
 /// Reads row `i` of grid `g` into host scratch (chunked views).
-void load_row(rt::ThreadCtx& ctx, rt::Addr g, std::uint32_t n, std::uint32_t i,
+void load_row(ThreadCtx& ctx, Addr g, std::uint32_t n, std::uint32_t i,
               std::vector<double>& out) {
   out.resize(n);
-  const rt::Addr row = g + static_cast<rt::Addr>(i) * n * sizeof(double);
-  rt::for_each_read_span<double>(ctx, row, n,
-                                 [&](std::span<const double> chunk, std::size_t at) {
-                                   std::copy(chunk.begin(), chunk.end(), out.begin() + at);
-                                 });
-  ctx.charge_mem_ops(n, 0);
+  const Addr row = g + static_cast<Addr>(i) * n * sizeof(double);
+  sam_for_each_read<double>(ctx, row, n,
+                            [&](std::span<const double> chunk, std::size_t at) {
+                              std::copy(chunk.begin(), chunk.end(), out.begin() + at);
+                            });
+  sam_charge_mem_ops(ctx, n, 0);
 }
 
-void thread_body(rt::ThreadCtx& ctx, const JacobiParams& p, Shared& sh, rt::MutexId mtx,
-                 rt::BarrierId bar) {
-  const std::uint32_t t = ctx.index();
+void thread_body(ThreadCtx& ctx, const JacobiParams& p, Shared& sh, MutexId mtx,
+                 BarrierId bar) {
+  const std::uint32_t t = sam_thread_index(ctx);
   const std::uint32_t n = p.n;
   const std::size_t grid_bytes = static_cast<std::size_t>(n) * n * sizeof(double);
 
@@ -49,27 +50,27 @@ void thread_body(rt::ThreadCtx& ctx, const JacobiParams& p, Shared& sh, rt::Mute
   const std::uint32_t row_hi = std::min(n - 1, row_lo + chunk);
 
   if (t == 0) {
-    sh.u = ctx.alloc_shared(grid_bytes);
-    sh.unew = ctx.alloc_shared(grid_bytes);
-    sh.residual = ctx.alloc_shared(sizeof(double));
-    ctx.write<double>(sh.residual, 0.0);
+    sh.u = sam_alloc_shared(ctx, grid_bytes);
+    sh.unew = sam_alloc_shared(ctx, grid_bytes);
+    sh.residual = sam_alloc_shared(ctx, sizeof(double));
+    sam_write<double>(ctx, sh.residual, 0.0);
   }
-  ctx.barrier(bar);
+  sam_barrier(ctx, bar);
 
   // Initialize this thread's rows (plus thread 0 does boundary rows).
-  auto init_row = [&](rt::Addr grid, std::uint32_t i) {
-    const rt::Addr row = grid + static_cast<rt::Addr>(i) * n * sizeof(double);
-    rt::for_each_write_span<double>(ctx, row, n,
-                                    [&](std::span<double> out, std::size_t at) {
-                                      for (std::size_t j = 0; j < out.size(); ++j) {
-                                        const std::uint32_t col =
-                                            static_cast<std::uint32_t>(at + j);
-                                        const bool edge = i == 0 || i == n - 1 ||
-                                                          col == 0 || col == n - 1;
-                                        out[j] = edge ? boundary_value(i, col, n) : 0.0;
-                                      }
-                                    });
-    ctx.charge_mem_ops(0, n);
+  auto init_row = [&](Addr grid, std::uint32_t i) {
+    const Addr row = grid + static_cast<Addr>(i) * n * sizeof(double);
+    sam_for_each_write<double>(ctx, row, n,
+                               [&](std::span<double> out, std::size_t at) {
+                                 for (std::size_t j = 0; j < out.size(); ++j) {
+                                   const std::uint32_t col =
+                                       static_cast<std::uint32_t>(at + j);
+                                   const bool edge = i == 0 || i == n - 1 ||
+                                                     col == 0 || col == n - 1;
+                                   out[j] = edge ? boundary_value(i, col, n) : 0.0;
+                                 }
+                               });
+    sam_charge_mem_ops(ctx, 0, n);
   };
   for (std::uint32_t i = row_lo; i < row_hi; ++i) {
     init_row(sh.u, i);
@@ -81,9 +82,9 @@ void thread_body(rt::ThreadCtx& ctx, const JacobiParams& p, Shared& sh, rt::Mute
     init_row(sh.unew, 0);
     init_row(sh.unew, n - 1);
   }
-  ctx.barrier(bar);
+  sam_barrier(ctx, bar);
 
-  ctx.begin_measurement();
+  sam_begin_measurement(ctx);
   std::vector<double> up, mid, down;
   for (std::uint32_t it = 0; it < p.iterations; ++it) {
     // Sweep: unew = average of u's four neighbours; accumulate residual.
@@ -92,8 +93,8 @@ void thread_body(rt::ThreadCtx& ctx, const JacobiParams& p, Shared& sh, rt::Mute
       load_row(ctx, sh.u, n, i - 1, up);
       load_row(ctx, sh.u, n, i, mid);
       load_row(ctx, sh.u, n, i + 1, down);
-      const rt::Addr out_row = sh.unew + static_cast<rt::Addr>(i) * n * sizeof(double);
-      rt::for_each_write_span<double>(
+      const Addr out_row = sh.unew + static_cast<Addr>(i) * n * sizeof(double);
+      sam_for_each_write<double>(
           ctx, out_row, n, [&](std::span<double> out, std::size_t at) {
             for (std::size_t j = 0; j < out.size(); ++j) {
               const std::size_t col = at + j;
@@ -106,52 +107,52 @@ void thread_body(rt::ThreadCtx& ctx, const JacobiParams& p, Shared& sh, rt::Mute
             }
           });
       // 4 adds + 1 mul for the stencil, 2 for the residual per point.
-      ctx.charge_flops(7.0 * (n - 2));
-      ctx.charge_mem_ops(2 * n, n);
+      sam_charge_flops(ctx, 7.0 * (n - 2));
+      sam_charge_mem_ops(ctx, 2 * n, n);
     }
-    ctx.barrier(bar);
+    sam_barrier(ctx, bar);
 
     // Copy back: u = unew on this thread's rows.
     for (std::uint32_t i = row_lo; i < row_hi; ++i) {
       load_row(ctx, sh.unew, n, i, mid);
-      const rt::Addr out_row = sh.u + static_cast<rt::Addr>(i) * n * sizeof(double);
-      rt::for_each_write_span<double>(ctx, out_row, n,
-                                      [&](std::span<double> out, std::size_t at) {
-                                        for (std::size_t j = 0; j < out.size(); ++j) {
-                                          out[j] = mid[at + j];
-                                        }
-                                      });
-      ctx.charge_mem_ops(n, n);
+      const Addr out_row = sh.u + static_cast<Addr>(i) * n * sizeof(double);
+      sam_for_each_write<double>(ctx, out_row, n,
+                                 [&](std::span<double> out, std::size_t at) {
+                                   for (std::size_t j = 0; j < out.size(); ++j) {
+                                     out[j] = mid[at + j];
+                                   }
+                                 });
+      sam_charge_mem_ops(ctx, n, n);
     }
 
     // Mutex-protected global residual (reset by thread 0 each iteration).
-    ctx.lock(mtx);
-    const double g = ctx.read<double>(sh.residual);
-    ctx.write<double>(sh.residual, (it + 1 == p.iterations) ? g + local_res : 0.0);
-    ctx.charge_flops(1.0);
-    ctx.charge_mem_ops(1, 1);
-    ctx.unlock(mtx);
-    ctx.barrier(bar);
+    sam_lock(ctx, mtx);
+    const double g = sam_read<double>(ctx, sh.residual);
+    sam_write<double>(ctx, sh.residual, (it + 1 == p.iterations) ? g + local_res : 0.0);
+    sam_charge_flops(ctx, 1.0);
+    sam_charge_mem_ops(ctx, 1, 1);
+    sam_unlock(ctx, mtx);
+    sam_barrier(ctx, bar);
   }
-  ctx.end_measurement();
+  sam_end_measurement(ctx);
 }
 
 }  // namespace
 
-JacobiResult run_jacobi(rt::Runtime& runtime, const JacobiParams& p) {
+JacobiResult run_jacobi(api::Runtime& runtime, const JacobiParams& p) {
   SAM_EXPECT(p.n >= 4, "grid too small");
   SAM_EXPECT(p.threads >= 1 && p.threads <= p.n - 2, "bad thread count for grid");
   Shared sh;
-  const rt::MutexId mtx = runtime.create_mutex();
-  const rt::BarrierId bar = runtime.create_barrier(p.threads);
-  runtime.parallel_run(p.threads,
-                       [&](rt::ThreadCtx& ctx) { thread_body(ctx, p, sh, mtx, bar); });
+  const MutexId mtx = sam_mutex_init(runtime);
+  const BarrierId bar = sam_barrier_init(runtime, p.threads);
+  sam_threads(runtime, p.threads,
+              [&](ThreadCtx& ctx) { thread_body(ctx, p, sh, mtx, bar); });
 
   JacobiResult result;
-  result.elapsed_seconds = runtime.elapsed_seconds();
-  result.mean_compute_seconds = runtime.mean_compute_seconds();
-  result.mean_sync_seconds = runtime.mean_sync_seconds();
-  result.final_residual = runtime.read_global_array<double>(sh.residual, 1)[0];
+  result.elapsed_seconds = sam_elapsed_seconds(runtime);
+  result.mean_compute_seconds = sam_mean_compute_seconds(runtime);
+  result.mean_sync_seconds = sam_mean_sync_seconds(runtime);
+  result.final_residual = sam_read_global_array<double>(runtime, sh.residual, 1)[0];
   return result;
 }
 

@@ -10,7 +10,7 @@
 
 #include <cstdint>
 
-#include "rt/runtime.hpp"
+#include "api/sam_api.hpp"
 
 namespace sam::apps {
 
@@ -27,7 +27,7 @@ struct JacobiResult {
   double final_residual = 0;   ///< correctness checksum
 };
 
-JacobiResult run_jacobi(rt::Runtime& runtime, const JacobiParams& params);
+JacobiResult run_jacobi(api::Runtime& runtime, const JacobiParams& params);
 
 /// Sequential reference residual after `iterations` sweeps.
 double jacobi_reference_residual(const JacobiParams& params);

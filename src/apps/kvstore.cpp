@@ -1,0 +1,415 @@
+#include "apps/kvstore.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/expect.hpp"
+#include "util/rng.hpp"
+#include "util/time_types.hpp"
+
+namespace sam::apps {
+
+using namespace api;
+
+namespace {
+
+enum KvOp : std::uint64_t { kGet = 0, kPut = 1, kScan = 2, kStop = 3 };
+
+constexpr std::uint64_t kSlotWords = 4;    // key, op, arg, arrival_ns
+constexpr std::uint64_t kHeaderWords = 2;  // head, tail
+
+/// Bounded request ring in the global address space: head/tail counters plus
+/// `capacity` fixed-size slots (all u64 words). Occupancy is tail - head.
+struct QueueLayout {
+  Addr base = 0;
+  std::uint32_t capacity = 0;
+
+  Addr head() const { return base; }
+  Addr tail() const { return base + 8; }
+  Addr slot(std::uint64_t i) const {
+    return base + 8 * kHeaderWords + (i % capacity) * (8 * kSlotWords);
+  }
+  static std::size_t bytes(std::uint32_t capacity) {
+    return 8 * (kHeaderWords + capacity * kSlotWords);
+  }
+};
+
+/// Per-partition synchronization handles and shared addresses, published by
+/// thread 0 through the host before the starting barrier (the analogue of
+/// passing pointers through pthread_create arguments).
+struct Shared {
+  Addr table = 0;      ///< keys * stride bytes of records
+  Addr issued = 0;     ///< u64: client-side op counter (sam_fetch_add)
+  Addr completed = 0;  ///< u64: server-side op counter (sam_fetch_add)
+  std::vector<QueueLayout> queues;
+  std::vector<MutexId> queue_mtx;
+  std::vector<CondId> not_empty;
+  std::vector<CondId> not_full;
+};
+
+/// Host-side per-partition accounting, written only by that partition's
+/// server fiber (the scheduler is cooperative, so no host data races).
+struct PartStats {
+  util::Histogram latency;
+  std::uint64_t gets = 0;
+  std::uint64_t puts = 0;
+  std::uint64_t scans = 0;
+};
+
+std::size_t value_stride(const KvParams& p) {
+  return (p.value_bytes + 7) & ~std::size_t{7};
+}
+
+/// SplitMix64 finalizer: hash-partitioned key ownership (the partition index
+/// is decorrelated from the key's numeric value, so Zipf-hot keys land on
+/// "random" partitions instead of all crowding partition 0).
+std::uint32_t partition_of(std::uint64_t key, std::uint32_t partitions) {
+  std::uint64_t z = key + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return static_cast<std::uint32_t>(z % partitions);
+}
+
+/// Key-deterministic payload word: puts refresh the payload with the same
+/// bytes regardless of order, keeping the final table backend-independent.
+std::uint64_t payload_word(std::uint64_t key, std::uint64_t word) {
+  std::uint64_t z = key * 0xbf58476d1ce4e5b9ull + word;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Bounded Zipf(theta) over [0, n), theta in [0, 1) (Gray et al.'s
+/// "Quickly generating billion-record synthetic databases" recurrence).
+/// Rank 0 is the hottest key.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(std::uint64_t n, double theta) : n_(n), theta_(theta) {
+    double zetan = 0.0;
+    for (std::uint64_t i = 1; i <= n; ++i) {
+      zetan += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    zetan_ = zetan;
+    zeta2_ = 1.0 + 1.0 / std::pow(2.0, theta);
+    alpha_ = 1.0 / (1.0 - theta);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  std::uint64_t draw(util::SplitMix64& rng) const {
+    const double u = rng.next_double();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < zeta2_) return 1;
+    const auto k = static_cast<std::uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return k >= n_ ? n_ - 1 : k;
+  }
+
+ private:
+  std::uint64_t n_;
+  double theta_;
+  double zetan_ = 0;
+  double zeta2_ = 0;
+  double alpha_ = 0;
+  double eta_ = 0;
+};
+
+struct KvOpRecord {
+  std::uint64_t key = 0;
+  KvOp op = kGet;
+  std::uint64_t arg = 0;       ///< put delta or scan length
+  double offset_seconds = 0;   ///< scheduled arrival, relative to stream start
+};
+
+/// Deterministic per-client operation stream. The same (seed, client) pair
+/// yields the same sequence on every runtime — this is what makes the final
+/// value state backend-independent and the reference checksum computable
+/// without running the system.
+class KvOpStream {
+ public:
+  KvOpStream(const KvParams& p, const ZipfGenerator& zipf, std::uint32_t client)
+      : p_(p),
+        zipf_(zipf),
+        rng_(p.seed * 0x9e3779b97f4a7c15ull + client + 1),
+        rate_(p.arrival_rate / p.clients) {}
+
+  KvOpRecord next() {
+    KvOpRecord r;
+    // Open-loop Poisson arrivals: exponential gaps at the per-client rate.
+    // The schedule never reacts to the system — overload becomes latency.
+    clock_ += -std::log(1.0 - rng_.next_double()) / rate_;
+    r.offset_seconds = clock_;
+    r.key = zipf_.draw(rng_);
+    if (rng_.next_double() < p_.read_ratio) {
+      const bool scan =
+          p_.scan_every > 0 && reads_++ % p_.scan_every == p_.scan_every - 1;
+      r.op = scan ? kScan : kGet;
+      r.arg = scan ? p_.scan_length : 0;
+    } else {
+      r.op = kPut;
+      r.arg = rng_.next() & 0xffff;  // bounded delta: sums stay far from wrap
+    }
+    return r;
+  }
+
+ private:
+  const KvParams& p_;
+  const ZipfGenerator& zipf_;
+  util::SplitMix64 rng_;
+  double rate_;
+  double clock_ = 0;
+  std::uint64_t reads_ = 0;
+};
+
+std::uint64_t ops_of_client(const KvParams& p, std::uint32_t client) {
+  return p.ops / p.clients + (client < p.ops % p.clients ? 1 : 0);
+}
+
+void enqueue(ThreadCtx& ctx, const Shared& sh, std::uint32_t part,
+             const KvOpRecord& r, SimTime arrival) {
+  const QueueLayout& q = sh.queues[part];
+  sam_lock(ctx, sh.queue_mtx[part]);
+  while (sam_read<std::uint64_t>(ctx, q.tail()) -
+             sam_read<std::uint64_t>(ctx, q.head()) >=
+         q.capacity) {
+    sam_cond_wait(ctx, sh.not_full[part], sh.queue_mtx[part]);
+  }
+  const std::uint64_t t = sam_read<std::uint64_t>(ctx, q.tail());
+  const Addr s = q.slot(t);
+  sam_write<std::uint64_t>(ctx, s, r.key);
+  sam_write<std::uint64_t>(ctx, s + 8, static_cast<std::uint64_t>(r.op));
+  sam_write<std::uint64_t>(ctx, s + 16, r.arg);
+  sam_write<std::uint64_t>(ctx, s + 24, arrival);
+  sam_write<std::uint64_t>(ctx, q.tail(), t + 1);
+  sam_charge_mem_ops(ctx, 3, 5);
+  sam_cond_signal(ctx, sh.not_empty[part]);
+  sam_unlock(ctx, sh.queue_mtx[part]);
+}
+
+void client_body(ThreadCtx& ctx, const KvParams& p, const Shared& sh,
+                 const ZipfGenerator& zipf) {
+  const std::uint32_t c = sam_thread_index(ctx) - p.partitions;
+  KvOpStream stream(p, zipf, c);
+  const SimTime t0 = sam_now(ctx);
+  const std::uint64_t my_ops = ops_of_client(p, c);
+  for (std::uint64_t i = 0; i < my_ops; ++i) {
+    const KvOpRecord r = stream.next();
+    const SimTime arrival = t0 + from_seconds(r.offset_seconds);
+    // No-op once the client has fallen behind the schedule: late ops keep
+    // their scheduled arrival stamp, so the backlog is charged as latency.
+    sam_sleep_until(ctx, arrival);
+    sam_charge_flops(ctx, 30.0);  // request marshalling
+    enqueue(ctx, sh, partition_of(r.key, p.partitions), r, arrival);
+    sam_fetch_add<std::uint64_t>(ctx, sh.issued, 1);
+  }
+  // One stop pill per partition ends every server after the last real op
+  // ahead of it in that queue.
+  KvOpRecord stop;
+  stop.op = kStop;
+  for (std::uint32_t part = 0; part < p.partitions; ++part) {
+    enqueue(ctx, sh, part, stop, 0);
+  }
+}
+
+void server_body(ThreadCtx& ctx, const KvParams& p, const Shared& sh,
+                 PartStats& stats) {
+  const std::uint32_t part = sam_thread_index(ctx);
+  const QueueLayout& q = sh.queues[part];
+  const std::size_t stride = value_stride(p);
+  const std::uint64_t words = stride / 8;
+  std::uint64_t read_fold = 0;  // keeps the get/scan loads meaningful
+  std::uint32_t stops = 0;
+  while (stops < p.clients) {
+    sam_lock(ctx, sh.queue_mtx[part]);
+    while (sam_read<std::uint64_t>(ctx, q.tail()) ==
+           sam_read<std::uint64_t>(ctx, q.head())) {
+      sam_cond_wait(ctx, sh.not_empty[part], sh.queue_mtx[part]);
+    }
+    const std::uint64_t h = sam_read<std::uint64_t>(ctx, q.head());
+    const Addr s = q.slot(h);
+    // Copy the slot out before releasing the lock: the signalled producer
+    // may legitimately overwrite it the moment the slot is freed.
+    const std::uint64_t key = sam_read<std::uint64_t>(ctx, s);
+    const auto op = static_cast<KvOp>(sam_read<std::uint64_t>(ctx, s + 8));
+    const std::uint64_t arg = sam_read<std::uint64_t>(ctx, s + 16);
+    const SimTime arrival = sam_read<std::uint64_t>(ctx, s + 24);
+    sam_write<std::uint64_t>(ctx, q.head(), h + 1);
+    sam_charge_mem_ops(ctx, 6, 1);
+    sam_cond_signal(ctx, sh.not_full[part]);
+    sam_unlock(ctx, sh.queue_mtx[part]);
+
+    if (op == kStop) {
+      ++stops;
+      continue;
+    }
+    const Addr rec = sh.table + key * stride;
+    switch (op) {
+      case kGet:
+        sam_for_each_read<std::uint64_t>(
+            ctx, rec, words, [&](std::span<const std::uint64_t> chunk, std::size_t) {
+              for (const std::uint64_t v : chunk) read_fold ^= v;
+            });
+        sam_charge_mem_ops(ctx, words, 0);
+        ++stats.gets;
+        break;
+      case kPut: {
+        const auto old = sam_read<std::uint64_t>(ctx, rec);
+        sam_write<std::uint64_t>(ctx, rec, old + arg);
+        if (words > 1) {
+          sam_for_each_write<std::uint64_t>(
+              ctx, rec + 8, words - 1,
+              [&](std::span<std::uint64_t> chunk, std::size_t at) {
+                for (std::size_t i = 0; i < chunk.size(); ++i) {
+                  chunk[i] = payload_word(key, 1 + at + i);
+                }
+              });
+        }
+        sam_charge_mem_ops(ctx, 1, words);
+        ++stats.puts;
+        break;
+      }
+      case kScan:
+        // Value-word scan over `arg` consecutive keys (wrapping): touches
+        // other partitions' records read-only.
+        for (std::uint64_t j = 0; j < arg; ++j) {
+          const std::uint64_t k = (key + j) % p.keys;
+          read_fold ^= sam_read<std::uint64_t>(ctx, sh.table + k * stride);
+        }
+        sam_charge_mem_ops(ctx, arg, 0);
+        ++stats.scans;
+        break;
+      case kStop: break;  // unreachable
+    }
+    sam_charge_flops(ctx, 40.0);  // hashing + request bookkeeping
+    stats.latency.add(static_cast<double>(sam_now(ctx) - arrival));
+    sam_fetch_add<std::uint64_t>(ctx, sh.completed, 1);
+  }
+  (void)read_fold;
+}
+
+void thread_body(ThreadCtx& ctx, const KvParams& p, Shared& sh,
+                 const ZipfGenerator& zipf, BarrierId bar,
+                 std::vector<PartStats>& stats) {
+  const std::uint32_t me = sam_thread_index(ctx);
+  if (me == 0) {
+    const std::size_t stride = value_stride(p);
+    sh.table = sam_alloc_shared(ctx, p.keys * stride);
+    sh.issued = sam_alloc_shared(ctx, sizeof(std::uint64_t));
+    sh.completed = sam_alloc_shared(ctx, sizeof(std::uint64_t));
+    sam_write<std::uint64_t>(ctx, sh.issued, 0);
+    sam_write<std::uint64_t>(ctx, sh.completed, 0);
+    const std::uint64_t words = stride / 8;
+    sam_for_each_write<std::uint64_t>(
+        ctx, sh.table, p.keys * words,
+        [&](std::span<std::uint64_t> chunk, std::size_t at) {
+          for (std::size_t i = 0; i < chunk.size(); ++i) {
+            const std::uint64_t w = at + i;
+            const std::uint64_t off = w % words;
+            chunk[i] = off == 0 ? 0 : payload_word(w / words, off);
+          }
+        });
+    sam_charge_mem_ops(ctx, 0, p.keys * words);
+    for (std::uint32_t part = 0; part < p.partitions; ++part) {
+      sh.queues[part].capacity = p.queue_capacity;
+      sh.queues[part].base =
+          sam_alloc_shared(ctx, QueueLayout::bytes(p.queue_capacity));
+      sam_write<std::uint64_t>(ctx, sh.queues[part].head(), 0);
+      sam_write<std::uint64_t>(ctx, sh.queues[part].tail(), 0);
+    }
+  }
+  sam_barrier(ctx, bar);  // publish table, counters and queues
+  sam_begin_measurement(ctx);
+  if (me < p.partitions) {
+    server_body(ctx, p, sh, stats[me]);
+  } else {
+    client_body(ctx, p, sh, zipf);
+  }
+  sam_end_measurement(ctx);
+}
+
+}  // namespace
+
+KvResult run_kvstore(api::Runtime& runtime, const KvParams& params) {
+  SAM_EXPECT(params.partitions >= 1, "kvstore needs at least one partition");
+  SAM_EXPECT(params.clients >= 1, "kvstore needs at least one client");
+  SAM_EXPECT(params.keys >= 2, "kvstore needs at least two keys");
+  SAM_EXPECT(params.value_bytes >= 8, "kv value_bytes must be >= 8");
+  SAM_EXPECT(params.zipf_theta >= 0.0 && params.zipf_theta < 1.0,
+             "kv zipf_theta must be in [0, 1)");
+  SAM_EXPECT(params.read_ratio >= 0.0 && params.read_ratio <= 1.0,
+             "kv read_ratio must be in [0, 1]");
+  SAM_EXPECT(params.arrival_rate > 0.0 && std::isfinite(params.arrival_rate),
+             "kv arrival_rate must be positive and finite");
+  SAM_EXPECT(params.queue_capacity >= 1, "kv queue_capacity must be >= 1");
+
+  const ZipfGenerator zipf(params.keys, params.zipf_theta);
+  Shared sh;
+  sh.queues.resize(params.partitions);
+  for (std::uint32_t part = 0; part < params.partitions; ++part) {
+    sh.queue_mtx.push_back(sam_mutex_init(runtime));
+    sh.not_empty.push_back(sam_cond_init(runtime));
+    sh.not_full.push_back(sam_cond_init(runtime));
+  }
+  const BarrierId bar = sam_barrier_init(runtime, params.threads());
+  std::vector<PartStats> stats(params.partitions);
+
+  sam_threads(runtime, params.threads(), [&](ThreadCtx& ctx) {
+    thread_body(ctx, params, sh, zipf, bar, stats);
+  });
+
+  KvResult result;
+  result.elapsed_seconds = sam_elapsed_seconds(runtime);
+  result.mean_compute_seconds = sam_mean_compute_seconds(runtime);
+  result.mean_sync_seconds = sam_mean_sync_seconds(runtime);
+  result.offered_rate = params.arrival_rate;
+  for (const PartStats& s : stats) {
+    result.gets += s.gets;
+    result.puts += s.puts;
+    result.scans += s.scans;
+    result.latency.merge(s.latency);
+  }
+  result.ops_completed = result.gets + result.puts + result.scans;
+  SAM_EXPECT(result.ops_completed == params.ops,
+             "kvstore lost operations: completed " +
+                 std::to_string(result.ops_completed) + " of " +
+                 std::to_string(params.ops));
+  const std::uint64_t counted =
+      sam_read_global_array<std::uint64_t>(runtime, sh.completed, 1)[0];
+  SAM_EXPECT(counted == params.ops, "kv completion counter diverged");
+  if (result.elapsed_seconds > 0) {
+    result.achieved_rate =
+        static_cast<double>(result.ops_completed) / result.elapsed_seconds;
+  }
+  if (result.latency.count() > 0) {
+    result.mean_ns = result.latency.mean();
+    result.p50_ns = result.latency.percentile(50.0);
+    result.p99_ns = result.latency.percentile(99.0);
+    result.p999_ns = result.latency.percentile(99.9);
+    result.max_ns = result.latency.max();
+  }
+  const std::size_t stride = value_stride(params);
+  const std::uint64_t words = stride / 8;
+  const std::vector<std::uint64_t> table = sam_read_global_array<std::uint64_t>(
+      runtime, sh.table, params.keys * words);
+  for (std::uint64_t k = 0; k < params.keys; ++k) {
+    result.value_checksum += table[k * words];
+  }
+  return result;
+}
+
+std::uint64_t kvstore_reference_checksum(const KvParams& params) {
+  const ZipfGenerator zipf(params.keys, params.zipf_theta);
+  std::uint64_t sum = 0;
+  for (std::uint32_t c = 0; c < params.clients; ++c) {
+    KvOpStream stream(params, zipf, c);
+    const std::uint64_t n = ops_of_client(params, c);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const KvOpRecord r = stream.next();
+      if (r.op == kPut) sum += r.arg;
+    }
+  }
+  return sum;
+}
+
+}  // namespace sam::apps

@@ -1,0 +1,72 @@
+// Partitioned key-value serving: the open-loop tail-latency workload.
+//
+// N server threads own hash-partitioned key ranges in the shared global
+// address space; M client threads issue get/put/scan requests from an
+// open-loop arrival process (Poisson arrivals at a configured rate in
+// *virtual* time, Zipfian key skew with tunable theta, mixed read/write
+// ratio, value sizes from sub-cache-line to multi-page). Requests travel
+// through bounded per-partition queues built on Samhita mutexes and
+// condition variables, so overload shows up as queueing latency — the
+// arrival schedule never slows down — and per-operation latency (completion
+// virtual time minus scheduled arrival) lands in a log-linear
+// util::Histogram for p50/p99/p999.
+//
+// Written entirely against the sam::api facade: the same body runs on the
+// DSM and the Pthreads baseline. Puts are commutative (value-word += delta
+// with a key-deterministic payload refresh), and every key has exactly one
+// writing server, so the final table state is identical on both runtimes
+// regardless of interleaving — kvstore_reference_checksum() is the oracle.
+#pragma once
+
+#include <cstdint>
+
+#include "api/sam_api.hpp"
+#include "util/stats.hpp"
+
+namespace sam::apps {
+
+struct KvParams {
+  std::uint32_t partitions = 4;  ///< server threads (hash-partitioned owners)
+  std::uint32_t clients = 4;     ///< open-loop client threads
+  std::uint64_t keys = 4096;     ///< key-space size (>= 2)
+  std::uint64_t ops = 2000;      ///< total operations across all clients
+  double arrival_rate = 2.0e6;   ///< offered load, ops per virtual second
+  double zipf_theta = 0.99;      ///< key skew in [0, 1); 0 = uniform
+  double read_ratio = 0.95;      ///< fraction of ops that read (get or scan)
+  std::size_t value_bytes = 128; ///< record size (>= 8; word 0 is the sum)
+  std::uint32_t scan_every = 16; ///< every n-th read is a scan (0 disables)
+  std::uint32_t scan_length = 8; ///< keys touched per scan
+  std::uint32_t queue_capacity = 64;  ///< bounded per-partition request queue
+  std::uint64_t seed = 1;
+
+  std::uint32_t threads() const { return partitions + clients; }
+};
+
+struct KvResult {
+  double elapsed_seconds = 0;
+  double mean_compute_seconds = 0;
+  double mean_sync_seconds = 0;
+  std::uint64_t ops_completed = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t puts = 0;
+  std::uint64_t scans = 0;
+  double offered_rate = 0;   ///< the configured arrival rate (ops/s)
+  double achieved_rate = 0;  ///< ops_completed / elapsed (ops/s)
+  double mean_ns = 0;
+  double p50_ns = 0;
+  double p99_ns = 0;
+  double p999_ns = 0;
+  double max_ns = 0;
+  std::uint64_t value_checksum = 0;  ///< sum of all value words (mod 2^64)
+  util::Histogram latency;           ///< merged per-op latency (ns)
+};
+
+/// Runs the KV serving workload on any runtime (fresh, parallel_run not yet
+/// called). Launches params.threads() = partitions + clients threads.
+KvResult run_kvstore(api::Runtime& runtime, const KvParams& params);
+
+/// Sequential reference of the final value-word checksum: replays every
+/// client's deterministic operation stream and folds the put deltas.
+std::uint64_t kvstore_reference_checksum(const KvParams& params);
+
+}  // namespace sam::apps

@@ -3,10 +3,11 @@
 #include <algorithm>
 #include <vector>
 
-#include "rt/span_util.hpp"
 #include "util/expect.hpp"
 
 namespace sam::apps {
+
+using namespace api;
 
 namespace {
 
@@ -19,14 +20,14 @@ double b_entry(std::uint32_t i, std::uint32_t j) {
 }
 
 struct Shared {
-  rt::Addr a = 0;
-  rt::Addr b = 0;
-  rt::Addr c = 0;
+  Addr a = 0;
+  Addr b = 0;
+  Addr c = 0;
 };
 
-void thread_body(rt::ThreadCtx& ctx, const MatmulParams& p, Shared& sh,
-                 rt::BarrierId bar) {
-  const std::uint32_t t = ctx.index();
+void thread_body(ThreadCtx& ctx, const MatmulParams& p, Shared& sh,
+                 BarrierId bar) {
+  const std::uint32_t t = sam_thread_index(ctx);
   const std::uint32_t n = p.n;
   const std::size_t row_bytes = static_cast<std::size_t>(n) * sizeof(double);
   const std::uint32_t chunk = (n + p.threads - 1) / p.threads;
@@ -34,78 +35,78 @@ void thread_body(rt::ThreadCtx& ctx, const MatmulParams& p, Shared& sh,
   const std::uint32_t hi = std::min(n, lo + chunk);
 
   if (t == 0) {
-    sh.a = ctx.alloc_shared(static_cast<std::size_t>(n) * row_bytes);
-    sh.b = ctx.alloc_shared(static_cast<std::size_t>(n) * row_bytes);
-    sh.c = ctx.alloc_shared(static_cast<std::size_t>(n) * row_bytes);
+    sh.a = sam_alloc_shared(ctx, static_cast<std::size_t>(n) * row_bytes);
+    sh.b = sam_alloc_shared(ctx, static_cast<std::size_t>(n) * row_bytes);
+    sh.c = sam_alloc_shared(ctx, static_cast<std::size_t>(n) * row_bytes);
   }
-  ctx.barrier(bar);
+  sam_barrier(ctx, bar);
 
   // Initialize own row blocks of A and B (partitioned init, like real codes).
-  auto init_rows = [&](rt::Addr m, double (*f)(std::uint32_t, std::uint32_t)) {
+  auto init_rows = [&](Addr m, double (*f)(std::uint32_t, std::uint32_t)) {
     for (std::uint32_t i = lo; i < hi; ++i) {
-      rt::for_each_write_span<double>(
-          ctx, m + static_cast<rt::Addr>(i) * row_bytes, n,
+      sam_for_each_write<double>(
+          ctx, m + static_cast<Addr>(i) * row_bytes, n,
           [&](std::span<double> out, std::size_t at) {
             for (std::size_t j = 0; j < out.size(); ++j) {
               out[j] = f(i, static_cast<std::uint32_t>(at + j));
             }
           });
-      ctx.charge_mem_ops(0, n);
+      sam_charge_mem_ops(ctx, 0, n);
     }
   };
   init_rows(sh.a, a_entry);
   init_rows(sh.b, b_entry);
-  ctx.barrier(bar);
+  sam_barrier(ctx, bar);
 
-  ctx.begin_measurement();
+  sam_begin_measurement(ctx);
   std::vector<double> a_row, b_row, c_row;
   for (std::uint32_t i = lo; i < hi; ++i) {
     a_row.resize(n);
-    rt::for_each_read_span<double>(ctx, sh.a + static_cast<rt::Addr>(i) * row_bytes, n,
-                                   [&](std::span<const double> v, std::size_t at) {
-                                     std::copy(v.begin(), v.end(), a_row.begin() + at);
-                                   });
-    ctx.charge_mem_ops(n, 0);
+    sam_for_each_read<double>(ctx, sh.a + static_cast<Addr>(i) * row_bytes, n,
+                              [&](std::span<const double> v, std::size_t at) {
+                                std::copy(v.begin(), v.end(), a_row.begin() + at);
+                              });
+    sam_charge_mem_ops(ctx, n, 0);
     c_row.assign(n, 0.0);
     for (std::uint32_t k = 0; k < n; ++k) {
       const double aik = a_row[k];
       b_row.resize(n);
-      rt::for_each_read_span<double>(ctx, sh.b + static_cast<rt::Addr>(k) * row_bytes, n,
-                                     [&](std::span<const double> v, std::size_t at) {
-                                       std::copy(v.begin(), v.end(), b_row.begin() + at);
-                                     });
+      sam_for_each_read<double>(ctx, sh.b + static_cast<Addr>(k) * row_bytes, n,
+                                [&](std::span<const double> v, std::size_t at) {
+                                  std::copy(v.begin(), v.end(), b_row.begin() + at);
+                                });
       for (std::uint32_t j = 0; j < n; ++j) c_row[j] += aik * b_row[j];
-      ctx.charge_flops(2.0 * n);     // fused multiply-add per element
-      ctx.charge_mem_ops(n, 0);      // streaming B row (C row stays hot)
+      sam_charge_flops(ctx, 2.0 * n);     // fused multiply-add per element
+      sam_charge_mem_ops(ctx, n, 0);      // streaming B row (C row stays hot)
     }
-    rt::for_each_write_span<double>(ctx, sh.c + static_cast<rt::Addr>(i) * row_bytes, n,
-                                    [&](std::span<double> out, std::size_t at) {
-                                      std::copy(c_row.begin() + at,
-                                                c_row.begin() + at + out.size(),
-                                                out.begin());
-                                    });
-    ctx.charge_mem_ops(0, n);
+    sam_for_each_write<double>(ctx, sh.c + static_cast<Addr>(i) * row_bytes, n,
+                               [&](std::span<double> out, std::size_t at) {
+                                 std::copy(c_row.begin() + at,
+                                           c_row.begin() + at + out.size(),
+                                           out.begin());
+                               });
+    sam_charge_mem_ops(ctx, 0, n);
   }
-  ctx.barrier(bar);
-  ctx.end_measurement();
+  sam_barrier(ctx, bar);
+  sam_end_measurement(ctx);
 }
 
 }  // namespace
 
-MatmulResult run_matmul(rt::Runtime& runtime, const MatmulParams& p) {
+MatmulResult run_matmul(api::Runtime& runtime, const MatmulParams& p) {
   SAM_EXPECT(p.n >= 1 && p.threads >= 1, "bad matmul parameters");
   SAM_EXPECT(p.threads <= p.n, "more threads than rows");
   Shared sh;
-  const rt::BarrierId bar = runtime.create_barrier(p.threads);
-  runtime.parallel_run(p.threads,
-                       [&](rt::ThreadCtx& ctx) { thread_body(ctx, p, sh, bar); });
+  const BarrierId bar = sam_barrier_init(runtime, p.threads);
+  sam_threads(runtime, p.threads,
+              [&](ThreadCtx& ctx) { thread_body(ctx, p, sh, bar); });
 
   MatmulResult result;
-  result.elapsed_seconds = runtime.elapsed_seconds();
-  result.mean_compute_seconds = runtime.mean_compute_seconds();
-  result.mean_sync_seconds = runtime.mean_sync_seconds();
-  const auto c = runtime.read_global_array<double>(
-      sh.c, static_cast<std::size_t>(p.n) * p.n);
+  result.elapsed_seconds = sam_elapsed_seconds(runtime);
+  result.mean_compute_seconds = sam_mean_compute_seconds(runtime);
+  result.mean_sync_seconds = sam_mean_sync_seconds(runtime);
+  const auto c = sam_read_global_array<double>(runtime, 
+                                               sh.c, static_cast<std::size_t>(p.n) * p.n);
   for (double v : c) result.checksum += v;
   return result;
 }

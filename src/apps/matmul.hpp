@@ -11,7 +11,7 @@
 
 #include <cstdint>
 
-#include "rt/runtime.hpp"
+#include "api/sam_api.hpp"
 
 namespace sam::apps {
 
@@ -27,7 +27,7 @@ struct MatmulResult {
   double checksum = 0;  ///< sum of all elements of C
 };
 
-MatmulResult run_matmul(rt::Runtime& runtime, const MatmulParams& params);
+MatmulResult run_matmul(api::Runtime& runtime, const MatmulParams& params);
 
 /// Sequential reference checksum of C.
 double matmul_reference_checksum(const MatmulParams& params);

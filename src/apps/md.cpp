@@ -5,11 +5,12 @@
 #include <numbers>
 #include <vector>
 
-#include "rt/span_util.hpp"
 #include "util/expect.hpp"
 #include "util/rng.hpp"
 
 namespace sam::apps {
+
+using namespace api;
 
 namespace {
 
@@ -29,32 +30,32 @@ double pair_dpotential(double d) {
 }
 
 struct Shared {
-  rt::Addr pos = 0;   // n*3 doubles
-  rt::Addr vel = 0;   // n*3 doubles
-  rt::Addr acc = 0;   // n*3 doubles
-  rt::Addr energy = 0;  // [potential, kinetic]
+  Addr pos = 0;   // n*3 doubles
+  Addr vel = 0;   // n*3 doubles
+  Addr acc = 0;   // n*3 doubles
+  Addr energy = 0;  // [potential, kinetic]
 };
 
 /// Loads `count` doubles at `addr` into host scratch.
-void load_doubles(rt::ThreadCtx& ctx, rt::Addr addr, std::size_t count,
+void load_doubles(ThreadCtx& ctx, Addr addr, std::size_t count,
                   std::vector<double>& out) {
   out.resize(count);
-  rt::for_each_read_span<double>(ctx, addr, count,
-                                 [&](std::span<const double> chunk, std::size_t at) {
-                                   std::copy(chunk.begin(), chunk.end(), out.begin() + at);
-                                 });
-  ctx.charge_mem_ops(count, 0);
+  sam_for_each_read<double>(ctx, addr, count,
+                            [&](std::span<const double> chunk, std::size_t at) {
+                              std::copy(chunk.begin(), chunk.end(), out.begin() + at);
+                            });
+  sam_charge_mem_ops(ctx, count, 0);
 }
 
 /// Stores `vals` at `addr`.
-void store_doubles(rt::ThreadCtx& ctx, rt::Addr addr, const std::vector<double>& vals) {
-  rt::for_each_write_span<double>(ctx, addr, vals.size(),
-                                  [&](std::span<double> chunk, std::size_t at) {
-                                    std::copy(vals.begin() + at,
-                                              vals.begin() + at + chunk.size(),
-                                              chunk.begin());
-                                  });
-  ctx.charge_mem_ops(0, vals.size());
+void store_doubles(ThreadCtx& ctx, Addr addr, const std::vector<double>& vals) {
+  sam_for_each_write<double>(ctx, addr, vals.size(),
+                             [&](std::span<double> chunk, std::size_t at) {
+                               std::copy(vals.begin() + at,
+                                         vals.begin() + at + chunk.size(),
+                                         chunk.begin());
+                             });
+  sam_charge_mem_ops(ctx, 0, vals.size());
 }
 
 /// Deterministic initial positions shared by the parallel and reference runs.
@@ -65,9 +66,9 @@ std::vector<double> initial_positions(const MdParams& p) {
   return pos;
 }
 
-void thread_body(rt::ThreadCtx& ctx, const MdParams& p, Shared& sh, rt::MutexId mtx,
-                 rt::BarrierId bar) {
-  const std::uint32_t t = ctx.index();
+void thread_body(ThreadCtx& ctx, const MdParams& p, Shared& sh, MutexId mtx,
+                 BarrierId bar) {
+  const std::uint32_t t = sam_thread_index(ctx);
   const std::uint32_t n = p.particles;
   const std::size_t vec_bytes = static_cast<std::size_t>(n) * 3 * sizeof(double);
 
@@ -76,32 +77,32 @@ void thread_body(rt::ThreadCtx& ctx, const MdParams& p, Shared& sh, rt::MutexId 
   const std::uint32_t hi = std::min(n, lo + chunk);
 
   if (t == 0) {
-    sh.pos = ctx.alloc_shared(vec_bytes);
-    sh.vel = ctx.alloc_shared(vec_bytes);
-    sh.acc = ctx.alloc_shared(vec_bytes);
-    sh.energy = ctx.alloc_shared(2 * sizeof(double));
+    sh.pos = sam_alloc_shared(ctx, vec_bytes);
+    sh.vel = sam_alloc_shared(ctx, vec_bytes);
+    sh.acc = sam_alloc_shared(ctx, vec_bytes);
+    sh.energy = sam_alloc_shared(ctx, 2 * sizeof(double));
     const std::vector<double> pos0 = initial_positions(p);
     store_doubles(ctx, sh.pos, pos0);
     store_doubles(ctx, sh.vel, std::vector<double>(n * 3, 0.0));
     store_doubles(ctx, sh.acc, std::vector<double>(n * 3, 0.0));
-    ctx.write<double>(sh.energy, 0.0);
-    ctx.write<double>(sh.energy + sizeof(double), 0.0);
+    sam_write<double>(ctx, sh.energy, 0.0);
+    sam_write<double>(ctx, sh.energy + sizeof(double), 0.0);
   }
-  ctx.barrier(bar);
+  sam_barrier(ctx, bar);
 
-  ctx.begin_measurement();
+  sam_begin_measurement(ctx);
   std::vector<double> pos, my_vel, my_acc;
-  const rt::Addr my_off = static_cast<rt::Addr>(lo) * 3 * sizeof(double);
+  const Addr my_off = static_cast<Addr>(lo) * 3 * sizeof(double);
   const std::size_t my_count = static_cast<std::size_t>(hi - lo) * 3;
 
   for (std::uint32_t step = 0; step < p.steps; ++step) {
     // Phase 0: reset the energy accumulators (thread 0, ordinary region —
     // published by the barrier below).
     if (t == 0) {
-      ctx.write<double>(sh.energy, 0.0);
-      ctx.write<double>(sh.energy + sizeof(double), 0.0);
+      sam_write<double>(ctx, sh.energy, 0.0);
+      sam_write<double>(ctx, sh.energy + sizeof(double), 0.0);
     }
-    ctx.barrier(bar);
+    sam_barrier(ctx, bar);
 
     // Phase 1: drift — update own positions from current vel and acc.
     if (my_count > 0) {
@@ -112,10 +113,10 @@ void thread_body(rt::ThreadCtx& ctx, const MdParams& p, Shared& sh, rt::MutexId 
       for (std::size_t k = 0; k < my_count; ++k) {
         my_pos[k] += p.dt * my_vel[k] + 0.5 * p.dt * p.dt * my_acc[k];
       }
-      ctx.charge_flops(5.0 * my_count);
+      sam_charge_flops(ctx, 5.0 * my_count);
       store_doubles(ctx, sh.pos + my_off, my_pos);
     }
-    ctx.barrier(bar);
+    sam_barrier(ctx, bar);
 
     // Phase 2: forces from all positions; kick own velocities; energies.
     load_doubles(ctx, sh.pos, static_cast<std::size_t>(n) * 3, pos);
@@ -142,8 +143,8 @@ void thread_body(rt::ThreadCtx& ctx, const MdParams& p, Shared& sh, rt::MutexId 
       // ~20 cycles for sqrt, ~80 for sin+cos, ~20 for the divide, 6 for the
       // force update — ~130 cycles ≈ 260 flop-equivalents at 2 flops/cycle.
       // The paper's point is that per-particle work is O(n).
-      ctx.charge_flops(260.0 * n);
-      ctx.charge_mem_ops(3ull * n, 3);
+      sam_charge_flops(ctx, 260.0 * n);
+      sam_charge_mem_ops(ctx, 3ull * n, 3);
       new_acc[3 * (i - lo)] = fx;       // unit mass: a = f
       new_acc[3 * (i - lo) + 1] = fy;
       new_acc[3 * (i - lo) + 2] = fz;
@@ -153,42 +154,43 @@ void thread_body(rt::ThreadCtx& ctx, const MdParams& p, Shared& sh, rt::MutexId 
       my_vel[k] += 0.5 * p.dt * (my_acc[k] + new_acc[k]);
       local_kin += 0.5 * my_vel[k] * my_vel[k];
     }
-    ctx.charge_flops(7.0 * my_count);
+    sam_charge_flops(ctx, 7.0 * my_count);
     if (my_count > 0) {
       store_doubles(ctx, sh.vel + my_off, my_vel);
       store_doubles(ctx, sh.acc + my_off, new_acc);
     }
 
-    ctx.lock(mtx);
-    const double pot = ctx.read<double>(sh.energy);
-    const double kin = ctx.read<double>(sh.energy + sizeof(double));
-    ctx.write<double>(sh.energy, pot + local_pot);
-    ctx.write<double>(sh.energy + sizeof(double), kin + local_kin);
-    ctx.charge_flops(2.0);
-    ctx.charge_mem_ops(2, 2);
-    ctx.unlock(mtx);
-    ctx.barrier(bar);
+    sam_lock(ctx, mtx);
+    const double pot = sam_read<double>(ctx, sh.energy);
+    const double kin = sam_read<double>(ctx, sh.energy + sizeof(double));
+    sam_write<double>(ctx, sh.energy, pot + local_pot);
+    sam_write<double>(ctx, sh.energy + sizeof(double), kin + local_kin);
+    sam_charge_flops(ctx, 2.0);
+    sam_charge_mem_ops(ctx, 2, 2);
+    sam_unlock(ctx, mtx);
+    sam_barrier(ctx, bar);
   }
-  ctx.end_measurement();
+  sam_end_measurement(ctx);
 }
 
 }  // namespace
 
-MdResult run_md(rt::Runtime& runtime, const MdParams& p) {
+MdResult run_md(api::Runtime& runtime, const MdParams& p) {
   SAM_EXPECT(p.particles >= 2, "need at least two particles");
   SAM_EXPECT(p.threads >= 1, "need at least one thread");
   Shared sh;
-  const rt::MutexId mtx = runtime.create_mutex();
-  const rt::BarrierId bar = runtime.create_barrier(p.threads);
-  runtime.parallel_run(p.threads,
-                       [&](rt::ThreadCtx& ctx) { thread_body(ctx, p, sh, mtx, bar); });
+  const MutexId mtx = sam_mutex_init(runtime);
+  const BarrierId bar = sam_barrier_init(runtime, p.threads);
+  sam_threads(runtime, p.threads,
+              [&](ThreadCtx& ctx) { thread_body(ctx, p, sh, mtx, bar); });
 
   MdResult result;
-  result.elapsed_seconds = runtime.elapsed_seconds();
-  result.mean_compute_seconds = runtime.mean_compute_seconds();
-  result.mean_sync_seconds = runtime.mean_sync_seconds();
-  result.potential = runtime.read_global_array<double>(sh.energy, 1)[0];
-  result.kinetic = runtime.read_global_array<double>(sh.energy + sizeof(double), 1)[0];
+  result.elapsed_seconds = sam_elapsed_seconds(runtime);
+  result.mean_compute_seconds = sam_mean_compute_seconds(runtime);
+  result.mean_sync_seconds = sam_mean_sync_seconds(runtime);
+  result.potential = sam_read_global_array<double>(runtime, sh.energy, 1)[0];
+  result.kinetic =
+      sam_read_global_array<double>(runtime, sh.energy + sizeof(double), 1)[0];
   return result;
 }
 

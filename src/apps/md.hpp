@@ -9,7 +9,7 @@
 
 #include <cstdint>
 
-#include "rt/runtime.hpp"
+#include "api/sam_api.hpp"
 
 namespace sam::apps {
 
@@ -30,7 +30,7 @@ struct MdResult {
   double kinetic = 0;    ///< final-step kinetic energy (checksum)
 };
 
-MdResult run_md(rt::Runtime& runtime, const MdParams& params);
+MdResult run_md(api::Runtime& runtime, const MdParams& params);
 
 /// Sequential reference energies after `steps` steps.
 struct MdReference {

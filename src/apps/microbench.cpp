@@ -4,10 +4,11 @@
 #include <numbers>
 #include <vector>
 
-#include "rt/span_util.hpp"
 #include "util/expect.hpp"
 
 namespace sam::apps {
+
+using namespace api;
 
 const char* to_string(MicrobenchAlloc a) {
   switch (a) {
@@ -31,34 +32,34 @@ namespace {
 /// Per-run shared slots communicated between threads via the host (the
 /// analogue of passing pointers through pthread_create arguments).
 struct Shared {
-  rt::Addr gsum = 0;
-  rt::Addr data = 0;  // global allocation (unused for kLocal)
+  Addr gsum = 0;
+  Addr data = 0;  // global allocation (unused for kLocal)
 };
 
 /// Global address of row `k` (0..S-1) for thread `i` under the strategy.
-rt::Addr row_addr(const MicrobenchParams& p, const Shared& sh, rt::Addr local_base,
-                  std::uint32_t i, int k) {
+Addr row_addr(const MicrobenchParams& p, const Shared& sh, Addr local_base,
+              std::uint32_t i, int k) {
   const std::size_t row_bytes = static_cast<std::size_t>(p.B) * sizeof(double);
   switch (p.alloc) {
     case MicrobenchAlloc::kLocal:
-      return local_base + static_cast<rt::Addr>(k) * row_bytes;
+      return local_base + static_cast<Addr>(k) * row_bytes;
     case MicrobenchAlloc::kGlobal:
-      return sh.data + (static_cast<rt::Addr>(i) * p.S + k) * row_bytes;
+      return sh.data + (static_cast<Addr>(i) * p.S + k) * row_bytes;
     case MicrobenchAlloc::kGlobalStrided:
-      return sh.data + (static_cast<rt::Addr>(k) * p.threads + i) * row_bytes;
+      return sh.data + (static_cast<Addr>(k) * p.threads + i) * row_bytes;
   }
   return 0;
 }
 
-void thread_body(rt::ThreadCtx& ctx, const MicrobenchParams& p, Shared& sh,
-                 rt::MutexId mtx, rt::BarrierId bar) {
-  const std::uint32_t i = ctx.index();
+void thread_body(ThreadCtx& ctx, const MicrobenchParams& p, Shared& sh,
+                 MutexId mtx, BarrierId bar) {
+  const std::uint32_t i = sam_thread_index(ctx);
   const std::size_t row_bytes = static_cast<std::size_t>(p.B) * sizeof(double);
 
   // --- setup: allocation + initialization (outside the measured phase) ----
-  rt::Addr local_base = 0;
+  Addr local_base = 0;
   if (p.alloc == MicrobenchAlloc::kLocal) {
-    local_base = ctx.alloc(static_cast<std::size_t>(p.S) * row_bytes);
+    local_base = sam_alloc(ctx, static_cast<std::size_t>(p.S) * row_bytes);
   } else if (i == 0) {
     // One row of leading padding reproduces the paper's layout: the global
     // allocation is not page/line aligned (allocator metadata precedes user
@@ -68,79 +69,79 @@ void thread_body(rt::ThreadCtx& ctx, const MicrobenchParams& p, Shared& sh,
     // false sharing would vanish — a layout accident the paper's global
     // figures clearly do not exhibit.
     const std::size_t total = static_cast<std::size_t>(p.threads) * p.S * row_bytes;
-    sh.data = ctx.alloc_shared(total + row_bytes) + row_bytes;
+    sh.data = sam_alloc_shared(ctx, total + row_bytes) + row_bytes;
   }
   if (i == 0) {
-    sh.gsum = ctx.alloc_shared(sizeof(double));
-    ctx.write<double>(sh.gsum, 0.0);
+    sh.gsum = sam_alloc_shared(ctx, sizeof(double));
+    sam_write<double>(ctx, sh.gsum, 0.0);
   }
-  ctx.barrier(bar);  // publish sh.data / sh.gsum
+  sam_barrier(ctx, bar);  // publish sh.data / sh.gsum
 
   for (int k = 0; k < p.S; ++k) {
-    const rt::Addr row = row_addr(p, sh, local_base, i, k);
-    rt::for_each_write_span<double>(ctx, row, static_cast<std::size_t>(p.B),
-                                    [&](std::span<double> chunk, std::size_t) {
-                                      for (double& v : chunk) v = 1.0;
-                                    });
-    ctx.charge_mem_ops(0, static_cast<std::uint64_t>(p.B));
+    const Addr row = row_addr(p, sh, local_base, i, k);
+    sam_for_each_write<double>(ctx, row, static_cast<std::size_t>(p.B),
+                               [&](std::span<double> chunk, std::size_t) {
+                                 for (double& v : chunk) v = 1.0;
+                               });
+    sam_charge_mem_ops(ctx, 0, static_cast<std::uint64_t>(p.B));
   }
-  ctx.barrier(bar);
+  sam_barrier(ctx, bar);
 
   // --- measured phase: the Figure-2 kernel ---------------------------------
-  ctx.begin_measurement();
+  sam_begin_measurement(ctx);
   for (int n = 0; n < p.N; ++n) {
     double sum = 0.0;
     for (int j = 0; j < p.M; ++j) {
       for (int k = 0; k < p.S; ++k) {
         double rsum = 0.0;
-        const rt::Addr row = row_addr(p, sh, local_base, i, k);
-        rt::for_each_write_span<double>(ctx, row, static_cast<std::size_t>(p.B),
-                                        [&](std::span<double> chunk, std::size_t) {
-                                          for (double& v : chunk) {
-                                            v = p.r * v;
-                                            rsum += v;
-                                          }
-                                        });
+        const Addr row = row_addr(p, sh, local_base, i, k);
+        sam_for_each_write<double>(ctx, row, static_cast<std::size_t>(p.B),
+                                   [&](std::span<double> chunk, std::size_t) {
+                                     for (double& v : chunk) {
+                                       v = p.r * v;
+                                       rsum += v;
+                                     }
+                                   });
         // Two flops per element (multiply + accumulate), one load + one
         // store per element, plus the rsum fold into sum.
-        ctx.charge_flops(2.0 * p.B + 2.0);
-        ctx.charge_mem_ops(static_cast<std::uint64_t>(p.B),
+        sam_charge_flops(ctx, 2.0 * p.B + 2.0);
+        sam_charge_mem_ops(ctx, static_cast<std::uint64_t>(p.B),
                            static_cast<std::uint64_t>(p.B));
         sum += std::numbers::pi * rsum;
       }
     }
-    ctx.lock(mtx);
-    const double g = ctx.read<double>(sh.gsum);
-    ctx.write<double>(sh.gsum, g + sum);
-    ctx.charge_flops(1.0);
-    ctx.charge_mem_ops(1, 1);
-    ctx.unlock(mtx);
-    ctx.barrier(bar);
+    sam_lock(ctx, mtx);
+    const double g = sam_read<double>(ctx, sh.gsum);
+    sam_write<double>(ctx, sh.gsum, g + sum);
+    sam_charge_flops(ctx, 1.0);
+    sam_charge_mem_ops(ctx, 1, 1);
+    sam_unlock(ctx, mtx);
+    sam_barrier(ctx, bar);
   }
-  ctx.end_measurement();
+  sam_end_measurement(ctx);
 }
 
 }  // namespace
 
-MicrobenchResult run_microbench(rt::Runtime& runtime, const MicrobenchParams& params) {
+MicrobenchResult run_microbench(api::Runtime& runtime, const MicrobenchParams& params) {
   SAM_EXPECT(params.threads >= 1, "need at least one thread");
   SAM_EXPECT(params.N >= 1 && params.M >= 1 && params.S >= 1 && params.B >= 1,
              "bad micro-benchmark parameters");
   Shared sh;
-  const rt::MutexId mtx = runtime.create_mutex();
-  const rt::BarrierId bar = runtime.create_barrier(params.threads);
-  runtime.parallel_run(params.threads, [&](rt::ThreadCtx& ctx) {
-    thread_body(ctx, params, sh, mtx, bar);
-  });
+  const MutexId mtx = sam_mutex_init(runtime);
+  const BarrierId bar = sam_barrier_init(runtime, params.threads);
+  sam_threads(runtime, params.threads, [&](ThreadCtx& ctx) {
+              thread_body(ctx, params, sh, mtx, bar);
+            });
 
   MicrobenchResult result;
-  result.mean_compute_seconds = runtime.mean_compute_seconds();
-  result.mean_sync_seconds = runtime.mean_sync_seconds();
-  result.elapsed_seconds = runtime.elapsed_seconds();
-  result.gsum = runtime.read_global_array<double>(sh.gsum, 1)[0];
-  for (std::uint32_t t = 0; t < runtime.ran_threads(); ++t) {
-    result.cache_misses += runtime.report(t).cache_misses;
-    result.bytes_flushed += runtime.report(t).bytes_flushed;
+  result.mean_compute_seconds = sam_mean_compute_seconds(runtime);
+  result.mean_sync_seconds = sam_mean_sync_seconds(runtime);
+  result.elapsed_seconds = sam_elapsed_seconds(runtime);
+  result.gsum = sam_read_global_array<double>(runtime, sh.gsum, 1)[0];
+  for (std::uint32_t t = 0; t < sam_ran_threads(runtime); ++t) {
+    result.cache_misses += sam_report(runtime, t).cache_misses;
+    result.bytes_flushed += sam_report(runtime, t).bytes_flushed;
   }
   return result;
 }

@@ -13,7 +13,7 @@
 #include <cstdint>
 #include <string>
 
-#include "rt/runtime.hpp"
+#include "api/sam_api.hpp"
 
 namespace sam::apps {
 
@@ -43,7 +43,7 @@ struct MicrobenchResult {
 
 /// Runs the micro-benchmark on any runtime. The runtime must be fresh
 /// (parallel_run not yet called).
-MicrobenchResult run_microbench(rt::Runtime& runtime, const MicrobenchParams& params);
+MicrobenchResult run_microbench(api::Runtime& runtime, const MicrobenchParams& params);
 
 /// Sequential reference value of gsum for correctness checks.
 double microbench_reference_gsum(const MicrobenchParams& params);

@@ -3,10 +3,11 @@
 #include <algorithm>
 #include <vector>
 
-#include "rt/span_util.hpp"
 #include "util/expect.hpp"
 
 namespace sam::apps {
+
+using namespace api;
 
 const char* to_string(ReductionStrategy s) {
   switch (s) {
@@ -25,14 +26,14 @@ double item_value(std::uint32_t t, std::uint32_t i) {
 }
 
 struct Shared {
-  rt::Addr data = 0;      // threads * items doubles
-  rt::Addr partials = 0;  // threads doubles (tree strategy)
-  rt::Addr result = 0;    // 1 double
+  Addr data = 0;      // threads * items doubles
+  Addr partials = 0;  // threads doubles (tree strategy)
+  Addr result = 0;    // 1 double
 };
 
-void thread_body(rt::ThreadCtx& ctx, const ReductionParams& p, Shared& sh,
-                 rt::MutexId mtx, rt::BarrierId bar) {
-  const std::uint32_t t = ctx.index();
+void thread_body(ThreadCtx& ctx, const ReductionParams& p, Shared& sh,
+                 MutexId mtx, BarrierId bar) {
+  const std::uint32_t t = sam_thread_index(ctx);
   const std::size_t items = p.items_per_thread;
   const std::size_t slice_bytes = items * sizeof(double);
 
@@ -42,85 +43,85 @@ void thread_body(rt::ThreadCtx& ctx, const ReductionParams& p, Shared& sh,
   // largest DSM line size we model (16 KiB).
   const std::size_t partial_stride =
       p.strategy == ReductionStrategy::kPaddedTree
-          ? std::min<std::size_t>(ctx.view_granularity(), 16384)
+          ? std::min<std::size_t>(sam_view_granularity(ctx), 16384)
           : sizeof(double);
   if (t == 0) {
-    sh.data = ctx.alloc_shared(p.threads * slice_bytes);
-    sh.partials = ctx.alloc_shared(p.threads * partial_stride);
-    sh.result = ctx.alloc_shared(sizeof(double));
-    ctx.write<double>(sh.result, 0.0);
+    sh.data = sam_alloc_shared(ctx, p.threads * slice_bytes);
+    sh.partials = sam_alloc_shared(ctx, p.threads * partial_stride);
+    sh.result = sam_alloc_shared(ctx, sizeof(double));
+    sam_write<double>(ctx, sh.result, 0.0);
   }
-  ctx.barrier(bar);
+  sam_barrier(ctx, bar);
 
-  const rt::Addr mine = sh.data + t * slice_bytes;
-  rt::for_each_write_span<double>(ctx, mine, items,
-                                  [&](std::span<double> out, std::size_t at) {
-                                    for (std::size_t k = 0; k < out.size(); ++k) {
-                                      out[k] = item_value(t, static_cast<std::uint32_t>(at + k));
-                                    }
-                                  });
-  ctx.charge_mem_ops(0, items);
-  ctx.barrier(bar);
+  const Addr mine = sh.data + t * slice_bytes;
+  sam_for_each_write<double>(
+      ctx, mine, items, [&](std::span<double> out, std::size_t at) {
+        for (std::size_t k = 0; k < out.size(); ++k) {
+          out[k] = item_value(t, static_cast<std::uint32_t>(at + k));
+        }
+      });
+  sam_charge_mem_ops(ctx, 0, items);
+  sam_barrier(ctx, bar);
 
-  ctx.begin_measurement();
+  sam_begin_measurement(ctx);
   for (std::uint32_t round = 0; round < p.rounds; ++round) {
-    if (t == 0) ctx.write<double>(sh.result, 0.0);
-    ctx.barrier(bar);
+    if (t == 0) sam_write<double>(ctx, sh.result, 0.0);
+    sam_barrier(ctx, bar);
 
     // Local phase: sum own slice (identical in both strategies).
     double local = 0;
-    rt::for_each_read_span<double>(ctx, mine, items,
-                                   [&](std::span<const double> in, std::size_t) {
-                                     for (double v : in) local += v;
-                                   });
-    ctx.charge_flops(static_cast<double>(items));
-    ctx.charge_mem_ops(items, 0);
+    sam_for_each_read<double>(ctx, mine, items,
+                              [&](std::span<const double> in, std::size_t) {
+                                for (double v : in) local += v;
+                              });
+    sam_charge_flops(ctx, static_cast<double>(items));
+    sam_charge_mem_ops(ctx, items, 0);
 
     if (p.strategy == ReductionStrategy::kMutex) {
-      ctx.lock(mtx);
-      ctx.write<double>(sh.result, ctx.read<double>(sh.result) + local);
-      ctx.charge_flops(1);
-      ctx.unlock(mtx);
-      ctx.barrier(bar);
+      sam_lock(ctx, mtx);
+      sam_write<double>(ctx, sh.result, sam_read<double>(ctx, sh.result) + local);
+      sam_charge_flops(ctx, 1);
+      sam_unlock(ctx, mtx);
+      sam_barrier(ctx, bar);
     } else {
       // Tree phase: publish the partial, then pairwise-combine over
       // log2(P) barrier-separated rounds; thread 0 owns the final value.
       const auto slot = [&](std::uint32_t who) {
         return sh.partials + who * partial_stride;
       };
-      ctx.write<double>(slot(t), local);
-      ctx.barrier(bar);
+      sam_write<double>(ctx, slot(t), local);
+      sam_barrier(ctx, bar);
       for (std::uint32_t stride = 1; stride < p.threads; stride *= 2) {
         if (t % (2 * stride) == 0 && t + stride < p.threads) {
-          const double mine_v = ctx.read<double>(slot(t));
-          const double theirs = ctx.read<double>(slot(t + stride));
-          ctx.write<double>(slot(t), mine_v + theirs);
-          ctx.charge_flops(1);
+          const double mine_v = sam_read<double>(ctx, slot(t));
+          const double theirs = sam_read<double>(ctx, slot(t + stride));
+          sam_write<double>(ctx, slot(t), mine_v + theirs);
+          sam_charge_flops(ctx, 1);
         }
-        ctx.barrier(bar);
+        sam_barrier(ctx, bar);
       }
-      if (t == 0) ctx.write<double>(sh.result, ctx.read<double>(slot(0)));
-      ctx.barrier(bar);
+      if (t == 0) sam_write<double>(ctx, sh.result, sam_read<double>(ctx, slot(0)));
+      sam_barrier(ctx, bar);
     }
   }
-  ctx.end_measurement();
+  sam_end_measurement(ctx);
 }
 
 }  // namespace
 
-ReductionResult run_reduction(rt::Runtime& runtime, const ReductionParams& p) {
+ReductionResult run_reduction(api::Runtime& runtime, const ReductionParams& p) {
   SAM_EXPECT(p.threads >= 1 && p.items_per_thread >= 1 && p.rounds >= 1,
              "bad reduction parameters");
   Shared sh;
-  const auto mtx = runtime.create_mutex();
-  const auto bar = runtime.create_barrier(p.threads);
-  runtime.parallel_run(p.threads,
-                       [&](rt::ThreadCtx& ctx) { thread_body(ctx, p, sh, mtx, bar); });
+  const auto mtx = sam_mutex_init(runtime);
+  const auto bar = sam_barrier_init(runtime, p.threads);
+  sam_threads(runtime, p.threads,
+              [&](ThreadCtx& ctx) { thread_body(ctx, p, sh, mtx, bar); });
   ReductionResult r;
-  r.elapsed_seconds = runtime.elapsed_seconds();
-  r.mean_sync_seconds = runtime.mean_sync_seconds();
-  r.mean_compute_seconds = runtime.mean_compute_seconds();
-  r.value = runtime.read_global_array<double>(sh.result, 1)[0];
+  r.elapsed_seconds = sam_elapsed_seconds(runtime);
+  r.mean_sync_seconds = sam_mean_sync_seconds(runtime);
+  r.mean_compute_seconds = sam_mean_compute_seconds(runtime);
+  r.value = sam_read_global_array<double>(runtime, sh.result, 1)[0];
   return r;
 }
 

@@ -21,7 +21,7 @@
 
 #include <cstdint>
 
-#include "rt/runtime.hpp"
+#include "api/sam_api.hpp"
 
 namespace sam::apps {
 
@@ -43,7 +43,7 @@ struct ReductionResult {
   double value = 0;  ///< final reduced value (checksum)
 };
 
-ReductionResult run_reduction(rt::Runtime& runtime, const ReductionParams& params);
+ReductionResult run_reduction(api::Runtime& runtime, const ReductionParams& params);
 
 /// Sequential reference of the final reduced value.
 double reduction_reference(const ReductionParams& params);

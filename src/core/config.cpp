@@ -163,6 +163,18 @@ void validate(const SamhitaConfig& cfg) {
                    "(memory_servers = " + std::to_string(cfg.memory_servers) +
                    "); a replica on the home server would be meaningless");
   }
+  // KV serving knobs fail fast with CLI-worthy messages: a theta of 1.0 or a
+  // 4-byte value would otherwise die deep inside the workload, mid-run.
+  SAM_EXPECT(cfg.kv_partitions >= 1, "kv_partitions must be >= 1");
+  SAM_EXPECT(cfg.kv_arrival_rate > 0.0 && std::isfinite(cfg.kv_arrival_rate),
+             "kv_arrival_rate must be positive and finite (ops per virtual second)");
+  SAM_EXPECT(cfg.kv_zipf_theta >= 0.0 && cfg.kv_zipf_theta < 1.0,
+             "kv_zipf_theta must be in [0, 1) (0 = uniform keys)");
+  SAM_EXPECT(cfg.kv_read_ratio >= 0.0 && cfg.kv_read_ratio <= 1.0,
+             "kv_read_ratio must be in [0, 1]");
+  SAM_EXPECT(cfg.kv_value_bytes >= 8,
+             "kv_value_bytes must be >= 8 (word 0 holds the put accumulator)");
+
   // Tenant specs fail fast before the fabric carves partitions or thread
   // ranges out of them (paper-default single-job configs skip all of this).
   if (!cfg.tenants.empty()) {

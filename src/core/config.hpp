@@ -236,6 +236,19 @@ struct SamhitaConfig {
   /// kMigrateReplicate (capped by memory_servers - 1).
   unsigned max_replicas = 2;
 
+  // --- KV serving workload ---------------------------------------------------
+  // Knobs of apps/kvstore (the open-loop Zipfian serving workload); apps and
+  // tools read them off the config so a platform sweep and a workload sweep
+  // travel through one validated surface. See docs/api.md for the walkthrough.
+  unsigned kv_partitions = 4;     ///< server threads owning hash partitions
+  /// Offered load in ops per virtual second. The default sits below the
+  /// default topology's saturation point so the stock x0.25..x4 rate sweep
+  /// brackets the knee instead of starting past it.
+  double kv_arrival_rate = 5.0e4;
+  double kv_zipf_theta = 0.99;    ///< key skew in [0, 1); 0 = uniform
+  double kv_read_ratio = 0.95;    ///< fraction of ops that read
+  std::size_t kv_value_bytes = 128;  ///< record size in bytes (>= 8)
+
   // --- multi-tenant fabric ---------------------------------------------------
   /// Co-resident tenants sharing this universe. Empty (the default) keeps
   /// the classic one-job runtime, bit-identical to the seed; non-empty

@@ -129,6 +129,53 @@ void SamThreadCtx::charge_mem_ops(std::uint64_t loads, std::uint64_t stores) {
 }
 
 // ---------------------------------------------------------------------------
+// Atomics and pacing
+// ---------------------------------------------------------------------------
+
+std::uint64_t SamThreadCtx::atomic_rmw(rt::Addr addr, std::size_t width, rt::RmwOp op,
+                                       std::uint64_t operand_a,
+                                       std::uint64_t operand_b) {
+  SAM_EXPECT(width == 4 || width == 8, "atomic_rmw supports 4- or 8-byte words");
+  SAM_EXPECT(addr % width == 0, "atomic_rmw address must be naturally aligned");
+  // Lock/modify/unlock on a runtime-global address-striped mutex: the lock
+  // acquire invalidates the cached line, the release publishes the updated
+  // word — exactly the RegC region choreography, so every thread observes
+  // RMWs on a word in a single global order.
+  const rt::MutexId m = rt_->rmw_stripe_mutex(addr);
+  sync_.lock(m);
+  std::uint64_t old = 0;
+  std::uint64_t next = 0;
+  if (width == 4) {
+    old = read<std::uint32_t>(addr);
+  } else {
+    old = read<std::uint64_t>(addr);
+  }
+  switch (op) {
+    case rt::RmwOp::kCas:
+      next = old == operand_a ? operand_b : old;
+      break;
+    case rt::RmwOp::kFetchAdd:
+      next = old + operand_a;
+      break;
+  }
+  if (next != old) {
+    if (width == 4) {
+      write<std::uint32_t>(addr, static_cast<std::uint32_t>(next));
+    } else {
+      write<std::uint64_t>(addr, next);
+    }
+  }
+  charge_mem_ops(1, next != old ? 1 : 0);
+  sync_.unlock(m);
+  return old;
+}
+
+void SamThreadCtx::sleep_until(SimTime t) {
+  if (t <= ec_.clock()) return;
+  rt_->sched_.wait_until(t);
+}
+
+// ---------------------------------------------------------------------------
 // Measurement
 // ---------------------------------------------------------------------------
 

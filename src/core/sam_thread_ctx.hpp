@@ -66,6 +66,10 @@ class SamThreadCtx final : public rt::ThreadCtx {
   void cond_broadcast(rt::CondId c) override { sync_.cond_broadcast(c); }
   void barrier(rt::BarrierId b) override { sync_.barrier(b); }
 
+  std::uint64_t atomic_rmw(rt::Addr addr, std::size_t width, rt::RmwOp op,
+                           std::uint64_t operand_a, std::uint64_t operand_b) override;
+  void sleep_until(SimTime t) override;
+
   void begin_measurement() override;
   void end_measurement() override;
 

@@ -121,6 +121,20 @@ const mem::MemoryServer& SamhitaRuntime::home_server(mem::PageId page) const {
   return servers_.at(directory_.home(page));
 }
 
+rt::MutexId SamhitaRuntime::rmw_stripe_mutex(rt::Addr addr) {
+  if (rmw_stripes_.empty()) {
+    // One creation burst, host-side and deterministic: 64 stripes bound the
+    // false-contention rate without perturbing runs that never use atomics.
+    constexpr unsigned kRmwStripes = 64;
+    rmw_stripes_.reserve(kRmwStripes);
+    for (unsigned i = 0; i < kRmwStripes; ++i) {
+      rmw_stripes_.push_back(services_.create_mutex());
+    }
+  }
+  const rt::Addr line = addr / config_.line_bytes();
+  return rmw_stripes_[line % rmw_stripes_.size()];
+}
+
 mem::MemoryServer& SamhitaRuntime::fetch_server(mem::PageId page, mem::ThreadIdx reader) {
   const std::vector<mem::ServerIdx>& reps = directory_.replicas(page);
   if (reps.empty()) return servers_.at(directory_.home(page));

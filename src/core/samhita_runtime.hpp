@@ -158,6 +158,11 @@ class SamhitaRuntime final : public rt::Runtime {
 
   SamAllocator& allocator_of(TenantId t) { return *allocators_.at(t); }
 
+  /// Runtime-global mutex striping atomic RMWs by software cache line. The
+  /// stripe set is created lazily at the first atomic op so atomics-free
+  /// runs keep bit-identical manager-shard object placement.
+  rt::MutexId rmw_stripe_mutex(rt::Addr addr);
+
   std::string name_ = "samhita";
   SamhitaConfig config_;
   /// Parsed before net_: the plan's spike parameters feed build_network.
@@ -184,6 +189,8 @@ class SamhitaRuntime final : public rt::Runtime {
   /// would let tenant B's barrier consume (and discard) tenant A's pending
   /// write notes, so A's threads would keep reading stale lines.
   std::vector<std::unordered_map<mem::PageId, mem::ThreadSet>> epoch_snapshots_;
+  /// Address-striped RMW mutexes (empty until the first atomic_rmw).
+  std::vector<rt::MutexId> rmw_stripes_;
   bool ran_ = false;
   double sim_wall_seconds_ = 0.0;
 };

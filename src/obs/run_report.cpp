@@ -483,7 +483,8 @@ Registry collect_registry(const core::SamhitaRuntime& runtime) {
 }
 
 void write_run_report(const core::SamhitaRuntime& runtime, std::ostream& out,
-                      std::string_view workload, std::size_t profile_top_n) {
+                      std::string_view workload, std::size_t profile_top_n,
+                      const ReportExtra& extra) {
   const core::RunSummary summary = core::summarize(runtime);
   const Registry reg = collect_registry(runtime);
 
@@ -605,6 +606,10 @@ void write_run_report(const core::SamhitaRuntime& runtime, std::ostream& out,
     w.key("profile");
     write_profile_json(w, profile);
   }
+
+  // Workload-specific tail section (e.g. "kv"): only present when the caller
+  // supplies one, so the seed layout is untouched for every other run.
+  if (extra) extra(w);
 
   w.end_object();
   out << '\n';

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <iosfwd>
 #include <string_view>
 
@@ -32,10 +33,18 @@ inline constexpr int kRunReportSchemaVersion = 2;
 /// latency/wait distributions as log2 histograms.
 Registry collect_registry(const core::SamhitaRuntime& runtime);
 
+/// Optional workload-specific top-level section (e.g. the "kv" serving
+/// sweep): invoked with the writer positioned inside the top-level object;
+/// the callback must emit one key() followed by a complete value. Absent
+/// callbacks leave the document byte-identical to the pre-hook layout, so
+/// every existing consumer keeps its exact key set.
+using ReportExtra = std::function<void(JsonWriter&)>;
+
 /// Writes the complete run report JSON document to `out`.
 /// `workload` labels the run (empty is fine); `profile_top_n` bounds the
 /// hottest-cache-line list when tracing was enabled.
 void write_run_report(const core::SamhitaRuntime& runtime, std::ostream& out,
-                      std::string_view workload = "", std::size_t profile_top_n = 10);
+                      std::string_view workload = "", std::size_t profile_top_n = 10,
+                      const ReportExtra& extra = {});
 
 }  // namespace sam::obs

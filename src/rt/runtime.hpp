@@ -34,6 +34,12 @@ using MutexId = std::uint32_t;
 using CondId = std::uint32_t;
 using BarrierId = std::uint32_t;
 
+/// Atomic read-modify-write operations on shared words (ThreadCtx::atomic_rmw).
+enum class RmwOp {
+  kCas,       ///< compare-and-swap: operand_a = expected, operand_b = desired
+  kFetchAdd,  ///< fetch-and-add: operand_a = delta (two's-complement wrap)
+};
+
 /// Per-thread accounting mirroring the paper's two measured components.
 struct ThreadReport {
   double compute_seconds = 0;  ///< compute incl. demand-paging stalls
@@ -86,6 +92,20 @@ class ThreadCtx {
   virtual void cond_signal(CondId c) = 0;
   virtual void cond_broadcast(CondId c) = 0;
   virtual void barrier(BarrierId b) = 0;
+
+  /// Atomic read-modify-write of a `width`-byte integer (4 or 8) at `addr`;
+  /// returns the previous value, zero-extended. The update is globally
+  /// atomic: on Samhita it runs under an address-striped runtime lock with
+  /// the updated word published before release, on SMP it maps to native
+  /// coherent RMW cost. `addr` must be naturally aligned to `width`.
+  virtual std::uint64_t atomic_rmw(Addr addr, std::size_t width, RmwOp op,
+                                   std::uint64_t operand_a,
+                                   std::uint64_t operand_b) = 0;
+
+  /// Advances this thread's virtual clock to at least `t` without charging
+  /// compute/sync time — the open-loop arrival pacing primitive. No-op when
+  /// the clock is already past `t`.
+  virtual void sleep_until(SimTime t) = 0;
 
   // --- measurement --------------------------------------------------------
   /// Resets the compute/sync accounting and marks the measured-phase start.

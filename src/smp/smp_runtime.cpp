@@ -248,6 +248,41 @@ void SmpThreadCtx::barrier(rt::BarrierId b) {
   }
 }
 
+std::uint64_t SmpThreadCtx::atomic_rmw(rt::Addr addr, std::size_t width, rt::RmwOp op,
+                                       std::uint64_t operand_a,
+                                       std::uint64_t operand_b) {
+  SAM_EXPECT(width == 4 || width == 8, "atomic_rmw supports 4- or 8-byte words");
+  SAM_EXPECT(addr % width == 0, "atomic_rmw address must be naturally aligned");
+  SAM_EXPECT(addr + width <= rt_->heap_.size(), "atomic_rmw out of range");
+  // Native lock-prefixed RMW: serialize through the scheduler so concurrent
+  // RMWs on a word land in virtual-time order, pay an uncontended-CAS cost
+  // plus the coherence cost of pulling the line exclusive.
+  rt_->sched_.yield_current();
+  charge(rt_->config().mutex_uncontended, Bucket::kCompute);
+  charge(rt_->coherence_policy_.on_write_view(idx_, addr, width), Bucket::kCompute);
+  std::byte* p = rt_->heap_.data() + addr;
+  std::uint64_t old = 0;
+  std::memcpy(&old, p, width);
+  if (width == 4) old &= 0xffffffffull;
+  std::uint64_t next = old;
+  switch (op) {
+    case rt::RmwOp::kCas:
+      next = old == operand_a ? operand_b : old;
+      break;
+    case rt::RmwOp::kFetchAdd:
+      next = old + operand_a;
+      break;
+  }
+  if (width == 4) next &= 0xffffffffull;
+  std::memcpy(p, &next, width);
+  return old;
+}
+
+void SmpThreadCtx::sleep_until(SimTime t) {
+  if (t <= clock()) return;
+  rt_->sched_.wait_until(t);
+}
+
 void SmpThreadCtx::begin_measurement() {
   metrics_.reset_counters();
   metrics_.measuring = true;

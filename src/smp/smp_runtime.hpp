@@ -119,6 +119,9 @@ class SmpThreadCtx final : public rt::ThreadCtx {
   void cond_signal(rt::CondId c) override;
   void cond_broadcast(rt::CondId c) override;
   void barrier(rt::BarrierId b) override;
+  std::uint64_t atomic_rmw(rt::Addr addr, std::size_t width, rt::RmwOp op,
+                           std::uint64_t operand_a, std::uint64_t operand_b) override;
+  void sleep_until(SimTime t) override;
   void begin_measurement() override;
   void end_measurement() override;
 

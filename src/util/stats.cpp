@@ -88,9 +88,11 @@ double SampleSet::percentile(double p) const {
   return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
 }
 
-Histogram::Histogram(unsigned buckets) {
-  SAM_EXPECT(buckets >= 2, "histogram needs at least two buckets");
-  counts_.assign(buckets, 0);
+Histogram::Histogram(unsigned buckets, unsigned sub_buckets)
+    : octaves_(buckets), sub_(sub_buckets) {
+  SAM_EXPECT(buckets >= 2, "histogram needs at least two octaves");
+  SAM_EXPECT(sub_buckets >= 1, "histogram needs at least one sub-bucket");
+  counts_.assign(1 + static_cast<std::size_t>(octaves_ - 1) * sub_, 0);
 }
 
 void Histogram::add(double x) {
@@ -102,14 +104,23 @@ void Histogram::add(double x) {
   }
   ++count_;
   sum_ += x;
-  unsigned b = 0;
+  std::size_t b = 0;
   if (x >= 1.0) {
-    // Bucket i >= 1 covers [2^(i-1), 2^i).
-    b = 1;
-    double upper = 2.0;
-    while (x >= upper && b + 1 < counts_.size()) {
-      upper *= 2.0;
-      ++b;
+    // Octave o >= 1 covers [2^(o-1), 2^o); frexp puts the mantissa in
+    // [0.5, 1), so its exponent *is* the octave index.
+    int exp = 0;
+    const double mant = std::frexp(x, &exp);
+    (void)mant;
+    unsigned octave = static_cast<unsigned>(std::max(exp, 1));
+    if (octave >= octaves_) {
+      // Overflow clamps into the top sub-bucket (it absorbs the tail).
+      b = counts_.size() - 1;
+    } else {
+      const double lower = std::ldexp(1.0, static_cast<int>(octave) - 1);
+      const double width = lower / static_cast<double>(sub_);
+      auto s = static_cast<std::size_t>((x - lower) / width);
+      s = std::min<std::size_t>(s, sub_ - 1);
+      b = 1 + static_cast<std::size_t>(octave - 1) * sub_ + s;
     }
   }
   ++counts_[b];
@@ -118,13 +129,16 @@ void Histogram::add(double x) {
 double Histogram::bucket_lower(unsigned i) const {
   SAM_EXPECT(i < counts_.size(), "histogram bucket out of range");
   if (i == 0) return 0.0;
-  return std::ldexp(1.0, static_cast<int>(i) - 1);
+  const unsigned octave = (i - 1) / sub_ + 1;
+  const unsigned s = (i - 1) % sub_;
+  const double lower = std::ldexp(1.0, static_cast<int>(octave) - 1);
+  return lower + lower * static_cast<double>(s) / static_cast<double>(sub_);
 }
 
 double Histogram::bucket_upper(unsigned i) const {
   SAM_EXPECT(i < counts_.size(), "histogram bucket out of range");
   if (i + 1 == counts_.size()) return std::numeric_limits<double>::infinity();
-  return std::ldexp(1.0, static_cast<int>(i));
+  return bucket_lower(i + 1);
 }
 
 double Histogram::percentile(double p) const {
@@ -149,8 +163,8 @@ double Histogram::percentile(double p) const {
 }
 
 void Histogram::merge(const Histogram& other) {
-  SAM_EXPECT(counts_.size() == other.counts_.size(),
-             "histogram merge requires identical bucket counts");
+  SAM_EXPECT(octaves_ == other.octaves_ && sub_ == other.sub_,
+             "histogram merge requires identical bucket shapes");
   if (other.count_ == 0) return;
   if (count_ == 0) {
     min_ = other.min_;

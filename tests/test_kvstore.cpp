@@ -1,0 +1,179 @@
+// The open-loop Zipfian KV serving workload (apps/kvstore) and the atomic
+// primitives it leans on:
+//   - hot-key CAS / fetch-add linearizability smoke on both runtimes,
+//   - open-loop runs are deterministic for a fixed seed (exact, in virtual
+//     time) and answer-checked against the sequential reference,
+//   - the DSM and the Pthreads baseline land on the same final table,
+//   - parameter validation fails fast,
+//   - a fault plan costs time (p99.9 spike, nonzero recovery accounting)
+//     but never changes the answer.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "api/sam_api.hpp"
+#include "apps/kvstore.hpp"
+#include "core/report.hpp"
+#include "core/samhita_runtime.hpp"
+#include "smp/smp_runtime.hpp"
+#include "util/expect.hpp"
+
+namespace sam::apps {
+namespace {
+
+using namespace sam::api;
+
+std::unique_ptr<rt::Runtime> make_runtime(const std::string& kind) {
+  if (kind == "samhita") return std::make_unique<core::SamhitaRuntime>();
+  return std::make_unique<smp::SmpRuntime>();
+}
+
+KvParams small_params() {
+  KvParams p;
+  p.partitions = 2;
+  p.clients = 2;
+  p.keys = 64;
+  p.ops = 200;
+  p.arrival_rate = 5.0e4;
+  p.zipf_theta = 0.9;
+  p.read_ratio = 0.9;
+  p.value_bytes = 64;
+  p.seed = 7;
+  return p;
+}
+
+class AtomicsOnRuntime : public ::testing::TestWithParam<std::string> {};
+
+INSTANTIATE_TEST_SUITE_P(BothRuntimes, AtomicsOnRuntime,
+                         ::testing::Values("pthreads", "samhita"),
+                         [](const auto& info) { return info.param; });
+
+// Every thread hammers ONE shared counter word: fetch-add must lose no
+// increments, and a CAS loop must observe a fresh value every retry. The
+// final count is exact iff every RMW was globally ordered.
+TEST_P(AtomicsOnRuntime, HotKeyCounterLinearizes) {
+  constexpr std::uint32_t kThreads = 8;
+  constexpr std::uint64_t kPerThread = 50;
+  auto runtime = make_runtime(GetParam());
+  const BarrierId bar = sam_barrier_init(*runtime, kThreads);
+  Addr counter = 0;  // published by thread 0 before the barrier
+  std::uint64_t final_count = 0;
+  sam_threads(*runtime, kThreads, [&](ThreadCtx& ctx) {
+    if (sam_thread_index(ctx) == 0) {
+      counter = sam_alloc_shared(ctx, 64);
+      sam_write<std::uint64_t>(ctx, counter, 0);
+      sam_write<std::uint64_t>(ctx, counter + 8, 0);
+    }
+    sam_barrier(ctx, bar);
+    for (std::uint64_t i = 0; i < kPerThread; ++i) {
+      sam_fetch_add<std::uint64_t>(ctx, counter, 1);
+      // CAS-increment the second word; retry on contention.
+      for (;;) {
+        const auto seen = sam_cas<std::uint64_t>(ctx, counter + 8, 0, 0);
+        if (sam_cas<std::uint64_t>(ctx, counter + 8, seen, seen + 1) == seen) break;
+      }
+    }
+    sam_barrier(ctx, bar);
+    if (sam_thread_index(ctx) == 0) {
+      final_count = sam_cas<std::uint64_t>(ctx, counter, 0, 0) +
+                    sam_cas<std::uint64_t>(ctx, counter + 8, 0, 0);
+    }
+  });
+  EXPECT_EQ(final_count, 2 * kThreads * kPerThread);
+}
+
+class KvOnRuntime : public ::testing::TestWithParam<std::string> {};
+
+INSTANTIATE_TEST_SUITE_P(BothRuntimes, KvOnRuntime,
+                         ::testing::Values("pthreads", "samhita"),
+                         [](const auto& info) { return info.param; });
+
+TEST_P(KvOnRuntime, MatchesSequentialReference) {
+  const KvParams p = small_params();
+  auto runtime = make_runtime(GetParam());
+  const KvResult r = run_kvstore(*runtime, p);
+  EXPECT_EQ(r.ops_completed, p.ops);
+  EXPECT_EQ(r.gets + r.puts + r.scans, p.ops);
+  EXPECT_EQ(r.value_checksum, kvstore_reference_checksum(p));
+  EXPECT_GT(r.achieved_rate, 0.0);
+  EXPECT_GE(r.p999_ns, r.p99_ns);
+  EXPECT_GE(r.p99_ns, r.p50_ns);
+  EXPECT_GE(r.max_ns, r.p999_ns);
+}
+
+TEST(KvStore, DsmAndPthreadsAgree) {
+  const KvParams p = small_params();
+  core::SamhitaRuntime dsm;
+  smp::SmpRuntime pth;
+  const KvResult a = run_kvstore(dsm, p);
+  const KvResult b = run_kvstore(pth, p);
+  // Same op streams, same partition map, commutative puts: the final table
+  // (hence the checksum) must be identical, not merely close.
+  EXPECT_EQ(a.value_checksum, b.value_checksum);
+  EXPECT_EQ(a.gets, b.gets);
+  EXPECT_EQ(a.puts, b.puts);
+  EXPECT_EQ(a.scans, b.scans);
+}
+
+TEST(KvStore, OpenLoopRunsAreSeedDeterministic) {
+  const KvParams p = small_params();
+  core::SamhitaRuntime a;
+  core::SamhitaRuntime b;
+  const KvResult ra = run_kvstore(a, p);
+  const KvResult rb = run_kvstore(b, p);
+  // Virtual time: two identical configurations replay the exact same event
+  // sequence, so even the latency tail matches bit-for-bit.
+  EXPECT_EQ(ra.elapsed_seconds, rb.elapsed_seconds);
+  EXPECT_EQ(ra.p50_ns, rb.p50_ns);
+  EXPECT_EQ(ra.p999_ns, rb.p999_ns);
+  EXPECT_EQ(ra.value_checksum, rb.value_checksum);
+
+  KvParams q = small_params();
+  q.seed = 8;
+  core::SamhitaRuntime c;
+  const KvResult rc = run_kvstore(c, q);
+  EXPECT_NE(rc.value_checksum, ra.value_checksum);  // seed actually feeds streams
+  EXPECT_EQ(rc.value_checksum, kvstore_reference_checksum(q));
+}
+
+TEST(KvStore, RejectsInvalidParameters) {
+  core::SamhitaRuntime rt;
+  KvParams theta = small_params();
+  theta.zipf_theta = 1.0;  // zetan diverges at 1
+  EXPECT_THROW(run_kvstore(rt, theta), util::ContractViolation);
+  KvParams value = small_params();
+  value.value_bytes = 4;  // word 0 (the put accumulator) would not fit
+  EXPECT_THROW(run_kvstore(rt, value), util::ContractViolation);
+  KvParams keys = small_params();
+  keys.keys = 1;  // the bounded Zipf generator needs >= 2 ranks
+  EXPECT_THROW(run_kvstore(rt, keys), util::ContractViolation);
+  KvParams rate = small_params();
+  rate.arrival_rate = 0.0;
+  EXPECT_THROW(run_kvstore(rt, rate), util::ContractViolation);
+}
+
+TEST(KvStore, FaultPlanSpikesTailButPreservesAnswers) {
+  const KvParams p = small_params();
+  core::SamhitaRuntime clean;
+  const KvResult r_clean = run_kvstore(clean, p);
+
+  core::SamhitaConfig cfg;
+  cfg.fault_plan = "drop=0.1";
+  core::SamhitaRuntime flaky{cfg};
+  flaky.fault_plan().force_drops(1);  // at least one injected fault, any seed
+  const KvResult r_flaky = run_kvstore(flaky, p);
+
+  // Retries redrive lost protocol legs: answers are invariant, but the ops
+  // stalled behind a retry timer drag the tail out.
+  EXPECT_EQ(r_flaky.value_checksum, r_clean.value_checksum);
+  EXPECT_EQ(r_flaky.ops_completed, r_clean.ops_completed);
+  EXPECT_GT(r_flaky.elapsed_seconds, r_clean.elapsed_seconds);
+  EXPECT_GT(r_flaky.p999_ns, r_clean.p999_ns);
+  const core::RunSummary s = core::summarize(flaky);
+  EXPECT_GT(s.scl_retries + s.scl_timeouts, 0u);
+  EXPECT_GT(s.recovery_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace sam::apps

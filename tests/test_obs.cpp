@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cmath>
 #include <sstream>
+#include <vector>
 
 #include "apps/microbench.hpp"
 #include "core/report.hpp"
@@ -18,6 +19,7 @@
 #include "sim/resource.hpp"
 #include "sim/trace.hpp"
 #include "util/expect.hpp"
+#include "util/rng.hpp"
 #include "util/stats.hpp"
 
 namespace sam {
@@ -26,33 +28,41 @@ namespace {
 // --- util::Histogram ---------------------------------------------------------
 
 TEST(Histogram, BucketBoundaries) {
-  util::Histogram h(8);
-  EXPECT_EQ(h.buckets(), 8u);
+  // 8 octaves x 4 sub-buckets: storage is 1 + 7*4 = 29 buckets. Octave o
+  // covers [2^(o-1), 2^o) split into 4 equal linear slices.
+  util::Histogram h(8, 4);
+  EXPECT_EQ(h.octaves(), 8u);
+  EXPECT_EQ(h.sub_buckets(), 4u);
+  EXPECT_EQ(h.buckets(), 29u);
   EXPECT_DOUBLE_EQ(h.bucket_lower(0), 0.0);
   EXPECT_DOUBLE_EQ(h.bucket_upper(0), 1.0);
+  // Octave 1 = [1, 2): sub-buckets at 1, 1.25, 1.5, 1.75.
   EXPECT_DOUBLE_EQ(h.bucket_lower(1), 1.0);
-  EXPECT_DOUBLE_EQ(h.bucket_upper(1), 2.0);
-  EXPECT_DOUBLE_EQ(h.bucket_lower(4), 8.0);
-  EXPECT_DOUBLE_EQ(h.bucket_upper(4), 16.0);
-  EXPECT_TRUE(std::isinf(h.bucket_upper(7)));
+  EXPECT_DOUBLE_EQ(h.bucket_upper(1), 1.25);
+  EXPECT_DOUBLE_EQ(h.bucket_lower(4), 1.75);
+  EXPECT_DOUBLE_EQ(h.bucket_upper(4), 2.0);
+  // Octave 4 = [8, 16): starts at storage index 1 + 3*4 = 13.
+  EXPECT_DOUBLE_EQ(h.bucket_lower(13), 8.0);
+  EXPECT_DOUBLE_EQ(h.bucket_upper(13), 10.0);
+  EXPECT_TRUE(std::isinf(h.bucket_upper(28)));
 }
 
-TEST(Histogram, AddPlacesSamplesInLog2Buckets) {
-  util::Histogram h(6);
-  h.add(0.5);   // bucket 0
-  h.add(1.0);   // bucket 1: [1, 2)
-  h.add(3.0);   // bucket 2: [2, 4)
-  h.add(3.9);   // bucket 2
-  h.add(100.0); // beyond 2^5=32: clamps into the last bucket
+TEST(Histogram, AddPlacesSamplesInLogLinearBuckets) {
+  util::Histogram h(6, 4);
+  h.add(0.5);    // bucket 0
+  h.add(1.0);    // octave 1 sub 0: [1, 1.25) -> index 1
+  h.add(3.0);    // octave 2 sub 2: [3, 3.5)  -> index 1 + 4 + 2 = 7
+  h.add(3.4);    // same sub-bucket
+  h.add(100.0);  // beyond 2^5=32: clamps into the last storage bucket
   EXPECT_EQ(h.bucket(0), 1u);
   EXPECT_EQ(h.bucket(1), 1u);
-  EXPECT_EQ(h.bucket(2), 2u);
-  EXPECT_EQ(h.bucket(5), 1u);
+  EXPECT_EQ(h.bucket(7), 2u);
+  EXPECT_EQ(h.bucket(h.buckets() - 1), 1u);
   EXPECT_EQ(h.count(), 5u);
-  EXPECT_DOUBLE_EQ(h.sum(), 108.4);
+  EXPECT_DOUBLE_EQ(h.sum(), 107.9);
   EXPECT_DOUBLE_EQ(h.min(), 0.5);
   EXPECT_DOUBLE_EQ(h.max(), 100.0);
-  EXPECT_NEAR(h.mean(), 108.4 / 5.0, 1e-12);
+  EXPECT_NEAR(h.mean(), 107.9 / 5.0, 1e-12);
 }
 
 TEST(Histogram, NegativeClampsToBucketZero) {
@@ -66,16 +76,42 @@ TEST(Histogram, PercentileWithinObservedRange) {
   util::Histogram h;
   for (int i = 1; i <= 1000; ++i) h.add(static_cast<double>(i));
   const double p50 = h.percentile(50.0);
-  // Log2 buckets: exact to within the containing bucket [256, 512).
-  EXPECT_GE(p50, 256.0);
+  // Log-linear buckets: exact to within the containing sub-bucket, which at
+  // the default 16 sub-buckets around 500 is [496, 512).
+  EXPECT_GE(p50, 496.0);
   EXPECT_LE(p50, 512.0);
   EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);
   EXPECT_DOUBLE_EQ(h.percentile(100.0), 1000.0);
 }
 
+TEST(Histogram, QuantileErrorBounded) {
+  // The p999 claim the KV serving figures rest on: every quantile estimate
+  // must land within one sub-bucket of the true order statistic, i.e. a
+  // relative error of at most 1/sub_buckets.
+  util::SplitMix64 rng(42);
+  util::Histogram h;  // default 48 octaves x 16 sub-buckets
+  std::vector<double> samples;
+  samples.reserve(20000);
+  for (int i = 0; i < 20000; ++i) {
+    // Heavy-tailed latencies spanning ~6 decades, like virtual-time ns.
+    const double x = std::exp(rng.next_double(0.0, 14.0));
+    samples.push_back(x);
+    h.add(x);
+  }
+  std::sort(samples.begin(), samples.end());
+  const double tol = 1.0 / static_cast<double>(h.sub_buckets());
+  for (const double q : {50.0, 90.0, 99.0, 99.9}) {
+    const auto rank = static_cast<std::size_t>(
+        q / 100.0 * static_cast<double>(samples.size() - 1));
+    const double exact = samples[rank];
+    const double est = h.percentile(q);
+    EXPECT_NEAR(est, exact, exact * (tol + 1e-9)) << "q=" << q;
+  }
+}
+
 TEST(Histogram, MergeAddsCounts) {
-  util::Histogram a(8);
-  util::Histogram b(8);
+  util::Histogram a(8, 4);
+  util::Histogram b(8, 4);
   a.add(2.0);
   b.add(3.0);
   b.add(0.25);
@@ -84,13 +120,16 @@ TEST(Histogram, MergeAddsCounts) {
   EXPECT_DOUBLE_EQ(a.sum(), 5.25);
   EXPECT_DOUBLE_EQ(a.min(), 0.25);
   EXPECT_DOUBLE_EQ(a.max(), 3.0);
-  EXPECT_EQ(a.bucket(2), 2u);  // 2.0 and 3.0 both in [2, 4)
+  EXPECT_EQ(a.bucket(5), 1u);  // 2.0: octave 2 sub 0
+  EXPECT_EQ(a.bucket(7), 1u);  // 3.0: octave 2 sub 2
 }
 
 TEST(Histogram, MergeRejectsMismatchedBuckets) {
   util::Histogram a(8);
   util::Histogram b(16);
   EXPECT_THROW(a.merge(b), util::ContractViolation);
+  util::Histogram c(8, 8);
+  EXPECT_THROW(a.merge(c), util::ContractViolation);
 }
 
 TEST(SampleSet, SumMatchesSamples) {
@@ -204,7 +243,10 @@ TEST(Registry, CounterGaugeHistogramSemantics) {
   reg.histogram("lat").add(5.0);  // second lookup reuses the histogram
   ASSERT_NE(reg.find_histogram("lat"), nullptr);
   EXPECT_EQ(reg.find_histogram("lat")->count(), 2u);
-  EXPECT_EQ(reg.find_histogram("lat")->buckets(), 8u);
+  // 8 octaves, each split 16 ways past octave 0: log-linear storage.
+  EXPECT_EQ(reg.find_histogram("lat")->octaves(), 8u);
+  EXPECT_EQ(reg.find_histogram("lat")->buckets(),
+            1u + 7u * util::Histogram::kDefaultSubBuckets);
   EXPECT_EQ(reg.find_histogram("absent"), nullptr);
 
   EXPECT_FALSE(reg.empty());

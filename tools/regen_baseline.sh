@@ -20,7 +20,7 @@ if [[ ! -d "$BUILD_DIR" ]]; then
   cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 fi
 cmake --build "$BUILD_DIR" -j --target ablation_batching ablation_page_placement \
-  ablation_multi_tenant samhita_sim
+  ablation_multi_tenant fig_kv_serving samhita_sim
 
 # Same invocation as the CI gate: the quick sweep, baseline written in place.
 "./$BUILD_DIR/bench/ablation_batching" --quick --write-baseline=BENCH_baseline.json \
@@ -51,6 +51,23 @@ import json
 baseline = json.load(open("BENCH_baseline.json"))
 baseline = {k: v for k, v in baseline.items() if not k.startswith("multi_tenant_")}
 baseline.update(json.load(open("/tmp/multi_tenant_baseline.json")))
+with open("BENCH_baseline.json", "w") as out:
+    out.write("{\n")
+    out.write(",\n".join(f'  "{k}": {v:.9g}' for k, v in sorted(baseline.items())))
+    out.write("\n}\n")
+EOF
+
+# KV serving series (kv_*): saturation throughput and p99.9 tail latency of
+# the open-loop Zipfian sweep, in deterministic virtual time. Stale kv_ keys
+# are dropped before merging. The CI kv-smoke job asserts the saturation
+# knee still exists and the run report still carries the "kv" section.
+"./$BUILD_DIR/bench/fig_kv_serving" --quick \
+  --write-baseline=/tmp/kv_baseline.json > /dev/null
+python3 - <<'EOF'
+import json
+baseline = json.load(open("BENCH_baseline.json"))
+baseline = {k: v for k, v in baseline.items() if not k.startswith("kv_")}
+baseline.update(json.load(open("/tmp/kv_baseline.json")))
 with open("BENCH_baseline.json", "w") as out:
     out.write("{\n")
     out.write(",\n".join(f'  "{k}": {v:.9g}' for k, v in sorted(baseline.items())))

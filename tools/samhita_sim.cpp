@@ -10,6 +10,17 @@
 //   samhita_sim --workload=md --particles=512 --local-sync=true
 //   samhita_sim --workload=matmul --n=128 --servers=2 --profile=10
 //   samhita_sim --workload=bfs --vertices=4096 --placement=scatter
+//   samhita_sim --app=kvstore --kv-arrival-rate=5e4 --kv-zipf-theta=0.9
+//
+// --app is an alias for --workload. The kvstore workload is special: run
+// solo it performs an open-loop rate sweep (multipliers of --kv-arrival-rate
+// from --kv-sweep=0.25,0.5,1,2,4) on a fresh instance per point, reports
+// offered vs achieved throughput and p50/p99/p999 latency per point plus the
+// saturation knee, and the JSON report gains a "kv" section. KV flags:
+//   --kv-partitions=N --kv-arrival-rate=OPS_PER_SEC --kv-zipf-theta=T
+//   --kv-read-ratio=R --kv-value-bytes=N (the SamhitaConfig knobs), plus
+//   --kv-keys=N --kv-ops=N --kv-scan-every=N --kv-scan-length=N
+//   --kv-queue-capacity=N --kv-sweep=m1,m2,... --seed=N
 //
 // Platform flags: --network=ib|pcie|scif --servers=N --nodes=N
 //   --cores-per-node=N --pages-per-line=N --cache-mb=N --prefetch=bool
@@ -55,6 +66,7 @@
 // Workload size flags (--n, --M, --particles, ...) apply to every tenant
 // running that workload; observability flags cover the whole universe with
 // per-tenant report sections and trace tracks.
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -66,6 +78,7 @@
 
 #include "apps/bfs.hpp"
 #include "apps/jacobi.hpp"
+#include "apps/kvstore.hpp"
 #include "apps/matmul.hpp"
 #include "apps/md.hpp"
 #include "apps/microbench.hpp"
@@ -139,6 +152,13 @@ core::SamhitaConfig config_from_args(const util::ArgParser& args) {
       static_cast<unsigned>(args.get_int("retry-max-attempts", cfg.retry_max_attempts));
   cfg.replica_server =
       static_cast<unsigned>(args.get_int("replica-server", cfg.replica_server));
+  cfg.kv_partitions =
+      static_cast<unsigned>(args.get_int("kv-partitions", cfg.kv_partitions));
+  cfg.kv_arrival_rate = args.get_double("kv-arrival-rate", cfg.kv_arrival_rate);
+  cfg.kv_zipf_theta = args.get_double("kv-zipf-theta", cfg.kv_zipf_theta);
+  cfg.kv_read_ratio = args.get_double("kv-read-ratio", cfg.kv_read_ratio);
+  cfg.kv_value_bytes = static_cast<std::size_t>(
+      args.get_int("kv-value-bytes", static_cast<std::int64_t>(cfg.kv_value_bytes)));
   // Every observability consumer feeds on the protocol trace, so any of the
   // switches that need one turns tracing on.
   cfg.trace_enabled = args.has("trace") || args.has("trace-json") ||
@@ -161,9 +181,30 @@ std::size_t critical_path_top_n(const util::ArgParser& args) {
   return static_cast<std::size_t>(args.get_int("critical-path", 5));
 }
 
-int run_workload(const util::ArgParser& args, rt::Runtime& runtime,
-                 const std::string& workload, std::uint32_t threads,
-                 const std::string& prefix = "") {
+/// KvParams from the validated config knobs plus the workload-size flags.
+/// Clients fill whatever --threads leaves after the partition servers.
+apps::KvParams kv_params_from(const util::ArgParser& args,
+                              const core::SamhitaConfig& cfg, std::uint32_t threads) {
+  apps::KvParams p;
+  p.partitions = cfg.kv_partitions;
+  p.clients = threads > p.partitions ? threads - p.partitions : 4;
+  p.arrival_rate = cfg.kv_arrival_rate;
+  p.zipf_theta = cfg.kv_zipf_theta;
+  p.read_ratio = cfg.kv_read_ratio;
+  p.value_bytes = cfg.kv_value_bytes;
+  p.keys = static_cast<std::uint64_t>(args.get_int("kv-keys", 4096));
+  p.ops = static_cast<std::uint64_t>(args.get_int("kv-ops", 2000));
+  p.scan_every = static_cast<std::uint32_t>(args.get_int("kv-scan-every", 16));
+  p.scan_length = static_cast<std::uint32_t>(args.get_int("kv-scan-length", 8));
+  p.queue_capacity =
+      static_cast<std::uint32_t>(args.get_int("kv-queue-capacity", 64));
+  p.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  return p;
+}
+
+int run_workload(const util::ArgParser& args, const core::SamhitaConfig& cfg,
+                 rt::Runtime& runtime, const std::string& workload,
+                 std::uint32_t threads, const std::string& prefix = "") {
   const char* pre = prefix.c_str();
   if (workload == "micro") {
     apps::MicrobenchParams p;
@@ -220,7 +261,20 @@ int run_workload(const util::ArgParser& args, rt::Runtime& runtime,
                 r.elapsed_seconds * 1e3);
     return 0;
   }
-  std::fprintf(stderr, "unknown --workload=%s (want micro|jacobi|md|matmul|bfs)\n",
+  if (workload == "kvstore") {
+    const apps::KvParams p = kv_params_from(args, cfg, threads);
+    const auto r = apps::run_kvstore(runtime, p);
+    SAM_EXPECT(r.value_checksum == apps::kvstore_reference_checksum(p),
+               "kvstore checksum diverged from the sequential reference");
+    std::printf("%skvstore(%u parts, %u clients): ops=%llu achieved=%.4g/s "
+                "p50=%.0fns p99=%.0fns p999=%.0fns elapsed=%.3fms\n",
+                pre, p.partitions, p.clients,
+                static_cast<unsigned long long>(r.ops_completed), r.achieved_rate,
+                r.p50_ns, r.p99_ns, r.p999_ns, r.elapsed_seconds * 1e3);
+    return 0;
+  }
+  std::fprintf(stderr,
+               "unknown --workload=%s (want micro|jacobi|md|matmul|bfs|kvstore)\n",
                workload.c_str());
   return 2;
 }
@@ -268,13 +322,14 @@ void add_tenants_from_args(const util::ArgParser& args, core::SamhitaConfig& cfg
 /// Co-runs one workload per configured tenant on the fabric's shared
 /// instance; each result line is prefixed "tenant <i> <name>: ".
 int run_multi_tenant(const util::ArgParser& args, core::TenantFabric& fabric) {
-  const std::vector<core::TenantSpec>& specs = fabric.runtime().config().tenants;
+  const core::SamhitaConfig& cfg = fabric.runtime().config();
+  const std::vector<core::TenantSpec>& specs = cfg.tenants;
   const std::vector<std::string> workloads = split_csv(args.get_string("tenants", ""));
   std::vector<int> rcs(workloads.size(), 0);
   std::vector<core::TenantFabric::Driver> drivers;
   for (std::size_t i = 0; i < workloads.size(); ++i) {
     drivers.push_back([&, i](rt::Runtime& rt) {
-      rcs[i] = run_workload(args, rt, workloads[i], specs[i].threads,
+      rcs[i] = run_workload(args, cfg, rt, workloads[i], specs[i].threads,
                             "tenant " + std::to_string(i) + " ");
     });
   }
@@ -285,6 +340,98 @@ int run_multi_tenant(const util::ArgParser& args, core::TenantFabric& fabric) {
   return 0;
 }
 
+/// One point of the solo-kvstore open-loop rate sweep.
+struct KvSweepPoint {
+  double offered = 0;
+  apps::KvResult result;
+};
+
+struct KvSweep {
+  apps::KvParams base;
+  std::vector<KvSweepPoint> points;
+  double saturation_rate = 0;  ///< knee: largest offered with achieved >= 95%
+  double peak_achieved = 0;    ///< saturation throughput (max achieved)
+};
+
+/// --kv-sweep=0.25,0.5,1,2,4 : offered-rate multipliers of kv_arrival_rate.
+std::vector<double> kv_sweep_multipliers(const util::ArgParser& args) {
+  const std::vector<std::string> items =
+      split_csv(args.get_string("kv-sweep", "0.25,0.5,1,2,4"));
+  SAM_EXPECT(!items.empty(), "--kv-sweep wants a comma-separated multiplier list");
+  std::vector<double> out;
+  for (const std::string& s : items) {
+    const double m = std::stod(s);
+    SAM_EXPECT(m > 0, "--kv-sweep multipliers must be positive");
+    out.push_back(m);
+  }
+  return out;
+}
+
+/// Solo kvstore mode: an open-loop rate sweep, one fresh instance per offered
+/// rate so queue backlogs never leak between points. The last (highest-rate)
+/// instance is handed back for the observability tail.
+int run_kv_sweep(const util::ArgParser& args, const core::SamhitaConfig& cfg,
+                 std::uint32_t threads, std::unique_ptr<core::SamhitaRuntime>& last,
+                 KvSweep& sweep) {
+  sweep.base = kv_params_from(args, cfg, threads);
+  for (const double mult : kv_sweep_multipliers(args)) {
+    apps::KvParams p = sweep.base;
+    p.arrival_rate = sweep.base.arrival_rate * mult;
+    auto rt = std::make_unique<core::SamhitaRuntime>(cfg);
+    const apps::KvResult r = apps::run_kvstore(*rt, p);
+    SAM_EXPECT(r.value_checksum == apps::kvstore_reference_checksum(p),
+               "kvstore checksum diverged from the sequential reference");
+    std::printf("kvstore offered=%.4g/s achieved=%.4g/s p50=%.0fns p99=%.0fns "
+                "p999=%.0fns elapsed=%.3fms\n",
+                p.arrival_rate, r.achieved_rate, r.p50_ns, r.p99_ns, r.p999_ns,
+                r.elapsed_seconds * 1e3);
+    if (r.achieved_rate >= 0.95 * p.arrival_rate) {
+      sweep.saturation_rate = std::max(sweep.saturation_rate, p.arrival_rate);
+    }
+    sweep.peak_achieved = std::max(sweep.peak_achieved, r.achieved_rate);
+    sweep.points.push_back({p.arrival_rate, r});
+    last = std::move(rt);
+  }
+  return 0;
+}
+
+/// The conditional "kv" section of the JSON run report (solo kvstore only).
+void write_kv_section(obs::JsonWriter& w, const KvSweep& s) {
+  w.key("kv");
+  w.begin_object();
+  w.kv("partitions", s.base.partitions);
+  w.kv("clients", s.base.clients);
+  w.kv("keys", s.base.keys);
+  w.kv("ops", s.base.ops);
+  w.kv("zipf_theta", s.base.zipf_theta);
+  w.kv("read_ratio", s.base.read_ratio);
+  w.kv("value_bytes", static_cast<std::uint64_t>(s.base.value_bytes));
+  w.kv("queue_capacity", s.base.queue_capacity);
+  w.kv("base_arrival_rate_ops_per_sec", s.base.arrival_rate);
+  w.kv("saturation_rate_ops_per_sec", s.saturation_rate);
+  w.kv("throughput_ops_per_sec", s.peak_achieved);
+  w.key("sweep");
+  w.begin_array();
+  for (const KvSweepPoint& pt : s.points) {
+    w.begin_object();
+    w.kv("offered_rate_ops_per_sec", pt.offered);
+    w.kv("achieved_rate_ops_per_sec", pt.result.achieved_rate);
+    w.kv("ops", pt.result.ops_completed);
+    w.kv("gets", pt.result.gets);
+    w.kv("puts", pt.result.puts);
+    w.kv("scans", pt.result.scans);
+    w.kv("mean_ns", pt.result.mean_ns);
+    w.kv("p50_ns", pt.result.p50_ns);
+    w.kv("p99_ns", pt.result.p99_ns);
+    w.kv("p999_ns", pt.result.p999_ns);
+    w.kv("max_ns", pt.result.max_ns);
+    w.kv("elapsed_seconds", pt.result.elapsed_seconds);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -292,7 +439,7 @@ int main(int argc, char** argv) {
   try {
     util::ArgParser args(argc, argv);
     if (args.has("help")) {
-      std::printf("usage: %s --workload=micro|jacobi|md|matmul|bfs [options]\n"
+      std::printf("usage: %s --app=micro|jacobi|md|matmul|bfs|kvstore [options]\n"
                   "       %s --tenants=<w1,w2,...> [--tenant-threads=...] "
                   "[--tenant-weights=...] [--admission-limit=...] "
                   "[--tenant-qos=fifo|wfq] [options]\n"
@@ -303,21 +450,29 @@ int main(int argc, char** argv) {
     core::SamhitaConfig cfg = config_from_args(args);
     const bool multi_tenant = args.has("tenants");
     if (multi_tenant) add_tenants_from_args(args, cfg);
-    // Both modes share one underlying instance: the observability tail below
-    // reads whichever runtime actually ran.
+    // --app is the friendlier alias; --workload keeps working.
+    const std::string workload =
+        args.get_string("app", args.get_string("workload", "micro"));
+    const auto threads = static_cast<std::uint32_t>(args.get_int("threads", 8));
+    const bool kv_solo = !multi_tenant && workload == "kvstore";
+    // All modes share one underlying instance: the observability tail below
+    // reads whichever runtime actually ran (the last sweep point for the
+    // solo-kvstore rate sweep).
     std::unique_ptr<core::TenantFabric> fabric;
     std::unique_ptr<core::SamhitaRuntime> solo;
+    KvSweep kv;
+    int rc;
     if (multi_tenant) {
       fabric = std::make_unique<core::TenantFabric>(std::move(cfg));
+      rc = run_multi_tenant(args, *fabric);
+    } else if (kv_solo) {
+      rc = run_kv_sweep(args, cfg, threads, solo, kv);
     } else {
-      solo = std::make_unique<core::SamhitaRuntime>(std::move(cfg));
+      auto rt = std::make_unique<core::SamhitaRuntime>(cfg);
+      rc = run_workload(args, cfg, *rt, workload, threads);
+      solo = std::move(rt);
     }
     core::SamhitaRuntime& runtime = multi_tenant ? fabric->runtime() : *solo;
-    const int rc =
-        multi_tenant
-            ? run_multi_tenant(args, *fabric)
-            : run_workload(args, *solo, args.get_string("workload", "micro"),
-                           static_cast<std::uint32_t>(args.get_int("threads", 8)));
     if (rc != 0) return rc;
 
     std::printf("\n%s", core::format_report(runtime).c_str());
@@ -379,10 +534,12 @@ int main(int argc, char** argv) {
       const std::string path = args.get_string("json-report", "run.json");
       std::ofstream out(path);
       SAM_EXPECT(out.is_open(), "cannot open report output: " + path);
-      obs::write_run_report(
-          runtime, out,
-          multi_tenant ? "multi-tenant" : args.get_string("workload", "micro"),
-          profile_top_n(args));
+      obs::ReportExtra extra;
+      if (!kv.points.empty()) {
+        extra = [&kv](obs::JsonWriter& w) { write_kv_section(w, kv); };
+      }
+      obs::write_run_report(runtime, out, multi_tenant ? "multi-tenant" : workload,
+                            profile_top_n(args), extra);
       std::printf("\njson-report: schema v%d -> %s\n", obs::kRunReportSchemaVersion,
                   path.c_str());
     }
